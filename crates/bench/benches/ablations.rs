@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * **Linearization curve** — Z-order (Morton) vs. Hilbert encoding cost
+//!   (Section 3's "Hilbert or Z curve" remark).
+//! * **Boundary policy** — conservative vs. non-conservative rasterization
+//!   cost (the non-conservative policy pays for overlap sampling).
+//! * **RadixSpline error budget** — lookup cost as the spline error grows
+//!   (bigger error → smaller spline, longer final binary search).
+//! * **ACT bound sweep** — index build cost as the distance bound tightens
+//!   (the memory/precision trade-off of Section 5.1 in time form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::index::RadixSplineBuilder;
+use dbsa::prelude::*;
+use dbsa::raster::{BoundaryPolicy, HierarchicalRaster};
+use dbsa_bench::Workload;
+use std::time::Duration;
+
+fn bench_curve_choice(c: &mut Criterion) {
+    let workload = Workload::new(100_000, 4, 8, 41);
+    let mut group = c.benchmark_group("ablation_linearization_curve");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for (label, curve) in [("morton", CurveKind::Morton), ("hilbert", CurveKind::Hilbert)] {
+        group.bench_function(BenchmarkId::new("encode_all_points", label), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for p in &workload.points {
+                    acc ^= workload.extent.linearize(p, 20, curve);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_boundary_policy(c: &mut Criterion) {
+    let workload = Workload::new(1_000, 16, 40, 43);
+    let mut group = c.benchmark_group("ablation_boundary_policy");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    let policies = [
+        ("conservative", BoundaryPolicy::Conservative),
+        ("non_conservative_50", BoundaryPolicy::NonConservative { min_overlap: 0.5 }),
+    ];
+    for (label, policy) in policies {
+        group.bench_function(BenchmarkId::new("rasterize_all_regions", label), |b| {
+            b.iter(|| {
+                let mut cells = 0usize;
+                for region in &workload.regions {
+                    let hr = HierarchicalRaster::with_bound(
+                        region,
+                        &workload.extent,
+                        DistanceBound::meters(8.0),
+                        policy,
+                    );
+                    cells += hr.cell_count();
+                }
+                cells
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spline_error(c: &mut Criterion) {
+    let workload = Workload::new(200_000, 4, 8, 47);
+    let keys: Vec<u64> = {
+        let mut k: Vec<u64> = workload
+            .points
+            .iter()
+            .map(|p| workload.extent.leaf_cell_id(p).raw())
+            .collect();
+        k.sort_unstable();
+        k
+    };
+    let probes: Vec<u64> = keys.iter().step_by(37).copied().collect();
+
+    let mut group = c.benchmark_group("ablation_spline_error");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for &err in &[8usize, 32, 128, 512] {
+        let spline = RadixSplineBuilder::new().spline_error(err).build(&keys);
+        group.bench_with_input(BenchmarkId::new("lookup", err), &err, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &q in &probes {
+                    acc += spline.lower_bound(&keys, q);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_act_bound_sweep(c: &mut Criterion) {
+    let workload = Workload::new(1_000, 16, 31, 53);
+    let mut group = c.benchmark_group("ablation_act_bound");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    for &bound_m in &[32.0f64, 8.0, 2.0] {
+        group.bench_with_input(BenchmarkId::new("build", bound_m as u32), &bound_m, |b, _| {
+            b.iter(|| {
+                ApproximateCellJoin::build(
+                    &workload.regions,
+                    &workload.extent,
+                    DistanceBound::meters(bound_m),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_curve_choice,
+    bench_boundary_policy,
+    bench_spline_error,
+    bench_act_bound_sweep
+);
+criterion_main!(benches);

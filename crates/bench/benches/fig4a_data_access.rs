@@ -1,0 +1,89 @@
+//! Criterion bench for Experiment E1 (Figure 4(a)): per-query-batch data
+//! access time of the RadixSpline / binary-search variants against the
+//! MBR-filtering spatial baselines.
+//!
+//! The workload is deliberately small (50 k points, 64 query polygons) so
+//! that `cargo bench --workspace` finishes quickly; the report binary
+//! `fig4a` runs the larger laptop-scale configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::prelude::*;
+use dbsa::raster::{BoundaryPolicy, HierarchicalRaster, RasterCell};
+use dbsa_bench::Workload;
+use std::time::Duration;
+
+fn bench_data_access(c: &mut Criterion) {
+    let workload = Workload::from_profile_like(50_000, 64, 14, 7);
+    let table = LinearizedPointTable::build(&workload.points, &workload.values, &workload.extent);
+    let queries: Vec<&MultiPolygon> = workload.regions.iter().collect();
+    // Query rasters are fixed (census regions); prepare them outside the
+    // timed region, exactly like the report binary does.
+    let rasters_at = |cells: usize| -> Vec<Vec<RasterCell>> {
+        queries
+            .iter()
+            .map(|q| {
+                HierarchicalRaster::with_cell_budget(*q, &workload.extent, cells, BoundaryPolicy::Conservative)
+                    .cells()
+                    .to_vec()
+            })
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("fig4a_data_access");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // RS variants at the paper's three precision levels, plus BS / B+-tree
+    // at 512 cells per query polygon.
+    for &cells in &[32usize, 128, 512] {
+        let prepared = rasters_at(cells);
+        group.bench_with_input(BenchmarkId::new("radix_spline", cells), &cells, |b, _| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in &prepared {
+                    total += table.aggregate_cells(q, PointIndexVariant::RadixSpline).count;
+                }
+                total
+            })
+        });
+    }
+    let prepared_512 = rasters_at(512);
+    group.bench_function(BenchmarkId::new("binary_search", 512usize), |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for q in &prepared_512 {
+                total += table.aggregate_cells(q, PointIndexVariant::BinarySearch).count;
+            }
+            total
+        })
+    });
+    group.bench_function(BenchmarkId::new("bplus_tree", 512usize), |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for q in &prepared_512 {
+                total += table.aggregate_cells(q, PointIndexVariant::BPlusTree).count;
+            }
+            total
+        })
+    });
+
+    // Spatial baselines: MBR filter + exact refinement.
+    for kind in SpatialBaselineKind::ALL {
+        let baseline = SpatialBaseline::build(kind, &workload.points, &workload.values);
+        group.bench_function(BenchmarkId::new("mbr_baseline", kind.name()), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in &queries {
+                    let (agg, _) = baseline.aggregate_multipolygon(q);
+                    total += agg.count;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_data_access);
+criterion_main!(benches);

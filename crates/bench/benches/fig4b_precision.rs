@@ -1,0 +1,70 @@
+//! Criterion bench for Experiment E2 (Figure 4(b)): cost of building the
+//! query-polygon raster approximation and answering the range lookups as
+//! the precision (cells per query polygon) grows.
+//!
+//! Figure 4(b) itself is an accuracy plot (qualifying points vs. precision);
+//! the accuracy numbers are produced by the `fig4b` report binary. This
+//! bench captures the *time* side of the same sweep so the precision ↔ time
+//! trade-off ("sweet spot") the paper talks about is measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::prelude::*;
+use dbsa_bench::Workload;
+use std::time::Duration;
+
+fn bench_precision_sweep(c: &mut Criterion) {
+    let workload = Workload::new(50_000, 64, 14, 11);
+    let table = LinearizedPointTable::build(&workload.points, &workload.values, &workload.extent);
+    let queries: Vec<&MultiPolygon> = workload.regions.iter().collect();
+
+    let mut group = c.benchmark_group("fig4b_precision");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &cells in &[16usize, 32, 128, 512, 2048] {
+        group.bench_with_input(
+            BenchmarkId::new("rs_query_at_precision", cells),
+            &cells,
+            |b, &cells| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for q in &queries {
+                        let (agg, _) =
+                            table.aggregate_polygon(*q, cells, PointIndexVariant::RadixSpline);
+                        total += agg.count;
+                    }
+                    total
+                })
+            },
+        );
+    }
+
+    // The cost of the raster approximation alone (no index lookups), to show
+    // how much of the query time is spent deriving the query cells.
+    for &cells in &[32usize, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("query_rasterization_only", cells),
+            &cells,
+            |b, &cells| {
+                b.iter(|| {
+                    let mut total_cells = 0usize;
+                    for q in &queries {
+                        let hr = dbsa::raster::HierarchicalRaster::with_cell_budget(
+                            *q,
+                            &workload.extent,
+                            cells,
+                            dbsa::raster::BoundaryPolicy::Conservative,
+                        );
+                        total_cells += hr.cell_count();
+                    }
+                    total_cells
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precision_sweep);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench for Experiment E3 (Figure 6): the main-memory spatial
+//! aggregation join — approximate ACT join vs. exact R-tree and shape-index
+//! joins — on the three polygon complexity profiles.
+//!
+//! Region counts are scaled down from the report binary so the bench stays
+//! fast; the complexity profile (vertices per polygon), which drives the
+//! PIP-cost argument of Figure 6, is preserved exactly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::prelude::*;
+use dbsa_bench::Workload;
+use std::time::Duration;
+
+/// (label, region count, vertices per region) — complexity follows the paper.
+const PROFILES: [(&str, usize, usize); 3] = [
+    ("boroughs", 5, 663),
+    ("neighborhoods", 36, 31),
+    ("census", 144, 14),
+];
+
+fn bench_joins(c: &mut Criterion) {
+    let n_points = 50_000;
+    let bound = DistanceBound::meters(4.0);
+
+    let mut group = c.benchmark_group("fig6_join");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for (label, regions, vertices) in PROFILES {
+        let workload = Workload::new(n_points, regions, vertices, 3);
+
+        let act = ApproximateCellJoin::build(&workload.regions, &workload.extent, bound);
+        let rtree = RTreeExactJoin::build(&workload.regions);
+        let shape = ShapeIndexExactJoin::build(&workload.regions, &workload.extent);
+
+        group.bench_function(BenchmarkId::new("act_approximate", label), |b| {
+            b.iter(|| act.execute(&workload.points, &workload.values))
+        });
+        group.bench_function(BenchmarkId::new("rtree_exact", label), |b| {
+            b.iter(|| rtree.execute(&workload.points, &workload.values))
+        });
+        group.bench_function(BenchmarkId::new("shape_index_exact", label), |b| {
+            b.iter(|| shape.execute(&workload.points, &workload.values))
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    // Build cost of the three join indexes on the neighbourhood profile —
+    // the price ACT pays for refinement-free queries.
+    let workload = Workload::new(10_000, 36, 31, 5);
+    let bound = DistanceBound::meters(4.0);
+
+    let mut group = c.benchmark_group("fig6_index_build");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("act_build_4m", |b| {
+        b.iter(|| ApproximateCellJoin::build(&workload.regions, &workload.extent, bound))
+    });
+    group.bench_function("rtree_build", |b| {
+        b.iter(|| RTreeExactJoin::build(&workload.regions))
+    });
+    group.bench_function("shape_index_build", |b| {
+        b.iter(|| ShapeIndexExactJoin::build(&workload.regions, &workload.extent))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for Experiment E4 (Figure 7): the Bounded Raster Join at
+//! several distance bounds against the accurate grid + PIP baseline.
+//!
+//! A dense small extent keeps the point-count : canvas-resolution ratio in
+//! the regime the paper studies while staying bench-sized; the `fig7` report
+//! binary runs the larger configuration with the paper's exact bound sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::prelude::*;
+use std::time::Duration;
+
+fn workload() -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>, BoundingBox) {
+    let extent = BoundingBox::from_bounds(0.0, 0.0, 4_000.0, 4_000.0);
+    let taxi = TaxiPointGenerator::new(extent, 13)
+        .cluster_stddev(200.0)
+        .generate(150_000);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(extent, 25, 80, 17).generate();
+    (points, values, regions, extent)
+}
+
+fn bench_brj(c: &mut Criterion) {
+    let (points, values, regions, extent) = workload();
+    let device = SimulatedDevice::new(1_024, 128 * 1024 * 1024);
+
+    let mut group = c.benchmark_group("fig7_brj");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // The accurate baseline the figure compares against.
+    let baseline = GpuBaseline::build(&points, &extent);
+    group.bench_function("accurate_baseline_grid_pip", |b| {
+        b.iter(|| baseline.aggregate(&points, Some(&values), &regions))
+    });
+
+    // BRJ across the bound sweep: 10 m fits in one canvas, 1 m forces tiling
+    // on the simulated device (1024-pixel limit over a 4 km extent).
+    for &bound_m in &[10.0f64, 5.0, 2.5, 1.0] {
+        let brj = BoundedRasterJoin::new(&device, DistanceBound::meters(bound_m));
+        group.bench_with_input(BenchmarkId::new("brj_bound_m", bound_m as u32), &bound_m, |b, _| {
+            b.iter(|| brj.execute(&points, Some(&values), &regions, &extent))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_brj);
+criterion_main!(benches);

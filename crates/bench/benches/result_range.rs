@@ -1,0 +1,64 @@
+//! Criterion bench for Experiment E6 (Section 6): the overhead of result
+//! range estimation on top of the approximate join.
+//!
+//! The ranges are a by-product of the boundary-cell counters the join keeps
+//! anyway, so computing them should cost next to nothing compared to the
+//! join itself — that is what this bench demonstrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::prelude::*;
+use dbsa_bench::Workload;
+use std::time::Duration;
+
+fn bench_result_ranges(c: &mut Criterion) {
+    let workload = Workload::new(50_000, 36, 31, 29);
+
+    let mut group = c.benchmark_group("result_range");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &bound_m in &[20.0f64, 5.0] {
+        let join = ApproximateCellJoin::build(
+            &workload.regions,
+            &workload.extent,
+            DistanceBound::meters(bound_m),
+        );
+        // The join alone.
+        group.bench_with_input(BenchmarkId::new("join_only", bound_m as u32), &bound_m, |b, _| {
+            b.iter(|| join.execute(&workload.points, &workload.values))
+        });
+        // Join + range derivation (what an application would actually run).
+        group.bench_with_input(
+            BenchmarkId::new("join_with_ranges", bound_m as u32),
+            &bound_m,
+            |b, _| {
+                b.iter(|| {
+                    let result = join.execute(&workload.points, &workload.values);
+                    let ranges: Vec<ResultRange> =
+                        result.regions.iter().map(ResultRange::count_range).collect();
+                    (result, ranges)
+                })
+            },
+        );
+        // Range derivation alone, from a precomputed result.
+        let precomputed = join.execute(&workload.points, &workload.values);
+        group.bench_with_input(
+            BenchmarkId::new("ranges_only", bound_m as u32),
+            &bound_m,
+            |b, _| {
+                b.iter(|| {
+                    precomputed
+                        .regions
+                        .iter()
+                        .map(ResultRange::count_range)
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_result_ranges);
+criterion_main!(benches);

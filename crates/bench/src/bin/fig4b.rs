@@ -1,0 +1,65 @@
+//! Experiment E2 — Figure 4(b): impact of the precision of the raster
+//! approximation on the number of qualifying points.
+//!
+//! For each index variant, "qualifying points" are the points the index
+//! deems relevant for a query polygon before (or without) refinement:
+//!
+//! * RS-32 / RS-128 / RS-512 — points inside the hierarchical raster cells
+//!   of the query polygon (these are also the final answer: no refinement),
+//! * MBR filtering — points inside the query polygon's MBR (the candidates
+//!   every tree baseline must refine),
+//! * exact — the true number of contained points.
+//!
+//! The paper's claim: at 512 cells per polygon the RS variant is almost
+//! indistinguishable from exact, while MBR filtering vastly over-qualifies.
+
+use dbsa::prelude::*;
+use dbsa_bench::{print_header, Workload};
+
+fn main() {
+    let config = dbsa::ExperimentConfig {
+        experiment: "fig4b".into(),
+        points: 200_000,
+        regions: 256,
+        vertices_per_region: 14,
+        distance_bounds: vec![],
+        precision_levels: vec![32, 128, 512],
+        seed: 2021,
+    };
+    print_header(
+        "Figure 4(b)",
+        "number of qualifying points vs. raster precision (totals over all query polygons)",
+        &config,
+    );
+
+    let workload = Workload::from_profile_like(config.points, config.regions, config.vertices_per_region, config.seed);
+    let table = LinearizedPointTable::build(&workload.points, &workload.values, &workload.extent);
+
+    // Exact reference and MBR-filter qualifying counts.
+    let mut exact_total = 0u64;
+    let mut mbr_total = 0u64;
+    let baseline = SpatialBaseline::build(SpatialBaselineKind::KdTree, &workload.points, &workload.values);
+    for region in &workload.regions {
+        let (agg, qualifying) = baseline.aggregate_multipolygon(region);
+        exact_total += agg.count;
+        mbr_total += qualifying;
+    }
+
+    println!("{:<18} | {:>18} | {:>22}", "variant", "qualifying points", "overshoot vs. exact");
+    println!("{:-<18}-+-{:-<18}-+-{:-<22}", "", "", "");
+    println!("{:<18} | {:>18} | {:>21.2}%", "exact", exact_total, 0.0);
+    for &cells in &config.precision_levels {
+        let mut total = 0u64;
+        for region in &workload.regions {
+            let (agg, _) = table.aggregate_polygon(region, cells, PointIndexVariant::RadixSpline);
+            total += agg.count;
+        }
+        let overshoot = (total as f64 - exact_total as f64) / exact_total as f64 * 100.0;
+        println!("{:<18} | {:>18} | {:>21.2}%", format!("RS-{cells} (raster)"), total, overshoot);
+    }
+    let mbr_overshoot = (mbr_total as f64 - exact_total as f64) / exact_total as f64 * 100.0;
+    println!("{:<18} | {:>18} | {:>21.2}%", "MBR filter", mbr_total, mbr_overshoot);
+
+    println!();
+    println!("expected shape (paper): RS-512 ≈ exact; RS-32 noticeably above; the MBR filter far above all.");
+}

@@ -1,0 +1,104 @@
+//! Experiment E3 / E3b — Figure 6: main-memory spatial aggregation join,
+//! plus the in-text index memory-footprint comparison.
+//!
+//! Joins the point table against three polygon datasets (Boroughs /
+//! Neighborhoods / Census profiles) with:
+//!
+//! * ACT — the approximate index-nested-loop join over distance-bounded
+//!   hierarchical rasters (4 m bound, as in the paper),
+//! * R-tree — exact join over the polygons' MBRs with PIP refinement,
+//! * SI — exact join over an S2ShapeIndex-like coarse cell covering.
+//!
+//! The paper's shape: ACT wins everywhere; the gap is largest for Boroughs
+//! (few, very complex polygons → expensive PIP tests) and smallest for
+//! Census (many simple polygons). ACT pays for this with a much larger
+//! memory footprint (paper: 143 MB vs. 1.2 MB vs. 27.9 KB for
+//! Neighborhoods).
+
+use dbsa::prelude::*;
+use dbsa_bench::{fmt_bytes, fmt_ms, print_header, timed, Workload};
+
+fn main() {
+    let n_points = 300_000;
+    let bound = DistanceBound::meters(4.0);
+    let config = dbsa::ExperimentConfig {
+        experiment: "fig6".into(),
+        points: n_points,
+        regions: 0, // per-profile below
+        vertices_per_region: 0,
+        distance_bounds: vec![4.0],
+        precision_levels: vec![],
+        seed: 2021,
+    };
+    print_header(
+        "Figure 6",
+        "main-memory join: ACT (approximate, 4 m bound) vs. R-tree and SI (exact)",
+        &config,
+    );
+
+    println!(
+        "{:<14} | {:>8} | {:>12} | {:>12} | {:>12} | {:>10} | {:>10}",
+        "dataset", "regions", "ACT join", "R-tree join", "SI join", "R-tree/ACT", "SI/ACT"
+    );
+    println!(
+        "{:-<14}-+-{:-<8}-+-{:-<12}-+-{:-<12}-+-{:-<12}-+-{:-<10}-+-{:-<10}",
+        "", "", "", "", "", "", ""
+    );
+
+    let mut footprints = Vec::new();
+    for profile in DatasetProfile::ALL {
+        let workload = Workload::from_profile(n_points, profile, config.seed);
+
+        let (act_join, _) = timed(|| ApproximateCellJoin::build(&workload.regions, &workload.extent, bound));
+        let (rtree_join, _) = timed(|| RTreeExactJoin::build(&workload.regions));
+        let (shape_join, _) = timed(|| ShapeIndexExactJoin::build(&workload.regions, &workload.extent));
+
+        let (act_res, act_time) = timed(|| act_join.execute(&workload.points, &workload.values));
+        let (rtree_res, rtree_time) = timed(|| rtree_join.execute(&workload.points, &workload.values));
+        let (_, shape_time) = timed(|| shape_join.execute(&workload.points, &workload.values));
+
+        let speedup_rtree = rtree_time.as_secs_f64() / act_time.as_secs_f64();
+        let speedup_shape = shape_time.as_secs_f64() / act_time.as_secs_f64();
+        println!(
+            "{:<14} | {:>8} | {:>12} | {:>12} | {:>12} | {:>9.1}x | {:>9.1}x",
+            profile.name(),
+            workload.regions.len(),
+            fmt_ms(act_time),
+            fmt_ms(rtree_time),
+            fmt_ms(shape_time),
+            speedup_rtree,
+            speedup_shape,
+        );
+
+        let err = ErrorSummary::from_pairs(
+            act_res
+                .regions
+                .iter()
+                .zip(&rtree_res.regions)
+                .map(|(a, e)| (a.count as f64, e.count as f64)),
+        );
+        println!("{:<14} |   count error of the approximate join: {}", "", err);
+
+        if profile == DatasetProfile::Neighborhoods {
+            footprints.push((
+                act_join.memory_bytes(),
+                shape_join.memory_bytes(),
+                rtree_join.memory_bytes(),
+                act_join.raster_cell_count(),
+            ));
+        }
+    }
+
+    // E3b: the in-text memory comparison, reported for Neighborhoods.
+    if let Some((act_b, si_b, rtree_b, cells)) = footprints.pop() {
+        println!();
+        println!("index memory footprint (Neighborhoods profile, 4 m bound) — paper: 143 MB / 1.2 MB / 27.9 KB");
+        println!("  ACT:    {:>10}   ({} raster cells)", fmt_bytes(act_b), cells);
+        println!("  SI:     {:>10}", fmt_bytes(si_b));
+        println!("  R-tree: {:>10}", fmt_bytes(rtree_b));
+    }
+
+    println!();
+    println!("expected shape (paper): ACT fastest everywhere; largest gap on Boroughs (663-vertex polygons),");
+    println!("smallest on Census (13.6-vertex polygons); ACT's footprint orders of magnitude above SI and R-tree.");
+}

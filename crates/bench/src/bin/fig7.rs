@@ -1,0 +1,100 @@
+//! Experiment E4 — Figure 7: Bounded Raster Join vs. the accurate baseline
+//! while varying the distance bound.
+//!
+//! The paper joins 600 M taxi points with 260 NYC neighbourhood regions on a
+//! GTX 1060 (3 GB usable) and reports: ~8.5× speedup at a 10 m bound with a
+//! median count error of ~0.15 %, shrinking advantage as the bound tightens,
+//! and a loss below ~1 m when the required canvas resolution exceeds the
+//! device limit and BRJ has to tile.
+//!
+//! This reproduction runs the identical algebra on the software rasterizer
+//! with a simulated device limit. To keep the point-count : canvas-resolution
+//! ratio in the regime the paper operates in (billions of points per GPU
+//! canvas), the workload is a dense downtown subset: an 8 km × 8 km extent
+//! with 1 M points and 64 complex regions, and a 2048-pixel simulated canvas
+//! limit. The bounds swept are the paper's own (10 m, 5 m, 2.5 m, 1 m); the
+//! speedup factors differ (CPU constant factors) but the shape — a clear win
+//! at 10 m eroding to a loss once tiling kicks in — is preserved.
+
+use dbsa::prelude::*;
+use dbsa_bench::{fmt_ms, print_header, timed};
+
+fn main() {
+    let extent = BoundingBox::from_bounds(0.0, 0.0, 8_000.0, 8_000.0);
+    let n_points = 1_000_000;
+    let n_regions = 64;
+    let config = dbsa::ExperimentConfig {
+        experiment: "fig7".into(),
+        points: n_points,
+        regions: n_regions,
+        vertices_per_region: 120,
+        distance_bounds: vec![10.0, 5.0, 2.5, 1.0],
+        precision_levels: vec![],
+        seed: 2021,
+    };
+    print_header(
+        "Figure 7",
+        "Bounded Raster Join: impact of the distance bound on performance and accuracy",
+        &config,
+    );
+
+    let taxi = TaxiPointGenerator::new(extent, config.seed)
+        .cluster_stddev(300.0)
+        .generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(extent, n_regions, config.vertices_per_region, config.seed + 1)
+        .multipolygon_fraction(0.1)
+        .generate();
+
+    // The simulated device: canvases above 2048² must be tiled — the scaled
+    // equivalent of the paper's 3 GB GPU limit.
+    let device = SimulatedDevice::new(2_048, 256 * 1024 * 1024);
+
+    // Accurate baseline: grid filter (1024² cells) + exact PIP tests.
+    let (baseline, build) = timed(|| GpuBaseline::build(&points, &extent));
+    let (exact, baseline_time) = timed(|| baseline.aggregate(&points, Some(&values), &regions).0);
+    println!(
+        "accurate baseline (grid 1024² + PIP): {} (index build {})",
+        fmt_ms(baseline_time),
+        fmt_ms(build)
+    );
+    println!();
+    println!(
+        "{:<10} | {:>10} | {:>12} | {:>8} | {:>10} | {:>14}",
+        "bound", "BRJ time", "speedup", "tiles", "resolution", "median error"
+    );
+    println!(
+        "{:-<10}-+-{:-<10}-+-{:-<12}-+-{:-<8}-+-{:-<10}-+-{:-<14}",
+        "", "", "", "", "", ""
+    );
+
+    for &bound_m in &config.distance_bounds {
+        let brj = BoundedRasterJoin::new(&device, DistanceBound::meters(bound_m));
+        let ((approx, stats), brj_time) =
+            timed(|| brj.execute(&points, Some(&values), &regions, &extent));
+        let speedup = baseline_time.as_secs_f64() / brj_time.as_secs_f64();
+        let mut errors: Vec<f64> = approx
+            .iter()
+            .zip(&exact)
+            .filter(|(_, e)| e.count > 0.0)
+            .map(|(a, e)| (a.count - e.count).abs() / e.count)
+            .collect();
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median_err = errors.get(errors.len() / 2).copied().unwrap_or(0.0) * 100.0;
+
+        println!(
+            "{:>7.1} m | {:>10} | {:>11.2}x | {:>8} | {:>10} | {:>13.3}%",
+            bound_m,
+            fmt_ms(brj_time),
+            speedup,
+            stats.tiles_per_axis * stats.tiles_per_axis,
+            stats.required_resolution,
+            median_err,
+        );
+    }
+
+    println!();
+    println!("expected shape (paper): clear speedup at 10 m with a sub-percent median error; the advantage");
+    println!("shrinks as the bound tightens and flips once the canvas must be tiled (the paper's 1 m point).");
+}

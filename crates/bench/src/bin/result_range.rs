@@ -1,0 +1,65 @@
+//! Experiment E6 — Section 6: result-range estimation.
+//!
+//! Runs the conservative approximate join at several distance bounds and
+//! reports, per bound: the average guaranteed interval width, the relative
+//! width, the fraction of regions whose exact count falls inside the
+//! interval (must be 100 %), and the time to compute the ranges (they are a
+//! by-product of the join, so the overhead is negligible).
+
+use dbsa::prelude::*;
+use dbsa_bench::{fmt_ms, print_header, timed, Workload};
+
+fn main() {
+    let config = dbsa::ExperimentConfig {
+        experiment: "result_range".into(),
+        points: 200_000,
+        regions: 289,
+        vertices_per_region: 31,
+        distance_bounds: vec![50.0, 20.0, 10.0, 5.0, 2.5],
+        precision_levels: vec![],
+        seed: 2021,
+    };
+    print_header(
+        "Result-range estimation (Section 6)",
+        "guaranteed [α − β, α] count intervals from the conservative approximate join",
+        &config,
+    );
+
+    let workload = Workload::new(config.points, config.regions, config.vertices_per_region, config.seed);
+    let exact = RTreeExactJoin::build(&workload.regions).execute(&workload.points, &workload.values);
+
+    println!(
+        "{:<9} | {:>12} | {:>16} | {:>16} | {:>18}",
+        "bound", "join time", "avg width", "avg rel. width", "exact inside range"
+    );
+    println!(
+        "{:-<9}-+-{:-<12}-+-{:-<16}-+-{:-<16}-+-{:-<18}",
+        "", "", "", "", ""
+    );
+
+    for &bound_m in &config.distance_bounds {
+        let join = ApproximateCellJoin::build(&workload.regions, &workload.extent, DistanceBound::meters(bound_m));
+        let (result, join_time) = timed(|| join.execute(&workload.points, &workload.values));
+        let ranges: Vec<ResultRange> = result.regions.iter().map(ResultRange::count_range).collect();
+        let covered = ranges
+            .iter()
+            .zip(&exact.regions)
+            .filter(|(r, e)| r.contains(e.count as f64))
+            .count();
+        let avg_width: f64 = ranges.iter().map(ResultRange::width).sum::<f64>() / ranges.len() as f64;
+        let avg_rel: f64 = ranges.iter().map(ResultRange::relative_width).sum::<f64>() / ranges.len() as f64;
+        println!(
+            "{:>6.1} m | {:>12} | {:>16.1} | {:>15.2}% | {:>11}/{:<6}",
+            bound_m,
+            fmt_ms(join_time),
+            avg_width,
+            avg_rel * 100.0,
+            covered,
+            ranges.len(),
+        );
+    }
+
+    println!();
+    println!("expected shape: the exact count lies inside every interval (100% coverage), and the interval");
+    println!("width shrinks roughly linearly with the bound (fewer points fall into boundary cells).");
+}

@@ -1,0 +1,146 @@
+//! # dbsa-bench — benchmark harness
+//!
+//! One report binary and one Criterion bench per figure of the paper's
+//! evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! the recorded results):
+//!
+//! | experiment | paper artifact | report binary | criterion bench |
+//! |------------|----------------|---------------|-----------------|
+//! | E1 | Figure 4(a) — data-access query time | `cargo run --release -p dbsa-bench --bin fig4a` | `fig4a_data_access` |
+//! | E2 | Figure 4(b) — qualifying points vs. precision | `… --bin fig4b` | `fig4b_precision` |
+//! | E3/E3b | Figure 6 + memory footprints — main-memory join | `… --bin fig6` | `fig6_join` |
+//! | E4 | Figure 7 — Bounded Raster Join vs. GPU baseline | `… --bin fig7` | `fig7_brj` |
+//! | E6 | §6 — result-range estimation | `… --bin result_range` | `result_range` |
+//! | —  | ablations (curve choice, boundary policy, spline error) | — | `ablations` |
+//!
+//! The report binaries print the same rows/series the paper plots; the
+//! Criterion benches measure the individual operations with statistical
+//! rigour. Workload sizes are laptop-scale (hundreds of thousands of points
+//! instead of 1.2 billion); EXPERIMENTS.md discusses how the shapes compare.
+
+use dbsa::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A shared, seeded workload: clustered points with fare attributes plus a
+/// polygon dataset generated from one of the paper's profiles.
+pub struct Workload {
+    /// Pickup locations.
+    pub points: Vec<Point>,
+    /// Fare attribute per point.
+    pub values: Vec<f64>,
+    /// Query / group-by regions.
+    pub regions: Vec<MultiPolygon>,
+    /// Grid extent shared by every component.
+    pub extent: GridExtent,
+}
+
+impl Workload {
+    /// Builds a workload with an explicit region count and complexity.
+    pub fn new(n_points: usize, n_regions: usize, vertices: usize, seed: u64) -> Self {
+        let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+        let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let regions = PolygonSetGenerator::new(city_extent(), n_regions, vertices, seed + 1).generate();
+        Workload {
+            points,
+            values,
+            regions,
+            extent: GridExtent::covering(&city_extent()),
+        }
+    }
+
+    /// Builds a workload whose regions follow the paper's census-style role
+    /// (fixed query polygons): explicit count and complexity, rotated off
+    /// the axis like real administrative boundaries so that MBR filtering
+    /// behaves realistically.
+    pub fn from_profile_like(n_points: usize, n_regions: usize, vertices: usize, seed: u64) -> Self {
+        let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+        let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let regions = PolygonSetGenerator::new(city_extent(), n_regions, vertices, seed + 1)
+            .rotation(0.45)
+            .generate();
+        Workload {
+            points,
+            values,
+            regions,
+            extent: GridExtent::covering(&city_extent()),
+        }
+    }
+
+    /// Builds a workload from one of the paper's dataset profiles.
+    pub fn from_profile(n_points: usize, profile: DatasetProfile, seed: u64) -> Self {
+        let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+        let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let regions = PolygonSetGenerator::from_profile(city_extent(), profile, seed + 1).generate();
+        Workload {
+            points,
+            values,
+            regions,
+            extent: GridExtent::covering(&city_extent()),
+        }
+    }
+
+    /// The world extent as a bounding box.
+    pub fn extent_bbox(&self) -> BoundingBox {
+        city_extent()
+    }
+}
+
+/// Times a closure once and returns its result with the elapsed wall time.
+pub fn timed<T, F: FnOnce() -> T>(f: F) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration in engineering-friendly milliseconds.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.2} ms", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a byte count like the paper does (KB / MB).
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1024 * 1024 {
+        format!("{:.1} MB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 1024 {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Prints a report header with the experiment id and configuration.
+pub fn print_header(experiment: &str, description: &str, config: &dbsa::ExperimentConfig) {
+    println!("================================================================");
+    println!("{experiment}: {description}");
+    println!("config: {}", config.to_json());
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_construction() {
+        let w = Workload::new(1_000, 9, 16, 3);
+        assert_eq!(w.points.len(), 1_000);
+        assert_eq!(w.values.len(), 1_000);
+        assert_eq!(w.regions.len(), 9);
+        assert!(w.extent_bbox().area() > 0.0);
+        let p = Workload::from_profile(500, DatasetProfile::Boroughs, 3);
+        assert_eq!(p.regions.len(), 5);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        let (value, elapsed) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(fmt_ms(elapsed).ends_with("ms"));
+        assert_eq!(fmt_bytes(500), "500 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0 MB");
+    }
+}

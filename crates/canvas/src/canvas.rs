@@ -1,0 +1,226 @@
+//! The rasterized canvas: a pixel grid with aggregate channels.
+
+use dbsa_geom::{BoundingBox, Point};
+
+/// Number of value channels per pixel (mirrors the r/g/b/a channels the GPU
+/// implementation stores partial aggregates in).
+pub const CHANNELS: usize = 4;
+
+/// A rasterized canvas: `width x height` pixels over a world-space viewport,
+/// each pixel holding four `f64` aggregate channels.
+///
+/// Conventions used by the join operators:
+/// * channel 0 — `COUNT` of points in the pixel,
+/// * channel 1 — `SUM` of the aggregated attribute,
+/// * channel 2 / 3 — free (used for coverage masks and intermediates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canvas {
+    width: usize,
+    height: usize,
+    viewport: BoundingBox,
+    pixels: Vec<[f64; CHANNELS]>,
+}
+
+impl Canvas {
+    /// Creates an empty (all-zero) canvas.
+    ///
+    /// # Panics
+    /// Panics if the dimensions are zero or the viewport is empty.
+    pub fn new(width: usize, height: usize, viewport: BoundingBox) -> Self {
+        assert!(width > 0 && height > 0, "canvas dimensions must be positive");
+        assert!(!viewport.is_empty(), "canvas viewport must not be empty");
+        Canvas {
+            width,
+            height,
+            viewport,
+            pixels: vec![[0.0; CHANNELS]; width * height],
+        }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The world-space viewport the canvas covers.
+    pub fn viewport(&self) -> &BoundingBox {
+        &self.viewport
+    }
+
+    /// World-space width of one pixel.
+    pub fn pixel_width(&self) -> f64 {
+        self.viewport.width() / self.width as f64
+    }
+
+    /// World-space height of one pixel.
+    pub fn pixel_height(&self) -> f64 {
+        self.viewport.height() / self.height as f64
+    }
+
+    /// World-space diagonal of one pixel (the distance-bound quantity).
+    pub fn pixel_diagonal(&self) -> f64 {
+        (self.pixel_width().powi(2) + self.pixel_height().powi(2)).sqrt()
+    }
+
+    /// Number of pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Raw pixel storage (row-major, bottom row first).
+    pub fn pixels(&self) -> &[[f64; CHANNELS]] {
+        &self.pixels
+    }
+
+    /// Mutable raw pixel storage.
+    pub fn pixels_mut(&mut self) -> &mut [[f64; CHANNELS]] {
+        &mut self.pixels
+    }
+
+    /// Converts a world point to pixel coordinates, or `None` if outside the
+    /// viewport.
+    pub fn world_to_pixel(&self, p: &Point) -> Option<(usize, usize)> {
+        if !self.viewport.contains_point(p) {
+            return None;
+        }
+        let fx = (p.x - self.viewport.min.x) / self.viewport.width();
+        let fy = (p.y - self.viewport.min.y) / self.viewport.height();
+        let px = ((fx * self.width as f64) as usize).min(self.width - 1);
+        let py = ((fy * self.height as f64) as usize).min(self.height - 1);
+        Some((px, py))
+    }
+
+    /// World-space center of a pixel.
+    pub fn pixel_center(&self, px: usize, py: usize) -> Point {
+        Point::new(
+            self.viewport.min.x + (px as f64 + 0.5) * self.pixel_width(),
+            self.viewport.min.y + (py as f64 + 0.5) * self.pixel_height(),
+        )
+    }
+
+    /// World-space box of a pixel.
+    pub fn pixel_bbox(&self, px: usize, py: usize) -> BoundingBox {
+        let min_x = self.viewport.min.x + px as f64 * self.pixel_width();
+        let min_y = self.viewport.min.y + py as f64 * self.pixel_height();
+        BoundingBox::from_bounds(min_x, min_y, min_x + self.pixel_width(), min_y + self.pixel_height())
+    }
+
+    /// Reads a pixel.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of range.
+    pub fn get(&self, px: usize, py: usize) -> [f64; CHANNELS] {
+        assert!(px < self.width && py < self.height, "pixel ({px},{py}) out of range");
+        self.pixels[py * self.width + px]
+    }
+
+    /// Writes a pixel.
+    pub fn set(&mut self, px: usize, py: usize, value: [f64; CHANNELS]) {
+        assert!(px < self.width && py < self.height, "pixel ({px},{py}) out of range");
+        self.pixels[py * self.width + px] = value;
+    }
+
+    /// Adds `value` channel-wise to a pixel.
+    pub fn accumulate(&mut self, px: usize, py: usize, value: [f64; CHANNELS]) {
+        assert!(px < self.width && py < self.height, "pixel ({px},{py}) out of range");
+        let cell = &mut self.pixels[py * self.width + px];
+        for c in 0..CHANNELS {
+            cell[c] += value[c];
+        }
+    }
+
+    /// Channel-wise sum over every pixel (the final reduction step of the
+    /// aggregation plan).
+    pub fn reduce_sum(&self) -> [f64; CHANNELS] {
+        let mut out = [0.0; CHANNELS];
+        for px in &self.pixels {
+            for c in 0..CHANNELS {
+                out[c] += px[c];
+            }
+        }
+        out
+    }
+
+    /// Number of pixels for which `predicate` holds.
+    pub fn count_pixels<F: Fn(&[f64; CHANNELS]) -> bool>(&self, predicate: F) -> usize {
+        self.pixels.iter().filter(|p| predicate(p)).count()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.pixels.len() * std::mem::size_of::<[f64; CHANNELS]>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viewport() -> BoundingBox {
+        BoundingBox::from_bounds(0.0, 0.0, 100.0, 50.0)
+    }
+
+    #[test]
+    fn construction_and_pixel_geometry() {
+        let c = Canvas::new(200, 100, viewport());
+        assert_eq!(c.width(), 200);
+        assert_eq!(c.height(), 100);
+        assert_eq!(c.pixel_count(), 20_000);
+        assert_eq!(c.pixel_width(), 0.5);
+        assert_eq!(c.pixel_height(), 0.5);
+        assert!((c.pixel_diagonal() - 0.5 * 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(c.memory_bytes(), 20_000 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_zero_dimensions() {
+        let _ = Canvas::new(0, 10, viewport());
+    }
+
+    #[test]
+    #[should_panic(expected = "viewport must not be empty")]
+    fn rejects_empty_viewport() {
+        let _ = Canvas::new(10, 10, BoundingBox::EMPTY);
+    }
+
+    #[test]
+    fn world_pixel_round_trip() {
+        let c = Canvas::new(100, 50, viewport());
+        let (px, py) = c.world_to_pixel(&Point::new(12.3, 45.6)).unwrap();
+        assert_eq!((px, py), (12, 45));
+        let center = c.pixel_center(px, py);
+        let bbox = c.pixel_bbox(px, py);
+        assert!(bbox.contains_point(&center));
+        assert!(bbox.contains_point(&Point::new(12.3, 45.6)));
+        // Outside the viewport.
+        assert!(c.world_to_pixel(&Point::new(-1.0, 10.0)).is_none());
+        assert!(c.world_to_pixel(&Point::new(10.0, 60.0)).is_none());
+        // The max corner is clamped into the last pixel.
+        assert_eq!(c.world_to_pixel(&Point::new(100.0, 50.0)), Some((99, 49)));
+    }
+
+    #[test]
+    fn get_set_accumulate_and_reduce() {
+        let mut c = Canvas::new(4, 4, viewport());
+        c.set(1, 2, [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.get(1, 2), [1.0, 2.0, 3.0, 4.0]);
+        c.accumulate(1, 2, [1.0, 0.0, 0.0, -4.0]);
+        assert_eq!(c.get(1, 2), [2.0, 2.0, 3.0, 0.0]);
+        c.accumulate(0, 0, [5.0, 0.0, 0.0, 0.0]);
+        assert_eq!(c.reduce_sum(), [7.0, 2.0, 3.0, 0.0]);
+        assert_eq!(c.count_pixels(|p| p[0] > 0.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_access_panics() {
+        let c = Canvas::new(4, 4, viewport());
+        let _ = c.get(4, 0);
+    }
+}

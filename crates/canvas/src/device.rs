@@ -1,0 +1,133 @@
+//! Simulated rendering-device limits.
+//!
+//! The paper's Figure 7 explains the performance cliff of the Bounded Raster
+//! Join at tight distance bounds: when the bound forces a canvas resolution
+//! above what the GPU supports, the canvas has to be split into tiles and
+//! the join repeated per tile. This module models exactly that resource
+//! limit so the reproduction exhibits the same crossover, and tracks how
+//! much "device memory" a canvas would occupy.
+
+use parking_lot::Mutex;
+
+/// Resource limits of the simulated rendering device.
+#[derive(Debug)]
+pub struct SimulatedDevice {
+    /// Maximum canvas width/height in pixels (per render target).
+    max_canvas_dim: usize,
+    /// Bytes of device memory available for canvases.
+    memory_budget_bytes: usize,
+    /// Total pixels rendered so far (for reports); interior mutability so
+    /// rendering code can log against a shared device handle.
+    rendered_pixels: Mutex<u64>,
+}
+
+impl SimulatedDevice {
+    /// Defaults mirroring the paper's mobile GTX 1060 setup: 3 GB of usable
+    /// device memory and a practical 8192² maximum render-target size.
+    pub fn gtx1060_like() -> Self {
+        SimulatedDevice::new(8192, 3 * 1024 * 1024 * 1024)
+    }
+
+    /// A small device for tests: forces tiling early.
+    pub fn tiny(max_canvas_dim: usize) -> Self {
+        SimulatedDevice::new(max_canvas_dim, 64 * 1024 * 1024)
+    }
+
+    /// Creates a device with explicit limits.
+    pub fn new(max_canvas_dim: usize, memory_budget_bytes: usize) -> Self {
+        assert!(max_canvas_dim >= 16, "device must support at least 16x16 canvases");
+        SimulatedDevice {
+            max_canvas_dim,
+            memory_budget_bytes,
+            rendered_pixels: Mutex::new(0),
+        }
+    }
+
+    /// Maximum canvas dimension supported by the device.
+    pub fn max_canvas_dim(&self) -> usize {
+        self.max_canvas_dim
+    }
+
+    /// Device memory budget in bytes.
+    pub fn memory_budget_bytes(&self) -> usize {
+        self.memory_budget_bytes
+    }
+
+    /// Number of tiles (per axis) needed to cover a required resolution.
+    ///
+    /// A requirement within the device limit needs a single tile; beyond it,
+    /// the extent must be subdivided — this is what makes BRJ slower than
+    /// the baseline at very tight bounds (Figure 7's 1 m point).
+    pub fn tiles_for_resolution(&self, required_resolution: usize) -> usize {
+        required_resolution.div_ceil(self.max_canvas_dim).max(1)
+    }
+
+    /// Whether a `dim x dim` canvas fits on the device in one piece.
+    pub fn fits(&self, dim: usize) -> bool {
+        dim <= self.max_canvas_dim
+            && dim * dim * std::mem::size_of::<[f64; 4]>() <= self.memory_budget_bytes
+    }
+
+    /// Records that `pixels` were rendered (called by the join operators).
+    pub fn record_rendered(&self, pixels: u64) {
+        *self.rendered_pixels.lock() += pixels;
+    }
+
+    /// Total pixels rendered on this device so far.
+    pub fn rendered_pixels(&self) -> u64 {
+        *self.rendered_pixels.lock()
+    }
+}
+
+impl Default for SimulatedDevice {
+    fn default() -> Self {
+        Self::gtx1060_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_device_matches_paper_setup() {
+        let d = SimulatedDevice::default();
+        assert_eq!(d.max_canvas_dim(), 8192);
+        assert_eq!(d.memory_budget_bytes(), 3 * 1024 * 1024 * 1024);
+        assert!(d.fits(4096));
+        assert!(!d.fits(10_000));
+    }
+
+    #[test]
+    fn tiling_kicks_in_past_the_limit() {
+        let d = SimulatedDevice::tiny(1024);
+        assert_eq!(d.tiles_for_resolution(512), 1);
+        assert_eq!(d.tiles_for_resolution(1024), 1);
+        assert_eq!(d.tiles_for_resolution(1025), 2);
+        assert_eq!(d.tiles_for_resolution(5000), 5);
+        assert_eq!(d.tiles_for_resolution(0), 1);
+    }
+
+    #[test]
+    fn memory_budget_limits_single_canvas() {
+        // 64 MB budget: a 2048x2048 canvas of 32-byte pixels is 128 MB.
+        let d = SimulatedDevice::tiny(4096);
+        assert!(d.fits(1024));
+        assert!(!d.fits(2048));
+    }
+
+    #[test]
+    fn rendered_pixel_accounting() {
+        let d = SimulatedDevice::tiny(256);
+        assert_eq!(d.rendered_pixels(), 0);
+        d.record_rendered(1000);
+        d.record_rendered(24);
+        assert_eq!(d.rendered_pixels(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16x16")]
+    fn rejects_degenerate_device() {
+        let _ = SimulatedDevice::new(8, 1024);
+    }
+}

@@ -1,0 +1,210 @@
+//! Accurate "GPU baseline" for spatial aggregation (paper Section 5.2).
+//!
+//! The baseline the paper compares the Bounded Raster Join against follows
+//! the traditional index-based strategy: filter the points with a uniform
+//! grid index (1024² cells in the paper) and then run an exact
+//! point-in-polygon (PIP) test for every candidate. The expensive part is
+//! the PIP refinement — the step whose elimination the distance-bounded
+//! approach is all about. Like the rest of this crate it runs on the CPU;
+//! the relative cost of filter vs. refinement is what matters for the
+//! reproduction.
+
+use crate::brj::JoinAggregate;
+use dbsa_geom::{BoundingBox, MultiPolygon, Point};
+
+/// Uniform grid index over points plus exact PIP refinement.
+#[derive(Debug)]
+pub struct GpuBaseline {
+    extent: BoundingBox,
+    resolution: usize,
+    /// Point indices per grid cell (row-major).
+    cells: Vec<Vec<u32>>,
+}
+
+/// Statistics of one baseline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BaselineStats {
+    /// Number of candidate points produced by the grid filter.
+    pub candidates: u64,
+    /// Number of exact point-in-polygon tests performed.
+    pub pip_tests: u64,
+}
+
+impl GpuBaseline {
+    /// Grid resolution used by the paper's baseline.
+    pub const DEFAULT_RESOLUTION: usize = 1024;
+
+    /// Builds the grid index over the points with the default resolution.
+    pub fn build(points: &[Point], extent: &BoundingBox) -> Self {
+        Self::with_resolution(points, extent, Self::DEFAULT_RESOLUTION)
+    }
+
+    /// Builds the grid index with an explicit resolution.
+    pub fn with_resolution(points: &[Point], extent: &BoundingBox, resolution: usize) -> Self {
+        assert!(resolution >= 1, "grid resolution must be positive");
+        assert!(!extent.is_empty(), "extent must not be empty");
+        let mut cells = vec![Vec::new(); resolution * resolution];
+        for (i, p) in points.iter().enumerate() {
+            if let Some(idx) = cell_index(extent, resolution, p) {
+                cells[idx].push(i as u32);
+            }
+        }
+        GpuBaseline {
+            extent: *extent,
+            resolution,
+            cells,
+        }
+    }
+
+    /// The grid resolution.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Evaluates the aggregation query exactly: for every polygon, grid
+    /// cells overlapping its bounding box provide candidate points, each of
+    /// which is verified with an exact PIP test.
+    pub fn aggregate(
+        &self,
+        points: &[Point],
+        values: Option<&[f64]>,
+        polygons: &[MultiPolygon],
+    ) -> (Vec<JoinAggregate>, BaselineStats) {
+        let mut stats = BaselineStats::default();
+        let mut out = Vec::with_capacity(polygons.len());
+        let cell_w = self.extent.width() / self.resolution as f64;
+        let cell_h = self.extent.height() / self.resolution as f64;
+        for polygon in polygons {
+            let mut agg = JoinAggregate::default();
+            let bbox = polygon.bbox().intersection(&self.extent);
+            if bbox.is_empty() {
+                out.push(agg);
+                continue;
+            }
+            let x0 = (((bbox.min.x - self.extent.min.x) / cell_w).floor().max(0.0)) as usize;
+            let y0 = (((bbox.min.y - self.extent.min.y) / cell_h).floor().max(0.0)) as usize;
+            let x1 = (((bbox.max.x - self.extent.min.x) / cell_w).ceil() as usize).min(self.resolution);
+            let y1 = (((bbox.max.y - self.extent.min.y) / cell_h).ceil() as usize).min(self.resolution);
+            for cy in y0..y1 {
+                for cx in x0..x1 {
+                    for &pi in &self.cells[cy * self.resolution + cx] {
+                        stats.candidates += 1;
+                        let p = &points[pi as usize];
+                        stats.pip_tests += 1;
+                        if polygon.contains_point(p) {
+                            agg.count += 1.0;
+                            agg.sum += values.map(|v| v[pi as usize]).unwrap_or(0.0);
+                        }
+                    }
+                }
+            }
+            out.push(agg);
+        }
+        (out, stats)
+    }
+}
+
+fn cell_index(extent: &BoundingBox, resolution: usize, p: &Point) -> Option<usize> {
+    if !extent.contains_point(p) {
+        return None;
+    }
+    let fx = (p.x - extent.min.x) / extent.width();
+    let fy = (p.y - extent.min.y) / extent.height();
+    let cx = ((fx * resolution as f64) as usize).min(resolution - 1);
+    let cy = ((fy * resolution as f64) as usize).min(resolution - 1);
+    Some(cy * resolution + cx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::Polygon;
+    use rand::prelude::*;
+
+    fn extent() -> BoundingBox {
+        BoundingBox::from_bounds(0.0, 0.0, 1000.0, 1000.0)
+    }
+
+    fn random_points(n: usize, seed: u64) -> (Vec<Point>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let vals: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        (pts, vals)
+    }
+
+    #[test]
+    fn baseline_is_exact() {
+        let (points, values) = random_points(10_000, 5);
+        let polys = vec![
+            MultiPolygon::from(Polygon::from_coords(&[(100.0, 100.0), (400.0, 150.0), (350.0, 450.0), (120.0, 380.0)])),
+            MultiPolygon::from(Polygon::from_coords(&[(600.0, 600.0), (900.0, 600.0), (750.0, 900.0)])),
+        ];
+        let baseline = GpuBaseline::with_resolution(&points, &extent(), 128);
+        let (aggs, stats) = baseline.aggregate(&points, Some(&values), &polys);
+        for (agg, poly) in aggs.iter().zip(&polys) {
+            let mut count = 0.0;
+            let mut sum = 0.0;
+            for (p, v) in points.iter().zip(&values) {
+                if poly.contains_point(p) {
+                    count += 1.0;
+                    sum += v;
+                }
+            }
+            assert_eq!(agg.count, count);
+            assert!((agg.sum - sum).abs() < 1e-9);
+        }
+        assert!(stats.pip_tests > 0);
+        assert!(stats.candidates >= stats.pip_tests);
+    }
+
+    #[test]
+    fn grid_filter_reduces_candidates() {
+        let (points, _) = random_points(20_000, 9);
+        let small_poly = vec![MultiPolygon::from(Polygon::from_coords(&[
+            (10.0, 10.0),
+            (60.0, 10.0),
+            (60.0, 60.0),
+            (10.0, 60.0),
+        ]))];
+        let baseline = GpuBaseline::build(&points, &extent());
+        let (_, stats) = baseline.aggregate(&points, None, &small_poly);
+        // The polygon covers 0.25% of the extent; the filter should discard
+        // the overwhelming majority of points before any PIP test.
+        assert!(
+            (stats.pip_tests as f64) < 0.02 * points.len() as f64,
+            "filter let too many candidates through: {}",
+            stats.pip_tests
+        );
+    }
+
+    #[test]
+    fn polygons_outside_extent_get_zero() {
+        let (points, _) = random_points(100, 1);
+        let baseline = GpuBaseline::with_resolution(&points, &extent(), 64);
+        let far = vec![MultiPolygon::from(Polygon::from_coords(&[
+            (5000.0, 5000.0),
+            (6000.0, 5000.0),
+            (6000.0, 6000.0),
+        ]))];
+        let (aggs, stats) = baseline.aggregate(&points, None, &far);
+        assert_eq!(aggs[0].count, 0.0);
+        assert_eq!(stats.pip_tests, 0);
+    }
+
+    #[test]
+    fn points_outside_extent_are_ignored() {
+        let points = vec![Point::new(-10.0, 500.0), Point::new(500.0, 500.0)];
+        let baseline = GpuBaseline::with_resolution(&points, &extent(), 16);
+        let all = vec![MultiPolygon::from(Polygon::rectangle(&extent()))];
+        let (aggs, _) = baseline.aggregate(&points, None, &all);
+        assert_eq!(aggs[0].count, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn rejects_zero_resolution() {
+        let _ = GpuBaseline::with_resolution(&[], &extent(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dbsa-canvas — rasterized canvas model and the Bounded Raster Join
+//!
+//! The paper's Section 4 proposes a GPU-friendly spatial data model: every
+//! geometry is rendered onto a **rasterized canvas** whose pixel size is
+//! derived from the distance bound, and queries are composed from a small
+//! algebra of parallelizable operators (blend, mask, affine transforms)
+//! rather than from geometry-specific monolithic operators.
+//!
+//! The original system runs this algebra on the GPU graphics pipeline
+//! (OpenGL, off-screen buffers, aggregates in the r/g/b/a color channels).
+//! This crate is the documented substitution: a **software rasterizer** that
+//! executes the identical algebra — same canvas representation, same
+//! operators, same tiling behaviour when the required resolution exceeds the
+//! simulated device limit — so that the Bounded Raster Join (Section 5.2,
+//! Figure 7) can be reproduced without GPU hardware. Only the constant
+//! factor differs; the accuracy/performance trade-off against the distance
+//! bound, which is what Figure 7 shows, is preserved.
+//!
+//! * [`Canvas`] — a W×H pixel grid with four `f64` channels per pixel and a
+//!   world-space viewport,
+//! * [`ops`] — the blend / mask / affine operator algebra,
+//! * [`rasterize`] — scanline polygon fill and point scattering,
+//! * [`SimulatedDevice`] — the "GPU" resource limits (maximum canvas
+//!   resolution) that force tiling at tight distance bounds,
+//! * [`BoundedRasterJoin`] — the approximate spatial aggregation join,
+//! * [`GpuBaseline`] — the accurate grid-filter + point-in-polygon baseline
+//!   it is compared against.
+
+pub mod brj;
+pub mod canvas;
+pub mod device;
+pub mod gpu_baseline;
+pub mod ops;
+pub mod rasterize;
+
+pub use brj::{BoundedRasterJoin, JoinAggregate};
+pub use canvas::Canvas;
+pub use device::SimulatedDevice;
+pub use gpu_baseline::GpuBaseline;
+pub use ops::{blend, mask, translate_scale, BlendFn};
+pub use rasterize::{rasterize_polygon_coverage, scatter_points};

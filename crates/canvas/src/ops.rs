@@ -1,0 +1,193 @@
+//! The canvas operator algebra: blend, mask and affine transforms.
+//!
+//! These are the three operator families of the GPU-friendly spatial algebra
+//! (Doraiswamy & Freire) that the paper adapts to distance-bounded
+//! approximate queries (Section 4, Figure 5). Every spatial query plan in
+//! the canvas model is a composition of these operators; because the canvas
+//! is already a bound-derived raster, none of them needs to handle geometric
+//! boundary conditions.
+
+use crate::canvas::{Canvas, CHANNELS};
+use dbsa_geom::BoundingBox;
+
+/// A per-channel blend function combining two pixel values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlendFn {
+    /// Channel-wise addition (used to merge partial point aggregates).
+    Add,
+    /// Channel-wise maximum.
+    Max,
+    /// Channel-wise minimum.
+    Min,
+    /// Keep the second canvas wherever it is non-zero, else the first
+    /// ("over" composition for coverage layers).
+    Over,
+}
+
+impl BlendFn {
+    /// Applies the blend to one pair of pixel values.
+    pub fn apply(&self, a: &[f64; CHANNELS], b: &[f64; CHANNELS]) -> [f64; CHANNELS] {
+        let mut out = [0.0; CHANNELS];
+        match self {
+            BlendFn::Add => {
+                for c in 0..CHANNELS {
+                    out[c] = a[c] + b[c];
+                }
+            }
+            BlendFn::Max => {
+                for c in 0..CHANNELS {
+                    out[c] = a[c].max(b[c]);
+                }
+            }
+            BlendFn::Min => {
+                for c in 0..CHANNELS {
+                    out[c] = a[c].min(b[c]);
+                }
+            }
+            BlendFn::Over => {
+                let b_nonzero = b.iter().any(|&v| v != 0.0);
+                out = if b_nonzero { *b } else { *a };
+            }
+        }
+        out
+    }
+}
+
+/// Blends two canvases pixel-by-pixel into a new canvas.
+///
+/// # Panics
+/// Panics if the canvases have different dimensions or viewports (the
+/// optimizer is responsible for aligning canvases before blending, exactly
+/// like the GPU implementation requires equal render-target sizes).
+pub fn blend(a: &Canvas, b: &Canvas, f: BlendFn) -> Canvas {
+    assert_eq!(a.width(), b.width(), "blend requires equal widths");
+    assert_eq!(a.height(), b.height(), "blend requires equal heights");
+    assert_eq!(a.viewport(), b.viewport(), "blend requires equal viewports");
+    let mut out = Canvas::new(a.width(), a.height(), *a.viewport());
+    for (o, (pa, pb)) in out
+        .pixels_mut()
+        .iter_mut()
+        .zip(a.pixels().iter().zip(b.pixels().iter()))
+    {
+        *o = f.apply(pa, pb);
+    }
+    out
+}
+
+/// Masks canvas `a` by a predicate over the mask canvas `m`: pixels where
+/// the predicate holds keep their value from `a`, the rest become zero.
+///
+/// # Panics
+/// Panics on dimension or viewport mismatch.
+pub fn mask<F: Fn(&[f64; CHANNELS]) -> bool>(a: &Canvas, m: &Canvas, predicate: F) -> Canvas {
+    assert_eq!(a.width(), m.width(), "mask requires equal widths");
+    assert_eq!(a.height(), m.height(), "mask requires equal heights");
+    assert_eq!(a.viewport(), m.viewport(), "mask requires equal viewports");
+    let mut out = Canvas::new(a.width(), a.height(), *a.viewport());
+    for (o, (pa, pm)) in out
+        .pixels_mut()
+        .iter_mut()
+        .zip(a.pixels().iter().zip(m.pixels().iter()))
+    {
+        *o = if predicate(pm) { *pa } else { [0.0; CHANNELS] };
+    }
+    out
+}
+
+/// Affine transform: re-samples canvas `a` onto a new viewport and
+/// resolution using nearest-neighbour sampling (translation + scaling, the
+/// transforms the aggregation plan needs when combining tile canvases).
+pub fn translate_scale(a: &Canvas, viewport: BoundingBox, width: usize, height: usize) -> Canvas {
+    let mut out = Canvas::new(width, height, viewport);
+    for py in 0..height {
+        for px in 0..width {
+            let center = out.pixel_center(px, py);
+            if let Some((sx, sy)) = a.world_to_pixel(&center) {
+                out.set(px, py, a.get(sx, sy));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::Point;
+
+    fn viewport() -> BoundingBox {
+        BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0)
+    }
+
+    fn canvas_with(values: &[((usize, usize), [f64; 4])]) -> Canvas {
+        let mut c = Canvas::new(10, 10, viewport());
+        for ((x, y), v) in values {
+            c.set(*x, *y, *v);
+        }
+        c
+    }
+
+    #[test]
+    fn blend_add_merges_partial_aggregates() {
+        let a = canvas_with(&[((1, 1), [1.0, 10.0, 0.0, 0.0]), ((2, 2), [2.0, 5.0, 0.0, 0.0])]);
+        let b = canvas_with(&[((1, 1), [3.0, 1.0, 0.0, 0.0])]);
+        let merged = blend(&a, &b, BlendFn::Add);
+        assert_eq!(merged.get(1, 1), [4.0, 11.0, 0.0, 0.0]);
+        assert_eq!(merged.get(2, 2), [2.0, 5.0, 0.0, 0.0]);
+        assert_eq!(merged.get(5, 5), [0.0; 4]);
+        // Blending preserves total mass for Add.
+        assert_eq!(merged.reduce_sum()[0], a.reduce_sum()[0] + b.reduce_sum()[0]);
+    }
+
+    #[test]
+    fn blend_max_min_over() {
+        let a = canvas_with(&[((0, 0), [1.0, 5.0, 0.0, 0.0])]);
+        let b = canvas_with(&[((0, 0), [3.0, 2.0, 0.0, 0.0])]);
+        assert_eq!(blend(&a, &b, BlendFn::Max).get(0, 0), [3.0, 5.0, 0.0, 0.0]);
+        assert_eq!(blend(&a, &b, BlendFn::Min).get(0, 0), [1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(blend(&a, &b, BlendFn::Over).get(0, 0), [3.0, 2.0, 0.0, 0.0]);
+        // Over keeps `a` where `b` is zero.
+        let zero_b = Canvas::new(10, 10, viewport());
+        assert_eq!(blend(&a, &zero_b, BlendFn::Over).get(0, 0), [1.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn blend_rejects_mismatched_canvases() {
+        let a = Canvas::new(10, 10, viewport());
+        let b = Canvas::new(20, 10, viewport());
+        let _ = blend(&a, &b, BlendFn::Add);
+    }
+
+    #[test]
+    fn mask_keeps_only_covered_pixels() {
+        // Point aggregates in `a`; polygon coverage in `m` channel 3.
+        let a = canvas_with(&[((1, 1), [5.0, 0.0, 0.0, 0.0]), ((8, 8), [7.0, 0.0, 0.0, 0.0])]);
+        let m = canvas_with(&[((1, 1), [0.0, 0.0, 0.0, 1.0])]);
+        let masked = mask(&a, &m, |p| p[3] > 0.0);
+        assert_eq!(masked.get(1, 1)[0], 5.0);
+        assert_eq!(masked.get(8, 8)[0], 0.0);
+        assert_eq!(masked.reduce_sum()[0], 5.0);
+    }
+
+    #[test]
+    fn translate_scale_resamples() {
+        let mut a = Canvas::new(10, 10, viewport());
+        a.set(3, 4, [9.0, 0.0, 0.0, 0.0]);
+        // Zoom into the quarter viewport around that pixel at double resolution.
+        let zoom = translate_scale(&a, BoundingBox::from_bounds(2.0, 3.0, 5.0, 6.0), 6, 6);
+        assert_eq!(zoom.width(), 6);
+        // The world point (3.5, 4.5) is the center of source pixel (3,4).
+        let (px, py) = zoom.world_to_pixel(&Point::new(3.5, 4.5)).unwrap();
+        assert_eq!(zoom.get(px, py)[0], 9.0);
+        // Pixels mapping to empty source pixels stay zero.
+        assert_eq!(zoom.get(0, 0)[0], 0.0);
+    }
+
+    #[test]
+    fn translate_scale_outside_source_is_zero() {
+        let a = canvas_with(&[((9, 9), [1.0, 0.0, 0.0, 0.0])]);
+        let shifted = translate_scale(&a, BoundingBox::from_bounds(50.0, 50.0, 60.0, 60.0), 10, 10);
+        assert_eq!(shifted.reduce_sum(), [0.0; 4]);
+    }
+}

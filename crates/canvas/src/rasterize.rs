@@ -1,0 +1,303 @@
+//! Software rasterization: scanline polygon fill and point scattering.
+//!
+//! This module is the substitute for the GPU rasterization stage: it turns
+//! geometries into canvas pixels exactly like the graphics pipeline would
+//! (pixel-center sampling for polygons, one fragment per point), just on the
+//! CPU. The benchmark harness uses it to generate the canvases consumed by
+//! the blend/mask algebra and the Bounded Raster Join.
+
+use crate::canvas::Canvas;
+use dbsa_geom::{MultiPolygon, Point, Polygon};
+
+/// Channel used for polygon coverage masks.
+pub const COVERAGE_CHANNEL: usize = 3;
+
+/// Scatters points onto a canvas: for each point inside the viewport, the
+/// containing pixel's channel 0 is incremented by 1 (COUNT) and channel 1 by
+/// the point's `value` (SUM).
+///
+/// Returns the number of points that fell inside the viewport.
+pub fn scatter_points(canvas: &mut Canvas, points: &[Point], values: Option<&[f64]>) -> usize {
+    if let Some(v) = values {
+        assert_eq!(v.len(), points.len(), "one value per point required");
+    }
+    let mut scattered = 0;
+    for (i, p) in points.iter().enumerate() {
+        if let Some((px, py)) = canvas.world_to_pixel(p) {
+            let value = values.map(|v| v[i]).unwrap_or(0.0);
+            canvas.accumulate(px, py, [1.0, value, 0.0, 0.0]);
+            scattered += 1;
+        }
+    }
+    scattered
+}
+
+/// Rasterizes a polygon's coverage into the [`COVERAGE_CHANNEL`] of a canvas
+/// using scanline filling with pixel-center sampling: a pixel is covered if
+/// its center lies inside the polygon (the GPU's default fill convention).
+///
+/// Returns the number of covered pixels.
+pub fn rasterize_polygon_coverage(canvas: &mut Canvas, polygon: &Polygon) -> usize {
+    rasterize_rings(canvas, polygon, 1.0)
+}
+
+/// Rasterizes every part of a multi-polygon.
+pub fn rasterize_multipolygon_coverage(canvas: &mut Canvas, mp: &MultiPolygon) -> usize {
+    mp.polygons()
+        .iter()
+        .map(|p| rasterize_polygon_coverage(canvas, p))
+        .sum()
+}
+
+/// Visits (without materializing a canvas) every pixel of `canvas` whose
+/// center lies inside the polygon. This is the fused mask+reduce used by the
+/// Bounded Raster Join: instead of rendering a polygon canvas and blending,
+/// the aggregation is applied directly to the covered pixels of the point
+/// canvas — the same pixels the mask operator would retain.
+pub fn for_each_covered_pixel<F: FnMut(usize, usize)>(
+    canvas: &Canvas,
+    polygon: &Polygon,
+    mut f: F,
+) {
+    scanline_spans(canvas, polygon, |y, x_start, x_end| {
+        for x in x_start..x_end {
+            f(x, y);
+        }
+    });
+}
+
+/// Core scanline algorithm: for every pixel row intersecting the polygon's
+/// bounding box, computes the crossings of the row's center line with the
+/// polygon edges and emits the covered pixel spans.
+fn scanline_spans<F: FnMut(usize, usize, usize)>(canvas: &Canvas, polygon: &Polygon, mut emit: F) {
+    let bbox = polygon.bbox();
+    if bbox.is_empty() || !bbox.intersects(canvas.viewport()) {
+        return;
+    }
+    let vp = canvas.viewport();
+    let ph = canvas.pixel_height();
+    let pw = canvas.pixel_width();
+
+    // Pixel row range overlapping the polygon bbox (clamped to the canvas).
+    let y_lo = (((bbox.min.y - vp.min.y) / ph).floor().max(0.0)) as usize;
+    let y_hi = (((bbox.max.y - vp.min.y) / ph).ceil()).min(canvas.height() as f64) as usize;
+
+    // Collect all edges once (exterior + holes); holes flip parity naturally.
+    let edges: Vec<(Point, Point)> = polygon
+        .edges()
+        .map(|e| (e.start, e.end))
+        .collect();
+
+    let mut crossings: Vec<f64> = Vec::with_capacity(16);
+    for row in y_lo..y_hi {
+        let scan_y = vp.min.y + (row as f64 + 0.5) * ph;
+        crossings.clear();
+        for (a, b) in &edges {
+            // Half-open rule avoids double counting at shared vertices.
+            if (a.y <= scan_y && b.y > scan_y) || (b.y <= scan_y && a.y > scan_y) {
+                let t = (scan_y - a.y) / (b.y - a.y);
+                crossings.push(a.x + t * (b.x - a.x));
+            }
+        }
+        if crossings.is_empty() {
+            continue;
+        }
+        crossings.sort_by(|p, q| p.partial_cmp(q).expect("finite crossing"));
+        // Fill between pairs of crossings.
+        for pair in crossings.chunks(2) {
+            if pair.len() < 2 {
+                break;
+            }
+            let (x0, x1) = (pair[0], pair[1]);
+            // Pixels whose center lies in [x0, x1).
+            let start = ((x0 - vp.min.x) / pw - 0.5).ceil().max(0.0) as usize;
+            let end = (((x1 - vp.min.x) / pw - 0.5).floor() + 1.0).max(0.0) as usize;
+            let start = start.min(canvas.width());
+            let end = end.min(canvas.width());
+            if start < end {
+                emit(row, start, end);
+            }
+        }
+    }
+}
+
+fn rasterize_rings(canvas: &mut Canvas, polygon: &Polygon, coverage: f64) -> usize {
+    let mut covered = 0usize;
+    let width = canvas.width();
+    // Collect spans first to avoid borrowing issues, then write.
+    let mut spans: Vec<(usize, usize, usize)> = Vec::new();
+    scanline_spans(canvas, polygon, |y, x0, x1| spans.push((y, x0, x1)));
+    for (y, x0, x1) in spans {
+        for x in x0..x1.min(width) {
+            let mut v = canvas.get(x, y);
+            v[COVERAGE_CHANNEL] = coverage;
+            canvas.set(x, y, v);
+            covered += 1;
+        }
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::{BoundingBox, Ring};
+    use proptest::prelude::*;
+
+    fn viewport() -> BoundingBox {
+        BoundingBox::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn scatter_counts_and_sums() {
+        let mut canvas = Canvas::new(10, 10, viewport());
+        let points = vec![
+            Point::new(5.0, 5.0),
+            Point::new(5.5, 5.5),   // same pixel as the first
+            Point::new(55.0, 75.0),
+            Point::new(150.0, 50.0), // outside
+        ];
+        let values = vec![10.0, 20.0, 5.0, 99.0];
+        let n = scatter_points(&mut canvas, &points, Some(&values));
+        assert_eq!(n, 3);
+        assert_eq!(canvas.get(0, 0), [2.0, 30.0, 0.0, 0.0]);
+        assert_eq!(canvas.get(5, 7), [1.0, 5.0, 0.0, 0.0]);
+        assert_eq!(canvas.reduce_sum()[0], 3.0);
+        assert_eq!(canvas.reduce_sum()[1], 35.0);
+    }
+
+    #[test]
+    fn scatter_without_values_only_counts() {
+        let mut canvas = Canvas::new(10, 10, viewport());
+        let points = vec![Point::new(1.0, 1.0), Point::new(99.0, 99.0)];
+        assert_eq!(scatter_points(&mut canvas, &points, None), 2);
+        assert_eq!(canvas.reduce_sum(), [2.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per point")]
+    fn scatter_rejects_mismatched_values() {
+        let mut canvas = Canvas::new(10, 10, viewport());
+        let _ = scatter_points(&mut canvas, &[Point::new(1.0, 1.0)], Some(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn rasterized_square_covers_expected_pixels() {
+        // A 40x40 square on a 100x100 viewport with 100x100 pixels covers
+        // ~1600 pixels (pixel-center sampling makes it exactly 40x40).
+        let mut canvas = Canvas::new(100, 100, viewport());
+        let square = Polygon::from_coords(&[(20.0, 20.0), (60.0, 20.0), (60.0, 60.0), (20.0, 60.0)]);
+        let covered = rasterize_polygon_coverage(&mut canvas, &square);
+        assert_eq!(covered, 1600);
+        assert_eq!(canvas.count_pixels(|p| p[COVERAGE_CHANNEL] > 0.0), 1600);
+        // Spot checks.
+        assert!(canvas.get(30, 30)[COVERAGE_CHANNEL] > 0.0);
+        assert!(canvas.get(10, 30)[COVERAGE_CHANNEL] == 0.0);
+    }
+
+    #[test]
+    fn rasterized_triangle_approximates_area() {
+        let mut canvas = Canvas::new(200, 200, viewport());
+        let tri = Polygon::from_coords(&[(10.0, 10.0), (90.0, 10.0), (10.0, 90.0)]);
+        let covered = rasterize_polygon_coverage(&mut canvas, &tri);
+        let pixel_area = canvas.pixel_width() * canvas.pixel_height();
+        let raster_area = covered as f64 * pixel_area;
+        assert!((raster_area - tri.area()).abs() / tri.area() < 0.03,
+            "raster area {raster_area} vs exact {}", tri.area());
+    }
+
+    #[test]
+    fn polygon_with_hole_excludes_hole_pixels() {
+        let exterior = Ring::new(vec![
+            Point::new(10.0, 10.0),
+            Point::new(90.0, 10.0),
+            Point::new(90.0, 90.0),
+            Point::new(10.0, 90.0),
+        ]);
+        let hole = Ring::new(vec![
+            Point::new(40.0, 40.0),
+            Point::new(60.0, 40.0),
+            Point::new(60.0, 60.0),
+            Point::new(40.0, 60.0),
+        ]);
+        let poly = Polygon::with_holes(exterior, vec![hole]);
+        let mut canvas = Canvas::new(100, 100, viewport());
+        let covered = rasterize_polygon_coverage(&mut canvas, &poly);
+        assert_eq!(covered, 80 * 80 - 20 * 20);
+        assert_eq!(canvas.get(50, 50)[COVERAGE_CHANNEL], 0.0, "hole center must be uncovered");
+        assert!(canvas.get(20, 20)[COVERAGE_CHANNEL] > 0.0);
+    }
+
+    #[test]
+    fn coverage_outside_viewport_is_clipped() {
+        let mut canvas = Canvas::new(50, 50, viewport());
+        let poly = Polygon::from_coords(&[(80.0, 80.0), (200.0, 80.0), (200.0, 200.0), (80.0, 200.0)]);
+        let covered = rasterize_polygon_coverage(&mut canvas, &poly);
+        // Only the 20x20 world-unit corner inside the viewport is covered
+        // (each pixel is 2x2 world units => 10x10 pixels).
+        assert_eq!(covered, 100);
+        // A polygon entirely outside covers nothing.
+        let mut canvas2 = Canvas::new(50, 50, viewport());
+        let far = Polygon::from_coords(&[(200.0, 200.0), (300.0, 200.0), (300.0, 300.0)]);
+        assert_eq!(rasterize_polygon_coverage(&mut canvas2, &far), 0);
+    }
+
+    #[test]
+    fn multipolygon_coverage_sums_parts() {
+        let mp = MultiPolygon::new(vec![
+            Polygon::from_coords(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]),
+            Polygon::from_coords(&[(50.0, 50.0), (60.0, 50.0), (60.0, 60.0), (50.0, 60.0)]),
+        ]);
+        let mut canvas = Canvas::new(100, 100, viewport());
+        let covered = rasterize_multipolygon_coverage(&mut canvas, &mp);
+        assert_eq!(covered, 200);
+    }
+
+    #[test]
+    fn for_each_covered_pixel_matches_rasterization() {
+        let poly = Polygon::from_coords(&[(15.0, 20.0), (70.0, 25.0), (55.0, 80.0), (20.0, 65.0)]);
+        let mut canvas = Canvas::new(80, 80, viewport());
+        let covered = rasterize_polygon_coverage(&mut canvas, &poly);
+        let mut visited = 0usize;
+        for_each_covered_pixel(&canvas, &poly, |x, y| {
+            visited += 1;
+            assert!(canvas.get(x, y)[COVERAGE_CHANNEL] > 0.0);
+        });
+        assert_eq!(visited, covered);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_covered_pixels_have_centers_near_or_inside_polygon(
+            w in 10f64..60.0, h in 10f64..60.0, ox in 5f64..30.0, oy in 5f64..30.0,
+        ) {
+            let poly = Polygon::from_coords(&[(ox, oy), (ox + w, oy), (ox + w, oy + h), (ox, oy + h)]);
+            let mut canvas = Canvas::new(64, 64, viewport());
+            rasterize_polygon_coverage(&mut canvas, &poly);
+            for py in 0..canvas.height() {
+                for px in 0..canvas.width() {
+                    if canvas.get(px, py)[COVERAGE_CHANNEL] > 0.0 {
+                        let center = canvas.pixel_center(px, py);
+                        // Pixel-center sampling: every covered pixel's center
+                        // is inside the polygon (within numerical slack).
+                        prop_assert!(poly.contains_point(&center)
+                            || poly.boundary_distance(&center) < 1e-6);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_scattered_mass_is_preserved(
+            pts in proptest::collection::vec((0f64..100.0, 0f64..100.0), 0..200),
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mut canvas = Canvas::new(32, 32, viewport());
+            let n = scatter_points(&mut canvas, &points, None);
+            prop_assert_eq!(n, points.len());
+            prop_assert!((canvas.reduce_sum()[0] - points.len() as f64).abs() < 1e-9);
+        }
+    }
+}

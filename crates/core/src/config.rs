@@ -1,0 +1,92 @@
+//! Serializable experiment configuration.
+//!
+//! The benchmark harness and the report binaries describe their workloads
+//! with this structure so that every number in EXPERIMENTS.md can be traced
+//! back to an explicit, reproducible configuration (sizes, seeds, bounds).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Experiment identifier (e.g. "fig4a", "fig6", "fig7").
+    pub experiment: String,
+    /// Number of points in the synthetic taxi workload.
+    pub points: usize,
+    /// Number of query regions / polygons.
+    pub regions: usize,
+    /// Average vertices per region polygon.
+    pub vertices_per_region: usize,
+    /// Distance bounds (meters) to sweep, where applicable.
+    pub distance_bounds: Vec<f64>,
+    /// Cells-per-polygon precision levels to sweep (Figure 4).
+    pub precision_levels: Vec<usize>,
+    /// RNG seed so runs are reproducible.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A small default configuration suitable for laptop-scale runs.
+    pub fn laptop_default(experiment: &str) -> Self {
+        ExperimentConfig {
+            experiment: experiment.to_string(),
+            points: 200_000,
+            regions: 289,
+            vertices_per_region: 31,
+            distance_bounds: vec![10.0, 5.0, 2.5, 1.0],
+            precision_levels: vec![32, 128, 512],
+            seed: 2021,
+        }
+    }
+
+    /// A fast configuration for CI / smoke runs.
+    pub fn smoke(experiment: &str) -> Self {
+        ExperimentConfig {
+            points: 20_000,
+            regions: 36,
+            ..Self::laptop_default(experiment)
+        }
+    }
+
+    /// Serializes the configuration as a single JSON line (used in report
+    /// headers). The `serde` derives make the type usable with any serde
+    /// format; this helper avoids pulling a JSON crate into the workspace
+    /// just for the one-line report banner.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"{}\",\"points\":{},\"regions\":{},\"vertices_per_region\":{},\"distance_bounds\":{:?},\"precision_levels\":{:?},\"seed\":{}}}",
+            self.experiment,
+            self.points,
+            self.regions,
+            self.vertices_per_region,
+            self.distance_bounds,
+            self.precision_levels,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ExperimentConfig::laptop_default("fig4a");
+        assert_eq!(cfg.experiment, "fig4a");
+        assert!(cfg.points >= 100_000);
+        assert_eq!(cfg.precision_levels, vec![32, 128, 512]);
+        let smoke = ExperimentConfig::smoke("fig6");
+        assert!(smoke.points < cfg.points);
+        assert_eq!(smoke.seed, cfg.seed);
+    }
+
+    #[test]
+    fn json_round_trips_key_fields() {
+        let cfg = ExperimentConfig::smoke("fig7");
+        let json = cfg.to_json();
+        assert!(json.contains("\"experiment\":\"fig7\""));
+        assert!(json.contains("\"seed\":2021"));
+        assert!(json.contains("10.0"));
+    }
+}

@@ -1,0 +1,363 @@
+//! The high-level approximate spatial query engine.
+//!
+//! [`ApproximateEngine`] bundles the pieces a downstream application needs:
+//! it linearizes and indexes a point table, builds distance-bounded raster
+//! approximations of the query regions, indexes them in the Adaptive Cell
+//! Trie, and exposes the query classes the paper discusses — per-region
+//! aggregation, ad-hoc polygon containment counts, and result-range
+//! estimation — all without ever running an exact geometric test at query
+//! time. Exact evaluation paths are kept available for validation.
+
+use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
+use dbsa_grid::GridExtent;
+use dbsa_query::{
+    ApproximateCellJoin, JoinResult, LinearizedPointTable, PointIndexVariant, RTreeExactJoin,
+    RegionAggregate, ResultRange,
+};
+use dbsa_raster::{DistanceBound, Rasterizable};
+
+/// Builder for [`ApproximateEngine`].
+#[derive(Debug, Default)]
+pub struct ApproximateEngineBuilder {
+    bound: Option<DistanceBound>,
+    extent: Option<BoundingBox>,
+    points: Vec<Point>,
+    values: Vec<f64>,
+    regions: Vec<MultiPolygon>,
+    spline_radix_bits: u32,
+    spline_error: usize,
+}
+
+impl ApproximateEngineBuilder {
+    /// Creates a builder with the paper's default index parameters.
+    pub fn new() -> Self {
+        ApproximateEngineBuilder {
+            spline_radix_bits: 25,
+            spline_error: 32,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the distance bound ε (required).
+    pub fn distance_bound(mut self, bound: DistanceBound) -> Self {
+        self.bound = Some(bound);
+        self
+    }
+
+    /// Sets the world extent (optional: inferred from the data otherwise).
+    pub fn extent(mut self, extent: BoundingBox) -> Self {
+        self.extent = Some(extent);
+        self
+    }
+
+    /// Loads the point table with one aggregate attribute per point.
+    pub fn points(mut self, points: Vec<Point>, values: Vec<f64>) -> Self {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        self.points = points;
+        self.values = values;
+        self
+    }
+
+    /// Loads the regions used for `GROUP BY region` aggregation.
+    pub fn regions(mut self, regions: Vec<MultiPolygon>) -> Self {
+        self.regions = regions;
+        self
+    }
+
+    /// Overrides the RadixSpline parameters.
+    pub fn spline_parameters(mut self, radix_bits: u32, spline_error: usize) -> Self {
+        self.spline_radix_bits = radix_bits;
+        self.spline_error = spline_error;
+        self
+    }
+
+    /// Builds the engine: linearizes the points, rasterizes and indexes the
+    /// regions.
+    ///
+    /// # Panics
+    /// Panics if no distance bound was provided, or if neither an extent nor
+    /// any data to infer it from is available.
+    pub fn build(self) -> ApproximateEngine {
+        let bound = self.bound.expect("a distance bound is required");
+        let extent_bbox = self.extent.unwrap_or_else(|| {
+            let mut bbox = BoundingBox::from_points(self.points.iter());
+            for r in &self.regions {
+                bbox.expand_to_box(&r.bbox());
+            }
+            assert!(
+                !bbox.is_empty(),
+                "provide an extent or at least some points/regions to infer it"
+            );
+            bbox.inflated(bound.epsilon())
+        });
+        let extent = GridExtent::covering(&extent_bbox);
+        let table = LinearizedPointTable::build_with_spline_params(
+            &self.points,
+            &self.values,
+            &extent,
+            self.spline_radix_bits,
+            self.spline_error,
+        );
+        let join = (!self.regions.is_empty())
+            .then(|| ApproximateCellJoin::build(&self.regions, &extent, bound));
+        ApproximateEngine {
+            bound,
+            extent,
+            table,
+            join,
+            points: self.points,
+            values: self.values,
+            regions: self.regions,
+        }
+    }
+}
+
+/// Statistics describing an engine instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Number of indexed points.
+    pub points: usize,
+    /// Number of indexed regions.
+    pub regions: usize,
+    /// The distance bound ε.
+    pub epsilon: f64,
+    /// Total raster cells indexed for the regions.
+    pub region_raster_cells: usize,
+    /// Memory of the region index (ACT), in bytes.
+    pub region_index_bytes: usize,
+    /// Memory of the point index (keys + learned index), in bytes.
+    pub point_index_bytes: usize,
+}
+
+/// The approximate spatial query engine.
+pub struct ApproximateEngine {
+    bound: DistanceBound,
+    extent: GridExtent,
+    table: LinearizedPointTable,
+    join: Option<ApproximateCellJoin>,
+    points: Vec<Point>,
+    values: Vec<f64>,
+    regions: Vec<MultiPolygon>,
+}
+
+impl ApproximateEngine {
+    /// Starts building an engine.
+    pub fn builder() -> ApproximateEngineBuilder {
+        ApproximateEngineBuilder::new()
+    }
+
+    /// The distance bound every answer honours.
+    pub fn bound(&self) -> DistanceBound {
+        self.bound
+    }
+
+    /// The grid extent used for linearization and rasterization.
+    pub fn extent(&self) -> &GridExtent {
+        &self.extent
+    }
+
+    /// The loaded regions.
+    pub fn regions(&self) -> &[MultiPolygon] {
+        &self.regions
+    }
+
+    /// The loaded points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Structural statistics of the engine.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            points: self.points.len(),
+            regions: self.regions.len(),
+            epsilon: self.bound.epsilon(),
+            region_raster_cells: self.join.as_ref().map(|j| j.raster_cell_count()).unwrap_or(0),
+            region_index_bytes: self.join.as_ref().map(|j| j.memory_bytes()).unwrap_or(0),
+            point_index_bytes: self.table.index_memory_bytes(PointIndexVariant::RadixSpline),
+        }
+    }
+
+    /// `SELECT AGG(a) … GROUP BY region` evaluated approximately through the
+    /// Adaptive Cell Trie — no point-in-polygon test is executed.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn aggregate_by_region(&self) -> JoinResult {
+        self.join
+            .as_ref()
+            .expect("no regions loaded")
+            .execute(&self.points, &self.values)
+    }
+
+    /// Multi-threaded variant of [`aggregate_by_region`](Self::aggregate_by_region).
+    pub fn aggregate_by_region_parallel(&self, threads: usize) -> JoinResult {
+        self.join
+            .as_ref()
+            .expect("no regions loaded")
+            .execute_parallel(&self.points, &self.values, threads)
+    }
+
+    /// The exact reference evaluation of the same aggregation (R-tree over
+    /// region MBRs + exact point-in-polygon refinement). Used to validate
+    /// the approximate answers and by the benchmark harness as the baseline.
+    pub fn aggregate_by_region_exact(&self) -> JoinResult {
+        RTreeExactJoin::build(&self.regions).execute(&self.points, &self.values)
+    }
+
+    /// Ad-hoc containment aggregate: counts and sums the points inside an
+    /// arbitrary query polygon approximated with at most `cell_budget`
+    /// hierarchical cells (Figure 4's query). Returns the aggregate and the
+    /// number of cells used.
+    pub fn aggregate_in_polygon(&self, polygon: &Polygon, cell_budget: usize) -> (RegionAggregate, usize) {
+        self.table
+            .aggregate_polygon(polygon, cell_budget, PointIndexVariant::RadixSpline)
+    }
+
+    /// Ad-hoc containment aggregate for any rasterizable region.
+    pub fn aggregate_in_region<G: Rasterizable>(&self, region: &G, cell_budget: usize) -> (RegionAggregate, usize) {
+        self.table
+            .aggregate_polygon(region, cell_budget, PointIndexVariant::RadixSpline)
+    }
+
+    /// Exact containment count for validation.
+    pub fn count_in_polygon_exact(&self, polygon: &Polygon) -> u64 {
+        self.points
+            .iter()
+            .filter(|p| polygon.contains_point(p))
+            .count() as u64
+    }
+
+    /// Guaranteed result ranges (Section 6) for the per-region counts of the
+    /// approximate aggregation.
+    pub fn count_ranges(&self) -> Vec<ResultRange> {
+        self.aggregate_by_region()
+            .regions
+            .iter()
+            .map(ResultRange::count_range)
+            .collect()
+    }
+
+    /// Access to the underlying linearized point table (for benchmarks that
+    /// want to compare index variants directly).
+    pub fn point_table(&self) -> &LinearizedPointTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_datagen::{city_extent, PolygonSetGenerator, TaxiPointGenerator};
+
+    fn build_engine(n_points: usize, n_regions: usize, eps: f64) -> ApproximateEngine {
+        let taxi = TaxiPointGenerator::new(city_extent(), 3).generate(n_points);
+        let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let regions = PolygonSetGenerator::new(city_extent(), n_regions, 20, 7).generate();
+        ApproximateEngine::builder()
+            .distance_bound(DistanceBound::meters(eps))
+            .extent(city_extent())
+            .points(points, values)
+            .regions(regions)
+            .build()
+    }
+
+    #[test]
+    fn engine_round_trip() {
+        let engine = build_engine(5_000, 9, 10.0);
+        let stats = engine.stats();
+        assert_eq!(stats.points, 5_000);
+        assert_eq!(stats.regions, 9);
+        assert_eq!(stats.epsilon, 10.0);
+        assert!(stats.region_raster_cells > 0);
+        assert!(stats.region_index_bytes > 0);
+        assert!(stats.point_index_bytes > 0);
+        assert_eq!(engine.regions().len(), 9);
+        assert_eq!(engine.points().len(), 5_000);
+    }
+
+    #[test]
+    fn approximate_aggregation_close_to_exact() {
+        let engine = build_engine(8_000, 9, 5.0);
+        let approx = engine.aggregate_by_region();
+        let exact = engine.aggregate_by_region_exact();
+        assert_eq!(approx.pip_tests, 0);
+        assert!(exact.pip_tests > 0);
+        let total_approx: u64 = approx.regions.iter().map(|r| r.count).sum();
+        let total_exact: u64 = exact.regions.iter().map(|r| r.count).sum();
+        // Totals are close (errors only near boundaries).
+        let rel = (total_approx as f64 - total_exact as f64).abs() / total_exact.max(1) as f64;
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn adhoc_polygon_aggregation_is_conservative() {
+        let engine = build_engine(6_000, 4, 10.0);
+        let query = Polygon::from_coords(&[
+            (5_000.0, 5_000.0),
+            (20_000.0, 6_000.0),
+            (18_000.0, 22_000.0),
+            (6_000.0, 20_000.0),
+        ]);
+        let exact = engine.count_in_polygon_exact(&query);
+        let (agg, cells) = engine.aggregate_in_polygon(&query, 512);
+        assert!(cells <= 512);
+        assert!(agg.count >= exact, "conservative approximation cannot undercount");
+        assert!((agg.count as f64 - exact as f64) / exact.max(1) as f64 <= 0.1);
+    }
+
+    #[test]
+    fn count_ranges_cover_exact_counts() {
+        let engine = build_engine(4_000, 9, 20.0);
+        let ranges = engine.count_ranges();
+        let exact = engine.aggregate_by_region_exact();
+        for (range, exact_agg) in ranges.iter().zip(&exact.regions) {
+            assert!(range.contains(exact_agg.count as f64),
+                "exact {} outside [{}, {}]", exact_agg.count, range.lower, range.upper);
+        }
+    }
+
+    #[test]
+    fn extent_is_inferred_when_not_provided() {
+        let taxi = TaxiPointGenerator::new(city_extent(), 5).generate(500);
+        let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let values = vec![1.0; points.len()];
+        let engine = ApproximateEngine::builder()
+            .distance_bound(DistanceBound::meters(5.0))
+            .points(points.clone(), values)
+            .build();
+        // All points fall inside the inferred extent.
+        for p in &points {
+            assert!(engine.extent().contains(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distance bound is required")]
+    fn builder_requires_a_bound() {
+        let _ = ApproximateEngine::builder()
+            .extent(city_extent())
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "no regions loaded")]
+    fn aggregation_without_regions_panics() {
+        let engine = ApproximateEngine::builder()
+            .distance_bound(DistanceBound::meters(5.0))
+            .extent(city_extent())
+            .build();
+        let _ = engine.aggregate_by_region();
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let engine = build_engine(6_000, 9, 10.0);
+        let seq = engine.aggregate_by_region();
+        let par = engine.aggregate_by_region_parallel(3);
+        for (s, p) in seq.regions.iter().zip(&par.regions) {
+            assert_eq!(s.count, p.count);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! # dbsa — Distance-Bounded Spatial Approximations
+//!
+//! A reproduction of *"The Case for Distance-Bounded Spatial
+//! Approximations"* (CIDR 2021): approximate spatial query processing that
+//! answers queries **solely on fine-grained raster approximations** of the
+//! geometries, with a user-controlled bound ε on the Hausdorff distance
+//! between every geometry and its approximation. False positives and false
+//! negatives can exist, but they are guaranteed to lie within ε of the true
+//! geometry boundary — which is what makes the answers interpretable.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dbsa::prelude::*;
+//!
+//! // A polygon and some points (in meters).
+//! let region = Polygon::from_coords(&[(0.0, 0.0), (100.0, 0.0), (100.0, 80.0), (0.0, 80.0)]);
+//! let points = vec![Point::new(10.0, 10.0), Point::new(50.0, 40.0), Point::new(200.0, 10.0)];
+//! let values = vec![1.0, 2.0, 3.0];
+//!
+//! // Build an approximate engine with a 1 m distance bound.
+//! let engine = ApproximateEngine::builder()
+//!     .distance_bound(DistanceBound::meters(1.0))
+//!     .extent(BoundingBox::from_bounds(0.0, 0.0, 256.0, 256.0))
+//!     .points(points, values)
+//!     .regions(vec![region.into()])
+//!     .build();
+//!
+//! // Count the points per region without a single point-in-polygon test.
+//! let result = engine.aggregate_by_region();
+//! assert_eq!(result.regions[0].count, 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`geom`] | geometry primitives, exact predicates, classic approximations (MBR, hull, …) |
+//! | [`grid`] | hierarchical cell ids, Z-order / Hilbert curves |
+//! | [`raster`] | distance-bounded uniform & hierarchical raster approximations |
+//! | [`index`] | ACT, RadixSpline, R-tree, quadtree, k-d tree, B+-tree, shape index |
+//! | [`canvas`] | rasterized canvas algebra, Bounded Raster Join, GPU-style baseline |
+//! | [`query`] | containment queries, aggregation joins, result ranges, error metrics |
+//! | [`datagen`] | synthetic NYC-like workloads (documented substitution for the TLC data) |
+//! | [`engine`] | the high-level [`ApproximateEngine`] facade |
+
+pub use dbsa_canvas as canvas;
+pub use dbsa_datagen as datagen;
+pub use dbsa_geom as geom;
+pub use dbsa_grid as grid;
+pub use dbsa_index as index;
+pub use dbsa_query as query;
+pub use dbsa_raster as raster;
+
+pub mod config;
+pub mod engine;
+
+pub use config::ExperimentConfig;
+pub use engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats};
+
+/// Convenient glob import for applications.
+pub mod prelude {
+    pub use crate::engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats};
+    pub use dbsa_canvas::{BoundedRasterJoin, Canvas, GpuBaseline, SimulatedDevice};
+    pub use dbsa_datagen::{
+        city_extent, DatasetProfile, Figure2Example, PolygonSetGenerator, TaxiPointGenerator,
+    };
+    pub use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon, Ring};
+    pub use dbsa_grid::{CellId, CurveKind, GridExtent};
+    pub use dbsa_index::{AdaptiveCellTrie, MemoryFootprint, RadixSpline, RTree};
+    pub use dbsa_query::{
+        AggregateKind, ApproximateCellJoin, ErrorSummary, JoinResult, LinearizedPointTable,
+        PointIndexVariant, RTreeExactJoin, RegionAggregate, ResultRange, ShapeIndexExactJoin,
+        SpatialBaseline, SpatialBaselineKind,
+    };
+    pub use dbsa_raster::{
+        BoundaryPolicy, DistanceBound, HierarchicalRaster, UniformRaster,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let bound = DistanceBound::meters(4.0);
+        assert_eq!(bound.epsilon(), 4.0);
+        let p = Point::new(1.0, 2.0);
+        assert_eq!(p.x, 1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! The paper's motivating example (Figure 2).
+//!
+//! A region polygon `P`, a cloud of taxi pickup points, and two approximate
+//! counts: one computed over the MBR of `P` (which includes points far from
+//! `P`, in the empty MBR corner) and one computed over a conservative
+//! uniform-raster approximation (which includes only points within the
+//! distance bound of `P`'s boundary). The paper's argument: the raster
+//! count (28) is *larger* and thus numerically "worse" than the MBR count
+//! (22) against the exact count (18), yet it is the more meaningful answer
+//! because every extra point is spatially close to the query region.
+
+use dbsa_geom::{BoundingBox, Point, Polygon};
+
+/// Classification of an example point, mirroring the colors in Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointColor {
+    /// Inside the polygon (counted by every method).
+    Black,
+    /// Outside the polygon but inside its MBR, far from the boundary
+    /// (counted only by the MBR approximation).
+    Red,
+    /// Outside the polygon but within the distance bound of its boundary
+    /// (counted only by the raster approximation).
+    Violet,
+}
+
+/// The fully deterministic Figure 2 layout.
+#[derive(Debug, Clone)]
+pub struct Figure2Example {
+    polygon: Polygon,
+    points: Vec<(Point, PointColor)>,
+    epsilon: f64,
+}
+
+impl Figure2Example {
+    /// Builds the example: 18 interior points, 4 far "MBR corner" points and
+    /// 10 near-boundary points, over a right-triangle-like region whose legs
+    /// lie on its MBR edges.
+    pub fn new() -> Self {
+        // The polygon: a right trapezoid whose left and bottom edges lie on
+        // the MBR boundary, so points just outside those edges are outside
+        // the MBR too (violet), while the cut-off upper-right corner leaves
+        // room inside the MBR for far-away points (red).
+        let polygon = Polygon::from_coords(&[
+            (0.0, 0.0),
+            (100.0, 0.0),
+            (100.0, 30.0),
+            (30.0, 100.0),
+            (0.0, 100.0),
+        ]);
+        let epsilon = 6.0;
+
+        let mut points = Vec::new();
+        // 18 black points strictly inside, away from the boundary.
+        let interior = [
+            (10.0, 10.0), (20.0, 15.0), (30.0, 10.0), (45.0, 20.0), (60.0, 10.0),
+            (75.0, 15.0), (88.0, 10.0), (15.0, 30.0), (30.0, 35.0), (50.0, 40.0),
+            (70.0, 30.0), (10.0, 50.0), (25.0, 55.0), (40.0, 60.0), (12.0, 70.0),
+            (25.0, 75.0), (10.0, 88.0), (20.0, 90.0),
+        ];
+        for &(x, y) in &interior {
+            points.push((Point::new(x, y), PointColor::Black));
+        }
+        // 4 red points: inside the MBR, in the clipped corner, far from P.
+        let red = [(80.0, 80.0), (90.0, 70.0), (70.0, 90.0), (92.0, 88.0)];
+        for &(x, y) in &red {
+            points.push((Point::new(x, y), PointColor::Red));
+        }
+        // 10 violet points: just outside the bottom/left edges (outside the
+        // MBR) within epsilon of the boundary.
+        let violet = [
+            (15.0, -2.0), (35.0, -3.0), (55.0, -2.5), (75.0, -1.5), (95.0, -3.0),
+            (-2.0, 15.0), (-3.0, 35.0), (-2.5, 55.0), (-1.5, 75.0), (-3.0, 95.0),
+        ];
+        for &(x, y) in &violet {
+            points.push((Point::new(x, y), PointColor::Violet));
+        }
+        Figure2Example {
+            polygon,
+            points,
+            epsilon,
+        }
+    }
+
+    /// The query region `P`.
+    pub fn polygon(&self) -> &Polygon {
+        &self.polygon
+    }
+
+    /// The distance bound used by the raster approximation in the example.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// All example points with their Figure 2 color.
+    pub fn points(&self) -> &[(Point, PointColor)] {
+        &self.points
+    }
+
+    /// Just the point locations.
+    pub fn locations(&self) -> Vec<Point> {
+        self.points.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// A bounding box comfortably containing the polygon and all points.
+    pub fn extent(&self) -> BoundingBox {
+        let mut bbox = self.polygon.bbox();
+        for (p, _) in &self.points {
+            bbox.expand_to_point(p);
+        }
+        bbox.inflated(self.epsilon)
+    }
+
+    /// The exact count of points inside `P` (18 in the paper).
+    pub fn exact_count(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|(p, _)| self.polygon.contains_point(p))
+            .count()
+    }
+
+    /// The count the MBR approximation produces (22 in the paper).
+    pub fn mbr_count(&self) -> usize {
+        let mbr = self.polygon.bbox();
+        self.points
+            .iter()
+            .filter(|(p, _)| mbr.contains_point(p))
+            .count()
+    }
+
+    /// The count a conservative ε-bounded approximation of `P` produces
+    /// (28 in the paper): every point within ε of `P` (or inside it).
+    pub fn raster_count(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|(p, _)| {
+                self.polygon.contains_point(p) || self.polygon.boundary_distance(p) <= self.epsilon
+            })
+            .count()
+    }
+}
+
+impl Default for Figure2Example {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_paper() {
+        let ex = Figure2Example::new();
+        assert_eq!(ex.exact_count(), 18, "exact count");
+        assert_eq!(ex.mbr_count(), 22, "MBR count");
+        assert_eq!(ex.raster_count(), 28, "raster count");
+    }
+
+    #[test]
+    fn colors_are_consistent_with_geometry() {
+        let ex = Figure2Example::new();
+        let mbr = ex.polygon().bbox();
+        for (p, color) in ex.points() {
+            match color {
+                PointColor::Black => assert!(ex.polygon().contains_point(p), "{p:?} should be inside"),
+                PointColor::Red => {
+                    assert!(!ex.polygon().contains_point(p));
+                    assert!(mbr.contains_point(p), "{p:?} should be inside the MBR");
+                    assert!(ex.polygon().boundary_distance(p) > ex.epsilon(),
+                        "red points must be far from the boundary");
+                }
+                PointColor::Violet => {
+                    assert!(!ex.polygon().contains_point(p));
+                    assert!(!mbr.contains_point(p), "{p:?} should be outside the MBR");
+                    assert!(ex.polygon().boundary_distance(p) <= ex.epsilon(),
+                        "violet points must be within epsilon of the boundary");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_census_matches_figure() {
+        let ex = Figure2Example::new();
+        let count = |c: PointColor| ex.points().iter().filter(|(_, col)| *col == c).count();
+        assert_eq!(count(PointColor::Black), 18);
+        assert_eq!(count(PointColor::Red), 4);
+        assert_eq!(count(PointColor::Violet), 10);
+        assert_eq!(ex.points().len(), 32);
+        assert_eq!(ex.locations().len(), 32);
+    }
+
+    #[test]
+    fn extent_contains_everything() {
+        let ex = Figure2Example::new();
+        let extent = ex.extent();
+        assert!(extent.contains_box(&ex.polygon().bbox()));
+        for (p, _) in ex.points() {
+            assert!(extent.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn the_papers_argument_holds() {
+        // The MBR count is numerically closer to exact, but its error comes
+        // from points far away; the raster count's error is entirely within
+        // the distance bound.
+        let ex = Figure2Example::new();
+        assert!(ex.mbr_count() < ex.raster_count());
+        assert!(ex.mbr_count() > ex.exact_count());
+        let mbr = ex.polygon().bbox();
+        let worst_mbr_error_distance = ex
+            .points()
+            .iter()
+            .filter(|(p, _)| mbr.contains_point(p) && !ex.polygon().contains_point(p))
+            .map(|(p, _)| ex.polygon().boundary_distance(p))
+            .fold(0.0f64, f64::max);
+        assert!(worst_mbr_error_distance > ex.epsilon(),
+            "the MBR's false positives are farther than epsilon from P");
+    }
+}

@@ -1,0 +1,51 @@
+//! # dbsa-datagen — synthetic workloads for the benchmark harness
+//!
+//! The paper's evaluation uses the NYC TLC taxi trip data set (1.2 billion
+//! pickup points) joined against three NYC polygon data sets (Boroughs,
+//! Neighborhoods, Census tracts). Neither the proprietary-scale point data
+//! nor the exact shapefiles are available here, so this crate generates
+//! synthetic equivalents that preserve the properties the experiments
+//! depend on (see DESIGN.md, "Substitutions"):
+//!
+//! * [`TaxiPointGenerator`] — clustered pickup points: a configurable number
+//!   of Gaussian hot-spots (airport, downtown, …) over a city-sized extent
+//!   plus uniform background noise, with a fare-like attribute per point.
+//!   Skew is the property that matters for the index experiments.
+//! * [`PolygonSetGenerator`] — region datasets with a target region count
+//!   and per-polygon vertex complexity, matching the paper's profiles:
+//!   Boroughs (5 regions, ~663 vertices), Neighborhoods (289, ~31), Census
+//!   (scaled from 39 200, ~14). Regions partition the extent (no overlap),
+//!   as administrative boundaries do.
+//! * [`figure2`] — the paper's motivating example (Figure 2): a polygon, a
+//!   point cloud, and the MBR / uniform-raster approximate counts.
+//!
+//! All generators are seeded and deterministic so experiments are
+//! reproducible run to run.
+
+pub mod figure2;
+pub mod points;
+pub mod polygons;
+pub mod profiles;
+
+pub use figure2::Figure2Example;
+pub use points::{TaxiPoint, TaxiPointGenerator};
+pub use polygons::PolygonSetGenerator;
+pub use profiles::DatasetProfile;
+
+/// The city extent used by the default workloads: a 40 km × 40 km square in
+/// a local meter-based projection (roughly the bounding box of New York City).
+pub fn city_extent() -> dbsa_geom::BoundingBox {
+    dbsa_geom::BoundingBox::from_bounds(0.0, 0.0, 40_000.0, 40_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_extent_is_city_sized() {
+        let e = city_extent();
+        assert_eq!(e.width(), 40_000.0);
+        assert_eq!(e.height(), 40_000.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Clustered point generation (taxi-pickup-like workloads).
+
+use dbsa_geom::{BoundingBox, Point};
+use rand::prelude::*;
+
+/// A generated point with its attributes (the `P(loc, a1, a2, ...)` schema
+/// of the paper's aggregation query).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaxiPoint {
+    /// Pickup location.
+    pub location: Point,
+    /// Fare-like attribute used for SUM / AVG aggregations.
+    pub fare: f64,
+    /// Passenger-count-like small integer attribute.
+    pub passengers: u8,
+}
+
+/// Seeded generator of clustered points over an extent.
+///
+/// A fraction of the points is drawn from Gaussian clusters around randomly
+/// placed hot-spots (heavily skewed, like taxi pickups around airports and
+/// nightlife districts); the rest is uniform background noise.
+#[derive(Debug, Clone)]
+pub struct TaxiPointGenerator {
+    extent: BoundingBox,
+    hotspots: usize,
+    cluster_fraction: f64,
+    cluster_stddev: f64,
+    seed: u64,
+}
+
+impl TaxiPointGenerator {
+    /// Creates a generator with workload defaults: 12 hot-spots, 80 %
+    /// clustered points, 800 m cluster spread.
+    pub fn new(extent: BoundingBox, seed: u64) -> Self {
+        TaxiPointGenerator {
+            extent,
+            hotspots: 12,
+            cluster_fraction: 0.8,
+            cluster_stddev: 800.0,
+            seed,
+        }
+    }
+
+    /// Sets the number of Gaussian hot-spots.
+    pub fn hotspots(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one hotspot required");
+        self.hotspots = n;
+        self
+    }
+
+    /// Sets the fraction of points drawn from clusters (0..=1); the rest is
+    /// uniform background.
+    pub fn cluster_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "cluster fraction must be in [0, 1]");
+        self.cluster_fraction = f;
+        self
+    }
+
+    /// Sets the standard deviation (in world units) of each cluster.
+    pub fn cluster_stddev(mut self, s: f64) -> Self {
+        assert!(s > 0.0, "cluster spread must be positive");
+        self.cluster_stddev = s;
+        self
+    }
+
+    /// The extent points are generated in.
+    pub fn extent(&self) -> &BoundingBox {
+        &self.extent
+    }
+
+    /// Generates `n` points with attributes.
+    pub fn generate(&self, n: usize) -> Vec<TaxiPoint> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let centers: Vec<Point> = (0..self.hotspots)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(self.extent.min.x..self.extent.max.x),
+                    rng.gen_range(self.extent.min.y..self.extent.max.y),
+                )
+            })
+            .collect();
+        (0..n)
+            .map(|_| {
+                let location = if rng.gen_bool(self.cluster_fraction) {
+                    let c = centers[rng.gen_range(0..centers.len())];
+                    // Box-Muller for a Gaussian offset, clamped to the extent.
+                    let (dx, dy) = gaussian_pair(&mut rng, self.cluster_stddev);
+                    Point::new(
+                        (c.x + dx).clamp(self.extent.min.x, self.extent.max.x),
+                        (c.y + dy).clamp(self.extent.min.y, self.extent.max.y),
+                    )
+                } else {
+                    Point::new(
+                        rng.gen_range(self.extent.min.x..self.extent.max.x),
+                        rng.gen_range(self.extent.min.y..self.extent.max.y),
+                    )
+                };
+                TaxiPoint {
+                    location,
+                    fare: rng.gen_range(2.5..80.0),
+                    passengers: rng.gen_range(1..=6),
+                }
+            })
+            .collect()
+    }
+
+    /// Generates only the locations (convenience for index experiments).
+    pub fn generate_locations(&self, n: usize) -> Vec<Point> {
+        self.generate(n).into_iter().map(|p| p.location).collect()
+    }
+}
+
+/// One pair of independent N(0, stddev) samples via Box-Muller.
+fn gaussian_pair<R: Rng>(rng: &mut R, stddev: f64) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt() * stddev;
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city_extent;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = TaxiPointGenerator::new(city_extent(), 42);
+        let a = g.generate(1000);
+        let b = g.generate(1000);
+        assert_eq!(a, b, "same seed must give the same data");
+        let c = TaxiPointGenerator::new(city_extent(), 43).generate(1000);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn all_points_are_inside_the_extent() {
+        let g = TaxiPointGenerator::new(city_extent(), 7);
+        for p in g.generate(5000) {
+            assert!(city_extent().contains_point(&p.location));
+            assert!(p.fare >= 2.5 && p.fare < 80.0);
+            assert!((1..=6).contains(&p.passengers));
+        }
+    }
+
+    #[test]
+    fn clustered_points_are_skewed() {
+        // With clustering, the densest small cell should hold far more than
+        // the uniform expectation.
+        let extent = city_extent();
+        let clustered = TaxiPointGenerator::new(extent, 3).cluster_fraction(0.9).generate_locations(20_000);
+        let uniform = TaxiPointGenerator::new(extent, 3).cluster_fraction(0.0).generate_locations(20_000);
+        let cell_count = |pts: &[Point]| {
+            let mut counts = vec![0usize; 100];
+            for p in pts {
+                let cx = ((p.x / extent.width() * 10.0) as usize).min(9);
+                let cy = ((p.y / extent.height() * 10.0) as usize).min(9);
+                counts[cy * 10 + cx] += 1;
+            }
+            *counts.iter().max().unwrap()
+        };
+        let clustered_max = cell_count(&clustered);
+        let uniform_max = cell_count(&uniform);
+        assert!(clustered_max > 2 * uniform_max,
+            "clustered max cell {clustered_max} should dominate uniform {uniform_max}");
+    }
+
+    #[test]
+    fn builder_knobs_are_respected() {
+        let g = TaxiPointGenerator::new(city_extent(), 1)
+            .hotspots(3)
+            .cluster_fraction(0.5)
+            .cluster_stddev(100.0);
+        assert_eq!(g.extent(), &city_extent());
+        let pts = g.generate(100);
+        assert_eq!(pts.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster fraction")]
+    fn rejects_invalid_fraction() {
+        let _ = TaxiPointGenerator::new(city_extent(), 1).cluster_fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hotspot")]
+    fn rejects_zero_hotspots() {
+        let _ = TaxiPointGenerator::new(city_extent(), 1).hotspots(0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_generated_count_matches_request(n in 0usize..2000, seed in 0u64..100) {
+            let g = TaxiPointGenerator::new(city_extent(), seed);
+            prop_assert_eq!(g.generate(n).len(), n);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Synthetic polygon (region) dataset generation.
+
+use crate::profiles::DatasetProfile;
+use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon, Ring};
+use rand::prelude::*;
+
+/// Generates region datasets that partition an extent.
+///
+/// Regions are laid out on a near-square grid; every region is shrunk by a
+/// small "street" gap (so neighbouring regions do not overlap — and so that
+/// region boundaries are fuzzy zones, exactly the property the paper's
+/// motivation appeals to), its edges are subdivided until the requested
+/// vertex complexity is reached, and the subdivision vertices are jittered
+/// by less than half the gap so the complexity is geometrically real without
+/// creating overlaps.
+#[derive(Debug, Clone)]
+pub struct PolygonSetGenerator {
+    extent: BoundingBox,
+    region_count: usize,
+    vertices_per_polygon: usize,
+    multipolygon_fraction: f64,
+    /// Rotation of the whole region grid around the extent center, in
+    /// radians. Real administrative boundaries are not axis-aligned; without
+    /// a rotation the regions' MBRs would be unrealistically tight, which
+    /// would flatter every MBR-based baseline in the experiments.
+    rotation: f64,
+    seed: u64,
+}
+
+impl PolygonSetGenerator {
+    /// Relative width of the gap ("street") between adjacent regions.
+    const GAP_FRACTION: f64 = 0.02;
+
+    /// Creates a generator for an explicit region count and complexity.
+    pub fn new(extent: BoundingBox, region_count: usize, vertices_per_polygon: usize, seed: u64) -> Self {
+        assert!(region_count >= 1, "need at least one region");
+        assert!(vertices_per_polygon >= 4, "need at least 4 vertices per polygon");
+        PolygonSetGenerator {
+            extent,
+            region_count,
+            vertices_per_polygon,
+            multipolygon_fraction: 0.0,
+            rotation: 0.0,
+            seed,
+        }
+    }
+
+    /// Creates a generator matching one of the paper's dataset profiles
+    /// (scaled region counts, paper vertex complexity).
+    pub fn from_profile(extent: BoundingBox, profile: DatasetProfile, seed: u64) -> Self {
+        PolygonSetGenerator {
+            extent,
+            region_count: profile.scaled_region_count(),
+            vertices_per_polygon: profile.vertices_per_polygon(),
+            multipolygon_fraction: profile.multipolygon_fraction(),
+            // Real city grids are not axis-aligned (Manhattan's is ~29° off
+            // true north); rotating the synthetic partition keeps the MBR
+            // baselines honest.
+            rotation: 0.45,
+            seed,
+        }
+    }
+
+    /// Sets the fraction of regions generated as two-part multi-polygons.
+    pub fn multipolygon_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+        self.multipolygon_fraction = f;
+        self
+    }
+
+    /// Sets the rotation (radians) of the region grid around the extent
+    /// center. Rotation preserves disjointness and vertex complexity but
+    /// makes the regions' MBRs overlap, as real administrative boundaries do.
+    pub fn rotation(mut self, radians: f64) -> Self {
+        self.rotation = radians;
+        self
+    }
+
+    /// The number of regions that will be generated.
+    pub fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    /// Generates the regions.
+    pub fn generate(&self) -> Vec<MultiPolygon> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cols = (self.region_count as f64).sqrt().ceil() as usize;
+        let rows = self.region_count.div_ceil(cols);
+        let cell_w = self.extent.width() / cols as f64;
+        let cell_h = self.extent.height() / rows as f64;
+        let gap = cell_w.min(cell_h) * Self::GAP_FRACTION;
+
+        let mut out = Vec::with_capacity(self.region_count);
+        'outer: for row in 0..rows {
+            for col in 0..cols {
+                if out.len() >= self.region_count {
+                    break 'outer;
+                }
+                let cell = BoundingBox::from_bounds(
+                    self.extent.min.x + col as f64 * cell_w + gap,
+                    self.extent.min.y + row as f64 * cell_h + gap,
+                    self.extent.min.x + (col + 1) as f64 * cell_w - gap,
+                    self.extent.min.y + (row + 1) as f64 * cell_h - gap,
+                );
+                let make_multi = rng.gen_bool(self.multipolygon_fraction);
+                let region = if make_multi {
+                    // Split the cell into two islands separated by a channel.
+                    let mid = cell.min.x + cell.width() * rng.gen_range(0.35..0.65);
+                    let left = BoundingBox::from_bounds(cell.min.x, cell.min.y, mid - gap, cell.max.y);
+                    let right = BoundingBox::from_bounds(mid + gap, cell.min.y, cell.max.x, cell.max.y);
+                    let verts_each = (self.vertices_per_polygon / 2).max(4);
+                    MultiPolygon::new(vec![
+                        jittered_rectangle(&left, verts_each, gap * 0.45, &mut rng),
+                        jittered_rectangle(&right, verts_each, gap * 0.45, &mut rng),
+                    ])
+                } else {
+                    MultiPolygon::from(jittered_rectangle(&cell, self.vertices_per_polygon, gap * 0.45, &mut rng))
+                };
+                out.push(region);
+            }
+        }
+        if self.rotation != 0.0 {
+            let center = self.extent.center();
+            out = out
+                .into_iter()
+                .map(|region| rotate_region(&region, &center, self.rotation))
+                .collect();
+        }
+        out
+    }
+}
+
+/// Rotates every vertex of a region around `center` by `angle` radians.
+fn rotate_region(region: &MultiPolygon, center: &Point, angle: f64) -> MultiPolygon {
+    let rotate_ring = |ring: &dbsa_geom::Ring| -> Ring {
+        Ring::new(
+            ring.vertices()
+                .iter()
+                .map(|p| (*p - *center).rotated(angle) + *center)
+                .collect(),
+        )
+    };
+    MultiPolygon::new(
+        region
+            .polygons()
+            .iter()
+            .map(|poly| {
+                Polygon::with_holes(
+                    rotate_ring(poly.exterior()),
+                    poly.holes().iter().map(rotate_ring).collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Builds a polygon tracing `rect` with `target_vertices` vertices: the four
+/// edges are subdivided evenly and every subdivision vertex is jittered by
+/// at most `max_jitter` (corners are kept fixed so adjacent regions, which
+/// are separated by at least `2 * max_jitter`, can never overlap).
+fn jittered_rectangle<R: Rng>(
+    rect: &BoundingBox,
+    target_vertices: usize,
+    max_jitter: f64,
+    rng: &mut R,
+) -> Polygon {
+    let per_edge = (target_vertices / 4).max(1);
+    let corners = rect.corners();
+    let mut vertices = Vec::with_capacity(per_edge * 4);
+    for i in 0..4 {
+        let a = corners[i];
+        let b = corners[(i + 1) % 4];
+        for k in 0..per_edge {
+            let t = k as f64 / per_edge as f64;
+            let mut p = a.lerp(&b, t);
+            if k > 0 {
+                p = Point::new(
+                    p.x + rng.gen_range(-max_jitter..max_jitter),
+                    p.y + rng.gen_range(-max_jitter..max_jitter),
+                );
+            }
+            vertices.push(p);
+        }
+    }
+    Polygon::new(Ring::new(vertices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city_extent;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generates_requested_number_of_regions() {
+        let gen = PolygonSetGenerator::new(city_extent(), 25, 16, 1);
+        let regions = gen.generate();
+        assert_eq!(regions.len(), 25);
+        assert_eq!(gen.region_count(), 25);
+    }
+
+    #[test]
+    fn vertex_complexity_matches_target() {
+        for target in [14usize, 31, 120, 663] {
+            let regions = PolygonSetGenerator::new(city_extent(), 9, target, 7).generate();
+            let avg: f64 = regions.iter().map(|r| r.vertex_count() as f64).sum::<f64>() / regions.len() as f64;
+            let rel = (avg - target as f64).abs() / target as f64;
+            assert!(rel < 0.15, "target {target}, got average {avg}");
+        }
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let regions = PolygonSetGenerator::new(city_extent(), 16, 40, 3).generate();
+        // Sample points inside each region's interior and ensure no other
+        // region claims them.
+        for (i, region) in regions.iter().enumerate() {
+            let c = region.polygons()[0].centroid();
+            assert!(region.contains_point(&c), "region {i} must contain its centroid");
+            for (j, other) in regions.iter().enumerate() {
+                if i != j {
+                    assert!(!other.contains_point(&c), "regions {i} and {j} overlap at {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_valid_and_inside_extent() {
+        let regions = PolygonSetGenerator::new(city_extent(), 36, 24, 11).generate();
+        let extent = city_extent().inflated(1.0);
+        for region in &regions {
+            assert!(!region.is_empty());
+            assert!(region.area() > 0.0);
+            assert!(extent.contains_box(&region.bbox()));
+            for poly in region.polygons() {
+                assert!(poly.is_valid(), "generated polygon must be valid");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PolygonSetGenerator::new(city_extent(), 9, 20, 5).generate();
+        let b = PolygonSetGenerator::new(city_extent(), 9, 20, 5).generate();
+        assert_eq!(a, b);
+        let c = PolygonSetGenerator::new(city_extent(), 9, 20, 6).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn profile_based_generation() {
+        let boroughs = PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Boroughs, 1);
+        let regions = boroughs.generate();
+        assert_eq!(regions.len(), 5);
+        let avg: f64 = regions.iter().map(|r| r.vertex_count() as f64).sum::<f64>() / 5.0;
+        assert!(avg > 500.0, "boroughs should be complex, got {avg} vertices");
+        // Some boroughs are multi-polygons (islands).
+        assert!(regions.iter().any(|r| r.len() > 1));
+
+        let neigh = PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Neighborhoods, 1).generate();
+        assert_eq!(neigh.len(), 289);
+    }
+
+    #[test]
+    fn multipolygon_fraction_produces_islands() {
+        let regions = PolygonSetGenerator::new(city_extent(), 16, 24, 9)
+            .multipolygon_fraction(1.0)
+            .generate();
+        assert!(regions.iter().all(|r| r.len() == 2));
+        let none = PolygonSetGenerator::new(city_extent(), 16, 24, 9).generate();
+        assert!(none.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn rejects_zero_regions() {
+        let _ = PolygonSetGenerator::new(city_extent(), 0, 10, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_total_region_area_is_close_to_extent_area(
+            count in 1usize..60, verts in 4usize..64, seed in 0u64..50,
+        ) {
+            // Regions partition the extent up to the street gaps, so the total
+            // area must be a large fraction of the extent but never exceed it.
+            let extent = city_extent();
+            let regions = PolygonSetGenerator::new(extent, count, verts, seed).generate();
+            let total: f64 = regions.iter().map(MultiPolygon::area).sum();
+            prop_assert!(total <= extent.area() * 1.001);
+            // Unused grid cells (when count is not a perfect grid) reduce
+            // coverage; require at least half the used cells' share.
+            let cols = (count as f64).sqrt().ceil() as usize;
+            let rows = count.div_ceil(cols);
+            let used_fraction = count as f64 / (cols * rows) as f64;
+            prop_assert!(total >= extent.area() * used_fraction * 0.7,
+                "total {total} too small for used fraction {used_fraction}");
+        }
+    }
+}

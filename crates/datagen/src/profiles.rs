@@ -1,0 +1,121 @@
+//! Dataset profiles matching the paper's polygon collections.
+
+/// The polygon datasets of the paper's evaluation (Section 5.1), described
+/// by their region count and average vertex complexity.
+///
+/// | dataset       | regions (paper) | avg. vertices |
+/// |---------------|-----------------|---------------|
+/// | Boroughs      | 5               | 663           |
+/// | Neighborhoods | 289 (260 multi-polygon regions in §5.2) | 30.6 |
+/// | Census        | 39 200          | 13.6          |
+///
+/// The Census count is scaled down by default so a laptop-scale run stays in
+/// the seconds range; the scaling factor is reported by the harness and the
+/// complexity profile (vertices per polygon) is preserved, which is what the
+/// PIP-cost argument of Figure 6 depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetProfile {
+    /// Few, very complex polygons (expensive PIP tests).
+    Boroughs,
+    /// Medium count, medium complexity.
+    Neighborhoods,
+    /// Many simple polygons (cheap PIP tests).
+    Census,
+}
+
+impl DatasetProfile {
+    /// All profiles, in the order Figure 6 reports them.
+    pub const ALL: [DatasetProfile; 3] = [
+        DatasetProfile::Boroughs,
+        DatasetProfile::Neighborhoods,
+        DatasetProfile::Census,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetProfile::Boroughs => "Boroughs",
+            DatasetProfile::Neighborhoods => "Neighborhoods",
+            DatasetProfile::Census => "Census",
+        }
+    }
+
+    /// Region count in the paper's dataset.
+    pub fn paper_region_count(&self) -> usize {
+        match self {
+            DatasetProfile::Boroughs => 5,
+            DatasetProfile::Neighborhoods => 289,
+            DatasetProfile::Census => 39_200,
+        }
+    }
+
+    /// Region count used by the laptop-scale reproduction.
+    pub fn scaled_region_count(&self) -> usize {
+        match self {
+            DatasetProfile::Boroughs => 5,
+            DatasetProfile::Neighborhoods => 289,
+            // 39 200 census tracts scaled ~20x down; complexity preserved.
+            DatasetProfile::Census => 1_936,
+        }
+    }
+
+    /// Average vertices per polygon reported by the paper.
+    pub fn vertices_per_polygon(&self) -> usize {
+        match self {
+            DatasetProfile::Boroughs => 663,
+            DatasetProfile::Neighborhoods => 31,
+            DatasetProfile::Census => 14,
+        }
+    }
+
+    /// Fraction of regions generated as multi-polygons (only the
+    /// neighbourhood-style datasets have islands in the paper's description).
+    pub fn multipolygon_fraction(&self) -> f64 {
+        match self {
+            DatasetProfile::Boroughs => 0.4,
+            DatasetProfile::Neighborhoods => 0.1,
+            DatasetProfile::Census => 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_numbers() {
+        assert_eq!(DatasetProfile::Boroughs.paper_region_count(), 5);
+        assert_eq!(DatasetProfile::Boroughs.vertices_per_polygon(), 663);
+        assert_eq!(DatasetProfile::Neighborhoods.paper_region_count(), 289);
+        assert_eq!(DatasetProfile::Neighborhoods.vertices_per_polygon(), 31);
+        assert_eq!(DatasetProfile::Census.paper_region_count(), 39_200);
+        assert_eq!(DatasetProfile::Census.vertices_per_polygon(), 14);
+    }
+
+    #[test]
+    fn complexity_ordering_is_preserved_when_scaling() {
+        // Boroughs are few and complex; census are many and simple — the
+        // relation the Figure 6 analysis relies on.
+        let b = DatasetProfile::Boroughs;
+        let n = DatasetProfile::Neighborhoods;
+        let c = DatasetProfile::Census;
+        assert!(b.scaled_region_count() < n.scaled_region_count());
+        assert!(n.scaled_region_count() < c.scaled_region_count());
+        assert!(b.vertices_per_polygon() > n.vertices_per_polygon());
+        assert!(n.vertices_per_polygon() > c.vertices_per_polygon());
+        assert!(c.scaled_region_count() <= c.paper_region_count());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(DatasetProfile::Boroughs.to_string(), "Boroughs");
+        assert_eq!(DatasetProfile::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! Clipped Bounding Rectangle approximation.
+//!
+//! Following Sidlauskas et al. (ICDE 2018), the clipped bounding rectangle
+//! improves on the MBR by cutting away empty space concentrated around the
+//! MBR corners: each corner may carry one diagonal "clip line" such that the
+//! triangle between the corner and the clip line contains no part of the
+//! object. The filter test is the MBR test plus up to four half-plane tests.
+
+use crate::approx::{Approximation, ApproximationKind};
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// One clipped corner: the triangle cut off at a given MBR corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CornerClip {
+    /// The corner being clipped.
+    corner: Point,
+    /// Extent of the clip along the x direction away from the corner.
+    dx: f64,
+    /// Extent of the clip along the y direction away from the corner.
+    dy: f64,
+}
+
+impl CornerClip {
+    /// Whether the point falls inside the clipped-off triangle (i.e. is
+    /// excluded by this clip).
+    fn excludes(&self, p: &Point) -> bool {
+        if self.dx <= 0.0 || self.dy <= 0.0 {
+            return false;
+        }
+        // Normalized distances from the corner toward the interior.
+        let u = (p.x - self.corner.x).abs() / self.dx;
+        let v = (p.y - self.corner.y).abs() / self.dy;
+        u + v < 1.0
+    }
+
+    /// Area of the clipped triangle.
+    fn area(&self) -> f64 {
+        0.5 * self.dx.max(0.0) * self.dy.max(0.0)
+    }
+}
+
+/// MBR with up to four clipped corners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClippedBoundingBox {
+    bbox: BoundingBox,
+    clips: Vec<CornerClip>,
+}
+
+impl ClippedBoundingBox {
+    /// Number of probe steps used when growing a corner clip.
+    const PROBE_STEPS: usize = 16;
+
+    /// The underlying MBR.
+    pub fn rect(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// Total area clipped away from the MBR.
+    pub fn clipped_area(&self) -> f64 {
+        self.clips.iter().map(CornerClip::area).sum()
+    }
+
+    /// Number of corners that carry a non-trivial clip.
+    pub fn clip_count(&self) -> usize {
+        self.clips.iter().filter(|c| c.area() > 0.0).count()
+    }
+
+    /// Builds the clip for one corner by growing the clip triangle until it
+    /// would intersect the polygon.
+    fn build_clip(polygon: &Polygon, corner: Point, bbox: &BoundingBox) -> CornerClip {
+        let max_dx = bbox.width();
+        let max_dy = bbox.height();
+        let toward_x = if corner.x == bbox.min.x { 1.0 } else { -1.0 };
+        let toward_y = if corner.y == bbox.min.y { 1.0 } else { -1.0 };
+
+        // Probe increasing triangle sizes (as a fraction of the half-extent)
+        // and keep the largest one whose hypotenuse does not cross the
+        // polygon and whose interior contains no polygon vertex.
+        let mut best = CornerClip { corner, dx: 0.0, dy: 0.0 };
+        for step in (1..=Self::PROBE_STEPS).rev() {
+            let frac = step as f64 / Self::PROBE_STEPS as f64 * 0.5;
+            let dx = max_dx * frac;
+            let dy = max_dy * frac;
+            if dx <= 0.0 || dy <= 0.0 {
+                continue;
+            }
+            let clip = CornerClip { corner, dx, dy };
+            let a = Point::new(corner.x + toward_x * dx, corner.y);
+            let b = Point::new(corner.x, corner.y + toward_y * dy);
+            let hypotenuse = crate::segment::Segment::new(a, b);
+            let crosses = polygon.edges().any(|e| e.intersects(&hypotenuse));
+            let vertex_inside = polygon
+                .exterior()
+                .vertices()
+                .iter()
+                .any(|v| clip.excludes(v));
+            let corner_in_polygon = polygon.contains_point(&corner);
+            if !crosses && !vertex_inside && !corner_in_polygon {
+                best = clip;
+                break;
+            }
+        }
+        best
+    }
+}
+
+impl Approximation for ClippedBoundingBox {
+    fn from_polygon(polygon: &Polygon) -> Self {
+        let bbox = polygon.bbox();
+        let clips = bbox
+            .corners()
+            .iter()
+            .map(|&corner| Self::build_clip(polygon, corner, &bbox))
+            .collect();
+        ClippedBoundingBox { bbox, clips }
+    }
+
+    fn kind(&self) -> ApproximationKind {
+        ApproximationKind::ClippedBbox
+    }
+
+    fn may_contain_point(&self, p: &Point) -> bool {
+        if !self.bbox.contains_point(p) {
+            return false;
+        }
+        !self.clips.iter().any(|c| c.excludes(p))
+    }
+
+    fn area(&self) -> f64 {
+        (self.bbox.area() - self.clipped_area()).max(0.0)
+    }
+
+    fn bbox(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // MBR (4 floats) + four clips (2 floats each).
+        (4 + 8) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn triangle() -> Polygon {
+        // Right triangle leaving the upper-left MBR corner empty.
+        Polygon::from_coords(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)])
+    }
+
+    #[test]
+    fn clips_empty_corner_of_triangle() {
+        let poly = triangle();
+        let cbb = ClippedBoundingBox::from_polygon(&poly);
+        assert_eq!(cbb.kind(), ApproximationKind::ClippedBbox);
+        // At least the empty (0,10) corner should be clipped.
+        assert!(cbb.clip_count() >= 1, "expected at least one clipped corner");
+        assert!(cbb.clipped_area() > 0.0);
+        assert!(cbb.area() < poly.bbox().area());
+        // Far corner point excluded by the clip.
+        assert!(!cbb.may_contain_point(&Point::new(0.5, 9.5)));
+        // Outside the MBR entirely.
+        assert!(!cbb.may_contain_point(&Point::new(20.0, 5.0)));
+    }
+
+    #[test]
+    fn remains_conservative_for_polygon_points() {
+        let poly = triangle();
+        let cbb = ClippedBoundingBox::from_polygon(&poly);
+        for v in poly.exterior().vertices() {
+            assert!(cbb.may_contain_point(v));
+        }
+        // Interior samples.
+        for &(x, y) in &[(5.0, 1.0), (9.0, 5.0), (8.0, 7.0), (9.9, 9.0)] {
+            let p = Point::new(x, y);
+            assert!(poly.contains_point(&p));
+            assert!(cbb.may_contain_point(&p), "clip wrongly excludes {:?}", p);
+        }
+    }
+
+    #[test]
+    fn rectangle_polygon_gets_no_clips() {
+        let rect = Polygon::from_coords(&[(0.0, 0.0), (4.0, 0.0), (4.0, 2.0), (0.0, 2.0)]);
+        let cbb = ClippedBoundingBox::from_polygon(&rect);
+        assert_eq!(cbb.clip_count(), 0);
+        assert_eq!(cbb.area(), rect.bbox().area());
+        assert_eq!(cbb.storage_bytes(), 96);
+    }
+
+    #[test]
+    fn area_between_polygon_and_mbr() {
+        let poly = triangle();
+        let cbb = ClippedBoundingBox::from_polygon(&poly);
+        assert!(cbb.area() >= poly.area() - 1e-9);
+        assert!(cbb.area() <= poly.bbox().area() + 1e-9);
+        assert!(cbb.false_area_ratio(&poly) <= Mbr::from_polygon(&poly).false_area_ratio(&poly));
+    }
+
+    use crate::approx::mbr::Mbr;
+
+    proptest! {
+        #[test]
+        fn prop_clipped_bbox_is_conservative_for_interior_points(
+            pts in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 3..15),
+            tx in 0.05f64..0.95, ty in 0.05f64..0.95,
+        ) {
+            let poly = Polygon::from_coords(&pts);
+            prop_assume!(poly.area() > 1.0);
+            let cbb = ClippedBoundingBox::from_polygon(&poly);
+            // Sample a point inside the polygon via rejection on the bbox lerp.
+            let bbox = poly.bbox();
+            let p = Point::new(
+                bbox.min.x + tx * bbox.width(),
+                bbox.min.y + ty * bbox.height(),
+            );
+            prop_assume!(poly.contains_point(&p));
+            prop_assert!(cbb.may_contain_point(&p), "clipped bbox excluded interior point {:?}", p);
+        }
+
+        #[test]
+        fn prop_clipped_area_never_exceeds_mbr(
+            pts in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 3..15),
+        ) {
+            let poly = Polygon::from_coords(&pts);
+            let cbb = ClippedBoundingBox::from_polygon(&poly);
+            prop_assert!(cbb.area() <= poly.bbox().area() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Minimum Bounding Rectangle (MBR) approximation.
+//!
+//! The MBR is the approximation used by virtually all production spatial
+//! indexes (R-trees and friends). It is compact (4 floats) but coarse, and —
+//! central to the paper's argument — it is **not distance-bounded**: the
+//! distance from an MBR corner to the nearest point of the object depends
+//! entirely on the object's shape ([`Mbr::corner_gap`] measures it).
+
+use crate::approx::{Approximation, ApproximationKind};
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// Axis-aligned minimum bounding rectangle of a polygon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mbr {
+    bbox: BoundingBox,
+}
+
+impl Mbr {
+    /// Wraps an existing bounding box as an MBR approximation.
+    pub fn from_bbox(bbox: BoundingBox) -> Self {
+        Mbr { bbox }
+    }
+
+    /// The underlying rectangle.
+    pub fn rect(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// The largest distance from any MBR corner to the nearest point of the
+    /// polygon boundary.
+    ///
+    /// This is the quantity the paper points to when it notes that MBRs
+    /// cannot guarantee a distance bound: `corner_gap` is data dependent and
+    /// unbounded (e.g. a thin diagonal polygon has gaps proportional to its
+    /// diameter).
+    pub fn corner_gap(&self, polygon: &Polygon) -> f64 {
+        self.bbox
+            .corners()
+            .iter()
+            .map(|c| {
+                if polygon.contains_point(c) {
+                    0.0
+                } else {
+                    polygon.boundary_distance(c)
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Approximation for Mbr {
+    fn from_polygon(polygon: &Polygon) -> Self {
+        Mbr {
+            bbox: polygon.bbox(),
+        }
+    }
+
+    fn kind(&self) -> ApproximationKind {
+        ApproximationKind::Mbr
+    }
+
+    fn may_contain_point(&self, p: &Point) -> bool {
+        self.bbox.contains_point(p)
+    }
+
+    fn area(&self) -> f64 {
+        self.bbox.area()
+    }
+
+    fn bbox(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    fn storage_bytes(&self) -> usize {
+        4 * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn triangle() -> Polygon {
+        Polygon::from_coords(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)])
+    }
+
+    #[test]
+    fn mbr_of_triangle() {
+        let mbr = Mbr::from_polygon(&triangle());
+        assert_eq!(mbr.kind(), ApproximationKind::Mbr);
+        assert_eq!(*mbr.rect(), BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(mbr.area(), 100.0);
+        assert_eq!(mbr.storage_bytes(), 32);
+        // The triangle covers only half of its MBR.
+        assert_eq!(mbr.false_area_ratio(&triangle()), 2.0);
+    }
+
+    #[test]
+    fn mbr_is_conservative() {
+        let poly = triangle();
+        let mbr = Mbr::from_polygon(&poly);
+        for v in poly.exterior().vertices() {
+            assert!(mbr.may_contain_point(v));
+        }
+        // A point inside the polygon is always inside the MBR.
+        assert!(mbr.may_contain_point(&Point::new(8.0, 2.0)));
+        // The upper-left corner region is a false positive area.
+        assert!(mbr.may_contain_point(&Point::new(1.0, 9.0)));
+        assert!(!poly.contains_point(&Point::new(1.0, 9.0)));
+    }
+
+    #[test]
+    fn corner_gap_reflects_shape_dependence() {
+        // The right triangle's MBR has a far-away corner at (0, 10):
+        // the closest boundary point is on the hypotenuse.
+        let gap = Mbr::from_polygon(&triangle()).corner_gap(&triangle());
+        assert!((gap - 50f64.sqrt()).abs() < 1e-9, "gap = {gap}");
+
+        // A rectangle-shaped polygon has no corner gap at all.
+        let rect = Polygon::from_coords(&[(0.0, 0.0), (4.0, 0.0), (4.0, 2.0), (0.0, 2.0)]);
+        assert_eq!(Mbr::from_polygon(&rect).corner_gap(&rect), 0.0);
+    }
+
+    #[test]
+    fn corner_gap_grows_with_sliver_length() {
+        // Thin diagonal sliver: corner gap grows with the diameter, showing
+        // the MBR error is unbounded (paper Section 2.2).
+        let short = Polygon::from_coords(&[(0.0, 0.0), (10.0, 10.0), (10.0, 10.1), (0.0, 0.1)]);
+        let long = Polygon::from_coords(&[(0.0, 0.0), (100.0, 100.0), (100.0, 100.1), (0.0, 0.1)]);
+        let g_short = Mbr::from_polygon(&short).corner_gap(&short);
+        let g_long = Mbr::from_polygon(&long).corner_gap(&long);
+        assert!(g_long > 5.0 * g_short);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mbr_contains_all_vertices(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..40)
+        ) {
+            let poly = Polygon::from_coords(&pts);
+            let mbr = Mbr::from_polygon(&poly);
+            for v in poly.exterior().vertices() {
+                prop_assert!(mbr.may_contain_point(v));
+            }
+        }
+
+        #[test]
+        fn prop_mbr_area_at_least_polygon_area(
+            w in 1f64..50.0, h in 1f64..50.0,
+        ) {
+            let poly = Polygon::from_coords(&[(0.0, 0.0), (w, 0.0), (w, h), (0.0, h), (w * 0.5, h * 0.5)]);
+            let mbr = Mbr::from_polygon(&poly);
+            prop_assert!(mbr.area() >= poly.area() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Minimum Bounding Circle (MBC) approximation.
+//!
+//! Computed with Welzl's randomized-incremental algorithm (implemented here
+//! deterministically with a move-to-front heuristic, which is fast enough
+//! for the vertex counts in the workloads: hundreds of vertices).
+
+use crate::approx::{Approximation, ApproximationKind};
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// A circle described by its center and radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// The degenerate empty circle.
+    pub const EMPTY: Circle = Circle {
+        center: Point::ORIGIN,
+        radius: -1.0,
+    };
+
+    /// Whether the circle contains the point (with a small tolerance).
+    pub fn contains(&self, p: &Point) -> bool {
+        if self.radius < 0.0 {
+            return false;
+        }
+        self.center.distance(p) <= self.radius + 1e-9 * (1.0 + self.radius)
+    }
+
+    fn from_two(a: &Point, b: &Point) -> Circle {
+        Circle {
+            center: a.lerp(b, 0.5),
+            radius: a.distance(b) * 0.5,
+        }
+    }
+
+    fn from_three(a: &Point, b: &Point, c: &Point) -> Circle {
+        // Circumcircle via perpendicular bisector intersection.
+        let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+        if d.abs() < 1e-12 {
+            // Collinear: use the widest pair.
+            let ab = Circle::from_two(a, b);
+            let ac = Circle::from_two(a, c);
+            let bc = Circle::from_two(b, c);
+            let mut best = ab;
+            for cand in [ac, bc] {
+                if cand.radius > best.radius {
+                    best = cand;
+                }
+            }
+            return best;
+        }
+        let a2 = a.dot(a);
+        let b2 = b.dot(b);
+        let c2 = c.dot(c);
+        let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+        let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+        let center = Point::new(ux, uy);
+        Circle {
+            radius: center.distance(a),
+            center,
+        }
+    }
+}
+
+/// Minimum bounding circle of a polygon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinBoundingCircle {
+    circle: Circle,
+}
+
+impl MinBoundingCircle {
+    /// The enclosing circle.
+    pub fn circle(&self) -> &Circle {
+        &self.circle
+    }
+
+    /// Computes the minimum enclosing circle of a point set.
+    pub fn from_points(points: &[Point]) -> Self {
+        let pts: Vec<Point> = points.iter().filter(|p| p.is_finite()).copied().collect();
+        MinBoundingCircle {
+            circle: welzl(&pts),
+        }
+    }
+}
+
+/// Iterative Welzl-style construction: grow the circle whenever a point
+/// falls outside, re-anchoring on boundary points. Deterministic and
+/// `O(n)` expected for the shuffled case; worst case `O(n^3)` on tiny inputs
+/// which is irrelevant at workload vertex counts.
+fn welzl(points: &[Point]) -> Circle {
+    if points.is_empty() {
+        return Circle::EMPTY;
+    }
+    if points.len() == 1 {
+        return Circle {
+            center: points[0],
+            radius: 0.0,
+        };
+    }
+    let mut c = Circle::from_two(&points[0], &points[1]);
+    for i in 2..points.len() {
+        if c.contains(&points[i]) {
+            continue;
+        }
+        // points[i] must be on the boundary of the new circle.
+        c = Circle {
+            center: points[i],
+            radius: 0.0,
+        };
+        for j in 0..i {
+            if c.contains(&points[j]) {
+                continue;
+            }
+            c = Circle::from_two(&points[i], &points[j]);
+            for k in 0..j {
+                if !c.contains(&points[k]) {
+                    c = Circle::from_three(&points[i], &points[j], &points[k]);
+                }
+            }
+        }
+    }
+    c
+}
+
+impl Approximation for MinBoundingCircle {
+    fn from_polygon(polygon: &Polygon) -> Self {
+        MinBoundingCircle::from_points(polygon.exterior().vertices())
+    }
+
+    fn kind(&self) -> ApproximationKind {
+        ApproximationKind::MinCircle
+    }
+
+    fn may_contain_point(&self, p: &Point) -> bool {
+        self.circle.contains(p)
+    }
+
+    fn area(&self) -> f64 {
+        if self.circle.radius < 0.0 {
+            0.0
+        } else {
+            std::f64::consts::PI * self.circle.radius * self.circle.radius
+        }
+    }
+
+    fn bbox(&self) -> BoundingBox {
+        if self.circle.radius < 0.0 {
+            return BoundingBox::EMPTY;
+        }
+        BoundingBox::from_bounds(
+            self.circle.center.x - self.circle.radius,
+            self.circle.center.y - self.circle.radius,
+            self.circle.center.x + self.circle.radius,
+            self.circle.center.y + self.circle.radius,
+        )
+    }
+
+    fn storage_bytes(&self) -> usize {
+        3 * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn circle_of_square_is_circumscribed() {
+        let sq = Polygon::from_coords(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
+        let mbc = MinBoundingCircle::from_polygon(&sq);
+        let c = mbc.circle();
+        assert!((c.center.x - 1.0).abs() < 1e-9);
+        assert!((c.center.y - 1.0).abs() < 1e-9);
+        assert!((c.radius - 2f64.sqrt()).abs() < 1e-9);
+        assert_eq!(mbc.kind(), ApproximationKind::MinCircle);
+        assert_eq!(mbc.storage_bytes(), 24);
+    }
+
+    #[test]
+    fn circle_of_two_point_diameter() {
+        let mbc = MinBoundingCircle::from_points(&[Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        assert_eq!(mbc.circle().radius, 5.0);
+        assert_eq!(mbc.circle().center, Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(MinBoundingCircle::from_points(&[]).circle().radius, -1.0);
+        let single = MinBoundingCircle::from_points(&[Point::new(3.0, 4.0)]);
+        assert_eq!(single.circle().radius, 0.0);
+        assert!(single.may_contain_point(&Point::new(3.0, 4.0)));
+        assert_eq!(single.area(), 0.0);
+        // Collinear points.
+        let col = MinBoundingCircle::from_points(&[
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(10.0, 0.0),
+        ]);
+        assert!((col.circle().radius - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_longest_side_as_diameter() {
+        // For an obtuse triangle the MEC is the circle on the longest side.
+        let mbc = MinBoundingCircle::from_points(&[
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 1.0),
+        ]);
+        assert!((mbc.circle().radius - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bbox_encloses_circle() {
+        let mbc = MinBoundingCircle::from_points(&[
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 3.0),
+        ]);
+        let b = mbc.bbox();
+        let c = mbc.circle();
+        assert!(b.contains_point(&Point::new(c.center.x + c.radius, c.center.y)));
+        assert!(b.contains_point(&Point::new(c.center.x, c.center.y - c.radius)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_min_circle_contains_all_points(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 1..40)
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mbc = MinBoundingCircle::from_points(&points);
+            for p in &points {
+                prop_assert!(mbc.may_contain_point(p), "{:?} outside circle {:?}", p, mbc.circle());
+            }
+        }
+
+        #[test]
+        fn prop_min_circle_not_larger_than_bbox_circumcircle(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 2..40)
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mbc = MinBoundingCircle::from_points(&points);
+            let bbox = BoundingBox::from_points(points.iter());
+            // The bbox's half-diagonal circle always encloses the points, so
+            // the minimum circle cannot be larger.
+            let half_diag = 0.5 * (bbox.width().powi(2) + bbox.height().powi(2)).sqrt();
+            prop_assert!(mbc.circle().radius <= half_diag + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Classic geometric approximations of spatial objects (paper Section 2.1).
+//!
+//! These are the approximations surveyed by Brinkhoff et al. and used by
+//! traditional filter-and-refine pipelines: the Minimum Bounding Rectangle
+//! (MBR), the Rotated MBR, the Minimum Bounding Circle, the Convex Hull, the
+//! Minimum Bounding n-Corner and the Clipped Bounding Rectangle.
+//!
+//! They all share the [`Approximation`] interface: a *conservative*
+//! containment filter (`may_contain_point` never produces false negatives
+//! for points inside the original object) plus area / storage metrics used
+//! in the approximation-quality experiments.
+//!
+//! Crucially — and this is the paper's argument — none of these can provide
+//! a *distance bound*: the Hausdorff distance between an object and, say,
+//! its MBR depends on the object's shape and can be arbitrarily large
+//! (consider a thin diagonal sliver). Raster approximations
+//! (`dbsa-raster`) are the distance-bounded alternative.
+
+pub mod clipped_bbox;
+pub mod mbr;
+pub mod min_circle;
+pub mod n_corner;
+pub mod rotated_mbr;
+
+use crate::bbox::BoundingBox;
+use crate::convex_hull::convex_hull;
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+
+/// Identifies the kind of a geometric approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApproximationKind {
+    /// Axis-aligned minimum bounding rectangle.
+    Mbr,
+    /// Minimum-area rotated bounding rectangle.
+    RotatedMbr,
+    /// Minimum bounding circle.
+    MinCircle,
+    /// Convex hull.
+    ConvexHull,
+    /// Minimum bounding n-corner (convex polygon with at most n vertices).
+    NCorner,
+    /// MBR with clipped corners (Clipped Bounding Rectangle).
+    ClippedBbox,
+}
+
+/// Common interface of conservative geometric approximations.
+///
+/// A conservative approximation `A(g)` of geometry `g` satisfies
+/// `g ⊆ A(g)`: every point of the original object is inside the
+/// approximation, so using `may_contain_point` as a filter can produce
+/// false positives but never false negatives.
+pub trait Approximation {
+    /// Builds the approximation of a polygon.
+    fn from_polygon(polygon: &Polygon) -> Self
+    where
+        Self: Sized;
+
+    /// Which approximation this is.
+    fn kind(&self) -> ApproximationKind;
+
+    /// Conservative containment filter: `false` guarantees the point is not
+    /// in the original object; `true` means "maybe".
+    fn may_contain_point(&self, p: &Point) -> bool;
+
+    /// Area of the approximation region (the smaller the area relative to
+    /// the object, the fewer false positives the filter admits).
+    fn area(&self) -> f64;
+
+    /// Axis-aligned bounding box of the approximation (used when the
+    /// approximation itself is stored inside an R-tree style index).
+    fn bbox(&self) -> BoundingBox;
+
+    /// Approximate storage footprint in bytes (for the memory experiments).
+    fn storage_bytes(&self) -> usize;
+
+    /// False-area ratio with respect to the approximated polygon:
+    /// `area(approximation) / area(polygon)`. A value of 1.0 is a perfect
+    /// fit; larger values admit more false positives.
+    fn false_area_ratio(&self, polygon: &Polygon) -> f64 {
+        let pa = polygon.area();
+        if pa == 0.0 {
+            f64::INFINITY
+        } else {
+            self.area() / pa
+        }
+    }
+}
+
+/// The convex hull used as a conservative approximation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexHullApprox {
+    hull: Ring,
+}
+
+impl ConvexHullApprox {
+    /// The hull ring.
+    pub fn ring(&self) -> &Ring {
+        &self.hull
+    }
+}
+
+impl Approximation for ConvexHullApprox {
+    fn from_polygon(polygon: &Polygon) -> Self {
+        let hull = convex_hull(polygon.exterior().vertices());
+        ConvexHullApprox {
+            hull: Ring::new(hull),
+        }
+    }
+
+    fn kind(&self) -> ApproximationKind {
+        ApproximationKind::ConvexHull
+    }
+
+    fn may_contain_point(&self, p: &Point) -> bool {
+        self.hull.contains_point(p)
+    }
+
+    fn area(&self) -> f64 {
+        self.hull.area()
+    }
+
+    fn bbox(&self) -> BoundingBox {
+        self.hull.bbox()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.hull.len() * std::mem::size_of::<Point>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+
+    fn l_polygon() -> Polygon {
+        Polygon::from_coords(&[
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (4.0, 2.0),
+            (2.0, 2.0),
+            (2.0, 4.0),
+            (0.0, 4.0),
+        ])
+    }
+
+    #[test]
+    fn convex_hull_approx_is_conservative() {
+        let poly = l_polygon();
+        let hull = ConvexHullApprox::from_polygon(&poly);
+        assert_eq!(hull.kind(), ApproximationKind::ConvexHull);
+        // Every polygon vertex must be inside the hull.
+        for v in poly.exterior().vertices() {
+            assert!(hull.may_contain_point(v));
+        }
+        // The hull of the L-shape has area 14 (bbox 16 minus one corner triangle of 2).
+        assert!((hull.area() - 14.0).abs() < 1e-9);
+        assert!(hull.area() >= poly.area());
+        assert!(hull.false_area_ratio(&poly) >= 1.0);
+        assert_eq!(hull.bbox(), poly.bbox());
+        assert!(hull.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn hull_filters_out_far_points() {
+        let hull = ConvexHullApprox::from_polygon(&l_polygon());
+        assert!(!hull.may_contain_point(&Point::new(10.0, 10.0)));
+        // The notch of the L: the hull still says maybe (false positive),
+        // demonstrating why approximations over-approximate.
+        let notch_point = Point::new(3.0, 2.5);
+        assert!(!l_polygon().contains_point(&notch_point));
+        assert!(hull.may_contain_point(&notch_point));
+    }
+
+    #[test]
+    fn false_area_ratio_handles_zero_area_polygon() {
+        let degenerate = Polygon::from_coords(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let hull = ConvexHullApprox::from_polygon(&degenerate);
+        assert!(hull.false_area_ratio(&degenerate).is_infinite());
+    }
+}

@@ -1,0 +1,216 @@
+//! Minimum Bounding n-Corner approximation.
+//!
+//! A convex polygon with at most `n` vertices that encloses the object.
+//! Following Brinkhoff et al., it interpolates between the MBR (n = 4,
+//! axis-aligned) and the convex hull (n = hull size): more corners mean a
+//! tighter fit but more storage and a costlier filter test.
+//!
+//! The construction used here repeatedly removes the hull vertex whose
+//! removal adds the least area, replacing it with the intersection of its
+//! neighbouring edges — a standard greedy scheme that keeps the polygon
+//! enclosing (conservative) at every step.
+
+use crate::approx::{Approximation, ApproximationKind};
+use crate::bbox::BoundingBox;
+use crate::convex_hull::convex_hull;
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::predicates;
+
+/// Convex enclosing polygon with a bounded number of corners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinBoundingNCorner {
+    ring: Ring,
+    target_corners: usize,
+}
+
+impl MinBoundingNCorner {
+    /// Default number of corners when built through [`Approximation::from_polygon`].
+    pub const DEFAULT_CORNERS: usize = 5;
+
+    /// Builds an enclosing convex polygon with at most `n` corners
+    /// (`n >= 3`).
+    pub fn with_corners(polygon: &Polygon, n: usize) -> Self {
+        assert!(n >= 3, "an enclosing polygon needs at least 3 corners");
+        let hull = convex_hull(polygon.exterior().vertices());
+        if hull.len() <= n {
+            return MinBoundingNCorner {
+                ring: Ring::new(hull),
+                target_corners: n,
+            };
+        }
+        let mut vertices = hull;
+        while vertices.len() > n {
+            if !remove_cheapest_vertex(&mut vertices) {
+                break;
+            }
+        }
+        MinBoundingNCorner {
+            ring: Ring::new(vertices),
+            target_corners: n,
+        }
+    }
+
+    /// The enclosing ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The corner budget this approximation was built with.
+    pub fn target_corners(&self) -> usize {
+        self.target_corners
+    }
+}
+
+/// Eliminates one edge of the convex polygon: the two endpoints of the
+/// eliminated edge are replaced by the intersection of their *other*
+/// adjacent edges, extended outward. The replacement point lies outside the
+/// old polygon, so the result still encloses it; the added area is the
+/// triangle formed by the eliminated edge and the new point. The edge with
+/// the smallest added area is chosen. Returns false if no edge can be
+/// eliminated (adjacent edges parallel or diverging for every candidate).
+fn remove_cheapest_vertex(vertices: &mut Vec<Point>) -> bool {
+    let n = vertices.len();
+    if n <= 3 {
+        return false;
+    }
+    let mut best: Option<(usize, Point, f64)> = None;
+    for i in 0..n {
+        // Eliminate the edge (a, b); extend (prev -> a) beyond a and
+        // (next -> b) beyond b until they meet at p.
+        let prev = vertices[(i + n - 1) % n];
+        let a = vertices[i];
+        let b = vertices[(i + 1) % n];
+        let next = vertices[(i + 2) % n];
+        let d1 = a - prev;
+        let d2 = b - next;
+        let denom = d1.cross(&d2);
+        if denom.abs() < 1e-12 {
+            continue; // parallel extensions never meet
+        }
+        // Solve a + d1*t = b + d2*u.
+        let diff = b - a;
+        let t = diff.cross(&d2) / denom;
+        let u = diff.cross(&d1) / denom;
+        if t < 0.0 || u < 0.0 {
+            continue; // rays diverge: eliminating this edge would not enclose
+        }
+        let p = a + d1 * t;
+        let added = predicates::signed_area2(&a, &p, &b).abs() * 0.5;
+        match best {
+            Some((_, _, best_area)) if best_area <= added => {}
+            _ => best = Some((i, p, added)),
+        }
+    }
+    if let Some((i, p, _)) = best {
+        let next_idx = (i + 1) % vertices.len();
+        vertices[i] = p;
+        vertices.remove(next_idx);
+        true
+    } else {
+        false
+    }
+}
+
+impl Approximation for MinBoundingNCorner {
+    fn from_polygon(polygon: &Polygon) -> Self {
+        MinBoundingNCorner::with_corners(polygon, Self::DEFAULT_CORNERS)
+    }
+
+    fn kind(&self) -> ApproximationKind {
+        ApproximationKind::NCorner
+    }
+
+    fn may_contain_point(&self, p: &Point) -> bool {
+        self.ring.contains_point(p)
+    }
+
+    fn area(&self) -> f64 {
+        self.ring.area()
+    }
+
+    fn bbox(&self) -> BoundingBox {
+        self.ring.bbox()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.ring.len() * std::mem::size_of::<Point>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn octagon() -> Polygon {
+        let pts: Vec<(f64, f64)> = (0..8)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / 8.0;
+                (10.0 * a.cos(), 10.0 * a.sin())
+            })
+            .collect();
+        Polygon::from_coords(&pts)
+    }
+
+    #[test]
+    fn hull_smaller_than_budget_is_kept() {
+        let tri = Polygon::from_coords(&[(0.0, 0.0), (4.0, 0.0), (2.0, 3.0)]);
+        let nc = MinBoundingNCorner::with_corners(&tri, 5);
+        assert_eq!(nc.ring().len(), 3);
+        assert_eq!(nc.target_corners(), 5);
+    }
+
+    #[test]
+    fn octagon_reduced_to_five_corners_still_encloses() {
+        let poly = octagon();
+        let nc = MinBoundingNCorner::with_corners(&poly, 5);
+        assert!(nc.ring().len() <= 5);
+        assert!(nc.ring().len() >= 3);
+        for v in poly.exterior().vertices() {
+            assert!(nc.may_contain_point(v), "vertex {:?} escaped the n-corner", v);
+        }
+        // Still a reasonable fit: no more than the bounding-box area.
+        assert!(nc.area() <= poly.bbox().area() * 1.5);
+    }
+
+    #[test]
+    fn more_corners_fit_at_least_as_tight() {
+        let poly = octagon();
+        let loose = MinBoundingNCorner::with_corners(&poly, 3);
+        let tight = MinBoundingNCorner::with_corners(&poly, 6);
+        assert!(tight.area() <= loose.area() + 1e-9);
+        assert!(loose.area() >= poly.area());
+        assert!(tight.area() >= poly.area() - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 corners")]
+    fn rejects_fewer_than_three_corners() {
+        let _ = MinBoundingNCorner::with_corners(&octagon(), 2);
+    }
+
+    #[test]
+    fn default_build_uses_five_corners() {
+        let nc = MinBoundingNCorner::from_polygon(&octagon());
+        assert_eq!(nc.kind(), ApproximationKind::NCorner);
+        assert!(nc.ring().len() <= MinBoundingNCorner::DEFAULT_CORNERS);
+        assert!(nc.storage_bytes() >= 3 * std::mem::size_of::<Point>());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_n_corner_is_conservative(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 6..25),
+            n in 3usize..7,
+        ) {
+            let poly = Polygon::from_coords(&pts);
+            prop_assume!(convex_hull(poly.exterior().vertices()).len() >= 3);
+            let nc = MinBoundingNCorner::with_corners(&poly, n);
+            prop_assume!(nc.ring().len() >= 3);
+            for v in poly.exterior().vertices() {
+                prop_assert!(nc.may_contain_point(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Rotated Minimum Bounding Rectangle (RMBR).
+//!
+//! The minimum-area oriented rectangle enclosing the object, computed with
+//! rotating calipers over the convex hull. It fits elongated diagonal
+//! objects much better than the axis-aligned MBR at the cost of storing an
+//! angle and of a slightly more expensive containment filter.
+
+use crate::approx::{Approximation, ApproximationKind};
+use crate::bbox::BoundingBox;
+use crate::convex_hull::convex_hull;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// Minimum-area rotated bounding rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotatedMbr {
+    /// Center of the rectangle.
+    center: Point,
+    /// Half-extent along the rectangle's local x axis.
+    half_width: f64,
+    /// Half-extent along the rectangle's local y axis.
+    half_height: f64,
+    /// Rotation angle of the local x axis, in radians.
+    angle: f64,
+}
+
+impl RotatedMbr {
+    /// The rectangle's rotation angle in radians.
+    pub fn angle(&self) -> f64 {
+        self.angle
+    }
+
+    /// The rectangle's center.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Width and height of the rectangle.
+    pub fn dimensions(&self) -> (f64, f64) {
+        (self.half_width * 2.0, self.half_height * 2.0)
+    }
+
+    /// The four corners of the rotated rectangle in CCW order.
+    pub fn corners(&self) -> [Point; 4] {
+        let local = [
+            Point::new(-self.half_width, -self.half_height),
+            Point::new(self.half_width, -self.half_height),
+            Point::new(self.half_width, self.half_height),
+            Point::new(-self.half_width, self.half_height),
+        ];
+        local.map(|p| p.rotated(self.angle) + self.center)
+    }
+
+    fn from_points(points: &[Point]) -> Self {
+        let hull = convex_hull(points);
+        if hull.len() < 3 {
+            // Degenerate: fall back to an axis-aligned box around the points.
+            let bbox = BoundingBox::from_points(points.iter());
+            let (w, h) = (bbox.width(), bbox.height());
+            return RotatedMbr {
+                center: if bbox.is_empty() { Point::ORIGIN } else { bbox.center() },
+                half_width: w * 0.5,
+                half_height: h * 0.5,
+                angle: 0.0,
+            };
+        }
+
+        // Rotating calipers: the minimum-area enclosing rectangle has a side
+        // collinear with one of the hull edges.
+        let mut best_area = f64::INFINITY;
+        let mut best = (Point::ORIGIN, 0.0, 0.0, 0.0);
+        let n = hull.len();
+        for i in 0..n {
+            let a = hull[i];
+            let b = hull[(i + 1) % n];
+            let edge = (b - a).normalized();
+            if edge.norm() == 0.0 {
+                continue;
+            }
+            let angle = edge.y.atan2(edge.x);
+            // Rotate all hull points into the edge frame and take their bbox.
+            let mut min_x = f64::INFINITY;
+            let mut max_x = f64::NEG_INFINITY;
+            let mut min_y = f64::INFINITY;
+            let mut max_y = f64::NEG_INFINITY;
+            for p in &hull {
+                let r = p.rotated(-angle);
+                min_x = min_x.min(r.x);
+                max_x = max_x.max(r.x);
+                min_y = min_y.min(r.y);
+                max_y = max_y.max(r.y);
+            }
+            let area = (max_x - min_x) * (max_y - min_y);
+            if area < best_area {
+                best_area = area;
+                let local_center = Point::new((min_x + max_x) * 0.5, (min_y + max_y) * 0.5);
+                best = (
+                    local_center.rotated(angle),
+                    (max_x - min_x) * 0.5,
+                    (max_y - min_y) * 0.5,
+                    angle,
+                );
+            }
+        }
+        RotatedMbr {
+            center: best.0,
+            half_width: best.1,
+            half_height: best.2,
+            angle: best.3,
+        }
+    }
+}
+
+impl Approximation for RotatedMbr {
+    fn from_polygon(polygon: &Polygon) -> Self {
+        RotatedMbr::from_points(polygon.exterior().vertices())
+    }
+
+    fn kind(&self) -> ApproximationKind {
+        ApproximationKind::RotatedMbr
+    }
+
+    fn may_contain_point(&self, p: &Point) -> bool {
+        // Transform into the rectangle's local frame and do an AABB test.
+        let local = (*p - self.center).rotated(-self.angle);
+        // A small tolerance absorbs rotation round-off at the corners.
+        let tol = 1e-9 * (1.0 + self.half_width.max(self.half_height));
+        local.x.abs() <= self.half_width + tol && local.y.abs() <= self.half_height + tol
+    }
+
+    fn area(&self) -> f64 {
+        4.0 * self.half_width * self.half_height
+    }
+
+    fn bbox(&self) -> BoundingBox {
+        BoundingBox::from_points(self.corners().iter())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // center (2), half extents (2), angle (1)
+        5 * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn axis_aligned_rectangle_is_recovered() {
+        let rect = Polygon::from_coords(&[(0.0, 0.0), (6.0, 0.0), (6.0, 2.0), (0.0, 2.0)]);
+        let rmbr = RotatedMbr::from_polygon(&rect);
+        assert!((rmbr.area() - 12.0).abs() < 1e-9);
+        let (w, h) = rmbr.dimensions();
+        let (long, short) = if w > h { (w, h) } else { (h, w) };
+        assert!((long - 6.0).abs() < 1e-9);
+        assert!((short - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_sliver_fits_much_better_than_mbr() {
+        // A 45° sliver: MBR area is ~100, the rotated MBR is tiny.
+        let sliver = Polygon::from_coords(&[(0.0, 0.0), (10.0, 10.0), (10.0, 10.5), (0.0, 0.5)]);
+        let rmbr = RotatedMbr::from_polygon(&sliver);
+        let mbr_area = sliver.bbox().area();
+        assert!(rmbr.area() < mbr_area * 0.2, "rmbr {} vs mbr {}", rmbr.area(), mbr_area);
+        // Still conservative.
+        for v in sliver.exterior().vertices() {
+            assert!(rmbr.may_contain_point(v));
+        }
+    }
+
+    #[test]
+    fn containment_filter_rejects_far_points() {
+        let sliver = Polygon::from_coords(&[(0.0, 0.0), (10.0, 10.0), (10.0, 10.5), (0.0, 0.5)]);
+        let rmbr = RotatedMbr::from_polygon(&sliver);
+        // A point in the empty MBR corner is rejected by the rotated MBR.
+        assert!(!rmbr.may_contain_point(&Point::new(0.5, 9.5)));
+        assert!(rmbr.may_contain_point(&Point::new(5.0, 5.2)));
+    }
+
+    #[test]
+    fn degenerate_polygon_falls_back_to_aabb() {
+        let line = Polygon::from_coords(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
+        let rmbr = RotatedMbr::from_polygon(&line);
+        assert_eq!(rmbr.area(), 0.0);
+        assert!(rmbr.may_contain_point(&Point::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn bbox_encloses_corners() {
+        let poly = Polygon::from_coords(&[(0.0, 0.0), (4.0, 1.0), (5.0, 4.0), (1.0, 3.0)]);
+        let rmbr = RotatedMbr::from_polygon(&poly);
+        let bbox = rmbr.bbox();
+        for c in rmbr.corners() {
+            assert!(bbox.contains_point(&c));
+        }
+        assert_eq!(rmbr.kind(), ApproximationKind::RotatedMbr);
+        assert_eq!(rmbr.storage_bytes(), 40);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rotated_mbr_is_conservative(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..30)
+        ) {
+            let poly = Polygon::from_coords(&pts);
+            let rmbr = RotatedMbr::from_polygon(&poly);
+            for v in poly.exterior().vertices() {
+                prop_assert!(rmbr.may_contain_point(v), "vertex {:?} escaped the rotated MBR", v);
+            }
+        }
+
+        #[test]
+        fn prop_rotated_mbr_never_larger_than_axis_aligned(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..30)
+        ) {
+            let poly = Polygon::from_coords(&pts);
+            let hull = convex_hull(poly.exterior().vertices());
+            prop_assume!(hull.len() >= 3);
+            let rmbr = RotatedMbr::from_polygon(&poly);
+            prop_assert!(rmbr.area() <= poly.bbox().area() + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Axis-aligned bounding boxes.
+//!
+//! The bounding box is both a utility type (extents of datasets, grid
+//! extents, canvas viewports) and the geometric payload of the MBR
+//! approximation (see [`crate::approx::mbr`]).
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle defined by its lower-left and upper-right corners.
+///
+/// Invariant: `min.x <= max.x && min.y <= max.y` for every box constructed
+/// through the public constructors. An *empty* box (no contained points) is
+/// represented by [`BoundingBox::EMPTY`] and reports `is_empty() == true`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Lower-left corner (componentwise minimum).
+    pub min: Point,
+    /// Upper-right corner (componentwise maximum).
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// The empty box: contains no points, is the identity for [`union`](Self::union).
+    pub const EMPTY: BoundingBox = BoundingBox {
+        min: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    /// Creates a box from two opposite corners given in any order.
+    pub fn new(a: Point, b: Point) -> Self {
+        BoundingBox {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
+    }
+
+    /// Creates a box from explicit coordinate bounds.
+    ///
+    /// # Panics
+    /// Panics if `min_x > max_x` or `min_y > max_y`.
+    pub fn from_bounds(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(
+            min_x <= max_x && min_y <= max_y,
+            "invalid bounds: ({min_x},{min_y}) .. ({max_x},{max_y})"
+        );
+        BoundingBox {
+            min: Point::new(min_x, min_y),
+            max: Point::new(max_x, max_y),
+        }
+    }
+
+    /// The smallest box containing all the given points, or the empty box if
+    /// the iterator is empty.
+    pub fn from_points<'a, I: IntoIterator<Item = &'a Point>>(points: I) -> Self {
+        let mut bbox = BoundingBox::EMPTY;
+        for p in points {
+            bbox.expand_to_point(p);
+        }
+        bbox
+    }
+
+    /// Whether the box contains no points at all.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Width along the x axis (0 for the empty box).
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max.x - self.min.x
+        }
+    }
+
+    /// Height along the y axis (0 for the empty box).
+    pub fn height(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max.y - self.min.y
+        }
+    }
+
+    /// Area of the box (0 for the empty box).
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Perimeter (the R*-tree "margin" optimisation target).
+    pub fn perimeter(&self) -> f64 {
+        2.0 * (self.width() + self.height())
+    }
+
+    /// Center of the box.
+    ///
+    /// Meaningless for the empty box; callers must check [`is_empty`](Self::is_empty) first.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
+    }
+
+    /// Whether the point lies inside the box (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether `other` is entirely inside `self` (boundary inclusive).
+    pub fn contains_box(&self, other: &BoundingBox) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() {
+            return false;
+        }
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// Whether the two boxes share at least one point (boundary touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        !(self.is_empty()
+            || other.is_empty()
+            || self.min.x > other.max.x
+            || other.min.x > self.max.x
+            || self.min.y > other.max.y
+            || other.min.y > self.max.y)
+    }
+
+    /// The intersection of the two boxes, or the empty box when disjoint.
+    pub fn intersection(&self, other: &BoundingBox) -> BoundingBox {
+        if !self.intersects(other) {
+            return BoundingBox::EMPTY;
+        }
+        BoundingBox {
+            min: self.min.max(&other.min),
+            max: self.max.min(&other.max),
+        }
+    }
+
+    /// The smallest box containing both boxes.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        BoundingBox {
+            min: self.min.min(&other.min),
+            max: self.max.max(&other.max),
+        }
+    }
+
+    /// Grows the box in place so that it contains `p`.
+    pub fn expand_to_point(&mut self, p: &Point) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Grows the box in place so that it contains `other`.
+    pub fn expand_to_box(&mut self, other: &BoundingBox) {
+        *self = self.union(other);
+    }
+
+    /// Returns a copy grown by `margin` on every side.
+    ///
+    /// A negative margin shrinks the box; if it would invert the box the
+    /// empty box is returned.
+    pub fn inflated(&self, margin: f64) -> BoundingBox {
+        if self.is_empty() {
+            return *self;
+        }
+        let min = Point::new(self.min.x - margin, self.min.y - margin);
+        let max = Point::new(self.max.x + margin, self.max.y + margin);
+        if min.x > max.x || min.y > max.y {
+            BoundingBox::EMPTY
+        } else {
+            BoundingBox { min, max }
+        }
+    }
+
+    /// Minimum Euclidean distance from the point to the box (0 if inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        if self.is_empty() {
+            return f64::INFINITY;
+        }
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Maximum Euclidean distance from the point to any point of the box.
+    pub fn max_distance_to_point(&self, p: &Point) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.corners()
+            .iter()
+            .map(|c| c.distance(p))
+            .fold(0.0, f64::max)
+    }
+
+    /// The four corners in counter-clockwise order starting from `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Area increase needed to include `other` (the classic R-tree insertion
+    /// heuristic).
+    pub fn enlargement(&self, other: &BoundingBox) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Overlap area with `other` (0 when disjoint).
+    pub fn overlap_area(&self, other: &BoundingBox) -> f64 {
+        self.intersection(other).area()
+    }
+}
+
+impl Default for BoundingBox {
+    fn default() -> Self {
+        BoundingBox::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> BoundingBox {
+        BoundingBox::from_bounds(0.0, 0.0, 10.0, 5.0)
+    }
+
+    #[test]
+    fn new_normalizes_corner_order() {
+        let b = BoundingBox::new(Point::new(5.0, 1.0), Point::new(-2.0, 7.0));
+        assert_eq!(b.min, Point::new(-2.0, 1.0));
+        assert_eq!(b.max, Point::new(5.0, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn from_bounds_rejects_inverted() {
+        let _ = BoundingBox::from_bounds(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn empty_box_properties() {
+        let e = BoundingBox::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert_eq!(e.width(), 0.0);
+        assert!(!e.contains_point(&Point::ORIGIN));
+        assert!(!e.intersects(&sample()));
+        assert_eq!(e.union(&sample()), sample());
+    }
+
+    #[test]
+    fn geometry_measures() {
+        let b = sample();
+        assert_eq!(b.width(), 10.0);
+        assert_eq!(b.height(), 5.0);
+        assert_eq!(b.area(), 50.0);
+        assert_eq!(b.perimeter(), 30.0);
+        assert_eq!(b.center(), Point::new(5.0, 2.5));
+    }
+
+    #[test]
+    fn containment_is_boundary_inclusive() {
+        let b = sample();
+        assert!(b.contains_point(&Point::new(0.0, 0.0)));
+        assert!(b.contains_point(&Point::new(10.0, 5.0)));
+        assert!(b.contains_point(&Point::new(5.0, 2.0)));
+        assert!(!b.contains_point(&Point::new(10.01, 2.0)));
+        assert!(!b.contains_point(&Point::new(5.0, -0.01)));
+    }
+
+    #[test]
+    fn box_containment() {
+        let outer = sample();
+        let inner = BoundingBox::from_bounds(1.0, 1.0, 4.0, 4.0);
+        assert!(outer.contains_box(&inner));
+        assert!(!inner.contains_box(&outer));
+        assert!(outer.contains_box(&BoundingBox::EMPTY));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = BoundingBox::from_bounds(0.0, 0.0, 4.0, 4.0);
+        let b = BoundingBox::from_bounds(2.0, 2.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), BoundingBox::from_bounds(2.0, 2.0, 4.0, 4.0));
+        assert_eq!(a.union(&b), BoundingBox::from_bounds(0.0, 0.0, 6.0, 6.0));
+        assert_eq!(a.overlap_area(&b), 4.0);
+
+        let c = BoundingBox::from_bounds(10.0, 10.0, 12.0, 12.0);
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0);
+        let b = BoundingBox::from_bounds(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).area(), 0.0);
+    }
+
+    #[test]
+    fn from_points_builds_hull_box() {
+        let pts = [
+            Point::new(1.0, 2.0),
+            Point::new(-3.0, 4.0),
+            Point::new(0.5, -1.0),
+        ];
+        let b = BoundingBox::from_points(pts.iter());
+        assert_eq!(b, BoundingBox::from_bounds(-3.0, -1.0, 1.0, 4.0));
+        assert!(BoundingBox::from_points([].iter()).is_empty());
+    }
+
+    #[test]
+    fn distance_to_point_cases() {
+        let b = sample();
+        assert_eq!(b.distance_to_point(&Point::new(5.0, 2.0)), 0.0);
+        assert_eq!(b.distance_to_point(&Point::new(13.0, 9.0)), 5.0);
+        assert_eq!(b.distance_to_point(&Point::new(-3.0, 2.0)), 3.0);
+        assert!(BoundingBox::EMPTY.distance_to_point(&Point::ORIGIN).is_infinite());
+    }
+
+    #[test]
+    fn max_distance_is_to_a_corner() {
+        let b = BoundingBox::from_bounds(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(b.max_distance_to_point(&Point::ORIGIN), 5.0);
+    }
+
+    #[test]
+    fn inflation_and_deflation() {
+        let b = BoundingBox::from_bounds(0.0, 0.0, 4.0, 4.0);
+        assert_eq!(b.inflated(1.0), BoundingBox::from_bounds(-1.0, -1.0, 5.0, 5.0));
+        assert_eq!(b.inflated(-1.0), BoundingBox::from_bounds(1.0, 1.0, 3.0, 3.0));
+        assert!(b.inflated(-3.0).is_empty());
+    }
+
+    #[test]
+    fn enlargement_matches_union_growth() {
+        let a = BoundingBox::from_bounds(0.0, 0.0, 2.0, 2.0);
+        let b = BoundingBox::from_bounds(3.0, 0.0, 4.0, 2.0);
+        assert_eq!(a.enlargement(&b), 8.0 - 4.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(
+            ax in -100f64..100.0, ay in -100f64..100.0, aw in 0f64..50.0, ah in 0f64..50.0,
+            bx in -100f64..100.0, by in -100f64..100.0, bw in 0f64..50.0, bh in 0f64..50.0,
+        ) {
+            let a = BoundingBox::from_bounds(ax, ay, ax + aw, ay + ah);
+            let b = BoundingBox::from_bounds(bx, by, bx + bw, by + bh);
+            let u = a.union(&b);
+            prop_assert!(u.contains_box(&a));
+            prop_assert!(u.contains_box(&b));
+        }
+
+        #[test]
+        fn prop_intersection_contained_in_both(
+            ax in -100f64..100.0, ay in -100f64..100.0, aw in 0f64..50.0, ah in 0f64..50.0,
+            bx in -100f64..100.0, by in -100f64..100.0, bw in 0f64..50.0, bh in 0f64..50.0,
+        ) {
+            let a = BoundingBox::from_bounds(ax, ay, ax + aw, ay + ah);
+            let b = BoundingBox::from_bounds(bx, by, bx + bw, by + bh);
+            let i = a.intersection(&b);
+            prop_assert!(a.contains_box(&i));
+            prop_assert!(b.contains_box(&i));
+        }
+
+        #[test]
+        fn prop_contained_point_has_zero_distance(
+            px in -20f64..20.0, py in -20f64..20.0,
+        ) {
+            let b = BoundingBox::from_bounds(-20.0, -20.0, 20.0, 20.0);
+            let p = Point::new(px, py);
+            prop_assert!(b.contains_point(&p));
+            prop_assert_eq!(b.distance_to_point(&p), 0.0);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Polygon clipping against axis-aligned boxes (Sutherland–Hodgman).
+//!
+//! Clipping gives the *exact* overlap area between a geometry and a raster
+//! cell. The non-conservative boundary policy of the raster approximations
+//! can use it instead of point sampling, and the experiment reports use it
+//! to quantify how much false area an approximation admits.
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+
+/// One of the four half-planes bounding an axis-aligned box.
+#[derive(Debug, Clone, Copy)]
+enum Edge {
+    Left(f64),
+    Right(f64),
+    Bottom(f64),
+    Top(f64),
+}
+
+impl Edge {
+    fn is_inside(&self, p: &Point) -> bool {
+        match *self {
+            Edge::Left(x) => p.x >= x,
+            Edge::Right(x) => p.x <= x,
+            Edge::Bottom(y) => p.y >= y,
+            Edge::Top(y) => p.y <= y,
+        }
+    }
+
+    /// Intersection of segment `[a, b]` with the edge's boundary line.
+    fn intersect(&self, a: &Point, b: &Point) -> Point {
+        match *self {
+            Edge::Left(x) | Edge::Right(x) => {
+                let t = (x - a.x) / (b.x - a.x);
+                Point::new(x, a.y + t * (b.y - a.y))
+            }
+            Edge::Bottom(y) | Edge::Top(y) => {
+                let t = (y - a.y) / (b.y - a.y);
+                Point::new(a.x + t * (b.x - a.x), y)
+            }
+        }
+    }
+}
+
+/// Clips a ring against an axis-aligned box, returning the vertices of the
+/// clipped (convex-window) polygon. The result may be empty when the ring
+/// lies entirely outside the box.
+pub fn clip_ring_to_box(ring: &Ring, bbox: &BoundingBox) -> Vec<Point> {
+    if bbox.is_empty() || ring.len() < 3 {
+        return Vec::new();
+    }
+    let edges = [
+        Edge::Left(bbox.min.x),
+        Edge::Right(bbox.max.x),
+        Edge::Bottom(bbox.min.y),
+        Edge::Top(bbox.max.y),
+    ];
+    let mut output: Vec<Point> = ring.vertices().to_vec();
+    for edge in edges {
+        if output.is_empty() {
+            break;
+        }
+        let input = std::mem::take(&mut output);
+        let n = input.len();
+        for i in 0..n {
+            let current = input[i];
+            let previous = input[(i + n - 1) % n];
+            let current_in = edge.is_inside(&current);
+            let previous_in = edge.is_inside(&previous);
+            if current_in {
+                if !previous_in {
+                    output.push(edge.intersect(&previous, &current));
+                }
+                output.push(current);
+            } else if previous_in {
+                output.push(edge.intersect(&previous, &current));
+            }
+        }
+    }
+    output
+}
+
+/// Exact area of the intersection between a polygon (with holes) and an
+/// axis-aligned box.
+pub fn polygon_box_overlap_area(polygon: &Polygon, bbox: &BoundingBox) -> f64 {
+    let exterior = Ring::new(clip_ring_to_box(polygon.exterior(), bbox)).area();
+    let holes: f64 = polygon
+        .holes()
+        .iter()
+        .map(|h| Ring::new(clip_ring_to_box(h, bbox)).area())
+        .sum();
+    (exterior - holes).max(0.0)
+}
+
+/// Exact overlap *fraction* of a box covered by a polygon (0..=1).
+pub fn polygon_box_overlap_fraction(polygon: &Polygon, bbox: &BoundingBox) -> f64 {
+    let area = bbox.area();
+    if area == 0.0 {
+        return 0.0;
+    }
+    (polygon_box_overlap_area(polygon, bbox) / area).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square(min: f64, max: f64) -> Polygon {
+        Polygon::from_coords(&[(min, min), (max, min), (max, max), (min, max)])
+    }
+
+    #[test]
+    fn clip_fully_inside_returns_the_ring() {
+        let poly = square(2.0, 4.0);
+        let bbox = BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let clipped = Ring::new(clip_ring_to_box(poly.exterior(), &bbox));
+        assert_eq!(clipped.area(), poly.area());
+    }
+
+    #[test]
+    fn clip_fully_outside_is_empty() {
+        let poly = square(20.0, 30.0);
+        let bbox = BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0);
+        assert!(clip_ring_to_box(poly.exterior(), &bbox).is_empty());
+        assert_eq!(polygon_box_overlap_area(&poly, &bbox), 0.0);
+    }
+
+    #[test]
+    fn clip_partial_overlap_has_exact_area() {
+        // Square [0,4]² clipped to box [2,6]²: overlap is [2,4]² = 4.
+        let poly = square(0.0, 4.0);
+        let bbox = BoundingBox::from_bounds(2.0, 2.0, 6.0, 6.0);
+        assert!((polygon_box_overlap_area(&poly, &bbox) - 4.0).abs() < 1e-12);
+        assert!((polygon_box_overlap_fraction(&poly, &bbox) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_triangle_produces_correct_area() {
+        // Right triangle with legs 10 clipped to the box [0,8]²: the box
+        // loses the corner triangle above the hypotenuse x + y = 10, whose
+        // legs are 6, so the overlap is 64 − 18 = 46.
+        let tri = Polygon::from_coords(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]);
+        let bbox = BoundingBox::from_bounds(0.0, 0.0, 8.0, 8.0);
+        let area = polygon_box_overlap_area(&tri, &bbox);
+        assert!((area - 46.0).abs() < 1e-9, "area = {area}");
+        // A box fully inside the triangle is untouched by clipping.
+        let inside = BoundingBox::from_bounds(0.0, 0.0, 5.0, 5.0);
+        assert!((polygon_box_overlap_area(&tri, &inside) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn holes_reduce_the_overlap() {
+        let exterior = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 0.0),
+            Point::new(8.0, 8.0),
+            Point::new(0.0, 8.0),
+        ]);
+        let hole = Ring::new(vec![
+            Point::new(2.0, 2.0),
+            Point::new(6.0, 2.0),
+            Point::new(6.0, 6.0),
+            Point::new(2.0, 6.0),
+        ]);
+        let poly = Polygon::with_holes(exterior, vec![hole]);
+        let bbox = BoundingBox::from_bounds(0.0, 0.0, 4.0, 4.0);
+        // Box area 16, hole takes the [2,4]² corner (4).
+        assert!((polygon_box_overlap_area(&poly, &bbox) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let poly = square(0.0, 4.0);
+        assert!(clip_ring_to_box(poly.exterior(), &BoundingBox::EMPTY).is_empty());
+        let degenerate = Ring::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        assert!(clip_ring_to_box(&degenerate, &BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0)).is_empty());
+        let zero_box = BoundingBox::from_bounds(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(polygon_box_overlap_fraction(&poly, &zero_box), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_overlap_area_bounded_by_both_inputs(
+            px in -20f64..20.0, py in -20f64..20.0, pw in 1f64..30.0, ph in 1f64..30.0,
+            bx in -20f64..20.0, by in -20f64..20.0, bw in 1f64..30.0, bh in 1f64..30.0,
+        ) {
+            let poly = Polygon::from_coords(&[(px, py), (px + pw, py), (px + pw, py + ph), (px, py + ph)]);
+            let bbox = BoundingBox::from_bounds(bx, by, bx + bw, by + bh);
+            let overlap = polygon_box_overlap_area(&poly, &bbox);
+            prop_assert!(overlap <= poly.area() + 1e-9);
+            prop_assert!(overlap <= bbox.area() + 1e-9);
+            prop_assert!(overlap >= 0.0);
+            // For two axis-aligned rectangles the overlap is the bbox intersection.
+            let expected = poly.bbox().intersection(&bbox).area();
+            prop_assert!((overlap - expected).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_fraction_is_normalized(
+            size in 1f64..40.0, offset in -30f64..30.0,
+        ) {
+            let poly = Polygon::from_coords(&[(offset, offset), (offset + size, offset), (offset + size, offset + size), (offset, offset + size)]);
+            let bbox = BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0);
+            let f = polygon_box_overlap_fraction(&poly, &bbox);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Convex hull computation (Andrew's monotone chain).
+//!
+//! The hull is both a classic geometric approximation (Section 2.1 of the
+//! paper, following Brinkhoff et al.) and a building block for the rotated
+//! MBR and minimum-bounding n-corner approximations.
+
+use crate::point::Point;
+use crate::polygon::Ring;
+
+/// Computes the convex hull of a point set.
+///
+/// Returns the hull vertices in counter-clockwise order without repeating
+/// the first vertex. Collinear points on the hull boundary are dropped.
+/// Degenerate inputs (fewer than 3 distinct points, or all collinear) return
+/// the distinct points in sorted order.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.iter().filter(|p| p.is_finite()).copied().collect();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let cross = |o: &Point, a: &Point, b: &Point| (*a - *o).cross(&(*b - *o));
+
+    let mut lower: Vec<Point> = Vec::with_capacity(n);
+    for p in &pts {
+        while lower.len() >= 2
+            && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(*p);
+    }
+
+    let mut upper: Vec<Point> = Vec::with_capacity(n);
+    for p in pts.iter().rev() {
+        while upper.len() >= 2
+            && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(*p);
+    }
+
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        // All points collinear: fall back to the extreme points.
+        return pts;
+    }
+    lower
+}
+
+/// Convex hull as a [`Ring`] (counter-clockwise).
+pub fn convex_hull_ring(points: &[Point]) -> Ring {
+    Ring::new(convex_hull(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        let ring = Ring::new(hull);
+        assert!(ring.is_ccw());
+        assert_eq!(ring.area(), 16.0);
+    }
+
+    #[test]
+    fn hull_drops_collinear_boundary_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        assert_eq!(
+            convex_hull(&[Point::new(1.0, 1.0), Point::new(2.0, 2.0)]).len(),
+            2
+        );
+        // All collinear.
+        let collinear = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ]);
+        assert_eq!(collinear.len(), 4);
+        // Duplicates are removed.
+        let dup = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ]);
+        assert_eq!(dup.len(), 3);
+    }
+
+    #[test]
+    fn hull_ring_is_convex() {
+        let pts: Vec<Point> = (0..20)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                Point::new(a.cos() * (1.0 + (i % 3) as f64), a.sin() * (1.0 + (i % 5) as f64))
+            })
+            .collect();
+        let ring = convex_hull_ring(&pts);
+        assert!(ring.is_convex());
+        assert!(ring.is_ccw());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hull_contains_all_points(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..60)
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let hull = convex_hull(&points);
+            prop_assume!(hull.len() >= 3);
+            let poly = Polygon::new(Ring::new(hull));
+            for p in &points {
+                prop_assert!(poly.contains_point(p), "hull must contain every input point: {:?}", p);
+            }
+        }
+
+        #[test]
+        fn prop_hull_area_at_most_bbox_area(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..60)
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let hull = convex_hull(&points);
+            prop_assume!(hull.len() >= 3);
+            let ring = Ring::new(hull);
+            let bbox = crate::bbox::BoundingBox::from_points(points.iter());
+            prop_assert!(ring.area() <= bbox.area() + 1e-6);
+        }
+
+        #[test]
+        fn prop_hull_is_convex_and_ccw(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..60)
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let hull = convex_hull(&points);
+            prop_assume!(hull.len() >= 3);
+            let ring = Ring::new(hull);
+            prop_assert!(ring.is_convex());
+            prop_assert!(ring.is_ccw());
+        }
+    }
+}

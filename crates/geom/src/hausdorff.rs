@@ -1,0 +1,191 @@
+//! Hausdorff distance.
+//!
+//! The paper's ε-approximation (Section 2.2) is defined through the
+//! Hausdorff distance: a geometry `g'` ε-approximates `g` when
+//! `d_H(g, g') <= ε`, where
+//!
+//! ```text
+//! d_H(g, g') = max( sup_{p' in g'} inf_{p in g} d(p, p'),
+//!                   sup_{p in g}  inf_{p' in g'} d(p, p') )
+//! ```
+//!
+//! Exact Hausdorff distances between polygons and unions of raster cells are
+//! expensive and unnecessary; this module provides the point-set and sampled
+//! variants that the raster verification layer and the test suites use.
+
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// Directed Hausdorff distance `sup_{a in A} inf_{b in B} d(a, b)` between
+/// two finite point sets.
+///
+/// Returns 0 for an empty `A` and infinity for an empty `B` with non-empty `A`.
+pub fn directed_hausdorff(a: &[Point], b: &[Point]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    if b.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut max_min = 0.0f64;
+    for p in a {
+        let mut min_d = f64::INFINITY;
+        for q in b {
+            let d = p.distance_squared(q);
+            if d < min_d {
+                min_d = d;
+                if min_d == 0.0 {
+                    break;
+                }
+            }
+        }
+        let min_d = min_d.sqrt();
+        if min_d > max_min {
+            max_min = min_d;
+        }
+    }
+    max_min
+}
+
+/// Symmetric Hausdorff distance between two finite point sets.
+pub fn hausdorff_distance(a: &[Point], b: &[Point]) -> f64 {
+    directed_hausdorff(a, b).max(directed_hausdorff(b, a))
+}
+
+/// Directed Hausdorff distance from a point set to a polygon **boundary**
+/// (computed exactly per point using point-to-segment distances).
+pub fn directed_hausdorff_to_polygon_boundary(points: &[Point], polygon: &Polygon) -> f64 {
+    points
+        .iter()
+        .map(|p| polygon.boundary_distance(p))
+        .fold(0.0, f64::max)
+}
+
+/// Approximate symmetric Hausdorff distance between two polygon boundaries,
+/// obtained by densifying both boundaries at `spacing` and comparing the
+/// sample sets against the exact opposite boundary.
+///
+/// The sampling error is at most `spacing / 2` in each direction, so the
+/// returned value is within `spacing` of the true boundary Hausdorff
+/// distance. Callers pick `spacing` well below the distance bound they are
+/// checking.
+pub fn polygon_boundary_hausdorff(a: &Polygon, b: &Polygon, spacing: f64) -> f64 {
+    let sample = |poly: &Polygon| -> Vec<Point> {
+        let mut pts = Vec::new();
+        let mut rings: Vec<&crate::polygon::Ring> = vec![poly.exterior()];
+        rings.extend(poly.holes().iter());
+        for ring in rings {
+            let mut vertices = ring.vertices().to_vec();
+            if let Some(first) = vertices.first().copied() {
+                vertices.push(first);
+            }
+            let ls = LineString::new(vertices).densified(spacing);
+            pts.extend_from_slice(ls.vertices());
+        }
+        pts
+    };
+    let sa = sample(a);
+    let sb = sample(b);
+    let d_ab = sa.iter().map(|p| b.boundary_distance(p)).fold(0.0, f64::max);
+    let d_ba = sb.iter().map(|p| a.boundary_distance(p)).fold(0.0, f64::max);
+    d_ab.max(d_ba)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+    use proptest::prelude::*;
+
+    #[test]
+    fn directed_distance_basics() {
+        let a = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let b = vec![Point::new(0.0, 3.0)];
+        // Farthest point of a from its nearest in b: (1,0) -> (0,3) = sqrt(10)
+        assert!((directed_hausdorff(&a, &b) - 10f64.sqrt()).abs() < 1e-12);
+        // Reverse direction: (0,3) -> nearest (0,0) = 3
+        assert_eq!(directed_hausdorff(&b, &a), 3.0);
+        assert!((hausdorff_distance(&a, &b) - 10f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let a = vec![Point::new(1.0, 1.0)];
+        assert_eq!(directed_hausdorff(&[], &a), 0.0);
+        assert_eq!(directed_hausdorff(&a, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        let a = vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0), Point::new(-2.0, 3.0)];
+        assert_eq!(hausdorff_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn subset_has_zero_directed_distance() {
+        let b = vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0), Point::new(-2.0, 3.0)];
+        let a = vec![Point::new(5.0, 5.0)];
+        assert_eq!(directed_hausdorff(&a, &b), 0.0);
+        assert!(directed_hausdorff(&b, &a) > 0.0);
+    }
+
+    #[test]
+    fn point_set_to_polygon_boundary() {
+        let sq = Polygon::from_coords(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]);
+        let pts = vec![Point::new(2.0, 2.0), Point::new(5.0, 2.0)];
+        // Center is 2 from the boundary, outside point is 1.
+        assert_eq!(directed_hausdorff_to_polygon_boundary(&pts, &sq), 2.0);
+    }
+
+    #[test]
+    fn boundary_hausdorff_of_nested_squares() {
+        let outer = Polygon::from_coords(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let inner = Polygon::from_coords(&[(1.0, 1.0), (9.0, 1.0), (9.0, 9.0), (1.0, 9.0)]);
+        let d = polygon_boundary_hausdorff(&outer, &inner, 0.1);
+        // Corner-to-corner distance is sqrt(2); sampling error <= 0.1.
+        assert!((d - 2f64.sqrt()).abs() < 0.15, "d = {d}");
+    }
+
+    #[test]
+    fn boundary_hausdorff_of_identical_polygons_is_zero() {
+        let p = Polygon::from_coords(&[(0.0, 0.0), (4.0, 0.0), (4.0, 3.0), (0.0, 3.0)]);
+        assert!(polygon_boundary_hausdorff(&p, &p, 0.25) < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric_hausdorff_is_symmetric(
+            pa in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..20),
+            pb in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..20),
+        ) {
+            let a: Vec<Point> = pa.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let b: Vec<Point> = pb.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            prop_assert_eq!(hausdorff_distance(&a, &b), hausdorff_distance(&b, &a));
+        }
+
+        #[test]
+        fn prop_hausdorff_upper_bounds_directed(
+            pa in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..20),
+            pb in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..20),
+        ) {
+            let a: Vec<Point> = pa.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let b: Vec<Point> = pb.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let h = hausdorff_distance(&a, &b);
+            prop_assert!(h >= directed_hausdorff(&a, &b));
+            prop_assert!(h >= directed_hausdorff(&b, &a));
+        }
+
+        #[test]
+        fn prop_translation_shifts_hausdorff_at_most_by_offset(
+            pa in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..15),
+            dx in -10f64..10.0, dy in -10f64..10.0,
+        ) {
+            let a: Vec<Point> = pa.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let shifted: Vec<Point> = a.iter().map(|p| *p + Point::new(dx, dy)).collect();
+            let d = hausdorff_distance(&a, &shifted);
+            let offset = (dx * dx + dy * dy).sqrt();
+            prop_assert!(d <= offset + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Polylines (sequences of connected segments).
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// An open polyline: a sequence of at least two vertices connected by
+/// straight segments.
+///
+/// Linestrings appear in the workloads as street centre-lines and as the
+/// boundaries of query regions before they are closed into rings.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LineString {
+    vertices: Vec<Point>,
+}
+
+impl LineString {
+    /// Creates a linestring from its vertices.
+    ///
+    /// Fewer than two vertices yields a degenerate (empty-length) linestring,
+    /// which is allowed but reports `is_valid() == false`.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        LineString { vertices }
+    }
+
+    /// The vertices of the linestring.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the linestring has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Whether the linestring has at least two vertices and all are finite.
+    pub fn is_valid(&self) -> bool {
+        self.vertices.len() >= 2 && self.vertices.iter().all(Point::is_finite)
+    }
+
+    /// Iterates over the constituent segments.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.vertices
+            .windows(2)
+            .map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// Total length of the polyline.
+    pub fn length(&self) -> f64 {
+        self.segments().map(|s| s.length()).sum()
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bbox(&self) -> BoundingBox {
+        BoundingBox::from_points(self.vertices.iter())
+    }
+
+    /// Minimum distance from the polyline to a point.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        if self.vertices.len() == 1 {
+            return self.vertices[0].distance(p);
+        }
+        self.segments()
+            .map(|s| s.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Resamples the polyline at (roughly) `spacing` intervals, always keeping
+    /// the original vertices. Used by the Hausdorff-distance estimator.
+    pub fn densified(&self, spacing: f64) -> LineString {
+        assert!(spacing > 0.0, "spacing must be positive");
+        let mut out = Vec::new();
+        for seg in self.segments() {
+            out.push(seg.start);
+            let n = (seg.length() / spacing).floor() as usize;
+            for i in 1..=n {
+                let t = i as f64 * spacing / seg.length();
+                if t < 1.0 {
+                    out.push(seg.point_at(t));
+                }
+            }
+        }
+        if let Some(last) = self.vertices.last() {
+            out.push(*last);
+        }
+        LineString::new(out)
+    }
+}
+
+impl From<Vec<Point>> for LineString {
+    fn from(v: Vec<Point>) -> Self {
+        LineString::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> LineString {
+        LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+        ])
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        assert_eq!(l_shape().length(), 7.0);
+    }
+
+    #[test]
+    fn validity_rules() {
+        assert!(l_shape().is_valid());
+        assert!(!LineString::new(vec![Point::ORIGIN]).is_valid());
+        assert!(!LineString::new(vec![]).is_valid());
+        assert!(LineString::new(vec![]).is_empty());
+        assert!(!LineString::new(vec![Point::new(f64::NAN, 0.0), Point::ORIGIN]).is_valid());
+    }
+
+    #[test]
+    fn bbox_covers_all_vertices() {
+        let b = l_shape().bbox();
+        assert_eq!(b, BoundingBox::from_bounds(0.0, 0.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let l = l_shape();
+        assert_eq!(l.distance_to_point(&Point::new(1.0, 0.0)), 0.0);
+        assert_eq!(l.distance_to_point(&Point::new(1.0, 2.0)), 2.0);
+        let single = LineString::new(vec![Point::new(1.0, 1.0)]);
+        assert_eq!(single.distance_to_point(&Point::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn densified_preserves_endpoints_and_length() {
+        let l = l_shape();
+        let d = l.densified(0.5);
+        assert_eq!(d.vertices().first(), l.vertices().first());
+        assert_eq!(d.vertices().last(), l.vertices().last());
+        assert!((d.length() - l.length()).abs() < 1e-9);
+        assert!(d.len() > l.len());
+        // Consecutive vertices are no farther apart than the spacing (plus slack).
+        for w in d.vertices().windows(2) {
+            assert!(w[0].distance(&w[1]) <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing must be positive")]
+    fn densified_rejects_zero_spacing() {
+        let _ = l_shape().densified(0.0);
+    }
+
+    #[test]
+    fn segments_iterator_count() {
+        assert_eq!(l_shape().segments().count(), 2);
+        assert_eq!(LineString::new(vec![Point::ORIGIN]).segments().count(), 0);
+    }
+}

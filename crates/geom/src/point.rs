@@ -1,0 +1,277 @@
+//! 2-D point type and basic vector arithmetic.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or 2-D vector) in the plane.
+///
+/// The same type is used for positions (taxi pickup locations, polygon
+/// vertices) and for displacement vectors; the distinction is by usage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (east in the projected workloads).
+    pub x: f64,
+    /// Vertical coordinate (north in the projected workloads).
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only
+    /// comparisons are needed, e.g. nearest-neighbour style pruning).
+    #[inline]
+    pub fn distance_squared(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Dot product, treating both points as vectors.
+    #[inline]
+    pub fn dot(&self, other: &Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product magnitude (z component of the 3-D cross product).
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(&self, other: &Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean length of the vector from the origin to this point.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns the zero vector unchanged (callers that need a direction must
+    /// check for degeneracy themselves).
+    #[inline]
+    pub fn normalized(&self) -> Point {
+        let n = self.norm();
+        if n == 0.0 {
+            *self
+        } else {
+            Point::new(self.x / n, self.y / n)
+        }
+    }
+
+    /// Rotates the point by `angle` radians counter-clockwise around the origin.
+    #[inline]
+    pub fn rotated(&self, angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        Point::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Componentwise minimum of two points (lower-left corner of their bbox).
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Componentwise maximum of two points (upper-right corner of their bbox).
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Whether both coordinates are finite (neither NaN nor infinite).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(4.0, -7.25);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let east = Point::new(1.0, 0.0);
+        let north = Point::new(0.0, 1.0);
+        assert!(east.cross(&north) > 0.0);
+        assert!(north.cross(&east) < 0.0);
+        assert_eq!(east.cross(&east), 0.0);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Point::new(3.0, 4.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Point::ORIGIN.normalized(), Point::ORIGIN);
+    }
+
+    #[test]
+    fn rotation_by_quarter_turn() {
+        let v = Point::new(1.0, 0.0).rotated(std::f64::consts::FRAC_PI_2);
+        assert!((v.x).abs() < 1e-12);
+        assert!((v.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(3.0, 2.0);
+        assert_eq!(a.min(&b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(&b), Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn tuple_conversions_round_trip() {
+        let p: Point = (2.5, -3.5).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.5, -3.5));
+    }
+
+    #[test]
+    fn is_finite_rejects_nan_and_inf() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangle_inequality(
+            ax in -1e6f64..1e6, ay in -1e6f64..1e6,
+            bx in -1e6f64..1e6, by in -1e6f64..1e6,
+            cx in -1e6f64..1e6, cy in -1e6f64..1e6,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-6);
+        }
+
+        #[test]
+        fn prop_rotation_preserves_norm(x in -1e3f64..1e3, y in -1e3f64..1e3, angle in 0f64..std::f64::consts::TAU) {
+            let p = Point::new(x, y);
+            let r = p.rotated(angle);
+            prop_assert!((p.norm() - r.norm()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_dot_is_commutative(x1 in -1e3f64..1e3, y1 in -1e3f64..1e3, x2 in -1e3f64..1e3, y2 in -1e3f64..1e3) {
+            let a = Point::new(x1, y1);
+            let b = Point::new(x2, y2);
+            prop_assert_eq!(a.dot(&b), b.dot(&a));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Line segments.
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use crate::predicates;
+
+/// A closed line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub start: Point,
+    /// End point.
+    pub end: Point,
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    pub const fn new(start: Point, end: Point) -> Self {
+        Segment { start, end }
+    }
+
+    /// Length of the segment.
+    pub fn length(&self) -> f64 {
+        self.start.distance(&self.end)
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.start.lerp(&self.end, 0.5)
+    }
+
+    /// Axis-aligned bounding box of the segment.
+    pub fn bbox(&self) -> BoundingBox {
+        BoundingBox::new(self.start, self.end)
+    }
+
+    /// Whether the segment is degenerate (both endpoints equal).
+    pub fn is_degenerate(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Minimum distance from the segment to a point.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        predicates::point_segment_distance(&self.start, &self.end, p)
+    }
+
+    /// Whether the point lies on the segment (within tolerance).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        predicates::point_on_segment(&self.start, &self.end, p)
+    }
+
+    /// Whether this segment shares at least one point with `other`.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        predicates::segments_intersect(&self.start, &self.end, &other.start, &other.end)
+    }
+
+    /// Single intersection point with `other`, if one exists.
+    pub fn intersection_point(&self, other: &Segment) -> Option<Point> {
+        predicates::segment_intersection_point(&self.start, &self.end, &other.start, &other.end)
+    }
+
+    /// Minimum distance between this segment and `other`.
+    pub fn distance_to_segment(&self, other: &Segment) -> f64 {
+        predicates::segment_segment_distance(&self.start, &self.end, &other.start, &other.end)
+    }
+
+    /// Point on the segment at parameter `t` in `[0, 1]`.
+    pub fn point_at(&self, t: f64) -> Point {
+        self.start.lerp(&self.end, t)
+    }
+
+    /// Whether the segment crosses or touches the given axis-aligned box.
+    ///
+    /// Used by the rasterizer to classify boundary cells and by the
+    /// shape-index baseline to assign edges to grid cells.
+    pub fn intersects_box(&self, bbox: &BoundingBox) -> bool {
+        if bbox.is_empty() {
+            return false;
+        }
+        if bbox.contains_point(&self.start) || bbox.contains_point(&self.end) {
+            return true;
+        }
+        let corners = bbox.corners();
+        for i in 0..4 {
+            let edge = Segment::new(corners[i], corners[(i + 1) % 4]);
+            if self.intersects(&edge) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(6.0, 8.0));
+        assert_eq!(s.length(), 10.0);
+        assert_eq!(s.midpoint(), Point::new(3.0, 4.0));
+        assert!(!s.is_degenerate());
+        assert!(Segment::new(Point::ORIGIN, Point::ORIGIN).is_degenerate());
+    }
+
+    #[test]
+    fn bbox_covers_endpoints() {
+        let s = Segment::new(Point::new(3.0, -1.0), Point::new(-2.0, 5.0));
+        let b = s.bbox();
+        assert!(b.contains_point(&s.start));
+        assert!(b.contains_point(&s.end));
+        assert_eq!(b, BoundingBox::from_bounds(-2.0, -1.0, 3.0, 5.0));
+    }
+
+    #[test]
+    fn segment_box_intersection() {
+        let bbox = BoundingBox::from_bounds(0.0, 0.0, 2.0, 2.0);
+        // Fully inside.
+        assert!(Segment::new(Point::new(0.5, 0.5), Point::new(1.5, 1.5)).intersects_box(&bbox));
+        // Crossing through without endpoints inside.
+        assert!(Segment::new(Point::new(-1.0, 1.0), Point::new(3.0, 1.0)).intersects_box(&bbox));
+        // Completely outside.
+        assert!(!Segment::new(Point::new(3.0, 3.0), Point::new(4.0, 4.0)).intersects_box(&bbox));
+        // Touching a corner.
+        assert!(Segment::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0)).intersects_box(&bbox));
+        // Empty box never intersects.
+        assert!(!Segment::new(Point::ORIGIN, Point::new(1.0, 1.0)).intersects_box(&BoundingBox::EMPTY));
+    }
+
+    #[test]
+    fn intersection_point_of_crossing_segments() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let b = Segment::new(Point::new(0.0, 4.0), Point::new(4.0, 0.0));
+        assert!(a.intersects(&b));
+        let p = a.intersection_point(&b).unwrap();
+        assert!((p.x - 2.0).abs() < 1e-12 && (p.y - 2.0).abs() < 1e-12);
+        assert_eq!(a.distance_to_segment(&b), 0.0);
+    }
+
+    #[test]
+    fn point_at_traverses_segment() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.point_at(0.0), s.start);
+        assert_eq!(s.point_at(1.0), s.end);
+        assert_eq!(s.point_at(0.25), Point::new(2.5, 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_to_contained_point_is_zero(
+            ax in -50f64..50.0, ay in -50f64..50.0,
+            bx in -50f64..50.0, by in -50f64..50.0,
+            t in 0f64..1.0,
+        ) {
+            let s = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+            let p = s.point_at(t);
+            prop_assert!(s.distance_to_point(&p) < 1e-7);
+        }
+
+        #[test]
+        fn prop_bbox_intersection_consistent_with_contained_midpoint(
+            ax in 0f64..10.0, ay in 0f64..10.0,
+            bx in 0f64..10.0, by in 0f64..10.0,
+        ) {
+            // Segments fully inside the box always intersect it.
+            let bbox = BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0);
+            let s = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+            prop_assert!(s.intersects_box(&bbox));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Polyline / polygon simplification (Ramer–Douglas–Peucker).
+//!
+//! Simplification is the classic *vertex-count* reduction technique that
+//! raster approximations compete with: instead of representing a complex
+//! region with fewer vertices (which changes the shape by an uncontrolled
+//! amount in general, but RDP bounds the deviation), the paper represents
+//! it with bounded-size cells. Having both in the library lets the
+//! ablation benches compare "simplify then test exactly" against
+//! "rasterize and skip the test", and the generator uses it to build
+//! reduced-complexity variants of region datasets.
+
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::predicates::point_segment_distance;
+
+/// Simplifies an open polyline with the Ramer–Douglas–Peucker algorithm:
+/// the result contains a subset of the input vertices, always including the
+/// endpoints, such that every dropped vertex is within `tolerance` of the
+/// simplified polyline.
+pub fn simplify_polyline(points: &[Point], tolerance: f64) -> Vec<Point> {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    rdp_mark(points, 0, points.len() - 1, tolerance, &mut keep);
+    points
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect()
+}
+
+fn rdp_mark(points: &[Point], first: usize, last: usize, tolerance: f64, keep: &mut [bool]) {
+    if last <= first + 1 {
+        return;
+    }
+    let mut max_dist = 0.0;
+    let mut max_idx = first;
+    for i in (first + 1)..last {
+        let d = point_segment_distance(&points[first], &points[last], &points[i]);
+        if d > max_dist {
+            max_dist = d;
+            max_idx = i;
+        }
+    }
+    if max_dist > tolerance {
+        keep[max_idx] = true;
+        rdp_mark(points, first, max_idx, tolerance, keep);
+        rdp_mark(points, max_idx, last, tolerance, keep);
+    }
+}
+
+/// Simplifies a closed ring: the ring is cut at its first vertex, simplified
+/// as a polyline, and re-closed. Rings that would collapse below three
+/// vertices are returned unchanged.
+pub fn simplify_ring(ring: &Ring, tolerance: f64) -> Ring {
+    if ring.len() < 4 {
+        return ring.clone();
+    }
+    let mut open: Vec<Point> = ring.vertices().to_vec();
+    open.push(ring.vertices()[0]);
+    let mut simplified = simplify_polyline(&open, tolerance);
+    simplified.pop(); // drop the closing duplicate again
+    if simplified.len() < 3 {
+        ring.clone()
+    } else {
+        Ring::new(simplified)
+    }
+}
+
+/// Simplifies a polygon (exterior and holes). Holes that collapse to fewer
+/// than three vertices are dropped.
+pub fn simplify_polygon(polygon: &Polygon, tolerance: f64) -> Polygon {
+    let exterior = simplify_ring(polygon.exterior(), tolerance);
+    let holes: Vec<Ring> = polygon
+        .holes()
+        .iter()
+        .map(|h| simplify_ring(h, tolerance))
+        .filter(|h| h.len() >= 3 && h.area() > 0.0)
+        .collect();
+    Polygon::with_holes(exterior, holes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn collinear_points_are_removed() {
+        let line: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        let simplified = simplify_polyline(&line, 0.01);
+        assert_eq!(simplified.len(), 2);
+        assert_eq!(simplified[0], line[0]);
+        assert_eq!(simplified[1], line[9]);
+    }
+
+    #[test]
+    fn significant_vertices_are_kept() {
+        let zigzag = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 5.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 5.0),
+            Point::new(4.0, 0.0),
+        ];
+        let simplified = simplify_polyline(&zigzag, 0.5);
+        assert_eq!(simplified.len(), zigzag.len(), "large deviations must survive");
+        let flattened = simplify_polyline(&zigzag, 10.0);
+        assert_eq!(flattened.len(), 2, "a huge tolerance keeps only the endpoints");
+    }
+
+    #[test]
+    fn dropped_vertices_stay_within_tolerance() {
+        let wiggly: Vec<Point> = (0..50)
+            .map(|i| Point::new(i as f64, (i as f64 * 0.7).sin() * 0.3))
+            .collect();
+        let tolerance = 0.35;
+        let simplified = simplify_polyline(&wiggly, tolerance);
+        assert!(simplified.len() < wiggly.len());
+        // Every original vertex is within the tolerance of the simplified line.
+        for p in &wiggly {
+            let d = simplified
+                .windows(2)
+                .map(|w| point_segment_distance(&w[0], &w[1], p))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= tolerance + 1e-9, "vertex {p:?} deviates by {d}");
+        }
+    }
+
+    #[test]
+    fn ring_and_polygon_simplification() {
+        // A square with redundant edge midpoints.
+        let ring = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 5.0),
+            Point::new(10.0, 10.0),
+            Point::new(5.0, 10.0),
+            Point::new(0.0, 10.0),
+            Point::new(0.0, 5.0),
+        ]);
+        let simplified = simplify_ring(&ring, 0.1);
+        assert!(simplified.len() <= 5);
+        assert!((simplified.area() - ring.area()).abs() < 1e-9);
+
+        let poly = Polygon::with_holes(
+            ring.clone(),
+            vec![Ring::new(vec![
+                Point::new(4.0, 4.0),
+                Point::new(5.0, 4.0),
+                Point::new(6.0, 4.0),
+                Point::new(6.0, 6.0),
+                Point::new(4.0, 6.0),
+            ])],
+        );
+        let sp = simplify_polygon(&poly, 0.1);
+        assert_eq!(sp.holes().len(), 1);
+        assert!(sp.vertex_count() < poly.vertex_count());
+    }
+
+    #[test]
+    fn tiny_rings_are_left_alone() {
+        let tri = Ring::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)]);
+        assert_eq!(simplify_ring(&tri, 100.0), tri);
+        assert_eq!(simplify_polyline(&[Point::ORIGIN], 1.0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_is_rejected() {
+        let _ = simplify_polyline(&[Point::ORIGIN, Point::new(1.0, 1.0)], -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_simplified_is_subset_and_keeps_endpoints(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 2..60),
+            tol in 0f64..20.0,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let simplified = simplify_polyline(&points, tol);
+            prop_assert!(simplified.len() >= 2);
+            prop_assert_eq!(simplified[0], points[0]);
+            prop_assert_eq!(*simplified.last().unwrap(), *points.last().unwrap());
+            // Subset property (by value).
+            for p in &simplified {
+                prop_assert!(points.iter().any(|q| q == p));
+            }
+        }
+
+        #[test]
+        fn prop_deviation_is_bounded_by_tolerance(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..40),
+            tol in 0.01f64..10.0,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let simplified = simplify_polyline(&points, tol);
+            for p in &points {
+                let d = simplified
+                    .windows(2)
+                    .map(|w| point_segment_distance(&w[0], &w[1], p))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(d <= tol + 1e-6);
+            }
+        }
+    }
+}

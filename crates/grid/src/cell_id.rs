@@ -1,0 +1,401 @@
+//! 64-bit hierarchical cell identifiers.
+//!
+//! A [`CellId`] names one cell of a quadtree decomposition of the unit
+//! square, at any level from 0 (the whole square) to [`MAX_LEVEL`]. The
+//! encoding follows the S2 cell-id scheme:
+//!
+//! * the Z-order (Morton) interleaving of the cell's x/y path occupies the
+//!   **high** bits,
+//! * a single sentinel `1` bit follows the path,
+//! * the remaining low bits are zero.
+//!
+//! This gives two properties that the indexing layer depends on:
+//!
+//! 1. **Ordering** — comparing ids as `u64` orders cells along the Z curve,
+//!    and a parent sorts between its descendants.
+//! 2. **Descendant ranges** — the leaf descendants of a cell occupy the
+//!    contiguous id range [`CellId::range_min`] ..= [`CellId::range_max`],
+//!    so "is this point-cell inside that polygon-cell" is a 1-D range test.
+
+use crate::morton::{morton_decode, morton_encode};
+
+/// Maximum quadtree depth supported by the 64-bit encoding.
+///
+/// 30 levels use 60 path bits plus the sentinel; at 30 levels over a city
+/// sized extent (~50 km) a leaf cell is ~0.05 mm, far finer than any
+/// meaningful distance bound.
+pub const MAX_LEVEL: u8 = 30;
+
+/// A hierarchical quadtree cell identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(u64);
+
+impl CellId {
+    /// The root cell (level 0, the whole unit square).
+    pub const ROOT: CellId = CellId(1 << (2 * MAX_LEVEL));
+
+    /// Constructs a cell id from its raw 64-bit representation.
+    ///
+    /// # Panics
+    /// Panics if the value is not a valid encoding (no sentinel bit, or the
+    /// sentinel in an odd position).
+    pub fn from_raw(raw: u64) -> Self {
+        let id = CellId(raw);
+        assert!(id.is_valid(), "invalid raw cell id: {raw:#x}");
+        id
+    }
+
+    /// The raw 64-bit representation.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the representation is a structurally valid cell id.
+    pub fn is_valid(self) -> bool {
+        if self.0 == 0 {
+            return false;
+        }
+        let tz = self.0.trailing_zeros();
+        // The sentinel must sit at an even bit position not above the root's.
+        tz % 2 == 0 && tz <= 2 * MAX_LEVEL as u32
+    }
+
+    /// Builds the cell at `level` containing the grid coordinate `(x, y)`
+    /// expressed at `MAX_LEVEL` resolution.
+    pub fn from_leaf_xy(x: u32, y: u32, level: u8) -> Self {
+        assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL");
+        assert!(
+            x < (1 << MAX_LEVEL) && y < (1 << MAX_LEVEL),
+            "leaf coordinate ({x},{y}) out of range"
+        );
+        let leaf_path = morton_encode(x, y); // 2*MAX_LEVEL bits
+        let shift = 2 * (MAX_LEVEL - level) as u32;
+        let path = leaf_path >> shift;
+        // id = path bits in the high positions, then the sentinel bit, then
+        // zeros; the sentinel sits at bit `shift` = 2*(MAX_LEVEL - level).
+        CellId((path << (shift + 1)) | (1u64 << shift))
+    }
+
+    /// Builds a cell id directly from a cell coordinate `(cx, cy)` expressed
+    /// at `level` (i.e. `cx, cy < 2^level`).
+    pub fn from_cell_xy(cx: u32, cy: u32, level: u8) -> Self {
+        assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL");
+        assert!(
+            (cx as u64) < (1u64 << level) && (cy as u64) < (1u64 << level),
+            "cell coordinate ({cx},{cy}) out of range for level {level}"
+        );
+        let path = morton_encode(cx, cy);
+        let shift = 2 * (MAX_LEVEL - level) as u32;
+        CellId((path << (shift + 1)) | (1u64 << shift))
+    }
+
+    /// The leaf cell (level `MAX_LEVEL`) containing the given leaf coordinate.
+    pub fn leaf(x: u32, y: u32) -> Self {
+        Self::from_cell_xy(x, y, MAX_LEVEL)
+    }
+
+    /// The level of this cell (0 = root, `MAX_LEVEL` = leaf).
+    #[inline]
+    pub fn level(self) -> u8 {
+        MAX_LEVEL - (self.0.trailing_zeros() / 2) as u8
+    }
+
+    /// Whether this is a leaf cell.
+    #[inline]
+    pub fn is_leaf(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The cell's x/y coordinate at its own level.
+    pub fn to_cell_xy(self) -> (u32, u32, u8) {
+        let level = self.level();
+        let shift = 2 * (MAX_LEVEL - level) as u32;
+        let path = self.0 >> (shift + 1);
+        let (x, y) = morton_decode(path);
+        (x, y, level)
+    }
+
+    /// The parent cell at `level` (must be at or above this cell's level).
+    pub fn parent_at(self, level: u8) -> CellId {
+        let own = self.level();
+        assert!(level <= own, "parent level {level} below own level {own}");
+        let shift = 2 * (MAX_LEVEL - level) as u32;
+        let path = self.0 >> (shift + 1);
+        CellId((path << (shift + 1)) | (1u64 << shift))
+    }
+
+    /// The immediate parent (one level up).
+    ///
+    /// # Panics
+    /// Panics on the root cell.
+    pub fn parent(self) -> CellId {
+        let level = self.level();
+        assert!(level > 0, "the root cell has no parent");
+        self.parent_at(level - 1)
+    }
+
+    /// The four children of this cell, in Z-curve order.
+    ///
+    /// # Panics
+    /// Panics on leaf cells.
+    pub fn children(self) -> [CellId; 4] {
+        let level = self.level();
+        assert!(level < MAX_LEVEL, "leaf cells have no children");
+        let child_shift = 2 * (MAX_LEVEL - level - 1) as u32;
+        let path = self.0 >> (2 * (MAX_LEVEL - level) as u32 + 1);
+        let base = path << 2;
+        [0u64, 1, 2, 3].map(|q| CellId(((base | q) << (child_shift + 1)) | (1u64 << child_shift)))
+    }
+
+    /// Smallest leaf-cell id that is a descendant of this cell.
+    #[inline]
+    pub fn range_min(self) -> CellId {
+        CellId(self.0 - (self.lsb() - 1))
+    }
+
+    /// Largest leaf-cell id that is a descendant of this cell.
+    #[inline]
+    pub fn range_max(self) -> CellId {
+        CellId(self.0 + (self.lsb() - 1))
+    }
+
+    #[inline]
+    fn lsb(self) -> u64 {
+        self.0 & self.0.wrapping_neg()
+    }
+
+    /// Whether `other` is this cell or one of its descendants.
+    #[inline]
+    pub fn contains(self, other: CellId) -> bool {
+        self.range_min() <= other.range_min() && other.range_max() <= self.range_max()
+    }
+
+    /// Whether the two cells overlap (one contains the other).
+    pub fn intersects(self, other: CellId) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The child index (0-3) of this cell within its parent.
+    pub fn child_position(self) -> u8 {
+        let level = self.level();
+        assert!(level > 0, "the root cell has no child position");
+        let shift = 2 * (MAX_LEVEL - level) as u32 + 1;
+        ((self.0 >> shift) & 3) as u8
+    }
+
+    /// Iterates over this cell's ancestors from its parent up to the root.
+    pub fn ancestors(self) -> impl Iterator<Item = CellId> {
+        let own = self.level();
+        (0..own).rev().map(move |l| self.parent_at(l))
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (x, y, level) = self.to_cell_xy();
+        write!(f, "CellId(level={level}, x={x}, y={y})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn root_properties() {
+        let root = CellId::ROOT;
+        assert!(root.is_valid());
+        assert_eq!(root.level(), 0);
+        assert!(!root.is_leaf());
+        assert_eq!(root.to_cell_xy(), (0, 0, 0));
+        assert_eq!(root.range_min().level(), MAX_LEVEL);
+        assert_eq!(root.range_max().level(), MAX_LEVEL);
+    }
+
+    #[test]
+    fn from_cell_xy_round_trips() {
+        for &(x, y, level) in &[(0u32, 0u32, 0u8), (1, 0, 1), (3, 2, 2), (1023, 511, 10), (5, 7, 4)] {
+            let id = CellId::from_cell_xy(x, y, level);
+            assert!(id.is_valid());
+            assert_eq!(id.to_cell_xy(), (x, y, level), "id = {id}");
+            assert_eq!(id.level(), level);
+        }
+    }
+
+    #[test]
+    fn leaf_cells_are_leaves() {
+        let id = CellId::leaf(12345, 54321);
+        assert!(id.is_leaf());
+        assert_eq!(id.level(), MAX_LEVEL);
+        assert_eq!(id.range_min(), id);
+        assert_eq!(id.range_max(), id);
+    }
+
+    #[test]
+    fn from_leaf_xy_selects_ancestor_cell() {
+        // The leaf coordinate (3 << 20, 1 << 20) at level 10 is cell (3, 1).
+        let id = CellId::from_leaf_xy(3 << 20, 1 << 20, 10);
+        assert_eq!(id.to_cell_xy(), (3, 1, 10));
+    }
+
+    #[test]
+    fn parent_child_navigation() {
+        let cell = CellId::from_cell_xy(5, 9, 6);
+        let parent = cell.parent();
+        assert_eq!(parent.level(), 5);
+        assert_eq!(parent.to_cell_xy(), (2, 4, 5));
+        assert!(parent.contains(cell));
+        assert!(!cell.contains(parent));
+        let children = parent.children();
+        assert!(children.contains(&cell));
+        for ch in children {
+            assert_eq!(ch.parent(), parent);
+            assert_eq!(ch.level(), 6);
+            assert!(parent.contains(ch));
+        }
+        // Children are ordered along the curve and within the parent range.
+        assert!(children.windows(2).all(|w| w[0] < w[1]));
+        assert!(children[0].range_min() >= parent.range_min());
+        assert!(children[3].range_max() <= parent.range_max());
+    }
+
+    #[test]
+    fn parent_at_jumps_levels() {
+        let cell = CellId::from_cell_xy(100, 200, 12);
+        let p = cell.parent_at(4);
+        assert_eq!(p.level(), 4);
+        assert!(p.contains(cell));
+        assert_eq!(cell.parent_at(12), cell);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no parent")]
+    fn root_has_no_parent() {
+        let _ = CellId::ROOT.parent();
+    }
+
+    #[test]
+    #[should_panic(expected = "have no children")]
+    fn leaves_have_no_children() {
+        let _ = CellId::leaf(0, 0).children();
+    }
+
+    #[test]
+    fn containment_ranges() {
+        let parent = CellId::from_cell_xy(1, 1, 1);
+        let inside = CellId::from_cell_xy(3, 2, 2);
+        let outside = CellId::from_cell_xy(0, 0, 2);
+        assert!(parent.contains(inside));
+        assert!(!parent.contains(outside));
+        assert!(parent.intersects(inside));
+        assert!(inside.intersects(parent));
+        assert!(!parent.intersects(outside));
+        assert!(parent.contains(parent));
+    }
+
+    #[test]
+    fn child_position_matches_children_order() {
+        let parent = CellId::from_cell_xy(2, 3, 5);
+        for (i, ch) in parent.children().iter().enumerate() {
+            assert_eq!(ch.child_position() as usize, i);
+        }
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let cell = CellId::from_cell_xy(9, 9, 8);
+        let ancestors: Vec<CellId> = cell.ancestors().collect();
+        assert_eq!(ancestors.len(), 8);
+        assert_eq!(ancestors[0].level(), 7);
+        assert_eq!(*ancestors.last().unwrap(), CellId::ROOT);
+        for a in &ancestors {
+            assert!(a.contains(cell));
+        }
+    }
+
+    #[test]
+    fn invalid_raw_values_rejected() {
+        assert!(!CellId(0).is_valid());
+        // Sentinel at an odd position.
+        assert!(!CellId(0b10).is_valid());
+        // Leaf value (odd) is valid.
+        assert!(CellId(1).is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid raw cell id")]
+    fn from_raw_panics_on_invalid() {
+        let _ = CellId::from_raw(0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = format!("{}", CellId::from_cell_xy(3, 5, 4));
+        assert!(s.contains("level=4") && s.contains("x=3") && s.contains("y=5"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_any_level(
+            level in 0u8..=MAX_LEVEL,
+            x in any::<u32>(),
+            y in any::<u32>(),
+        ) {
+            let cx = x % (1u32 << level.min(31));
+            let cy = y % (1u32 << level.min(31));
+            let id = CellId::from_cell_xy(cx, cy, level);
+            prop_assert_eq!(id.to_cell_xy(), (cx, cy, level));
+            prop_assert!(id.is_valid());
+        }
+
+        #[test]
+        fn prop_parent_contains_child_range(
+            level in 1u8..=MAX_LEVEL,
+            x in any::<u32>(),
+            y in any::<u32>(),
+        ) {
+            let cx = x % (1u32 << level.min(31));
+            let cy = y % (1u32 << level.min(31));
+            let id = CellId::from_cell_xy(cx, cy, level);
+            let parent = id.parent();
+            prop_assert!(parent.contains(id));
+            prop_assert!(parent.range_min() <= id.range_min());
+            prop_assert!(id.range_max() <= parent.range_max());
+        }
+
+        #[test]
+        fn prop_leaf_of_point_inside_cell_lies_in_its_range(
+            level in 0u8..=20,
+            x in 0u32..(1 << MAX_LEVEL),
+            y in 0u32..(1 << MAX_LEVEL),
+        ) {
+            // The cell at `level` containing a leaf point contains that
+            // point's leaf id in its descendant range: the basis of the
+            // sorted-array / learned-index point lookups.
+            let cell = CellId::from_leaf_xy(x, y, level);
+            let leaf = CellId::leaf(x, y);
+            prop_assert!(cell.contains(leaf));
+            prop_assert!(cell.range_min() <= leaf && leaf <= cell.range_max());
+        }
+
+        #[test]
+        fn prop_sibling_ranges_are_disjoint(
+            level in 0u8..MAX_LEVEL,
+            x in any::<u32>(),
+            y in any::<u32>(),
+        ) {
+            let cx = x % (1u32 << level.min(31));
+            let cy = y % (1u32 << level.min(31));
+            let parent = CellId::from_cell_xy(cx, cy, level);
+            let children = parent.children();
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    prop_assert!(children[i].range_max() < children[j].range_min()
+                        || children[j].range_max() < children[i].range_min());
+                }
+            }
+        }
+    }
+}

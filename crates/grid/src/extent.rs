@@ -1,0 +1,261 @@
+//! Grid extents: mapping world coordinates onto the unit square and onto
+//! integer cell coordinates.
+
+use crate::cell_id::{CellId, MAX_LEVEL};
+use crate::CurveKind;
+use dbsa_geom::{BoundingBox, Point};
+
+/// A square world extent that defines the coordinate frame of a grid.
+///
+/// The extent is always square (the longer side of the requested bounding
+/// box, expanded slightly) so that cells are square and the distance bound
+/// derived from a cell side holds in both dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridExtent {
+    origin: Point,
+    side: f64,
+}
+
+impl GridExtent {
+    /// Relative padding applied around the data extent so that points lying
+    /// exactly on the maximum boundary still map to in-range cells.
+    const PADDING: f64 = 1e-9;
+
+    /// Creates a square extent that covers `bbox`.
+    ///
+    /// # Panics
+    /// Panics if the box is empty or degenerate (zero width and height).
+    pub fn covering(bbox: &BoundingBox) -> Self {
+        assert!(!bbox.is_empty(), "cannot build a grid over an empty extent");
+        let side = bbox.width().max(bbox.height());
+        assert!(side > 0.0, "cannot build a grid over a degenerate extent");
+        let side = side * (1.0 + Self::PADDING);
+        GridExtent {
+            origin: bbox.min,
+            side,
+        }
+    }
+
+    /// Creates an extent from an explicit origin and side length.
+    pub fn new(origin: Point, side: f64) -> Self {
+        assert!(side > 0.0, "extent side must be positive");
+        GridExtent { origin, side }
+    }
+
+    /// Lower-left corner of the extent.
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Side length of the (square) extent.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// The extent as a bounding box.
+    pub fn bbox(&self) -> BoundingBox {
+        BoundingBox::from_bounds(
+            self.origin.x,
+            self.origin.y,
+            self.origin.x + self.side,
+            self.origin.y + self.side,
+        )
+    }
+
+    /// Whether the point lies within the extent.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.bbox().contains_point(p)
+    }
+
+    /// Side length of a cell at `level`.
+    pub fn cell_size(&self, level: u8) -> f64 {
+        self.side / (1u64 << level) as f64
+    }
+
+    /// Length of a cell's diagonal at `level` — the quantity the distance
+    /// bound constrains (paper Section 2.2).
+    pub fn cell_diagonal(&self, level: u8) -> f64 {
+        self.cell_size(level) * std::f64::consts::SQRT_2
+    }
+
+    /// The coarsest level whose cell diagonal is at most `max_diagonal`.
+    ///
+    /// Returns `None` if even the finest level ([`MAX_LEVEL`]) has a larger
+    /// diagonal (i.e. the requested bound cannot be met on this extent).
+    pub fn level_for_diagonal(&self, max_diagonal: f64) -> Option<u8> {
+        assert!(max_diagonal > 0.0, "distance bound must be positive");
+        (0..=MAX_LEVEL).find(|&level| self.cell_diagonal(level) <= max_diagonal)
+    }
+
+    /// Integer cell coordinate of a point at `level`, clamped to the grid.
+    pub fn cell_coords(&self, p: &Point, level: u8) -> (u32, u32) {
+        let n = (1u64 << level) as f64;
+        let fx = ((p.x - self.origin.x) / self.side).clamp(0.0, 1.0 - f64::EPSILON);
+        let fy = ((p.y - self.origin.y) / self.side).clamp(0.0, 1.0 - f64::EPSILON);
+        (((fx * n) as u64).min((1u64 << level) - 1) as u32,
+         ((fy * n) as u64).min((1u64 << level) - 1) as u32)
+    }
+
+    /// Hierarchical cell id of the cell at `level` containing the point.
+    pub fn cell_id(&self, p: &Point, level: u8) -> CellId {
+        let (cx, cy) = self.cell_coords(p, level);
+        CellId::from_cell_xy(cx, cy, level)
+    }
+
+    /// Leaf cell id (finest level) containing the point.
+    pub fn leaf_cell_id(&self, p: &Point) -> CellId {
+        self.cell_id(p, MAX_LEVEL)
+    }
+
+    /// 1-D key of the point on the given curve at `level`.
+    pub fn linearize(&self, p: &Point, level: u8, curve: CurveKind) -> u64 {
+        let (cx, cy) = self.cell_coords(p, level);
+        curve.encode(cx, cy, level)
+    }
+
+    /// World-space bounding box of a cell given by its coordinates and level.
+    pub fn cell_bbox(&self, cx: u32, cy: u32, level: u8) -> BoundingBox {
+        let size = self.cell_size(level);
+        let min_x = self.origin.x + cx as f64 * size;
+        let min_y = self.origin.y + cy as f64 * size;
+        BoundingBox::from_bounds(min_x, min_y, min_x + size, min_y + size)
+    }
+
+    /// World-space bounding box of a hierarchical cell id.
+    pub fn cell_id_bbox(&self, id: CellId) -> BoundingBox {
+        let (cx, cy, level) = id.to_cell_xy();
+        self.cell_bbox(cx, cy, level)
+    }
+
+    /// Center of a hierarchical cell in world space.
+    pub fn cell_id_center(&self, id: CellId) -> Point {
+        self.cell_id_bbox(id).center()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn extent() -> GridExtent {
+        GridExtent::new(Point::new(0.0, 0.0), 1024.0)
+    }
+
+    #[test]
+    fn covering_is_square_and_contains_bbox() {
+        let bbox = BoundingBox::from_bounds(10.0, 20.0, 110.0, 60.0);
+        let e = GridExtent::covering(&bbox);
+        assert!(e.side() >= 100.0);
+        assert!(e.bbox().contains_box(&bbox));
+        assert_eq!(e.origin(), Point::new(10.0, 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty extent")]
+    fn covering_rejects_empty_bbox() {
+        let _ = GridExtent::covering(&BoundingBox::EMPTY);
+    }
+
+    #[test]
+    fn cell_size_halves_per_level() {
+        let e = extent();
+        assert_eq!(e.cell_size(0), 1024.0);
+        assert_eq!(e.cell_size(1), 512.0);
+        assert_eq!(e.cell_size(10), 1.0);
+        assert!((e.cell_diagonal(10) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_for_diagonal_picks_coarsest_satisfying_level() {
+        let e = extent();
+        // Need diagonal <= 2.0: level 10 has diagonal ~1.414, level 9 ~2.83.
+        assert_eq!(e.level_for_diagonal(2.0), Some(10));
+        // A huge bound is satisfied by the root.
+        assert_eq!(e.level_for_diagonal(1e6), Some(0));
+        // An impossible bound cannot be met.
+        assert_eq!(e.level_for_diagonal(1e-9), None);
+        // The chosen level actually satisfies the bound.
+        let level = e.level_for_diagonal(3.7).unwrap();
+        assert!(e.cell_diagonal(level) <= 3.7);
+        assert!(level == 0 || e.cell_diagonal(level - 1) > 3.7);
+    }
+
+    #[test]
+    fn cell_coords_and_bbox_round_trip() {
+        let e = extent();
+        let p = Point::new(100.5, 771.25);
+        let (cx, cy) = e.cell_coords(&p, 10);
+        assert_eq!((cx, cy), (100, 771));
+        let bbox = e.cell_bbox(cx, cy, 10);
+        assert!(bbox.contains_point(&p));
+        assert_eq!(bbox.width(), 1.0);
+    }
+
+    #[test]
+    fn boundary_points_are_clamped_into_the_grid() {
+        let e = extent();
+        let p = Point::new(1024.0, 1024.0);
+        let (cx, cy) = e.cell_coords(&p, 10);
+        assert_eq!((cx, cy), (1023, 1023));
+        // Even points outside the extent clamp to the nearest edge cell.
+        let far = Point::new(5000.0, -5.0);
+        let (cx, cy) = e.cell_coords(&far, 4);
+        assert_eq!((cx, cy), (15, 0));
+    }
+
+    #[test]
+    fn cell_id_contains_point_leaf() {
+        let e = extent();
+        let p = Point::new(512.3, 17.9);
+        let id = e.cell_id(&p, 8);
+        let bbox = e.cell_id_bbox(id);
+        assert!(bbox.contains_point(&p));
+        assert!(bbox.contains_point(&e.cell_id_center(id)));
+        let leaf = e.leaf_cell_id(&p);
+        assert!(id.contains(leaf));
+    }
+
+    #[test]
+    fn linearize_uses_requested_curve() {
+        let e = extent();
+        let p = Point::new(3.2, 9.7);
+        let m = e.linearize(&p, 10, CurveKind::Morton);
+        let h = e.linearize(&p, 10, CurveKind::Hilbert);
+        let (cx, cy) = e.cell_coords(&p, 10);
+        assert_eq!(m, crate::morton::morton_encode(cx, cy));
+        assert_eq!(h, crate::hilbert::hilbert_xy2d(10, cx, cy));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_points_map_into_their_cell_bbox(
+            x in 0f64..1024.0, y in 0f64..1024.0, level in 0u8..=16,
+        ) {
+            let e = extent();
+            let p = Point::new(x, y);
+            let (cx, cy) = e.cell_coords(&p, level);
+            let bbox = e.cell_bbox(cx, cy, level);
+            // Allow the boundary case where clamping nudges the point onto
+            // the cell edge.
+            prop_assert!(bbox.inflated(1e-9).contains_point(&p));
+        }
+
+        #[test]
+        fn prop_cell_id_of_point_contains_leaf_id(
+            x in 0f64..1024.0, y in 0f64..1024.0, level in 0u8..=20,
+        ) {
+            let e = extent();
+            let p = Point::new(x, y);
+            prop_assert!(e.cell_id(&p, level).contains(e.leaf_cell_id(&p)));
+        }
+
+        #[test]
+        fn prop_level_for_diagonal_satisfies_bound(bound in 0.001f64..10000.0) {
+            let e = extent();
+            if let Some(level) = e.level_for_diagonal(bound) {
+                prop_assert!(e.cell_diagonal(level) <= bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Hilbert curve encoding.
+//!
+//! The Hilbert curve preserves spatial locality better than the Z-order
+//! curve (no long "jumps" between consecutive keys), at the cost of a
+//! slightly more expensive conversion. The paper mentions both as options
+//! for the dimensionality-reduction step; the benchmark harness exposes the
+//! choice so the effect can be measured.
+//!
+//! The implementation is the classic iterative rotate-and-flip algorithm
+//! over a `2^level x 2^level` grid.
+
+/// Converts the 2-D coordinate `(x, y)` on a `2^level` grid into its
+/// 1-D Hilbert curve index.
+///
+/// # Panics
+/// Panics if `level > 31` or if a coordinate does not fit in the grid.
+pub fn hilbert_xy2d(level: u8, x: u32, y: u32) -> u64 {
+    assert!(level <= 31, "hilbert level must be <= 31");
+    let n: u64 = 1 << level;
+    assert!(
+        (x as u64) < n && (y as u64) < n,
+        "coordinate ({x},{y}) outside 2^{level} grid"
+    );
+    let mut x = x as u64;
+    let mut y = y as u64;
+    let mut d: u64 = 0;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = u64::from((x & s) > 0);
+        let ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // In this direction x and y still span the full grid, so the
+        // reflection is about n-1 (in d2xy it is about s-1).
+        rot(n, &mut x, &mut y, rx, ry);
+        s /= 2;
+    }
+    d
+}
+
+/// Converts a 1-D Hilbert index back into the 2-D coordinate on a
+/// `2^level` grid.
+pub fn hilbert_d2xy(level: u8, d: u64) -> (u32, u32) {
+    assert!(level <= 31, "hilbert level must be <= 31");
+    let n: u64 = 1 << level;
+    let mut t = d;
+    let mut x: u64 = 0;
+    let mut y: u64 = 0;
+    let mut s: u64 = 1;
+    while s < n {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        rot(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x as u32, y as u32)
+}
+
+/// Rotates/flips a quadrant appropriately.
+#[inline]
+fn rot(s: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn order_2_curve_is_the_classic_u_shape() {
+        // On a 2x2 grid the Hilbert curve visits (0,0), (0,1), (1,1), (1,0).
+        assert_eq!(hilbert_xy2d(1, 0, 0), 0);
+        assert_eq!(hilbert_xy2d(1, 0, 1), 1);
+        assert_eq!(hilbert_xy2d(1, 1, 1), 2);
+        assert_eq!(hilbert_xy2d(1, 1, 0), 3);
+    }
+
+    #[test]
+    fn d2xy_round_trips_small_grid() {
+        for d in 0..16u64 {
+            let (x, y) = hilbert_d2xy(2, d);
+            assert_eq!(hilbert_xy2d(2, x, y), d);
+        }
+    }
+
+    #[test]
+    fn consecutive_indices_are_adjacent_cells() {
+        // The defining property of the Hilbert curve: consecutive curve
+        // positions are 4-neighbours in the grid.
+        let level = 5;
+        let n = 1u64 << level;
+        for d in 0..(n * n - 1) {
+            let (x0, y0) = hilbert_d2xy(level, d);
+            let (x1, y1) = hilbert_d2xy(level, d + 1);
+            let manhattan = (x0 as i64 - x1 as i64).abs() + (y0 as i64 - y1 as i64).abs();
+            assert_eq!(manhattan, 1, "jump between d={d} and d={}", d + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_coordinates() {
+        let _ = hilbert_xy2d(3, 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be <= 31")]
+    fn rejects_excessive_level() {
+        let _ = hilbert_xy2d(32, 0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_level_16(x in 0u32..65536, y in 0u32..65536) {
+            let d = hilbert_xy2d(16, x, y);
+            prop_assert_eq!(hilbert_d2xy(16, d), (x, y));
+        }
+
+        #[test]
+        fn prop_index_in_range(x in 0u32..1024, y in 0u32..1024) {
+            let d = hilbert_xy2d(10, x, y);
+            prop_assert!(d < 1 << 20);
+        }
+
+        #[test]
+        fn prop_bijective_on_small_grid(d in 0u64..4096) {
+            let (x, y) = hilbert_d2xy(6, d);
+            prop_assert_eq!(hilbert_xy2d(6, x, y), d);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! # dbsa-grid — hierarchical grid cells and space-filling curves
+//!
+//! The paper's raster approximations represent geometries as sets of grid
+//! cells, and its indexing section (Section 3) maps those 2-D cells to a
+//! 1-D domain by enumerating them with a space-filling curve so that they
+//! can be stored in a sorted array, a B+-tree, a radix trie (ACT) or a
+//! learned index (RadixSpline).
+//!
+//! This crate provides that machinery:
+//!
+//! * [`GridExtent`] — maps an arbitrary rectangular world extent onto the
+//!   unit square and then onto integer cell coordinates at a given level,
+//! * [`morton`] / [`hilbert`] — Z-order and Hilbert curve encodings between
+//!   2-D cell coordinates and 1-D keys,
+//! * [`CellId`] — a 64-bit hierarchical cell identifier (quadtree path with
+//!   a sentinel bit, in the style of S2 cell ids) with parent / child /
+//!   descendant-range navigation. The descendant range property
+//!   (`range_min()..=range_max()` covers exactly the leaf descendants) is
+//!   what makes point-in-polygon lookups a 1-D range problem.
+
+pub mod cell_id;
+pub mod extent;
+pub mod hilbert;
+pub mod morton;
+
+pub use cell_id::{CellId, MAX_LEVEL};
+pub use extent::GridExtent;
+pub use hilbert::{hilbert_d2xy, hilbert_xy2d};
+pub use morton::{morton_decode, morton_encode};
+
+/// Which space-filling curve to use when linearizing cells at a fixed level.
+///
+/// The hierarchical [`CellId`] always uses Z-order internally (its prefix
+/// property is what gives parents contiguous descendant ranges); the flat
+/// linearization used for *point* keys can use either curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CurveKind {
+    /// Z-order (Morton) curve: bit interleaving, cheap to compute.
+    #[default]
+    Morton,
+    /// Hilbert curve: better locality, slightly more expensive to compute.
+    Hilbert,
+}
+
+impl CurveKind {
+    /// Encodes a 2-D cell coordinate at `level` into a 1-D key.
+    pub fn encode(self, x: u32, y: u32, level: u8) -> u64 {
+        match self {
+            CurveKind::Morton => morton_encode(x, y),
+            CurveKind::Hilbert => hilbert_xy2d(level, x, y),
+        }
+    }
+
+    /// Decodes a 1-D key at `level` back into the 2-D cell coordinate.
+    pub fn decode(self, key: u64, level: u8) -> (u32, u32) {
+        match self {
+            CurveKind::Morton => morton_decode(key),
+            CurveKind::Hilbert => hilbert_d2xy(level, key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn curve_kind_round_trips() {
+        for kind in [CurveKind::Morton, CurveKind::Hilbert] {
+            for &(x, y) in &[(0u32, 0u32), (5, 9), (1023, 511), (12345, 54321)] {
+                let key = kind.encode(x, y, 20);
+                assert_eq!(kind.decode(key, 20), (x, y), "curve {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_curve_is_morton() {
+        assert_eq!(CurveKind::default(), CurveKind::Morton);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_both_curves_are_bijective_at_level_16(x in 0u32..65536, y in 0u32..65536) {
+            for kind in [CurveKind::Morton, CurveKind::Hilbert] {
+                let key = kind.encode(x, y, 16);
+                prop_assert_eq!(kind.decode(key, 16), (x, y));
+            }
+        }
+    }
+}

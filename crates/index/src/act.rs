@@ -1,0 +1,348 @@
+//! Adaptive Cell Trie (ACT) — a radix tree over linearized hierarchical
+//! raster cells (Kipf et al., EDBT 2020 / ICDE 2018; paper Section 3).
+//!
+//! ACT indexes the cells of the hierarchical raster approximations of a set
+//! of polygons. Coarse (large) cells terminate near the root of the trie,
+//! fine boundary cells near the leaves, so lookups for points that fall in
+//! large interior cells finish after a few node visits. Because the raster
+//! is distance-bounded, the lookup answer is final — no point-in-polygon
+//! refinement is performed. That is the approximate, refinement-free query
+//! evaluation the paper advocates.
+
+use crate::footprint::MemoryFootprint;
+use dbsa_grid::{CellId, MAX_LEVEL};
+use dbsa_raster::{CellClass, HierarchicalRaster};
+
+/// Identifier of an indexed polygon (its position in the input collection).
+pub type PolygonId = u32;
+
+/// One posting in a trie node: which polygon covers this cell, and whether
+/// the covering cell was an interior or a boundary cell of that polygon's
+/// raster approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellPosting {
+    /// The indexed polygon.
+    pub polygon: PolygonId,
+    /// Interior or boundary cell (boundary postings are the only possible
+    /// source of approximation error; result-range estimation counts them).
+    pub class: CellClass,
+}
+
+/// A node of the cell trie. Children follow the quadtree child order of the
+/// underlying cell ids (one trie level per grid level).
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: [Option<Box<TrieNode>>; 4],
+    /// Polygons whose approximation contains exactly this cell.
+    postings: Vec<CellPosting>,
+}
+
+impl TrieNode {
+    fn count_nodes(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .flatten()
+            .map(|c| c.count_nodes())
+            .sum::<usize>()
+    }
+
+    fn count_postings(&self) -> usize {
+        self.postings.len()
+            + self
+                .children
+                .iter()
+                .flatten()
+                .map(|c| c.count_postings())
+                .sum::<usize>()
+    }
+}
+
+/// Statistics about an ACT instance, used by the experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActStats {
+    /// Number of trie nodes.
+    pub nodes: usize,
+    /// Number of cell postings (cells across all indexed polygons).
+    pub postings: usize,
+    /// Number of indexed polygons.
+    pub polygons: usize,
+    /// Deepest level at which a posting terminates.
+    pub max_depth: u8,
+}
+
+/// The Adaptive Cell Trie.
+#[derive(Debug, Default)]
+pub struct AdaptiveCellTrie {
+    root: TrieNode,
+    polygons: usize,
+    postings: usize,
+    max_depth: u8,
+}
+
+impl AdaptiveCellTrie {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trie over the hierarchical rasters of a polygon collection.
+    ///
+    /// The rasters must all live on the same grid extent; polygon ids are
+    /// the positions in the slice.
+    pub fn build(rasters: &[HierarchicalRaster]) -> Self {
+        let mut trie = Self::new();
+        for (pid, raster) in rasters.iter().enumerate() {
+            trie.insert_raster(pid as PolygonId, raster);
+        }
+        trie
+    }
+
+    /// Inserts all cells of one polygon's raster approximation.
+    pub fn insert_raster(&mut self, polygon: PolygonId, raster: &HierarchicalRaster) {
+        for cell in raster.cells() {
+            self.insert_cell(polygon, cell.id, cell.class);
+        }
+        self.polygons = self.polygons.max(polygon as usize + 1);
+    }
+
+    /// Inserts a single cell posting.
+    pub fn insert_cell(&mut self, polygon: PolygonId, cell: CellId, class: CellClass) {
+        let level = cell.level();
+        let mut node = &mut self.root;
+        // Walk the child positions of the cell's ancestors from level 1 down
+        // to the cell's own level, creating nodes on demand.
+        for l in 1..=level {
+            let ancestor = cell.parent_at(l);
+            let pos = ancestor.child_position() as usize;
+            node = node.children[pos].get_or_insert_with(Box::default);
+        }
+        node.postings.push(CellPosting { polygon, class });
+        self.postings += 1;
+        self.max_depth = self.max_depth.max(level);
+        self.polygons = self.polygons.max(polygon as usize + 1);
+    }
+
+    /// Looks up the polygons whose approximation contains the given leaf
+    /// cell (i.e. the query point). No geometry is consulted.
+    ///
+    /// The returned postings are in root-to-leaf order: coarser covering
+    /// cells first.
+    pub fn lookup_leaf(&self, leaf: CellId) -> Vec<CellPosting> {
+        let mut result = Vec::new();
+        let mut node = &self.root;
+        result.extend_from_slice(&node.postings);
+        for l in 1..=MAX_LEVEL {
+            let ancestor = leaf.parent_at(l);
+            let pos = ancestor.child_position() as usize;
+            match &node.children[pos] {
+                Some(child) => {
+                    node = child;
+                    result.extend_from_slice(&node.postings);
+                }
+                None => break,
+            }
+        }
+        result
+    }
+
+    /// Convenience: the first polygon covering the leaf cell, if any.
+    ///
+    /// For non-overlapping polygon sets (administrative regions) there is at
+    /// most one; ties for overlapping data favour the coarsest covering cell.
+    pub fn lookup_first(&self, leaf: CellId) -> Option<PolygonId> {
+        let mut node = &self.root;
+        if let Some(p) = node.postings.first() {
+            return Some(p.polygon);
+        }
+        for l in 1..=MAX_LEVEL {
+            let ancestor = leaf.parent_at(l);
+            let pos = ancestor.child_position() as usize;
+            match &node.children[pos] {
+                Some(child) => {
+                    node = child;
+                    if let Some(p) = node.postings.first() {
+                        return Some(p.polygon);
+                    }
+                }
+                None => break,
+            }
+        }
+        None
+    }
+
+    /// Number of indexed polygons.
+    pub fn polygon_count(&self) -> usize {
+        self.polygons
+    }
+
+    /// Number of cell postings.
+    pub fn posting_count(&self) -> usize {
+        self.postings
+    }
+
+    /// Collects structural statistics.
+    pub fn stats(&self) -> ActStats {
+        ActStats {
+            nodes: self.root.count_nodes(),
+            postings: self.root.count_postings(),
+            polygons: self.polygons,
+            max_depth: self.max_depth,
+        }
+    }
+}
+
+impl MemoryFootprint for AdaptiveCellTrie {
+    fn memory_bytes(&self) -> usize {
+        let stats = self.stats();
+        // Children pointers dominate; postings are 8 bytes each.
+        stats.nodes * std::mem::size_of::<TrieNode>()
+            + stats.postings * std::mem::size_of::<CellPosting>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::{Point, Polygon};
+    use dbsa_grid::GridExtent;
+    use dbsa_raster::{BoundaryPolicy, DistanceBound};
+    use proptest::prelude::*;
+
+    fn extent() -> GridExtent {
+        GridExtent::new(Point::new(0.0, 0.0), 1024.0)
+    }
+
+    /// Two adjacent square "neighbourhoods" and one far-away one.
+    fn polygons() -> Vec<Polygon> {
+        vec![
+            Polygon::from_coords(&[(100.0, 100.0), (300.0, 100.0), (300.0, 300.0), (100.0, 300.0)]),
+            Polygon::from_coords(&[(300.0, 100.0), (500.0, 100.0), (500.0, 300.0), (300.0, 300.0)]),
+            Polygon::from_coords(&[(700.0, 700.0), (900.0, 700.0), (900.0, 900.0), (700.0, 900.0)]),
+        ]
+    }
+
+    fn build_act(bound_m: f64) -> (AdaptiveCellTrie, Vec<HierarchicalRaster>) {
+        let ext = extent();
+        let rasters: Vec<HierarchicalRaster> = polygons()
+            .iter()
+            .map(|p| {
+                HierarchicalRaster::with_bound(p, &ext, DistanceBound::meters(bound_m), BoundaryPolicy::Conservative)
+            })
+            .collect();
+        (AdaptiveCellTrie::build(&rasters), rasters)
+    }
+
+    #[test]
+    fn lookup_finds_containing_polygon() {
+        let (act, _) = build_act(4.0);
+        let ext = extent();
+        assert_eq!(act.polygon_count(), 3);
+        assert!(act.posting_count() > 0);
+
+        // Deep interior points resolve to the right polygon.
+        assert_eq!(act.lookup_first(ext.leaf_cell_id(&Point::new(200.0, 200.0))), Some(0));
+        assert_eq!(act.lookup_first(ext.leaf_cell_id(&Point::new(400.0, 200.0))), Some(1));
+        assert_eq!(act.lookup_first(ext.leaf_cell_id(&Point::new(800.0, 800.0))), Some(2));
+        // A point far from every polygon finds nothing.
+        assert_eq!(act.lookup_first(ext.leaf_cell_id(&Point::new(50.0, 900.0))), None);
+    }
+
+    #[test]
+    fn lookup_errors_stay_within_distance_bound() {
+        let bound = 8.0;
+        let (act, _) = build_act(bound);
+        let ext = extent();
+        let polys = polygons();
+        // Sweep a grid of query points; whenever ACT's answer differs from
+        // the exact answer the point must be within the bound of a boundary.
+        for i in 0..60 {
+            for j in 0..60 {
+                let p = Point::new(i as f64 * 17.0 + 3.0, j as f64 * 17.0 + 3.0);
+                let leaf = ext.leaf_cell_id(&p);
+                let act_hit = act.lookup_first(leaf);
+                let exact_hit = polys.iter().position(|poly| poly.contains_point(&p));
+                if act_hit.map(|v| v as usize) != exact_hit {
+                    let min_dist = polys
+                        .iter()
+                        .map(|poly| poly.boundary_distance(&p))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(min_dist <= bound,
+                        "disagreement at {p:?} but boundary distance {min_dist} > {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_bounds_need_fewer_postings() {
+        let (coarse, _) = build_act(32.0);
+        let (fine, _) = build_act(2.0);
+        assert!(fine.posting_count() > coarse.posting_count());
+        assert!(fine.memory_bytes() > coarse.memory_bytes());
+        assert!(fine.stats().max_depth >= coarse.stats().max_depth);
+    }
+
+    #[test]
+    fn lookup_leaf_reports_boundary_class() {
+        let (act, _) = build_act(4.0);
+        let ext = extent();
+        // A point very close to an edge should be covered by a boundary cell.
+        let near_edge = act.lookup_leaf(ext.leaf_cell_id(&Point::new(100.3, 200.0)));
+        assert!(near_edge.iter().any(|p| p.class == CellClass::Boundary));
+        // A deep interior point is covered by an interior cell.
+        let deep = act.lookup_leaf(ext.leaf_cell_id(&Point::new(200.0, 200.0)));
+        assert!(deep.iter().any(|p| p.class == CellClass::Interior));
+    }
+
+    #[test]
+    fn adjacent_polygons_do_not_leak_interior_lookups() {
+        let (act, _) = build_act(4.0);
+        let ext = extent();
+        // Points clearly inside polygon 0, away from the shared edge at x=300.
+        for x in [150.0, 200.0, 250.0] {
+            let hits = act.lookup_leaf(ext.leaf_cell_id(&Point::new(x, 200.0)));
+            assert!(hits.iter().all(|p| p.polygon == 0), "unexpected hits {hits:?} at x={x}");
+        }
+    }
+
+    #[test]
+    fn empty_trie_finds_nothing() {
+        let act = AdaptiveCellTrie::new();
+        assert_eq!(act.polygon_count(), 0);
+        assert_eq!(act.lookup_first(CellId::leaf(5, 5)), None);
+        assert!(act.lookup_leaf(CellId::leaf(5, 5)).is_empty());
+        assert_eq!(act.stats().nodes, 1);
+    }
+
+    #[test]
+    fn manual_cell_insertion() {
+        let mut act = AdaptiveCellTrie::new();
+        let cell = CellId::from_cell_xy(2, 3, 4);
+        act.insert_cell(7, cell, CellClass::Interior);
+        assert_eq!(act.polygon_count(), 8); // ids are dense up to the max inserted id
+        assert_eq!(act.posting_count(), 1);
+        // Any leaf under that cell finds polygon 7.
+        let leaf = cell.range_min();
+        assert_eq!(act.lookup_first(leaf), Some(7));
+        let outside = CellId::from_cell_xy(0, 0, 4).range_min();
+        assert_eq!(act.lookup_first(outside), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_interior_points_always_found(
+            px in 0.1f64..0.9, py in 0.1f64..0.9,
+        ) {
+            // Points sampled well inside polygon 0 (more than the bound away
+            // from its edges) must always be found and attributed to it.
+            let (act, _) = build_act(8.0);
+            let ext = extent();
+            let p = Point::new(100.0 + px * 200.0, 100.0 + py * 200.0);
+            prop_assume!(p.x > 110.0 && p.x < 290.0 && p.y > 110.0 && p.y < 290.0);
+            prop_assert_eq!(act.lookup_first(ext.leaf_cell_id(&p)), Some(0));
+        }
+    }
+}

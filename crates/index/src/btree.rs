@@ -1,0 +1,234 @@
+//! A B+-tree over 64-bit keys.
+//!
+//! The paper lists the B+-tree as one of the physical representations a
+//! system could use for linearized cells (Section 3, "Polygon Indexing" and
+//! "Point Indexing"). This implementation is a textbook bulk-loaded B+-tree
+//! with configurable fanout: leaves store sorted key runs, inner nodes store
+//! separator keys. It supports the same lower/upper-bound interface as the
+//! sorted array so the query layer can swap them freely.
+
+use crate::footprint::MemoryFootprint;
+
+/// Default number of keys per node.
+pub const DEFAULT_FANOUT: usize = 64;
+
+/// A static (bulk-loaded) B+-tree over `u64` keys with positional results.
+///
+/// Positions refer to the rank of the key in the sorted key sequence, which
+/// lets callers pair the tree with payload or prefix-sum arrays exactly like
+/// the sorted array baseline.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    /// Flattened levels, root last. Each inner level stores separator keys.
+    inner_levels: Vec<Vec<u64>>,
+    /// Sorted leaf keys.
+    leaves: Vec<u64>,
+    fanout: usize,
+}
+
+impl BPlusTree {
+    /// Bulk-loads a tree with the default fanout.
+    pub fn new(keys: Vec<u64>) -> Self {
+        Self::with_fanout(keys, DEFAULT_FANOUT)
+    }
+
+    /// Bulk-loads a tree with an explicit fanout (minimum 2).
+    pub fn with_fanout(mut keys: Vec<u64>, fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        keys.sort_unstable();
+        let mut inner_levels = Vec::new();
+        // Build separator levels bottom-up: level i stores the first key of
+        // every `fanout`-sized group of the level below.
+        let mut current: Vec<u64> = keys
+            .chunks(fanout)
+            .map(|chunk| chunk[0])
+            .collect();
+        while current.len() > 1 {
+            inner_levels.push(current.clone());
+            current = current.chunks(fanout).map(|chunk| chunk[0]).collect();
+        }
+        BPlusTree {
+            inner_levels,
+            leaves: keys,
+            fanout,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Height of the tree (number of inner levels above the leaves).
+    pub fn height(&self) -> usize {
+        self.inner_levels.len()
+    }
+
+    /// The fanout the tree was built with.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Rank of the first key `>= key`.
+    pub fn lower_bound(&self, key: u64) -> usize {
+        self.search(key, false)
+    }
+
+    /// Rank of the first key `> key`.
+    pub fn upper_bound(&self, key: u64) -> usize {
+        self.search(key, true)
+    }
+
+    /// Number of keys in the inclusive range `[lo, hi]`.
+    pub fn count_range(&self, lo: u64, hi: u64) -> usize {
+        if lo > hi {
+            return 0;
+        }
+        self.upper_bound(hi) - self.lower_bound(lo)
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: u64) -> bool {
+        let pos = self.lower_bound(key);
+        pos < self.leaves.len() && self.leaves[pos] == key
+    }
+
+    /// Walks the separator levels top-down to narrow the leaf search range,
+    /// then finishes with a binary search within one leaf group.
+    fn search(&self, key: u64, upper: bool) -> usize {
+        // Each inner level narrows the group index within the level below.
+        // Start at the root level (last in `inner_levels`) spanning all of it.
+        let mut group = 0usize; // group index at the current level
+        for depth in (0..self.inner_levels.len()).rev() {
+            let level = &self.inner_levels[depth];
+            let start = group * self.fanout;
+            let end = (start + self.fanout).min(level.len());
+            if start >= level.len() {
+                group = level.len().saturating_sub(1);
+                continue;
+            }
+            // Find the child whose separator range contains the key.
+            let slice = &level[start..end];
+            let offset = slice.partition_point(|&s| s <= key);
+            let child = if offset == 0 { 0 } else { offset - 1 };
+            group = start + child;
+        }
+        // `group` now identifies a leaf chunk.
+        let start = group * self.fanout;
+        let end = (start + self.fanout).min(self.leaves.len());
+        if start >= self.leaves.len() {
+            return self.leaves.len();
+        }
+        let slice = &self.leaves[start..end];
+        let within = if upper {
+            slice.partition_point(|&k| k <= key)
+        } else {
+            slice.partition_point(|&k| k < key)
+        };
+        // The key may extend into neighbouring chunks when duplicates span
+        // chunk boundaries; correct by scanning outward (bounded by the
+        // duplicate run length, which is tiny in practice).
+        let mut pos = start + within;
+        if upper {
+            while pos < self.leaves.len() && self.leaves[pos] <= key {
+                pos += 1;
+            }
+        } else {
+            while pos > 0 && self.leaves[pos - 1] >= key {
+                pos -= 1;
+            }
+        }
+        pos
+    }
+}
+
+impl MemoryFootprint for BPlusTree {
+    fn memory_bytes(&self) -> usize {
+        let inner: usize = self.inner_levels.iter().map(|l| l.len()).sum();
+        (inner + self.leaves.len()) * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorted_array::SortedKeyArray;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bulk_load_and_basic_lookups() {
+        let tree = BPlusTree::with_fanout((0..100u64).map(|i| i * 2).collect(), 8);
+        assert_eq!(tree.len(), 100);
+        assert!(!tree.is_empty());
+        assert!(tree.height() >= 1);
+        assert_eq!(tree.fanout(), 8);
+        assert!(tree.contains(42));
+        assert!(!tree.contains(43));
+        assert_eq!(tree.lower_bound(10), 5);
+        assert_eq!(tree.upper_bound(10), 6);
+        assert_eq!(tree.count_range(10, 20), 6);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = BPlusTree::new(vec![]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.lower_bound(7), 0);
+        assert_eq!(tree.count_range(0, u64::MAX), 0);
+        assert_eq!(tree.height(), 0);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree = BPlusTree::with_fanout(vec![5, 1, 9, 3], 16);
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.count_range(2, 6), 2);
+    }
+
+    #[test]
+    fn duplicate_keys_spanning_chunks() {
+        // 50 copies of the same key with a tiny fanout forces duplicates to
+        // span many leaf chunks.
+        let mut keys = vec![7u64; 50];
+        keys.extend(0..5u64);
+        keys.extend(100..110u64);
+        let tree = BPlusTree::with_fanout(keys, 4);
+        assert_eq!(tree.count_range(7, 7), 50);
+        assert_eq!(tree.lower_bound(7), 5);
+        assert_eq!(tree.upper_bound(7), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be at least 2")]
+    fn rejects_degenerate_fanout() {
+        let _ = BPlusTree::with_fanout(vec![1, 2, 3], 1);
+    }
+
+    #[test]
+    fn memory_footprint_counts_all_levels() {
+        let tree = BPlusTree::with_fanout((0..1000u64).collect(), 10);
+        assert!(tree.memory_bytes() > 1000 * 8);
+        assert!(tree.height() >= 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_agrees_with_sorted_array(
+            keys in proptest::collection::vec(0u64..10_000, 0..300),
+            lo in 0u64..10_000, hi in 0u64..10_000,
+            fanout in 2usize..32,
+        ) {
+            let arr = SortedKeyArray::from_unsorted(keys.clone());
+            let tree = BPlusTree::with_fanout(keys, fanout);
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            prop_assert_eq!(tree.lower_bound(lo), arr.lower_bound(lo));
+            prop_assert_eq!(tree.upper_bound(hi), arr.upper_bound(hi));
+            prop_assert_eq!(tree.count_range(lo, hi), arr.count_range(lo, hi));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Memory footprint reporting.
+
+/// Indexes report an estimate of their in-memory size.
+///
+/// The paper's Section 5.1 compares the footprints of ACT (143 MB for the
+/// Neighborhoods HR cells), the S2ShapeIndex (1.2 MB) and the R\*-tree
+/// (27.9 KB); the benchmark harness reproduces that comparison through this
+/// trait. Estimates count heap payloads (keys, nodes, entries) and ignore
+/// allocator overhead, which is the same convention the paper's numbers use.
+pub trait MemoryFootprint {
+    /// Estimated number of bytes used by the index structure.
+    fn memory_bytes(&self) -> usize;
+
+    /// Human-readable footprint, e.g. `"1.2 MB"`.
+    fn memory_human(&self) -> String {
+        format_bytes(self.memory_bytes())
+    }
+}
+
+/// Formats a byte count with binary-ish units matching the paper's style.
+pub fn format_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.1} GB", b / GB)
+    } else if b >= MB {
+        format!("{:.1} MB", b / MB)
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(usize);
+    impl MemoryFootprint for Fixed {
+        fn memory_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.0 KB");
+        assert_eq!(format_bytes(1_572_864), "1.5 MB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024), "3.0 GB");
+    }
+
+    #[test]
+    fn trait_default_uses_formatter() {
+        assert_eq!(Fixed(28_570).memory_human(), "27.9 KB");
+    }
+}

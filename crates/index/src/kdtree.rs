@@ -1,0 +1,268 @@
+//! Bulk-built k-d tree over points.
+//!
+//! The k-d tree baseline of the paper's data-access experiment. Built once
+//! by recursive median splitting (alternating axes); supports box range
+//! queries that return candidate point ids.
+
+use crate::footprint::MemoryFootprint;
+use dbsa_geom::{BoundingBox, Point};
+
+#[derive(Debug)]
+struct KdNode {
+    /// The splitting point (also an indexed point).
+    point: Point,
+    id: u64,
+    /// Split axis: 0 = x, 1 = y.
+    axis: u8,
+    left: Option<Box<KdNode>>,
+    right: Option<Box<KdNode>>,
+}
+
+/// A static k-d tree over points.
+#[derive(Debug)]
+pub struct KdTree {
+    root: Option<Box<KdNode>>,
+    len: usize,
+}
+
+impl KdTree {
+    /// Builds a k-d tree from a point collection (ids are slice positions).
+    pub fn build(points: &[Point]) -> Self {
+        let mut items: Vec<(Point, u64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u64))
+            .collect();
+        let len = items.len();
+        let root = build_rec(&mut items, 0);
+        KdTree { root, len }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (0 for an empty tree).
+    pub fn height(&self) -> usize {
+        fn h(node: &Option<Box<KdNode>>) -> usize {
+            node.as_ref()
+                .map(|n| 1 + h(&n.left).max(h(&n.right)))
+                .unwrap_or(0)
+        }
+        h(&self.root)
+    }
+
+    /// Ids of all points inside the query box.
+    pub fn query_bbox(&self, query: &BoundingBox) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.for_each_in_bbox(query, |_, id| out.push(id));
+        out
+    }
+
+    /// Visits every `(point, id)` pair inside the query box.
+    pub fn for_each_in_bbox<F: FnMut(&Point, u64)>(&self, query: &BoundingBox, mut f: F) {
+        fn visit<F: FnMut(&Point, u64)>(node: &Option<Box<KdNode>>, query: &BoundingBox, f: &mut F) {
+            let Some(n) = node else { return };
+            if query.contains_point(&n.point) {
+                f(&n.point, n.id);
+            }
+            let (coord, lo, hi) = if n.axis == 0 {
+                (n.point.x, query.min.x, query.max.x)
+            } else {
+                (n.point.y, query.min.y, query.max.y)
+            };
+            if lo <= coord {
+                visit(&n.left, query, f);
+            }
+            if hi >= coord {
+                visit(&n.right, query, f);
+            }
+        }
+        visit(&self.root, query, &mut f);
+    }
+
+    /// The indexed point nearest to `target`, if the tree is non-empty.
+    pub fn nearest(&self, target: &Point) -> Option<(Point, u64, f64)> {
+        fn search(
+            node: &Option<Box<KdNode>>,
+            target: &Point,
+            best: &mut Option<(Point, u64, f64)>,
+        ) {
+            let Some(n) = node else { return };
+            let d = n.point.distance(target);
+            if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                *best = Some((n.point, n.id, d));
+            }
+            let diff = if n.axis == 0 {
+                target.x - n.point.x
+            } else {
+                target.y - n.point.y
+            };
+            let (near, far) = if diff < 0.0 {
+                (&n.left, &n.right)
+            } else {
+                (&n.right, &n.left)
+            };
+            search(near, target, best);
+            if best.map(|(_, _, bd)| diff.abs() < bd).unwrap_or(true) {
+                search(far, target, best);
+            }
+        }
+        let mut best = None;
+        search(&self.root, target, &mut best);
+        best
+    }
+}
+
+impl MemoryFootprint for KdTree {
+    fn memory_bytes(&self) -> usize {
+        // Each node: point (16) + id (8) + axis (1, padded) + 2 pointers (16).
+        self.len * (std::mem::size_of::<KdNode>())
+    }
+}
+
+fn build_rec(items: &mut [(Point, u64)], depth: usize) -> Option<Box<KdNode>> {
+    if items.is_empty() {
+        return None;
+    }
+    let axis = (depth % 2) as u8;
+    let mid = items.len() / 2;
+    items.select_nth_unstable_by(mid, |a, b| {
+        let (ka, kb) = if axis == 0 { (a.0.x, b.0.x) } else { (a.0.y, b.0.y) };
+        ka.partial_cmp(&kb).expect("finite coordinates")
+    });
+    let (point, id) = items[mid];
+    let (left, right) = items.split_at_mut(mid);
+    let right = &mut right[1..];
+    Some(Box::new(KdNode {
+        point,
+        id,
+        axis,
+        left: build_rec(left, depth + 1),
+        right: build_rec(right, depth + 1),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect()
+    }
+
+    fn naive(points: &[Point], q: &BoundingBox) -> Vec<u64> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    #[test]
+    fn build_and_range_query() {
+        let points = random_points(1500, 1);
+        let tree = KdTree::build(&points);
+        assert_eq!(tree.len(), 1500);
+        assert!(tree.height() <= 2 * 11 + 1, "median splits keep the tree balanced");
+        for q in [
+            BoundingBox::from_bounds(0.0, 0.0, 250.0, 250.0),
+            BoundingBox::from_bounds(500.0, 100.0, 600.0, 900.0),
+            BoundingBox::from_bounds(999.0, 999.0, 1000.0, 1000.0),
+        ] {
+            let mut hits = tree.query_bbox(&q);
+            hits.sort_unstable();
+            assert_eq!(hits, naive(&points, &q));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point_trees() {
+        let empty = KdTree::build(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.height(), 0);
+        assert!(empty.query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(empty.nearest(&Point::ORIGIN).is_none());
+
+        let single = KdTree::build(&[Point::new(5.0, 5.0)]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0)), vec![0]);
+        let (p, id, d) = single.nearest(&Point::new(8.0, 9.0)).unwrap();
+        assert_eq!(p, Point::new(5.0, 5.0));
+        assert_eq!(id, 0);
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let points = random_points(700, 2);
+        let tree = KdTree::build(&points);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..50 {
+            let target = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            let (_, _, d) = tree.nearest(&target).unwrap();
+            let expected = points
+                .iter()
+                .map(|p| p.distance(&target))
+                .fold(f64::INFINITY, f64::min);
+            assert!((d - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_all_found() {
+        let points = vec![Point::new(1.0, 1.0); 20];
+        let tree = KdTree::build(&points);
+        let hits = tree.query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(hits.len(), 20);
+    }
+
+    #[test]
+    fn memory_footprint_positive() {
+        let tree = KdTree::build(&random_points(64, 3));
+        assert!(tree.memory_bytes() >= 64 * 40);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_range_query_matches_naive(
+            pts in proptest::collection::vec((0f64..100.0, 0f64..100.0), 0..250),
+            qx in 0f64..100.0, qy in 0f64..100.0, w in 0f64..60.0, h in 0f64..60.0,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let tree = KdTree::build(&points);
+            let q = BoundingBox::from_bounds(qx, qy, qx + w, qy + h);
+            let mut hits = tree.query_bbox(&q);
+            hits.sort_unstable();
+            prop_assert_eq!(hits, naive(&points, &q));
+        }
+
+        #[test]
+        fn prop_nearest_matches_naive(
+            pts in proptest::collection::vec((0f64..100.0, 0f64..100.0), 1..150),
+            tx in 0f64..100.0, ty in 0f64..100.0,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let tree = KdTree::build(&points);
+            let target = Point::new(tx, ty);
+            let (_, _, d) = tree.nearest(&target).unwrap();
+            let expected = points.iter().map(|p| p.distance(&target)).fold(f64::INFINITY, f64::min);
+            prop_assert!((d - expected).abs() < 1e-9);
+        }
+    }
+}

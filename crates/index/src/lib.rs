@@ -1,0 +1,48 @@
+//! # dbsa-index — spatial, linearized and learned indexes
+//!
+//! Index structures for the data-access layer of the paper (Section 3) and
+//! the join experiments (Section 5.1):
+//!
+//! **Linearized (1-D) indexes over cell keys** — points are mapped to leaf
+//! cells of the hierarchical grid and indexed by their 64-bit key:
+//! * [`SortedKeyArray`] — sorted array + binary search (the "BS" baseline),
+//!   with a prefix-sum companion for `COUNT`/`SUM` aggregation,
+//! * [`BPlusTree`] — a textbook B+-tree, the classic ordered alternative,
+//! * [`RadixSpline`] — the single-pass learned index used by the paper
+//!   (spline points + radix table + error-bounded interpolation search).
+//!
+//! **Hierarchical cell indexes over polygons**:
+//! * [`AdaptiveCellTrie`] (ACT) — a radix tree over the linearized cells of
+//!   hierarchical raster approximations; point lookups walk the trie and
+//!   never touch exact geometry (approximate, distance-bounded),
+//! * [`ShapeIndex`] — an S2ShapeIndex-like baseline: coarse hierarchical
+//!   cells with **exact** point-in-polygon refinement for boundary cells.
+//!
+//! **Classic spatial baselines over raw coordinates** (MBR filtering):
+//! * [`RTree`] — R\*-style tree with quadratic split insertion and an STR
+//!   bulk-loading constructor,
+//! * [`PointQuadtree`] — bucket PR quadtree,
+//! * [`KdTree`] — bulk-built k-d tree.
+//!
+//! All indexes report their memory footprint through [`MemoryFootprint`],
+//! which feeds the paper's in-text storage comparison (ACT ≫ SI ≫ R\*-tree).
+
+pub mod act;
+pub mod btree;
+pub mod footprint;
+pub mod kdtree;
+pub mod quadtree;
+pub mod radix_spline;
+pub mod rtree;
+pub mod shape_index;
+pub mod sorted_array;
+
+pub use act::{ActStats, AdaptiveCellTrie};
+pub use btree::BPlusTree;
+pub use footprint::MemoryFootprint;
+pub use kdtree::KdTree;
+pub use quadtree::PointQuadtree;
+pub use radix_spline::{RadixSpline, RadixSplineBuilder};
+pub use rtree::{RTree, RTreeEntry};
+pub use shape_index::ShapeIndex;
+pub use sorted_array::{PrefixSumArray, SortedKeyArray};

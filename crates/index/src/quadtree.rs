@@ -1,0 +1,344 @@
+//! Bucket PR quadtree over points.
+//!
+//! One of the paper's spatial baselines for point indexing (implemented
+//! "based on recent research", i.e. the learned-spatial-index study of
+//! Pandey et al.). Space is recursively split into four quadrants; leaves
+//! hold up to `capacity` points.
+
+use crate::footprint::MemoryFootprint;
+use dbsa_geom::{BoundingBox, Point};
+
+#[derive(Debug)]
+enum QNode {
+    Leaf(Vec<(Point, u64)>),
+    Inner(Box<[QuadChild; 4]>),
+}
+
+#[derive(Debug)]
+struct QuadChild {
+    bounds: BoundingBox,
+    node: QNode,
+}
+
+/// A point quadtree with bucketed leaves.
+#[derive(Debug)]
+pub struct PointQuadtree {
+    bounds: BoundingBox,
+    root: QNode,
+    capacity: usize,
+    max_depth: usize,
+    len: usize,
+}
+
+impl PointQuadtree {
+    /// Default leaf bucket capacity.
+    pub const DEFAULT_CAPACITY: usize = 64;
+    /// Default maximum tree depth (prevents degeneracy on duplicate points).
+    pub const DEFAULT_MAX_DEPTH: usize = 24;
+
+    /// Creates an empty quadtree over the given bounds.
+    pub fn new(bounds: BoundingBox) -> Self {
+        Self::with_parameters(bounds, Self::DEFAULT_CAPACITY, Self::DEFAULT_MAX_DEPTH)
+    }
+
+    /// Creates an empty quadtree with explicit capacity and depth limits.
+    pub fn with_parameters(bounds: BoundingBox, capacity: usize, max_depth: usize) -> Self {
+        assert!(!bounds.is_empty(), "quadtree bounds must not be empty");
+        assert!(capacity >= 1, "bucket capacity must be at least 1");
+        assert!(max_depth >= 1, "maximum depth must be at least 1");
+        PointQuadtree {
+            bounds,
+            root: QNode::Leaf(Vec::new()),
+            capacity,
+            max_depth,
+            len: 0,
+        }
+    }
+
+    /// Builds a quadtree from a point collection (ids are slice positions).
+    pub fn build(bounds: BoundingBox, points: &[Point]) -> Self {
+        let mut tree = Self::new(bounds);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(*p, i as u64);
+        }
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point with its identifier. Points outside the tree bounds
+    /// are clamped into the nearest boundary cell (the workloads guarantee
+    /// in-bounds points; clamping keeps the structure total).
+    pub fn insert(&mut self, p: Point, id: u64) {
+        let bounds = self.bounds;
+        let capacity = self.capacity;
+        let max_depth = self.max_depth;
+        insert_rec(&mut self.root, &bounds, p, id, capacity, max_depth, 0);
+        self.len += 1;
+    }
+
+    /// Ids of all points inside the query box.
+    pub fn query_bbox(&self, query: &BoundingBox) -> Vec<u64> {
+        let mut out = Vec::new();
+        query_rec(&self.root, &self.bounds, query, &mut out);
+        out
+    }
+
+    /// Visits all `(point, id)` pairs inside the query box.
+    pub fn for_each_in_bbox<F: FnMut(&Point, u64)>(&self, query: &BoundingBox, mut f: F) {
+        visit_rec(&self.root, &self.bounds, query, &mut f);
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        fn count(node: &QNode) -> usize {
+            match node {
+                QNode::Leaf(_) => 1,
+                QNode::Inner(children) => 1 + children.iter().map(|c| count(&c.node)).sum::<usize>(),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+impl MemoryFootprint for PointQuadtree {
+    fn memory_bytes(&self) -> usize {
+        fn bytes(node: &QNode) -> usize {
+            match node {
+                QNode::Leaf(pts) => pts.len() * (std::mem::size_of::<Point>() + 8),
+                QNode::Inner(children) => children
+                    .iter()
+                    .map(|c| std::mem::size_of::<BoundingBox>() + bytes(&c.node))
+                    .sum(),
+            }
+        }
+        bytes(&self.root)
+    }
+}
+
+fn quadrants(bounds: &BoundingBox) -> [BoundingBox; 4] {
+    let c = bounds.center();
+    [
+        BoundingBox::from_bounds(bounds.min.x, bounds.min.y, c.x, c.y),
+        BoundingBox::from_bounds(c.x, bounds.min.y, bounds.max.x, c.y),
+        BoundingBox::from_bounds(bounds.min.x, c.y, c.x, bounds.max.y),
+        BoundingBox::from_bounds(c.x, c.y, bounds.max.x, bounds.max.y),
+    ]
+}
+
+fn quadrant_of(bounds: &BoundingBox, p: &Point) -> usize {
+    let c = bounds.center();
+    match (p.x >= c.x, p.y >= c.y) {
+        (false, false) => 0,
+        (true, false) => 1,
+        (false, true) => 2,
+        (true, true) => 3,
+    }
+}
+
+fn insert_rec(
+    node: &mut QNode,
+    bounds: &BoundingBox,
+    p: Point,
+    id: u64,
+    capacity: usize,
+    max_depth: usize,
+    depth: usize,
+) {
+    match node {
+        QNode::Leaf(points) => {
+            points.push((p, id));
+            if points.len() > capacity && depth < max_depth {
+                // Split the bucket into four children.
+                let contents = std::mem::take(points);
+                let qs = quadrants(bounds);
+                let mut children = Box::new([
+                    QuadChild { bounds: qs[0], node: QNode::Leaf(Vec::new()) },
+                    QuadChild { bounds: qs[1], node: QNode::Leaf(Vec::new()) },
+                    QuadChild { bounds: qs[2], node: QNode::Leaf(Vec::new()) },
+                    QuadChild { bounds: qs[3], node: QNode::Leaf(Vec::new()) },
+                ]);
+                for (cp, cid) in contents {
+                    let q = quadrant_of(bounds, &cp);
+                    insert_rec(&mut children[q].node, &qs[q], cp, cid, capacity, max_depth, depth + 1);
+                }
+                *node = QNode::Inner(children);
+            }
+        }
+        QNode::Inner(children) => {
+            let q = quadrant_of(bounds, &p);
+            let child_bounds = children[q].bounds;
+            insert_rec(&mut children[q].node, &child_bounds, p, id, capacity, max_depth, depth + 1);
+        }
+    }
+}
+
+fn query_rec(node: &QNode, bounds: &BoundingBox, query: &BoundingBox, out: &mut Vec<u64>) {
+    if !bounds.intersects(query) {
+        return;
+    }
+    match node {
+        QNode::Leaf(points) => {
+            for (p, id) in points {
+                if query.contains_point(p) {
+                    out.push(*id);
+                }
+            }
+        }
+        QNode::Inner(children) => {
+            for child in children.iter() {
+                query_rec(&child.node, &child.bounds, query, out);
+            }
+        }
+    }
+}
+
+fn visit_rec<F: FnMut(&Point, u64)>(node: &QNode, bounds: &BoundingBox, query: &BoundingBox, f: &mut F) {
+    if !bounds.intersects(query) {
+        return;
+    }
+    match node {
+        QNode::Leaf(points) => {
+            for (p, id) in points {
+                if query.contains_point(p) {
+                    f(p, *id);
+                }
+            }
+        }
+        QNode::Inner(children) => {
+            for child in children.iter() {
+                visit_rec(&child.node, &child.bounds, query, f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn world() -> BoundingBox {
+        BoundingBox::from_bounds(0.0, 0.0, 1000.0, 1000.0)
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect()
+    }
+
+    fn naive(points: &[Point], q: &BoundingBox) -> Vec<u64> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let points = random_points(2000, 1);
+        let tree = PointQuadtree::build(world(), &points);
+        assert_eq!(tree.len(), 2000);
+        assert!(tree.node_count() > 1);
+        for q in [
+            BoundingBox::from_bounds(0.0, 0.0, 100.0, 100.0),
+            BoundingBox::from_bounds(400.0, 400.0, 600.0, 600.0),
+            BoundingBox::from_bounds(990.0, 990.0, 1000.0, 1000.0),
+        ] {
+            let mut hits = tree.query_bbox(&q);
+            hits.sort_unstable();
+            assert_eq!(hits, naive(&points, &q));
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_recurse_forever() {
+        let mut tree = PointQuadtree::with_parameters(world(), 4, 8);
+        for i in 0..100 {
+            tree.insert(Point::new(500.0, 500.0), i);
+        }
+        assert_eq!(tree.len(), 100);
+        let hits = tree.query_bbox(&BoundingBox::from_bounds(499.0, 499.0, 501.0, 501.0));
+        assert_eq!(hits.len(), 100);
+    }
+
+    #[test]
+    fn empty_tree_and_miss_queries() {
+        let tree = PointQuadtree::new(world());
+        assert!(tree.is_empty());
+        assert!(tree.query_bbox(&world()).is_empty());
+        let tree = PointQuadtree::build(world(), &random_points(50, 2));
+        assert!(tree.query_bbox(&BoundingBox::from_bounds(2000.0, 2000.0, 3000.0, 3000.0)).is_empty());
+    }
+
+    #[test]
+    fn for_each_matches_query() {
+        let points = random_points(500, 3);
+        let tree = PointQuadtree::build(world(), &points);
+        let q = BoundingBox::from_bounds(100.0, 100.0, 700.0, 300.0);
+        let mut visited = Vec::new();
+        tree.for_each_in_bbox(&q, |_, id| visited.push(id));
+        visited.sort_unstable();
+        let mut expected = tree.query_bbox(&q);
+        expected.sort_unstable();
+        assert_eq!(visited, expected);
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_clamped_not_lost() {
+        let mut tree = PointQuadtree::new(world());
+        tree.insert(Point::new(-50.0, 500.0), 0);
+        tree.insert(Point::new(1500.0, 500.0), 1);
+        assert_eq!(tree.len(), 2);
+        // They are findable with a query covering the whole extent plus margins.
+        let hits = tree.query_bbox(&BoundingBox::from_bounds(-100.0, -100.0, 2000.0, 2000.0));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must not be empty")]
+    fn rejects_empty_bounds() {
+        let _ = PointQuadtree::new(BoundingBox::EMPTY);
+    }
+
+    #[test]
+    fn memory_footprint_positive() {
+        let tree = PointQuadtree::build(world(), &random_points(100, 4));
+        assert!(tree.memory_bytes() >= 100 * 24);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_query_matches_naive(
+            pts in proptest::collection::vec((0f64..1000.0, 0f64..1000.0), 0..300),
+            qx in 0f64..1000.0, qy in 0f64..1000.0, w in 0f64..500.0, h in 0f64..500.0,
+            capacity in 1usize..64,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mut tree = PointQuadtree::with_parameters(world(), capacity, 16);
+            for (i, p) in points.iter().enumerate() {
+                tree.insert(*p, i as u64);
+            }
+            let q = BoundingBox::from_bounds(qx, qy, (qx + w).min(1000.0), (qy + h).min(1000.0));
+            let mut hits = tree.query_bbox(&q);
+            hits.sort_unstable();
+            prop_assert_eq!(hits, naive(&points, &q));
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! R-tree with quadratic-split insertion and STR bulk loading.
+//!
+//! This is the MBR-filtering baseline of the paper's experiments (the role
+//! played by the Boost Geometry R\*-tree and the STR-packed R-tree of
+//! Leutenegger et al.). Queries return *candidate* entry ids; the exact
+//! point-in-polygon refinement happens in the query layer, which is exactly
+//! the cost the distance-bounded approximations eliminate.
+
+use crate::footprint::MemoryFootprint;
+use dbsa_geom::{BoundingBox, Point};
+
+/// An indexed entry: a bounding box plus the caller's identifier
+/// (point index or polygon id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RTreeEntry {
+    /// Minimum bounding rectangle of the indexed object.
+    pub bbox: BoundingBox,
+    /// Caller-defined identifier.
+    pub id: u64,
+}
+
+impl RTreeEntry {
+    /// Creates an entry for an arbitrary box.
+    pub fn new(bbox: BoundingBox, id: u64) -> Self {
+        RTreeEntry { bbox, id }
+    }
+
+    /// Creates an entry for a point (degenerate box).
+    pub fn point(p: Point, id: u64) -> Self {
+        RTreeEntry {
+            bbox: BoundingBox::new(p, p),
+            id,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Vec<RTreeEntry>),
+    Inner(Vec<(BoundingBox, Node)>),
+}
+
+impl Node {
+    fn bbox(&self) -> BoundingBox {
+        match self {
+            Node::Leaf(entries) => entries
+                .iter()
+                .fold(BoundingBox::EMPTY, |acc, e| acc.union(&e.bbox)),
+            Node::Inner(children) => children
+                .iter()
+                .fold(BoundingBox::EMPTY, |acc, (b, _)| acc.union(b)),
+        }
+    }
+
+    fn count_nodes(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Inner(children) => 1 + children.iter().map(|(_, c)| c.count_nodes()).sum::<usize>(),
+        }
+    }
+
+    fn height(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Inner(children) => {
+                1 + children.iter().map(|(_, c)| c.height()).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// An R-tree over boxed entries.
+#[derive(Debug)]
+pub struct RTree {
+    root: Node,
+    capacity: usize,
+    len: usize,
+}
+
+impl RTree {
+    /// Default maximum entries per node (both leaves and inner nodes).
+    pub const DEFAULT_CAPACITY: usize = 16;
+
+    /// Creates an empty tree with the default node capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty tree with an explicit node capacity (>= 4).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 4, "node capacity must be at least 4");
+        RTree {
+            root: Node::Leaf(Vec::new()),
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Bulk-loads a tree with the Sort-Tile-Recursive (STR) algorithm.
+    ///
+    /// Entries are sorted by x-center into vertical slices, each slice is
+    /// sorted by y-center and packed into full leaves; upper levels are
+    /// packed the same way until a single root remains.
+    pub fn bulk_load_str(entries: Vec<RTreeEntry>, capacity: usize) -> Self {
+        assert!(capacity >= 4, "node capacity must be at least 4");
+        let len = entries.len();
+        if entries.is_empty() {
+            return Self::with_capacity(capacity);
+        }
+        // Pack leaves.
+        let leaf_nodes = str_pack(entries, capacity, |e| e.bbox.center())
+            .into_iter()
+            .map(|chunk| {
+                let node = Node::Leaf(chunk);
+                (node.bbox(), node)
+            })
+            .collect::<Vec<_>>();
+        // Pack inner levels until one node remains.
+        let mut level = leaf_nodes;
+        while level.len() > 1 {
+            level = str_pack(level, capacity, |(b, _)| b.center())
+                .into_iter()
+                .map(|chunk| {
+                    let bbox = chunk
+                        .iter()
+                        .fold(BoundingBox::EMPTY, |acc, (b, _)| acc.union(b));
+                    (bbox, Node::Inner(chunk))
+                })
+                .collect();
+        }
+        let root = level.into_iter().next().map(|(_, n)| n).unwrap_or(Node::Leaf(Vec::new()));
+        RTree {
+            root,
+            capacity,
+            len,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree in nodes.
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.root.count_nodes()
+    }
+
+    /// Inserts an entry (Guttman insertion with quadratic split).
+    pub fn insert(&mut self, entry: RTreeEntry) {
+        self.len += 1;
+        if let Some((left, right)) = insert_recursive(&mut self.root, entry, self.capacity) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+            drop(old_root); // the split children fully replace the old root
+            self.root = Node::Inner(vec![(left.bbox(), left), (right.bbox(), right)]);
+        }
+    }
+
+    /// All entry ids whose box contains the query point.
+    pub fn query_point(&self, p: &Point) -> Vec<u64> {
+        let mut out = Vec::new();
+        query_point_rec(&self.root, p, &mut out);
+        out
+    }
+
+    /// All entry ids whose box intersects the query box.
+    pub fn query_bbox(&self, bbox: &BoundingBox) -> Vec<u64> {
+        let mut out = Vec::new();
+        query_bbox_rec(&self.root, bbox, &mut out);
+        out
+    }
+
+    /// Visits every entry whose box intersects the query box without
+    /// materializing the result vector.
+    pub fn for_each_in_bbox<F: FnMut(&RTreeEntry)>(&self, bbox: &BoundingBox, mut f: F) {
+        for_each_rec(&self.root, bbox, &mut f);
+    }
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryFootprint for RTree {
+    fn memory_bytes(&self) -> usize {
+        // Leaves store entries (40 bytes each); inner nodes store one box +
+        // pointer per child.
+        fn bytes(node: &Node) -> usize {
+            match node {
+                Node::Leaf(entries) => entries.len() * std::mem::size_of::<RTreeEntry>(),
+                Node::Inner(children) => {
+                    children.len() * (std::mem::size_of::<BoundingBox>() + std::mem::size_of::<usize>())
+                        + children.iter().map(|(_, c)| bytes(c)).sum::<usize>()
+                }
+            }
+        }
+        bytes(&self.root)
+    }
+}
+
+/// Splits `items` into STR tiles of at most `capacity` elements.
+fn str_pack<T, F: Fn(&T) -> Point>(mut items: Vec<T>, capacity: usize, center: F) -> Vec<Vec<T>> {
+    let n = items.len();
+    let leaf_count = n.div_ceil(capacity);
+    let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+    let slice_size = n.div_ceil(slice_count.max(1));
+    items.sort_by(|a, b| center(a).x.partial_cmp(&center(b).x).expect("finite coords"));
+    let mut out = Vec::with_capacity(leaf_count);
+    let mut items = items.into_iter().peekable();
+    while items.peek().is_some() {
+        let mut slice: Vec<T> = items.by_ref().take(slice_size).collect();
+        slice.sort_by(|a, b| center(a).y.partial_cmp(&center(b).y).expect("finite coords"));
+        let mut iter = slice.into_iter().peekable();
+        while iter.peek().is_some() {
+            out.push(iter.by_ref().take(capacity).collect());
+        }
+    }
+    out
+}
+
+/// Recursive insertion; returns `Some((left, right))` when the child split
+/// and the parent must absorb the two halves.
+fn insert_recursive(node: &mut Node, entry: RTreeEntry, capacity: usize) -> Option<(Node, Node)> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push(entry);
+            if entries.len() > capacity {
+                let (a, b) = quadratic_split(std::mem::take(entries), |e| e.bbox);
+                Some((Node::Leaf(a), Node::Leaf(b)))
+            } else {
+                None
+            }
+        }
+        Node::Inner(children) => {
+            // Choose the child needing least enlargement (ties: smaller area).
+            let idx = children
+                .iter()
+                .enumerate()
+                .min_by(|(_, (b1, _)), (_, (b2, _))| {
+                    let e1 = b1.enlargement(&entry.bbox);
+                    let e2 = b2.enlargement(&entry.bbox);
+                    e1.partial_cmp(&e2)
+                        .expect("finite enlargement")
+                        .then(b1.area().partial_cmp(&b2.area()).expect("finite area"))
+                })
+                .map(|(i, _)| i)
+                .expect("inner nodes are never empty");
+            let split = insert_recursive(&mut children[idx].1, entry, capacity);
+            children[idx].0 = children[idx].1.bbox();
+            if let Some((left, right)) = split {
+                children.remove(idx);
+                children.push((left.bbox(), left));
+                children.push((right.bbox(), right));
+                if children.len() > capacity {
+                    let (a, b) = quadratic_split(std::mem::take(children), |(b, _)| *b);
+                    return Some((Node::Inner(a), Node::Inner(b)));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Guttman's quadratic split.
+fn quadratic_split<T, F: Fn(&T) -> BoundingBox>(items: Vec<T>, bbox_of: F) -> (Vec<T>, Vec<T>) {
+    let n = items.len();
+    debug_assert!(n >= 2);
+    // Pick the pair of seeds that wastes the most area if grouped together.
+    let mut seed_a = 0;
+    let mut seed_b = 1;
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = bbox_of(&items[i]).union(&bbox_of(&items[j])).area()
+                - bbox_of(&items[i]).area()
+                - bbox_of(&items[j]).area();
+            if d > worst {
+                worst = d;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let min_fill = (n / 2).max(1).min(n - 1);
+    let mut group_a: Vec<T> = Vec::new();
+    let mut group_b: Vec<T> = Vec::new();
+    let mut bbox_a = BoundingBox::EMPTY;
+    let mut bbox_b = BoundingBox::EMPTY;
+    for (i, item) in items.into_iter().enumerate() {
+        let bb = bbox_of(&item);
+        if i == seed_a {
+            bbox_a.expand_to_box(&bb);
+            group_a.push(item);
+        } else if i == seed_b {
+            bbox_b.expand_to_box(&bb);
+            group_b.push(item);
+        } else {
+            // Assign by least enlargement, but keep both groups above the
+            // minimum fill so neither ends up empty.
+            let remaining_needed_by_a = min_fill.saturating_sub(group_a.len());
+            let remaining_needed_by_b = min_fill.saturating_sub(group_b.len());
+            let prefer_a = if remaining_needed_by_a >= remaining_needed_by_b + 2 {
+                true
+            } else if remaining_needed_by_b >= remaining_needed_by_a + 2 {
+                false
+            } else {
+                bbox_a.enlargement(&bb) <= bbox_b.enlargement(&bb)
+            };
+            if prefer_a {
+                bbox_a.expand_to_box(&bb);
+                group_a.push(item);
+            } else {
+                bbox_b.expand_to_box(&bb);
+                group_b.push(item);
+            }
+        }
+    }
+    if group_a.is_empty() {
+        group_a.push(group_b.pop().expect("group_b cannot be empty if a is"));
+    } else if group_b.is_empty() {
+        group_b.push(group_a.pop().expect("group_a cannot be empty if b is"));
+    }
+    (group_a, group_b)
+}
+
+fn query_point_rec(node: &Node, p: &Point, out: &mut Vec<u64>) {
+    match node {
+        Node::Leaf(entries) => {
+            for e in entries {
+                if e.bbox.contains_point(p) {
+                    out.push(e.id);
+                }
+            }
+        }
+        Node::Inner(children) => {
+            for (bbox, child) in children {
+                if bbox.contains_point(p) {
+                    query_point_rec(child, p, out);
+                }
+            }
+        }
+    }
+}
+
+fn query_bbox_rec(node: &Node, query: &BoundingBox, out: &mut Vec<u64>) {
+    match node {
+        Node::Leaf(entries) => {
+            for e in entries {
+                if e.bbox.intersects(query) {
+                    out.push(e.id);
+                }
+            }
+        }
+        Node::Inner(children) => {
+            for (bbox, child) in children {
+                if bbox.intersects(query) {
+                    query_bbox_rec(child, query, out);
+                }
+            }
+        }
+    }
+}
+
+fn for_each_rec<F: FnMut(&RTreeEntry)>(node: &Node, query: &BoundingBox, f: &mut F) {
+    match node {
+        Node::Leaf(entries) => {
+            for e in entries {
+                if e.bbox.intersects(query) {
+                    f(e);
+                }
+            }
+        }
+        Node::Inner(children) => {
+            for (bbox, child) in children {
+                if bbox.intersects(query) {
+                    for_each_rec(child, query, f);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect()
+    }
+
+    fn naive_range(points: &[Point], bbox: &BoundingBox) -> Vec<u64> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| bbox.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    #[test]
+    fn insertion_and_point_query() {
+        let mut tree = RTree::new();
+        let points = random_points(500, 1);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(RTreeEntry::point(*p, i as u64));
+        }
+        assert_eq!(tree.len(), 500);
+        assert!(tree.height() > 1);
+        // Querying an exact point finds it (and possibly coincident others).
+        let hits = tree.query_point(&points[42]);
+        assert!(hits.contains(&42));
+    }
+
+    #[test]
+    fn range_queries_match_naive_scan_after_insertion() {
+        let points = random_points(800, 2);
+        let mut tree = RTree::with_capacity(8);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(RTreeEntry::point(*p, i as u64));
+        }
+        for (qx, qy, w, h) in [(0.0, 0.0, 100.0, 100.0), (250.0, 400.0, 300.0, 50.0), (900.0, 900.0, 100.0, 100.0)] {
+            let query = BoundingBox::from_bounds(qx, qy, qx + w, qy + h);
+            let mut hits = tree.query_bbox(&query);
+            hits.sort_unstable();
+            assert_eq!(hits, naive_range(&points, &query), "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn str_bulk_load_matches_naive_scan() {
+        let points = random_points(1000, 3);
+        let entries: Vec<RTreeEntry> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RTreeEntry::point(*p, i as u64))
+            .collect();
+        let tree = RTree::bulk_load_str(entries, 16);
+        assert_eq!(tree.len(), 1000);
+        for (qx, qy, side) in [(100.0, 100.0, 200.0), (0.0, 500.0, 999.0), (450.0, 450.0, 10.0)] {
+            let query = BoundingBox::from_bounds(qx, qy, (qx + side).min(1000.0), (qy + side).min(1000.0));
+            let mut hits = tree.query_bbox(&query);
+            hits.sort_unstable();
+            assert_eq!(hits, naive_range(&points, &query));
+        }
+    }
+
+    #[test]
+    fn str_tree_is_shallower_than_incremental_tree() {
+        let points = random_points(2000, 4);
+        let entries: Vec<RTreeEntry> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RTreeEntry::point(*p, i as u64))
+            .collect();
+        let bulk = RTree::bulk_load_str(entries.clone(), 16);
+        let mut incremental = RTree::with_capacity(16);
+        for e in entries {
+            incremental.insert(e);
+        }
+        assert!(bulk.height() <= incremental.height());
+        assert!(bulk.node_count() <= incremental.node_count());
+    }
+
+    #[test]
+    fn polygon_mbr_entries() {
+        // Index boxes (polygon MBRs) rather than points.
+        let boxes = [
+            BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0),
+            BoundingBox::from_bounds(20.0, 0.0, 30.0, 10.0),
+            BoundingBox::from_bounds(5.0, 5.0, 25.0, 15.0),
+        ];
+        let mut tree = RTree::new();
+        for (i, b) in boxes.iter().enumerate() {
+            tree.insert(RTreeEntry::new(*b, i as u64));
+        }
+        let mut hits = tree.query_point(&Point::new(7.0, 7.0));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2]);
+        assert_eq!(tree.query_point(&Point::new(50.0, 50.0)), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = RTree::new();
+        assert!(tree.is_empty());
+        assert!(tree.query_point(&Point::ORIGIN).is_empty());
+        assert!(tree.query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0)).is_empty());
+        let empty_bulk = RTree::bulk_load_str(vec![], 8);
+        assert!(empty_bulk.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_same_entries_as_query() {
+        let points = random_points(300, 9);
+        let entries: Vec<RTreeEntry> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RTreeEntry::point(*p, i as u64))
+            .collect();
+        let tree = RTree::bulk_load_str(entries, 8);
+        let query = BoundingBox::from_bounds(200.0, 200.0, 600.0, 600.0);
+        let mut visited = Vec::new();
+        tree.for_each_in_bbox(&query, |e| visited.push(e.id));
+        visited.sort_unstable();
+        let mut expected = tree.query_bbox(&query);
+        expected.sort_unstable();
+        assert_eq!(visited, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn rejects_tiny_capacity() {
+        let _ = RTree::with_capacity(2);
+    }
+
+    #[test]
+    fn memory_footprint_positive() {
+        let points = random_points(100, 5);
+        let tree = RTree::bulk_load_str(
+            points.iter().enumerate().map(|(i, p)| RTreeEntry::point(*p, i as u64)).collect(),
+            8,
+        );
+        assert!(tree.memory_bytes() >= 100 * std::mem::size_of::<RTreeEntry>());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_queries_match_naive_scan(
+            pts in proptest::collection::vec((0f64..100.0, 0f64..100.0), 1..200),
+            qx in 0f64..100.0, qy in 0f64..100.0, w in 0f64..60.0, h in 0f64..60.0,
+            capacity in 4usize..20,
+            bulk in proptest::bool::ANY,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let entries: Vec<RTreeEntry> = points.iter().enumerate()
+                .map(|(i, p)| RTreeEntry::point(*p, i as u64)).collect();
+            let tree = if bulk {
+                RTree::bulk_load_str(entries, capacity)
+            } else {
+                let mut t = RTree::with_capacity(capacity);
+                for e in entries { t.insert(e); }
+                t
+            };
+            let query = BoundingBox::from_bounds(qx, qy, qx + w, qy + h);
+            let mut hits = tree.query_bbox(&query);
+            hits.sort_unstable();
+            prop_assert_eq!(hits, naive_range(&points, &query));
+        }
+    }
+}

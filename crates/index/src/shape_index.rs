@@ -1,0 +1,297 @@
+//! S2ShapeIndex-like baseline ("SI" in the paper's Figure 6).
+//!
+//! Google's S2ShapeIndex approximates each polygon with a *coarse*
+//! hierarchical cell covering and keeps the exact geometry around: cells
+//! fully inside a polygon answer directly, cells crossed by a boundary fall
+//! back to an exact point-in-polygon test. Unlike ACT, the covering is not
+//! distance-bounded and the evaluation is exact — so SI sits between the
+//! R\*-tree (pure MBR filtering, every hit refined) and ACT (fine-grained,
+//! no refinement at all), which is exactly where Figure 6 places it.
+
+use crate::act::PolygonId;
+use crate::footprint::MemoryFootprint;
+use dbsa_geom::{MultiPolygon, Point};
+use dbsa_grid::{CellId, GridExtent};
+use dbsa_raster::{BoundaryPolicy, CellClass, HierarchicalRaster};
+
+/// A cell posting: which polygon, and whether exact refinement is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShapeCell {
+    range_min: CellId,
+    range_max: CellId,
+    polygon: PolygonId,
+    needs_refinement: bool,
+}
+
+/// The shape index: coarse cell coverings plus exact refinement.
+#[derive(Debug)]
+pub struct ShapeIndex {
+    extent: GridExtent,
+    /// All coverings' cells flattened and sorted by range start.
+    cells: Vec<ShapeCell>,
+    /// `prefix_max[i]` = the largest `range_max` among `cells[0..=i]`; lets
+    /// stabbing queries stop scanning as soon as no earlier cell can still
+    /// cover the probe (classic interval-stabbing trick).
+    prefix_max: Vec<CellId>,
+    /// The exact geometries, kept for refinement.
+    polygons: Vec<MultiPolygon>,
+    /// Cells-per-polygon budget used to build the coverings.
+    cells_per_polygon: usize,
+}
+
+impl ShapeIndex {
+    /// Default number of covering cells per polygon (S2's default
+    /// `max_cells` for coverings is 8; SI uses interior coverings of similar
+    /// coarseness).
+    pub const DEFAULT_CELLS_PER_POLYGON: usize = 8;
+
+    /// Builds the index over a polygon collection with the default coarse
+    /// covering budget.
+    pub fn build(polygons: &[MultiPolygon], extent: &GridExtent) -> Self {
+        Self::with_cells_per_polygon(polygons, extent, Self::DEFAULT_CELLS_PER_POLYGON)
+    }
+
+    /// Builds the index with an explicit cells-per-polygon budget.
+    pub fn with_cells_per_polygon(
+        polygons: &[MultiPolygon],
+        extent: &GridExtent,
+        cells_per_polygon: usize,
+    ) -> Self {
+        let mut cells = Vec::new();
+        for (pid, poly) in polygons.iter().enumerate() {
+            let raster = HierarchicalRaster::with_cell_budget(
+                poly,
+                extent,
+                cells_per_polygon.max(4),
+                BoundaryPolicy::Conservative,
+            );
+            for cell in raster.cells() {
+                cells.push(ShapeCell {
+                    range_min: cell.id.range_min(),
+                    range_max: cell.id.range_max(),
+                    polygon: pid as PolygonId,
+                    needs_refinement: cell.class == CellClass::Boundary,
+                });
+            }
+        }
+        cells.sort_by_key(|c| c.range_min);
+        let mut prefix_max = Vec::with_capacity(cells.len());
+        let mut running = CellId::ROOT.range_min();
+        for c in &cells {
+            running = running.max(c.range_max);
+            prefix_max.push(running);
+        }
+        ShapeIndex {
+            extent: *extent,
+            cells,
+            prefix_max,
+            polygons: polygons.to_vec(),
+            cells_per_polygon,
+        }
+    }
+
+    /// Number of indexed polygons.
+    pub fn polygon_count(&self) -> usize {
+        self.polygons.len()
+    }
+
+    /// Total number of covering cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The covering budget the index was built with.
+    pub fn cells_per_polygon(&self) -> usize {
+        self.cells_per_polygon
+    }
+
+    /// Exact lookup: the polygons containing the point.
+    ///
+    /// Interior covering cells answer immediately; boundary cells trigger an
+    /// exact point-in-polygon test. The result is exact (unlike ACT) but
+    /// each boundary hit costs a PIP test linear in the polygon size.
+    pub fn lookup(&self, p: &Point) -> Vec<PolygonId> {
+        let mut refinements = 0usize;
+        self.lookup_counting(p, &mut refinements)
+    }
+
+    /// Exact lookup that also reports how many exact PIP refinements were
+    /// performed (the quantity the paper's analysis attributes the cost to).
+    pub fn lookup_counting(&self, p: &Point, refinements: &mut usize) -> Vec<PolygonId> {
+        let leaf = self.extent.leaf_cell_id(p);
+        let mut out = Vec::new();
+        // Candidate cells are those whose range contains the leaf. They are
+        // sorted by range_min, and ranges can nest across polygons, so scan
+        // backwards from the partition point until ranges can no longer
+        // cover the leaf.
+        let idx = self.cells.partition_point(|c| c.range_min <= leaf);
+        for i in (0..idx).rev() {
+            // No cell at or before position i can cover the leaf any more:
+            // stop scanning (interval stabbing with a prefix maximum).
+            if self.prefix_max[i] < leaf {
+                break;
+            }
+            let cell = &self.cells[i];
+            if cell.range_min <= leaf && leaf <= cell.range_max {
+                let hit = if cell.needs_refinement {
+                    *refinements += 1;
+                    self.polygons[cell.polygon as usize].contains_point(p)
+                } else {
+                    true
+                };
+                if hit && !out.contains(&cell.polygon) {
+                    out.push(cell.polygon);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Convenience: the first containing polygon.
+    pub fn lookup_first(&self, p: &Point) -> Option<PolygonId> {
+        self.lookup(p).into_iter().next()
+    }
+}
+
+impl MemoryFootprint for ShapeIndex {
+    fn memory_bytes(&self) -> usize {
+        // Covering cells; the exact geometry is shared with the base table
+        // in a real system, so it is not charged to the index (same
+        // convention as the paper's 1.2 MB figure for SI).
+        self.cells.len() * std::mem::size_of::<ShapeCell>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::Polygon;
+    use proptest::prelude::*;
+
+    fn extent() -> GridExtent {
+        GridExtent::new(Point::new(0.0, 0.0), 1024.0)
+    }
+
+    fn polygons() -> Vec<MultiPolygon> {
+        vec![
+            MultiPolygon::from(Polygon::from_coords(&[
+                (100.0, 100.0),
+                (300.0, 100.0),
+                (300.0, 300.0),
+                (100.0, 300.0),
+            ])),
+            MultiPolygon::from(Polygon::from_coords(&[
+                (300.0, 100.0),
+                (500.0, 100.0),
+                (500.0, 300.0),
+                (300.0, 300.0),
+            ])),
+            // An L-shaped region exercises refinement on concave boundaries.
+            MultiPolygon::from(Polygon::from_coords(&[
+                (600.0, 600.0),
+                (900.0, 600.0),
+                (900.0, 750.0),
+                (750.0, 750.0),
+                (750.0, 900.0),
+                (600.0, 900.0),
+            ])),
+        ]
+    }
+
+    #[test]
+    fn lookups_are_exact() {
+        let polys = polygons();
+        let si = ShapeIndex::build(&polys, &extent());
+        assert_eq!(si.polygon_count(), 3);
+        assert!(si.cell_count() > 0);
+
+        // Sweep a grid and compare against exact containment everywhere.
+        for i in 0..50 {
+            for j in 0..50 {
+                let p = Point::new(i as f64 * 20.0 + 1.0, j as f64 * 20.0 + 1.0);
+                let expected: Vec<PolygonId> = polys
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, poly)| poly.contains_point(&p))
+                    .map(|(i, _)| i as PolygonId)
+                    .collect();
+                assert_eq!(si.lookup(&p), expected, "mismatch at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_hits_avoid_refinement() {
+        let polys = polygons();
+        let si = ShapeIndex::with_cells_per_polygon(&polys, &extent(), 64);
+        let mut refinements = 0usize;
+        // A deep interior point should be answered by an interior cell.
+        let hits = si.lookup_counting(&Point::new(200.0, 200.0), &mut refinements);
+        assert_eq!(hits, vec![0]);
+        assert_eq!(refinements, 0, "interior lookups must not refine");
+        // A point near an edge requires a PIP refinement.
+        let mut refinements = 0usize;
+        let _ = si.lookup_counting(&Point::new(100.5, 200.0), &mut refinements);
+        assert!(refinements >= 1);
+    }
+
+    #[test]
+    fn coarser_coverings_use_fewer_cells_but_more_refinements() {
+        let polys = polygons();
+        let coarse = ShapeIndex::with_cells_per_polygon(&polys, &extent(), 4);
+        let fine = ShapeIndex::with_cells_per_polygon(&polys, &extent(), 256);
+        assert!(coarse.cell_count() < fine.cell_count());
+        assert!(coarse.memory_bytes() < fine.memory_bytes());
+        assert_eq!(coarse.cells_per_polygon(), 4);
+
+        // Count refinements over a sweep: the fine covering needs fewer.
+        let mut coarse_ref = 0usize;
+        let mut fine_ref = 0usize;
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(i as f64 * 25.0 + 2.0, j as f64 * 25.0 + 2.0);
+                let _ = coarse.lookup_counting(&p, &mut coarse_ref);
+                let _ = fine.lookup_counting(&p, &mut fine_ref);
+            }
+        }
+        assert!(fine_ref <= coarse_ref, "finer covering should refine less: {fine_ref} vs {coarse_ref}");
+    }
+
+    #[test]
+    fn missing_points_return_nothing() {
+        let si = ShapeIndex::build(&polygons(), &extent());
+        assert!(si.lookup(&Point::new(50.0, 900.0)).is_empty());
+        assert_eq!(si.lookup_first(&Point::new(50.0, 900.0)), None);
+        assert_eq!(si.lookup_first(&Point::new(200.0, 200.0)), Some(0));
+    }
+
+    #[test]
+    fn empty_index() {
+        let si = ShapeIndex::build(&[], &extent());
+        assert_eq!(si.polygon_count(), 0);
+        assert_eq!(si.cell_count(), 0);
+        assert!(si.lookup(&Point::new(1.0, 1.0)).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_shape_index_always_matches_exact_containment(
+            px in 0f64..1024.0, py in 0f64..1024.0,
+            budget in 4usize..64,
+        ) {
+            let polys = polygons();
+            let si = ShapeIndex::with_cells_per_polygon(&polys, &extent(), budget);
+            let p = Point::new(px, py);
+            let expected: Vec<PolygonId> = polys
+                .iter()
+                .enumerate()
+                .filter(|(_, poly)| poly.contains_point(&p))
+                .map(|(i, _)| i as PolygonId)
+                .collect();
+            prop_assert_eq!(si.lookup(&p), expected);
+        }
+    }
+}

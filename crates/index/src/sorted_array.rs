@@ -1,0 +1,289 @@
+//! Sorted key arrays and prefix sums — the "binary search" baseline of the
+//! paper's data-access experiment and the backing store of the learned index.
+
+use crate::footprint::MemoryFootprint;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A sorted array of 64-bit keys (linearized cell ids of points).
+///
+/// Duplicates are allowed — several points can fall into the same leaf cell.
+/// Lookups are classic binary searches; range counts are two binary searches
+/// (lower and upper bound), exactly the operation the paper says "really
+/// matters" for aggregation queries and that the RadixSpline accelerates.
+#[derive(Debug, Clone, Default)]
+pub struct SortedKeyArray {
+    keys: Vec<u64>,
+}
+
+impl SortedKeyArray {
+    /// Builds the array from an unsorted key collection.
+    pub fn from_unsorted(mut keys: Vec<u64>) -> Self {
+        keys.sort_unstable();
+        SortedKeyArray { keys }
+    }
+
+    /// Builds the array from keys that are already sorted.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the keys are not sorted.
+    pub fn from_sorted(keys: Vec<u64>) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        SortedKeyArray { keys }
+    }
+
+    /// The sorted keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Index of the first key `>= key` (lower bound).
+    #[inline]
+    pub fn lower_bound(&self, key: u64) -> usize {
+        self.keys.partition_point(|&k| k < key)
+    }
+
+    /// Index of the first key `> key` (upper bound).
+    #[inline]
+    pub fn upper_bound(&self, key: u64) -> usize {
+        self.keys.partition_point(|&k| k <= key)
+    }
+
+    /// Number of keys in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn count_range(&self, lo: u64, hi: u64) -> usize {
+        if lo > hi {
+            return 0;
+        }
+        self.upper_bound(hi) - self.lower_bound(lo)
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.keys.binary_search(&key).is_ok()
+    }
+
+    /// The positions (as a range) of all keys in `[lo, hi]`, for callers
+    /// that need to visit the matching payloads.
+    pub fn range_positions(&self, lo: u64, hi: u64) -> std::ops::Range<usize> {
+        if lo > hi {
+            return 0..0;
+        }
+        self.lower_bound(lo)..self.upper_bound(hi)
+    }
+
+    /// Serializes the keys into a compact little-endian byte buffer
+    /// (used by the experiment harness to report storage sizes and to move
+    /// key columns between components without re-encoding).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.keys.len() * 8);
+        for k in &self.keys {
+            buf.put_u64_le(*k);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes keys previously produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() % 8 == 0, "key buffer length must be a multiple of 8");
+        let keys = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+            .collect();
+        SortedKeyArray::from_sorted(keys)
+    }
+}
+
+impl MemoryFootprint for SortedKeyArray {
+    fn memory_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Prefix-sum array over per-key values, aligned with a [`SortedKeyArray`].
+///
+/// Supports O(1) range `SUM` / `COUNT` after two bound lookups, the OLAP
+/// trick (Ho et al.) the paper cites for aggregation over linearized cells.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixSumArray {
+    /// `prefix[i]` = sum of values[0..i]; length = n + 1.
+    prefix: Vec<f64>,
+}
+
+impl PrefixSumArray {
+    /// Builds the prefix sums of `values` (in key order).
+    pub fn new(values: &[f64]) -> Self {
+        let mut prefix = Vec::with_capacity(values.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for v in values {
+            acc += v;
+            prefix.push(acc);
+        }
+        PrefixSumArray { prefix }
+    }
+
+    /// Number of underlying values.
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// Whether there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of the values in positions `[from, to)`.
+    pub fn range_sum(&self, from: usize, to: usize) -> f64 {
+        assert!(from <= to && to < self.prefix.len(), "invalid prefix-sum range {from}..{to}");
+        self.prefix[to] - self.prefix[from]
+    }
+
+    /// Total sum of all values.
+    pub fn total(&self) -> f64 {
+        *self.prefix.last().expect("prefix always has at least one entry")
+    }
+}
+
+impl MemoryFootprint for PrefixSumArray {
+    fn memory_bytes(&self) -> usize {
+        self.prefix.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> SortedKeyArray {
+        SortedKeyArray::from_unsorted(vec![50, 10, 30, 30, 20, 40, 30])
+    }
+
+    #[test]
+    fn construction_sorts_keys() {
+        let arr = sample();
+        assert_eq!(arr.keys(), &[10, 20, 30, 30, 30, 40, 50]);
+        assert_eq!(arr.len(), 7);
+        assert!(!arr.is_empty());
+    }
+
+    #[test]
+    fn bounds_and_counts() {
+        let arr = sample();
+        assert_eq!(arr.lower_bound(30), 2);
+        assert_eq!(arr.upper_bound(30), 5);
+        assert_eq!(arr.count_range(30, 30), 3);
+        assert_eq!(arr.count_range(15, 45), 5);
+        assert_eq!(arr.count_range(0, 9), 0);
+        assert_eq!(arr.count_range(60, 100), 0);
+        assert_eq!(arr.count_range(40, 10), 0, "inverted range counts zero");
+        assert_eq!(arr.count_range(0, u64::MAX), 7);
+    }
+
+    #[test]
+    fn contains_and_positions() {
+        let arr = sample();
+        assert!(arr.contains(40));
+        assert!(!arr.contains(41));
+        assert_eq!(arr.range_positions(20, 30), 1..5);
+        assert_eq!(arr.range_positions(100, 1), 0..0);
+    }
+
+    #[test]
+    fn empty_array_behaviour() {
+        let arr = SortedKeyArray::default();
+        assert!(arr.is_empty());
+        assert_eq!(arr.count_range(0, u64::MAX), 0);
+        assert_eq!(arr.lower_bound(5), 0);
+        assert_eq!(arr.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let arr = sample();
+        let bytes = arr.to_bytes();
+        assert_eq!(bytes.len(), 7 * 8);
+        let back = SortedKeyArray::from_bytes(&bytes);
+        assert_eq!(back.keys(), arr.keys());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn from_bytes_rejects_truncated_buffers() {
+        let _ = SortedKeyArray::from_bytes(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn memory_footprint_scales_with_keys() {
+        assert_eq!(sample().memory_bytes(), 7 * 8);
+        assert_eq!(sample().memory_human(), "56 B");
+    }
+
+    #[test]
+    fn prefix_sum_basics() {
+        let ps = PrefixSumArray::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ps.len(), 4);
+        assert_eq!(ps.total(), 10.0);
+        assert_eq!(ps.range_sum(0, 4), 10.0);
+        assert_eq!(ps.range_sum(1, 3), 5.0);
+        assert_eq!(ps.range_sum(2, 2), 0.0);
+        assert_eq!(ps.memory_bytes(), 5 * 8);
+    }
+
+    #[test]
+    fn empty_prefix_sum() {
+        let ps = PrefixSumArray::new(&[]);
+        assert!(ps.is_empty());
+        assert_eq!(ps.total(), 0.0);
+        assert_eq!(ps.range_sum(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid prefix-sum range")]
+    fn prefix_sum_rejects_out_of_bounds() {
+        let ps = PrefixSumArray::new(&[1.0]);
+        let _ = ps.range_sum(0, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_count_range_matches_linear_scan(
+            mut keys in proptest::collection::vec(0u64..1000, 0..200),
+            lo in 0u64..1000, hi in 0u64..1000,
+        ) {
+            let arr = SortedKeyArray::from_unsorted(keys.clone());
+            keys.sort_unstable();
+            let expected = keys.iter().filter(|&&k| k >= lo.min(hi) && k <= hi.max(lo)).count();
+            prop_assert_eq!(arr.count_range(lo.min(hi), hi.max(lo)), expected);
+        }
+
+        #[test]
+        fn prop_prefix_sum_matches_naive_sum(
+            values in proptest::collection::vec(-100f64..100.0, 1..100),
+            a in 0usize..100, b in 0usize..100,
+        ) {
+            let ps = PrefixSumArray::new(&values);
+            let from = a.min(b).min(values.len());
+            let to = a.max(b).min(values.len());
+            let expected: f64 = values[from..to].iter().sum();
+            prop_assert!((ps.range_sum(from, to) - expected).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_byte_round_trip(keys in proptest::collection::vec(any::<u64>(), 0..100)) {
+            let arr = SortedKeyArray::from_unsorted(keys);
+            let back = SortedKeyArray::from_bytes(&arr.to_bytes());
+            prop_assert_eq!(back.keys(), arr.keys());
+        }
+    }
+}

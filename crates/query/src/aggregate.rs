@@ -1,0 +1,167 @@
+//! Aggregate functions and per-region aggregate accumulators.
+
+/// The aggregation function of the spatial aggregation query
+/// (`SELECT AGG(a) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id`).
+///
+/// All of these are distributive or algebraic, so they can be computed from
+/// per-cell / per-partition partial aggregates — the property Section 2.3 of
+/// the paper points out makes cell-level evaluation efficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateKind {
+    /// `COUNT(*)`
+    Count,
+    /// `SUM(a)`
+    Sum,
+    /// `AVG(a)` (algebraic: SUM / COUNT)
+    Avg,
+    /// `MIN(a)`
+    Min,
+    /// `MAX(a)`
+    Max,
+}
+
+/// Partial aggregate for one region (one `GROUP BY R.id` group).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionAggregate {
+    /// Number of points assigned to the region.
+    pub count: u64,
+    /// Sum of the aggregated attribute.
+    pub sum: f64,
+    /// Minimum of the aggregated attribute (`+inf` when empty).
+    pub min: f64,
+    /// Maximum of the aggregated attribute (`-inf` when empty).
+    pub max: f64,
+    /// How many of the counted points were matched through *boundary* cells
+    /// of the approximation (0 for exact evaluation). This feeds the
+    /// result-range estimation of Section 6.
+    pub boundary_count: u64,
+}
+
+impl Default for RegionAggregate {
+    fn default() -> Self {
+        RegionAggregate {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            boundary_count: 0,
+        }
+    }
+}
+
+impl RegionAggregate {
+    /// Adds one point with attribute `value`, matched through an interior
+    /// (`boundary = false`) or boundary (`boundary = true`) cell.
+    pub fn add(&mut self, value: f64, boundary: bool) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if boundary {
+            self.boundary_count += 1;
+        }
+    }
+
+    /// Adds a batch of `count` points with a pre-aggregated sum (used by the
+    /// prefix-sum range lookups where individual values are not visited).
+    pub fn add_batch(&mut self, count: u64, sum: f64, boundary: bool) {
+        self.count += count;
+        self.sum += sum;
+        if boundary {
+            self.boundary_count += count;
+        }
+    }
+
+    /// Merges another partial aggregate (associative and commutative).
+    pub fn merge(&mut self, other: &RegionAggregate) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.boundary_count += other.boundary_count;
+    }
+
+    /// Average of the attribute (`None` when the region is empty).
+    pub fn avg(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Extracts the requested aggregate value (`None` for empty regions on
+    /// AVG / MIN / MAX).
+    pub fn value(&self, kind: AggregateKind) -> Option<f64> {
+        match kind {
+            AggregateKind::Count => Some(self.count as f64),
+            AggregateKind::Sum => Some(self.sum),
+            AggregateKind::Avg => self.avg(),
+            AggregateKind::Min => (self.count > 0).then_some(self.min),
+            AggregateKind::Max => (self.count > 0).then_some(self.max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_extract() {
+        let mut agg = RegionAggregate::default();
+        agg.add(10.0, false);
+        agg.add(20.0, true);
+        agg.add(5.0, false);
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.sum, 35.0);
+        assert_eq!(agg.min, 5.0);
+        assert_eq!(agg.max, 20.0);
+        assert_eq!(agg.boundary_count, 1);
+        assert_eq!(agg.value(AggregateKind::Count), Some(3.0));
+        assert_eq!(agg.value(AggregateKind::Sum), Some(35.0));
+        assert_eq!(agg.value(AggregateKind::Avg), Some(35.0 / 3.0));
+        assert_eq!(agg.value(AggregateKind::Min), Some(5.0));
+        assert_eq!(agg.value(AggregateKind::Max), Some(20.0));
+    }
+
+    #[test]
+    fn empty_region_semantics() {
+        let agg = RegionAggregate::default();
+        assert_eq!(agg.value(AggregateKind::Count), Some(0.0));
+        assert_eq!(agg.value(AggregateKind::Sum), Some(0.0));
+        assert_eq!(agg.value(AggregateKind::Avg), None);
+        assert_eq!(agg.value(AggregateKind::Min), None);
+        assert_eq!(agg.value(AggregateKind::Max), None);
+    }
+
+    #[test]
+    fn merge_is_associative_on_observed_fields() {
+        let mut a = RegionAggregate::default();
+        a.add(1.0, false);
+        a.add(2.0, true);
+        let mut b = RegionAggregate::default();
+        b.add(10.0, false);
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 3);
+        assert_eq!(ab.sum, 13.0);
+        assert_eq!(ab.boundary_count, 1);
+    }
+
+    #[test]
+    fn add_batch_matches_individual_adds_for_count_and_sum() {
+        let mut individual = RegionAggregate::default();
+        individual.add(3.0, true);
+        individual.add(4.0, true);
+        let mut batch = RegionAggregate::default();
+        batch.add_batch(2, 7.0, true);
+        assert_eq!(batch.count, individual.count);
+        assert_eq!(batch.sum, individual.sum);
+        assert_eq!(batch.boundary_count, individual.boundary_count);
+    }
+}

@@ -1,0 +1,536 @@
+//! Point–polygon containment and aggregation over linearized point tables
+//! (paper Section 3, Figure 4).
+//!
+//! The distance-bounded plan: approximate the query polygon with
+//! hierarchical raster cells, then turn every cell into a 1-D range lookup
+//! against the sorted linearized point keys. COUNT/SUM aggregates come from
+//! a prefix-sum array, so each query cell costs two bound searches — the
+//! operation the RadixSpline accelerates. No point-in-polygon test is ever
+//! executed, which is why the answer is approximate (but distance-bounded).
+//!
+//! The classic baselines index the raw coordinates, filter with the query
+//! polygon's MBR and refine every candidate with an exact PIP test.
+
+use crate::aggregate::RegionAggregate;
+use dbsa_geom::{MultiPolygon, Point, Polygon};
+use dbsa_grid::{CurveKind, GridExtent};
+use dbsa_index::{
+    BPlusTree, KdTree, MemoryFootprint, PointQuadtree, RTree, RTreeEntry, RadixSpline,
+    RadixSplineBuilder, SortedKeyArray,
+};
+use dbsa_index::sorted_array::PrefixSumArray;
+use dbsa_raster::{BoundaryPolicy, CellClass, HierarchicalRaster, RasterCell, Rasterizable};
+
+/// Which 1-D search structure answers the range lookups over the linearized
+/// point keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PointIndexVariant {
+    /// Plain binary search on the sorted key array (the "BS" baseline).
+    BinarySearch,
+    /// B+-tree over the keys.
+    BPlusTree,
+    /// RadixSpline learned index (the paper's proposal).
+    RadixSpline,
+}
+
+/// A linearized point table: points mapped to leaf-cell keys, sorted, with
+/// the attribute column and its prefix sums aligned to key order.
+#[derive(Debug)]
+pub struct LinearizedPointTable {
+    extent: GridExtent,
+    keys: SortedKeyArray,
+    /// Attribute values in key order.
+    values: Vec<f64>,
+    prefix: PrefixSumArray,
+    spline: RadixSpline,
+    btree: BPlusTree,
+}
+
+impl LinearizedPointTable {
+    /// Builds the table from points and their attribute values.
+    ///
+    /// The linearization always uses the hierarchical Z-order leaf id so the
+    /// descendant ranges of query cells are contiguous key ranges; see
+    /// [`CurveKind`] for the flat alternatives offered elsewhere.
+    pub fn build(points: &[Point], values: &[f64], extent: &GridExtent) -> Self {
+        Self::build_with_spline_params(points, values, extent, 25, 32)
+    }
+
+    /// Builds the table with explicit RadixSpline parameters (radix bits and
+    /// spline error — the paper uses 25 and 32).
+    pub fn build_with_spline_params(
+        points: &[Point],
+        values: &[f64],
+        extent: &GridExtent,
+        radix_bits: u32,
+        spline_error: usize,
+    ) -> Self {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        let mut pairs: Vec<(u64, f64)> = points
+            .iter()
+            .zip(values)
+            .map(|(p, v)| (extent.leaf_cell_id(p).raw(), *v))
+            .collect();
+        pairs.sort_unstable_by_key(|(k, _)| *k);
+        let keys: Vec<u64> = pairs.iter().map(|(k, _)| *k).collect();
+        let sorted_values: Vec<f64> = pairs.iter().map(|(_, v)| *v).collect();
+        let prefix = PrefixSumArray::new(&sorted_values);
+        let spline = RadixSplineBuilder::new()
+            .radix_bits(radix_bits)
+            .spline_error(spline_error)
+            .build(&keys);
+        let btree = BPlusTree::new(keys.clone());
+        LinearizedPointTable {
+            extent: *extent,
+            keys: SortedKeyArray::from_sorted(keys),
+            values: sorted_values,
+            prefix,
+            spline,
+            btree,
+        }
+    }
+
+    /// Number of points in the table.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The grid extent used for linearization.
+    pub fn extent(&self) -> &GridExtent {
+        &self.extent
+    }
+
+    /// Memory footprint of the chosen index variant (keys + search structure).
+    pub fn index_memory_bytes(&self, variant: PointIndexVariant) -> usize {
+        let base = self.keys.memory_bytes();
+        match variant {
+            PointIndexVariant::BinarySearch => base,
+            PointIndexVariant::BPlusTree => self.btree.memory_bytes(),
+            PointIndexVariant::RadixSpline => base + self.spline.memory_bytes(),
+        }
+    }
+
+    /// Lower/upper bound positions of a key range under the given variant.
+    fn range_positions(&self, lo: u64, hi: u64, variant: PointIndexVariant) -> (usize, usize) {
+        match variant {
+            PointIndexVariant::BinarySearch => (self.keys.lower_bound(lo), self.keys.upper_bound(hi)),
+            PointIndexVariant::BPlusTree => (self.btree.lower_bound(lo), self.btree.upper_bound(hi)),
+            PointIndexVariant::RadixSpline => (
+                self.spline.lower_bound(self.keys.keys(), lo),
+                self.spline.upper_bound(self.keys.keys(), hi),
+            ),
+        }
+    }
+
+    /// Aggregates all points falling into the given raster cells.
+    ///
+    /// Each cell turns into one key-range lookup; counts and sums come from
+    /// position arithmetic and the prefix-sum array.
+    pub fn aggregate_cells(&self, cells: &[RasterCell], variant: PointIndexVariant) -> RegionAggregate {
+        let mut agg = RegionAggregate::default();
+        for cell in cells {
+            let lo = cell.id.range_min().raw();
+            let hi = cell.id.range_max().raw();
+            let (from, to) = self.range_positions(lo, hi, variant);
+            if to > from {
+                let sum = self.prefix.range_sum(from, to);
+                agg.add_batch((to - from) as u64, sum, cell.class == CellClass::Boundary);
+                // MIN/MAX need the individual values; visit them lazily.
+                for v in &self.values[from..to] {
+                    agg.min = agg.min.min(*v);
+                    agg.max = agg.max.max(*v);
+                }
+            }
+        }
+        agg
+    }
+
+    /// Approximates the query polygon with at most `cell_budget` hierarchical
+    /// cells and aggregates the matching points (the Figure 4 query).
+    ///
+    /// Returns the aggregate and the number of cells actually used.
+    pub fn aggregate_polygon<G: Rasterizable>(
+        &self,
+        polygon: &G,
+        cell_budget: usize,
+        variant: PointIndexVariant,
+    ) -> (RegionAggregate, usize) {
+        let raster = HierarchicalRaster::with_cell_budget(
+            polygon,
+            &self.extent,
+            cell_budget,
+            BoundaryPolicy::Conservative,
+        );
+        let agg = self.aggregate_cells(raster.cells(), variant);
+        (agg, raster.cell_count())
+    }
+
+    /// Linearizes a point to its key with an alternative curve at a fixed
+    /// level (exposed for the linearization ablation benchmark).
+    pub fn linearize_with(&self, p: &Point, level: u8, curve: CurveKind) -> u64 {
+        self.extent.linearize(p, level, curve)
+    }
+}
+
+/// Which classic spatial index serves as the MBR-filtering baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpatialBaselineKind {
+    /// Incrementally built R-tree (stand-in for the Boost R\*-tree).
+    RTree,
+    /// STR bulk-loaded R-tree.
+    StrRTree,
+    /// Bucket PR quadtree.
+    Quadtree,
+    /// k-d tree.
+    KdTree,
+}
+
+impl SpatialBaselineKind {
+    /// All baselines, in the order Figure 4 lists them.
+    pub const ALL: [SpatialBaselineKind; 4] = [
+        SpatialBaselineKind::RTree,
+        SpatialBaselineKind::StrRTree,
+        SpatialBaselineKind::Quadtree,
+        SpatialBaselineKind::KdTree,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpatialBaselineKind::RTree => "R*-tree",
+            SpatialBaselineKind::StrRTree => "STR R-tree",
+            SpatialBaselineKind::Quadtree => "Quadtree",
+            SpatialBaselineKind::KdTree => "Kd-tree",
+        }
+    }
+}
+
+enum BaselineIndex {
+    RTree(RTree),
+    Quadtree(PointQuadtree),
+    KdTree(KdTree),
+}
+
+/// A classic spatial index over the raw points, used with MBR filtering and
+/// exact point-in-polygon refinement.
+pub struct SpatialBaseline {
+    kind: SpatialBaselineKind,
+    index: BaselineIndex,
+    points: Vec<Point>,
+    values: Vec<f64>,
+}
+
+impl SpatialBaseline {
+    /// Builds the baseline index over the points.
+    pub fn build(kind: SpatialBaselineKind, points: &[Point], values: &[f64]) -> Self {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        let index = match kind {
+            SpatialBaselineKind::RTree => {
+                let mut tree = RTree::new();
+                for (i, p) in points.iter().enumerate() {
+                    tree.insert(RTreeEntry::point(*p, i as u64));
+                }
+                BaselineIndex::RTree(tree)
+            }
+            SpatialBaselineKind::StrRTree => {
+                let entries = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| RTreeEntry::point(*p, i as u64))
+                    .collect();
+                BaselineIndex::RTree(RTree::bulk_load_str(entries, RTree::DEFAULT_CAPACITY))
+            }
+            SpatialBaselineKind::Quadtree => {
+                let bounds = dbsa_geom::BoundingBox::from_points(points.iter());
+                let bounds = if bounds.is_empty() {
+                    dbsa_geom::BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0)
+                } else {
+                    bounds.inflated(1.0)
+                };
+                BaselineIndex::Quadtree(PointQuadtree::build(bounds, points))
+            }
+            SpatialBaselineKind::KdTree => BaselineIndex::KdTree(KdTree::build(points)),
+        };
+        SpatialBaseline {
+            kind,
+            index,
+            points: points.to_vec(),
+            values: values.to_vec(),
+        }
+    }
+
+    /// The baseline's kind.
+    pub fn kind(&self) -> SpatialBaselineKind {
+        self.kind
+    }
+
+    /// Memory footprint of the index structure.
+    pub fn memory_bytes(&self) -> usize {
+        match &self.index {
+            BaselineIndex::RTree(t) => t.memory_bytes(),
+            BaselineIndex::Quadtree(t) => t.memory_bytes(),
+            BaselineIndex::KdTree(t) => t.memory_bytes(),
+        }
+    }
+
+    /// Ids of the points passing the MBR filter for the query polygon.
+    fn filter_candidates(&self, polygon: &Polygon) -> Vec<u64> {
+        let mbr = polygon.bbox();
+        match &self.index {
+            BaselineIndex::RTree(t) => t.query_bbox(&mbr),
+            BaselineIndex::Quadtree(t) => t.query_bbox(&mbr),
+            BaselineIndex::KdTree(t) => t.query_bbox(&mbr),
+        }
+    }
+
+    /// Evaluates the containment aggregation exactly: MBR filter, then a
+    /// PIP test per candidate.
+    ///
+    /// Returns the exact aggregate and the number of *qualifying* points the
+    /// filter produced (the Figure 4(b) metric: how many points the index
+    /// deems relevant before refinement).
+    pub fn aggregate_polygon(&self, polygon: &Polygon) -> (RegionAggregate, u64) {
+        let candidates = self.filter_candidates(polygon);
+        let qualifying = candidates.len() as u64;
+        let mut agg = RegionAggregate::default();
+        for id in candidates {
+            let p = &self.points[id as usize];
+            if polygon.contains_point(p) {
+                agg.add(self.values[id as usize], false);
+            }
+        }
+        (agg, qualifying)
+    }
+
+    /// Same as [`aggregate_polygon`](Self::aggregate_polygon) for
+    /// multi-polygon query regions.
+    pub fn aggregate_multipolygon(&self, region: &MultiPolygon) -> (RegionAggregate, u64) {
+        let mbr = region.bbox();
+        let candidates = match &self.index {
+            BaselineIndex::RTree(t) => t.query_bbox(&mbr),
+            BaselineIndex::Quadtree(t) => t.query_bbox(&mbr),
+            BaselineIndex::KdTree(t) => t.query_bbox(&mbr),
+        };
+        let qualifying = candidates.len() as u64;
+        let mut agg = RegionAggregate::default();
+        for id in candidates {
+            let p = &self.points[id as usize];
+            if region.contains_point(p) {
+                agg.add(self.values[id as usize], false);
+            }
+        }
+        (agg, qualifying)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_datagen::{city_extent, TaxiPointGenerator};
+    use dbsa_geom::BoundingBox;
+    use proptest::prelude::*;
+
+    fn setup(n: usize) -> (Vec<Point>, Vec<f64>, GridExtent) {
+        let gen = TaxiPointGenerator::new(city_extent(), 11);
+        let taxi = gen.generate(n);
+        let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let extent = GridExtent::covering(&city_extent());
+        (points, values, extent)
+    }
+
+    fn query_polygon() -> Polygon {
+        Polygon::from_coords(&[
+            (8_000.0, 8_000.0),
+            (22_000.0, 9_000.0),
+            (20_000.0, 24_000.0),
+            (9_000.0, 21_000.0),
+        ])
+    }
+
+    fn exact(points: &[Point], values: &[f64], poly: &Polygon) -> RegionAggregate {
+        let mut agg = RegionAggregate::default();
+        for (p, v) in points.iter().zip(values) {
+            if poly.contains_point(p) {
+                agg.add(*v, false);
+            }
+        }
+        agg
+    }
+
+    #[test]
+    fn linearized_variants_agree_with_each_other() {
+        let (points, values, extent) = setup(20_000);
+        let table = LinearizedPointTable::build(&points, &values, &extent);
+        assert_eq!(table.len(), 20_000);
+        let poly = query_polygon();
+        let (bs, cells_bs) = table.aggregate_polygon(&poly, 256, PointIndexVariant::BinarySearch);
+        let (bt, _) = table.aggregate_polygon(&poly, 256, PointIndexVariant::BPlusTree);
+        let (rs, cells_rs) = table.aggregate_polygon(&poly, 256, PointIndexVariant::RadixSpline);
+        // All three structures answer identical range queries.
+        assert_eq!(bs.count, bt.count);
+        assert_eq!(bs.count, rs.count);
+        assert!((bs.sum - rs.sum).abs() < 1e-6);
+        assert_eq!(cells_bs, cells_rs);
+        assert!(cells_bs <= 256);
+    }
+
+    #[test]
+    fn approximate_count_converges_to_exact_with_precision() {
+        let (points, values, extent) = setup(30_000);
+        let table = LinearizedPointTable::build(&points, &values, &extent);
+        let poly = query_polygon();
+        let exact_agg = exact(&points, &values, &poly);
+
+        let mut last_err = f64::INFINITY;
+        for budget in [32usize, 128, 512, 2048] {
+            let (agg, _) = table.aggregate_polygon(&poly, budget, PointIndexVariant::RadixSpline);
+            // Conservative approximation can only over-count.
+            assert!(agg.count >= exact_agg.count,
+                "budget {budget}: approximate {} below exact {}", agg.count, exact_agg.count);
+            let err = agg.count as f64 - exact_agg.count as f64;
+            assert!(err <= last_err + 1e-9, "error must shrink with precision");
+            last_err = err;
+        }
+        // At the finest budget the overcount is small (well under 5 %).
+        assert!(last_err / exact_agg.count.max(1) as f64 <= 0.05, "residual error too large: {last_err}");
+    }
+
+    #[test]
+    fn spatial_baselines_are_exact_and_report_qualifying_counts() {
+        let (points, values, _) = setup(15_000);
+        let poly = query_polygon();
+        let exact_agg = exact(&points, &values, &poly);
+        for kind in SpatialBaselineKind::ALL {
+            let baseline = SpatialBaseline::build(kind, &points, &values);
+            assert_eq!(baseline.kind(), kind);
+            assert!(baseline.memory_bytes() > 0);
+            let (agg, qualifying) = baseline.aggregate_polygon(&poly);
+            assert_eq!(agg.count, exact_agg.count, "{}", kind.name());
+            assert!((agg.sum - exact_agg.sum).abs() < 1e-6);
+            // The MBR filter admits at least as many points as qualify exactly.
+            assert!(qualifying >= agg.count);
+        }
+    }
+
+    #[test]
+    fn raster_filter_is_tighter_than_mbr_filter() {
+        // Figure 4(b): the RS-based variants find far fewer "qualifying"
+        // points than MBR filtering, and approach the exact count.
+        let (points, values, extent) = setup(25_000);
+        let table = LinearizedPointTable::build(&points, &values, &extent);
+        let poly = query_polygon();
+        let exact_count = exact(&points, &values, &poly).count;
+
+        let (approx, _) = table.aggregate_polygon(&poly, 512, PointIndexVariant::RadixSpline);
+        let baseline = SpatialBaseline::build(SpatialBaselineKind::KdTree, &points, &values);
+        let (_, mbr_qualifying) = baseline.aggregate_polygon(&poly);
+
+        assert!(approx.count < mbr_qualifying,
+            "raster qualifying {} should be below MBR qualifying {mbr_qualifying}", approx.count);
+        assert!(approx.count >= exact_count);
+    }
+
+    #[test]
+    fn aggregate_cells_respects_boundary_classification() {
+        let (points, values, extent) = setup(5_000);
+        let table = LinearizedPointTable::build(&points, &values, &extent);
+        let poly = query_polygon();
+        let raster = HierarchicalRaster::with_cell_budget(&poly, &extent, 128, BoundaryPolicy::Conservative);
+        let agg = table.aggregate_cells(raster.cells(), PointIndexVariant::BinarySearch);
+        assert!(agg.boundary_count <= agg.count);
+        assert!(agg.boundary_count > 0, "a realistic polygon has points in boundary cells");
+        assert!(agg.min <= agg.max);
+    }
+
+    #[test]
+    fn empty_table_and_empty_polygon() {
+        let extent = GridExtent::covering(&city_extent());
+        let table = LinearizedPointTable::build(&[], &[], &extent);
+        assert!(table.is_empty());
+        let (agg, _) = table.aggregate_polygon(&query_polygon(), 64, PointIndexVariant::RadixSpline);
+        assert_eq!(agg.count, 0);
+
+        // A polygon outside the populated area matches nothing.
+        let (points, values, extent) = setup(2_000);
+        let table = LinearizedPointTable::build(&points, &values, &extent);
+        let far = Polygon::from_coords(&[(39_000.0, 39_000.0), (39_500.0, 39_000.0), (39_500.0, 39_500.0)]);
+        let near_nothing = exact(&points, &values, &far).count;
+        let (agg, _) = table.aggregate_polygon(&far, 64, PointIndexVariant::BinarySearch);
+        assert!(agg.count as i64 - near_nothing as i64 >= 0);
+    }
+
+    #[test]
+    fn memory_footprints_are_ordered_sensibly() {
+        let (points, values, extent) = setup(10_000);
+        let table = LinearizedPointTable::build(&points, &values, &extent);
+        let bs = table.index_memory_bytes(PointIndexVariant::BinarySearch);
+        let rs = table.index_memory_bytes(PointIndexVariant::RadixSpline);
+        let bt = table.index_memory_bytes(PointIndexVariant::BPlusTree);
+        // The spline adds a small overhead on top of the key array; the
+        // B+-tree stores separators on top of the keys.
+        assert!(rs >= bs);
+        assert!(bt >= bs);
+        assert!(rs < bs * 2, "learned index overhead should be small");
+    }
+
+    #[test]
+    fn multipolygon_queries_work() {
+        let (points, values, _) = setup(8_000);
+        let region = MultiPolygon::new(vec![
+            Polygon::from_coords(&[(1_000.0, 1_000.0), (5_000.0, 1_000.0), (5_000.0, 5_000.0), (1_000.0, 5_000.0)]),
+            Polygon::from_coords(&[(30_000.0, 30_000.0), (35_000.0, 30_000.0), (35_000.0, 35_000.0), (30_000.0, 35_000.0)]),
+        ]);
+        let baseline = SpatialBaseline::build(SpatialBaselineKind::StrRTree, &points, &values);
+        let (agg, qualifying) = baseline.aggregate_multipolygon(&region);
+        let mut expected = 0u64;
+        for p in &points {
+            if region.contains_point(p) {
+                expected += 1;
+            }
+        }
+        assert_eq!(agg.count, expected);
+        assert!(qualifying >= agg.count);
+    }
+
+    #[test]
+    fn linearize_with_exposes_curves() {
+        let (points, values, extent) = setup(10);
+        let table = LinearizedPointTable::build(&points, &values, &extent);
+        let p = Point::new(1_000.0, 2_000.0);
+        let m = table.linearize_with(&p, 16, CurveKind::Morton);
+        let h = table.linearize_with(&p, 16, CurveKind::Hilbert);
+        assert_ne!(m, h, "different curves should generally give different keys");
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per point")]
+    fn build_rejects_mismatched_values() {
+        let extent = GridExtent::covering(&BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0));
+        let _ = LinearizedPointTable::build(&[Point::ORIGIN], &[], &extent);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn prop_conservative_aggregation_never_undercounts(seed in 0u64..200) {
+            let gen = TaxiPointGenerator::new(city_extent(), seed);
+            let taxi = gen.generate(3_000);
+            let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+            let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+            let extent = GridExtent::covering(&city_extent());
+            let table = LinearizedPointTable::build(&points, &values, &extent);
+            let poly = query_polygon();
+            let exact_agg = exact(&points, &values, &poly);
+            let (agg, _) = table.aggregate_polygon(&poly, 256, PointIndexVariant::RadixSpline);
+            prop_assert!(agg.count >= exact_agg.count);
+            prop_assert!(agg.sum >= exact_agg.sum - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Error metrics for comparing approximate and exact results.
+//!
+//! The paper reports accuracy as relative errors over regions (e.g. "the
+//! median error is only about 0.15 %" for BRJ at a 10 m bound, Figure 7).
+//! This module provides those metrics for the experiment reports.
+
+/// Relative error `|approx - exact| / exact` (0 when both are 0, infinite
+/// when only the exact value is 0).
+pub fn relative_error(approx: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        if approx == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (approx - exact).abs() / exact.abs()
+    }
+}
+
+/// Median of a sample (NaN-free input assumed). Returns 0 for empty input.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in error samples"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) * 0.5
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Summary statistics of per-region relative errors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorSummary {
+    /// Number of regions compared.
+    pub regions: usize,
+    /// Median relative error.
+    pub median: f64,
+    /// Mean relative error.
+    pub mean: f64,
+    /// Maximum relative error.
+    pub max: f64,
+}
+
+impl ErrorSummary {
+    /// Computes the summary from paired approximate/exact values, skipping
+    /// regions where both are zero and treating exact-zero regions as 100 %
+    /// error when the approximation reports something.
+    pub fn from_pairs<I: IntoIterator<Item = (f64, f64)>>(pairs: I) -> Self {
+        let mut errors: Vec<f64> = Vec::new();
+        for (approx, exact) in pairs {
+            if approx == 0.0 && exact == 0.0 {
+                continue;
+            }
+            let e = if exact == 0.0 {
+                1.0
+            } else {
+                relative_error(approx, exact)
+            };
+            errors.push(e);
+        }
+        if errors.is_empty() {
+            return ErrorSummary::default();
+        }
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        let max = errors.iter().copied().fold(0.0, f64::max);
+        ErrorSummary {
+            regions: errors.len(),
+            median: median(&errors),
+            mean,
+            max,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {:.3}%, mean {:.3}%, max {:.3}% over {} regions",
+            self.median * 100.0,
+            self.mean * 100.0,
+            self.max * 100.0,
+            self.regions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(110.0, 100.0), 0.1);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(5.0, 0.0).is_infinite());
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn median_cases() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn summary_from_pairs() {
+        let summary = ErrorSummary::from_pairs(vec![
+            (100.0, 100.0), // 0 %
+            (102.0, 100.0), // 2 %
+            (110.0, 100.0), // 10 %
+            (0.0, 0.0),     // skipped
+            (5.0, 0.0),     // counted as 100 %
+        ]);
+        assert_eq!(summary.regions, 4);
+        assert!((summary.median - 0.06).abs() < 1e-12);
+        assert!((summary.max - 1.0).abs() < 1e-12);
+        assert!(summary.mean > 0.0);
+        let text = summary.to_string();
+        assert!(text.contains("median"));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = ErrorSummary::from_pairs(Vec::<(f64, f64)>::new());
+        assert_eq!(s.regions, 0);
+        assert_eq!(s.median, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_relative_error_is_nonnegative_and_symmetric_in_magnitude(
+            a in 0.1f64..1e6, e in 0.1f64..1e6,
+        ) {
+            let err = relative_error(a, e);
+            prop_assert!(err >= 0.0);
+            // Scaling both by the same factor leaves the error unchanged.
+            prop_assert!((relative_error(a * 3.0, e * 3.0) - err).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_median_is_within_min_max(values in proptest::collection::vec(0f64..100.0, 1..50)) {
+            let m = median(&values);
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(0.0, f64::max);
+            prop_assert!(m >= lo && m <= hi);
+        }
+    }
+}

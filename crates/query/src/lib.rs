@@ -1,0 +1,30 @@
+//! # dbsa-query — approximate and exact spatial query execution
+//!
+//! The execution layer that ties the rasters, indexes and canvas algebra
+//! into the queries the paper evaluates:
+//!
+//! * [`containment`] — point–polygon containment / aggregation over a
+//!   *linearized* point table (Section 3, Figure 4): the query polygon is
+//!   approximated by hierarchical raster cells and each cell becomes a 1-D
+//!   range lookup against a sorted array, B+-tree or RadixSpline; the
+//!   classic spatial indexes (R-tree, quadtree, k-d tree, STR) with MBR
+//!   filtering + exact refinement serve as baselines.
+//! * [`join`] — spatial aggregation joins (Section 5.1, Figure 6): the
+//!   approximate ACT index-nested-loop join against exact R-tree and
+//!   shape-index joins, with optional multi-threaded point partitioning.
+//! * [`result_range`] — result-range estimation (Section 6): conservative
+//!   rasters give `[α − ε, α]` intervals with 100 % confidence.
+//! * [`error`] — error metrics (relative error, median error over regions)
+//!   used to report the accuracy side of every experiment.
+
+pub mod aggregate;
+pub mod containment;
+pub mod error;
+pub mod join;
+pub mod result_range;
+
+pub use aggregate::{AggregateKind, RegionAggregate};
+pub use containment::{LinearizedPointTable, PointIndexVariant, SpatialBaseline, SpatialBaselineKind};
+pub use error::{median, relative_error, ErrorSummary};
+pub use join::{ApproximateCellJoin, JoinResult, RTreeExactJoin, ShapeIndexExactJoin};
+pub use result_range::ResultRange;

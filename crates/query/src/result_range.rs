@@ -1,0 +1,176 @@
+//! Result-range estimation (paper Section 6).
+//!
+//! With a **conservative** raster approximation, errors can only be false
+//! positives and can only originate from boundary cells. If the approximate
+//! count of a region is `α` and the portion of that count contributed by
+//! boundary cells is `β`, the exact count is guaranteed to lie in
+//! `[α − β, α]` with 100 % confidence (the worst case being that every
+//! boundary-cell point is a false positive).
+
+use crate::aggregate::RegionAggregate;
+
+/// A guaranteed interval for an aggregate value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultRange {
+    /// Lower bound of the exact result.
+    pub lower: f64,
+    /// Upper bound of the exact result (the approximate answer itself for
+    /// conservative approximations).
+    pub upper: f64,
+}
+
+impl ResultRange {
+    /// Builds the count range `[α − β, α]` from a conservative approximate
+    /// aggregate.
+    pub fn count_range(aggregate: &RegionAggregate) -> Self {
+        let alpha = aggregate.count as f64;
+        let beta = aggregate.boundary_count as f64;
+        ResultRange {
+            lower: (alpha - beta).max(0.0),
+            upper: alpha,
+        }
+    }
+
+    /// Builds the SUM range: in the worst case the entire boundary
+    /// contribution is removed.
+    pub fn sum_range(aggregate: &RegionAggregate, boundary_sum: f64) -> Self {
+        ResultRange {
+            lower: aggregate.sum - boundary_sum,
+            upper: aggregate.sum,
+        }
+    }
+
+    /// Width of the interval (the uncertainty of the answer).
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Midpoint of the interval — a reasonable single-value estimate when
+    /// the boundary distribution is assumed to be half-in / half-out.
+    pub fn midpoint(&self) -> f64 {
+        (self.lower + self.upper) * 0.5
+    }
+
+    /// Whether a (known, exact) value falls inside the guaranteed interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower - 1e-9 && value <= self.upper + 1e-9
+    }
+
+    /// Relative uncertainty: width divided by the upper bound (0 when empty).
+    pub fn relative_width(&self) -> f64 {
+        if self.upper == 0.0 {
+            0.0
+        } else {
+            self.width() / self.upper
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::ApproximateCellJoin;
+    use dbsa_datagen::{city_extent, PolygonSetGenerator, TaxiPointGenerator};
+    use dbsa_geom::Point;
+    use dbsa_grid::GridExtent;
+    use dbsa_raster::DistanceBound;
+
+    #[test]
+    fn range_arithmetic() {
+        let mut agg = RegionAggregate::default();
+        for i in 0..10 {
+            agg.add(1.0, i < 3); // 3 of 10 points via boundary cells
+        }
+        let range = ResultRange::count_range(&agg);
+        assert_eq!(range.lower, 7.0);
+        assert_eq!(range.upper, 10.0);
+        assert_eq!(range.width(), 3.0);
+        assert_eq!(range.midpoint(), 8.5);
+        assert!(range.contains(8.0));
+        assert!(!range.contains(6.0));
+        assert!(!range.contains(11.0));
+        assert!((range.relative_width() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregate_gives_zero_range() {
+        let range = ResultRange::count_range(&RegionAggregate::default());
+        assert_eq!(range.lower, 0.0);
+        assert_eq!(range.upper, 0.0);
+        assert_eq!(range.relative_width(), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_is_clamped_at_zero() {
+        // boundary_count can exceed count only through misuse, but the range
+        // must still be sane.
+        let agg = RegionAggregate {
+            count: 2,
+            boundary_count: 5,
+            ..Default::default()
+        };
+        let range = ResultRange::count_range(&agg);
+        assert_eq!(range.lower, 0.0);
+        assert_eq!(range.upper, 2.0);
+    }
+
+    #[test]
+    fn sum_range_subtracts_boundary_contribution() {
+        let mut agg = RegionAggregate::default();
+        agg.add(10.0, false);
+        agg.add(4.0, true);
+        let range = ResultRange::sum_range(&agg, 4.0);
+        assert_eq!(range.lower, 10.0);
+        assert_eq!(range.upper, 14.0);
+    }
+
+    #[test]
+    fn exact_counts_always_fall_inside_the_guaranteed_interval() {
+        // End-to-end: run the conservative approximate join and check that
+        // the exact per-region count lies in every region's interval —
+        // the 100 % confidence claim of Section 6.
+        let gen = TaxiPointGenerator::new(city_extent(), 21);
+        let taxi = gen.generate(6_000);
+        let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let regions = PolygonSetGenerator::new(city_extent(), 16, 20, 4).generate();
+        let extent = GridExtent::covering(&city_extent());
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(20.0));
+        let result = join.execute(&points, &values);
+
+        for (i, region) in regions.iter().enumerate() {
+            let exact = points.iter().filter(|p| region.contains_point(p)).count() as f64;
+            let range = ResultRange::count_range(&result.regions[i]);
+            assert!(
+                range.contains(exact),
+                "region {i}: exact {exact} outside guaranteed range [{}, {}]",
+                range.lower,
+                range.upper
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_bounds_give_narrower_intervals() {
+        let gen = TaxiPointGenerator::new(city_extent(), 33);
+        let taxi = gen.generate(4_000);
+        let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let regions = PolygonSetGenerator::new(city_extent(), 9, 20, 8).generate();
+        let extent = GridExtent::covering(&city_extent());
+
+        let mut last_width = f64::INFINITY;
+        for eps in [80.0, 20.0, 5.0] {
+            let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(eps));
+            let result = join.execute(&points, &values);
+            let total_width: f64 = result
+                .regions
+                .iter()
+                .map(|r| ResultRange::count_range(r).width())
+                .sum();
+            assert!(total_width <= last_width + 1e-9,
+                "interval width should shrink with the bound (ε={eps}): {total_width} > {last_width}");
+            last_width = total_width;
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The distance bound ε.
+
+use dbsa_grid::GridExtent;
+
+/// A user-supplied bound on the Hausdorff distance between a geometry and
+/// its raster approximation.
+///
+/// Guaranteeing `d_H(g, g') <= ε` requires the *boundary* cells of the
+/// raster to have a diagonal of at most ε, i.e. a side of at most `ε / √2`
+/// (paper Section 2.2). Interior cells do not contribute to the error and
+/// may be arbitrarily coarse.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct DistanceBound {
+    epsilon: f64,
+}
+
+impl DistanceBound {
+    /// Creates a distance bound of `epsilon` world units (meters in the
+    /// benchmark workloads).
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "distance bound must be positive and finite, got {epsilon}"
+        );
+        DistanceBound { epsilon }
+    }
+
+    /// Convenience constructor reading as meters (the unit used throughout
+    /// the paper's evaluation: 1 m, 4 m, 10 m bounds).
+    pub fn meters(epsilon: f64) -> Self {
+        Self::new(epsilon)
+    }
+
+    /// The bound ε itself.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Maximum admissible side length for a boundary cell: `ε / √2`.
+    pub fn max_cell_side(&self) -> f64 {
+        self.epsilon / std::f64::consts::SQRT_2
+    }
+
+    /// Maximum admissible diagonal for a boundary cell (equals ε).
+    pub fn max_cell_diagonal(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The coarsest grid level on `extent` whose cells satisfy this bound.
+    ///
+    /// Returns `None` when the extent is so large that even the finest
+    /// representable level has a larger diagonal.
+    pub fn level_on(&self, extent: &GridExtent) -> Option<u8> {
+        extent.level_for_diagonal(self.epsilon)
+    }
+
+    /// A looser bound scaled by `factor > 1` (or tighter for `factor < 1`).
+    pub fn scaled(&self, factor: f64) -> DistanceBound {
+        DistanceBound::new(self.epsilon * factor)
+    }
+}
+
+impl std::fmt::Display for DistanceBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε = {}", self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::Point;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cell_side_is_epsilon_over_sqrt2() {
+        let b = DistanceBound::meters(4.0);
+        assert_eq!(b.epsilon(), 4.0);
+        assert!((b.max_cell_side() - 4.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(b.max_cell_diagonal(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_bound() {
+        let _ = DistanceBound::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nan_bound() {
+        let _ = DistanceBound::new(f64::NAN);
+    }
+
+    #[test]
+    fn level_on_extent_satisfies_bound() {
+        let extent = GridExtent::new(Point::new(0.0, 0.0), 50_000.0); // 50 km city
+        for eps in [1.0, 2.5, 4.0, 10.0, 100.0] {
+            let bound = DistanceBound::meters(eps);
+            let level = bound.level_on(&extent).expect("level must exist");
+            assert!(extent.cell_diagonal(level) <= eps, "eps={eps} level={level}");
+            if level > 0 {
+                assert!(extent.cell_diagonal(level - 1) > eps, "level should be the coarsest");
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_bound_returns_none() {
+        let extent = GridExtent::new(Point::new(0.0, 0.0), 1e12);
+        assert_eq!(DistanceBound::meters(1e-6).level_on(&extent), None);
+    }
+
+    #[test]
+    fn scaled_bound() {
+        let b = DistanceBound::meters(10.0).scaled(0.5);
+        assert_eq!(b.epsilon(), 5.0);
+        assert_eq!(format!("{}", b), "ε = 5");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_diagonal_of_square_cell_with_max_side_is_epsilon(eps in 0.01f64..1000.0) {
+            let b = DistanceBound::new(eps);
+            let side = b.max_cell_side();
+            let diagonal = (2.0 * side * side).sqrt();
+            prop_assert!((diagonal - eps).abs() < 1e-9 * eps.max(1.0));
+        }
+
+        #[test]
+        fn prop_level_is_coarsest_satisfying(eps in 0.1f64..10000.0) {
+            let extent = GridExtent::new(Point::new(0.0, 0.0), 50_000.0);
+            let b = DistanceBound::new(eps);
+            if let Some(level) = b.level_on(&extent) {
+                prop_assert!(extent.cell_diagonal(level) <= eps);
+                if level > 0 {
+                    prop_assert!(extent.cell_diagonal(level - 1) > eps);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Raster cells, boundary policies and the [`Rasterizable`] abstraction.
+
+use dbsa_geom::polygon::BoxRelation;
+use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
+use dbsa_grid::CellId;
+
+/// Classification of a raster cell with respect to the approximated geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellClass {
+    /// The cell lies entirely in the geometry's interior. Interior cells do
+    /// not contribute to the approximation error.
+    Interior,
+    /// The cell intersects the geometry's boundary. Only boundary cells can
+    /// produce false positives / negatives, and only their size is
+    /// constrained by the distance bound.
+    Boundary,
+}
+
+/// One cell of a raster approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RasterCell {
+    /// Hierarchical cell identifier.
+    pub id: CellId,
+    /// Interior or boundary.
+    pub class: CellClass,
+}
+
+impl RasterCell {
+    /// Creates an interior cell.
+    pub fn interior(id: CellId) -> Self {
+        RasterCell {
+            id,
+            class: CellClass::Interior,
+        }
+    }
+
+    /// Creates a boundary cell.
+    pub fn boundary(id: CellId) -> Self {
+        RasterCell {
+            id,
+            class: CellClass::Boundary,
+        }
+    }
+
+    /// Whether this is a boundary cell.
+    pub fn is_boundary(&self) -> bool {
+        self.class == CellClass::Boundary
+    }
+}
+
+/// How boundary cells are handled (paper Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundaryPolicy {
+    /// Keep every cell that intersects the boundary, however slightly.
+    /// The approximation is a superset of the geometry: only false
+    /// positives are possible. Required for result-range estimation.
+    Conservative,
+    /// Drop boundary cells whose overlap fraction with the geometry is
+    /// below the threshold (estimated by point sampling). Both false
+    /// positives and false negatives are possible, but all remain within
+    /// the distance bound.
+    NonConservative {
+        /// Minimum overlap fraction (0..1) for a boundary cell to be kept.
+        min_overlap: f64,
+    },
+}
+
+impl Default for BoundaryPolicy {
+    fn default() -> Self {
+        BoundaryPolicy::Conservative
+    }
+}
+
+impl BoundaryPolicy {
+    /// Sampling grid resolution used to estimate a cell's overlap fraction.
+    const OVERLAP_SAMPLES: usize = 4;
+
+    /// Whether the policy admits false negatives.
+    pub fn allows_false_negatives(&self) -> bool {
+        matches!(self, BoundaryPolicy::NonConservative { .. })
+    }
+
+    /// Decides whether a boundary cell with the given bbox should be kept.
+    pub fn keep_boundary_cell<G: Rasterizable + ?Sized>(&self, geometry: &G, cell_bbox: &BoundingBox) -> bool {
+        match *self {
+            BoundaryPolicy::Conservative => true,
+            BoundaryPolicy::NonConservative { min_overlap } => {
+                estimate_overlap_fraction(geometry, cell_bbox, Self::OVERLAP_SAMPLES) >= min_overlap
+            }
+        }
+    }
+}
+
+/// Estimates the fraction of `cell_bbox` covered by the geometry by testing
+/// an `n x n` grid of sample points.
+pub fn estimate_overlap_fraction<G: Rasterizable + ?Sized>(
+    geometry: &G,
+    cell_bbox: &BoundingBox,
+    n: usize,
+) -> f64 {
+    let n = n.max(1);
+    let mut inside = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            let p = Point::new(
+                cell_bbox.min.x + (i as f64 + 0.5) / n as f64 * cell_bbox.width(),
+                cell_bbox.min.y + (j as f64 + 0.5) / n as f64 * cell_bbox.height(),
+            );
+            if geometry.contains_point(&p) {
+                inside += 1;
+            }
+        }
+    }
+    inside as f64 / (n * n) as f64
+}
+
+/// Geometries that can be rasterized: anything that can classify an
+/// axis-aligned box against itself and answer exact containment.
+///
+/// Implemented for [`Polygon`] and [`MultiPolygon`]; the canvas layer also
+/// rasterizes point sets but those do not need box classification.
+pub trait Rasterizable {
+    /// Bounding box of the geometry.
+    fn bounding_box(&self) -> BoundingBox;
+    /// Relation of the box to the geometry (inside / boundary / disjoint).
+    fn classify_box(&self, bbox: &BoundingBox) -> BoxRelation;
+    /// Exact containment test (used for verification and overlap sampling).
+    fn contains_point(&self, p: &Point) -> bool;
+    /// Total number of boundary vertices (used in cost models / reports).
+    fn vertex_count(&self) -> usize;
+}
+
+impl Rasterizable for Polygon {
+    fn bounding_box(&self) -> BoundingBox {
+        self.bbox()
+    }
+    fn classify_box(&self, bbox: &BoundingBox) -> BoxRelation {
+        Polygon::classify_box(self, bbox)
+    }
+    fn contains_point(&self, p: &Point) -> bool {
+        Polygon::contains_point(self, p)
+    }
+    fn vertex_count(&self) -> usize {
+        Polygon::vertex_count(self)
+    }
+}
+
+impl Rasterizable for MultiPolygon {
+    fn bounding_box(&self) -> BoundingBox {
+        self.bbox()
+    }
+    fn classify_box(&self, bbox: &BoundingBox) -> BoxRelation {
+        MultiPolygon::classify_box(self, bbox)
+    }
+    fn contains_point(&self, p: &Point) -> bool {
+        MultiPolygon::contains_point(self, p)
+    }
+    fn vertex_count(&self) -> usize {
+        MultiPolygon::vertex_count(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_grid::CellId;
+
+    fn square() -> Polygon {
+        Polygon::from_coords(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)])
+    }
+
+    #[test]
+    fn raster_cell_constructors() {
+        let id = CellId::from_cell_xy(1, 2, 3);
+        assert!(RasterCell::boundary(id).is_boundary());
+        assert!(!RasterCell::interior(id).is_boundary());
+        assert_eq!(RasterCell::interior(id).id, id);
+    }
+
+    #[test]
+    fn conservative_policy_keeps_everything() {
+        let policy = BoundaryPolicy::Conservative;
+        assert!(!policy.allows_false_negatives());
+        // Even a cell barely touching the polygon is kept.
+        let sliver = BoundingBox::from_bounds(9.99, 9.99, 11.0, 11.0);
+        assert!(policy.keep_boundary_cell(&square(), &sliver));
+    }
+
+    #[test]
+    fn non_conservative_policy_drops_low_overlap_cells() {
+        let policy = BoundaryPolicy::NonConservative { min_overlap: 0.5 };
+        assert!(policy.allows_false_negatives());
+        let poly = square();
+        // Cell mostly inside: kept.
+        let mostly_in = BoundingBox::from_bounds(1.0, 1.0, 3.0, 3.0);
+        assert!(policy.keep_boundary_cell(&poly, &mostly_in));
+        // Cell mostly outside: dropped.
+        let mostly_out = BoundingBox::from_bounds(9.5, 9.5, 15.0, 15.0);
+        assert!(!policy.keep_boundary_cell(&poly, &mostly_out));
+    }
+
+    #[test]
+    fn overlap_fraction_estimation() {
+        let poly = square();
+        let all_in = BoundingBox::from_bounds(2.0, 2.0, 4.0, 4.0);
+        assert_eq!(estimate_overlap_fraction(&poly, &all_in, 4), 1.0);
+        let all_out = BoundingBox::from_bounds(20.0, 20.0, 24.0, 24.0);
+        assert_eq!(estimate_overlap_fraction(&poly, &all_out, 4), 0.0);
+        let half = BoundingBox::from_bounds(5.0, -5.0, 15.0, 5.0);
+        let frac = estimate_overlap_fraction(&poly, &half, 8);
+        assert!((frac - 0.25).abs() < 0.1, "frac = {frac}");
+    }
+
+    #[test]
+    fn rasterizable_dispatch_for_polygon_and_multipolygon() {
+        let poly = square();
+        let mp = MultiPolygon::from(poly.clone());
+        assert_eq!(Rasterizable::bounding_box(&poly), Rasterizable::bounding_box(&mp));
+        assert_eq!(poly.vertex_count(), 4);
+        assert_eq!(Rasterizable::vertex_count(&mp), 4);
+        let inner = BoundingBox::from_bounds(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(Rasterizable::classify_box(&poly, &inner), BoxRelation::Inside);
+        assert_eq!(Rasterizable::classify_box(&mp, &inner), BoxRelation::Inside);
+        assert!(Rasterizable::contains_point(&mp, &Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn default_policy_is_conservative() {
+        assert_eq!(BoundaryPolicy::default(), BoundaryPolicy::Conservative);
+    }
+}

@@ -1,0 +1,442 @@
+//! Hierarchical Raster (HR) approximation — variable-sized cells
+//! (Figure 1(c)).
+//!
+//! Interior cells are kept as coarse as possible (they do not contribute to
+//! the approximation error), while boundary cells are refined down to the
+//! level implied by the distance bound. The resulting cell set is exactly
+//! what the Adaptive Cell Trie indexes and what the approximate joins
+//! evaluate against.
+
+use crate::bound::DistanceBound;
+use crate::cell::{BoundaryPolicy, CellClass, RasterCell, Rasterizable};
+use dbsa_geom::polygon::BoxRelation;
+use dbsa_geom::{BoundingBox, Point};
+use dbsa_grid::{CellId, GridExtent, MAX_LEVEL};
+
+/// A hierarchical (variable cell size) raster approximation.
+///
+/// Cells are mutually disjoint and stored sorted by their leaf-descendant
+/// range, so point lookups are a binary search over ranges.
+#[derive(Debug, Clone)]
+pub struct HierarchicalRaster {
+    extent: GridExtent,
+    boundary_level: u8,
+    cells: Vec<RasterCell>,
+    policy: BoundaryPolicy,
+}
+
+impl HierarchicalRaster {
+    /// Builds the hierarchical raster satisfying `bound` on `extent`.
+    ///
+    /// Boundary cells are refined to the coarsest level whose diagonal is at
+    /// most ε; interior cells stop refining as soon as they are fully
+    /// covered.
+    ///
+    /// # Panics
+    /// Panics if the bound cannot be met on the extent.
+    pub fn with_bound<G: Rasterizable>(
+        geometry: &G,
+        extent: &GridExtent,
+        bound: DistanceBound,
+        policy: BoundaryPolicy,
+    ) -> Self {
+        let boundary_level = bound
+            .level_on(extent)
+            .expect("distance bound too small for this extent");
+        Self::with_boundary_level(geometry, extent, boundary_level, policy)
+    }
+
+    /// Builds the hierarchical raster refining boundary cells to an explicit
+    /// grid level.
+    pub fn with_boundary_level<G: Rasterizable>(
+        geometry: &G,
+        extent: &GridExtent,
+        boundary_level: u8,
+        policy: BoundaryPolicy,
+    ) -> Self {
+        assert!(boundary_level <= MAX_LEVEL);
+        let mut cells = Vec::new();
+        descend(
+            geometry,
+            extent,
+            CellId::ROOT,
+            boundary_level,
+            policy,
+            &mut cells,
+        );
+        cells.sort_by_key(|c| c.id.range_min());
+        HierarchicalRaster {
+            extent: *extent,
+            boundary_level,
+            cells,
+            policy,
+        }
+    }
+
+    /// Builds a hierarchical raster with (approximately) at most
+    /// `cell_budget` cells, by refining boundary cells breadth-first until
+    /// the budget or the maximum level is reached.
+    ///
+    /// This is the knob used in the paper's Figure 4 experiment, where query
+    /// polygons are approximated with 32, 128 or 512 cells each.
+    pub fn with_cell_budget<G: Rasterizable>(
+        geometry: &G,
+        extent: &GridExtent,
+        cell_budget: usize,
+        policy: BoundaryPolicy,
+    ) -> Self {
+        assert!(cell_budget >= 4, "cell budget must be at least 4");
+        let mut finished: Vec<RasterCell> = Vec::new();
+        // Queue of boundary cells pending refinement, coarsest first.
+        let mut queue: Vec<CellId> = vec![CellId::ROOT];
+        let mut achieved_level = 0u8;
+
+        while let Some(cell) = queue.first().copied() {
+            // Refining the coarsest queued cell replaces 1 cell by up to 4:
+            // stop when that could overflow the budget.
+            if finished.len() + queue.len() + 3 > cell_budget
+                || cell.level() >= MAX_LEVEL
+            {
+                break;
+            }
+            queue.remove(0);
+            for child in cell.children() {
+                let bbox = extent.cell_id_bbox(child);
+                match geometry.classify_box(&bbox) {
+                    BoxRelation::Disjoint => {}
+                    BoxRelation::Inside => finished.push(RasterCell::interior(child)),
+                    BoxRelation::Boundary => {
+                        achieved_level = achieved_level.max(child.level());
+                        queue.push(child);
+                    }
+                }
+            }
+            // Keep the queue ordered coarsest-first so refinement is uniform
+            // across the boundary (level ordering; ties by id).
+            queue.sort_by_key(|c| (c.level(), c.raw()));
+        }
+
+        // Remaining queued boundary cells are emitted as-is (subject to policy).
+        for id in queue {
+            let bbox = extent.cell_id_bbox(id);
+            let relation = geometry.classify_box(&bbox);
+            match relation {
+                BoxRelation::Inside => finished.push(RasterCell::interior(id)),
+                BoxRelation::Boundary => {
+                    if policy.keep_boundary_cell(geometry, &bbox) {
+                        finished.push(RasterCell::boundary(id));
+                    }
+                }
+                BoxRelation::Disjoint => {}
+            }
+        }
+        finished.sort_by_key(|c| c.id.range_min());
+        HierarchicalRaster {
+            extent: *extent,
+            boundary_level: achieved_level,
+            cells: finished,
+            policy,
+        }
+    }
+
+    /// The level boundary cells were refined to.
+    pub fn boundary_level(&self) -> u8 {
+        self.boundary_level
+    }
+
+    /// The grid extent.
+    pub fn extent(&self) -> &GridExtent {
+        &self.extent
+    }
+
+    /// The boundary policy.
+    pub fn policy(&self) -> BoundaryPolicy {
+        self.policy
+    }
+
+    /// All cells, sorted by leaf range.
+    pub fn cells(&self) -> &[RasterCell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of boundary cells.
+    pub fn boundary_cell_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_boundary()).count()
+    }
+
+    /// The Hausdorff bound actually guaranteed by this raster: the diagonal
+    /// of a boundary-level cell.
+    pub fn guaranteed_bound(&self) -> f64 {
+        self.extent.cell_diagonal(self.boundary_level)
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.cells.len() * (std::mem::size_of::<u64>() + 1)
+    }
+
+    /// Total area covered by the cells.
+    pub fn covered_area(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| {
+                let side = self.extent.cell_size(c.id.level());
+                side * side
+            })
+            .sum()
+    }
+
+    /// Approximate containment: whether the point's leaf cell falls inside
+    /// one of the raster's (disjoint) cells.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.classify_point(p).is_some()
+    }
+
+    /// Class of the cell containing the point, if any.
+    pub fn classify_point(&self, p: &Point) -> Option<CellClass> {
+        if !self.extent.contains(p) {
+            return None;
+        }
+        let leaf = self.extent.leaf_cell_id(p);
+        self.find_containing(leaf).map(|c| c.class)
+    }
+
+    /// Finds the raster cell containing the given leaf cell, if any.
+    pub fn find_containing(&self, leaf: CellId) -> Option<&RasterCell> {
+        // Cells are disjoint and sorted by range_min: find the last cell
+        // whose range_min <= leaf, then check its range_max.
+        let idx = self
+            .cells
+            .partition_point(|c| c.id.range_min() <= leaf);
+        if idx == 0 {
+            return None;
+        }
+        let cand = &self.cells[idx - 1];
+        if cand.id.range_max() >= leaf {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over the world-space boxes of all cells with their class.
+    pub fn cell_boxes(&self) -> impl Iterator<Item = (BoundingBox, CellClass)> + '_ {
+        self.cells
+            .iter()
+            .map(move |c| (self.extent.cell_id_bbox(c.id), c.class))
+    }
+
+    /// Histogram of cell counts per level, coarsest to finest. Useful for
+    /// reports and for verifying that interior cells stay coarse.
+    pub fn level_histogram(&self) -> Vec<(u8, usize)> {
+        let mut hist = std::collections::BTreeMap::new();
+        for c in &self.cells {
+            *hist.entry(c.id.level()).or_insert(0usize) += 1;
+        }
+        hist.into_iter().collect()
+    }
+}
+
+/// Recursive quadtree descent shared by the bound-driven construction.
+fn descend<G: Rasterizable>(
+    geometry: &G,
+    extent: &GridExtent,
+    cell: CellId,
+    boundary_level: u8,
+    policy: BoundaryPolicy,
+    out: &mut Vec<RasterCell>,
+) {
+    let bbox = extent.cell_id_bbox(cell);
+    match geometry.classify_box(&bbox) {
+        BoxRelation::Disjoint => {}
+        BoxRelation::Inside => out.push(RasterCell::interior(cell)),
+        BoxRelation::Boundary => {
+            if cell.level() >= boundary_level {
+                if policy.keep_boundary_cell(geometry, &bbox) {
+                    out.push(RasterCell::boundary(cell));
+                }
+            } else {
+                for child in cell.children() {
+                    descend(geometry, extent, child, boundary_level, policy, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::{MultiPolygon, Polygon};
+    use proptest::prelude::*;
+
+    fn extent() -> GridExtent {
+        GridExtent::new(Point::new(0.0, 0.0), 64.0)
+    }
+
+    fn square(side: f64) -> Polygon {
+        Polygon::from_coords(&[(8.0, 8.0), (8.0 + side, 8.0), (8.0 + side, 8.0 + side), (8.0, 8.0 + side)])
+    }
+
+    fn triangle() -> Polygon {
+        Polygon::from_coords(&[(4.0, 4.0), (60.0, 8.0), (30.0, 56.0)])
+    }
+
+    #[test]
+    fn hierarchical_uses_fewer_cells_than_uniform() {
+        let poly = triangle();
+        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 7, BoundaryPolicy::Conservative);
+        let ur = crate::uniform::UniformRaster::at_level(&poly, &extent(), 7, BoundaryPolicy::Conservative);
+        assert!(hr.cell_count() < ur.cell_count(),
+            "HR {} cells should be fewer than UR {}", hr.cell_count(), ur.cell_count());
+        // Interior cells appear at multiple levels.
+        let hist = hr.level_histogram();
+        assert!(hist.len() > 1, "expected multiple levels, got {hist:?}");
+    }
+
+    #[test]
+    fn cells_are_disjoint_and_sorted() {
+        let hr = HierarchicalRaster::with_boundary_level(&triangle(), &extent(), 6, BoundaryPolicy::Conservative);
+        let cells = hr.cells();
+        for w in cells.windows(2) {
+            assert!(w[0].id.range_max() < w[1].id.range_min(),
+                "cells must be disjoint and sorted: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn conservative_hr_contains_all_polygon_points() {
+        let poly = triangle();
+        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 7, BoundaryPolicy::Conservative);
+        for &(x, y) in &[(10.0, 8.0), (30.0, 30.0), (45.0, 15.0), (29.0, 50.0)] {
+            let p = Point::new(x, y);
+            if poly.contains_point(&p) {
+                assert!(hr.contains_point(&p), "HR must contain {p:?}");
+            }
+        }
+        assert!(!hr.contains_point(&Point::new(2.0, 60.0)));
+        assert!(!hr.contains_point(&Point::new(-5.0, -5.0)));
+    }
+
+    #[test]
+    fn classify_point_identifies_interior_and_boundary_cells() {
+        let poly = square(32.0);
+        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 6, BoundaryPolicy::Conservative);
+        assert_eq!(hr.classify_point(&Point::new(24.0, 24.0)), Some(CellClass::Interior));
+        assert_eq!(hr.classify_point(&Point::new(8.1, 20.0)), Some(CellClass::Boundary));
+        assert_eq!(hr.classify_point(&Point::new(60.0, 60.0)), None);
+    }
+
+    #[test]
+    fn with_bound_meets_the_requested_bound() {
+        let poly = triangle();
+        for eps in [8.0, 4.0, 2.0, 1.0] {
+            let hr = HierarchicalRaster::with_bound(&poly, &extent(), DistanceBound::meters(eps), BoundaryPolicy::Conservative);
+            assert!(hr.guaranteed_bound() <= eps);
+        }
+        // Tighter bounds need more cells.
+        let coarse = HierarchicalRaster::with_bound(&poly, &extent(), DistanceBound::meters(8.0), BoundaryPolicy::Conservative);
+        let fine = HierarchicalRaster::with_bound(&poly, &extent(), DistanceBound::meters(1.0), BoundaryPolicy::Conservative);
+        assert!(fine.cell_count() > coarse.cell_count());
+    }
+
+    #[test]
+    fn cell_budget_controls_cell_count() {
+        let poly = triangle();
+        for budget in [32usize, 128, 512] {
+            let hr = HierarchicalRaster::with_cell_budget(&poly, &extent(), budget, BoundaryPolicy::Conservative);
+            assert!(hr.cell_count() <= budget, "budget {budget} exceeded: {}", hr.cell_count());
+            assert!(hr.cell_count() > 0);
+        }
+        // Larger budgets refine further.
+        let small = HierarchicalRaster::with_cell_budget(&poly, &extent(), 32, BoundaryPolicy::Conservative);
+        let large = HierarchicalRaster::with_cell_budget(&poly, &extent(), 512, BoundaryPolicy::Conservative);
+        assert!(large.cell_count() >= small.cell_count());
+        assert!(large.boundary_level() >= small.boundary_level());
+        // Finer rasters cover less spurious area.
+        assert!(large.covered_area() <= small.covered_area() + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn cell_budget_must_be_reasonable() {
+        let _ = HierarchicalRaster::with_cell_budget(&square(8.0), &extent(), 2, BoundaryPolicy::Conservative);
+    }
+
+    #[test]
+    fn covered_area_at_least_polygon_area_when_conservative() {
+        let poly = triangle();
+        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 7, BoundaryPolicy::Conservative);
+        assert!(hr.covered_area() >= poly.area() - 1e-9);
+    }
+
+    #[test]
+    fn works_for_multipolygons() {
+        let mp = MultiPolygon::new(vec![square(8.0), Polygon::from_coords(&[(40.0, 40.0), (56.0, 40.0), (56.0, 56.0), (40.0, 56.0)])]);
+        let hr = HierarchicalRaster::with_boundary_level(&mp, &extent(), 6, BoundaryPolicy::Conservative);
+        assert!(hr.contains_point(&Point::new(12.0, 12.0)));
+        assert!(hr.contains_point(&Point::new(48.0, 48.0)));
+        assert!(!hr.contains_point(&Point::new(30.0, 30.0)));
+    }
+
+    #[test]
+    fn memory_and_find_containing() {
+        let poly = square(16.0);
+        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 6, BoundaryPolicy::Conservative);
+        assert_eq!(hr.memory_bytes(), hr.cell_count() * 9);
+        let leaf_inside = hr.extent().leaf_cell_id(&Point::new(16.0, 16.0));
+        assert!(hr.find_containing(leaf_inside).is_some());
+        let leaf_outside = hr.extent().leaf_cell_id(&Point::new(60.0, 60.0));
+        assert!(hr.find_containing(leaf_outside).is_none());
+        assert_eq!(hr.cell_boxes().count(), hr.cell_count());
+        assert_eq!(hr.policy(), BoundaryPolicy::Conservative);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_hr_distance_bound_holds_for_random_query_points(
+            qx in 0f64..64.0, qy in 0f64..64.0,
+            level in 5u8..8,
+        ) {
+            let poly = triangle();
+            let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), level, BoundaryPolicy::Conservative);
+            let p = Point::new(qx, qy);
+            let approx = hr.contains_point(&p);
+            let exact = poly.contains_point(&p);
+            if approx != exact {
+                // Disagreements only happen within the guaranteed bound of
+                // the polygon boundary.
+                prop_assert!(poly.boundary_distance(&p) <= hr.guaranteed_bound() + 1e-9,
+                    "point {:?} disagreement beyond bound {}", p, hr.guaranteed_bound());
+            }
+            // Conservative rasters never produce false negatives.
+            if exact {
+                prop_assert!(approx);
+            }
+        }
+
+        #[test]
+        fn prop_hr_and_ur_agree_on_containment_semantics(
+            qx in 0f64..64.0, qy in 0f64..64.0,
+        ) {
+            // At the same level, HR and UR represent the same region:
+            // any point accepted by one and rejected by the other must be
+            // within one cell diagonal of the boundary (edge effects of the
+            // interior coarsening are not possible — interior cells cover
+            // exactly the same area).
+            let poly = triangle();
+            let level = 6;
+            let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), level, BoundaryPolicy::Conservative);
+            let ur = crate::uniform::UniformRaster::at_level(&poly, &extent(), level, BoundaryPolicy::Conservative);
+            let p = Point::new(qx, qy);
+            prop_assert_eq!(hr.contains_point(&p), ur.contains_point(&p));
+        }
+    }
+}

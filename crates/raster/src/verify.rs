@@ -1,0 +1,260 @@
+//! Empirical verification of the distance-bound guarantee.
+//!
+//! The guarantee (paper Section 2.2): answering queries with the raster
+//! approximation instead of the exact geometry can only misclassify points
+//! that lie within ε of the geometry's boundary. This module samples the
+//! approximated region densely and reports any violation, and is used by
+//! the property-based tests and the experiment harness to validate every
+//! raster the system builds.
+
+use crate::cell::Rasterizable;
+use dbsa_geom::Point;
+
+/// A point where the approximation and the exact geometry disagree by more
+/// than the permitted bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundViolation {
+    /// The sample point that was misclassified.
+    pub point: Point,
+    /// Its exact distance to the geometry boundary.
+    pub boundary_distance: f64,
+    /// Whether the approximation claimed containment (false positive) or
+    /// missed it (false negative).
+    pub false_positive: bool,
+}
+
+/// Result of a verification sweep.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationReport {
+    /// Number of sample points tested.
+    pub samples: usize,
+    /// Number of samples where approximation and exact test disagreed.
+    pub disagreements: usize,
+    /// Largest boundary distance observed among disagreeing samples.
+    pub max_disagreement_distance: f64,
+    /// Samples that violate the bound (disagree *and* lie farther than ε
+    /// from the boundary). Empty for a correct approximation.
+    pub violations: Vec<BoundViolation>,
+}
+
+impl VerificationReport {
+    /// Whether the sweep found no violations.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fraction of samples on which approximation and exact test disagree.
+    pub fn disagreement_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.disagreements as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Verifies the distance bound of an approximate containment oracle against
+/// the exact geometry by sampling a `resolution x resolution` grid over the
+/// geometry's (inflated) bounding box.
+///
+/// `approx_contains` is the approximation under test (e.g.
+/// `|p| raster.contains_point(p)`), `epsilon` the bound it claims.
+pub fn verify_distance_bound<G, F>(
+    geometry: &G,
+    approx_contains: F,
+    epsilon: f64,
+    resolution: usize,
+) -> VerificationReport
+where
+    G: Rasterizable,
+    F: Fn(&Point) -> bool,
+{
+    assert!(resolution >= 2, "verification needs at least a 2x2 sample grid");
+    let bbox = geometry.bounding_box().inflated(2.0 * epsilon);
+    let mut report = VerificationReport::default();
+    if bbox.is_empty() {
+        return report;
+    }
+    for i in 0..resolution {
+        for j in 0..resolution {
+            let p = Point::new(
+                bbox.min.x + (i as f64 + 0.5) / resolution as f64 * bbox.width(),
+                bbox.min.y + (j as f64 + 0.5) / resolution as f64 * bbox.height(),
+            );
+            report.samples += 1;
+            let exact = geometry.contains_point(&p);
+            let approx = approx_contains(&p);
+            if exact != approx {
+                report.disagreements += 1;
+                let d = boundary_distance(geometry, &p);
+                report.max_disagreement_distance = report.max_disagreement_distance.max(d);
+                if d > epsilon + 1e-9 {
+                    report.violations.push(BoundViolation {
+                        point: p,
+                        boundary_distance: d,
+                        false_positive: approx,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Distance from a point to the geometry boundary, via the signed distance
+/// of the underlying polygon(s).
+fn boundary_distance<G: Rasterizable>(geometry: &G, p: &Point) -> f64 {
+    // Rasterizable does not expose boundary distance directly; approximate
+    // it by probing containment transitions along 8 directions up to the
+    // bounding box diameter. This stays exact enough for verification
+    // because we only need to know whether the distance exceeds ε.
+    // For polygons we can do better: sample along rays until the containment
+    // flips, bisect to refine.
+    let bbox = geometry.bounding_box();
+    let diameter = (bbox.width().powi(2) + bbox.height().powi(2)).sqrt().max(1e-9);
+    let inside = geometry.contains_point(p);
+    let mut best = f64::INFINITY;
+    let dirs = [
+        (1.0, 0.0),
+        (-1.0, 0.0),
+        (0.0, 1.0),
+        (0.0, -1.0),
+        (std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2),
+        (-std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2),
+        (std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2),
+        (-std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2),
+    ];
+    for (dx, dy) in dirs {
+        // Exponential search for a containment flip along the ray.
+        let mut lo = 0.0f64;
+        let mut hi = f64::NAN;
+        let mut step = diameter / 1024.0;
+        while step <= diameter {
+            let q = Point::new(p.x + dx * step, p.y + dy * step);
+            if geometry.contains_point(&q) != inside {
+                hi = step;
+                break;
+            }
+            lo = step;
+            step *= 2.0;
+        }
+        if hi.is_nan() {
+            continue;
+        }
+        // Bisection refinement.
+        for _ in 0..40 {
+            let mid = (lo + hi) * 0.5;
+            let q = Point::new(p.x + dx * mid, p.y + dy * mid);
+            if geometry.contains_point(&q) != inside {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        best = best.min(hi);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::BoundaryPolicy;
+    use crate::hierarchical::HierarchicalRaster;
+    use crate::uniform::UniformRaster;
+    use dbsa_geom::Polygon;
+    use dbsa_grid::GridExtent;
+
+    fn extent() -> GridExtent {
+        GridExtent::new(Point::new(0.0, 0.0), 64.0)
+    }
+
+    fn blob() -> Polygon {
+        Polygon::from_coords(&[
+            (10.0, 10.0),
+            (40.0, 6.0),
+            (55.0, 25.0),
+            (45.0, 50.0),
+            (20.0, 55.0),
+            (6.0, 30.0),
+        ])
+    }
+
+    #[test]
+    fn uniform_raster_respects_its_guaranteed_bound() {
+        let poly = blob();
+        let raster = UniformRaster::at_level(&poly, &extent(), 6, BoundaryPolicy::Conservative);
+        let report = verify_distance_bound(
+            &poly,
+            |p| raster.contains_point(p),
+            raster.guaranteed_bound(),
+            80,
+        );
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        assert!(report.samples > 0);
+        assert!(report.disagreements > 0, "a coarse raster should disagree somewhere");
+        assert!(report.disagreement_rate() < 0.2);
+    }
+
+    #[test]
+    fn hierarchical_raster_respects_its_guaranteed_bound() {
+        let poly = blob();
+        for level in [5u8, 6, 7] {
+            let raster = HierarchicalRaster::with_boundary_level(&poly, &extent(), level, BoundaryPolicy::Conservative);
+            let report = verify_distance_bound(
+                &poly,
+                |p| raster.contains_point(p),
+                raster.guaranteed_bound(),
+                64,
+            );
+            assert!(report.holds(), "level {level} violations: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn non_conservative_raster_also_respects_the_bound() {
+        let poly = blob();
+        let raster = HierarchicalRaster::with_boundary_level(
+            &poly,
+            &extent(),
+            6,
+            BoundaryPolicy::NonConservative { min_overlap: 0.5 },
+        );
+        let report = verify_distance_bound(
+            &poly,
+            |p| raster.contains_point(p),
+            raster.guaranteed_bound(),
+            64,
+        );
+        assert!(report.holds(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn an_intentionally_wrong_approximation_is_caught() {
+        let poly = blob();
+        // Claim a 0.1-unit bound for an approximation that answers with the
+        // polygon's MBR — wildly wrong at the corners.
+        let mbr = poly.bbox();
+        let report = verify_distance_bound(&poly, |p| mbr.contains_point(p), 0.1, 48);
+        assert!(!report.holds());
+        assert!(report.max_disagreement_distance > 1.0);
+        // All reported violations are false positives (MBR is a superset).
+        assert!(report.violations.iter().all(|v| v.false_positive));
+    }
+
+    #[test]
+    fn report_on_exact_oracle_has_no_disagreements() {
+        let poly = blob();
+        let report = verify_distance_bound(&poly, |p| poly.contains_point(p), 0.001, 32);
+        assert!(report.holds());
+        assert_eq!(report.disagreements, 0);
+        assert_eq!(report.disagreement_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 2x2")]
+    fn rejects_tiny_resolution() {
+        let poly = blob();
+        let _ = verify_distance_bound(&poly, |_| true, 1.0, 1);
+    }
+}

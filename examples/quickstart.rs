@@ -1,0 +1,72 @@
+//! Quickstart: build an approximate engine over a synthetic taxi workload
+//! and compare a distance-bounded approximate aggregation against the exact
+//! answer.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dbsa --example quickstart
+//! ```
+
+use dbsa::prelude::*;
+
+fn main() {
+    // 1. A synthetic workload: 100k clustered pickup points and 64 regions
+    //    over a 40 km x 40 km city extent (see dbsa-datagen for how these
+    //    substitute the NYC taxi / polygon datasets of the paper).
+    let taxi = TaxiPointGenerator::new(city_extent(), 2021).generate(100_000);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let fares: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), 64, 30, 7).generate();
+
+    // 2. Build the engine with a 5 m distance bound: every approximate
+    //    answer is guaranteed to misclassify only points within 5 m of a
+    //    region boundary.
+    let engine = ApproximateEngine::builder()
+        .distance_bound(DistanceBound::meters(5.0))
+        .extent(city_extent())
+        .points(points, fares)
+        .regions(regions)
+        .build();
+
+    let stats = engine.stats();
+    println!("engine: {} points, {} regions, ε = {} m", stats.points, stats.regions, stats.epsilon);
+    println!(
+        "        region raster cells: {}, region index: {:.1} MB, point index: {:.1} MB",
+        stats.region_raster_cells,
+        stats.region_index_bytes as f64 / (1024.0 * 1024.0),
+        stats.point_index_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    // 3. Run the aggregation both ways and compare.
+    let t0 = std::time::Instant::now();
+    let approx = engine.aggregate_by_region();
+    let t_approx = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let exact = engine.aggregate_by_region_exact();
+    let t_exact = t0.elapsed();
+
+    let summary = ErrorSummary::from_pairs(
+        approx
+            .regions
+            .iter()
+            .zip(&exact.regions)
+            .map(|(a, e)| (a.count as f64, e.count as f64)),
+    );
+
+    println!();
+    println!("approximate join: {:>10.2?}  (0 point-in-polygon tests)", t_approx);
+    println!("exact join:       {:>10.2?}  ({} point-in-polygon tests)", t_exact, exact.pip_tests);
+    println!("count error:      {summary}");
+    println!();
+    println!("region | approx count | exact count | guaranteed range");
+    println!("-------+--------------+-------------+-----------------");
+    for (i, (a, e)) in approx.regions.iter().zip(&exact.regions).enumerate().take(10) {
+        let range = ResultRange::count_range(a);
+        println!(
+            "{:>6} | {:>12} | {:>11} | [{:>7.0}, {:>7.0}]",
+            i, a.count, e.count, range.lower, range.upper
+        );
+    }
+    println!("(first 10 regions shown)");
+}

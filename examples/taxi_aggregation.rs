@@ -1,0 +1,118 @@
+//! Spatial aggregation over neighbourhood regions (the Figure 6 workload,
+//! example-sized): `SELECT COUNT(*), AVG(fare) FROM trips, regions WHERE
+//! trips.pickup INSIDE regions.geometry GROUP BY regions.id`.
+//!
+//! Compares three evaluation strategies:
+//! * the approximate ACT join (distance-bounded, no PIP tests),
+//! * the exact R-tree join (MBR filter + PIP refinement),
+//! * the exact shape-index join (coarse cells + PIP refinement on
+//!   boundaries).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dbsa --example taxi_aggregation
+//! ```
+
+use dbsa::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n_points = 200_000;
+    let profile = DatasetProfile::Neighborhoods;
+    println!(
+        "workload: {n_points} synthetic pickups, {} regions ({} profile, ~{} vertices each)",
+        profile.scaled_region_count(),
+        profile.name(),
+        profile.vertices_per_polygon()
+    );
+
+    let taxi = TaxiPointGenerator::new(city_extent(), 42).generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let fares: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::from_profile(city_extent(), profile, 11).generate();
+    let extent = GridExtent::covering(&city_extent());
+    let bound = DistanceBound::meters(4.0); // the paper's 4 m join bound
+
+    // Build all three join indexes (build time is part of the story: ACT
+    // trades memory and build work for refinement-free queries).
+    let t = Instant::now();
+    let act_join = ApproximateCellJoin::build(&regions, &extent, bound);
+    let act_build = t.elapsed();
+    let t = Instant::now();
+    let rtree_join = RTreeExactJoin::build(&regions);
+    let rtree_build = t.elapsed();
+    let t = Instant::now();
+    let shape_join = ShapeIndexExactJoin::build(&regions, &extent);
+    let shape_build = t.elapsed();
+
+    // Execute.
+    let t = Instant::now();
+    let act_res = act_join.execute(&points, &fares);
+    let act_time = t.elapsed();
+    let t = Instant::now();
+    let rtree_res = rtree_join.execute(&points, &fares);
+    let rtree_time = t.elapsed();
+    let t = Instant::now();
+    let shape_res = shape_join.execute(&points, &fares);
+    let shape_time = t.elapsed();
+
+    let err = ErrorSummary::from_pairs(
+        act_res
+            .regions
+            .iter()
+            .zip(&rtree_res.regions)
+            .map(|(a, e)| (a.count as f64, e.count as f64)),
+    );
+
+    println!();
+    println!("strategy          |  build time |  join time | PIP tests | index memory | count error vs exact");
+    println!("------------------+-------------+------------+-----------+--------------+---------------------");
+    println!(
+        "ACT (approximate) | {:>11.2?} | {:>10.2?} | {:>9} | {:>12} | {}",
+        act_build,
+        act_time,
+        act_res.pip_tests,
+        human_bytes(act_join.memory_bytes()),
+        err
+    );
+    println!(
+        "R-tree (exact)    | {:>11.2?} | {:>10.2?} | {:>9} | {:>12} | exact",
+        rtree_build,
+        rtree_time,
+        rtree_res.pip_tests,
+        human_bytes(rtree_join.memory_bytes()),
+    );
+    println!(
+        "ShapeIndex (exact)| {:>11.2?} | {:>10.2?} | {:>9} | {:>12} | exact",
+        shape_build,
+        shape_time,
+        shape_res.pip_tests,
+        human_bytes(shape_join.memory_bytes()),
+    );
+
+    // Show a few per-region rows, AVG(fare) included.
+    println!();
+    println!("region | ACT count | exact count | ACT avg fare | exact avg fare");
+    println!("-------+-----------+-------------+--------------+---------------");
+    for i in 0..8.min(regions.len()) {
+        println!(
+            "{:>6} | {:>9} | {:>11} | {:>12.2} | {:>14.2}",
+            i,
+            act_res.regions[i].count,
+            rtree_res.regions[i].count,
+            act_res.regions[i].avg().unwrap_or(0.0),
+            rtree_res.regions[i].avg().unwrap_or(0.0),
+        );
+    }
+    println!("(first 8 regions shown)");
+}
+
+fn human_bytes(b: usize) -> String {
+    if b >= 1024 * 1024 {
+        format!("{:.1} MB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 1024 {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate consistency: the approximate evaluation paths (linearized
+//! indexes, ACT join, Bounded Raster Join) against the exact paths (PIP
+//! refinement, GPU-style baseline) on a shared workload.
+
+use dbsa::prelude::*;
+
+fn workload(n_points: usize, n_regions: usize, seed: u64) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>) {
+    let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), n_regions, 30, seed + 1).generate();
+    (points, values, regions)
+}
+
+#[test]
+fn all_linearized_index_variants_return_identical_answers() {
+    let (points, values, regions) = workload(30_000, 9, 1);
+    let extent = GridExtent::covering(&city_extent());
+    let table = LinearizedPointTable::build(&points, &values, &extent);
+    for region in &regions {
+        for budget in [32usize, 128, 512] {
+            let (bs, _) = table.aggregate_polygon(region, budget, PointIndexVariant::BinarySearch);
+            let (bt, _) = table.aggregate_polygon(region, budget, PointIndexVariant::BPlusTree);
+            let (rs, _) = table.aggregate_polygon(region, budget, PointIndexVariant::RadixSpline);
+            assert_eq!(bs.count, bt.count, "B+-tree disagrees at budget {budget}");
+            assert_eq!(bs.count, rs.count, "RadixSpline disagrees at budget {budget}");
+            assert!((bs.sum - rs.sum).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn exact_join_strategies_agree_with_each_other() {
+    let (points, values, regions) = workload(15_000, 16, 3);
+    let extent = GridExtent::covering(&city_extent());
+    let rtree = RTreeExactJoin::build(&regions).execute(&points, &values);
+    let shape = ShapeIndexExactJoin::build(&regions, &extent).execute(&points, &values);
+    let baseline = GpuBaseline::build(&points, &city_extent());
+    let (grid, _) = baseline.aggregate(&points, Some(&values), &regions);
+
+    for i in 0..regions.len() {
+        assert_eq!(rtree.regions[i].count, shape.regions[i].count, "region {i}");
+        assert_eq!(rtree.regions[i].count as f64, grid[i].count, "region {i}");
+        assert!((rtree.regions[i].sum - grid[i].sum).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn approximate_strategies_converge_to_the_exact_answer() {
+    let (points, values, regions) = workload(20_000, 9, 5);
+    let extent = GridExtent::covering(&city_extent());
+    let exact = RTreeExactJoin::build(&regions).execute(&points, &values);
+    let device = SimulatedDevice::gtx1060_like();
+
+    let mut act_errors = Vec::new();
+    let mut brj_errors = Vec::new();
+    for eps in [50.0, 10.0, 2.0] {
+        let act = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(eps))
+            .execute(&points, &values);
+        let act_err: u64 = act
+            .regions
+            .iter()
+            .zip(&exact.regions)
+            .map(|(a, e)| a.count.abs_diff(e.count))
+            .sum();
+        act_errors.push(act_err);
+
+        let brj = BoundedRasterJoin::new(&device, DistanceBound::meters(eps));
+        let (brj_res, _) = brj.execute(&points, Some(&values), &regions, &city_extent());
+        let brj_err: f64 = brj_res
+            .iter()
+            .zip(&exact.regions)
+            .map(|(a, e)| (a.count - e.count as f64).abs())
+            .sum();
+        brj_errors.push(brj_err);
+    }
+    // Errors shrink (or stay equal) as the bound tightens, for both engines.
+    assert!(act_errors.windows(2).all(|w| w[1] <= w[0]), "ACT errors: {act_errors:?}");
+    assert!(brj_errors.windows(2).all(|w| w[1] <= w[0] + 1e-9), "BRJ errors: {brj_errors:?}");
+    // And at the tightest bound both are very accurate overall.
+    let total_exact: u64 = exact.regions.iter().map(|r| r.count).sum();
+    assert!((*act_errors.last().unwrap() as f64) / total_exact as f64 <= 0.02);
+    assert!(brj_errors.last().unwrap() / total_exact as f64 <= 0.02);
+}
+
+#[test]
+fn act_and_brj_agree_with_each_other_at_the_same_bound() {
+    let (points, values, regions) = workload(10_000, 9, 8);
+    let extent = GridExtent::covering(&city_extent());
+    let eps = 5.0;
+    let act = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(eps))
+        .execute(&points, &values);
+    let device = SimulatedDevice::gtx1060_like();
+    let (brj, _) = BoundedRasterJoin::new(&device, DistanceBound::meters(eps))
+        .execute(&points, Some(&values), &regions, &city_extent());
+    // Two different engines with the same guarantee: their counts differ by
+    // at most the points near boundaries (both are within ε of exact, so
+    // within 2ε of each other — in practice nearly identical).
+    for (i, (a, b)) in act.regions.iter().zip(&brj).enumerate() {
+        let denom = (a.count as f64).max(b.count).max(1.0);
+        assert!(
+            (a.count as f64 - b.count).abs() / denom < 0.05,
+            "region {i}: ACT {} vs BRJ {}",
+            a.count,
+            b.count
+        );
+    }
+}
+
+#[test]
+fn spatial_baselines_and_linearized_exact_reference_agree() {
+    let (points, values, regions) = workload(10_000, 4, 13);
+    // Exact counts computed by each spatial baseline match a naive scan.
+    for kind in SpatialBaselineKind::ALL {
+        let baseline = SpatialBaseline::build(kind, &points, &values);
+        for region in &regions {
+            let (agg, qualifying) = baseline.aggregate_multipolygon(region);
+            let expected = points.iter().filter(|p| region.contains_point(p)).count() as u64;
+            assert_eq!(agg.count, expected, "{} disagrees with the naive scan", kind.name());
+            assert!(qualifying >= agg.count);
+        }
+    }
+}

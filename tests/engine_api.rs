@@ -1,0 +1,133 @@
+//! Behavioural tests of the public `ApproximateEngine` facade — the API a
+//! downstream application would program against.
+
+use dbsa::prelude::*;
+
+fn small_engine(eps: f64) -> ApproximateEngine {
+    let taxi = TaxiPointGenerator::new(city_extent(), 101).generate(10_000);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), 16, 24, 5).generate();
+    ApproximateEngine::builder()
+        .distance_bound(DistanceBound::meters(eps))
+        .extent(city_extent())
+        .points(points, values)
+        .regions(regions)
+        .build()
+}
+
+#[test]
+fn stats_reflect_the_loaded_data() {
+    let engine = small_engine(10.0);
+    let stats = engine.stats();
+    assert_eq!(stats.points, 10_000);
+    assert_eq!(stats.regions, 16);
+    assert_eq!(stats.epsilon, 10.0);
+    assert!(stats.region_raster_cells > 16, "every region needs at least a few cells");
+    assert!(stats.point_index_bytes >= 10_000 * 8);
+}
+
+#[test]
+fn aggregate_by_region_returns_one_aggregate_per_region() {
+    let engine = small_engine(10.0);
+    let result = engine.aggregate_by_region();
+    assert_eq!(result.regions.len(), 16);
+    assert_eq!(result.pip_tests, 0);
+    assert_eq!(result.total_matched() + result.unmatched, 10_000);
+    // AVG is available wherever points matched.
+    for region in &result.regions {
+        if region.count > 0 {
+            let avg = region.avg().expect("non-empty region has an average");
+            assert!(avg >= 2.5 && avg <= 80.0, "fare average {avg} outside the generated range");
+            assert!(region.min <= region.max);
+        }
+    }
+}
+
+#[test]
+fn adhoc_queries_accept_arbitrary_polygons() {
+    let engine = small_engine(5.0);
+    let query = Polygon::from_coords(&[
+        (12_000.0, 12_000.0),
+        (28_000.0, 13_000.0),
+        (27_000.0, 27_000.0),
+        (13_000.0, 26_000.0),
+    ]);
+    let exact = engine.count_in_polygon_exact(&query);
+    for budget in [32usize, 128, 512] {
+        let (agg, used) = engine.aggregate_in_polygon(&query, budget);
+        assert!(used <= budget);
+        assert!(agg.count >= exact);
+    }
+    // A multi-polygon region works through the generic entry point.
+    let region = MultiPolygon::new(vec![
+        Polygon::from_coords(&[(1_000.0, 1_000.0), (3_000.0, 1_000.0), (3_000.0, 3_000.0), (1_000.0, 3_000.0)]),
+        Polygon::from_coords(&[(35_000.0, 35_000.0), (38_000.0, 35_000.0), (38_000.0, 38_000.0), (35_000.0, 38_000.0)]),
+    ]);
+    let (agg, _) = engine.aggregate_in_region(&region, 256);
+    let exact_region = engine
+        .points()
+        .iter()
+        .filter(|p| region.contains_point(p))
+        .count() as u64;
+    assert!(agg.count >= exact_region);
+}
+
+#[test]
+fn count_ranges_always_cover_the_exact_counts() {
+    for eps in [40.0, 10.0] {
+        let engine = small_engine(eps);
+        let ranges = engine.count_ranges();
+        let exact = engine.aggregate_by_region_exact();
+        assert_eq!(ranges.len(), exact.regions.len());
+        for (range, exact_agg) in ranges.iter().zip(&exact.regions) {
+            assert!(range.contains(exact_agg.count as f64));
+        }
+    }
+}
+
+#[test]
+fn tighter_bounds_use_more_memory_and_give_smaller_errors() {
+    let coarse = small_engine(50.0);
+    let fine = small_engine(5.0);
+    assert!(fine.stats().region_index_bytes > coarse.stats().region_index_bytes);
+    assert!(fine.stats().region_raster_cells > coarse.stats().region_raster_cells);
+
+    let exact = coarse.aggregate_by_region_exact();
+    let err = |engine: &ApproximateEngine| -> u64 {
+        engine
+            .aggregate_by_region()
+            .regions
+            .iter()
+            .zip(&exact.regions)
+            .map(|(a, e)| a.count.abs_diff(e.count))
+            .sum()
+    };
+    assert!(err(&fine) <= err(&coarse));
+}
+
+#[test]
+fn point_table_is_exposed_for_benchmarks() {
+    let engine = small_engine(10.0);
+    let table = engine.point_table();
+    assert_eq!(table.len(), 10_000);
+    assert!(table.index_memory_bytes(PointIndexVariant::RadixSpline) > 0);
+}
+
+#[test]
+fn builder_defaults_and_config() {
+    let cfg = dbsa::ExperimentConfig::laptop_default("engine_api");
+    assert!(cfg.to_json().contains("engine_api"));
+    // Engine without regions still answers ad-hoc queries.
+    let taxi = TaxiPointGenerator::new(city_extent(), 7).generate(1_000);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values = vec![1.0; points.len()];
+    let engine = ApproximateEngine::builder()
+        .distance_bound(DistanceBound::meters(10.0))
+        .extent(city_extent())
+        .points(points, values)
+        .build();
+    let query = Polygon::from_coords(&[(0.0, 0.0), (40_000.0, 0.0), (40_000.0, 40_000.0), (0.0, 40_000.0)]);
+    let (agg, _) = engine.aggregate_in_polygon(&query, 64);
+    assert_eq!(agg.count, 1_000, "the whole-extent query must count every point");
+}

@@ -1,0 +1,104 @@
+//! Experiment E5: the motivating example of Figure 2, end to end.
+//!
+//! Checks the three counts the paper quotes (exact 18, MBR 22, raster 28)
+//! and the semantic claim behind them: the raster's extra points are all
+//! within the distance bound of the query region, the MBR's are not.
+
+use dbsa::datagen::figure2::PointColor;
+use dbsa::geom::approx::{mbr::Mbr, Approximation};
+use dbsa::prelude::*;
+use dbsa::raster::{BoundaryPolicy, UniformRaster};
+
+#[test]
+fn the_three_counts_match_the_paper() {
+    let ex = Figure2Example::new();
+    assert_eq!(ex.exact_count(), 18);
+    assert_eq!(ex.mbr_count(), 22);
+    assert_eq!(ex.raster_count(), 28);
+}
+
+#[test]
+fn an_actual_uniform_raster_reproduces_the_raster_count_semantics() {
+    let ex = Figure2Example::new();
+    let extent = GridExtent::covering(&ex.extent());
+    let raster = UniformRaster::with_bound(
+        ex.polygon(),
+        &extent,
+        DistanceBound::meters(ex.epsilon()),
+        BoundaryPolicy::Conservative,
+    );
+    // The raster is conservative: it contains every exact point.
+    for (p, color) in ex.points() {
+        if *color == PointColor::Black {
+            assert!(raster.contains_point(p), "black point {p:?} must be counted");
+        }
+    }
+    // Any point it adds beyond the exact set is within ε of the boundary.
+    for (p, _) in ex.points() {
+        if raster.contains_point(p) && !ex.polygon().contains_point(p) {
+            assert!(
+                ex.polygon().boundary_distance(p) <= raster.guaranteed_bound() + 1e-9,
+                "false positive {p:?} farther than the bound"
+            );
+        }
+    }
+    // The red (far) points are never picked up by the raster.
+    for (p, color) in ex.points() {
+        if *color == PointColor::Red {
+            assert!(!raster.contains_point(p), "far point {p:?} must not be counted by the raster");
+        }
+    }
+}
+
+#[test]
+fn the_mbr_count_is_numerically_closer_but_spatially_worse() {
+    let ex = Figure2Example::new();
+    let exact = ex.exact_count() as f64;
+    let mbr_err = (ex.mbr_count() as f64 - exact).abs();
+    let raster_err = (ex.raster_count() as f64 - exact).abs();
+    // Numerically the MBR looks better...
+    assert!(mbr_err < raster_err);
+
+    // ...but its false positives are far from the region, while the raster's
+    // are all within ε.
+    let mbr = Mbr::from_polygon(ex.polygon());
+    let worst_mbr_distance = ex
+        .points()
+        .iter()
+        .filter(|(p, _)| mbr.may_contain_point(p) && !ex.polygon().contains_point(p))
+        .map(|(p, _)| ex.polygon().boundary_distance(p))
+        .fold(0.0f64, f64::max);
+    let worst_raster_distance = ex
+        .points()
+        .iter()
+        .filter(|(p, _)| {
+            !ex.polygon().contains_point(p) && ex.polygon().boundary_distance(p) <= ex.epsilon()
+        })
+        .map(|(p, _)| ex.polygon().boundary_distance(p))
+        .fold(0.0f64, f64::max);
+    assert!(worst_mbr_distance > 5.0 * worst_raster_distance,
+        "MBR errors ({worst_mbr_distance:.1} m) should dwarf raster errors ({worst_raster_distance:.1} m)");
+}
+
+#[test]
+fn result_range_of_the_example_contains_the_exact_count() {
+    // Even for this tiny example, the conservative raster's boundary-cell
+    // count yields an interval that provably contains 18.
+    let ex = Figure2Example::new();
+    let extent = GridExtent::covering(&ex.extent());
+    let raster = UniformRaster::with_bound(
+        ex.polygon(),
+        &extent,
+        DistanceBound::meters(ex.epsilon()),
+        BoundaryPolicy::Conservative,
+    );
+    let mut agg = RegionAggregate::default();
+    for (p, _) in ex.points() {
+        if let Some(class) = raster.classify_point(p) {
+            agg.add(1.0, class == dbsa::raster::CellClass::Boundary);
+        }
+    }
+    let range = ResultRange::count_range(&agg);
+    assert!(range.contains(ex.exact_count() as f64),
+        "exact 18 outside [{}, {}]", range.lower, range.upper);
+}

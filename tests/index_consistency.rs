@@ -1,0 +1,110 @@
+//! Cross-index consistency on a shared workload: every index structure in
+//! the crate answers the same questions; exact ones must agree bit-for-bit,
+//! approximate ones must stay within their guarantee.
+
+use dbsa::index::{
+    AdaptiveCellTrie, BPlusTree, KdTree, MemoryFootprint, PointQuadtree, RTree, RTreeEntry,
+    RadixSpline, ShapeIndex, SortedKeyArray,
+};
+use dbsa::prelude::*;
+use dbsa::raster::{BoundaryPolicy, HierarchicalRaster};
+
+fn workload() -> (Vec<Point>, Vec<MultiPolygon>, GridExtent) {
+    let taxi = TaxiPointGenerator::new(city_extent(), 55).generate(25_000);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), 25, 24, 2).generate();
+    let extent = GridExtent::covering(&city_extent());
+    (points, regions, extent)
+}
+
+#[test]
+fn one_dimensional_indexes_agree_on_every_range() {
+    let (points, regions, extent) = workload();
+    let keys: Vec<u64> = points.iter().map(|p| extent.leaf_cell_id(p).raw()).collect();
+    let sorted = SortedKeyArray::from_unsorted(keys.clone());
+    let btree = BPlusTree::new(keys.clone());
+    let spline = RadixSpline::new(sorted.keys());
+
+    // Ranges derived from real query-polygon rasters.
+    for region in regions.iter().take(8) {
+        let raster = HierarchicalRaster::with_cell_budget(region, &extent, 128, BoundaryPolicy::Conservative);
+        for cell in raster.cells() {
+            let lo = cell.id.range_min().raw();
+            let hi = cell.id.range_max().raw();
+            let expected = sorted.count_range(lo, hi);
+            assert_eq!(btree.count_range(lo, hi), expected);
+            assert_eq!(spline.count_range(sorted.keys(), lo, hi), expected);
+        }
+    }
+}
+
+#[test]
+fn spatial_indexes_agree_on_mbr_filtering() {
+    let (points, regions, _) = workload();
+    let quadtree = PointQuadtree::build(city_extent().inflated(1.0), &points);
+    let kdtree = KdTree::build(&points);
+    let rtree = RTree::bulk_load_str(
+        points.iter().enumerate().map(|(i, p)| RTreeEntry::point(*p, i as u64)).collect(),
+        16,
+    );
+    for region in regions.iter().take(10) {
+        let mbr = region.bbox();
+        let mut q = quadtree.query_bbox(&mbr);
+        let mut k = kdtree.query_bbox(&mbr);
+        let mut r = rtree.query_bbox(&mbr);
+        q.sort_unstable();
+        k.sort_unstable();
+        r.sort_unstable();
+        assert_eq!(q, k, "quadtree vs kd-tree");
+        assert_eq!(q, r, "quadtree vs r-tree");
+    }
+}
+
+#[test]
+fn act_and_shape_index_are_consistent_up_to_the_bound() {
+    let (points, regions, extent) = workload();
+    let bound = DistanceBound::meters(10.0);
+    let rasters: Vec<HierarchicalRaster> = regions
+        .iter()
+        .map(|r| HierarchicalRaster::with_bound(r, &extent, bound, BoundaryPolicy::Conservative))
+        .collect();
+    let act = AdaptiveCellTrie::build(&rasters);
+    let shape = ShapeIndex::build(&regions, &extent);
+
+    let mut disagreements = 0usize;
+    for p in points.iter().take(5_000) {
+        let act_hit = act.lookup_first(extent.leaf_cell_id(p));
+        let shape_hit = shape.lookup_first(p); // exact
+        if act_hit != shape_hit {
+            disagreements += 1;
+            // Every disagreement is within the bound of some region boundary.
+            let nearest = regions
+                .iter()
+                .map(|r| r.boundary_distance(p))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest <= bound.epsilon(),
+                "ACT vs ShapeIndex disagree at {p:?} which is {nearest:.1} m from any boundary");
+        }
+    }
+    // Disagreements exist but are rare.
+    assert!(disagreements < 500, "too many disagreements: {disagreements}");
+}
+
+#[test]
+fn memory_footprints_follow_the_papers_ordering() {
+    let (_, regions, extent) = workload();
+    let bound = DistanceBound::meters(4.0);
+    let rasters: Vec<HierarchicalRaster> = regions
+        .iter()
+        .map(|r| HierarchicalRaster::with_bound(r, &extent, bound, BoundaryPolicy::Conservative))
+        .collect();
+    let act = AdaptiveCellTrie::build(&rasters);
+    let shape = ShapeIndex::build(&regions, &extent);
+    let rtree = RTree::bulk_load_str(
+        regions.iter().enumerate().map(|(i, r)| RTreeEntry::new(r.bbox(), i as u64)).collect(),
+        16,
+    );
+    // ACT >> SI >> R-tree, as in the paper's 143 MB / 1.2 MB / 27.9 KB text.
+    assert!(act.memory_bytes() > 10 * shape.memory_bytes());
+    assert!(shape.memory_bytes() > rtree.memory_bytes());
+}

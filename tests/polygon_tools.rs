@@ -1,0 +1,138 @@
+//! Integration tests for the supporting geometry tooling added around the
+//! core reproduction: exact polygon/box clipping, polygon simplification and
+//! the rotated synthetic region datasets. These utilities feed the
+//! experiment harness (exact overlap measurements, realistic MBR behaviour)
+//! so their cross-crate behaviour is pinned here.
+
+use dbsa::geom::{polygon_box_overlap_area, polygon_box_overlap_fraction, simplify_polygon};
+use dbsa::prelude::*;
+use dbsa::raster::{BoundaryPolicy, UniformRaster};
+
+#[test]
+fn exact_overlap_agrees_with_raster_covered_area_in_the_limit() {
+    // The total covered area of a fine conservative uniform raster converges
+    // to the polygon area; the exact clipped overlap of each cell must agree
+    // with the cell's classification.
+    let polygon = Polygon::from_coords(&[
+        (1_000.0, 1_000.0),
+        (9_000.0, 2_000.0),
+        (8_000.0, 9_000.0),
+        (2_000.0, 8_000.0),
+    ]);
+    let extent = GridExtent::new(Point::new(0.0, 0.0), 16_384.0);
+    let raster = UniformRaster::at_level(&polygon, &extent, 7, BoundaryPolicy::Conservative);
+    for (bbox, class) in raster.cell_boxes() {
+        let frac = polygon_box_overlap_fraction(&polygon, &bbox);
+        match class {
+            dbsa::raster::CellClass::Interior => {
+                assert!(frac > 0.999, "interior cell must be fully covered, got {frac}");
+            }
+            dbsa::raster::CellClass::Boundary => {
+                assert!(frac > 0.0, "a conservative boundary cell overlaps the polygon");
+            }
+        }
+    }
+    // Summing exact overlaps over all cells reconstructs the polygon area.
+    let reconstructed: f64 = raster
+        .cell_boxes()
+        .map(|(bbox, _)| polygon_box_overlap_area(&polygon, &bbox))
+        .sum();
+    let rel = (reconstructed - polygon.area()).abs() / polygon.area();
+    assert!(rel < 1e-6, "reconstructed area off by {rel}");
+}
+
+#[test]
+fn simplification_trades_vertices_for_bounded_deviation() {
+    // Simplify a complex borough-like region and check the deviation stays
+    // below the tolerance — the "classic" alternative to rasterization.
+    let regions = PolygonSetGenerator::new(city_extent(), 4, 663, 3).generate();
+    let original = &regions[0].polygons()[0];
+    // The generator jitters vertices by up to ~180 m around the region
+    // outline, so a 250 m tolerance removes most of that detail.
+    let tolerance = 250.0;
+    let simplified = simplify_polygon(original, tolerance);
+    assert!(simplified.vertex_count() < original.vertex_count() / 2,
+        "simplification should remove at least half of {} vertices", original.vertex_count());
+    // Every original vertex is within the tolerance of the simplified boundary.
+    for v in original.exterior().vertices() {
+        assert!(simplified.boundary_distance(v) <= tolerance + 1e-6);
+    }
+    // Unlike the raster approximation, simplification gives no containment
+    // guarantee: find at least one point whose membership flips, proving why
+    // a distance bound on the query result needs the raster machinery.
+    let bbox = original.bbox();
+    let mut flipped = 0;
+    for i in 0..200 {
+        for j in 0..200 {
+            let p = Point::new(
+                bbox.min.x + (i as f64 + 0.5) / 200.0 * bbox.width(),
+                bbox.min.y + (j as f64 + 0.5) / 200.0 * bbox.height(),
+            );
+            if original.contains_point(&p) != simplified.contains_point(&p) {
+                flipped += 1;
+            }
+        }
+    }
+    assert!(flipped > 0, "simplification changes membership near the boundary");
+}
+
+#[test]
+fn rotated_regions_remain_disjoint_and_complex() {
+    let rotated = PolygonSetGenerator::new(city_extent(), 16, 40, 9)
+        .rotation(0.45)
+        .generate();
+    let straight = PolygonSetGenerator::new(city_extent(), 16, 40, 9).generate();
+    assert_eq!(rotated.len(), straight.len());
+    // Rotation preserves area and vertex count...
+    for (r, s) in rotated.iter().zip(&straight) {
+        assert!((r.area() - s.area()).abs() / s.area() < 1e-9);
+        assert_eq!(r.vertex_count(), s.vertex_count());
+    }
+    // ...and disjointness.
+    for (i, region) in rotated.iter().enumerate() {
+        let c = region.polygons()[0].centroid();
+        for (j, other) in rotated.iter().enumerate() {
+            if i != j {
+                assert!(!other.contains_point(&c), "rotated regions {i} and {j} overlap");
+            }
+        }
+    }
+    // But the MBRs now overlap their neighbours (the realistic behaviour the
+    // experiments rely on): total MBR area exceeds total region area clearly.
+    let mbr_area: f64 = rotated.iter().map(|r| r.bbox().area()).sum();
+    let region_area: f64 = rotated.iter().map(MultiPolygon::area).sum();
+    assert!(mbr_area > 1.3 * region_area,
+        "rotated MBRs should overshoot the regions: {mbr_area} vs {region_area}");
+    let straight_mbr_area: f64 = straight.iter().map(|r| r.bbox().area()).sum();
+    assert!(mbr_area > 1.2 * straight_mbr_area);
+}
+
+#[test]
+fn mbr_filtering_degrades_on_rotated_regions_while_raster_does_not() {
+    // The end-to-end consequence: with rotated (realistic) regions the MBR
+    // filter lets many more candidates through, while the distance-bounded
+    // raster filter is unaffected by orientation.
+    let taxi = TaxiPointGenerator::new(city_extent(), 31).generate(20_000);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let extent = GridExtent::covering(&city_extent());
+    let table = LinearizedPointTable::build(&points, &values, &extent);
+    let baseline = SpatialBaseline::build(SpatialBaselineKind::StrRTree, &points, &values);
+
+    let rotated = PolygonSetGenerator::new(city_extent(), 16, 20, 9).rotation(0.45).generate();
+    let mut exact_total = 0u64;
+    let mut mbr_qualifying = 0u64;
+    let mut raster_qualifying = 0u64;
+    for region in &rotated {
+        let (agg, qualifying) = baseline.aggregate_multipolygon(region);
+        exact_total += agg.count;
+        mbr_qualifying += qualifying;
+        let (raster_agg, _) = table.aggregate_polygon(region, 512, PointIndexVariant::RadixSpline);
+        raster_qualifying += raster_agg.count;
+    }
+    let mbr_overshoot = mbr_qualifying as f64 / exact_total as f64;
+    let raster_overshoot = raster_qualifying as f64 / exact_total as f64;
+    assert!(mbr_overshoot > 1.3, "rotated MBRs should over-qualify by >30%, got {mbr_overshoot}");
+    assert!(raster_overshoot < 1.15, "raster filter should stay tight, got {raster_overshoot}");
+    assert!(raster_overshoot < mbr_overshoot);
+}
