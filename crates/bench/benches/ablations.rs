@@ -22,7 +22,10 @@ fn bench_curve_choice(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
 
-    for (label, curve) in [("morton", CurveKind::Morton), ("hilbert", CurveKind::Hilbert)] {
+    for (label, curve) in [
+        ("morton", CurveKind::Morton),
+        ("hilbert", CurveKind::Hilbert),
+    ] {
         group.bench_function(BenchmarkId::new("encode_all_points", label), |b| {
             b.iter(|| {
                 let mut acc = 0u64;
@@ -44,7 +47,10 @@ fn bench_boundary_policy(c: &mut Criterion) {
 
     let policies = [
         ("conservative", BoundaryPolicy::Conservative),
-        ("non_conservative_50", BoundaryPolicy::NonConservative { min_overlap: 0.5 }),
+        (
+            "non_conservative_50",
+            BoundaryPolicy::NonConservative { min_overlap: 0.5 },
+        ),
     ];
     for (label, policy) in policies {
         group.bench_function(BenchmarkId::new("rasterize_all_regions", label), |b| {
@@ -105,15 +111,19 @@ fn bench_act_bound_sweep(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(4));
 
     for &bound_m in &[32.0f64, 8.0, 2.0] {
-        group.bench_with_input(BenchmarkId::new("build", bound_m as u32), &bound_m, |b, _| {
-            b.iter(|| {
-                ApproximateCellJoin::build(
-                    &workload.regions,
-                    &workload.extent,
-                    DistanceBound::meters(bound_m),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build", bound_m as u32),
+            &bound_m,
+            |b, _| {
+                b.iter(|| {
+                    ApproximateCellJoin::build(
+                        &workload.regions,
+                        &workload.extent,
+                        DistanceBound::meters(bound_m),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

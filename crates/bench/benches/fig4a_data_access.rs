@@ -22,9 +22,14 @@ fn bench_data_access(c: &mut Criterion) {
         queries
             .iter()
             .map(|q| {
-                HierarchicalRaster::with_cell_budget(*q, &workload.extent, cells, BoundaryPolicy::Conservative)
-                    .cells()
-                    .to_vec()
+                HierarchicalRaster::with_cell_budget(
+                    *q,
+                    &workload.extent,
+                    cells,
+                    BoundaryPolicy::Conservative,
+                )
+                .cells()
+                .to_vec()
             })
             .collect()
     };
@@ -42,7 +47,9 @@ fn bench_data_access(c: &mut Criterion) {
             b.iter(|| {
                 let mut total = 0u64;
                 for q in &prepared {
-                    total += table.aggregate_cells(q, PointIndexVariant::RadixSpline).count;
+                    total += table
+                        .aggregate_cells(q, PointIndexVariant::RadixSpline)
+                        .count;
                 }
                 total
             })
@@ -53,7 +60,9 @@ fn bench_data_access(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0u64;
             for q in &prepared_512 {
-                total += table.aggregate_cells(q, PointIndexVariant::BinarySearch).count;
+                total += table
+                    .aggregate_cells(q, PointIndexVariant::BinarySearch)
+                    .count;
             }
             total
         })

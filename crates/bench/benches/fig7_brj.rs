@@ -39,9 +39,11 @@ fn bench_brj(c: &mut Criterion) {
     // on the simulated device (1024-pixel limit over a 4 km extent).
     for &bound_m in &[10.0f64, 5.0, 2.5, 1.0] {
         let brj = BoundedRasterJoin::new(&device, DistanceBound::meters(bound_m));
-        group.bench_with_input(BenchmarkId::new("brj_bound_m", bound_m as u32), &bound_m, |b, _| {
-            b.iter(|| brj.execute(&points, Some(&values), &regions, &extent))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("brj_bound_m", bound_m as u32),
+            &bound_m,
+            |b, _| b.iter(|| brj.execute(&points, Some(&values), &regions, &extent)),
+        );
     }
     group.finish();
 }

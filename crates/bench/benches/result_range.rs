@@ -25,9 +25,11 @@ fn bench_result_ranges(c: &mut Criterion) {
             DistanceBound::meters(bound_m),
         );
         // The join alone.
-        group.bench_with_input(BenchmarkId::new("join_only", bound_m as u32), &bound_m, |b, _| {
-            b.iter(|| join.execute(&workload.points, &workload.values))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("join_only", bound_m as u32),
+            &bound_m,
+            |b, _| b.iter(|| join.execute(&workload.points, &workload.values)),
+        );
         // Join + range derivation (what an application would actually run).
         group.bench_with_input(
             BenchmarkId::new("join_with_ranges", bound_m as u32),
@@ -35,8 +37,11 @@ fn bench_result_ranges(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let result = join.execute(&workload.points, &workload.values);
-                    let ranges: Vec<ResultRange> =
-                        result.regions.iter().map(ResultRange::count_range).collect();
+                    let ranges: Vec<ResultRange> = result
+                        .regions
+                        .iter()
+                        .map(ResultRange::count_range)
+                        .collect();
                     (result, ranges)
                 })
             },

@@ -42,14 +42,22 @@ fn main() {
         &config,
     );
 
-    let workload = Workload::from_profile_like(config.points, config.regions, config.vertices_per_region, config.seed);
+    let workload = Workload::from_profile_like(
+        config.points,
+        config.regions,
+        config.vertices_per_region,
+        config.seed,
+    );
     let queries: Vec<&MultiPolygon> = workload.regions.iter().collect();
 
     // Build the linearized table once (shared by the RS / BS / B+-tree variants).
-    let (table, build_time) = timed(|| {
-        LinearizedPointTable::build(&workload.points, &workload.values, &workload.extent)
-    });
-    println!("linearized point table: {} keys, built in {}", table.len(), fmt_ms(build_time));
+    let (table, build_time) =
+        timed(|| LinearizedPointTable::build(&workload.points, &workload.values, &workload.extent));
+    println!(
+        "linearized point table: {} keys, built in {}",
+        table.len(),
+        fmt_ms(build_time)
+    );
 
     // Precompute the query rasters per precision level (fixed query regions).
     let mut query_cells: Vec<(usize, Vec<Vec<RasterCell>>)> = Vec::new();
@@ -58,25 +66,41 @@ fn main() {
             queries
                 .iter()
                 .map(|q| {
-                    HierarchicalRaster::with_cell_budget(*q, &workload.extent, cells, BoundaryPolicy::Conservative)
-                        .cells()
-                        .to_vec()
+                    HierarchicalRaster::with_cell_budget(
+                        *q,
+                        &workload.extent,
+                        cells,
+                        BoundaryPolicy::Conservative,
+                    )
+                    .cells()
+                    .to_vec()
                 })
                 .collect::<Vec<_>>()
         });
-        println!("query approximation at {cells:>4} cells/polygon prepared in {}", fmt_ms(prep));
+        println!(
+            "query approximation at {cells:>4} cells/polygon prepared in {}",
+            fmt_ms(prep)
+        );
         query_cells.push((cells, per_query));
     }
     println!();
-    println!("{:<12} | {:>10} | {:>16} | {:>14} | {:>12}", "variant", "precision", "cumulative time", "total count", "index memory");
-    println!("{:-<12}-+-{:-<10}-+-{:-<16}-+-{:-<14}-+-{:-<12}", "", "", "", "", "");
+    println!(
+        "{:<12} | {:>10} | {:>16} | {:>14} | {:>12}",
+        "variant", "precision", "cumulative time", "total count", "index memory"
+    );
+    println!(
+        "{:-<12}-+-{:-<10}-+-{:-<16}-+-{:-<14}-+-{:-<12}",
+        "", "", "", "", ""
+    );
 
     // Linearized variants: RS at every precision, BS and B+-tree at the highest.
     for (cells, per_query) in &query_cells {
         let (total, elapsed) = timed(|| {
             let mut total = 0u64;
             for cells_of_query in per_query {
-                total += table.aggregate_cells(cells_of_query, PointIndexVariant::RadixSpline).count;
+                total += table
+                    .aggregate_cells(cells_of_query, PointIndexVariant::RadixSpline)
+                    .count;
             }
             total
         });
@@ -113,7 +137,8 @@ fn main() {
 
     // Spatial baselines: MBR filtering + exact refinement.
     for kind in SpatialBaselineKind::ALL {
-        let (baseline, build) = timed(|| SpatialBaseline::build(kind, &workload.points, &workload.values));
+        let (baseline, build) =
+            timed(|| SpatialBaseline::build(kind, &workload.points, &workload.values));
         let (total, elapsed) = timed(|| {
             let mut total = 0u64;
             for q in &queries {

@@ -32,20 +32,32 @@ fn main() {
         &config,
     );
 
-    let workload = Workload::from_profile_like(config.points, config.regions, config.vertices_per_region, config.seed);
+    let workload = Workload::from_profile_like(
+        config.points,
+        config.regions,
+        config.vertices_per_region,
+        config.seed,
+    );
     let table = LinearizedPointTable::build(&workload.points, &workload.values, &workload.extent);
 
     // Exact reference and MBR-filter qualifying counts.
     let mut exact_total = 0u64;
     let mut mbr_total = 0u64;
-    let baseline = SpatialBaseline::build(SpatialBaselineKind::KdTree, &workload.points, &workload.values);
+    let baseline = SpatialBaseline::build(
+        SpatialBaselineKind::KdTree,
+        &workload.points,
+        &workload.values,
+    );
     for region in &workload.regions {
         let (agg, qualifying) = baseline.aggregate_multipolygon(region);
         exact_total += agg.count;
         mbr_total += qualifying;
     }
 
-    println!("{:<18} | {:>18} | {:>22}", "variant", "qualifying points", "overshoot vs. exact");
+    println!(
+        "{:<18} | {:>18} | {:>22}",
+        "variant", "qualifying points", "overshoot vs. exact"
+    );
     println!("{:-<18}-+-{:-<18}-+-{:-<22}", "", "", "");
     println!("{:<18} | {:>18} | {:>21.2}%", "exact", exact_total, 0.0);
     for &cells in &config.precision_levels {
@@ -55,10 +67,18 @@ fn main() {
             total += agg.count;
         }
         let overshoot = (total as f64 - exact_total as f64) / exact_total as f64 * 100.0;
-        println!("{:<18} | {:>18} | {:>21.2}%", format!("RS-{cells} (raster)"), total, overshoot);
+        println!(
+            "{:<18} | {:>18} | {:>21.2}%",
+            format!("RS-{cells} (raster)"),
+            total,
+            overshoot
+        );
     }
     let mbr_overshoot = (mbr_total as f64 - exact_total as f64) / exact_total as f64 * 100.0;
-    println!("{:<18} | {:>18} | {:>21.2}%", "MBR filter", mbr_total, mbr_overshoot);
+    println!(
+        "{:<18} | {:>18} | {:>21.2}%",
+        "MBR filter", mbr_total, mbr_overshoot
+    );
 
     println!();
     println!("expected shape (paper): RS-512 ≈ exact; RS-32 noticeably above; the MBR filter far above all.");

@@ -49,12 +49,15 @@ fn main() {
     for profile in DatasetProfile::ALL {
         let workload = Workload::from_profile(n_points, profile, config.seed);
 
-        let (act_join, _) = timed(|| ApproximateCellJoin::build(&workload.regions, &workload.extent, bound));
+        let (act_join, _) =
+            timed(|| ApproximateCellJoin::build(&workload.regions, &workload.extent, bound));
         let (rtree_join, _) = timed(|| RTreeExactJoin::build(&workload.regions));
-        let (shape_join, _) = timed(|| ShapeIndexExactJoin::build(&workload.regions, &workload.extent));
+        let (shape_join, _) =
+            timed(|| ShapeIndexExactJoin::build(&workload.regions, &workload.extent));
 
         let (act_res, act_time) = timed(|| act_join.execute(&workload.points, &workload.values));
-        let (rtree_res, rtree_time) = timed(|| rtree_join.execute(&workload.points, &workload.values));
+        let (rtree_res, rtree_time) =
+            timed(|| rtree_join.execute(&workload.points, &workload.values));
         let (_, shape_time) = timed(|| shape_join.execute(&workload.points, &workload.values));
 
         let speedup_rtree = rtree_time.as_secs_f64() / act_time.as_secs_f64();
@@ -77,7 +80,10 @@ fn main() {
                 .zip(&rtree_res.regions)
                 .map(|(a, e)| (a.count as f64, e.count as f64)),
         );
-        println!("{:<14} |   count error of the approximate join: {}", "", err);
+        println!(
+            "{:<14} |   count error of the approximate join: {}",
+            "", err
+        );
 
         if profile == DatasetProfile::Neighborhoods {
             footprints.push((
@@ -93,7 +99,11 @@ fn main() {
     if let Some((act_b, si_b, rtree_b, cells)) = footprints.pop() {
         println!();
         println!("index memory footprint (Neighborhoods profile, 4 m bound) — paper: 143 MB / 1.2 MB / 27.9 KB");
-        println!("  ACT:    {:>10}   ({} raster cells)", fmt_bytes(act_b), cells);
+        println!(
+            "  ACT:    {:>10}   ({} raster cells)",
+            fmt_bytes(act_b),
+            cells
+        );
         println!("  SI:     {:>10}", fmt_bytes(si_b));
         println!("  R-tree: {:>10}", fmt_bytes(rtree_b));
     }

@@ -43,9 +43,14 @@ fn main() {
         .generate(n_points);
     let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
     let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
-    let regions = PolygonSetGenerator::new(extent, n_regions, config.vertices_per_region, config.seed + 1)
-        .multipolygon_fraction(0.1)
-        .generate();
+    let regions = PolygonSetGenerator::new(
+        extent,
+        n_regions,
+        config.vertices_per_region,
+        config.seed + 1,
+    )
+    .multipolygon_fraction(0.1)
+    .generate();
 
     // The simulated device: canvases above 2048² must be tiled — the scaled
     // equivalent of the paper's 3 GB GPU limit.

@@ -25,8 +25,14 @@ fn main() {
         &config,
     );
 
-    let workload = Workload::new(config.points, config.regions, config.vertices_per_region, config.seed);
-    let exact = RTreeExactJoin::build(&workload.regions).execute(&workload.points, &workload.values);
+    let workload = Workload::new(
+        config.points,
+        config.regions,
+        config.vertices_per_region,
+        config.seed,
+    );
+    let exact =
+        RTreeExactJoin::build(&workload.regions).execute(&workload.points, &workload.values);
 
     println!(
         "{:<9} | {:>12} | {:>16} | {:>16} | {:>18}",
@@ -38,16 +44,26 @@ fn main() {
     );
 
     for &bound_m in &config.distance_bounds {
-        let join = ApproximateCellJoin::build(&workload.regions, &workload.extent, DistanceBound::meters(bound_m));
+        let join = ApproximateCellJoin::build(
+            &workload.regions,
+            &workload.extent,
+            DistanceBound::meters(bound_m),
+        );
         let (result, join_time) = timed(|| join.execute(&workload.points, &workload.values));
-        let ranges: Vec<ResultRange> = result.regions.iter().map(ResultRange::count_range).collect();
+        let ranges: Vec<ResultRange> = result
+            .regions
+            .iter()
+            .map(ResultRange::count_range)
+            .collect();
         let covered = ranges
             .iter()
             .zip(&exact.regions)
             .filter(|(r, e)| r.contains(e.count as f64))
             .count();
-        let avg_width: f64 = ranges.iter().map(ResultRange::width).sum::<f64>() / ranges.len() as f64;
-        let avg_rel: f64 = ranges.iter().map(ResultRange::relative_width).sum::<f64>() / ranges.len() as f64;
+        let avg_width: f64 =
+            ranges.iter().map(ResultRange::width).sum::<f64>() / ranges.len() as f64;
+        let avg_rel: f64 =
+            ranges.iter().map(ResultRange::relative_width).sum::<f64>() / ranges.len() as f64;
         println!(
             "{:>6.1} m | {:>12} | {:>16.1} | {:>15.2}% | {:>11}/{:<6}",
             bound_m,
@@ -61,5 +77,7 @@ fn main() {
 
     println!();
     println!("expected shape: the exact count lies inside every interval (100% coverage), and the interval");
-    println!("width shrinks roughly linearly with the bound (fewer points fall into boundary cells).");
+    println!(
+        "width shrinks roughly linearly with the bound (fewer points fall into boundary cells)."
+    );
 }

@@ -40,7 +40,8 @@ impl Workload {
         let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
         let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
         let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
-        let regions = PolygonSetGenerator::new(city_extent(), n_regions, vertices, seed + 1).generate();
+        let regions =
+            PolygonSetGenerator::new(city_extent(), n_regions, vertices, seed + 1).generate();
         Workload {
             points,
             values,
@@ -53,7 +54,12 @@ impl Workload {
     /// (fixed query polygons): explicit count and complexity, rotated off
     /// the axis like real administrative boundaries so that MBR filtering
     /// behaves realistically.
-    pub fn from_profile_like(n_points: usize, n_regions: usize, vertices: usize, seed: u64) -> Self {
+    pub fn from_profile_like(
+        n_points: usize,
+        n_regions: usize,
+        vertices: usize,
+        seed: u64,
+    ) -> Self {
         let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
         let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
         let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
@@ -73,7 +79,8 @@ impl Workload {
         let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
         let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
         let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
-        let regions = PolygonSetGenerator::from_profile(city_extent(), profile, seed + 1).generate();
+        let regions =
+            PolygonSetGenerator::from_profile(city_extent(), profile, seed + 1).generate();
         Workload {
             points,
             values,

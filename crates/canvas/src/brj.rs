@@ -157,7 +157,6 @@ mod tests {
     use dbsa_geom::Polygon;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn extent() -> BoundingBox {
         BoundingBox::from_bounds(0.0, 0.0, 1000.0, 1000.0)
@@ -195,7 +194,11 @@ mod tests {
         (pts, vals)
     }
 
-    fn exact_aggregates(points: &[Point], values: &[f64], polygons: &[MultiPolygon]) -> Vec<JoinAggregate> {
+    fn exact_aggregates(
+        points: &[Point],
+        values: &[f64],
+        polygons: &[MultiPolygon],
+    ) -> Vec<JoinAggregate> {
         polygons
             .iter()
             .map(|poly| {
@@ -223,7 +226,12 @@ mod tests {
         assert!(stats.required_resolution >= 100);
         for (a, e) in approx.iter().zip(&exact) {
             let rel = (a.count - e.count).abs() / e.count.max(1.0);
-            assert!(rel < 0.05, "relative count error {rel} too large ({} vs {})", a.count, e.count);
+            assert!(
+                rel < 0.05,
+                "relative count error {rel} too large ({} vs {})",
+                a.count,
+                e.count
+            );
             let rel_sum = (a.sum - e.sum).abs() / e.sum.max(1.0);
             assert!(rel_sum < 0.05, "relative sum error {rel_sum} too large");
         }
@@ -244,7 +252,10 @@ mod tests {
                 .zip(&exact)
                 .map(|(a, e)| (a.count - e.count).abs())
                 .sum();
-            assert!(err <= prev_err + 1e-9, "error should not grow when the bound tightens");
+            assert!(
+                err <= prev_err + 1e-9,
+                "error should not grow when the bound tightens"
+            );
             prev_err = err;
         }
     }
@@ -257,8 +268,14 @@ mod tests {
         let big = SimulatedDevice::gtx1060_like();
         let small = SimulatedDevice::tiny(128);
         let bound = DistanceBound::meters(4.0);
-        let (res_big, stats_big) = BoundedRasterJoin::new(&big, bound).execute(&points, Some(&values), &polys, &extent());
-        let (res_small, stats_small) = BoundedRasterJoin::new(&small, bound).execute(&points, Some(&values), &polys, &extent());
+        let (res_big, stats_big) =
+            BoundedRasterJoin::new(&big, bound).execute(&points, Some(&values), &polys, &extent());
+        let (res_small, stats_small) = BoundedRasterJoin::new(&small, bound).execute(
+            &points,
+            Some(&values),
+            &polys,
+            &extent(),
+        );
         assert_eq!(stats_big.tiles_per_axis, 1);
         assert!(stats_small.tiles_per_axis > 1, "small device must tile");
         // Tiled execution changes pixel boundaries slightly; counts must stay
@@ -283,7 +300,10 @@ mod tests {
 
     #[test]
     fn join_aggregate_avg() {
-        let agg = JoinAggregate { count: 4.0, sum: 10.0 };
+        let agg = JoinAggregate {
+            count: 4.0,
+            sum: 10.0,
+        };
         assert_eq!(agg.avg(), 2.5);
         assert_eq!(JoinAggregate::default().avg(), 0.0);
     }
@@ -291,8 +311,10 @@ mod tests {
     #[test]
     fn required_resolution_scales_inversely_with_bound() {
         let device = SimulatedDevice::default();
-        let r10 = BoundedRasterJoin::new(&device, DistanceBound::meters(10.0)).required_resolution(&extent());
-        let r1 = BoundedRasterJoin::new(&device, DistanceBound::meters(1.0)).required_resolution(&extent());
+        let r10 = BoundedRasterJoin::new(&device, DistanceBound::meters(10.0))
+            .required_resolution(&extent());
+        let r1 = BoundedRasterJoin::new(&device, DistanceBound::meters(1.0))
+            .required_resolution(&extent());
         // 1000 m extent at 10 m bound: pixel side 7.07 m -> 142 pixels;
         // a 10x tighter bound needs ~10x the resolution (up to rounding).
         assert_eq!(r10, (1000.0 / (10.0 / 2f64.sqrt())).ceil() as usize);

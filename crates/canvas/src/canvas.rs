@@ -27,7 +27,10 @@ impl Canvas {
     /// # Panics
     /// Panics if the dimensions are zero or the viewport is empty.
     pub fn new(width: usize, height: usize, viewport: BoundingBox) -> Self {
-        assert!(width > 0 && height > 0, "canvas dimensions must be positive");
+        assert!(
+            width > 0 && height > 0,
+            "canvas dimensions must be positive"
+        );
         assert!(!viewport.is_empty(), "canvas viewport must not be empty");
         Canvas {
             width,
@@ -107,7 +110,12 @@ impl Canvas {
     pub fn pixel_bbox(&self, px: usize, py: usize) -> BoundingBox {
         let min_x = self.viewport.min.x + px as f64 * self.pixel_width();
         let min_y = self.viewport.min.y + py as f64 * self.pixel_height();
-        BoundingBox::from_bounds(min_x, min_y, min_x + self.pixel_width(), min_y + self.pixel_height())
+        BoundingBox::from_bounds(
+            min_x,
+            min_y,
+            min_x + self.pixel_width(),
+            min_y + self.pixel_height(),
+        )
     }
 
     /// Reads a pixel.
@@ -115,19 +123,28 @@ impl Canvas {
     /// # Panics
     /// Panics if the coordinates are out of range.
     pub fn get(&self, px: usize, py: usize) -> [f64; CHANNELS] {
-        assert!(px < self.width && py < self.height, "pixel ({px},{py}) out of range");
+        assert!(
+            px < self.width && py < self.height,
+            "pixel ({px},{py}) out of range"
+        );
         self.pixels[py * self.width + px]
     }
 
     /// Writes a pixel.
     pub fn set(&mut self, px: usize, py: usize, value: [f64; CHANNELS]) {
-        assert!(px < self.width && py < self.height, "pixel ({px},{py}) out of range");
+        assert!(
+            px < self.width && py < self.height,
+            "pixel ({px},{py}) out of range"
+        );
         self.pixels[py * self.width + px] = value;
     }
 
     /// Adds `value` channel-wise to a pixel.
     pub fn accumulate(&mut self, px: usize, py: usize, value: [f64; CHANNELS]) {
-        assert!(px < self.width && py < self.height, "pixel ({px},{py}) out of range");
+        assert!(
+            px < self.width && py < self.height,
+            "pixel ({px},{py}) out of range"
+        );
         let cell = &mut self.pixels[py * self.width + px];
         for c in 0..CHANNELS {
             cell[c] += value[c];

@@ -35,7 +35,10 @@ impl SimulatedDevice {
 
     /// Creates a device with explicit limits.
     pub fn new(max_canvas_dim: usize, memory_budget_bytes: usize) -> Self {
-        assert!(max_canvas_dim >= 16, "device must support at least 16x16 canvases");
+        assert!(
+            max_canvas_dim >= 16,
+            "device must support at least 16x16 canvases"
+        );
         SimulatedDevice {
             max_canvas_dim,
             memory_budget_bytes,

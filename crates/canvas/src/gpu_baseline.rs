@@ -83,8 +83,10 @@ impl GpuBaseline {
             }
             let x0 = (((bbox.min.x - self.extent.min.x) / cell_w).floor().max(0.0)) as usize;
             let y0 = (((bbox.min.y - self.extent.min.y) / cell_h).floor().max(0.0)) as usize;
-            let x1 = (((bbox.max.x - self.extent.min.x) / cell_w).ceil() as usize).min(self.resolution);
-            let y1 = (((bbox.max.y - self.extent.min.y) / cell_h).ceil() as usize).min(self.resolution);
+            let x1 =
+                (((bbox.max.x - self.extent.min.x) / cell_w).ceil() as usize).min(self.resolution);
+            let y1 =
+                (((bbox.max.y - self.extent.min.y) / cell_h).ceil() as usize).min(self.resolution);
             for cy in y0..y1 {
                 for cx in x0..x1 {
                     for &pi in &self.cells[cy * self.resolution + cx] {
@@ -138,8 +140,17 @@ mod tests {
     fn baseline_is_exact() {
         let (points, values) = random_points(10_000, 5);
         let polys = vec![
-            MultiPolygon::from(Polygon::from_coords(&[(100.0, 100.0), (400.0, 150.0), (350.0, 450.0), (120.0, 380.0)])),
-            MultiPolygon::from(Polygon::from_coords(&[(600.0, 600.0), (900.0, 600.0), (750.0, 900.0)])),
+            MultiPolygon::from(Polygon::from_coords(&[
+                (100.0, 100.0),
+                (400.0, 150.0),
+                (350.0, 450.0),
+                (120.0, 380.0),
+            ])),
+            MultiPolygon::from(Polygon::from_coords(&[
+                (600.0, 600.0),
+                (900.0, 600.0),
+                (750.0, 900.0),
+            ])),
         ];
         let baseline = GpuBaseline::with_resolution(&points, &extent(), 128);
         let (aggs, stats) = baseline.aggregate(&points, Some(&values), &polys);

@@ -129,14 +129,20 @@ mod tests {
 
     #[test]
     fn blend_add_merges_partial_aggregates() {
-        let a = canvas_with(&[((1, 1), [1.0, 10.0, 0.0, 0.0]), ((2, 2), [2.0, 5.0, 0.0, 0.0])]);
+        let a = canvas_with(&[
+            ((1, 1), [1.0, 10.0, 0.0, 0.0]),
+            ((2, 2), [2.0, 5.0, 0.0, 0.0]),
+        ]);
         let b = canvas_with(&[((1, 1), [3.0, 1.0, 0.0, 0.0])]);
         let merged = blend(&a, &b, BlendFn::Add);
         assert_eq!(merged.get(1, 1), [4.0, 11.0, 0.0, 0.0]);
         assert_eq!(merged.get(2, 2), [2.0, 5.0, 0.0, 0.0]);
         assert_eq!(merged.get(5, 5), [0.0; 4]);
         // Blending preserves total mass for Add.
-        assert_eq!(merged.reduce_sum()[0], a.reduce_sum()[0] + b.reduce_sum()[0]);
+        assert_eq!(
+            merged.reduce_sum()[0],
+            a.reduce_sum()[0] + b.reduce_sum()[0]
+        );
     }
 
     #[test]
@@ -148,7 +154,10 @@ mod tests {
         assert_eq!(blend(&a, &b, BlendFn::Over).get(0, 0), [3.0, 2.0, 0.0, 0.0]);
         // Over keeps `a` where `b` is zero.
         let zero_b = Canvas::new(10, 10, viewport());
-        assert_eq!(blend(&a, &zero_b, BlendFn::Over).get(0, 0), [1.0, 5.0, 0.0, 0.0]);
+        assert_eq!(
+            blend(&a, &zero_b, BlendFn::Over).get(0, 0),
+            [1.0, 5.0, 0.0, 0.0]
+        );
     }
 
     #[test]
@@ -162,7 +171,10 @@ mod tests {
     #[test]
     fn mask_keeps_only_covered_pixels() {
         // Point aggregates in `a`; polygon coverage in `m` channel 3.
-        let a = canvas_with(&[((1, 1), [5.0, 0.0, 0.0, 0.0]), ((8, 8), [7.0, 0.0, 0.0, 0.0])]);
+        let a = canvas_with(&[
+            ((1, 1), [5.0, 0.0, 0.0, 0.0]),
+            ((8, 8), [7.0, 0.0, 0.0, 0.0]),
+        ]);
         let m = canvas_with(&[((1, 1), [0.0, 0.0, 0.0, 1.0])]);
         let masked = mask(&a, &m, |p| p[3] > 0.0);
         assert_eq!(masked.get(1, 1)[0], 5.0);

@@ -83,10 +83,7 @@ fn scanline_spans<F: FnMut(usize, usize, usize)>(canvas: &Canvas, polygon: &Poly
     let y_hi = (((bbox.max.y - vp.min.y) / ph).ceil()).min(canvas.height() as f64) as usize;
 
     // Collect all edges once (exterior + holes); holes flip parity naturally.
-    let edges: Vec<(Point, Point)> = polygon
-        .edges()
-        .map(|e| (e.start, e.end))
-        .collect();
+    let edges: Vec<(Point, Point)> = polygon.edges().map(|e| (e.start, e.end)).collect();
 
     let mut crossings: Vec<f64> = Vec::with_capacity(16);
     for row in y_lo..y_hi {
@@ -153,7 +150,7 @@ mod tests {
         let mut canvas = Canvas::new(10, 10, viewport());
         let points = vec![
             Point::new(5.0, 5.0),
-            Point::new(5.5, 5.5),   // same pixel as the first
+            Point::new(5.5, 5.5), // same pixel as the first
             Point::new(55.0, 75.0),
             Point::new(150.0, 50.0), // outside
         ];
@@ -186,7 +183,8 @@ mod tests {
         // A 40x40 square on a 100x100 viewport with 100x100 pixels covers
         // ~1600 pixels (pixel-center sampling makes it exactly 40x40).
         let mut canvas = Canvas::new(100, 100, viewport());
-        let square = Polygon::from_coords(&[(20.0, 20.0), (60.0, 20.0), (60.0, 60.0), (20.0, 60.0)]);
+        let square =
+            Polygon::from_coords(&[(20.0, 20.0), (60.0, 20.0), (60.0, 60.0), (20.0, 60.0)]);
         let covered = rasterize_polygon_coverage(&mut canvas, &square);
         assert_eq!(covered, 1600);
         assert_eq!(canvas.count_pixels(|p| p[COVERAGE_CHANNEL] > 0.0), 1600);
@@ -202,8 +200,11 @@ mod tests {
         let covered = rasterize_polygon_coverage(&mut canvas, &tri);
         let pixel_area = canvas.pixel_width() * canvas.pixel_height();
         let raster_area = covered as f64 * pixel_area;
-        assert!((raster_area - tri.area()).abs() / tri.area() < 0.03,
-            "raster area {raster_area} vs exact {}", tri.area());
+        assert!(
+            (raster_area - tri.area()).abs() / tri.area() < 0.03,
+            "raster area {raster_area} vs exact {}",
+            tri.area()
+        );
     }
 
     #[test]
@@ -224,14 +225,19 @@ mod tests {
         let mut canvas = Canvas::new(100, 100, viewport());
         let covered = rasterize_polygon_coverage(&mut canvas, &poly);
         assert_eq!(covered, 80 * 80 - 20 * 20);
-        assert_eq!(canvas.get(50, 50)[COVERAGE_CHANNEL], 0.0, "hole center must be uncovered");
+        assert_eq!(
+            canvas.get(50, 50)[COVERAGE_CHANNEL],
+            0.0,
+            "hole center must be uncovered"
+        );
         assert!(canvas.get(20, 20)[COVERAGE_CHANNEL] > 0.0);
     }
 
     #[test]
     fn coverage_outside_viewport_is_clipped() {
         let mut canvas = Canvas::new(50, 50, viewport());
-        let poly = Polygon::from_coords(&[(80.0, 80.0), (200.0, 80.0), (200.0, 200.0), (80.0, 200.0)]);
+        let poly =
+            Polygon::from_coords(&[(80.0, 80.0), (200.0, 80.0), (200.0, 200.0), (80.0, 200.0)]);
         let covered = rasterize_polygon_coverage(&mut canvas, &poly);
         // Only the 20x20 world-unit corner inside the viewport is covered
         // (each pixel is 2x2 world units => 10x10 pixels).

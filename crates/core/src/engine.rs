@@ -172,9 +172,15 @@ impl ApproximateEngine {
             points: self.points.len(),
             regions: self.regions.len(),
             epsilon: self.bound.epsilon(),
-            region_raster_cells: self.join.as_ref().map(|j| j.raster_cell_count()).unwrap_or(0),
+            region_raster_cells: self
+                .join
+                .as_ref()
+                .map(|j| j.raster_cell_count())
+                .unwrap_or(0),
             region_index_bytes: self.join.as_ref().map(|j| j.memory_bytes()).unwrap_or(0),
-            point_index_bytes: self.table.index_memory_bytes(PointIndexVariant::RadixSpline),
+            point_index_bytes: self
+                .table
+                .index_memory_bytes(PointIndexVariant::RadixSpline),
         }
     }
 
@@ -209,13 +215,21 @@ impl ApproximateEngine {
     /// arbitrary query polygon approximated with at most `cell_budget`
     /// hierarchical cells (Figure 4's query). Returns the aggregate and the
     /// number of cells used.
-    pub fn aggregate_in_polygon(&self, polygon: &Polygon, cell_budget: usize) -> (RegionAggregate, usize) {
+    pub fn aggregate_in_polygon(
+        &self,
+        polygon: &Polygon,
+        cell_budget: usize,
+    ) -> (RegionAggregate, usize) {
         self.table
             .aggregate_polygon(polygon, cell_budget, PointIndexVariant::RadixSpline)
     }
 
     /// Ad-hoc containment aggregate for any rasterizable region.
-    pub fn aggregate_in_region<G: Rasterizable>(&self, region: &G, cell_budget: usize) -> (RegionAggregate, usize) {
+    pub fn aggregate_in_region<G: Rasterizable>(
+        &self,
+        region: &G,
+        cell_budget: usize,
+    ) -> (RegionAggregate, usize) {
         self.table
             .aggregate_polygon(region, cell_budget, PointIndexVariant::RadixSpline)
     }
@@ -303,7 +317,10 @@ mod tests {
         let exact = engine.count_in_polygon_exact(&query);
         let (agg, cells) = engine.aggregate_in_polygon(&query, 512);
         assert!(cells <= 512);
-        assert!(agg.count >= exact, "conservative approximation cannot undercount");
+        assert!(
+            agg.count >= exact,
+            "conservative approximation cannot undercount"
+        );
         assert!((agg.count as f64 - exact as f64) / exact.max(1) as f64 <= 0.1);
     }
 
@@ -313,8 +330,13 @@ mod tests {
         let ranges = engine.count_ranges();
         let exact = engine.aggregate_by_region_exact();
         for (range, exact_agg) in ranges.iter().zip(&exact.regions) {
-            assert!(range.contains(exact_agg.count as f64),
-                "exact {} outside [{}, {}]", exact_agg.count, range.lower, range.upper);
+            assert!(
+                range.contains(exact_agg.count as f64),
+                "exact {} outside [{}, {}]",
+                exact_agg.count,
+                range.lower,
+                range.upper
+            );
         }
     }
 
@@ -336,9 +358,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "distance bound is required")]
     fn builder_requires_a_bound() {
-        let _ = ApproximateEngine::builder()
-            .extent(city_extent())
-            .build();
+        let _ = ApproximateEngine::builder().extent(city_extent()).build();
     }
 
     #[test]

@@ -67,15 +67,13 @@ pub mod prelude {
     };
     pub use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon, Ring};
     pub use dbsa_grid::{CellId, CurveKind, GridExtent};
-    pub use dbsa_index::{AdaptiveCellTrie, MemoryFootprint, RadixSpline, RTree};
+    pub use dbsa_index::{AdaptiveCellTrie, MemoryFootprint, RTree, RadixSpline};
     pub use dbsa_query::{
         AggregateKind, ApproximateCellJoin, ErrorSummary, JoinResult, LinearizedPointTable,
         PointIndexVariant, RTreeExactJoin, RegionAggregate, ResultRange, ShapeIndexExactJoin,
         SpatialBaseline, SpatialBaselineKind,
     };
-    pub use dbsa_raster::{
-        BoundaryPolicy, DistanceBound, HierarchicalRaster, UniformRaster,
-    };
+    pub use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster, UniformRaster};
 }
 
 #[cfg(test)]

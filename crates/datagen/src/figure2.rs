@@ -53,10 +53,24 @@ impl Figure2Example {
         let mut points = Vec::new();
         // 18 black points strictly inside, away from the boundary.
         let interior = [
-            (10.0, 10.0), (20.0, 15.0), (30.0, 10.0), (45.0, 20.0), (60.0, 10.0),
-            (75.0, 15.0), (88.0, 10.0), (15.0, 30.0), (30.0, 35.0), (50.0, 40.0),
-            (70.0, 30.0), (10.0, 50.0), (25.0, 55.0), (40.0, 60.0), (12.0, 70.0),
-            (25.0, 75.0), (10.0, 88.0), (20.0, 90.0),
+            (10.0, 10.0),
+            (20.0, 15.0),
+            (30.0, 10.0),
+            (45.0, 20.0),
+            (60.0, 10.0),
+            (75.0, 15.0),
+            (88.0, 10.0),
+            (15.0, 30.0),
+            (30.0, 35.0),
+            (50.0, 40.0),
+            (70.0, 30.0),
+            (10.0, 50.0),
+            (25.0, 55.0),
+            (40.0, 60.0),
+            (12.0, 70.0),
+            (25.0, 75.0),
+            (10.0, 88.0),
+            (20.0, 90.0),
         ];
         for &(x, y) in &interior {
             points.push((Point::new(x, y), PointColor::Black));
@@ -69,8 +83,16 @@ impl Figure2Example {
         // 10 violet points: just outside the bottom/left edges (outside the
         // MBR) within epsilon of the boundary.
         let violet = [
-            (15.0, -2.0), (35.0, -3.0), (55.0, -2.5), (75.0, -1.5), (95.0, -3.0),
-            (-2.0, 15.0), (-3.0, 35.0), (-2.5, 55.0), (-1.5, 75.0), (-3.0, 95.0),
+            (15.0, -2.0),
+            (35.0, -3.0),
+            (55.0, -2.5),
+            (75.0, -1.5),
+            (95.0, -3.0),
+            (-2.0, 15.0),
+            (-3.0, 35.0),
+            (-2.5, 55.0),
+            (-1.5, 75.0),
+            (-3.0, 95.0),
         ];
         for &(x, y) in &violet {
             points.push((Point::new(x, y), PointColor::Violet));
@@ -164,18 +186,24 @@ mod tests {
         let mbr = ex.polygon().bbox();
         for (p, color) in ex.points() {
             match color {
-                PointColor::Black => assert!(ex.polygon().contains_point(p), "{p:?} should be inside"),
+                PointColor::Black => {
+                    assert!(ex.polygon().contains_point(p), "{p:?} should be inside")
+                }
                 PointColor::Red => {
                     assert!(!ex.polygon().contains_point(p));
                     assert!(mbr.contains_point(p), "{p:?} should be inside the MBR");
-                    assert!(ex.polygon().boundary_distance(p) > ex.epsilon(),
-                        "red points must be far from the boundary");
+                    assert!(
+                        ex.polygon().boundary_distance(p) > ex.epsilon(),
+                        "red points must be far from the boundary"
+                    );
                 }
                 PointColor::Violet => {
                     assert!(!ex.polygon().contains_point(p));
                     assert!(!mbr.contains_point(p), "{p:?} should be outside the MBR");
-                    assert!(ex.polygon().boundary_distance(p) <= ex.epsilon(),
-                        "violet points must be within epsilon of the boundary");
+                    assert!(
+                        ex.polygon().boundary_distance(p) <= ex.epsilon(),
+                        "violet points must be within epsilon of the boundary"
+                    );
                 }
             }
         }
@@ -217,7 +245,9 @@ mod tests {
             .filter(|(p, _)| mbr.contains_point(p) && !ex.polygon().contains_point(p))
             .map(|(p, _)| ex.polygon().boundary_distance(p))
             .fold(0.0f64, f64::max);
-        assert!(worst_mbr_error_distance > ex.epsilon(),
-            "the MBR's false positives are farther than epsilon from P");
+        assert!(
+            worst_mbr_error_distance > ex.epsilon(),
+            "the MBR's false positives are farther than epsilon from P"
+        );
     }
 }

@@ -52,7 +52,10 @@ impl TaxiPointGenerator {
     /// Sets the fraction of points drawn from clusters (0..=1); the rest is
     /// uniform background.
     pub fn cluster_fraction(mut self, f: f64) -> Self {
-        assert!((0.0..=1.0).contains(&f), "cluster fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "cluster fraction must be in [0, 1]"
+        );
         self.cluster_fraction = f;
         self
     }
@@ -151,8 +154,12 @@ mod tests {
         // With clustering, the densest small cell should hold far more than
         // the uniform expectation.
         let extent = city_extent();
-        let clustered = TaxiPointGenerator::new(extent, 3).cluster_fraction(0.9).generate_locations(20_000);
-        let uniform = TaxiPointGenerator::new(extent, 3).cluster_fraction(0.0).generate_locations(20_000);
+        let clustered = TaxiPointGenerator::new(extent, 3)
+            .cluster_fraction(0.9)
+            .generate_locations(20_000);
+        let uniform = TaxiPointGenerator::new(extent, 3)
+            .cluster_fraction(0.0)
+            .generate_locations(20_000);
         let cell_count = |pts: &[Point]| {
             let mut counts = vec![0usize; 100];
             for p in pts {
@@ -164,8 +171,10 @@ mod tests {
         };
         let clustered_max = cell_count(&clustered);
         let uniform_max = cell_count(&uniform);
-        assert!(clustered_max > 2 * uniform_max,
-            "clustered max cell {clustered_max} should dominate uniform {uniform_max}");
+        assert!(
+            clustered_max > 2 * uniform_max,
+            "clustered max cell {clustered_max} should dominate uniform {uniform_max}"
+        );
     }
 
     #[test]

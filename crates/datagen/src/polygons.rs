@@ -32,9 +32,17 @@ impl PolygonSetGenerator {
     const GAP_FRACTION: f64 = 0.02;
 
     /// Creates a generator for an explicit region count and complexity.
-    pub fn new(extent: BoundingBox, region_count: usize, vertices_per_polygon: usize, seed: u64) -> Self {
+    pub fn new(
+        extent: BoundingBox,
+        region_count: usize,
+        vertices_per_polygon: usize,
+        seed: u64,
+    ) -> Self {
         assert!(region_count >= 1, "need at least one region");
-        assert!(vertices_per_polygon >= 4, "need at least 4 vertices per polygon");
+        assert!(
+            vertices_per_polygon >= 4,
+            "need at least 4 vertices per polygon"
+        );
         PolygonSetGenerator {
             extent,
             region_count,
@@ -106,15 +114,22 @@ impl PolygonSetGenerator {
                 let region = if make_multi {
                     // Split the cell into two islands separated by a channel.
                     let mid = cell.min.x + cell.width() * rng.gen_range(0.35..0.65);
-                    let left = BoundingBox::from_bounds(cell.min.x, cell.min.y, mid - gap, cell.max.y);
-                    let right = BoundingBox::from_bounds(mid + gap, cell.min.y, cell.max.x, cell.max.y);
+                    let left =
+                        BoundingBox::from_bounds(cell.min.x, cell.min.y, mid - gap, cell.max.y);
+                    let right =
+                        BoundingBox::from_bounds(mid + gap, cell.min.y, cell.max.x, cell.max.y);
                     let verts_each = (self.vertices_per_polygon / 2).max(4);
                     MultiPolygon::new(vec![
                         jittered_rectangle(&left, verts_each, gap * 0.45, &mut rng),
                         jittered_rectangle(&right, verts_each, gap * 0.45, &mut rng),
                     ])
                 } else {
-                    MultiPolygon::from(jittered_rectangle(&cell, self.vertices_per_polygon, gap * 0.45, &mut rng))
+                    MultiPolygon::from(jittered_rectangle(
+                        &cell,
+                        self.vertices_per_polygon,
+                        gap * 0.45,
+                        &mut rng,
+                    ))
                 };
                 out.push(region);
             }
@@ -203,7 +218,8 @@ mod tests {
     fn vertex_complexity_matches_target() {
         for target in [14usize, 31, 120, 663] {
             let regions = PolygonSetGenerator::new(city_extent(), 9, target, 7).generate();
-            let avg: f64 = regions.iter().map(|r| r.vertex_count() as f64).sum::<f64>() / regions.len() as f64;
+            let avg: f64 =
+                regions.iter().map(|r| r.vertex_count() as f64).sum::<f64>() / regions.len() as f64;
             let rel = (avg - target as f64).abs() / target as f64;
             assert!(rel < 0.15, "target {target}, got average {avg}");
         }
@@ -216,10 +232,16 @@ mod tests {
         // region claims them.
         for (i, region) in regions.iter().enumerate() {
             let c = region.polygons()[0].centroid();
-            assert!(region.contains_point(&c), "region {i} must contain its centroid");
+            assert!(
+                region.contains_point(&c),
+                "region {i} must contain its centroid"
+            );
             for (j, other) in regions.iter().enumerate() {
                 if i != j {
-                    assert!(!other.contains_point(&c), "regions {i} and {j} overlap at {c:?}");
+                    assert!(
+                        !other.contains_point(&c),
+                        "regions {i} and {j} overlap at {c:?}"
+                    );
                 }
             }
         }
@@ -250,15 +272,21 @@ mod tests {
 
     #[test]
     fn profile_based_generation() {
-        let boroughs = PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Boroughs, 1);
+        let boroughs =
+            PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Boroughs, 1);
         let regions = boroughs.generate();
         assert_eq!(regions.len(), 5);
         let avg: f64 = regions.iter().map(|r| r.vertex_count() as f64).sum::<f64>() / 5.0;
-        assert!(avg > 500.0, "boroughs should be complex, got {avg} vertices");
+        assert!(
+            avg > 500.0,
+            "boroughs should be complex, got {avg} vertices"
+        );
         // Some boroughs are multi-polygons (islands).
         assert!(regions.iter().any(|r| r.len() > 1));
 
-        let neigh = PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Neighborhoods, 1).generate();
+        let neigh =
+            PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Neighborhoods, 1)
+                .generate();
         assert_eq!(neigh.len(), 289);
     }
 

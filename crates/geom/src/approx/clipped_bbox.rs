@@ -78,7 +78,11 @@ impl ClippedBoundingBox {
         // Probe increasing triangle sizes (as a fraction of the half-extent)
         // and keep the largest one whose hypotenuse does not cross the
         // polygon and whose interior contains no polygon vertex.
-        let mut best = CornerClip { corner, dx: 0.0, dy: 0.0 };
+        let mut best = CornerClip {
+            corner,
+            dx: 0.0,
+            dy: 0.0,
+        };
         for step in (1..=Self::PROBE_STEPS).rev() {
             let frac = step as f64 / Self::PROBE_STEPS as f64 * 0.5;
             let dx = max_dx * frac;
@@ -158,7 +162,10 @@ mod tests {
         let cbb = ClippedBoundingBox::from_polygon(&poly);
         assert_eq!(cbb.kind(), ApproximationKind::ClippedBbox);
         // At least the empty (0,10) corner should be clipped.
-        assert!(cbb.clip_count() >= 1, "expected at least one clipped corner");
+        assert!(
+            cbb.clip_count() >= 1,
+            "expected at least one clipped corner"
+        );
         assert!(cbb.clipped_area() > 0.0);
         assert!(cbb.area() < poly.bbox().area());
         // Far corner point excluded by the clip.

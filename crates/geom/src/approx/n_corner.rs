@@ -168,7 +168,11 @@ mod tests {
         assert!(nc.ring().len() <= 5);
         assert!(nc.ring().len() >= 3);
         for v in poly.exterior().vertices() {
-            assert!(nc.may_contain_point(v), "vertex {:?} escaped the n-corner", v);
+            assert!(
+                nc.may_contain_point(v),
+                "vertex {:?} escaped the n-corner",
+                v
+            );
         }
         // Still a reasonable fit: no more than the bounding-box area.
         assert!(nc.area() <= poly.bbox().area() * 1.5);

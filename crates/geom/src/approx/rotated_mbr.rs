@@ -58,7 +58,11 @@ impl RotatedMbr {
             let bbox = BoundingBox::from_points(points.iter());
             let (w, h) = (bbox.width(), bbox.height());
             return RotatedMbr {
-                center: if bbox.is_empty() { Point::ORIGIN } else { bbox.center() },
+                center: if bbox.is_empty() {
+                    Point::ORIGIN
+                } else {
+                    bbox.center()
+                },
                 half_width: w * 0.5,
                 half_height: h * 0.5,
                 angle: 0.0,
@@ -164,7 +168,12 @@ mod tests {
         let sliver = Polygon::from_coords(&[(0.0, 0.0), (10.0, 10.0), (10.0, 10.5), (0.0, 0.5)]);
         let rmbr = RotatedMbr::from_polygon(&sliver);
         let mbr_area = sliver.bbox().area();
-        assert!(rmbr.area() < mbr_area * 0.2, "rmbr {} vs mbr {}", rmbr.area(), mbr_area);
+        assert!(
+            rmbr.area() < mbr_area * 0.2,
+            "rmbr {} vs mbr {}",
+            rmbr.area(),
+            mbr_area
+        );
         // Still conservative.
         for v in sliver.exterior().vertices() {
             assert!(rmbr.may_contain_point(v));

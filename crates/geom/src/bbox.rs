@@ -308,7 +308,10 @@ mod tests {
         let a = BoundingBox::from_bounds(0.0, 0.0, 4.0, 4.0);
         let b = BoundingBox::from_bounds(2.0, 2.0, 6.0, 6.0);
         assert!(a.intersects(&b));
-        assert_eq!(a.intersection(&b), BoundingBox::from_bounds(2.0, 2.0, 4.0, 4.0));
+        assert_eq!(
+            a.intersection(&b),
+            BoundingBox::from_bounds(2.0, 2.0, 4.0, 4.0)
+        );
         assert_eq!(a.union(&b), BoundingBox::from_bounds(0.0, 0.0, 6.0, 6.0));
         assert_eq!(a.overlap_area(&b), 4.0);
 
@@ -343,7 +346,9 @@ mod tests {
         assert_eq!(b.distance_to_point(&Point::new(5.0, 2.0)), 0.0);
         assert_eq!(b.distance_to_point(&Point::new(13.0, 9.0)), 5.0);
         assert_eq!(b.distance_to_point(&Point::new(-3.0, 2.0)), 3.0);
-        assert!(BoundingBox::EMPTY.distance_to_point(&Point::ORIGIN).is_infinite());
+        assert!(BoundingBox::EMPTY
+            .distance_to_point(&Point::ORIGIN)
+            .is_infinite());
     }
 
     #[test]
@@ -355,8 +360,14 @@ mod tests {
     #[test]
     fn inflation_and_deflation() {
         let b = BoundingBox::from_bounds(0.0, 0.0, 4.0, 4.0);
-        assert_eq!(b.inflated(1.0), BoundingBox::from_bounds(-1.0, -1.0, 5.0, 5.0));
-        assert_eq!(b.inflated(-1.0), BoundingBox::from_bounds(1.0, 1.0, 3.0, 3.0));
+        assert_eq!(
+            b.inflated(1.0),
+            BoundingBox::from_bounds(-1.0, -1.0, 5.0, 5.0)
+        );
+        assert_eq!(
+            b.inflated(-1.0),
+            BoundingBox::from_bounds(1.0, 1.0, 3.0, 3.0)
+        );
         assert!(b.inflated(-3.0).is_empty());
     }
 

@@ -175,7 +175,9 @@ mod tests {
         let poly = square(0.0, 4.0);
         assert!(clip_ring_to_box(poly.exterior(), &BoundingBox::EMPTY).is_empty());
         let degenerate = Ring::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
-        assert!(clip_ring_to_box(&degenerate, &BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(
+            clip_ring_to_box(&degenerate, &BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0)).is_empty()
+        );
         let zero_box = BoundingBox::from_bounds(1.0, 1.0, 1.0, 1.0);
         assert_eq!(polygon_box_overlap_fraction(&poly, &zero_box), 0.0);
     }

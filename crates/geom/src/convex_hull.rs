@@ -30,8 +30,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
 
     let mut lower: Vec<Point> = Vec::with_capacity(n);
     for p in &pts {
-        while lower.len() >= 2
-            && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
+        while lower.len() >= 2 && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
         {
             lower.pop();
         }
@@ -40,8 +39,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
 
     let mut upper: Vec<Point> = Vec::with_capacity(n);
     for p in pts.iter().rev() {
-        while upper.len() >= 2
-            && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
+        while upper.len() >= 2 && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
         {
             upper.pop();
         }
@@ -130,7 +128,10 @@ mod tests {
         let pts: Vec<Point> = (0..20)
             .map(|i| {
                 let a = i as f64 * 0.7;
-                Point::new(a.cos() * (1.0 + (i % 3) as f64), a.sin() * (1.0 + (i % 5) as f64))
+                Point::new(
+                    a.cos() * (1.0 + (i % 3) as f64),
+                    a.sin() * (1.0 + (i % 5) as f64),
+                )
             })
             .collect();
         let ring = convex_hull_ring(&pts);

@@ -87,8 +87,14 @@ pub fn polygon_boundary_hausdorff(a: &Polygon, b: &Polygon, spacing: f64) -> f64
     };
     let sa = sample(a);
     let sb = sample(b);
-    let d_ab = sa.iter().map(|p| b.boundary_distance(p)).fold(0.0, f64::max);
-    let d_ba = sb.iter().map(|p| a.boundary_distance(p)).fold(0.0, f64::max);
+    let d_ab = sa
+        .iter()
+        .map(|p| b.boundary_distance(p))
+        .fold(0.0, f64::max);
+    let d_ba = sb
+        .iter()
+        .map(|p| a.boundary_distance(p))
+        .fold(0.0, f64::max);
     d_ab.max(d_ba)
 }
 
@@ -118,13 +124,21 @@ mod tests {
 
     #[test]
     fn identical_sets_have_zero_distance() {
-        let a = vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0), Point::new(-2.0, 3.0)];
+        let a = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(-2.0, 3.0),
+        ];
         assert_eq!(hausdorff_distance(&a, &a), 0.0);
     }
 
     #[test]
     fn subset_has_zero_directed_distance() {
-        let b = vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0), Point::new(-2.0, 3.0)];
+        let b = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(-2.0, 3.0),
+        ];
         let a = vec![Point::new(5.0, 5.0)];
         assert_eq!(directed_hausdorff(&a, &b), 0.0);
         assert!(directed_hausdorff(&b, &a) > 0.0);

@@ -45,9 +45,7 @@ impl LineString {
 
     /// Iterates over the constituent segments.
     pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
-        self.vertices
-            .windows(2)
-            .map(|w| Segment::new(w[0], w[1]))
+        self.vertices.windows(2).map(|w| Segment::new(w[0], w[1]))
     }
 
     /// Total length of the polyline.

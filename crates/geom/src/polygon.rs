@@ -114,11 +114,7 @@ impl Ring {
         let a = self.signed_area();
         if a.abs() < 1e-12 {
             let n = self.vertices.len().max(1) as f64;
-            return self
-                .vertices
-                .iter()
-                .fold(Point::ORIGIN, |acc, p| acc + *p)
-                / n;
+            return self.vertices.iter().fold(Point::ORIGIN, |acc, p| acc + *p) / n;
         }
         let n = self.vertices.len();
         let mut cx = 0.0;
@@ -238,7 +234,9 @@ impl Polygon {
 
     /// Convenience constructor from exterior vertex coordinates.
     pub fn from_coords(coords: &[(f64, f64)]) -> Self {
-        Polygon::new(Ring::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()))
+        Polygon::new(Ring::new(
+            coords.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+        ))
     }
 
     /// Axis-aligned rectangle as a polygon.
@@ -548,10 +546,22 @@ mod tests {
     #[test]
     fn point_in_convex_polygon() {
         let sq = unit_square();
-        assert_eq!(sq.locate_point(&Point::new(0.5, 0.5)), PointLocation::Inside);
-        assert_eq!(sq.locate_point(&Point::new(1.5, 0.5)), PointLocation::Outside);
-        assert_eq!(sq.locate_point(&Point::new(1.0, 0.5)), PointLocation::OnBoundary);
-        assert_eq!(sq.locate_point(&Point::new(0.0, 0.0)), PointLocation::OnBoundary);
+        assert_eq!(
+            sq.locate_point(&Point::new(0.5, 0.5)),
+            PointLocation::Inside
+        );
+        assert_eq!(
+            sq.locate_point(&Point::new(1.5, 0.5)),
+            PointLocation::Outside
+        );
+        assert_eq!(
+            sq.locate_point(&Point::new(1.0, 0.5)),
+            PointLocation::OnBoundary
+        );
+        assert_eq!(
+            sq.locate_point(&Point::new(0.0, 0.0)),
+            PointLocation::OnBoundary
+        );
     }
 
     #[test]
@@ -573,7 +583,10 @@ mod tests {
         // Inside the hole => outside the polygon.
         assert!(!p.contains_point(&Point::new(2.0, 2.0)));
         // On the hole boundary counts as boundary.
-        assert_eq!(p.locate_point(&Point::new(1.0, 2.0)), PointLocation::OnBoundary);
+        assert_eq!(
+            p.locate_point(&Point::new(1.0, 2.0)),
+            PointLocation::OnBoundary
+        );
         assert_eq!(p.area(), 16.0 - 4.0);
         assert_eq!(p.vertex_count(), 8);
     }
@@ -656,7 +669,10 @@ mod tests {
         let mp = MultiPolygon::from(unit_square());
         assert_eq!(mp.boundary_distance(&Point::new(2.0, 0.5)), 1.0);
         assert!(MultiPolygon::default().is_empty());
-        assert_eq!(MultiPolygon::default().boundary_distance(&Point::ORIGIN), f64::INFINITY);
+        assert_eq!(
+            MultiPolygon::default().boundary_distance(&Point::ORIGIN),
+            f64::INFINITY
+        );
     }
 
     proptest! {

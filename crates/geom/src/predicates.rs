@@ -69,8 +69,12 @@ pub fn segments_intersect(p1: &Point, p2: &Point, q1: &Point, q2: &Point) -> boo
     let o3 = orientation(q1, q2, p1);
     let o4 = orientation(q1, q2, p2);
 
-    if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
-        && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+    if o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
     {
         return true;
     }
@@ -83,12 +87,7 @@ pub fn segments_intersect(p1: &Point, p2: &Point, q1: &Point, q2: &Point) -> boo
 
 /// Intersection point of the two segments when they cross at a single
 /// (proper or improper) point, `None` when disjoint or overlapping collinear.
-pub fn segment_intersection_point(
-    p1: &Point,
-    p2: &Point,
-    q1: &Point,
-    q2: &Point,
-) -> Option<Point> {
+pub fn segment_intersection_point(p1: &Point, p2: &Point, q1: &Point, q2: &Point) -> Option<Point> {
     let r = *p2 - *p1;
     let s = *q2 - *q1;
     let denom = r.cross(&s);
@@ -138,9 +137,18 @@ mod tests {
     fn orientation_basic() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(1.0, 0.0);
-        assert_eq!(orientation(&a, &b, &Point::new(0.5, 1.0)), Orientation::CounterClockwise);
-        assert_eq!(orientation(&a, &b, &Point::new(0.5, -1.0)), Orientation::Clockwise);
-        assert_eq!(orientation(&a, &b, &Point::new(2.0, 0.0)), Orientation::Collinear);
+        assert_eq!(
+            orientation(&a, &b, &Point::new(0.5, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(&a, &b, &Point::new(0.5, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(&a, &b, &Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
     }
 
     #[test]

@@ -126,7 +126,9 @@ mod tests {
         // Touching a corner.
         assert!(Segment::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0)).intersects_box(&bbox));
         // Empty box never intersects.
-        assert!(!Segment::new(Point::ORIGIN, Point::new(1.0, 1.0)).intersects_box(&BoundingBox::EMPTY));
+        assert!(
+            !Segment::new(Point::ORIGIN, Point::new(1.0, 1.0)).intersects_box(&BoundingBox::EMPTY)
+        );
     }
 
     #[test]

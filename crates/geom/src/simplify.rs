@@ -109,9 +109,17 @@ mod tests {
             Point::new(4.0, 0.0),
         ];
         let simplified = simplify_polyline(&zigzag, 0.5);
-        assert_eq!(simplified.len(), zigzag.len(), "large deviations must survive");
+        assert_eq!(
+            simplified.len(),
+            zigzag.len(),
+            "large deviations must survive"
+        );
         let flattened = simplify_polyline(&zigzag, 10.0);
-        assert_eq!(flattened.len(), 2, "a huge tolerance keeps only the endpoints");
+        assert_eq!(
+            flattened.len(),
+            2,
+            "a huge tolerance keeps only the endpoints"
+        );
     }
 
     #[test]
@@ -166,7 +174,11 @@ mod tests {
 
     #[test]
     fn tiny_rings_are_left_alone() {
-        let tri = Ring::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)]);
+        let tri = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ]);
         assert_eq!(simplify_ring(&tri, 100.0), tri);
         assert_eq!(simplify_polyline(&[Point::ORIGIN], 1.0).len(), 1);
     }

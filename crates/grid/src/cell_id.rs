@@ -58,7 +58,7 @@ impl CellId {
         }
         let tz = self.0.trailing_zeros();
         // The sentinel must sit at an even bit position not above the root's.
-        tz % 2 == 0 && tz <= 2 * MAX_LEVEL as u32
+        tz.is_multiple_of(2) && tz <= 2 * MAX_LEVEL as u32
     }
 
     /// Builds the cell at `level` containing the grid coordinate `(x, y)`
@@ -216,7 +216,13 @@ mod tests {
 
     #[test]
     fn from_cell_xy_round_trips() {
-        for &(x, y, level) in &[(0u32, 0u32, 0u8), (1, 0, 1), (3, 2, 2), (1023, 511, 10), (5, 7, 4)] {
+        for &(x, y, level) in &[
+            (0u32, 0u32, 0u8),
+            (1, 0, 1),
+            (3, 2, 2),
+            (1023, 511, 10),
+            (5, 7, 4),
+        ] {
             let id = CellId::from_cell_xy(x, y, level);
             assert!(id.is_valid());
             assert_eq!(id.to_cell_xy(), (x, y, level), "id = {id}");

@@ -92,8 +92,10 @@ impl GridExtent {
         let n = (1u64 << level) as f64;
         let fx = ((p.x - self.origin.x) / self.side).clamp(0.0, 1.0 - f64::EPSILON);
         let fy = ((p.y - self.origin.y) / self.side).clamp(0.0, 1.0 - f64::EPSILON);
-        (((fx * n) as u64).min((1u64 << level) - 1) as u32,
-         ((fy * n) as u64).min((1u64 << level) - 1) as u32)
+        (
+            ((fx * n) as u64).min((1u64 << level) - 1) as u32,
+            ((fy * n) as u64).min((1u64 << level) - 1) as u32,
+        )
     }
 
     /// Hierarchical cell id of the cell at `level` containing the point.

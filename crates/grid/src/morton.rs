@@ -61,7 +61,13 @@ mod tests {
 
     #[test]
     fn decode_is_inverse() {
-        for &(x, y) in &[(0u32, 0u32), (1, 2), (255, 65535), (u32::MAX, 0), (12345, 678910)] {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (1, 2),
+            (255, 65535),
+            (u32::MAX, 0),
+            (12345, 678910),
+        ] {
             assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
         }
     }

@@ -216,9 +216,24 @@ mod tests {
     /// Two adjacent square "neighbourhoods" and one far-away one.
     fn polygons() -> Vec<Polygon> {
         vec![
-            Polygon::from_coords(&[(100.0, 100.0), (300.0, 100.0), (300.0, 300.0), (100.0, 300.0)]),
-            Polygon::from_coords(&[(300.0, 100.0), (500.0, 100.0), (500.0, 300.0), (300.0, 300.0)]),
-            Polygon::from_coords(&[(700.0, 700.0), (900.0, 700.0), (900.0, 900.0), (700.0, 900.0)]),
+            Polygon::from_coords(&[
+                (100.0, 100.0),
+                (300.0, 100.0),
+                (300.0, 300.0),
+                (100.0, 300.0),
+            ]),
+            Polygon::from_coords(&[
+                (300.0, 100.0),
+                (500.0, 100.0),
+                (500.0, 300.0),
+                (300.0, 300.0),
+            ]),
+            Polygon::from_coords(&[
+                (700.0, 700.0),
+                (900.0, 700.0),
+                (900.0, 900.0),
+                (700.0, 900.0),
+            ]),
         ]
     }
 
@@ -227,7 +242,12 @@ mod tests {
         let rasters: Vec<HierarchicalRaster> = polygons()
             .iter()
             .map(|p| {
-                HierarchicalRaster::with_bound(p, &ext, DistanceBound::meters(bound_m), BoundaryPolicy::Conservative)
+                HierarchicalRaster::with_bound(
+                    p,
+                    &ext,
+                    DistanceBound::meters(bound_m),
+                    BoundaryPolicy::Conservative,
+                )
             })
             .collect();
         (AdaptiveCellTrie::build(&rasters), rasters)
@@ -241,11 +261,23 @@ mod tests {
         assert!(act.posting_count() > 0);
 
         // Deep interior points resolve to the right polygon.
-        assert_eq!(act.lookup_first(ext.leaf_cell_id(&Point::new(200.0, 200.0))), Some(0));
-        assert_eq!(act.lookup_first(ext.leaf_cell_id(&Point::new(400.0, 200.0))), Some(1));
-        assert_eq!(act.lookup_first(ext.leaf_cell_id(&Point::new(800.0, 800.0))), Some(2));
+        assert_eq!(
+            act.lookup_first(ext.leaf_cell_id(&Point::new(200.0, 200.0))),
+            Some(0)
+        );
+        assert_eq!(
+            act.lookup_first(ext.leaf_cell_id(&Point::new(400.0, 200.0))),
+            Some(1)
+        );
+        assert_eq!(
+            act.lookup_first(ext.leaf_cell_id(&Point::new(800.0, 800.0))),
+            Some(2)
+        );
         // A point far from every polygon finds nothing.
-        assert_eq!(act.lookup_first(ext.leaf_cell_id(&Point::new(50.0, 900.0))), None);
+        assert_eq!(
+            act.lookup_first(ext.leaf_cell_id(&Point::new(50.0, 900.0))),
+            None
+        );
     }
 
     #[test]
@@ -267,8 +299,10 @@ mod tests {
                         .iter()
                         .map(|poly| poly.boundary_distance(&p))
                         .fold(f64::INFINITY, f64::min);
-                    assert!(min_dist <= bound,
-                        "disagreement at {p:?} but boundary distance {min_dist} > {bound}");
+                    assert!(
+                        min_dist <= bound,
+                        "disagreement at {p:?} but boundary distance {min_dist} > {bound}"
+                    );
                 }
             }
         }
@@ -302,7 +336,10 @@ mod tests {
         // Points clearly inside polygon 0, away from the shared edge at x=300.
         for x in [150.0, 200.0, 250.0] {
             let hits = act.lookup_leaf(ext.leaf_cell_id(&Point::new(x, 200.0)));
-            assert!(hits.iter().all(|p| p.polygon == 0), "unexpected hits {hits:?} at x={x}");
+            assert!(
+                hits.iter().all(|p| p.polygon == 0),
+                "unexpected hits {hits:?} at x={x}"
+            );
         }
     }
 

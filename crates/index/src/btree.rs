@@ -39,10 +39,7 @@ impl BPlusTree {
         let mut inner_levels = Vec::new();
         // Build separator levels bottom-up: level i stores the first key of
         // every `fanout`-sized group of the level below.
-        let mut current: Vec<u64> = keys
-            .chunks(fanout)
-            .map(|chunk| chunk[0])
-            .collect();
+        let mut current: Vec<u64> = keys.chunks(fanout).map(|chunk| chunk[0]).collect();
         while current.len() > 1 {
             inner_levels.push(current.clone());
             current = current.chunks(fanout).map(|chunk| chunk[0]).collect();

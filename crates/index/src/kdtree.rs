@@ -67,7 +67,11 @@ impl KdTree {
 
     /// Visits every `(point, id)` pair inside the query box.
     pub fn for_each_in_bbox<F: FnMut(&Point, u64)>(&self, query: &BoundingBox, mut f: F) {
-        fn visit<F: FnMut(&Point, u64)>(node: &Option<Box<KdNode>>, query: &BoundingBox, f: &mut F) {
+        fn visit<F: FnMut(&Point, u64)>(
+            node: &Option<Box<KdNode>>,
+            query: &BoundingBox,
+            f: &mut F,
+        ) {
             let Some(n) = node else { return };
             if query.contains_point(&n.point) {
                 f(&n.point, n.id);
@@ -134,7 +138,11 @@ fn build_rec(items: &mut [(Point, u64)], depth: usize) -> Option<Box<KdNode>> {
     let axis = (depth % 2) as u8;
     let mid = items.len() / 2;
     items.select_nth_unstable_by(mid, |a, b| {
-        let (ka, kb) = if axis == 0 { (a.0.x, b.0.x) } else { (a.0.y, b.0.y) };
+        let (ka, kb) = if axis == 0 {
+            (a.0.x, b.0.x)
+        } else {
+            (a.0.y, b.0.y)
+        };
         ka.partial_cmp(&kb).expect("finite coordinates")
     });
     let (point, id) = items[mid];
@@ -154,7 +162,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn random_points(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -177,7 +184,10 @@ mod tests {
         let points = random_points(1500, 1);
         let tree = KdTree::build(&points);
         assert_eq!(tree.len(), 1500);
-        assert!(tree.height() <= 2 * 11 + 1, "median splits keep the tree balanced");
+        assert!(
+            tree.height() <= 2 * 11 + 1,
+            "median splits keep the tree balanced"
+        );
         for q in [
             BoundingBox::from_bounds(0.0, 0.0, 250.0, 250.0),
             BoundingBox::from_bounds(500.0, 100.0, 600.0, 900.0),
@@ -194,12 +204,17 @@ mod tests {
         let empty = KdTree::build(&[]);
         assert!(empty.is_empty());
         assert_eq!(empty.height(), 0);
-        assert!(empty.query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(empty
+            .query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
         assert!(empty.nearest(&Point::ORIGIN).is_none());
 
         let single = KdTree::build(&[Point::new(5.0, 5.0)]);
         assert_eq!(single.len(), 1);
-        assert_eq!(single.query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0)), vec![0]);
+        assert_eq!(
+            single.query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 10.0, 10.0)),
+            vec![0]
+        );
         let (p, id, d) = single.nearest(&Point::new(8.0, 9.0)).unwrap();
         assert_eq!(p, Point::new(5.0, 5.0));
         assert_eq!(id, 0);

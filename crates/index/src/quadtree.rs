@@ -102,7 +102,9 @@ impl PointQuadtree {
         fn count(node: &QNode) -> usize {
             match node {
                 QNode::Leaf(_) => 1,
-                QNode::Inner(children) => 1 + children.iter().map(|c| count(&c.node)).sum::<usize>(),
+                QNode::Inner(children) => {
+                    1 + children.iter().map(|c| count(&c.node)).sum::<usize>()
+                }
             }
         }
         count(&self.root)
@@ -161,14 +163,34 @@ fn insert_rec(
                 let contents = std::mem::take(points);
                 let qs = quadrants(bounds);
                 let mut children = Box::new([
-                    QuadChild { bounds: qs[0], node: QNode::Leaf(Vec::new()) },
-                    QuadChild { bounds: qs[1], node: QNode::Leaf(Vec::new()) },
-                    QuadChild { bounds: qs[2], node: QNode::Leaf(Vec::new()) },
-                    QuadChild { bounds: qs[3], node: QNode::Leaf(Vec::new()) },
+                    QuadChild {
+                        bounds: qs[0],
+                        node: QNode::Leaf(Vec::new()),
+                    },
+                    QuadChild {
+                        bounds: qs[1],
+                        node: QNode::Leaf(Vec::new()),
+                    },
+                    QuadChild {
+                        bounds: qs[2],
+                        node: QNode::Leaf(Vec::new()),
+                    },
+                    QuadChild {
+                        bounds: qs[3],
+                        node: QNode::Leaf(Vec::new()),
+                    },
                 ]);
                 for (cp, cid) in contents {
                     let q = quadrant_of(bounds, &cp);
-                    insert_rec(&mut children[q].node, &qs[q], cp, cid, capacity, max_depth, depth + 1);
+                    insert_rec(
+                        &mut children[q].node,
+                        &qs[q],
+                        cp,
+                        cid,
+                        capacity,
+                        max_depth,
+                        depth + 1,
+                    );
                 }
                 *node = QNode::Inner(children);
             }
@@ -176,7 +198,15 @@ fn insert_rec(
         QNode::Inner(children) => {
             let q = quadrant_of(bounds, &p);
             let child_bounds = children[q].bounds;
-            insert_rec(&mut children[q].node, &child_bounds, p, id, capacity, max_depth, depth + 1);
+            insert_rec(
+                &mut children[q].node,
+                &child_bounds,
+                p,
+                id,
+                capacity,
+                max_depth,
+                depth + 1,
+            );
         }
     }
 }
@@ -201,7 +231,12 @@ fn query_rec(node: &QNode, bounds: &BoundingBox, query: &BoundingBox, out: &mut 
     }
 }
 
-fn visit_rec<F: FnMut(&Point, u64)>(node: &QNode, bounds: &BoundingBox, query: &BoundingBox, f: &mut F) {
+fn visit_rec<F: FnMut(&Point, u64)>(
+    node: &QNode,
+    bounds: &BoundingBox,
+    query: &BoundingBox,
+    f: &mut F,
+) {
     if !bounds.intersects(query) {
         return;
     }
@@ -226,7 +261,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn world() -> BoundingBox {
         BoundingBox::from_bounds(0.0, 0.0, 1000.0, 1000.0)
@@ -282,7 +316,9 @@ mod tests {
         assert!(tree.is_empty());
         assert!(tree.query_bbox(&world()).is_empty());
         let tree = PointQuadtree::build(world(), &random_points(50, 2));
-        assert!(tree.query_bbox(&BoundingBox::from_bounds(2000.0, 2000.0, 3000.0, 3000.0)).is_empty());
+        assert!(tree
+            .query_bbox(&BoundingBox::from_bounds(2000.0, 2000.0, 3000.0, 3000.0))
+            .is_empty());
     }
 
     #[test]

@@ -214,7 +214,8 @@ impl RadixSpline {
         // error bound; fall back to the full array if it does not (can only
         // happen at the array ends because of clamping).
         let pos = lo + keys[lo..hi].partition_point(|&k| k < key);
-        if (pos == lo && lo > 0 && keys[lo - 1] >= key) || (pos == hi && hi < self.len && keys[hi] < key)
+        if (pos == lo && lo > 0 && keys[lo - 1] >= key)
+            || (pos == hi && hi < self.len && keys[hi] < key)
         {
             keys.partition_point(|&k| k < key)
         } else {
@@ -232,7 +233,8 @@ impl RadixSpline {
         let lo = predicted.saturating_sub(self.spline_error);
         let hi = (predicted + self.spline_error + 1).min(self.len);
         let pos = lo + keys[lo..hi].partition_point(|&k| k <= key);
-        if (pos == lo && lo > 0 && keys[lo - 1] > key) || (pos == hi && hi < self.len && keys[hi] <= key)
+        if (pos == lo && lo > 0 && keys[lo - 1] > key)
+            || (pos == hi && hi < self.len && keys[hi] <= key)
         {
             keys.partition_point(|&k| k <= key)
         } else {
@@ -276,7 +278,10 @@ fn build_spline(keys: &[u64], max_error: usize) -> Vec<SplinePoint> {
         return spline;
     }
     let err = max_error as f64;
-    let mut base = SplinePoint { key: keys[0], position: 0 };
+    let mut base = SplinePoint {
+        key: keys[0],
+        position: 0,
+    };
     // Slope corridor [lower, upper] of admissible segments from `base`.
     let mut lower = f64::NEG_INFINITY;
     let mut upper = f64::INFINITY;
@@ -324,7 +329,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -398,7 +402,10 @@ mod tests {
     #[test]
     fn bounds_match_binary_search_on_clustered_keys() {
         let keys = clustered_keys(20_000, 11);
-        let rs = RadixSplineBuilder::new().radix_bits(18).spline_error(16).build(&keys);
+        let rs = RadixSplineBuilder::new()
+            .radix_bits(18)
+            .spline_error(16)
+            .build(&keys);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..2000 {
             let q = if rng.gen_bool(0.5) {
@@ -406,8 +413,16 @@ mod tests {
             } else {
                 rng.gen_range(0..1u64 << 41)
             };
-            assert_eq!(rs.lower_bound(&keys, q), keys.partition_point(|&k| k < q), "q={q}");
-            assert_eq!(rs.upper_bound(&keys, q), keys.partition_point(|&k| k <= q), "q={q}");
+            assert_eq!(
+                rs.lower_bound(&keys, q),
+                keys.partition_point(|&k| k < q),
+                "q={q}"
+            );
+            assert_eq!(
+                rs.upper_bound(&keys, q),
+                keys.partition_point(|&k| k <= q),
+                "q={q}"
+            );
         }
     }
 
@@ -415,8 +430,12 @@ mod tests {
     fn spline_is_much_smaller_than_data() {
         let keys = uniform_keys(50_000, 3);
         let rs = RadixSpline::new(&keys);
-        assert!(rs.spline_points() < keys.len() / 10,
-            "spline should compress: {} points for {} keys", rs.spline_points(), keys.len());
+        assert!(
+            rs.spline_points() < keys.len() / 10,
+            "spline should compress: {} points for {} keys",
+            rs.spline_points(),
+            keys.len()
+        );
         assert!(rs.memory_bytes() < keys.len() * 8);
     }
 
@@ -461,7 +480,10 @@ mod tests {
             } else {
                 0
             };
-            assert!(dist <= err, "key {k} at {true_pos}: predicted {predicted}, run {lo}..{hi}");
+            assert!(
+                dist <= err,
+                "key {k} at {true_pos}: predicted {predicted}, run {lo}..{hi}"
+            );
         }
     }
 

@@ -55,7 +55,9 @@ impl Node {
     fn count_nodes(&self) -> usize {
         match self {
             Node::Leaf(_) => 1,
-            Node::Inner(children) => 1 + children.iter().map(|(_, c)| c.count_nodes()).sum::<usize>(),
+            Node::Inner(children) => {
+                1 + children.iter().map(|(_, c)| c.count_nodes()).sum::<usize>()
+            }
         }
     }
 
@@ -128,7 +130,11 @@ impl RTree {
                 })
                 .collect();
         }
-        let root = level.into_iter().next().map(|(_, n)| n).unwrap_or(Node::Leaf(Vec::new()));
+        let root = level
+            .into_iter()
+            .next()
+            .map(|(_, n)| n)
+            .unwrap_or(Node::Leaf(Vec::new()));
         RTree {
             root,
             capacity,
@@ -202,7 +208,8 @@ impl MemoryFootprint for RTree {
             match node {
                 Node::Leaf(entries) => entries.len() * std::mem::size_of::<RTreeEntry>(),
                 Node::Inner(children) => {
-                    children.len() * (std::mem::size_of::<BoundingBox>() + std::mem::size_of::<usize>())
+                    children.len()
+                        * (std::mem::size_of::<BoundingBox>() + std::mem::size_of::<usize>())
                         + children.iter().map(|(_, c)| bytes(c)).sum::<usize>()
                 }
             }
@@ -217,12 +224,22 @@ fn str_pack<T, F: Fn(&T) -> Point>(mut items: Vec<T>, capacity: usize, center: F
     let leaf_count = n.div_ceil(capacity);
     let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
     let slice_size = n.div_ceil(slice_count.max(1));
-    items.sort_by(|a, b| center(a).x.partial_cmp(&center(b).x).expect("finite coords"));
+    items.sort_by(|a, b| {
+        center(a)
+            .x
+            .partial_cmp(&center(b).x)
+            .expect("finite coords")
+    });
     let mut out = Vec::with_capacity(leaf_count);
     let mut items = items.into_iter().peekable();
     while items.peek().is_some() {
         let mut slice: Vec<T> = items.by_ref().take(slice_size).collect();
-        slice.sort_by(|a, b| center(a).y.partial_cmp(&center(b).y).expect("finite coords"));
+        slice.sort_by(|a, b| {
+            center(a)
+                .y
+                .partial_cmp(&center(b).y)
+                .expect("finite coords")
+        });
         let mut iter = slice.into_iter().peekable();
         while iter.peek().is_some() {
             out.push(iter.by_ref().take(capacity).collect());
@@ -398,7 +415,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn random_points(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -437,7 +453,11 @@ mod tests {
         for (i, p) in points.iter().enumerate() {
             tree.insert(RTreeEntry::point(*p, i as u64));
         }
-        for (qx, qy, w, h) in [(0.0, 0.0, 100.0, 100.0), (250.0, 400.0, 300.0, 50.0), (900.0, 900.0, 100.0, 100.0)] {
+        for (qx, qy, w, h) in [
+            (0.0, 0.0, 100.0, 100.0),
+            (250.0, 400.0, 300.0, 50.0),
+            (900.0, 900.0, 100.0, 100.0),
+        ] {
             let query = BoundingBox::from_bounds(qx, qy, qx + w, qy + h);
             let mut hits = tree.query_bbox(&query);
             hits.sort_unstable();
@@ -455,8 +475,13 @@ mod tests {
             .collect();
         let tree = RTree::bulk_load_str(entries, 16);
         assert_eq!(tree.len(), 1000);
-        for (qx, qy, side) in [(100.0, 100.0, 200.0), (0.0, 500.0, 999.0), (450.0, 450.0, 10.0)] {
-            let query = BoundingBox::from_bounds(qx, qy, (qx + side).min(1000.0), (qy + side).min(1000.0));
+        for (qx, qy, side) in [
+            (100.0, 100.0, 200.0),
+            (0.0, 500.0, 999.0),
+            (450.0, 450.0, 10.0),
+        ] {
+            let query =
+                BoundingBox::from_bounds(qx, qy, (qx + side).min(1000.0), (qy + side).min(1000.0));
             let mut hits = tree.query_bbox(&query);
             hits.sort_unstable();
             assert_eq!(hits, naive_range(&points, &query));
@@ -503,7 +528,9 @@ mod tests {
         let tree = RTree::new();
         assert!(tree.is_empty());
         assert!(tree.query_point(&Point::ORIGIN).is_empty());
-        assert!(tree.query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(tree
+            .query_bbox(&BoundingBox::from_bounds(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
         let empty_bulk = RTree::bulk_load_str(vec![], 8);
         assert!(empty_bulk.is_empty());
     }
@@ -536,7 +563,11 @@ mod tests {
     fn memory_footprint_positive() {
         let points = random_points(100, 5);
         let tree = RTree::bulk_load_str(
-            points.iter().enumerate().map(|(i, p)| RTreeEntry::point(*p, i as u64)).collect(),
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| RTreeEntry::point(*p, i as u64))
+                .collect(),
             8,
         );
         assert!(tree.memory_bytes() >= 100 * std::mem::size_of::<RTreeEntry>());

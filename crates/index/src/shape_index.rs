@@ -255,7 +255,10 @@ mod tests {
                 let _ = fine.lookup_counting(&p, &mut fine_ref);
             }
         }
-        assert!(fine_ref <= coarse_ref, "finer covering should refine less: {fine_ref} vs {coarse_ref}");
+        assert!(
+            fine_ref <= coarse_ref,
+            "finer covering should refine less: {fine_ref} vs {coarse_ref}"
+        );
     }
 
     #[test]

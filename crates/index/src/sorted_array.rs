@@ -94,7 +94,10 @@ impl SortedKeyArray {
 
     /// Deserializes keys previously produced by [`to_bytes`](Self::to_bytes).
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        assert!(bytes.len() % 8 == 0, "key buffer length must be a multiple of 8");
+        assert!(
+            bytes.len().is_multiple_of(8),
+            "key buffer length must be a multiple of 8"
+        );
         let keys = bytes
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
@@ -144,13 +147,19 @@ impl PrefixSumArray {
 
     /// Sum of the values in positions `[from, to)`.
     pub fn range_sum(&self, from: usize, to: usize) -> f64 {
-        assert!(from <= to && to < self.prefix.len(), "invalid prefix-sum range {from}..{to}");
+        assert!(
+            from <= to && to < self.prefix.len(),
+            "invalid prefix-sum range {from}..{to}"
+        );
         self.prefix[to] - self.prefix[from]
     }
 
     /// Total sum of all values.
     pub fn total(&self) -> f64 {
-        *self.prefix.last().expect("prefix always has at least one entry")
+        *self
+            .prefix
+            .last()
+            .expect("prefix always has at least one entry")
     }
 }
 

@@ -14,11 +14,11 @@
 use crate::aggregate::RegionAggregate;
 use dbsa_geom::{MultiPolygon, Point, Polygon};
 use dbsa_grid::{CurveKind, GridExtent};
+use dbsa_index::sorted_array::PrefixSumArray;
 use dbsa_index::{
     BPlusTree, KdTree, MemoryFootprint, PointQuadtree, RTree, RTreeEntry, RadixSpline,
     RadixSplineBuilder, SortedKeyArray,
 };
-use dbsa_index::sorted_array::PrefixSumArray;
 use dbsa_raster::{BoundaryPolicy, CellClass, HierarchicalRaster, RasterCell, Rasterizable};
 
 /// Which 1-D search structure answers the range lookups over the linearized
@@ -118,8 +118,12 @@ impl LinearizedPointTable {
     /// Lower/upper bound positions of a key range under the given variant.
     fn range_positions(&self, lo: u64, hi: u64, variant: PointIndexVariant) -> (usize, usize) {
         match variant {
-            PointIndexVariant::BinarySearch => (self.keys.lower_bound(lo), self.keys.upper_bound(hi)),
-            PointIndexVariant::BPlusTree => (self.btree.lower_bound(lo), self.btree.upper_bound(hi)),
+            PointIndexVariant::BinarySearch => {
+                (self.keys.lower_bound(lo), self.keys.upper_bound(hi))
+            }
+            PointIndexVariant::BPlusTree => {
+                (self.btree.lower_bound(lo), self.btree.upper_bound(hi))
+            }
             PointIndexVariant::RadixSpline => (
                 self.spline.lower_bound(self.keys.keys(), lo),
                 self.spline.upper_bound(self.keys.keys(), hi),
@@ -131,7 +135,11 @@ impl LinearizedPointTable {
     ///
     /// Each cell turns into one key-range lookup; counts and sums come from
     /// position arithmetic and the prefix-sum array.
-    pub fn aggregate_cells(&self, cells: &[RasterCell], variant: PointIndexVariant) -> RegionAggregate {
+    pub fn aggregate_cells(
+        &self,
+        cells: &[RasterCell],
+        variant: PointIndexVariant,
+    ) -> RegionAggregate {
         let mut agg = RegionAggregate::default();
         for cell in cells {
             let lo = cell.id.range_min().raw();
@@ -391,14 +399,21 @@ mod tests {
         for budget in [32usize, 128, 512, 2048] {
             let (agg, _) = table.aggregate_polygon(&poly, budget, PointIndexVariant::RadixSpline);
             // Conservative approximation can only over-count.
-            assert!(agg.count >= exact_agg.count,
-                "budget {budget}: approximate {} below exact {}", agg.count, exact_agg.count);
+            assert!(
+                agg.count >= exact_agg.count,
+                "budget {budget}: approximate {} below exact {}",
+                agg.count,
+                exact_agg.count
+            );
             let err = agg.count as f64 - exact_agg.count as f64;
             assert!(err <= last_err + 1e-9, "error must shrink with precision");
             last_err = err;
         }
         // At the finest budget the overcount is small (well under 5 %).
-        assert!(last_err / exact_agg.count.max(1) as f64 <= 0.05, "residual error too large: {last_err}");
+        assert!(
+            last_err / exact_agg.count.max(1) as f64 <= 0.05,
+            "residual error too large: {last_err}"
+        );
     }
 
     #[test]
@@ -431,8 +446,11 @@ mod tests {
         let baseline = SpatialBaseline::build(SpatialBaselineKind::KdTree, &points, &values);
         let (_, mbr_qualifying) = baseline.aggregate_polygon(&poly);
 
-        assert!(approx.count < mbr_qualifying,
-            "raster qualifying {} should be below MBR qualifying {mbr_qualifying}", approx.count);
+        assert!(
+            approx.count < mbr_qualifying,
+            "raster qualifying {} should be below MBR qualifying {mbr_qualifying}",
+            approx.count
+        );
         assert!(approx.count >= exact_count);
     }
 
@@ -441,10 +459,14 @@ mod tests {
         let (points, values, extent) = setup(5_000);
         let table = LinearizedPointTable::build(&points, &values, &extent);
         let poly = query_polygon();
-        let raster = HierarchicalRaster::with_cell_budget(&poly, &extent, 128, BoundaryPolicy::Conservative);
+        let raster =
+            HierarchicalRaster::with_cell_budget(&poly, &extent, 128, BoundaryPolicy::Conservative);
         let agg = table.aggregate_cells(raster.cells(), PointIndexVariant::BinarySearch);
         assert!(agg.boundary_count <= agg.count);
-        assert!(agg.boundary_count > 0, "a realistic polygon has points in boundary cells");
+        assert!(
+            agg.boundary_count > 0,
+            "a realistic polygon has points in boundary cells"
+        );
         assert!(agg.min <= agg.max);
     }
 
@@ -453,13 +475,18 @@ mod tests {
         let extent = GridExtent::covering(&city_extent());
         let table = LinearizedPointTable::build(&[], &[], &extent);
         assert!(table.is_empty());
-        let (agg, _) = table.aggregate_polygon(&query_polygon(), 64, PointIndexVariant::RadixSpline);
+        let (agg, _) =
+            table.aggregate_polygon(&query_polygon(), 64, PointIndexVariant::RadixSpline);
         assert_eq!(agg.count, 0);
 
         // A polygon outside the populated area matches nothing.
         let (points, values, extent) = setup(2_000);
         let table = LinearizedPointTable::build(&points, &values, &extent);
-        let far = Polygon::from_coords(&[(39_000.0, 39_000.0), (39_500.0, 39_000.0), (39_500.0, 39_500.0)]);
+        let far = Polygon::from_coords(&[
+            (39_000.0, 39_000.0),
+            (39_500.0, 39_000.0),
+            (39_500.0, 39_500.0),
+        ]);
         let near_nothing = exact(&points, &values, &far).count;
         let (agg, _) = table.aggregate_polygon(&far, 64, PointIndexVariant::BinarySearch);
         assert!(agg.count as i64 - near_nothing as i64 >= 0);
@@ -483,8 +510,18 @@ mod tests {
     fn multipolygon_queries_work() {
         let (points, values, _) = setup(8_000);
         let region = MultiPolygon::new(vec![
-            Polygon::from_coords(&[(1_000.0, 1_000.0), (5_000.0, 1_000.0), (5_000.0, 5_000.0), (1_000.0, 5_000.0)]),
-            Polygon::from_coords(&[(30_000.0, 30_000.0), (35_000.0, 30_000.0), (35_000.0, 35_000.0), (30_000.0, 35_000.0)]),
+            Polygon::from_coords(&[
+                (1_000.0, 1_000.0),
+                (5_000.0, 1_000.0),
+                (5_000.0, 5_000.0),
+                (1_000.0, 5_000.0),
+            ]),
+            Polygon::from_coords(&[
+                (30_000.0, 30_000.0),
+                (35_000.0, 30_000.0),
+                (35_000.0, 35_000.0),
+                (30_000.0, 35_000.0),
+            ]),
         ]);
         let baseline = SpatialBaseline::build(SpatialBaselineKind::StrRTree, &points, &values);
         let (agg, qualifying) = baseline.aggregate_multipolygon(&region);
@@ -505,7 +542,10 @@ mod tests {
         let p = Point::new(1_000.0, 2_000.0);
         let m = table.linearize_with(&p, 16, CurveKind::Morton);
         let h = table.linearize_with(&p, 16, CurveKind::Hilbert);
-        assert_ne!(m, h, "different curves should generally give different keys");
+        assert_ne!(
+            m, h,
+            "different curves should generally give different keys"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl JoinResult {
 
     /// Merges a partial result produced over a disjoint subset of the points.
     pub fn merge(&mut self, other: &JoinResult) {
-        assert_eq!(self.regions.len(), other.regions.len(), "region counts must match");
+        assert_eq!(
+            self.regions.len(),
+            other.regions.len(),
+            "region counts must match"
+        );
         for (a, b) in self.regions.iter_mut().zip(&other.regions) {
             a.merge(b);
         }
@@ -270,7 +274,10 @@ mod tests {
     use dbsa_datagen::{city_extent, DatasetProfile, PolygonSetGenerator, TaxiPointGenerator};
     use proptest::prelude::*;
 
-    fn workload(points: usize, regions: usize) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>, GridExtent) {
+    fn workload(
+        points: usize,
+        regions: usize,
+    ) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>, GridExtent) {
         let gen = TaxiPointGenerator::new(city_extent(), 5);
         let taxi = gen.generate(points);
         let pts: Vec<Point> = taxi.iter().map(|t| t.location).collect();
@@ -280,7 +287,11 @@ mod tests {
         (pts, vals, polys, extent)
     }
 
-    fn exact_reference(points: &[Point], values: &[f64], regions: &[MultiPolygon]) -> Vec<RegionAggregate> {
+    fn exact_reference(
+        points: &[Point],
+        values: &[f64],
+        regions: &[MultiPolygon],
+    ) -> Vec<RegionAggregate> {
         let mut out = vec![RegionAggregate::default(); regions.len()];
         for (p, v) in points.iter().zip(values) {
             for (i, r) in regions.iter().enumerate() {
@@ -300,17 +311,21 @@ mod tests {
 
         let rtree = RTreeExactJoin::build(&regions).execute(&points, &values);
         let shape = ShapeIndexExactJoin::build(&regions, &extent).execute(&points, &values);
-        for i in 0..regions.len() {
-            assert_eq!(rtree.regions[i].count, reference[i].count, "rtree region {i}");
-            assert_eq!(shape.regions[i].count, reference[i].count, "shape region {i}");
-            assert!((rtree.regions[i].sum - reference[i].sum).abs() < 1e-6);
-            assert!((shape.regions[i].sum - reference[i].sum).abs() < 1e-6);
+        for (i, expected) in reference.iter().enumerate().take(regions.len()) {
+            assert_eq!(rtree.regions[i].count, expected.count, "rtree region {i}");
+            assert_eq!(shape.regions[i].count, expected.count, "shape region {i}");
+            assert!((rtree.regions[i].sum - expected.sum).abs() < 1e-6);
+            assert!((shape.regions[i].sum - expected.sum).abs() < 1e-6);
         }
         assert!(rtree.pip_tests > 0);
         // The shape index refines only near boundaries, so it needs fewer
         // PIP tests than the MBR-filtered R-tree join.
-        assert!(shape.pip_tests < rtree.pip_tests,
-            "shape index should refine less: {} vs {}", shape.pip_tests, rtree.pip_tests);
+        assert!(
+            shape.pip_tests < rtree.pip_tests,
+            "shape index should refine less: {} vs {}",
+            shape.pip_tests,
+            rtree.pip_tests
+        );
     }
 
     #[test]
@@ -334,8 +349,10 @@ mod tests {
                 .filter(|p| region.boundary_distance(p) <= bound.epsilon())
                 .count() as i64;
             let err = (result.regions[i].count as i64 - reference[i].count as i64).abs();
-            assert!(err <= near_boundary,
-                "region {i}: error {err} exceeds near-boundary point count {near_boundary}");
+            assert!(
+                err <= near_boundary,
+                "region {i}: error {err} exceeds near-boundary point count {near_boundary}"
+            );
         }
     }
 
@@ -354,8 +371,14 @@ mod tests {
                 .zip(&reference)
                 .map(|(a, e)| a.count.abs_diff(e.count))
                 .sum();
-            assert!(total_err <= last_total_err, "error should not grow as ε shrinks");
-            assert!(join.memory_bytes() >= last_memory, "memory should grow as ε shrinks");
+            assert!(
+                total_err <= last_total_err,
+                "error should not grow as ε shrinks"
+            );
+            assert!(
+                join.memory_bytes() >= last_memory,
+                "memory should grow as ε shrinks"
+            );
             last_total_err = total_err;
             last_memory = join.memory_bytes();
         }
@@ -402,14 +425,23 @@ mod tests {
         // ACT (fine cells) >> ShapeIndex (coarse cells) >> R-tree (MBRs only),
         // the ordering behind the paper's 143 MB / 1.2 MB / 27.9 KB figures.
         let (_, _, _, extent) = workload(10, 1);
-        let regions = PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Boroughs, 3).generate();
+        let regions = PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Boroughs, 3)
+            .generate();
         let act = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(16.0));
         let shape = ShapeIndexExactJoin::build(&regions, &extent);
         let rtree = RTreeExactJoin::build(&regions);
-        assert!(act.memory_bytes() > shape.memory_bytes(),
-            "ACT {} should out-weigh SI {}", act.memory_bytes(), shape.memory_bytes());
-        assert!(shape.memory_bytes() > rtree.memory_bytes(),
-            "SI {} should out-weigh the R-tree {}", shape.memory_bytes(), rtree.memory_bytes());
+        assert!(
+            act.memory_bytes() > shape.memory_bytes(),
+            "ACT {} should out-weigh SI {}",
+            act.memory_bytes(),
+            shape.memory_bytes()
+        );
+        assert!(
+            shape.memory_bytes() > rtree.memory_bytes(),
+            "SI {} should out-weigh the R-tree {}",
+            shape.memory_bytes(),
+            rtree.memory_bytes()
+        );
     }
 
     #[test]

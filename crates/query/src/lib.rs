@@ -24,7 +24,9 @@ pub mod join;
 pub mod result_range;
 
 pub use aggregate::{AggregateKind, RegionAggregate};
-pub use containment::{LinearizedPointTable, PointIndexVariant, SpatialBaseline, SpatialBaselineKind};
+pub use containment::{
+    LinearizedPointTable, PointIndexVariant, SpatialBaseline, SpatialBaselineKind,
+};
 pub use error::{median, relative_error, ErrorSummary};
 pub use join::{ApproximateCellJoin, JoinResult, RTreeExactJoin, ShapeIndexExactJoin};
 pub use result_range::ResultRange;

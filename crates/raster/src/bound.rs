@@ -101,9 +101,15 @@ mod tests {
         for eps in [1.0, 2.5, 4.0, 10.0, 100.0] {
             let bound = DistanceBound::meters(eps);
             let level = bound.level_on(&extent).expect("level must exist");
-            assert!(extent.cell_diagonal(level) <= eps, "eps={eps} level={level}");
+            assert!(
+                extent.cell_diagonal(level) <= eps,
+                "eps={eps} level={level}"
+            );
             if level > 0 {
-                assert!(extent.cell_diagonal(level - 1) > eps, "level should be the coarsest");
+                assert!(
+                    extent.cell_diagonal(level - 1) > eps,
+                    "level should be the coarsest"
+                );
             }
         }
     }

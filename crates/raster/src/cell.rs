@@ -49,11 +49,12 @@ impl RasterCell {
 }
 
 /// How boundary cells are handled (paper Section 2.2).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum BoundaryPolicy {
     /// Keep every cell that intersects the boundary, however slightly.
     /// The approximation is a superset of the geometry: only false
     /// positives are possible. Required for result-range estimation.
+    #[default]
     Conservative,
     /// Drop boundary cells whose overlap fraction with the geometry is
     /// below the threshold (estimated by point sampling). Both false
@@ -63,12 +64,6 @@ pub enum BoundaryPolicy {
         /// Minimum overlap fraction (0..1) for a boundary cell to be kept.
         min_overlap: f64,
     },
-}
-
-impl Default for BoundaryPolicy {
-    fn default() -> Self {
-        BoundaryPolicy::Conservative
-    }
 }
 
 impl BoundaryPolicy {
@@ -81,7 +76,11 @@ impl BoundaryPolicy {
     }
 
     /// Decides whether a boundary cell with the given bbox should be kept.
-    pub fn keep_boundary_cell<G: Rasterizable + ?Sized>(&self, geometry: &G, cell_bbox: &BoundingBox) -> bool {
+    pub fn keep_boundary_cell<G: Rasterizable + ?Sized>(
+        &self,
+        geometry: &G,
+        cell_bbox: &BoundingBox,
+    ) -> bool {
         match *self {
             BoundaryPolicy::Conservative => true,
             BoundaryPolicy::NonConservative { min_overlap } => {
@@ -215,11 +214,17 @@ mod tests {
     fn rasterizable_dispatch_for_polygon_and_multipolygon() {
         let poly = square();
         let mp = MultiPolygon::from(poly.clone());
-        assert_eq!(Rasterizable::bounding_box(&poly), Rasterizable::bounding_box(&mp));
+        assert_eq!(
+            Rasterizable::bounding_box(&poly),
+            Rasterizable::bounding_box(&mp)
+        );
         assert_eq!(poly.vertex_count(), 4);
         assert_eq!(Rasterizable::vertex_count(&mp), 4);
         let inner = BoundingBox::from_bounds(1.0, 1.0, 2.0, 2.0);
-        assert_eq!(Rasterizable::classify_box(&poly, &inner), BoxRelation::Inside);
+        assert_eq!(
+            Rasterizable::classify_box(&poly, &inner),
+            BoxRelation::Inside
+        );
         assert_eq!(Rasterizable::classify_box(&mp, &inner), BoxRelation::Inside);
         assert!(Rasterizable::contains_point(&mp, &Point::new(5.0, 5.0)));
     }

@@ -8,10 +8,63 @@
 //! evaluate against.
 
 use crate::bound::DistanceBound;
-use crate::cell::{BoundaryPolicy, CellClass, RasterCell, Rasterizable};
+use crate::cell::{estimate_overlap_fraction, BoundaryPolicy, CellClass, RasterCell, Rasterizable};
 use dbsa_geom::polygon::BoxRelation;
 use dbsa_geom::{BoundingBox, Point};
 use dbsa_grid::{CellId, GridExtent, MAX_LEVEL};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Queue entry of the budget-driven construction; the `Ord` impl makes the
+/// max-heap pop the coarsest cell first, breaking level ties towards the
+/// cell with the most estimated area outside the geometry (the cell whose
+/// refinement removes the most conservative overcount), then by id so the
+/// construction is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BudgetQueueEntry {
+    id: CellId,
+    level: u8,
+    /// Out-of-geometry samples on a 4×4 grid, 0..=16.
+    outside_samples: u8,
+}
+
+impl BudgetQueueEntry {
+    /// Sampling grid side for the outside-area estimate.
+    const SAMPLE_SIDE: usize = 4;
+
+    fn classify<G: Rasterizable>(geometry: &G, extent: &GridExtent, id: CellId) -> Self {
+        let bbox = extent.cell_id_bbox(id);
+        let samples = Self::SAMPLE_SIDE * Self::SAMPLE_SIDE;
+        let inside = estimate_overlap_fraction(geometry, &bbox, Self::SAMPLE_SIDE);
+        BudgetQueueEntry {
+            id,
+            level: id.level(),
+            outside_samples: (samples as f64 * (1.0 - inside)).round() as u8,
+        }
+    }
+
+    /// The overlap fraction already sampled by [`classify`](Self::classify)
+    /// (lossless: `outside_samples` is an exact count of grid samples).
+    fn inside_fraction(&self) -> f64 {
+        1.0 - self.outside_samples as f64 / (Self::SAMPLE_SIDE * Self::SAMPLE_SIDE) as f64
+    }
+}
+
+impl Ord for BudgetQueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .level
+            .cmp(&self.level)
+            .then(self.outside_samples.cmp(&other.outside_samples))
+            .then(other.id.raw().cmp(&self.id.raw()))
+    }
+}
+
+impl PartialOrd for BudgetQueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// A hierarchical (variable cell size) raster approximation.
 ///
@@ -73,9 +126,14 @@ impl HierarchicalRaster {
         }
     }
 
-    /// Builds a hierarchical raster with (approximately) at most
-    /// `cell_budget` cells, by refining boundary cells breadth-first until
-    /// the budget or the maximum level is reached.
+    /// Builds a hierarchical raster with at most `cell_budget` cells, by
+    /// refining boundary cells until the budget or the maximum level is
+    /// reached. Refinement proceeds coarsest level first (which is what
+    /// keeps the distance guarantee uniform across the boundary) and,
+    /// within a level, spends the remaining budget on the boundary cells
+    /// with the largest estimated area *outside* the geometry — those are
+    /// the cells that contribute the most conservative overcount, so they
+    /// buy the most accuracy per cell.
     ///
     /// This is the knob used in the paper's Figure 4 experiment, where query
     /// polygons are approximated with 32, 128 or 512 cells each.
@@ -87,53 +145,58 @@ impl HierarchicalRaster {
     ) -> Self {
         assert!(cell_budget >= 4, "cell budget must be at least 4");
         let mut finished: Vec<RasterCell> = Vec::new();
-        // Queue of boundary cells pending refinement, coarsest first.
-        let mut queue: Vec<CellId> = vec![CellId::ROOT];
+        // Boundary cells pending refinement, highest refinement priority
+        // first (see `BudgetQueueEntry`).
+        let mut queue: BinaryHeap<BudgetQueueEntry> = BinaryHeap::new();
+        queue.push(BudgetQueueEntry::classify(geometry, extent, CellId::ROOT));
         let mut achieved_level = 0u8;
 
-        while let Some(cell) = queue.first().copied() {
-            // Refining the coarsest queued cell replaces 1 cell by up to 4:
+        while let Some(entry) = queue.peek().copied() {
+            // Refining the top queued cell replaces 1 cell by up to 4:
             // stop when that could overflow the budget.
-            if finished.len() + queue.len() + 3 > cell_budget
-                || cell.level() >= MAX_LEVEL
-            {
+            if finished.len() + queue.len() + 3 > cell_budget || entry.level >= MAX_LEVEL {
                 break;
             }
-            queue.remove(0);
-            for child in cell.children() {
+            queue.pop();
+            for child in entry.id.children() {
                 let bbox = extent.cell_id_bbox(child);
                 match geometry.classify_box(&bbox) {
                     BoxRelation::Disjoint => {}
                     BoxRelation::Inside => finished.push(RasterCell::interior(child)),
                     BoxRelation::Boundary => {
                         achieved_level = achieved_level.max(child.level());
-                        queue.push(child);
+                        queue.push(BudgetQueueEntry::classify(geometry, extent, child));
                     }
                 }
             }
-            // Keep the queue ordered coarsest-first so refinement is uniform
-            // across the boundary (level ordering; ties by id).
-            queue.sort_by_key(|c| (c.level(), c.raw()));
         }
 
-        // Remaining queued boundary cells are emitted as-is (subject to policy).
-        for id in queue {
-            let bbox = extent.cell_id_bbox(id);
-            let relation = geometry.classify_box(&bbox);
-            match relation {
-                BoxRelation::Inside => finished.push(RasterCell::interior(id)),
-                BoxRelation::Boundary => {
-                    if policy.keep_boundary_cell(geometry, &bbox) {
-                        finished.push(RasterCell::boundary(id));
-                    }
+        // Remaining queued boundary cells are emitted as-is (subject to
+        // policy). The distance guarantee is set by the *coarsest* of them
+        // — not by the deepest level the refinement reached, which would
+        // overstate the bound whenever the budget runs out mid-level.
+        let mut coarsest_boundary: Option<u8> = None;
+        for entry in queue {
+            coarsest_boundary = Some(match coarsest_boundary {
+                Some(level) => level.min(entry.level),
+                None => entry.level,
+            });
+            // The queue entry already sampled this cell's overlap; reuse it
+            // instead of re-estimating through the policy.
+            let keep = match policy {
+                BoundaryPolicy::Conservative => true,
+                BoundaryPolicy::NonConservative { min_overlap } => {
+                    entry.inside_fraction() >= min_overlap
                 }
-                BoxRelation::Disjoint => {}
+            };
+            if keep {
+                finished.push(RasterCell::boundary(entry.id));
             }
         }
         finished.sort_by_key(|c| c.id.range_min());
         HierarchicalRaster {
             extent: *extent,
-            boundary_level: achieved_level,
+            boundary_level: coarsest_boundary.unwrap_or(achieved_level),
             cells: finished,
             policy,
         }
@@ -210,9 +273,7 @@ impl HierarchicalRaster {
     pub fn find_containing(&self, leaf: CellId) -> Option<&RasterCell> {
         // Cells are disjoint and sorted by range_min: find the last cell
         // whose range_min <= leaf, then check its range_max.
-        let idx = self
-            .cells
-            .partition_point(|c| c.id.range_min() <= leaf);
+        let idx = self.cells.partition_point(|c| c.id.range_min() <= leaf);
         if idx == 0 {
             return None;
         }
@@ -280,7 +341,12 @@ mod tests {
     }
 
     fn square(side: f64) -> Polygon {
-        Polygon::from_coords(&[(8.0, 8.0), (8.0 + side, 8.0), (8.0 + side, 8.0 + side), (8.0, 8.0 + side)])
+        Polygon::from_coords(&[
+            (8.0, 8.0),
+            (8.0 + side, 8.0),
+            (8.0 + side, 8.0 + side),
+            (8.0, 8.0 + side),
+        ])
     }
 
     fn triangle() -> Polygon {
@@ -290,10 +356,24 @@ mod tests {
     #[test]
     fn hierarchical_uses_fewer_cells_than_uniform() {
         let poly = triangle();
-        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 7, BoundaryPolicy::Conservative);
-        let ur = crate::uniform::UniformRaster::at_level(&poly, &extent(), 7, BoundaryPolicy::Conservative);
-        assert!(hr.cell_count() < ur.cell_count(),
-            "HR {} cells should be fewer than UR {}", hr.cell_count(), ur.cell_count());
+        let hr = HierarchicalRaster::with_boundary_level(
+            &poly,
+            &extent(),
+            7,
+            BoundaryPolicy::Conservative,
+        );
+        let ur = crate::uniform::UniformRaster::at_level(
+            &poly,
+            &extent(),
+            7,
+            BoundaryPolicy::Conservative,
+        );
+        assert!(
+            hr.cell_count() < ur.cell_count(),
+            "HR {} cells should be fewer than UR {}",
+            hr.cell_count(),
+            ur.cell_count()
+        );
         // Interior cells appear at multiple levels.
         let hist = hr.level_histogram();
         assert!(hist.len() > 1, "expected multiple levels, got {hist:?}");
@@ -301,18 +381,32 @@ mod tests {
 
     #[test]
     fn cells_are_disjoint_and_sorted() {
-        let hr = HierarchicalRaster::with_boundary_level(&triangle(), &extent(), 6, BoundaryPolicy::Conservative);
+        let hr = HierarchicalRaster::with_boundary_level(
+            &triangle(),
+            &extent(),
+            6,
+            BoundaryPolicy::Conservative,
+        );
         let cells = hr.cells();
         for w in cells.windows(2) {
-            assert!(w[0].id.range_max() < w[1].id.range_min(),
-                "cells must be disjoint and sorted: {:?} vs {:?}", w[0], w[1]);
+            assert!(
+                w[0].id.range_max() < w[1].id.range_min(),
+                "cells must be disjoint and sorted: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 
     #[test]
     fn conservative_hr_contains_all_polygon_points() {
         let poly = triangle();
-        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 7, BoundaryPolicy::Conservative);
+        let hr = HierarchicalRaster::with_boundary_level(
+            &poly,
+            &extent(),
+            7,
+            BoundaryPolicy::Conservative,
+        );
         for &(x, y) in &[(10.0, 8.0), (30.0, 30.0), (45.0, 15.0), (29.0, 50.0)] {
             let p = Point::new(x, y);
             if poly.contains_point(&p) {
@@ -326,9 +420,20 @@ mod tests {
     #[test]
     fn classify_point_identifies_interior_and_boundary_cells() {
         let poly = square(32.0);
-        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 6, BoundaryPolicy::Conservative);
-        assert_eq!(hr.classify_point(&Point::new(24.0, 24.0)), Some(CellClass::Interior));
-        assert_eq!(hr.classify_point(&Point::new(8.1, 20.0)), Some(CellClass::Boundary));
+        let hr = HierarchicalRaster::with_boundary_level(
+            &poly,
+            &extent(),
+            6,
+            BoundaryPolicy::Conservative,
+        );
+        assert_eq!(
+            hr.classify_point(&Point::new(24.0, 24.0)),
+            Some(CellClass::Interior)
+        );
+        assert_eq!(
+            hr.classify_point(&Point::new(8.1, 20.0)),
+            Some(CellClass::Boundary)
+        );
         assert_eq!(hr.classify_point(&Point::new(60.0, 60.0)), None);
     }
 
@@ -336,12 +441,27 @@ mod tests {
     fn with_bound_meets_the_requested_bound() {
         let poly = triangle();
         for eps in [8.0, 4.0, 2.0, 1.0] {
-            let hr = HierarchicalRaster::with_bound(&poly, &extent(), DistanceBound::meters(eps), BoundaryPolicy::Conservative);
+            let hr = HierarchicalRaster::with_bound(
+                &poly,
+                &extent(),
+                DistanceBound::meters(eps),
+                BoundaryPolicy::Conservative,
+            );
             assert!(hr.guaranteed_bound() <= eps);
         }
         // Tighter bounds need more cells.
-        let coarse = HierarchicalRaster::with_bound(&poly, &extent(), DistanceBound::meters(8.0), BoundaryPolicy::Conservative);
-        let fine = HierarchicalRaster::with_bound(&poly, &extent(), DistanceBound::meters(1.0), BoundaryPolicy::Conservative);
+        let coarse = HierarchicalRaster::with_bound(
+            &poly,
+            &extent(),
+            DistanceBound::meters(8.0),
+            BoundaryPolicy::Conservative,
+        );
+        let fine = HierarchicalRaster::with_bound(
+            &poly,
+            &extent(),
+            DistanceBound::meters(1.0),
+            BoundaryPolicy::Conservative,
+        );
         assert!(fine.cell_count() > coarse.cell_count());
     }
 
@@ -349,13 +469,32 @@ mod tests {
     fn cell_budget_controls_cell_count() {
         let poly = triangle();
         for budget in [32usize, 128, 512] {
-            let hr = HierarchicalRaster::with_cell_budget(&poly, &extent(), budget, BoundaryPolicy::Conservative);
-            assert!(hr.cell_count() <= budget, "budget {budget} exceeded: {}", hr.cell_count());
+            let hr = HierarchicalRaster::with_cell_budget(
+                &poly,
+                &extent(),
+                budget,
+                BoundaryPolicy::Conservative,
+            );
+            assert!(
+                hr.cell_count() <= budget,
+                "budget {budget} exceeded: {}",
+                hr.cell_count()
+            );
             assert!(hr.cell_count() > 0);
         }
         // Larger budgets refine further.
-        let small = HierarchicalRaster::with_cell_budget(&poly, &extent(), 32, BoundaryPolicy::Conservative);
-        let large = HierarchicalRaster::with_cell_budget(&poly, &extent(), 512, BoundaryPolicy::Conservative);
+        let small = HierarchicalRaster::with_cell_budget(
+            &poly,
+            &extent(),
+            32,
+            BoundaryPolicy::Conservative,
+        );
+        let large = HierarchicalRaster::with_cell_budget(
+            &poly,
+            &extent(),
+            512,
+            BoundaryPolicy::Conservative,
+        );
         assert!(large.cell_count() >= small.cell_count());
         assert!(large.boundary_level() >= small.boundary_level());
         // Finer rasters cover less spurious area.
@@ -365,20 +504,38 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 4")]
     fn cell_budget_must_be_reasonable() {
-        let _ = HierarchicalRaster::with_cell_budget(&square(8.0), &extent(), 2, BoundaryPolicy::Conservative);
+        let _ = HierarchicalRaster::with_cell_budget(
+            &square(8.0),
+            &extent(),
+            2,
+            BoundaryPolicy::Conservative,
+        );
     }
 
     #[test]
     fn covered_area_at_least_polygon_area_when_conservative() {
         let poly = triangle();
-        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 7, BoundaryPolicy::Conservative);
+        let hr = HierarchicalRaster::with_boundary_level(
+            &poly,
+            &extent(),
+            7,
+            BoundaryPolicy::Conservative,
+        );
         assert!(hr.covered_area() >= poly.area() - 1e-9);
     }
 
     #[test]
     fn works_for_multipolygons() {
-        let mp = MultiPolygon::new(vec![square(8.0), Polygon::from_coords(&[(40.0, 40.0), (56.0, 40.0), (56.0, 56.0), (40.0, 56.0)])]);
-        let hr = HierarchicalRaster::with_boundary_level(&mp, &extent(), 6, BoundaryPolicy::Conservative);
+        let mp = MultiPolygon::new(vec![
+            square(8.0),
+            Polygon::from_coords(&[(40.0, 40.0), (56.0, 40.0), (56.0, 56.0), (40.0, 56.0)]),
+        ]);
+        let hr = HierarchicalRaster::with_boundary_level(
+            &mp,
+            &extent(),
+            6,
+            BoundaryPolicy::Conservative,
+        );
         assert!(hr.contains_point(&Point::new(12.0, 12.0)));
         assert!(hr.contains_point(&Point::new(48.0, 48.0)));
         assert!(!hr.contains_point(&Point::new(30.0, 30.0)));
@@ -387,7 +544,12 @@ mod tests {
     #[test]
     fn memory_and_find_containing() {
         let poly = square(16.0);
-        let hr = HierarchicalRaster::with_boundary_level(&poly, &extent(), 6, BoundaryPolicy::Conservative);
+        let hr = HierarchicalRaster::with_boundary_level(
+            &poly,
+            &extent(),
+            6,
+            BoundaryPolicy::Conservative,
+        );
         assert_eq!(hr.memory_bytes(), hr.cell_count() * 9);
         let leaf_inside = hr.extent().leaf_cell_id(&Point::new(16.0, 16.0));
         assert!(hr.find_containing(leaf_inside).is_some());

@@ -189,11 +189,7 @@ fn rasterize_uniform<G: Rasterizable>(
 /// Rasterizes a bare segment set (e.g. a linestring boundary) at a level,
 /// returning the boundary cells it touches. Used by the canvas layer and by
 /// tests that need edge-only coverage.
-pub fn rasterize_segments(
-    segments: &[Segment],
-    extent: &GridExtent,
-    level: u8,
-) -> Vec<CellId> {
+pub fn rasterize_segments(segments: &[Segment], extent: &GridExtent, level: u8) -> Vec<CellId> {
     let mut out = Vec::new();
     for seg in segments {
         let bbox = seg.bbox();
@@ -223,13 +219,19 @@ mod tests {
     }
 
     fn square(side: f64) -> Polygon {
-        Polygon::from_coords(&[(8.0, 8.0), (8.0 + side, 8.0), (8.0 + side, 8.0 + side), (8.0, 8.0 + side)])
+        Polygon::from_coords(&[
+            (8.0, 8.0),
+            (8.0 + side, 8.0),
+            (8.0 + side, 8.0 + side),
+            (8.0, 8.0 + side),
+        ])
     }
 
     #[test]
     fn rasterizes_square_at_unit_cells() {
         // 16x16 square on 1-unit cells at level 6 (64/2^6 = 1).
-        let raster = UniformRaster::at_level(&square(16.0), &extent(), 6, BoundaryPolicy::Conservative);
+        let raster =
+            UniformRaster::at_level(&square(16.0), &extent(), 6, BoundaryPolicy::Conservative);
         assert_eq!(raster.cell_side(), 1.0);
         // The square spans cells 8..24 in each axis; edges fall exactly on
         // cell borders so boundary cells ring the outside as well: expect
@@ -259,8 +261,14 @@ mod tests {
     fn classify_point_distinguishes_interior_and_boundary() {
         let poly = square(16.0);
         let raster = UniformRaster::at_level(&poly, &extent(), 6, BoundaryPolicy::Conservative);
-        assert_eq!(raster.classify_point(&Point::new(16.0, 16.0)), Some(CellClass::Interior));
-        assert_eq!(raster.classify_point(&Point::new(8.05, 8.05)), Some(CellClass::Boundary));
+        assert_eq!(
+            raster.classify_point(&Point::new(16.0, 16.0)),
+            Some(CellClass::Interior)
+        );
+        assert_eq!(
+            raster.classify_point(&Point::new(8.05, 8.05)),
+            Some(CellClass::Boundary)
+        );
         assert_eq!(raster.classify_point(&Point::new(40.0, 40.0)), None);
     }
 
@@ -268,10 +276,16 @@ mod tests {
     fn with_bound_respects_distance_bound() {
         let poly = square(16.0);
         let bound = DistanceBound::meters(2.0);
-        let raster = UniformRaster::with_bound(&poly, &extent(), bound, BoundaryPolicy::Conservative);
+        let raster =
+            UniformRaster::with_bound(&poly, &extent(), bound, BoundaryPolicy::Conservative);
         assert!(raster.guaranteed_bound() <= 2.0);
         // Finer bound => more, smaller cells.
-        let fine = UniformRaster::with_bound(&poly, &extent(), DistanceBound::meters(0.5), BoundaryPolicy::Conservative);
+        let fine = UniformRaster::with_bound(
+            &poly,
+            &extent(),
+            DistanceBound::meters(0.5),
+            BoundaryPolicy::Conservative,
+        );
         assert!(fine.cell_count() > raster.cell_count());
         assert!(fine.cell_side() < raster.cell_side());
     }
@@ -301,7 +315,8 @@ mod tests {
     #[test]
     fn empty_geometry_produces_no_cells() {
         let degenerate = Polygon::default();
-        let raster = UniformRaster::at_level(&degenerate, &extent(), 4, BoundaryPolicy::Conservative);
+        let raster =
+            UniformRaster::at_level(&degenerate, &extent(), 4, BoundaryPolicy::Conservative);
         assert_eq!(raster.cell_count(), 0);
         assert!(!raster.contains_point(&Point::new(1.0, 1.0)));
     }

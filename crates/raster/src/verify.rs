@@ -69,7 +69,10 @@ where
     G: Rasterizable,
     F: Fn(&Point) -> bool,
 {
-    assert!(resolution >= 2, "verification needs at least a 2x2 sample grid");
+    assert!(
+        resolution >= 2,
+        "verification needs at least a 2x2 sample grid"
+    );
     let bbox = geometry.bounding_box().inflated(2.0 * epsilon);
     let mut report = VerificationReport::default();
     if bbox.is_empty() {
@@ -111,7 +114,9 @@ fn boundary_distance<G: Rasterizable>(geometry: &G, p: &Point) -> f64 {
     // For polygons we can do better: sample along rays until the containment
     // flips, bisect to refine.
     let bbox = geometry.bounding_box();
-    let diameter = (bbox.width().powi(2) + bbox.height().powi(2)).sqrt().max(1e-9);
+    let diameter = (bbox.width().powi(2) + bbox.height().powi(2))
+        .sqrt()
+        .max(1e-9);
     let inside = geometry.contains_point(p);
     let mut best = f64::INFINITY;
     let dirs = [
@@ -119,10 +124,22 @@ fn boundary_distance<G: Rasterizable>(geometry: &G, p: &Point) -> f64 {
         (-1.0, 0.0),
         (0.0, 1.0),
         (0.0, -1.0),
-        (std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2),
-        (-std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2),
-        (std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2),
-        (-std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2),
+        (
+            std::f64::consts::FRAC_1_SQRT_2,
+            std::f64::consts::FRAC_1_SQRT_2,
+        ),
+        (
+            -std::f64::consts::FRAC_1_SQRT_2,
+            std::f64::consts::FRAC_1_SQRT_2,
+        ),
+        (
+            std::f64::consts::FRAC_1_SQRT_2,
+            -std::f64::consts::FRAC_1_SQRT_2,
+        ),
+        (
+            -std::f64::consts::FRAC_1_SQRT_2,
+            -std::f64::consts::FRAC_1_SQRT_2,
+        ),
     ];
     for (dx, dy) in dirs {
         // Exponential search for a containment flip along the ray.
@@ -192,7 +209,10 @@ mod tests {
         );
         assert!(report.holds(), "violations: {:?}", report.violations);
         assert!(report.samples > 0);
-        assert!(report.disagreements > 0, "a coarse raster should disagree somewhere");
+        assert!(
+            report.disagreements > 0,
+            "a coarse raster should disagree somewhere"
+        );
         assert!(report.disagreement_rate() < 0.2);
     }
 
@@ -200,14 +220,23 @@ mod tests {
     fn hierarchical_raster_respects_its_guaranteed_bound() {
         let poly = blob();
         for level in [5u8, 6, 7] {
-            let raster = HierarchicalRaster::with_boundary_level(&poly, &extent(), level, BoundaryPolicy::Conservative);
+            let raster = HierarchicalRaster::with_boundary_level(
+                &poly,
+                &extent(),
+                level,
+                BoundaryPolicy::Conservative,
+            );
             let report = verify_distance_bound(
                 &poly,
                 |p| raster.contains_point(p),
                 raster.guaranteed_bound(),
                 64,
             );
-            assert!(report.holds(), "level {level} violations: {:?}", report.violations);
+            assert!(
+                report.holds(),
+                "level {level} violations: {:?}",
+                report.violations
+            );
         }
     }
 

@@ -22,14 +22,27 @@ fn main() {
 
     println!("Figure 2: approximate counts and what they mean");
     println!("================================================");
-    println!("polygon P: {} vertices, area {:.0}", polygon.exterior().len(), polygon.area());
+    println!(
+        "polygon P: {} vertices, area {:.0}",
+        polygon.exterior().len(),
+        polygon.area()
+    );
     println!("distance bound ε = {} m", example.epsilon());
     println!();
 
     // The three counts of the figure.
-    println!("exact count of points in P:          {}", example.exact_count());
-    println!("count over the MBR approximation:    {}", example.mbr_count());
-    println!("count over the ε-raster approximation: {}", example.raster_count());
+    println!(
+        "exact count of points in P:          {}",
+        example.exact_count()
+    );
+    println!(
+        "count over the MBR approximation:    {}",
+        example.mbr_count()
+    );
+    println!(
+        "count over the ε-raster approximation: {}",
+        example.raster_count()
+    );
     println!();
 
     // Where do the errors come from?

@@ -29,7 +29,10 @@ fn main() {
         .build();
 
     let stats = engine.stats();
-    println!("engine: {} points, {} regions, ε = {} m", stats.points, stats.regions, stats.epsilon);
+    println!(
+        "engine: {} points, {} regions, ε = {} m",
+        stats.points, stats.regions, stats.epsilon
+    );
     println!(
         "        region raster cells: {}, region index: {:.1} MB, point index: {:.1} MB",
         stats.region_raster_cells,
@@ -55,13 +58,25 @@ fn main() {
     );
 
     println!();
-    println!("approximate join: {:>10.2?}  (0 point-in-polygon tests)", t_approx);
-    println!("exact join:       {:>10.2?}  ({} point-in-polygon tests)", t_exact, exact.pip_tests);
+    println!(
+        "approximate join: {:>10.2?}  (0 point-in-polygon tests)",
+        t_approx
+    );
+    println!(
+        "exact join:       {:>10.2?}  ({} point-in-polygon tests)",
+        t_exact, exact.pip_tests
+    );
     println!("count error:      {summary}");
     println!();
     println!("region | approx count | exact count | guaranteed range");
     println!("-------+--------------+-------------+-----------------");
-    for (i, (a, e)) in approx.regions.iter().zip(&exact.regions).enumerate().take(10) {
+    for (i, (a, e)) in approx
+        .regions
+        .iter()
+        .zip(&exact.regions)
+        .enumerate()
+        .take(10)
+    {
         let range = ResultRange::count_range(a);
         println!(
             "{:>6} | {:>12} | {:>11} | [{:>7.0}, {:>7.0}]",

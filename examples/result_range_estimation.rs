@@ -20,7 +20,11 @@ fn main() {
     let fares: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
     let regions = PolygonSetGenerator::new(city_extent(), 25, 40, 3).generate();
 
-    println!("result-range estimation over {} regions, {} points", regions.len(), points.len());
+    println!(
+        "result-range estimation over {} regions, {} points",
+        regions.len(),
+        points.len()
+    );
     println!();
     println!("bound ε | avg interval width | avg relative width | exact inside interval");
     println!("--------+--------------------+--------------------+----------------------");
@@ -36,13 +40,18 @@ fn main() {
         let approx = engine.aggregate_by_region();
         let exact = engine.aggregate_by_region_exact();
 
-        let ranges: Vec<ResultRange> = approx.regions.iter().map(ResultRange::count_range).collect();
+        let ranges: Vec<ResultRange> = approx
+            .regions
+            .iter()
+            .map(ResultRange::count_range)
+            .collect();
         let covered = ranges
             .iter()
             .zip(&exact.regions)
             .filter(|(r, e)| r.contains(e.count as f64))
             .count();
-        let avg_width: f64 = ranges.iter().map(ResultRange::width).sum::<f64>() / ranges.len() as f64;
+        let avg_width: f64 =
+            ranges.iter().map(ResultRange::width).sum::<f64>() / ranges.len() as f64;
         let avg_rel: f64 =
             ranges.iter().map(ResultRange::relative_width).sum::<f64>() / ranges.len() as f64;
 

@@ -20,14 +20,20 @@ fn main() {
     let taxi = TaxiPointGenerator::new(city_extent(), 9).generate(300_000);
     let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
     let fares: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
-    let regions = PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Neighborhoods, 5).generate();
+    let regions =
+        PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Neighborhoods, 5)
+            .generate();
     let device = SimulatedDevice::gtx1060_like();
 
     // Reference: the exact answer (computed once; a real client never would).
     let baseline = GpuBaseline::build(&points, &city_extent());
     let (exact, _) = baseline.aggregate(&points, Some(&fares), &regions);
 
-    println!("visual exploration: {} pickups, {} neighbourhood regions", points.len(), regions.len());
+    println!(
+        "visual exploration: {} pickups, {} neighbourhood regions",
+        points.len(),
+        regions.len()
+    );
     println!();
     println!("zoom level        | screen pixel ≈ bound | frame time | median count error | tiles");
     println!("------------------+----------------------+------------+--------------------+------");

@@ -4,7 +4,11 @@
 
 use dbsa::prelude::*;
 
-fn workload(n_points: usize, n_regions: usize, seed: u64) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>) {
+fn workload(
+    n_points: usize,
+    n_regions: usize,
+    seed: u64,
+) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>) {
     let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
     let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
     let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
@@ -23,7 +27,10 @@ fn all_linearized_index_variants_return_identical_answers() {
             let (bt, _) = table.aggregate_polygon(region, budget, PointIndexVariant::BPlusTree);
             let (rs, _) = table.aggregate_polygon(region, budget, PointIndexVariant::RadixSpline);
             assert_eq!(bs.count, bt.count, "B+-tree disagrees at budget {budget}");
-            assert_eq!(bs.count, rs.count, "RadixSpline disagrees at budget {budget}");
+            assert_eq!(
+                bs.count, rs.count,
+                "RadixSpline disagrees at budget {budget}"
+            );
             assert!((bs.sum - rs.sum).abs() < 1e-6);
         }
     }
@@ -38,10 +45,10 @@ fn exact_join_strategies_agree_with_each_other() {
     let baseline = GpuBaseline::build(&points, &city_extent());
     let (grid, _) = baseline.aggregate(&points, Some(&values), &regions);
 
-    for i in 0..regions.len() {
+    for (i, grid_agg) in grid.iter().enumerate().take(regions.len()) {
         assert_eq!(rtree.regions[i].count, shape.regions[i].count, "region {i}");
-        assert_eq!(rtree.regions[i].count as f64, grid[i].count, "region {i}");
-        assert!((rtree.regions[i].sum - grid[i].sum).abs() < 1e-6);
+        assert_eq!(rtree.regions[i].count as f64, grid_agg.count, "region {i}");
+        assert!((rtree.regions[i].sum - grid_agg.sum).abs() < 1e-6);
     }
 }
 
@@ -75,8 +82,14 @@ fn approximate_strategies_converge_to_the_exact_answer() {
         brj_errors.push(brj_err);
     }
     // Errors shrink (or stay equal) as the bound tightens, for both engines.
-    assert!(act_errors.windows(2).all(|w| w[1] <= w[0]), "ACT errors: {act_errors:?}");
-    assert!(brj_errors.windows(2).all(|w| w[1] <= w[0] + 1e-9), "BRJ errors: {brj_errors:?}");
+    assert!(
+        act_errors.windows(2).all(|w| w[1] <= w[0]),
+        "ACT errors: {act_errors:?}"
+    );
+    assert!(
+        brj_errors.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+        "BRJ errors: {brj_errors:?}"
+    );
     // And at the tightest bound both are very accurate overall.
     let total_exact: u64 = exact.regions.iter().map(|r| r.count).sum();
     assert!((*act_errors.last().unwrap() as f64) / total_exact as f64 <= 0.02);
@@ -91,8 +104,12 @@ fn act_and_brj_agree_with_each_other_at_the_same_bound() {
     let act = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(eps))
         .execute(&points, &values);
     let device = SimulatedDevice::gtx1060_like();
-    let (brj, _) = BoundedRasterJoin::new(&device, DistanceBound::meters(eps))
-        .execute(&points, Some(&values), &regions, &city_extent());
+    let (brj, _) = BoundedRasterJoin::new(&device, DistanceBound::meters(eps)).execute(
+        &points,
+        Some(&values),
+        &regions,
+        &city_extent(),
+    );
     // Two different engines with the same guarantee: their counts differ by
     // at most the points near boundaries (both are within ε of exact, so
     // within 2ε of each other — in practice nearly identical).
@@ -116,7 +133,12 @@ fn spatial_baselines_and_linearized_exact_reference_agree() {
         for region in &regions {
             let (agg, qualifying) = baseline.aggregate_multipolygon(region);
             let expected = points.iter().filter(|p| region.contains_point(p)).count() as u64;
-            assert_eq!(agg.count, expected, "{} disagrees with the naive scan", kind.name());
+            assert_eq!(
+                agg.count,
+                expected,
+                "{} disagrees with the naive scan",
+                kind.name()
+            );
             assert!(qualifying >= agg.count);
         }
     }

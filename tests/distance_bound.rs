@@ -9,7 +9,12 @@ use dbsa::raster::{BoundaryPolicy, HierarchicalRaster, UniformRaster};
 fn test_polygons() -> Vec<Polygon> {
     vec![
         // Convex quadrilateral.
-        Polygon::from_coords(&[(2_000.0, 3_000.0), (14_000.0, 2_500.0), (15_000.0, 12_000.0), (3_000.0, 13_000.0)]),
+        Polygon::from_coords(&[
+            (2_000.0, 3_000.0),
+            (14_000.0, 2_500.0),
+            (15_000.0, 12_000.0),
+            (3_000.0, 13_000.0),
+        ]),
         // Concave L-shape.
         Polygon::from_coords(&[
             (20_000.0, 20_000.0),
@@ -20,7 +25,12 @@ fn test_polygons() -> Vec<Polygon> {
             (20_000.0, 32_000.0),
         ]),
         // Thin diagonal sliver (the MBR's worst case).
-        Polygon::from_coords(&[(5_000.0, 25_000.0), (18_000.0, 38_000.0), (18_300.0, 37_700.0), (5_300.0, 24_700.0)]),
+        Polygon::from_coords(&[
+            (5_000.0, 25_000.0),
+            (18_000.0, 38_000.0),
+            (18_300.0, 37_700.0),
+            (5_300.0, 24_700.0),
+        ]),
     ]
 }
 
@@ -60,7 +70,11 @@ fn hierarchical_rasters_respect_every_requested_bound() {
             );
             assert!(raster.guaranteed_bound() <= eps);
             let report = verify_distance_bound(&polygon, |p| raster.contains_point(p), eps, 72);
-            assert!(report.holds(), "HR ε={eps}: violations {:?}", report.violations.first());
+            assert!(
+                report.holds(),
+                "HR ε={eps}: violations {:?}",
+                report.violations.first()
+            );
         }
     }
 }
@@ -77,7 +91,10 @@ fn non_conservative_rasters_also_respect_the_bound() {
             BoundaryPolicy::NonConservative { min_overlap: 0.5 },
         );
         let report = verify_distance_bound(polygon, |p| raster.contains_point(p), eps, 72);
-        assert!(report.holds(), "non-conservative ε={eps} violated the bound");
+        assert!(
+            report.holds(),
+            "non-conservative ε={eps} violated the bound"
+        );
     }
 }
 
@@ -89,7 +106,10 @@ fn mbr_approximation_cannot_provide_such_a_bound() {
     let sliver = &test_polygons()[2];
     let mbr = sliver.bbox();
     let report = verify_distance_bound(sliver, |p| mbr.contains_point(p), 20.0, 72);
-    assert!(!report.holds(), "the MBR should violate a 20 m bound on a sliver polygon");
+    assert!(
+        !report.holds(),
+        "the MBR should violate a 20 m bound on a sliver polygon"
+    );
     assert!(report.max_disagreement_distance > 1_000.0);
 }
 

@@ -23,7 +23,10 @@ fn stats_reflect_the_loaded_data() {
     assert_eq!(stats.points, 10_000);
     assert_eq!(stats.regions, 16);
     assert_eq!(stats.epsilon, 10.0);
-    assert!(stats.region_raster_cells > 16, "every region needs at least a few cells");
+    assert!(
+        stats.region_raster_cells > 16,
+        "every region needs at least a few cells"
+    );
     assert!(stats.point_index_bytes >= 10_000 * 8);
 }
 
@@ -38,7 +41,10 @@ fn aggregate_by_region_returns_one_aggregate_per_region() {
     for region in &result.regions {
         if region.count > 0 {
             let avg = region.avg().expect("non-empty region has an average");
-            assert!(avg >= 2.5 && avg <= 80.0, "fare average {avg} outside the generated range");
+            assert!(
+                (2.5..=80.0).contains(&avg),
+                "fare average {avg} outside the generated range"
+            );
             assert!(region.min <= region.max);
         }
     }
@@ -61,8 +67,18 @@ fn adhoc_queries_accept_arbitrary_polygons() {
     }
     // A multi-polygon region works through the generic entry point.
     let region = MultiPolygon::new(vec![
-        Polygon::from_coords(&[(1_000.0, 1_000.0), (3_000.0, 1_000.0), (3_000.0, 3_000.0), (1_000.0, 3_000.0)]),
-        Polygon::from_coords(&[(35_000.0, 35_000.0), (38_000.0, 35_000.0), (38_000.0, 38_000.0), (35_000.0, 38_000.0)]),
+        Polygon::from_coords(&[
+            (1_000.0, 1_000.0),
+            (3_000.0, 1_000.0),
+            (3_000.0, 3_000.0),
+            (1_000.0, 3_000.0),
+        ]),
+        Polygon::from_coords(&[
+            (35_000.0, 35_000.0),
+            (38_000.0, 35_000.0),
+            (38_000.0, 38_000.0),
+            (35_000.0, 38_000.0),
+        ]),
     ]);
     let (agg, _) = engine.aggregate_in_region(&region, 256);
     let exact_region = engine
@@ -127,7 +143,15 @@ fn builder_defaults_and_config() {
         .extent(city_extent())
         .points(points, values)
         .build();
-    let query = Polygon::from_coords(&[(0.0, 0.0), (40_000.0, 0.0), (40_000.0, 40_000.0), (0.0, 40_000.0)]);
+    let query = Polygon::from_coords(&[
+        (0.0, 0.0),
+        (40_000.0, 0.0),
+        (40_000.0, 40_000.0),
+        (0.0, 40_000.0),
+    ]);
     let (agg, _) = engine.aggregate_in_polygon(&query, 64);
-    assert_eq!(agg.count, 1_000, "the whole-extent query must count every point");
+    assert_eq!(
+        agg.count, 1_000,
+        "the whole-extent query must count every point"
+    );
 }

@@ -1,0 +1,90 @@
+//! Smoke test: every example must run to completion with exit code 0, so
+//! examples cannot silently rot. `cargo test` already builds the example
+//! binaries before any test executes; this test locates them next to the
+//! test executable (`target/<profile>/examples/…`) and falls back to
+//! `cargo run --example` when invoked in a layout where they are absent.
+//!
+//! The `example_tests!` invocation at the bottom is the single source of
+//! truth: it generates one `#[test]` per example (so they run in parallel)
+//! plus the `EXAMPLES` list that `example_list_matches_examples_dir` checks
+//! against the `examples/` directory — adding an example without a smoke
+//! test fails that guard.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// `target/<profile>/examples`, derived from this test binary's own path
+/// (`target/<profile>/deps/examples_smoke-<hash>`).
+fn examples_dir() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let deps = exe.parent()?;
+    let profile = deps.parent()?;
+    let dir = profile.join("examples");
+    dir.is_dir().then_some(dir)
+}
+
+fn run_example(name: &str) {
+    let direct = examples_dir().map(|d| d.join(name)).filter(|p| p.is_file());
+    let output = match direct {
+        Some(bin) => Command::new(&bin)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display())),
+        None => {
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+            Command::new(cargo)
+                .args(["run", "-q", "-p", "dbsa", "--example", name])
+                .output()
+                .unwrap_or_else(|e| panic!("failed to spawn cargo run --example {name}: {e}"))
+        }
+    };
+    assert!(
+        output.status.success(),
+        "example `{name}` failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+/// Declares the example set once: a `runs` test per example + the list the
+/// directory-sync guard checks.
+macro_rules! example_tests {
+    ($($name:ident),+ $(,)?) => {
+        const EXAMPLES: &[&str] = &[$(stringify!($name)),+];
+        $(
+            mod $name {
+                #[test]
+                fn runs() {
+                    super::run_example(stringify!($name));
+                }
+            }
+        )+
+    };
+}
+
+example_tests!(
+    quickstart,
+    motivating_example,
+    result_range_estimation,
+    taxi_aggregation,
+    visual_exploration,
+);
+
+#[test]
+fn example_list_matches_examples_dir() {
+    // Guards against adding an example binary without a smoke test: the
+    // files under examples/ must be exactly the example_tests! list above.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let dir = manifest.join("../../examples");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(found, expected, "examples/ and example_tests! out of sync");
+}

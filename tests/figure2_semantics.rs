@@ -30,7 +30,10 @@ fn an_actual_uniform_raster_reproduces_the_raster_count_semantics() {
     // The raster is conservative: it contains every exact point.
     for (p, color) in ex.points() {
         if *color == PointColor::Black {
-            assert!(raster.contains_point(p), "black point {p:?} must be counted");
+            assert!(
+                raster.contains_point(p),
+                "black point {p:?} must be counted"
+            );
         }
     }
     // Any point it adds beyond the exact set is within ε of the boundary.
@@ -45,7 +48,10 @@ fn an_actual_uniform_raster_reproduces_the_raster_count_semantics() {
     // The red (far) points are never picked up by the raster.
     for (p, color) in ex.points() {
         if *color == PointColor::Red {
-            assert!(!raster.contains_point(p), "far point {p:?} must not be counted by the raster");
+            assert!(
+                !raster.contains_point(p),
+                "far point {p:?} must not be counted by the raster"
+            );
         }
     }
 }
@@ -99,6 +105,10 @@ fn result_range_of_the_example_contains_the_exact_count() {
         }
     }
     let range = ResultRange::count_range(&agg);
-    assert!(range.contains(ex.exact_count() as f64),
-        "exact 18 outside [{}, {}]", range.lower, range.upper);
+    assert!(
+        range.contains(ex.exact_count() as f64),
+        "exact 18 outside [{}, {}]",
+        range.lower,
+        range.upper
+    );
 }

@@ -20,14 +20,22 @@ fn workload() -> (Vec<Point>, Vec<MultiPolygon>, GridExtent) {
 #[test]
 fn one_dimensional_indexes_agree_on_every_range() {
     let (points, regions, extent) = workload();
-    let keys: Vec<u64> = points.iter().map(|p| extent.leaf_cell_id(p).raw()).collect();
+    let keys: Vec<u64> = points
+        .iter()
+        .map(|p| extent.leaf_cell_id(p).raw())
+        .collect();
     let sorted = SortedKeyArray::from_unsorted(keys.clone());
     let btree = BPlusTree::new(keys.clone());
     let spline = RadixSpline::new(sorted.keys());
 
     // Ranges derived from real query-polygon rasters.
     for region in regions.iter().take(8) {
-        let raster = HierarchicalRaster::with_cell_budget(region, &extent, 128, BoundaryPolicy::Conservative);
+        let raster = HierarchicalRaster::with_cell_budget(
+            region,
+            &extent,
+            128,
+            BoundaryPolicy::Conservative,
+        );
         for cell in raster.cells() {
             let lo = cell.id.range_min().raw();
             let hi = cell.id.range_max().raw();
@@ -44,7 +52,11 @@ fn spatial_indexes_agree_on_mbr_filtering() {
     let quadtree = PointQuadtree::build(city_extent().inflated(1.0), &points);
     let kdtree = KdTree::build(&points);
     let rtree = RTree::bulk_load_str(
-        points.iter().enumerate().map(|(i, p)| RTreeEntry::point(*p, i as u64)).collect(),
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RTreeEntry::point(*p, i as u64))
+            .collect(),
         16,
     );
     for region in regions.iter().take(10) {
@@ -82,12 +94,17 @@ fn act_and_shape_index_are_consistent_up_to_the_bound() {
                 .iter()
                 .map(|r| r.boundary_distance(p))
                 .fold(f64::INFINITY, f64::min);
-            assert!(nearest <= bound.epsilon(),
-                "ACT vs ShapeIndex disagree at {p:?} which is {nearest:.1} m from any boundary");
+            assert!(
+                nearest <= bound.epsilon(),
+                "ACT vs ShapeIndex disagree at {p:?} which is {nearest:.1} m from any boundary"
+            );
         }
     }
     // Disagreements exist but are rare.
-    assert!(disagreements < 500, "too many disagreements: {disagreements}");
+    assert!(
+        disagreements < 500,
+        "too many disagreements: {disagreements}"
+    );
 }
 
 #[test]
@@ -101,7 +118,11 @@ fn memory_footprints_follow_the_papers_ordering() {
     let act = AdaptiveCellTrie::build(&rasters);
     let shape = ShapeIndex::build(&regions, &extent);
     let rtree = RTree::bulk_load_str(
-        regions.iter().enumerate().map(|(i, r)| RTreeEntry::new(r.bbox(), i as u64)).collect(),
+        regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RTreeEntry::new(r.bbox(), i as u64))
+            .collect(),
         16,
     );
     // ACT >> SI >> R-tree, as in the paper's 143 MB / 1.2 MB / 27.9 KB text.

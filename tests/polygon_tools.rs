@@ -25,10 +25,16 @@ fn exact_overlap_agrees_with_raster_covered_area_in_the_limit() {
         let frac = polygon_box_overlap_fraction(&polygon, &bbox);
         match class {
             dbsa::raster::CellClass::Interior => {
-                assert!(frac > 0.999, "interior cell must be fully covered, got {frac}");
+                assert!(
+                    frac > 0.999,
+                    "interior cell must be fully covered, got {frac}"
+                );
             }
             dbsa::raster::CellClass::Boundary => {
-                assert!(frac > 0.0, "a conservative boundary cell overlaps the polygon");
+                assert!(
+                    frac > 0.0,
+                    "a conservative boundary cell overlaps the polygon"
+                );
             }
         }
     }
@@ -51,8 +57,11 @@ fn simplification_trades_vertices_for_bounded_deviation() {
     // outline, so a 250 m tolerance removes most of that detail.
     let tolerance = 250.0;
     let simplified = simplify_polygon(original, tolerance);
-    assert!(simplified.vertex_count() < original.vertex_count() / 2,
-        "simplification should remove at least half of {} vertices", original.vertex_count());
+    assert!(
+        simplified.vertex_count() < original.vertex_count() / 2,
+        "simplification should remove at least half of {} vertices",
+        original.vertex_count()
+    );
     // Every original vertex is within the tolerance of the simplified boundary.
     for v in original.exterior().vertices() {
         assert!(simplified.boundary_distance(v) <= tolerance + 1e-6);
@@ -73,7 +82,10 @@ fn simplification_trades_vertices_for_bounded_deviation() {
             }
         }
     }
-    assert!(flipped > 0, "simplification changes membership near the boundary");
+    assert!(
+        flipped > 0,
+        "simplification changes membership near the boundary"
+    );
 }
 
 #[test]
@@ -93,7 +105,10 @@ fn rotated_regions_remain_disjoint_and_complex() {
         let c = region.polygons()[0].centroid();
         for (j, other) in rotated.iter().enumerate() {
             if i != j {
-                assert!(!other.contains_point(&c), "rotated regions {i} and {j} overlap");
+                assert!(
+                    !other.contains_point(&c),
+                    "rotated regions {i} and {j} overlap"
+                );
             }
         }
     }
@@ -101,8 +116,10 @@ fn rotated_regions_remain_disjoint_and_complex() {
     // experiments rely on): total MBR area exceeds total region area clearly.
     let mbr_area: f64 = rotated.iter().map(|r| r.bbox().area()).sum();
     let region_area: f64 = rotated.iter().map(MultiPolygon::area).sum();
-    assert!(mbr_area > 1.3 * region_area,
-        "rotated MBRs should overshoot the regions: {mbr_area} vs {region_area}");
+    assert!(
+        mbr_area > 1.3 * region_area,
+        "rotated MBRs should overshoot the regions: {mbr_area} vs {region_area}"
+    );
     let straight_mbr_area: f64 = straight.iter().map(|r| r.bbox().area()).sum();
     assert!(mbr_area > 1.2 * straight_mbr_area);
 }
@@ -119,7 +136,9 @@ fn mbr_filtering_degrades_on_rotated_regions_while_raster_does_not() {
     let table = LinearizedPointTable::build(&points, &values, &extent);
     let baseline = SpatialBaseline::build(SpatialBaselineKind::StrRTree, &points, &values);
 
-    let rotated = PolygonSetGenerator::new(city_extent(), 16, 20, 9).rotation(0.45).generate();
+    let rotated = PolygonSetGenerator::new(city_extent(), 16, 20, 9)
+        .rotation(0.45)
+        .generate();
     let mut exact_total = 0u64;
     let mut mbr_qualifying = 0u64;
     let mut raster_qualifying = 0u64;
@@ -132,7 +151,13 @@ fn mbr_filtering_degrades_on_rotated_regions_while_raster_does_not() {
     }
     let mbr_overshoot = mbr_qualifying as f64 / exact_total as f64;
     let raster_overshoot = raster_qualifying as f64 / exact_total as f64;
-    assert!(mbr_overshoot > 1.3, "rotated MBRs should over-qualify by >30%, got {mbr_overshoot}");
-    assert!(raster_overshoot < 1.15, "raster filter should stay tight, got {raster_overshoot}");
+    assert!(
+        mbr_overshoot > 1.3,
+        "rotated MBRs should over-qualify by >30%, got {mbr_overshoot}"
+    );
+    assert!(
+        raster_overshoot < 1.15,
+        "raster filter should stay tight, got {raster_overshoot}"
+    );
     assert!(raster_overshoot < mbr_overshoot);
 }

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! provides the two trait names (as markers) plus the derive macros, which
+//! is all the workspace uses: `ExperimentConfig` derives them so the type
+//! is ready for a real serde once the workspace can take the dependency,
+//! and serializes itself through a hand-written `to_json` in the meantime.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
