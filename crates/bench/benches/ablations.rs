@@ -128,11 +128,35 @@ fn bench_act_bound_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_act_execution_path(c: &mut Criterion) {
+    // Batched sorted probes vs. scalar probes over the same frozen trie —
+    // the execution-path half of the `act_layout` bench, at one bound, so
+    // the ablation suite records it alongside the other design choices.
+    let workload = Workload::new(100_000, 16, 31, 59);
+    let join = ApproximateCellJoin::build(
+        &workload.regions,
+        &workload.extent,
+        DistanceBound::meters(8.0),
+    );
+    let mut group = c.benchmark_group("ablation_act_execution");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("frozen_batched", |b| {
+        b.iter(|| join.execute(&workload.points, &workload.values))
+    });
+    group.bench_function("frozen_scalar", |b| {
+        b.iter(|| join.execute_scalar(&workload.points, &workload.values))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_curve_choice,
     bench_boundary_policy,
     bench_spline_error,
-    bench_act_bound_sweep
+    bench_act_bound_sweep,
+    bench_act_execution_path
 );
 criterion_main!(benches);

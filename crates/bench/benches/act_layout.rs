@@ -1,0 +1,136 @@
+//! ACT layout ablation: pointer trie vs. frozen trie, scalar vs. batched
+//! sorted probes, on the Figure 6 join workload (neighborhood-profile
+//! regions, 4 m bound), sweeping the point count.
+//!
+//! Three join variants over identical inputs (all produce bit-for-bit the
+//! same `JoinResult`; the bench asserts it once before timing):
+//!
+//! * `pointer_scalar` — the seed's execution: probe the boxed pointer trie
+//!   one point at a time, allocating a postings vector per probe,
+//! * `frozen_scalar` — same probe order over the contiguous frozen layout
+//!   with a reused postings buffer,
+//! * `frozen_batched` — probes sorted by leaf key once, answered by the
+//!   prefix-sharing cursor (the default `ApproximateCellJoin::execute`).
+//!
+//! The acceptance bar for the frozen layout work: `frozen_batched` ≥ 2×
+//! faster than `pointer_scalar` at 100 k points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::index::AdaptiveCellTrie;
+use dbsa::prelude::*;
+use dbsa::raster::{BoundaryPolicy, CellClass, HierarchicalRaster};
+use dbsa_bench::Workload;
+use std::time::Duration;
+
+const POINT_COUNTS: [usize; 3] = [25_000, 50_000, 100_000];
+
+/// The seed's pointer-trie scalar join loop, reproduced verbatim so the
+/// speedup is measured against what PR 1 actually shipped.
+fn pointer_scalar_join(
+    trie: &AdaptiveCellTrie,
+    extent: &GridExtent,
+    region_count: usize,
+    points: &[Point],
+    values: &[f64],
+) -> JoinResult {
+    let mut result = JoinResult {
+        regions: vec![RegionAggregate::default(); region_count],
+        unmatched: 0,
+        pip_tests: 0,
+    };
+    for (p, v) in points.iter().zip(values) {
+        let postings = trie.lookup_leaf(extent.leaf_cell_id(p));
+        match postings.first() {
+            Some(posting) => result.regions[posting.polygon as usize]
+                .add(*v, posting.class == CellClass::Boundary),
+            None => result.unmatched += 1,
+        }
+    }
+    result
+}
+
+fn bench_act_layout(c: &mut Criterion) {
+    let bound = DistanceBound::meters(4.0);
+    let workload = Workload::from_profile(
+        *POINT_COUNTS.last().expect("non-empty"),
+        DatasetProfile::Neighborhoods,
+        2021,
+    );
+    let rasters: Vec<HierarchicalRaster> = workload
+        .regions
+        .iter()
+        .map(|r| {
+            HierarchicalRaster::with_bound(r, &workload.extent, bound, BoundaryPolicy::Conservative)
+        })
+        .collect();
+    let pointer = AdaptiveCellTrie::build(&rasters);
+    let join = ApproximateCellJoin::build(&workload.regions, &workload.extent, bound);
+
+    // All three paths must agree bit-for-bit before any of them is timed.
+    let reference = pointer_scalar_join(
+        &pointer,
+        &workload.extent,
+        workload.regions.len(),
+        &workload.points,
+        &workload.values,
+    );
+    assert_eq!(join.execute(&workload.points, &workload.values), reference);
+    assert_eq!(
+        join.execute_scalar(&workload.points, &workload.values),
+        reference
+    );
+
+    let mut group = c.benchmark_group("act_layout");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for n in POINT_COUNTS {
+        let points = &workload.points[..n];
+        let values = &workload.values[..n];
+        group.bench_function(BenchmarkId::new("pointer_scalar", n), |b| {
+            b.iter(|| {
+                pointer_scalar_join(
+                    &pointer,
+                    &workload.extent,
+                    workload.regions.len(),
+                    points,
+                    values,
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("frozen_scalar", n), |b| {
+            b.iter(|| join.execute_scalar(points, values))
+        });
+        group.bench_function(BenchmarkId::new("frozen_batched", n), |b| {
+            b.iter(|| join.execute(points, values))
+        });
+    }
+    group.finish();
+}
+
+fn bench_freeze_cost(c: &mut Criterion) {
+    // The one-off price of freezing, amortized over every later probe.
+    let bound = DistanceBound::meters(4.0);
+    let workload = Workload::from_profile(1_000, DatasetProfile::Neighborhoods, 2021);
+    let rasters: Vec<HierarchicalRaster> = workload
+        .regions
+        .iter()
+        .map(|r| {
+            HierarchicalRaster::with_bound(r, &workload.extent, bound, BoundaryPolicy::Conservative)
+        })
+        .collect();
+    let pointer = AdaptiveCellTrie::build(&rasters);
+
+    let mut group = c.benchmark_group("act_freeze");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("build_pointer", |b| {
+        b.iter(|| AdaptiveCellTrie::build(&rasters))
+    });
+    group.bench_function("freeze", |b| b.iter(|| pointer.freeze()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_act_layout, bench_freeze_cost);
+criterion_main!(benches);

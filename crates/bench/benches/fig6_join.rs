@@ -37,6 +37,11 @@ fn bench_joins(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("act_approximate", label), |b| {
             b.iter(|| act.execute(&workload.points, &workload.values))
         });
+        // The frozen trie probed one point at a time (no sort, reused
+        // postings buffer) — isolates the batching gain from the layout gain.
+        group.bench_function(BenchmarkId::new("act_scalar", label), |b| {
+            b.iter(|| act.execute_scalar(&workload.points, &workload.values))
+        });
         group.bench_function(BenchmarkId::new("rtree_exact", label), |b| {
             b.iter(|| rtree.execute(&workload.points, &workload.values))
         });

@@ -24,9 +24,12 @@
 
 use dbsa::prelude::*;
 use dbsa::raster::{BoundaryPolicy, HierarchicalRaster, RasterCell};
-use dbsa_bench::{fmt_bytes, fmt_ms, print_header, timed, Workload};
+use dbsa_bench::{
+    fmt_bytes, fmt_ms, json_output_path, print_header, timed, JsonReport, JsonValue, Workload,
+};
 
 fn main() {
+    let json_path = json_output_path();
     let config = dbsa::ExperimentConfig {
         experiment: "fig4a".into(),
         points: 200_000,
@@ -93,6 +96,22 @@ fn main() {
         "", "", "", "", ""
     );
 
+    let mut report = JsonReport::new("fig4a", &config);
+    let record = |report: &mut JsonReport,
+                  variant: String,
+                  precision: &str,
+                  elapsed: std::time::Duration,
+                  total: u64,
+                  memory: usize| {
+        report.push_row(&[
+            ("variant", JsonValue::Str(variant)),
+            ("precision", JsonValue::Str(precision.to_string())),
+            ("cumulative_ms", JsonValue::Num(elapsed.as_secs_f64() * 1e3)),
+            ("total_count", JsonValue::Int(total)),
+            ("index_memory_bytes", JsonValue::Int(memory as u64)),
+        ]);
+    };
+
     // Linearized variants: RS at every precision, BS and B+-tree at the highest.
     for (cells, per_query) in &query_cells {
         let (total, elapsed) = timed(|| {
@@ -111,6 +130,14 @@ fn main() {
             fmt_ms(elapsed),
             total,
             fmt_bytes(table.index_memory_bytes(PointIndexVariant::RadixSpline)),
+        );
+        record(
+            &mut report,
+            format!("RS-{cells}"),
+            &cells.to_string(),
+            elapsed,
+            total,
+            table.index_memory_bytes(PointIndexVariant::RadixSpline),
         );
     }
     let (max_precision, finest) = query_cells.last().expect("levels configured");
@@ -132,6 +159,14 @@ fn main() {
             fmt_ms(elapsed),
             total,
             fmt_bytes(table.index_memory_bytes(variant)),
+        );
+        record(
+            &mut report,
+            format!("{label}-{max_precision}"),
+            &max_precision.to_string(),
+            elapsed,
+            total,
+            table.index_memory_bytes(variant),
         );
     }
 
@@ -156,9 +191,19 @@ fn main() {
             fmt_bytes(baseline.memory_bytes()),
             fmt_ms(build),
         );
+        record(
+            &mut report,
+            kind.name().to_string(),
+            "MBR",
+            elapsed,
+            total,
+            baseline.memory_bytes(),
+        );
     }
 
     println!();
     println!("series to compare with the paper: RS variants should beat the Boost-style R*-tree by ~an order of");
     println!("magnitude and binary search by tens of percent, while staying close to the tree baselines' counts.");
+
+    report.write_if_requested(json_path.as_deref());
 }

@@ -14,9 +14,10 @@
 //! indistinguishable from exact, while MBR filtering vastly over-qualifies.
 
 use dbsa::prelude::*;
-use dbsa_bench::{print_header, Workload};
+use dbsa_bench::{json_output_path, print_header, JsonReport, JsonValue, Workload};
 
 fn main() {
+    let json_path = json_output_path();
     let config = dbsa::ExperimentConfig {
         experiment: "fig4b".into(),
         points: 200_000,
@@ -60,6 +61,15 @@ fn main() {
     );
     println!("{:-<18}-+-{:-<18}-+-{:-<22}", "", "", "");
     println!("{:<18} | {:>18} | {:>21.2}%", "exact", exact_total, 0.0);
+    let mut report = JsonReport::new("fig4b", &config);
+    let record = |report: &mut JsonReport, variant: &str, qualifying: u64, overshoot: f64| {
+        report.push_row(&[
+            ("variant", JsonValue::Str(variant.to_string())),
+            ("qualifying_points", JsonValue::Int(qualifying)),
+            ("overshoot_pct", JsonValue::Num(overshoot)),
+        ]);
+    };
+    record(&mut report, "exact", exact_total, 0.0);
     for &cells in &config.precision_levels {
         let mut total = 0u64;
         for region in &workload.regions {
@@ -73,13 +83,17 @@ fn main() {
             total,
             overshoot
         );
+        record(&mut report, &format!("RS-{cells}"), total, overshoot);
     }
     let mbr_overshoot = (mbr_total as f64 - exact_total as f64) / exact_total as f64 * 100.0;
     println!(
         "{:<18} | {:>18} | {:>21.2}%",
         "MBR filter", mbr_total, mbr_overshoot
     );
+    record(&mut report, "MBR", mbr_total, mbr_overshoot);
 
     println!();
     println!("expected shape (paper): RS-512 ≈ exact; RS-32 noticeably above; the MBR filter far above all.");
+
+    report.write_if_requested(json_path.as_deref());
 }

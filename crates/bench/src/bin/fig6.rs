@@ -16,9 +16,12 @@
 //! Neighborhoods).
 
 use dbsa::prelude::*;
-use dbsa_bench::{fmt_bytes, fmt_ms, print_header, timed, Workload};
+use dbsa_bench::{
+    fmt_bytes, fmt_ms, json_output_path, print_header, timed, JsonReport, JsonValue, Workload,
+};
 
 fn main() {
+    let json_path = json_output_path();
     let n_points = 300_000;
     let bound = DistanceBound::meters(4.0);
     let config = dbsa::ExperimentConfig {
@@ -45,6 +48,7 @@ fn main() {
         "", "", "", "", "", "", ""
     );
 
+    let mut report = JsonReport::new("fig6", &config);
     let mut footprints = Vec::new();
     for profile in DatasetProfile::ALL {
         let workload = Workload::from_profile(n_points, profile, config.seed);
@@ -85,6 +89,30 @@ fn main() {
             "", err
         );
 
+        report.push_row(&[
+            ("dataset", JsonValue::Str(profile.name().to_string())),
+            ("regions", JsonValue::Int(workload.regions.len() as u64)),
+            ("points", JsonValue::Int(n_points as u64)),
+            ("act_ms", JsonValue::Num(act_time.as_secs_f64() * 1e3)),
+            ("rtree_ms", JsonValue::Num(rtree_time.as_secs_f64() * 1e3)),
+            ("si_ms", JsonValue::Num(shape_time.as_secs_f64() * 1e3)),
+            ("speedup_rtree", JsonValue::Num(speedup_rtree)),
+            ("speedup_si", JsonValue::Num(speedup_shape)),
+            (
+                "act_memory_bytes",
+                JsonValue::Int(act_join.memory_bytes() as u64),
+            ),
+            (
+                "act_trie_nodes",
+                JsonValue::Int(act_join.trie_stats().nodes as u64),
+            ),
+            (
+                "act_raster_cells",
+                JsonValue::Int(act_join.raster_cell_count() as u64),
+            ),
+            ("median_rel_count_error", JsonValue::Num(err.median)),
+        ]);
+
         if profile == DatasetProfile::Neighborhoods {
             footprints.push((
                 act_join.memory_bytes(),
@@ -111,4 +139,6 @@ fn main() {
     println!();
     println!("expected shape (paper): ACT fastest everywhere; largest gap on Boroughs (663-vertex polygons),");
     println!("smallest on Census (13.6-vertex polygons); ACT's footprint orders of magnitude above SI and R-tree.");
+
+    report.write_if_requested(json_path.as_deref());
 }

@@ -17,9 +17,10 @@
 //! at 10 m eroding to a loss once tiling kicks in — is preserved.
 
 use dbsa::prelude::*;
-use dbsa_bench::{fmt_ms, print_header, timed};
+use dbsa_bench::{fmt_ms, json_output_path, print_header, timed, JsonReport, JsonValue};
 
 fn main() {
+    let json_path = json_output_path();
     let extent = BoundingBox::from_bounds(0.0, 0.0, 8_000.0, 8_000.0);
     let n_points = 1_000_000;
     let n_regions = 64;
@@ -74,6 +75,7 @@ fn main() {
         "", "", "", "", "", ""
     );
 
+    let mut report = JsonReport::new("fig7", &config);
     for &bound_m in &config.distance_bounds {
         let brj = BoundedRasterJoin::new(&device, DistanceBound::meters(bound_m));
         let ((approx, stats), brj_time) =
@@ -97,9 +99,29 @@ fn main() {
             stats.required_resolution,
             median_err,
         );
+        report.push_row(&[
+            ("bound_m", JsonValue::Num(bound_m)),
+            ("brj_ms", JsonValue::Num(brj_time.as_secs_f64() * 1e3)),
+            (
+                "baseline_ms",
+                JsonValue::Num(baseline_time.as_secs_f64() * 1e3),
+            ),
+            ("speedup", JsonValue::Num(speedup)),
+            (
+                "tiles",
+                JsonValue::Int((stats.tiles_per_axis * stats.tiles_per_axis) as u64),
+            ),
+            (
+                "required_resolution",
+                JsonValue::Int(stats.required_resolution as u64),
+            ),
+            ("median_error_pct", JsonValue::Num(median_err)),
+        ]);
     }
 
     println!();
     println!("expected shape (paper): clear speedup at 10 m with a sub-percent median error; the advantage");
     println!("shrinks as the bound tightens and flips once the canvas must be tiled (the paper's 1 m point).");
+
+    report.write_if_requested(json_path.as_deref());
 }

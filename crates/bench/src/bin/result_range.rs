@@ -7,9 +7,10 @@
 //! by-product of the join, so the overhead is negligible).
 
 use dbsa::prelude::*;
-use dbsa_bench::{fmt_ms, print_header, timed, Workload};
+use dbsa_bench::{fmt_ms, json_output_path, print_header, timed, JsonReport, JsonValue, Workload};
 
 fn main() {
+    let json_path = json_output_path();
     let config = dbsa::ExperimentConfig {
         experiment: "result_range".into(),
         points: 200_000,
@@ -43,6 +44,7 @@ fn main() {
         "", "", "", "", ""
     );
 
+    let mut report = JsonReport::new("result_range", &config);
     for &bound_m in &config.distance_bounds {
         let join = ApproximateCellJoin::build(
             &workload.regions,
@@ -73,6 +75,14 @@ fn main() {
             covered,
             ranges.len(),
         );
+        report.push_row(&[
+            ("bound_m", JsonValue::Num(bound_m)),
+            ("join_ms", JsonValue::Num(join_time.as_secs_f64() * 1e3)),
+            ("avg_width", JsonValue::Num(avg_width)),
+            ("avg_rel_width_pct", JsonValue::Num(avg_rel * 100.0)),
+            ("covered", JsonValue::Int(covered as u64)),
+            ("regions", JsonValue::Int(ranges.len() as u64)),
+        ]);
     }
 
     println!();
@@ -80,4 +90,6 @@ fn main() {
     println!(
         "width shrinks roughly linearly with the bound (fewer points fall into boundary cells)."
     );
+
+    report.write_if_requested(json_path.as_deref());
 }

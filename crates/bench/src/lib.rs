@@ -19,6 +19,7 @@
 //! instead of 1.2 billion); EXPERIMENTS.md discusses how the shapes compare.
 
 use dbsa::prelude::*;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// A shared, seeded workload: clustered points with fare attributes plus a
@@ -126,6 +127,123 @@ pub fn print_header(experiment: &str, description: &str, config: &dbsa::Experime
     println!("================================================================");
 }
 
+/// Parses `--json <path>` from the process arguments. Every report binary
+/// accepts the flag and, when present, mirrors its table rows into a
+/// machine-readable JSON file (the bench trajectory CI uploads as an
+/// artifact).
+pub fn json_output_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                eprintln!("--json requires a path argument");
+                std::process::exit(2);
+            })));
+        }
+    }
+    None
+}
+
+/// One typed field value of a JSON report row.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// String field.
+    Str(String),
+    /// Numeric field (serialized as `null` when not finite).
+    Num(f64),
+    /// Integer field.
+    Int(u64),
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonValue {
+    fn render(&self) -> String {
+        match self {
+            JsonValue::Str(s) => format!("\"{}\"", json_escape(s)),
+            JsonValue::Num(n) if n.is_finite() => format!("{n}"),
+            JsonValue::Num(_) => "null".to_string(),
+            JsonValue::Int(i) => format!("{i}"),
+        }
+    }
+}
+
+/// Machine-readable report accumulated next to a binary's printed table:
+/// `{"experiment": ..., "config": {...}, "rows": [{...}, ...]}`.
+///
+/// The workspace has no JSON crate (crates.io is unreachable; see
+/// vendor/README.md), so serialization is a few lines of escaping here
+/// rather than a dependency.
+pub struct JsonReport {
+    experiment: String,
+    config: String,
+    rows: Vec<String>,
+}
+
+impl JsonReport {
+    /// Starts a report for one experiment run.
+    pub fn new(experiment: &str, config: &dbsa::ExperimentConfig) -> Self {
+        JsonReport {
+            experiment: experiment.to_string(),
+            config: config.to_json(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row of `(field, value)` pairs.
+    pub fn push_row(&mut self, fields: &[(&str, JsonValue)]) {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v.render()))
+            .collect();
+        self.rows.push(format!("{{{}}}", body.join(",")));
+    }
+
+    /// Number of rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the full report document.
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"experiment\":\"{}\",\"config\":{},\"rows\":[\n{}\n]}}\n",
+            json_escape(&self.experiment),
+            self.config,
+            self.rows.join(",\n")
+        )
+    }
+
+    /// Writes the report to `path` when the caller got a `--json` path;
+    /// no-op otherwise. Prints where the rows went.
+    pub fn write_if_requested(&self, path: Option<&Path>) {
+        if let Some(path) = path {
+            std::fs::write(path, self.render()).unwrap_or_else(|e| {
+                eprintln!("failed to write JSON report to {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            println!("json: wrote {} rows to {}", self.rows.len(), path.display());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +257,27 @@ mod tests {
         assert!(w.extent_bbox().area() > 0.0);
         let p = Workload::from_profile(500, DatasetProfile::Boroughs, 3);
         assert_eq!(p.regions.len(), 5);
+    }
+
+    #[test]
+    fn json_report_renders_rows() {
+        let config = dbsa::ExperimentConfig::smoke("fig6");
+        let mut report = JsonReport::new("fig6", &config);
+        assert!(report.is_empty());
+        report.push_row(&[
+            ("dataset", JsonValue::Str("boro\"ughs".into())),
+            ("act_ms", JsonValue::Num(12.5)),
+            ("regions", JsonValue::Int(5)),
+            ("bad", JsonValue::Num(f64::NAN)),
+        ]);
+        assert_eq!(report.len(), 1);
+        let doc = report.render();
+        assert!(doc.contains("\"experiment\":\"fig6\""));
+        assert!(doc.contains("\"dataset\":\"boro\\\"ughs\""));
+        assert!(doc.contains("\"act_ms\":12.5"));
+        assert!(doc.contains("\"regions\":5"));
+        assert!(doc.contains("\"bad\":null"));
+        assert!(doc.contains("\"config\":{"));
     }
 
     #[test]

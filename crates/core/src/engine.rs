@@ -123,7 +123,9 @@ pub struct EngineStats {
     pub epsilon: f64,
     /// Total raster cells indexed for the regions.
     pub region_raster_cells: usize,
-    /// Memory of the region index (ACT), in bytes.
+    /// Nodes in the frozen region trie (contiguous cache-conscious layout).
+    pub region_trie_nodes: usize,
+    /// Memory of the region index (frozen ACT), in bytes — exact, O(1).
     pub region_index_bytes: usize,
     /// Memory of the point index (keys + learned index), in bytes.
     pub point_index_bytes: usize,
@@ -177,6 +179,11 @@ impl ApproximateEngine {
                 .as_ref()
                 .map(|j| j.raster_cell_count())
                 .unwrap_or(0),
+            region_trie_nodes: self
+                .join
+                .as_ref()
+                .map(|j| j.trie_stats().nodes)
+                .unwrap_or(0),
             region_index_bytes: self.join.as_ref().map(|j| j.memory_bytes()).unwrap_or(0),
             point_index_bytes: self
                 .table
@@ -185,7 +192,9 @@ impl ApproximateEngine {
     }
 
     /// `SELECT AGG(a) … GROUP BY region` evaluated approximately through the
-    /// Adaptive Cell Trie — no point-in-polygon test is executed.
+    /// frozen Adaptive Cell Trie — no point-in-polygon test is executed.
+    /// Probes run batched in leaf-key order over the cache-conscious frozen
+    /// layout (see `dbsa_index::FrozenCellTrie`).
     ///
     /// # Panics
     /// Panics if no regions were loaded.
@@ -285,6 +294,7 @@ mod tests {
         assert_eq!(stats.regions, 9);
         assert_eq!(stats.epsilon, 10.0);
         assert!(stats.region_raster_cells > 0);
+        assert!(stats.region_trie_nodes > 0);
         assert!(stats.region_index_bytes > 0);
         assert!(stats.point_index_bytes > 0);
         assert_eq!(engine.regions().len(), 9);

@@ -67,7 +67,7 @@ pub mod prelude {
     };
     pub use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon, Ring};
     pub use dbsa_grid::{CellId, CurveKind, GridExtent};
-    pub use dbsa_index::{AdaptiveCellTrie, MemoryFootprint, RTree, RadixSpline};
+    pub use dbsa_index::{AdaptiveCellTrie, FrozenCellTrie, MemoryFootprint, RTree, RadixSpline};
     pub use dbsa_query::{
         AggregateKind, ApproximateCellJoin, ErrorSummary, JoinResult, LinearizedPointTable,
         PointIndexVariant, RTreeExactJoin, RegionAggregate, ResultRange, ShapeIndexExactJoin,

@@ -10,7 +10,7 @@
 //! evaluation the paper advocates.
 
 use crate::footprint::MemoryFootprint;
-use dbsa_grid::{CellId, MAX_LEVEL};
+use dbsa_grid::CellId;
 use dbsa_raster::{CellClass, HierarchicalRaster};
 
 /// Identifier of an indexed polygon (its position in the input collection).
@@ -31,10 +31,10 @@ pub struct CellPosting {
 /// A node of the cell trie. Children follow the quadtree child order of the
 /// underlying cell ids (one trie level per grid level).
 #[derive(Debug, Default)]
-struct TrieNode {
-    children: [Option<Box<TrieNode>>; 4],
+pub(crate) struct TrieNode {
+    pub(crate) children: [Option<Box<TrieNode>>; 4],
     /// Polygons whose approximation contains exactly this cell.
-    postings: Vec<CellPosting>,
+    pub(crate) postings: Vec<CellPosting>,
 }
 
 impl TrieNode {
@@ -72,12 +72,35 @@ pub struct ActStats {
 }
 
 /// The Adaptive Cell Trie.
-#[derive(Debug, Default)]
+///
+/// This is the *mutable builder* form: nodes are heap-allocated boxes, so
+/// single-cell insertion stays cheap. For query execution, freeze it into a
+/// [`crate::FrozenCellTrie`] — a contiguous, cache-conscious layout with the
+/// same lookup semantics.
+#[derive(Debug)]
 pub struct AdaptiveCellTrie {
-    root: TrieNode,
+    pub(crate) root: TrieNode,
     polygons: usize,
     postings: usize,
+    /// Node count maintained incrementally so `memory_bytes` is O(1).
+    nodes: usize,
+    /// Sum of the postings vectors' *capacities*, maintained incrementally:
+    /// the heap bytes actually reserved, not just the live postings.
+    postings_capacity: usize,
     max_depth: u8,
+}
+
+impl Default for AdaptiveCellTrie {
+    fn default() -> Self {
+        AdaptiveCellTrie {
+            root: TrieNode::default(),
+            polygons: 0,
+            postings: 0,
+            nodes: 1,
+            postings_capacity: 0,
+            max_depth: 0,
+        }
+    }
 }
 
 impl AdaptiveCellTrie {
@@ -115,9 +138,15 @@ impl AdaptiveCellTrie {
         for l in 1..=level {
             let ancestor = cell.parent_at(l);
             let pos = ancestor.child_position() as usize;
-            node = node.children[pos].get_or_insert_with(Box::default);
+            if node.children[pos].is_none() {
+                node.children[pos] = Some(Box::default());
+                self.nodes += 1;
+            }
+            node = node.children[pos].as_mut().expect("child just ensured");
         }
+        let capacity_before = node.postings.capacity();
         node.postings.push(CellPosting { polygon, class });
+        self.postings_capacity += node.postings.capacity() - capacity_before;
         self.postings += 1;
         self.max_depth = self.max_depth.max(level);
         self.polygons = self.polygons.max(polygon as usize + 1);
@@ -130,20 +159,28 @@ impl AdaptiveCellTrie {
     /// cells first.
     pub fn lookup_leaf(&self, leaf: CellId) -> Vec<CellPosting> {
         let mut result = Vec::new();
+        self.lookup_leaf_into(leaf, &mut result);
+        result
+    }
+
+    /// Like [`lookup_leaf`](Self::lookup_leaf), but appends into a
+    /// caller-provided buffer (cleared first) so tight probe loops reuse one
+    /// allocation across probes.
+    pub fn lookup_leaf_into(&self, leaf: CellId, out: &mut Vec<CellPosting>) {
+        out.clear();
         let mut node = &self.root;
-        result.extend_from_slice(&node.postings);
-        for l in 1..=MAX_LEVEL {
+        out.extend_from_slice(&node.postings);
+        for l in 1..=self.max_depth {
             let ancestor = leaf.parent_at(l);
             let pos = ancestor.child_position() as usize;
             match &node.children[pos] {
                 Some(child) => {
                     node = child;
-                    result.extend_from_slice(&node.postings);
+                    out.extend_from_slice(&node.postings);
                 }
                 None => break,
             }
         }
-        result
     }
 
     /// Convenience: the first polygon covering the leaf cell, if any.
@@ -155,7 +192,7 @@ impl AdaptiveCellTrie {
         if let Some(p) = node.postings.first() {
             return Some(p.polygon);
         }
-        for l in 1..=MAX_LEVEL {
+        for l in 1..=self.max_depth {
             let ancestor = leaf.parent_at(l);
             let pos = ancestor.child_position() as usize;
             match &node.children[pos] {
@@ -181,23 +218,49 @@ impl AdaptiveCellTrie {
         self.postings
     }
 
+    /// Number of trie nodes (maintained incrementally, O(1)).
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Deepest level at which a posting terminates.
+    pub fn max_depth(&self) -> u8 {
+        self.max_depth
+    }
+
     /// Collects structural statistics.
+    ///
+    /// The node/posting counts come from the incrementally maintained
+    /// counters; `verify_counters` (debug builds / tests) checks them against
+    /// a full walk.
     pub fn stats(&self) -> ActStats {
         ActStats {
-            nodes: self.root.count_nodes(),
-            postings: self.root.count_postings(),
+            nodes: self.nodes,
+            postings: self.postings,
             polygons: self.polygons,
             max_depth: self.max_depth,
         }
+    }
+
+    /// Recounts nodes and postings with a full walk and compares against the
+    /// incremental counters. Used by tests; O(nodes).
+    pub fn verify_counters(&self) -> bool {
+        self.root.count_nodes() == self.nodes && self.root.count_postings() == self.postings
+    }
+
+    /// Freezes the trie into the contiguous, cache-conscious query layout.
+    pub fn freeze(&self) -> crate::FrozenCellTrie {
+        crate::FrozenCellTrie::freeze(self)
     }
 }
 
 impl MemoryFootprint for AdaptiveCellTrie {
     fn memory_bytes(&self) -> usize {
-        let stats = self.stats();
-        // Children pointers dominate; postings are 8 bytes each.
-        stats.nodes * std::mem::size_of::<TrieNode>()
-            + stats.postings * std::mem::size_of::<CellPosting>()
+        // O(1): both counters are maintained on insert. Children pointers
+        // dominate; the postings term charges the vectors' reserved
+        // capacity, not just the live entries.
+        self.nodes * std::mem::size_of::<TrieNode>()
+            + self.postings_capacity * std::mem::size_of::<CellPosting>()
     }
 }
 

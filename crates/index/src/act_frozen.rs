@@ -1,0 +1,525 @@
+//! Frozen, cache-conscious layout of the Adaptive Cell Trie.
+//!
+//! [`crate::AdaptiveCellTrie`] is the *builder*: a pointer trie of
+//! heap-allocated boxes that supports incremental insertion. Probing it
+//! chases one `Box` per level and allocates a result vector per probe —
+//! fine for construction, wasteful for the paper's hot path, where every
+//! query point becomes a trie lookup.
+//!
+//! [`FrozenCellTrie`] is the *query* form produced by
+//! [`FrozenCellTrie::freeze`]:
+//!
+//! * all nodes live in one contiguous array, in **pre-order**, so a
+//!   root-to-leaf descent walks mostly forward through memory;
+//! * children are `u32` indices (`NO_CHILD` for absent), not pointers;
+//! * all postings live in a single structure-of-arrays arena (`polygon`
+//!   column + `class` column) addressed by `(offset, len)` — no per-node
+//!   heap allocation anywhere, and `memory_bytes` is exact and O(1).
+//!
+//! For batched probing, [`SortedProbeCursor`] keeps the current
+//! root-to-leaf path on a stack. When probes arrive in leaf-key order
+//! (Z-order — consecutive keys share long cell-path prefixes), each probe
+//! re-descends only from the first level where its key diverges from the
+//! previous one, so most probes touch one or two nodes instead of walking
+//! from the root.
+
+use crate::act::{ActStats, AdaptiveCellTrie, CellPosting, PolygonId, TrieNode};
+use crate::footprint::MemoryFootprint;
+use dbsa_grid::{CellId, MAX_LEVEL};
+use dbsa_raster::CellClass;
+
+/// Sentinel child index: this child does not exist.
+const NO_CHILD: u32 = u32::MAX;
+
+/// Path-stack capacity: one entry per level, root included.
+const STACK: usize = MAX_LEVEL as usize + 1;
+
+/// One frozen trie node: four child indices plus the `(offset, len)` slice
+/// of the postings arena. 24 bytes, `Copy`, no indirection.
+#[derive(Debug, Clone, Copy)]
+struct FrozenNode {
+    children: [u32; 4],
+    postings_offset: u32,
+    postings_len: u32,
+}
+
+/// The frozen Adaptive Cell Trie. Immutable; build via
+/// [`FrozenCellTrie::freeze`] (or [`AdaptiveCellTrie::freeze`]).
+#[derive(Debug)]
+pub struct FrozenCellTrie {
+    /// All nodes in pre-order; index 0 is the root.
+    nodes: Vec<FrozenNode>,
+    /// Postings arena, polygon column.
+    posting_polygons: Vec<PolygonId>,
+    /// Postings arena, class column (aligned with `posting_polygons`).
+    posting_classes: Vec<CellClass>,
+    polygons: usize,
+    max_depth: u8,
+}
+
+/// Child position of `leaf`'s ancestor at `level` — pure bit arithmetic on
+/// the raw leaf id (the two path bits that encode the level-`level` branch).
+#[inline(always)]
+fn child_pos(raw_leaf: u64, level: u8) -> usize {
+    ((raw_leaf >> (2 * (MAX_LEVEL - level) as u32 + 1)) & 3) as usize
+}
+
+impl FrozenCellTrie {
+    /// Flattens a pointer trie into the frozen layout.
+    pub fn freeze(trie: &AdaptiveCellTrie) -> Self {
+        let node_count = trie.node_count();
+        let posting_count = trie.posting_count();
+        assert!(
+            node_count < NO_CHILD as usize && posting_count <= u32::MAX as usize,
+            "trie too large for u32 indices ({node_count} nodes, {posting_count} postings)"
+        );
+        let mut nodes = Vec::with_capacity(node_count);
+        let mut posting_polygons = Vec::with_capacity(posting_count);
+        let mut posting_classes = Vec::with_capacity(posting_count);
+        freeze_node(
+            &trie.root,
+            &mut nodes,
+            &mut posting_polygons,
+            &mut posting_classes,
+        );
+        debug_assert_eq!(nodes.len(), node_count);
+        debug_assert_eq!(posting_polygons.len(), posting_count);
+        FrozenCellTrie {
+            nodes,
+            posting_polygons,
+            posting_classes,
+            polygons: trie.polygon_count(),
+            max_depth: trie.max_depth(),
+        }
+    }
+
+    /// Number of indexed polygons.
+    pub fn polygon_count(&self) -> usize {
+        self.polygons
+    }
+
+    /// Number of cell postings.
+    pub fn posting_count(&self) -> usize {
+        self.posting_polygons.len()
+    }
+
+    /// Number of trie nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Deepest level at which a posting terminates.
+    pub fn max_depth(&self) -> u8 {
+        self.max_depth
+    }
+
+    /// Structural statistics — O(1), everything is a stored count.
+    pub fn stats(&self) -> ActStats {
+        ActStats {
+            nodes: self.nodes.len(),
+            postings: self.posting_polygons.len(),
+            polygons: self.polygons,
+            max_depth: self.max_depth,
+        }
+    }
+
+    /// The first (coarsest) posting of node `idx`, if it has any.
+    #[inline(always)]
+    fn node_first_posting(&self, idx: usize) -> Option<CellPosting> {
+        let node = &self.nodes[idx];
+        (node.postings_len > 0).then(|| self.posting_at(node.postings_offset as usize))
+    }
+
+    #[inline(always)]
+    fn posting_at(&self, arena_idx: usize) -> CellPosting {
+        CellPosting {
+            polygon: self.posting_polygons[arena_idx],
+            class: self.posting_classes[arena_idx],
+        }
+    }
+
+    #[inline(always)]
+    fn append_postings(&self, idx: usize, out: &mut Vec<CellPosting>) {
+        let node = &self.nodes[idx];
+        let from = node.postings_offset as usize;
+        let to = from + node.postings_len as usize;
+        for i in from..to {
+            out.push(self.posting_at(i));
+        }
+    }
+
+    /// Looks up the polygons whose approximation contains the given leaf
+    /// cell, in root-to-leaf (coarsest-first) order — identical semantics to
+    /// [`AdaptiveCellTrie::lookup_leaf`].
+    pub fn lookup_leaf(&self, leaf: CellId) -> Vec<CellPosting> {
+        let mut result = Vec::new();
+        self.lookup_leaf_into(leaf, &mut result);
+        result
+    }
+
+    /// Allocation-free variant of [`lookup_leaf`](Self::lookup_leaf): clears
+    /// and fills a caller-provided buffer.
+    pub fn lookup_leaf_into(&self, leaf: CellId, out: &mut Vec<CellPosting>) {
+        debug_assert!(leaf.is_leaf(), "lookup requires a leaf cell id: {leaf}");
+        out.clear();
+        let raw = leaf.raw();
+        let mut node = 0usize;
+        self.append_postings(node, out);
+        for l in 1..=self.max_depth {
+            let child = self.nodes[node].children[child_pos(raw, l)];
+            if child == NO_CHILD {
+                break;
+            }
+            node = child as usize;
+            self.append_postings(node, out);
+        }
+    }
+
+    /// The first (coarsest) posting covering the leaf cell, if any — the
+    /// value the disjoint-region join needs per probe, with no allocation.
+    pub fn first_posting(&self, leaf: CellId) -> Option<CellPosting> {
+        debug_assert!(leaf.is_leaf(), "lookup requires a leaf cell id: {leaf}");
+        let raw = leaf.raw();
+        let mut node = 0usize;
+        if let Some(p) = self.node_first_posting(node) {
+            return Some(p);
+        }
+        for l in 1..=self.max_depth {
+            let child = self.nodes[node].children[child_pos(raw, l)];
+            if child == NO_CHILD {
+                return None;
+            }
+            node = child as usize;
+            if let Some(p) = self.node_first_posting(node) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Convenience: the first polygon covering the leaf cell, if any.
+    pub fn lookup_first(&self, leaf: CellId) -> Option<PolygonId> {
+        self.first_posting(leaf).map(|p| p.polygon)
+    }
+
+    /// Starts a batched probe cursor. Feed it leaf cells (ideally in key
+    /// order) via [`SortedProbeCursor::first_posting`].
+    pub fn cursor(&self) -> SortedProbeCursor<'_> {
+        SortedProbeCursor::new(self)
+    }
+}
+
+/// Pre-order flattening: the parent is emitted before its children, so a
+/// descent path runs forward through the node array.
+fn freeze_node(
+    node: &TrieNode,
+    nodes: &mut Vec<FrozenNode>,
+    posting_polygons: &mut Vec<PolygonId>,
+    posting_classes: &mut Vec<CellClass>,
+) -> u32 {
+    let idx = nodes.len() as u32;
+    nodes.push(FrozenNode {
+        children: [NO_CHILD; 4],
+        postings_offset: posting_polygons.len() as u32,
+        postings_len: node.postings.len() as u32,
+    });
+    for p in &node.postings {
+        posting_polygons.push(p.polygon);
+        posting_classes.push(p.class);
+    }
+    for (pos, child) in node.children.iter().enumerate() {
+        if let Some(child) = child {
+            let child_idx = freeze_node(child, nodes, posting_polygons, posting_classes);
+            nodes[idx as usize].children[pos] = child_idx;
+        }
+    }
+    idx
+}
+
+impl MemoryFootprint for FrozenCellTrie {
+    fn memory_bytes(&self) -> usize {
+        // Exact: three flat arrays, no hidden per-node allocations.
+        self.nodes.capacity() * std::mem::size_of::<FrozenNode>()
+            + self.posting_polygons.capacity() * std::mem::size_of::<PolygonId>()
+            + self.posting_classes.capacity() * std::mem::size_of::<CellClass>()
+    }
+}
+
+/// Batched probe cursor over a [`FrozenCellTrie`].
+///
+/// Keeps the root-to-leaf path of the previous probe on a stack, together
+/// with the first posting seen at-or-above each stacked level. A new probe
+/// compares its leaf key with the previous one (one XOR + leading-zeros) and
+/// re-descends only from the first diverging level. Correct for any probe
+/// order; fast when probes are sorted by leaf key, because Z-order neighbors
+/// share long prefixes.
+pub struct SortedProbeCursor<'a> {
+    trie: &'a FrozenCellTrie,
+    /// `stack[d]` = node index at level `d` on the current path.
+    stack: [u32; STACK],
+    /// `first[d]` = first posting encountered at or above level `d`.
+    first: [Option<CellPosting>; STACK],
+    /// Deepest valid level on the stack.
+    depth: usize,
+    /// Raw leaf key of the previous probe.
+    prev: u64,
+    has_prev: bool,
+    /// Result of the previous probe (reused when the path is shared).
+    cached: Option<CellPosting>,
+}
+
+impl<'a> SortedProbeCursor<'a> {
+    fn new(trie: &'a FrozenCellTrie) -> Self {
+        let mut first = [None; STACK];
+        first[0] = trie.node_first_posting(0);
+        SortedProbeCursor {
+            trie,
+            stack: [0; STACK],
+            first,
+            depth: 0,
+            prev: 0,
+            has_prev: false,
+            cached: None,
+        }
+    }
+
+    /// The first (coarsest) posting covering `leaf`, descending only from
+    /// the level where `leaf` diverges from the previous probe.
+    pub fn first_posting(&mut self, leaf: CellId) -> Option<CellPosting> {
+        debug_assert!(
+            leaf.is_leaf(),
+            "cursor probes require a leaf cell id: {leaf}"
+        );
+        let raw = leaf.raw();
+        let start = if self.has_prev {
+            let xor = self.prev ^ raw;
+            if xor == 0 {
+                // Same leaf as before: same answer.
+                return self.cached;
+            }
+            // Highest differing bit of the 60-bit cell path (bit 0 is the
+            // leaf sentinel, equal on both sides) → first diverging level.
+            let high_bit = 63 - xor.leading_zeros() as usize;
+            let diverge_level = MAX_LEVEL as usize - (high_bit - 1) / 2;
+            if self.depth + 1 < diverge_level {
+                // The keys diverge below the point where the previous
+                // descent already ran out of children — the walk, and hence
+                // the answer, is unchanged.
+                self.prev = raw;
+                return self.cached;
+            }
+            diverge_level
+        } else {
+            1
+        };
+        self.has_prev = true;
+        self.prev = raw;
+        self.depth = start - 1;
+        let mut node = self.stack[self.depth] as usize;
+        let mut best = self.first[self.depth];
+        for l in start..=self.trie.max_depth as usize {
+            let child = self.trie.nodes[node].children[child_pos(raw, l as u8)];
+            if child == NO_CHILD {
+                break;
+            }
+            node = child as usize;
+            self.depth = l;
+            self.stack[l] = child;
+            if best.is_none() {
+                best = self.trie.node_first_posting(node);
+            }
+            self.first[l] = best;
+        }
+        self.cached = best;
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::{Point, Polygon};
+    use dbsa_grid::GridExtent;
+    use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster};
+    use proptest::prelude::*;
+
+    fn extent() -> GridExtent {
+        GridExtent::new(Point::new(0.0, 0.0), 1024.0)
+    }
+
+    fn polygons() -> Vec<Polygon> {
+        vec![
+            Polygon::from_coords(&[
+                (100.0, 100.0),
+                (300.0, 100.0),
+                (300.0, 300.0),
+                (100.0, 300.0),
+            ]),
+            Polygon::from_coords(&[
+                (300.0, 100.0),
+                (500.0, 100.0),
+                (500.0, 300.0),
+                (300.0, 300.0),
+            ]),
+            Polygon::from_coords(&[
+                (700.0, 700.0),
+                (900.0, 700.0),
+                (900.0, 900.0),
+                (700.0, 900.0),
+            ]),
+        ]
+    }
+
+    fn build_both(bound_m: f64) -> (AdaptiveCellTrie, FrozenCellTrie) {
+        let ext = extent();
+        let rasters: Vec<HierarchicalRaster> = polygons()
+            .iter()
+            .map(|p| {
+                HierarchicalRaster::with_bound(
+                    p,
+                    &ext,
+                    DistanceBound::meters(bound_m),
+                    BoundaryPolicy::Conservative,
+                )
+            })
+            .collect();
+        let pointer = AdaptiveCellTrie::build(&rasters);
+        let frozen = pointer.freeze();
+        (pointer, frozen)
+    }
+
+    #[test]
+    fn freeze_preserves_structure_counts() {
+        let (pointer, frozen) = build_both(4.0);
+        assert_eq!(frozen.stats(), pointer.stats());
+        assert_eq!(frozen.node_count(), pointer.node_count());
+        assert_eq!(frozen.posting_count(), pointer.posting_count());
+        assert_eq!(frozen.polygon_count(), pointer.polygon_count());
+        assert_eq!(frozen.max_depth(), pointer.max_depth());
+        assert!(pointer.verify_counters());
+    }
+
+    #[test]
+    fn frozen_lookups_match_pointer_lookups_on_a_sweep() {
+        let (pointer, frozen) = build_both(8.0);
+        let ext = extent();
+        for i in 0..64 {
+            for j in 0..64 {
+                let p = Point::new(i as f64 * 16.0 + 0.5, j as f64 * 16.0 + 0.5);
+                let leaf = ext.leaf_cell_id(&p);
+                assert_eq!(frozen.lookup_leaf(leaf), pointer.lookup_leaf(leaf));
+                assert_eq!(frozen.lookup_first(leaf), pointer.lookup_first(leaf));
+                assert_eq!(
+                    frozen.first_posting(leaf),
+                    pointer.lookup_leaf(leaf).first().copied()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_matches_scalar_lookups_in_sorted_and_unsorted_order() {
+        let (_, frozen) = build_both(4.0);
+        let ext = extent();
+        let mut leaves: Vec<CellId> = (0..48)
+            .flat_map(|i| {
+                (0..48).map(move |j| {
+                    ext.leaf_cell_id(&Point::new(i as f64 * 21.0 + 1.0, j as f64 * 21.0 + 1.0))
+                })
+            })
+            .collect();
+
+        // Unsorted (row-major) order: the cursor must still be correct.
+        let mut cursor = frozen.cursor();
+        for &leaf in &leaves {
+            assert_eq!(cursor.first_posting(leaf), frozen.first_posting(leaf));
+        }
+
+        // Sorted order (the intended fast path), with duplicates.
+        leaves.push(leaves[17]);
+        leaves.sort_unstable();
+        let mut cursor = frozen.cursor();
+        for &leaf in &leaves {
+            assert_eq!(cursor.first_posting(leaf), frozen.first_posting(leaf));
+        }
+    }
+
+    #[test]
+    fn empty_trie_freezes_to_a_lone_root() {
+        let frozen = AdaptiveCellTrie::new().freeze();
+        assert_eq!(frozen.node_count(), 1);
+        assert_eq!(frozen.posting_count(), 0);
+        assert_eq!(frozen.lookup_first(CellId::leaf(5, 5)), None);
+        assert!(frozen.lookup_leaf(CellId::leaf(5, 5)).is_empty());
+        let mut cursor = frozen.cursor();
+        assert_eq!(cursor.first_posting(CellId::leaf(5, 5)), None);
+        assert_eq!(cursor.first_posting(CellId::leaf(6, 5)), None);
+        assert!(frozen.memory_bytes() >= std::mem::size_of::<FrozenNode>());
+    }
+
+    #[test]
+    fn frozen_memory_is_exact_and_below_the_pointer_builder() {
+        let (pointer, frozen) = build_both(4.0);
+        let expected = frozen.node_count() * std::mem::size_of::<FrozenNode>()
+            + frozen.posting_count()
+                * (std::mem::size_of::<PolygonId>() + std::mem::size_of::<CellClass>());
+        assert_eq!(frozen.memory_bytes(), expected);
+        assert!(
+            frozen.memory_bytes() < pointer.memory_bytes(),
+            "frozen {} should undercut the pointer builder {}",
+            frozen.memory_bytes(),
+            pointer.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn manual_insertion_round_trips_through_freeze() {
+        let mut act = AdaptiveCellTrie::new();
+        let cell = CellId::from_cell_xy(2, 3, 4);
+        act.insert_cell(7, cell, CellClass::Interior);
+        let frozen = act.freeze();
+        assert_eq!(frozen.lookup_first(cell.range_min()), Some(7));
+        assert_eq!(
+            frozen.lookup_first(CellId::from_cell_xy(0, 0, 4).range_min()),
+            None
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random cells at random levels: frozen scalar lookups and the
+        /// cursor agree with the pointer trie everywhere.
+        #[test]
+        fn prop_frozen_equals_pointer_on_random_tries(
+            cells in proptest::collection::vec(
+                (0u32..64, 0u32..64, 3u8..9, 0u32..5, proptest::bool::ANY), 1..120),
+            probes in proptest::collection::vec((0u32..1024, 0u32..1024), 1..80),
+        ) {
+            let mut act = AdaptiveCellTrie::new();
+            for (x, y, level, polygon, boundary) in cells {
+                let cx = x % (1 << level);
+                let cy = y % (1 << level);
+                let class = if boundary { CellClass::Boundary } else { CellClass::Interior };
+                act.insert_cell(polygon, CellId::from_cell_xy(cx, cy, level), class);
+            }
+            let frozen = act.freeze();
+            prop_assert_eq!(frozen.stats(), act.stats());
+
+            let mut leaves: Vec<CellId> = probes
+                .into_iter()
+                .map(|(x, y)| CellId::leaf(x << 20, y << 20))
+                .collect();
+            leaves.sort_unstable();
+            let mut cursor = frozen.cursor();
+            let mut buf = Vec::new();
+            for leaf in leaves {
+                let reference = act.lookup_leaf(leaf);
+                frozen.lookup_leaf_into(leaf, &mut buf);
+                prop_assert_eq!(&buf, &reference);
+                prop_assert_eq!(frozen.first_posting(leaf), reference.first().copied());
+                prop_assert_eq!(cursor.first_posting(leaf), reference.first().copied());
+            }
+        }
+    }
+}

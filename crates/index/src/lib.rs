@@ -15,6 +15,10 @@
 //! * [`AdaptiveCellTrie`] (ACT) — a radix tree over the linearized cells of
 //!   hierarchical raster approximations; point lookups walk the trie and
 //!   never touch exact geometry (approximate, distance-bounded),
+//! * [`FrozenCellTrie`] — the cache-conscious query form of the ACT: one
+//!   contiguous pre-order node array with `u32` child indices and a single
+//!   SoA postings arena, plus a [`SortedProbeCursor`] that answers sorted
+//!   probe batches by re-descending only below shared key prefixes,
 //! * [`ShapeIndex`] — an S2ShapeIndex-like baseline: coarse hierarchical
 //!   cells with **exact** point-in-polygon refinement for boundary cells.
 //!
@@ -28,6 +32,7 @@
 //! which feeds the paper's in-text storage comparison (ACT ≫ SI ≫ R\*-tree).
 
 pub mod act;
+pub mod act_frozen;
 pub mod btree;
 pub mod footprint;
 pub mod kdtree;
@@ -37,7 +42,8 @@ pub mod rtree;
 pub mod shape_index;
 pub mod sorted_array;
 
-pub use act::{ActStats, AdaptiveCellTrie};
+pub use act::{ActStats, AdaptiveCellTrie, CellPosting, PolygonId};
+pub use act_frozen::{FrozenCellTrie, SortedProbeCursor};
 pub use btree::BPlusTree;
 pub use footprint::MemoryFootprint;
 pub use kdtree::KdTree;
@@ -45,4 +51,4 @@ pub use quadtree::PointQuadtree;
 pub use radix_spline::{RadixSpline, RadixSplineBuilder};
 pub use rtree::{RTree, RTreeEntry};
 pub use shape_index::ShapeIndex;
-pub use sorted_array::{PrefixSumArray, SortedKeyArray};
+pub use sorted_array::{PrefixSumArray, RangeMinMax, SortedKeyArray};

@@ -115,11 +115,31 @@ impl ShapeIndex {
         self.lookup_counting(p, &mut refinements)
     }
 
+    /// The grid extent the coverings were built on (probe loops use it to
+    /// linearize points once and batch-sort them by leaf key).
+    pub fn extent(&self) -> &GridExtent {
+        &self.extent
+    }
+
     /// Exact lookup that also reports how many exact PIP refinements were
     /// performed (the quantity the paper's analysis attributes the cost to).
     pub fn lookup_counting(&self, p: &Point, refinements: &mut usize) -> Vec<PolygonId> {
-        let leaf = self.extent.leaf_cell_id(p);
         let mut out = Vec::new();
+        self.lookup_counting_into(p, refinements, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`lookup_counting`](Self::lookup_counting):
+    /// clears and fills a caller-provided buffer so per-probe allocation
+    /// disappears from the join's probe loop.
+    pub fn lookup_counting_into(
+        &self,
+        p: &Point,
+        refinements: &mut usize,
+        out: &mut Vec<PolygonId>,
+    ) {
+        let leaf = self.extent.leaf_cell_id(p);
+        out.clear();
         // Candidate cells are those whose range contains the leaf. They are
         // sorted by range_min, and ranges can nest across polygons, so scan
         // backwards from the partition point until ranges can no longer
@@ -145,7 +165,6 @@ impl ShapeIndex {
             }
         }
         out.sort_unstable();
-        out
     }
 
     /// Convenience: the first containing polygon.

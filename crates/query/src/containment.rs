@@ -14,7 +14,7 @@
 use crate::aggregate::RegionAggregate;
 use dbsa_geom::{MultiPolygon, Point, Polygon};
 use dbsa_grid::{CurveKind, GridExtent};
-use dbsa_index::sorted_array::PrefixSumArray;
+use dbsa_index::sorted_array::{PrefixSumArray, RangeMinMax};
 use dbsa_index::{
     BPlusTree, KdTree, MemoryFootprint, PointQuadtree, RTree, RTreeEntry, RadixSpline,
     RadixSplineBuilder, SortedKeyArray,
@@ -34,14 +34,17 @@ pub enum PointIndexVariant {
 }
 
 /// A linearized point table: points mapped to leaf-cell keys, sorted, with
-/// the attribute column and its prefix sums aligned to key order.
+/// the attribute column's prefix sums and range-min/max tables aligned to
+/// key order. Every per-cell aggregate (`COUNT`, `SUM`, `MIN`, `MAX`) is
+/// O(1) after the two bound lookups — no per-element scan anywhere.
 #[derive(Debug)]
 pub struct LinearizedPointTable {
     extent: GridExtent,
     keys: SortedKeyArray,
-    /// Attribute values in key order.
-    values: Vec<f64>,
     prefix: PrefixSumArray,
+    /// Sparse-table RMQ over the value column (in key order) for O(1)
+    /// `MIN`/`MAX` per cell regardless of the range width.
+    minmax: RangeMinMax,
     spline: RadixSpline,
     btree: BPlusTree,
 }
@@ -75,6 +78,7 @@ impl LinearizedPointTable {
         let keys: Vec<u64> = pairs.iter().map(|(k, _)| *k).collect();
         let sorted_values: Vec<f64> = pairs.iter().map(|(_, v)| *v).collect();
         let prefix = PrefixSumArray::new(&sorted_values);
+        let minmax = RangeMinMax::new(&sorted_values);
         let spline = RadixSplineBuilder::new()
             .radix_bits(radix_bits)
             .spline_error(spline_error)
@@ -83,8 +87,8 @@ impl LinearizedPointTable {
         LinearizedPointTable {
             extent: *extent,
             keys: SortedKeyArray::from_sorted(keys),
-            values: sorted_values,
             prefix,
+            minmax,
             spline,
             btree,
         }
@@ -148,11 +152,10 @@ impl LinearizedPointTable {
             if to > from {
                 let sum = self.prefix.range_sum(from, to);
                 agg.add_batch((to - from) as u64, sum, cell.class == CellClass::Boundary);
-                // MIN/MAX need the individual values; visit them lazily.
-                for v in &self.values[from..to] {
-                    agg.min = agg.min.min(*v);
-                    agg.max = agg.max.max(*v);
-                }
+                // MIN/MAX come from the sparse-table RMQ: O(1) per cell
+                // regardless of how many points the range covers.
+                agg.min = agg.min.min(self.minmax.range_min(from, to));
+                agg.max = agg.max.max(self.minmax.range_max(from, to));
             }
         }
         agg
@@ -468,6 +471,33 @@ mod tests {
             "a realistic polygon has points in boundary cells"
         );
         assert!(agg.min <= agg.max);
+    }
+
+    #[test]
+    fn aggregate_cells_min_max_match_the_naive_scan() {
+        let (points, values, extent) = setup(4_000);
+        let table = LinearizedPointTable::build(&points, &values, &extent);
+        let poly = query_polygon();
+        let raster =
+            HierarchicalRaster::with_cell_budget(&poly, &extent, 96, BoundaryPolicy::Conservative);
+        let agg = table.aggregate_cells(raster.cells(), PointIndexVariant::BinarySearch);
+
+        // Naive reference: scan every point against every cell range.
+        let mut naive_min = f64::INFINITY;
+        let mut naive_max = f64::NEG_INFINITY;
+        for (p, v) in points.iter().zip(&values) {
+            let key = extent.leaf_cell_id(p).raw();
+            let covered = raster
+                .cells()
+                .iter()
+                .any(|c| c.id.range_min().raw() <= key && key <= c.id.range_max().raw());
+            if covered {
+                naive_min = naive_min.min(*v);
+                naive_max = naive_max.max(*v);
+            }
+        }
+        assert_eq!(agg.min, naive_min);
+        assert_eq!(agg.max, naive_max);
     }
 
     #[test]

@@ -26,9 +26,12 @@
 
 use crate::aggregate::RegionAggregate;
 use dbsa_geom::{MultiPolygon, Point};
-use dbsa_grid::GridExtent;
-use dbsa_index::{AdaptiveCellTrie, MemoryFootprint, RTree, RTreeEntry, ShapeIndex};
-use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster};
+use dbsa_grid::{CellId, GridExtent};
+use dbsa_index::{
+    ActStats, AdaptiveCellTrie, CellPosting, FrozenCellTrie, MemoryFootprint, PolygonId, RTree,
+    RTreeEntry, ShapeIndex,
+};
+use dbsa_raster::{BoundaryPolicy, CellClass, DistanceBound, HierarchicalRaster};
 
 /// Output of a spatial aggregation join: one aggregate per region.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -71,9 +74,35 @@ impl JoinResult {
     }
 }
 
+/// Probe schedule shared by the batched join paths: every point's leaf cell
+/// key paired with its original index, sorted by key so consecutive probes
+/// share Z-order prefixes (trie descents) or neighboring cell ranges
+/// (shape-index stabbing scans).
+fn sorted_probe_order(points: &[Point], extent: &GridExtent) -> Vec<(CellId, u32)> {
+    assert!(
+        points.len() <= u32::MAX as usize,
+        "probe batch exceeds u32 index space ({} points)",
+        points.len()
+    );
+    let mut order: Vec<(CellId, u32)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (extent.leaf_cell_id(p), i as u32))
+        .collect();
+    order.sort_unstable();
+    order
+}
+
 /// The approximate index-nested-loop join over ACT.
+///
+/// The polygon index is built with the mutable pointer-trie
+/// [`AdaptiveCellTrie`] and then frozen into the cache-conscious
+/// [`FrozenCellTrie`]; query execution probes the frozen form. `execute`
+/// sorts the probe points by leaf cell key and walks the trie with a
+/// prefix-sharing cursor, so consecutive probes touch only the levels where
+/// their keys diverge.
 pub struct ApproximateCellJoin {
-    trie: AdaptiveCellTrie,
+    trie: FrozenCellTrie,
     extent: GridExtent,
     region_count: usize,
     bound: DistanceBound,
@@ -82,14 +111,15 @@ pub struct ApproximateCellJoin {
 
 impl ApproximateCellJoin {
     /// Builds the join's polygon index: a distance-bounded hierarchical
-    /// raster per region, all inserted into one Adaptive Cell Trie.
+    /// raster per region, all inserted into one Adaptive Cell Trie, which is
+    /// then frozen for querying.
     pub fn build(regions: &[MultiPolygon], extent: &GridExtent, bound: DistanceBound) -> Self {
         let rasters: Vec<HierarchicalRaster> = regions
             .iter()
             .map(|r| HierarchicalRaster::with_bound(r, extent, bound, BoundaryPolicy::Conservative))
             .collect();
         let raster_cells = rasters.iter().map(|r| r.cell_count()).sum();
-        let trie = AdaptiveCellTrie::build(&rasters);
+        let trie = AdaptiveCellTrie::build(&rasters).freeze();
         ApproximateCellJoin {
             trie,
             extent: *extent,
@@ -110,12 +140,38 @@ impl ApproximateCellJoin {
         self.raster_cells
     }
 
-    /// Memory footprint of the trie.
+    /// Memory footprint of the (frozen) trie — exact, O(1).
     pub fn memory_bytes(&self) -> usize {
         self.trie.memory_bytes()
     }
 
-    /// Executes the join single-threaded.
+    /// The frozen trie the join probes (exposed for benchmarks and stats).
+    pub fn trie(&self) -> &FrozenCellTrie {
+        &self.trie
+    }
+
+    /// Structural statistics of the frozen trie.
+    pub fn trie_stats(&self) -> ActStats {
+        self.trie.stats()
+    }
+
+    /// Batched lookup: the first (coarsest) covering posting per point, in
+    /// the *original* point order.
+    ///
+    /// Probes are sorted by leaf cell key once and answered with a
+    /// prefix-sharing cursor over the frozen trie, so consecutive probes
+    /// re-descend only below the level where their Z-order keys diverge.
+    pub fn lookup_batch(&self, points: &[Point]) -> Vec<Option<CellPosting>> {
+        let order = sorted_probe_order(points, &self.extent);
+        let mut matches = vec![None; points.len()];
+        let mut cursor = self.trie.cursor();
+        for &(leaf, idx) in &order {
+            matches[idx as usize] = cursor.first_posting(leaf);
+        }
+        matches
+    }
+
+    /// Executes the join single-threaded (batched sorted-probe path).
     pub fn execute(&self, points: &[Point], values: &[f64]) -> JoinResult {
         assert_eq!(points.len(), values.len(), "one value per point required");
         let mut result = JoinResult::with_regions(self.region_count);
@@ -123,21 +179,44 @@ impl ApproximateCellJoin {
         result
     }
 
-    fn execute_into(&self, points: &[Point], values: &[f64], result: &mut JoinResult) {
+    /// Executes the join with one scalar trie descent per point, reusing a
+    /// single postings buffer across probes (no sort, no per-probe
+    /// allocation). Kept for comparison benchmarks; produces bit-for-bit the
+    /// same [`JoinResult`] as [`execute`](Self::execute).
+    pub fn execute_scalar(&self, points: &[Point], values: &[f64]) -> JoinResult {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        let mut result = JoinResult::with_regions(self.region_count);
+        let mut postings: Vec<CellPosting> = Vec::new();
         for (p, v) in points.iter().zip(values) {
             let leaf = self.extent.leaf_cell_id(p);
-            let postings = self.trie.lookup_leaf(leaf);
-            if postings.is_empty() {
-                result.unmatched += 1;
-                continue;
+            self.trie.lookup_leaf_into(leaf, &mut postings);
+            match postings.first() {
+                Some(posting) => Self::accumulate(&mut result, *posting, *v),
+                None => result.unmatched += 1,
             }
-            // Administrative regions are disjoint: a point falls in at most
-            // one region except within the bound of shared boundaries, where
-            // the first (coarsest) posting wins — any such point is within ε
-            // of the boundary, so either attribution is admissible.
-            let posting = postings[0];
-            result.regions[posting.polygon as usize]
-                .add(*v, posting.class == dbsa_raster::CellClass::Boundary);
+        }
+        result
+    }
+
+    #[inline]
+    fn accumulate(result: &mut JoinResult, posting: CellPosting, value: f64) {
+        // Administrative regions are disjoint: a point falls in at most
+        // one region except within the bound of shared boundaries, where
+        // the first (coarsest) posting wins — any such point is within ε
+        // of the boundary, so either attribution is admissible.
+        result.regions[posting.polygon as usize].add(value, posting.class == CellClass::Boundary);
+    }
+
+    fn execute_into(&self, points: &[Point], values: &[f64], result: &mut JoinResult) {
+        let matches = self.lookup_batch(points);
+        // Aggregate in the original point order so the result — including
+        // the f64 summation order — is bit-for-bit identical to the scalar
+        // probe loop.
+        for (m, v) in matches.iter().zip(values) {
+            match m {
+                Some(posting) => Self::accumulate(result, *posting, *v),
+                None => result.unmatched += 1,
+            }
         }
     }
 
@@ -252,15 +331,28 @@ impl ShapeIndexExactJoin {
     }
 
     /// Executes the exact join.
+    ///
+    /// Probes run in leaf-key order (the index's covering cells are sorted
+    /// by cell range, so key-ordered probes walk its stabbing scan almost
+    /// sequentially) with one reused hit buffer; the aggregation then runs
+    /// in the original point order, so the result is bit-for-bit identical
+    /// to a point-at-a-time loop.
     pub fn execute(&self, points: &[Point], values: &[f64]) -> JoinResult {
         assert_eq!(points.len(), values.len(), "one value per point required");
         let mut result = JoinResult::with_regions(self.region_count);
-        for (p, v) in points.iter().zip(values) {
-            let mut refinements = 0usize;
-            let hits = self.index.lookup_counting(p, &mut refinements);
-            result.pip_tests += refinements as u64;
-            match hits.first() {
-                Some(&rid) => result.regions[rid as usize].add(*v, false),
+        let order = sorted_probe_order(points, self.index.extent());
+        let mut matches: Vec<Option<PolygonId>> = vec![None; points.len()];
+        let mut hits: Vec<PolygonId> = Vec::new();
+        let mut refinements = 0usize;
+        for &(_, idx) in &order {
+            self.index
+                .lookup_counting_into(&points[idx as usize], &mut refinements, &mut hits);
+            matches[idx as usize] = hits.first().copied();
+        }
+        result.pip_tests += refinements as u64;
+        for (m, v) in matches.iter().zip(values) {
+            match m {
+                Some(rid) => result.regions[*rid as usize].add(*v, false),
                 None => result.unmatched += 1,
             }
         }
@@ -404,6 +496,56 @@ mod tests {
         assert_eq!(small.regions.len(), 9);
     }
 
+    /// The seed's pointer-trie scalar probe loop, kept as the reference the
+    /// frozen/batched paths must reproduce bit-for-bit.
+    fn pointer_trie_scalar_join(
+        regions: &[MultiPolygon],
+        extent: &GridExtent,
+        bound: DistanceBound,
+        points: &[Point],
+        values: &[f64],
+    ) -> JoinResult {
+        let rasters: Vec<HierarchicalRaster> = regions
+            .iter()
+            .map(|r| HierarchicalRaster::with_bound(r, extent, bound, BoundaryPolicy::Conservative))
+            .collect();
+        let trie = AdaptiveCellTrie::build(&rasters);
+        let mut result = JoinResult::with_regions(regions.len());
+        for (p, v) in points.iter().zip(values) {
+            let postings = trie.lookup_leaf(extent.leaf_cell_id(p));
+            match postings.first() {
+                Some(posting) => result.regions[posting.polygon as usize]
+                    .add(*v, posting.class == CellClass::Boundary),
+                None => result.unmatched += 1,
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn batched_and_scalar_paths_match_the_pointer_trie_bit_for_bit() {
+        let (points, values, regions, extent) = workload(12_000, 16);
+        let bound = DistanceBound::meters(6.0);
+        let join = ApproximateCellJoin::build(&regions, &extent, bound);
+        let reference = pointer_trie_scalar_join(&regions, &extent, bound, &points, &values);
+        assert_eq!(join.execute(&points, &values), reference);
+        assert_eq!(join.execute_scalar(&points, &values), reference);
+        assert_eq!(join.trie_stats().postings, join.trie().posting_count());
+    }
+
+    #[test]
+    fn lookup_batch_returns_original_point_order() {
+        let (points, values, regions, extent) = workload(2_000, 9);
+        let _ = values;
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let matches = join.lookup_batch(&points);
+        assert_eq!(matches.len(), points.len());
+        for (p, m) in points.iter().zip(&matches) {
+            let leaf = extent.leaf_cell_id(p);
+            assert_eq!(*m, join.trie().first_posting(leaf));
+        }
+    }
+
     #[test]
     fn join_result_merge_checks_region_counts() {
         let mut a = JoinResult::with_regions(3);
@@ -456,6 +598,31 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Randomly generated polygon sets and point clouds: the frozen
+        /// batched sorted-probe join and the frozen scalar join must equal
+        /// the seed pointer-trie scalar join bit-for-bit (f64 fields
+        /// included — identical probe answers, identical summation order).
+        #[test]
+        fn prop_frozen_paths_equal_pointer_path_bit_for_bit(
+            seed in 0u64..60,
+            n_regions in 4usize..16,
+            eps in 4.0f64..32.0,
+        ) {
+            let gen = TaxiPointGenerator::new(city_extent(), seed);
+            let taxi = gen.generate(1_500);
+            let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+            let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+            let regions =
+                PolygonSetGenerator::new(city_extent(), n_regions, 18, seed + 7).generate();
+            let extent = GridExtent::covering(&city_extent());
+            let bound = DistanceBound::meters(eps);
+            let join = ApproximateCellJoin::build(&regions, &extent, bound);
+            let reference =
+                pointer_trie_scalar_join(&regions, &extent, bound, &points, &values);
+            prop_assert_eq!(join.execute(&points, &values), reference.clone());
+            prop_assert_eq!(join.execute_scalar(&points, &values), reference);
+        }
 
         #[test]
         fn prop_total_points_are_conserved(seed in 0u64..100) {
