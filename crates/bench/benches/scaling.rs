@@ -1,0 +1,63 @@
+//! Sharded-execution scaling microbench: the monolithic 1-shard join path
+//! (per-query probe sort + match scatter) vs. the sharded engine's frozen
+//! per-shard probe schedules, across shard and worker counts, on the
+//! Figure 6 neighborhood workload at a 4 m bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::prelude::*;
+use dbsa_bench::Workload;
+use std::time::Duration;
+
+const N_POINTS: usize = 100_000;
+const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn bench_scaling(c: &mut Criterion) {
+    let bound = DistanceBound::meters(4.0);
+    let workload = Workload::from_profile(N_POINTS, DatasetProfile::Neighborhoods, 2021);
+
+    let mono = ApproximateEngine::builder()
+        .distance_bound(bound)
+        .extent(workload.extent_bbox())
+        .points(workload.points.clone(), workload.values.clone())
+        .regions(workload.regions.clone())
+        .build();
+    let reference = mono.aggregate_by_region();
+
+    let mut group = c.benchmark_group("scaling");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(20);
+
+    group.bench_function("unsharded_1shard_path", |b| {
+        b.iter(|| std::hint::black_box(mono.aggregate_by_region()))
+    });
+
+    for shards in SHARD_COUNTS {
+        let engine = ShardedEngine::builder()
+            .distance_bound(bound)
+            .extent(workload.extent_bbox())
+            .points(workload.points.clone(), workload.values.clone())
+            .regions(workload.regions.clone())
+            .shards(shards)
+            .build();
+        let snapshot = engine.snapshot();
+        // The counts must match the monolithic path before timing it.
+        let check = snapshot.aggregate_by_region();
+        assert_eq!(check.total_matched(), reference.total_matched());
+        assert_eq!(check.unmatched, reference.unmatched);
+
+        let thread_counts: &[usize] = if shards == 1 { &[1] } else { &[1, shards] };
+        for &threads in thread_counts {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded_{shards}sh"), format!("{threads}thr")),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| std::hint::black_box(snapshot.aggregate_by_region_parallel(threads)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

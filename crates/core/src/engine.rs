@@ -9,10 +9,10 @@
 //! time. Exact evaluation paths are kept available for validation.
 
 use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
-use dbsa_grid::GridExtent;
+use dbsa_grid::{partition_sorted_keys, split_at_ranges, GridExtent, KeyRange};
 use dbsa_query::{
     ApproximateCellJoin, JoinResult, LinearizedPointTable, PointIndexVariant, RTreeExactJoin,
-    RegionAggregate, ResultRange,
+    RegionAggregate, ResultRange, ShardProbe,
 };
 use dbsa_raster::{DistanceBound, Rasterizable};
 
@@ -112,8 +112,23 @@ impl ApproximateEngineBuilder {
     }
 }
 
-/// Statistics describing an engine instance.
+/// Per-shard slice of an engine's footprint: how many points a shard holds
+/// and what its point index costs, so footprint reporting stays exact under
+/// sharding (the totals in [`EngineStats`] are sums of these).
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Points stored in the shard.
+    pub points: usize,
+    /// Memory of the shard's point index (keys + learned index), in bytes.
+    pub point_index_bytes: usize,
+    /// The contiguous Morton key range the shard is responsible for.
+    pub key_range: KeyRange,
+    /// Whether this is the uncompacted ingest (delta) shard.
+    pub delta: bool,
+}
+
+/// Statistics describing an engine instance.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineStats {
     /// Number of indexed points.
     pub points: usize,
@@ -127,8 +142,13 @@ pub struct EngineStats {
     pub region_trie_nodes: usize,
     /// Memory of the region index (frozen ACT), in bytes — exact, O(1).
     pub region_index_bytes: usize,
-    /// Memory of the point index (keys + learned index), in bytes.
+    /// Memory of the point index (keys + learned index), in bytes — the
+    /// sum of the per-shard figures.
     pub point_index_bytes: usize,
+    /// Per-shard memory/points breakdown (a single full-range entry for
+    /// the monolithic engine; base shards ascending then the delta shard
+    /// for the sharded engine).
+    pub per_shard: Vec<ShardStats>,
 }
 
 /// The approximate spatial query engine.
@@ -170,6 +190,9 @@ impl ApproximateEngine {
 
     /// Structural statistics of the engine.
     pub fn stats(&self) -> EngineStats {
+        let point_index_bytes = self
+            .table
+            .index_memory_bytes(PointIndexVariant::RadixSpline);
         EngineStats {
             points: self.points.len(),
             regions: self.regions.len(),
@@ -185,9 +208,13 @@ impl ApproximateEngine {
                 .map(|j| j.trie_stats().nodes)
                 .unwrap_or(0),
             region_index_bytes: self.join.as_ref().map(|j| j.memory_bytes()).unwrap_or(0),
-            point_index_bytes: self
-                .table
-                .index_memory_bytes(PointIndexVariant::RadixSpline),
+            point_index_bytes,
+            per_shard: vec![ShardStats {
+                points: self.points.len(),
+                point_index_bytes,
+                key_range: KeyRange::FULL,
+                delta: false,
+            }],
         }
     }
 
@@ -206,11 +233,34 @@ impl ApproximateEngine {
     }
 
     /// Multi-threaded variant of [`aggregate_by_region`](Self::aggregate_by_region).
+    ///
+    /// Routed through the shard-level execution path: the table's sorted
+    /// key/value columns are split into `threads` contiguous Morton key
+    /// ranges (weighted by point count, never splitting equal keys) and
+    /// executed as shard probe schedules, partials merged in shard order
+    /// via [`JoinResult::merge`].
+    ///
+    /// **Determinism policy:** for a fixed `threads` value the result is
+    /// bit-for-bit reproducible (shard layout and merge order are both
+    /// functions of the data and `threads` alone). Across different
+    /// `threads` values — and relative to the sequential
+    /// [`aggregate_by_region`](Self::aggregate_by_region) — counts,
+    /// unmatched totals, min/max and boundary counts are identical; only
+    /// f64 sums may differ in final-bit rounding because the summation
+    /// order changes with the shard layout.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
     pub fn aggregate_by_region_parallel(&self, threads: usize) -> JoinResult {
-        self.join
-            .as_ref()
-            .expect("no regions loaded")
-            .execute_parallel(&self.points, &self.values, threads)
+        let join = self.join.as_ref().expect("no regions loaded");
+        let keys = self.table.keys();
+        let values = self.table.values_in_key_order();
+        let ranges = partition_sorted_keys(keys, threads.max(1));
+        let probes: Vec<ShardProbe<'_>> = split_at_ranges(keys, &ranges)
+            .into_iter()
+            .map(|(from, to)| ShardProbe::new(&keys[from..to], &values[from..to]))
+            .collect();
+        join.execute_shards(&probes, threads)
     }
 
     /// The exact reference evaluation of the same aggregation (R-tree over

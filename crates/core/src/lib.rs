@@ -54,24 +54,27 @@ pub use dbsa_raster as raster;
 
 pub mod config;
 pub mod engine;
+pub mod sharded;
 
 pub use config::ExperimentConfig;
-pub use engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats};
+pub use engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats, ShardStats};
+pub use sharded::{EngineShard, EngineSnapshot, ShardedEngine, ShardedEngineBuilder};
 
 /// Convenient glob import for applications.
 pub mod prelude {
-    pub use crate::engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats};
+    pub use crate::engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats, ShardStats};
+    pub use crate::sharded::{EngineShard, EngineSnapshot, ShardedEngine, ShardedEngineBuilder};
     pub use dbsa_canvas::{BoundedRasterJoin, Canvas, GpuBaseline, SimulatedDevice};
     pub use dbsa_datagen::{
         city_extent, DatasetProfile, Figure2Example, PolygonSetGenerator, TaxiPointGenerator,
     };
     pub use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon, Ring};
-    pub use dbsa_grid::{CellId, CurveKind, GridExtent};
+    pub use dbsa_grid::{CellId, CurveKind, GridExtent, KeyRange};
     pub use dbsa_index::{AdaptiveCellTrie, FrozenCellTrie, MemoryFootprint, RTree, RadixSpline};
     pub use dbsa_query::{
         AggregateKind, ApproximateCellJoin, ErrorSummary, JoinResult, LinearizedPointTable,
         PointIndexVariant, RTreeExactJoin, RegionAggregate, ResultRange, ShapeIndexExactJoin,
-        SpatialBaseline, SpatialBaselineKind,
+        ShardProbe, SpatialBaseline, SpatialBaselineKind,
     };
     pub use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster, UniformRaster};
 }

@@ -1,0 +1,928 @@
+//! The sharded, concurrently-servable engine.
+//!
+//! [`crate::ApproximateEngine`] is a build-once, single-table facade. This
+//! module turns the same query classes into a serving architecture:
+//!
+//! * **Z-order range partitioning** — the point table is split into
+//!   [`EngineShard`]s along weighted Morton key ranges
+//!   (`dbsa_grid::partition_sorted_keys`), so each shard owns a contiguous,
+//!   spatially coherent slice of the key domain and balanced point counts
+//!   even under heavy skew.
+//! * **Frozen per-shard query state** — every shard stores its rows sorted
+//!   by leaf key ([`LinearizedPointTable`] plus the aligned value column),
+//!   which *is* the probe schedule of the batched join: queries walk it
+//!   with a prefix-sharing cursor, with no per-query leaf-id computation,
+//!   no sort and no match scatter.
+//! * **Snapshot-based concurrent serving** — all query state is immutable
+//!   and shared through [`Arc`]s. Readers grab an [`EngineSnapshot`] (one
+//!   `RwLock`-guarded `Arc` clone) and run any number of queries without
+//!   further coordination; writers publish whole new snapshots.
+//! * **Incremental ingest** — [`ShardedEngine::append_points`] lands new
+//!   rows in a *delta shard* (rebuilt per batch, immediately visible in the
+//!   next snapshot); [`ShardedEngine::compact`] re-partitions base + delta
+//!   into fresh balanced shards. Concurrent compactions are skipped, not
+//!   queued (`Mutex::try_lock`).
+//! * **Shard pruning** — a shard is skipped when its key span cannot
+//!   intersect the query: the region trie's covered key range for the
+//!   aggregation join, the query raster's leaf-key ranges for ad-hoc
+//!   containment. Both tests are single interval intersections, courtesy
+//!   of the Z-order descendant-range property.
+
+use crate::engine::{EngineStats, ShardStats};
+use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
+use dbsa_grid::{partition_sorted_keys, split_at_ranges, GridExtent, KeyRange};
+use dbsa_query::{
+    ApproximateCellJoin, JoinResult, LinearizedPointTable, PointIndexVariant, RegionAggregate,
+    ResultRange, ShardProbe,
+};
+use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster, Rasterizable};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// One shard of the sharded engine: the rows whose Morton leaf keys fall
+/// into a contiguous [`KeyRange`], stored sorted by key, with the
+/// linearized point table built over exactly those rows.
+///
+/// Immutable after construction — shards are shared across snapshots via
+/// `Arc` and never mutated in place.
+pub struct EngineShard {
+    key_range: KeyRange,
+    /// The shard's points, sorted by leaf key (aligned with the table's
+    /// key and value columns through one shared sort).
+    points: Vec<Point>,
+    table: LinearizedPointTable,
+}
+
+impl EngineShard {
+    /// Builds a shard from pre-sorted, aligned columns (one sort upstream
+    /// keeps keys, points and values consistently paired).
+    fn from_sorted_columns(
+        key_range: KeyRange,
+        keys: Vec<u64>,
+        points: Vec<Point>,
+        values: Vec<f64>,
+        extent: &GridExtent,
+        spline_radix_bits: u32,
+        spline_error: usize,
+    ) -> Self {
+        debug_assert_eq!(keys.len(), points.len());
+        debug_assert!(keys.iter().all(|k| key_range.contains(*k)));
+        let table = LinearizedPointTable::from_sorted_rows(
+            keys,
+            values,
+            extent,
+            spline_radix_bits,
+            spline_error,
+        );
+        EngineShard {
+            key_range,
+            points,
+            table,
+        }
+    }
+
+    /// The contiguous key range this shard is responsible for.
+    pub fn key_range(&self) -> KeyRange {
+        self.key_range
+    }
+
+    /// Number of points stored in the shard.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the shard holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The shard's points in key order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The shard's attribute values in key order.
+    pub fn values(&self) -> &[f64] {
+        self.table.values_in_key_order()
+    }
+
+    /// The shard's linearized point table (frozen query state).
+    pub fn table(&self) -> &LinearizedPointTable {
+        &self.table
+    }
+
+    /// The shard's probe schedule for the aggregation join.
+    fn probe(&self) -> ShardProbe<'_> {
+        ShardProbe::new(self.table.keys(), self.table.values_in_key_order())
+    }
+
+    /// Whether any of the query raster's cells can contain one of this
+    /// shard's keys — the pruning test for ad-hoc containment queries.
+    fn intersects_any_cell(&self, raster: &HierarchicalRaster) -> bool {
+        let Some((lo, hi)) = self.table.key_range() else {
+            return false;
+        };
+        let span = KeyRange::new(lo, hi);
+        raster.cells().iter().any(|c| span.intersects_cell(c.id))
+    }
+
+    fn stats(&self, delta: bool) -> ShardStats {
+        ShardStats {
+            points: self.points.len(),
+            point_index_bytes: self
+                .table
+                .index_memory_bytes(PointIndexVariant::RadixSpline),
+            key_range: self.key_range,
+            delta,
+        }
+    }
+}
+
+/// One shard's columns as produced by [`partition_rows`]: the assigned key
+/// range plus the key-sorted, aligned key/point/value columns.
+type ShardColumns = (KeyRange, Vec<u64>, Vec<Point>, Vec<f64>);
+
+/// Sorts the rows by leaf key once and splits them into per-shard columns
+/// along weighted Morton key ranges. Ties (equal keys) break by original
+/// row index, so the layout is fully deterministic.
+fn partition_rows(
+    points: &[Point],
+    values: &[f64],
+    extent: &GridExtent,
+    target_shards: usize,
+) -> Vec<ShardColumns> {
+    assert_eq!(points.len(), values.len(), "one value per point required");
+    let mut order: Vec<(u64, u32)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (extent.leaf_cell_id(p).raw(), i as u32))
+        .collect();
+    order.sort_unstable();
+    let sorted_keys: Vec<u64> = order.iter().map(|(k, _)| *k).collect();
+    let ranges = partition_sorted_keys(&sorted_keys, target_shards);
+    let bounds = split_at_ranges(&sorted_keys, &ranges);
+
+    ranges
+        .into_iter()
+        .zip(bounds)
+        .map(|(range, (from, to))| {
+            let keys = sorted_keys[from..to].to_vec();
+            let pts: Vec<Point> = order[from..to]
+                .iter()
+                .map(|&(_, i)| points[i as usize])
+                .collect();
+            let vals: Vec<f64> = order[from..to]
+                .iter()
+                .map(|&(_, i)| values[i as usize])
+                .collect();
+            (range, keys, pts, vals)
+        })
+        .collect()
+}
+
+/// An immutable, internally consistent view of the sharded engine: base
+/// shards, the current delta shard, and the shared region index. Cheap to
+/// clone (`Arc`s all the way down); queries need no lock once they hold
+/// one, so any number of clients can serve reads concurrently with ingest.
+pub struct EngineSnapshot {
+    bound: DistanceBound,
+    extent: GridExtent,
+    regions: Arc<Vec<MultiPolygon>>,
+    join: Option<Arc<ApproximateCellJoin>>,
+    shards: Vec<Arc<EngineShard>>,
+    delta: Option<Arc<EngineShard>>,
+    generation: u64,
+}
+
+impl EngineSnapshot {
+    /// The distance bound every answer honours.
+    pub fn bound(&self) -> DistanceBound {
+        self.bound
+    }
+
+    /// The grid extent shared by all shards.
+    pub fn extent(&self) -> &GridExtent {
+        &self.extent
+    }
+
+    /// The loaded regions.
+    pub fn regions(&self) -> &[MultiPolygon] {
+        &self.regions
+    }
+
+    /// Monotonically increasing snapshot version (bumped by every publish:
+    /// each `append_points` batch and each `compact`).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of base shards (excluding the delta shard).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The base shards, ascending by key range.
+    pub fn shards(&self) -> &[Arc<EngineShard>] {
+        &self.shards
+    }
+
+    /// The uncompacted ingest shard, if any points are pending.
+    pub fn delta_shard(&self) -> Option<&Arc<EngineShard>> {
+        self.delta.as_ref()
+    }
+
+    /// Total number of points visible in this snapshot (base + delta).
+    pub fn point_count(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum::<usize>()
+            + self.delta.as_ref().map(|d| d.len()).unwrap_or(0)
+    }
+
+    /// All shards in merge order: base shards ascending, delta last.
+    fn all_shards(&self) -> impl Iterator<Item = &Arc<EngineShard>> {
+        self.shards.iter().chain(self.delta.iter())
+    }
+
+    fn join(&self) -> &Arc<ApproximateCellJoin> {
+        self.join.as_ref().expect("no regions loaded")
+    }
+
+    /// `SELECT AGG(a) … GROUP BY region` over all shards, sequentially.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn aggregate_by_region(&self) -> JoinResult {
+        self.aggregate_by_region_parallel(1)
+    }
+
+    /// Shard-parallel variant of
+    /// [`aggregate_by_region`](Self::aggregate_by_region) with up to
+    /// `threads` workers.
+    ///
+    /// Shard partials merge in shard order (delta last), so for a fixed
+    /// snapshot the result is bit-for-bit reproducible regardless of
+    /// `threads`; across different shard counts, counts and unmatched
+    /// totals are identical and f64 sums agree up to rounding. Shards
+    /// whose key span misses the region trie's covered key range are
+    /// pruned without probing.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn aggregate_by_region_parallel(&self, threads: usize) -> JoinResult {
+        let join = self.join();
+        let probes: Vec<ShardProbe<'_>> = self.all_shards().map(|s| s.probe()).collect();
+        join.execute_shards(&probes, threads)
+    }
+
+    /// Ad-hoc containment aggregate over an arbitrary rasterizable region,
+    /// approximated with at most `cell_budget` hierarchical cells. The
+    /// region is rasterized once; shards whose key span intersects none of
+    /// the raster's leaf-key ranges are pruned. Returns the aggregate and
+    /// the number of cells used.
+    pub fn aggregate_in_region<G: Rasterizable>(
+        &self,
+        region: &G,
+        cell_budget: usize,
+    ) -> (RegionAggregate, usize) {
+        let raster = HierarchicalRaster::with_cell_budget(
+            region,
+            &self.extent,
+            cell_budget,
+            BoundaryPolicy::Conservative,
+        );
+        let mut agg = RegionAggregate::default();
+        for shard in self.all_shards() {
+            if shard.intersects_any_cell(&raster) {
+                let partial = shard
+                    .table
+                    .aggregate_cells(raster.cells(), PointIndexVariant::RadixSpline);
+                agg.merge(&partial);
+            }
+        }
+        (agg, raster.cell_count())
+    }
+
+    /// [`aggregate_in_region`](Self::aggregate_in_region) for plain
+    /// polygons (the Figure 4 query).
+    pub fn aggregate_in_polygon(
+        &self,
+        polygon: &Polygon,
+        cell_budget: usize,
+    ) -> (RegionAggregate, usize) {
+        self.aggregate_in_region(polygon, cell_budget)
+    }
+
+    /// Guaranteed result ranges (Section 6) for the per-region counts,
+    /// evaluated through the pruned, sharded join.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn count_ranges(&self) -> Vec<ResultRange> {
+        self.aggregate_by_region()
+            .regions
+            .iter()
+            .map(ResultRange::count_range)
+            .collect()
+    }
+
+    /// All rows visible in this snapshot, in merge order (shard by shard,
+    /// key order within each shard). Compaction and exact validation both
+    /// read this.
+    pub fn all_rows(&self) -> (Vec<Point>, Vec<f64>) {
+        let n = self.point_count();
+        let mut points = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for shard in self.all_shards() {
+            points.extend_from_slice(shard.points());
+            values.extend_from_slice(shard.values());
+        }
+        (points, values)
+    }
+
+    /// Structural statistics with the per-shard breakdown (delta last).
+    pub fn stats(&self) -> EngineStats {
+        let per_shard: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .map(|s| s.stats(false))
+            .chain(self.delta.iter().map(|d| d.stats(true)))
+            .collect();
+        EngineStats {
+            points: self.point_count(),
+            regions: self.regions.len(),
+            epsilon: self.bound.epsilon(),
+            region_raster_cells: self
+                .join
+                .as_ref()
+                .map(|j| j.raster_cell_count())
+                .unwrap_or(0),
+            region_trie_nodes: self
+                .join
+                .as_ref()
+                .map(|j| j.trie_stats().nodes)
+                .unwrap_or(0),
+            region_index_bytes: self.join.as_ref().map(|j| j.memory_bytes()).unwrap_or(0),
+            point_index_bytes: per_shard.iter().map(|s| s.point_index_bytes).sum(),
+            per_shard,
+        }
+    }
+}
+
+/// Rows appended since the last compaction (the authoritative delta; the
+/// snapshot's delta *shard* is rebuilt from it on every append).
+#[derive(Default)]
+struct DeltaBuffer {
+    points: Vec<Point>,
+    values: Vec<f64>,
+}
+
+/// Builder for [`ShardedEngine`].
+#[derive(Debug, Default)]
+pub struct ShardedEngineBuilder {
+    bound: Option<DistanceBound>,
+    extent: Option<BoundingBox>,
+    points: Vec<Point>,
+    values: Vec<f64>,
+    regions: Vec<MultiPolygon>,
+    spline_radix_bits: u32,
+    spline_error: usize,
+    shards: Option<usize>,
+}
+
+impl ShardedEngineBuilder {
+    /// Creates a builder with the paper's default index parameters.
+    pub fn new() -> Self {
+        ShardedEngineBuilder {
+            spline_radix_bits: 25,
+            spline_error: 32,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the distance bound ε (required).
+    pub fn distance_bound(mut self, bound: DistanceBound) -> Self {
+        self.bound = Some(bound);
+        self
+    }
+
+    /// Sets the world extent (optional: inferred from the data otherwise).
+    pub fn extent(mut self, extent: BoundingBox) -> Self {
+        self.extent = Some(extent);
+        self
+    }
+
+    /// Loads the point table with one aggregate attribute per point.
+    pub fn points(mut self, points: Vec<Point>, values: Vec<f64>) -> Self {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        self.points = points;
+        self.values = values;
+        self
+    }
+
+    /// Loads the regions used for `GROUP BY region` aggregation.
+    pub fn regions(mut self, regions: Vec<MultiPolygon>) -> Self {
+        self.regions = regions;
+        self
+    }
+
+    /// Overrides the RadixSpline parameters.
+    pub fn spline_parameters(mut self, radix_bits: u32, spline_error: usize) -> Self {
+        self.spline_radix_bits = radix_bits;
+        self.spline_error = spline_error;
+        self
+    }
+
+    /// Sets the target shard count (default: available parallelism).
+    ///
+    /// The effective count can be lower when the data has fewer distinct
+    /// keys than shards; it is fixed until the next
+    /// [`compact`](ShardedEngine::compact).
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Builds the engine: partitions and linearizes the points, rasterizes
+    /// and indexes the regions, publishes the first snapshot.
+    ///
+    /// # Panics
+    /// Panics if no distance bound was provided, or if neither an extent
+    /// nor any data to infer it from is available.
+    pub fn build(self) -> ShardedEngine {
+        let bound = self.bound.expect("a distance bound is required");
+        let extent_bbox = self.extent.unwrap_or_else(|| {
+            let mut bbox = BoundingBox::from_points(self.points.iter());
+            for r in &self.regions {
+                bbox.expand_to_box(&r.bbox());
+            }
+            assert!(
+                !bbox.is_empty(),
+                "provide an extent or at least some points/regions to infer it"
+            );
+            bbox.inflated(bound.epsilon())
+        });
+        let extent = GridExtent::covering(&extent_bbox);
+        let target_shards = self
+            .shards
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let regions = Arc::new(self.regions);
+        let join = (!regions.is_empty())
+            .then(|| Arc::new(ApproximateCellJoin::build(&regions, &extent, bound)));
+
+        let shards: Vec<Arc<EngineShard>> =
+            partition_rows(&self.points, &self.values, &extent, target_shards)
+                .into_iter()
+                .map(|(range, keys, pts, vals)| {
+                    Arc::new(EngineShard::from_sorted_columns(
+                        range,
+                        keys,
+                        pts,
+                        vals,
+                        &extent,
+                        self.spline_radix_bits,
+                        self.spline_error,
+                    ))
+                })
+                .collect();
+
+        let snapshot = EngineSnapshot {
+            bound,
+            extent,
+            regions: Arc::clone(&regions),
+            join,
+            shards,
+            delta: None,
+            generation: 0,
+        };
+        ShardedEngine {
+            bound,
+            extent,
+            regions,
+            spline_radix_bits: self.spline_radix_bits,
+            spline_error: self.spline_error,
+            target_shards,
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            delta: RwLock::new(DeltaBuffer::default()),
+            compaction: Mutex::new(()),
+        }
+    }
+}
+
+/// The sharded engine: a router over Z-order range-partitioned
+/// [`EngineShard`]s with snapshot-based concurrent reads and incremental
+/// ingest. See the module docs for the architecture.
+pub struct ShardedEngine {
+    bound: DistanceBound,
+    extent: GridExtent,
+    regions: Arc<Vec<MultiPolygon>>,
+    spline_radix_bits: u32,
+    spline_error: usize,
+    target_shards: usize,
+    /// The currently published snapshot. Readers hold the read lock only
+    /// long enough to clone the `Arc`; publishes swap the `Arc` under the
+    /// write lock. Lock order: `delta` before `snapshot`.
+    snapshot: RwLock<Arc<EngineSnapshot>>,
+    /// Rows appended since the last compaction.
+    delta: RwLock<DeltaBuffer>,
+    /// Held for the duration of a compaction so concurrent `compact`
+    /// calls skip instead of queueing.
+    compaction: Mutex<()>,
+}
+
+impl ShardedEngine {
+    /// Starts building a sharded engine.
+    pub fn builder() -> ShardedEngineBuilder {
+        ShardedEngineBuilder::new()
+    }
+
+    /// The distance bound every answer honours.
+    pub fn bound(&self) -> DistanceBound {
+        self.bound
+    }
+
+    /// The grid extent used for linearization and rasterization.
+    pub fn extent(&self) -> &GridExtent {
+        &self.extent
+    }
+
+    /// The loaded regions.
+    pub fn regions(&self) -> &[MultiPolygon] {
+        &self.regions
+    }
+
+    /// The target shard count compaction re-partitions to.
+    pub fn target_shards(&self) -> usize {
+        self.target_shards
+    }
+
+    /// The currently published snapshot. The returned `Arc` stays valid
+    /// (and internally consistent) for as long as the caller holds it, no
+    /// matter how many appends or compactions happen meanwhile.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// Number of rows appended since the last compaction.
+    pub fn pending_points(&self) -> usize {
+        self.delta.read().points.len()
+    }
+
+    /// Appends a batch of rows. The rows land in the delta shard, which is
+    /// rebuilt from all pending rows (O(d log d) for d pending) and
+    /// published in a fresh snapshot — visible to every subsequent
+    /// [`snapshot`](Self::snapshot) call, while snapshots already handed
+    /// out are untouched. Call [`compact`](Self::compact) periodically to
+    /// fold the delta into the balanced base shards.
+    pub fn append_points(&self, points: Vec<Point>, values: Vec<f64>) {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        if points.is_empty() {
+            return;
+        }
+        let mut delta = self.delta.write();
+        delta.points.extend_from_slice(&points);
+        delta.values.extend_from_slice(&values);
+        // One delta shard over the full key domain; per-append rebuild
+        // keeps it sorted (its own frozen probe schedule).
+        let mut columns = partition_rows(&delta.points, &delta.values, &self.extent, 1);
+        let (range, keys, pts, vals) = columns.pop().expect("single delta partition");
+        debug_assert!(columns.is_empty());
+        let delta_shard = Arc::new(EngineShard::from_sorted_columns(
+            range,
+            keys,
+            pts,
+            vals,
+            &self.extent,
+            self.spline_radix_bits,
+            self.spline_error,
+        ));
+        self.publish(|current| EngineSnapshot {
+            bound: current.bound,
+            extent: current.extent,
+            regions: Arc::clone(&current.regions),
+            join: current.join.clone(),
+            shards: current.shards.clone(),
+            delta: Some(delta_shard),
+            generation: current.generation + 1,
+        });
+    }
+
+    /// Folds the delta into the base: re-partitions all rows into
+    /// `target_shards` fresh, balanced shards and publishes a snapshot
+    /// with an empty delta. Returns `false` (without blocking or doing
+    /// work) when another compaction is already running.
+    pub fn compact(&self) -> bool {
+        // Skip — don't queue — when a compaction is in flight.
+        let Some(_running) = self.compaction.try_lock() else {
+            return false;
+        };
+        let mut delta = self.delta.write();
+        let (points, values) = self.snapshot().all_rows();
+        let shards: Vec<Arc<EngineShard>> =
+            partition_rows(&points, &values, &self.extent, self.target_shards)
+                .into_iter()
+                .map(|(range, keys, pts, vals)| {
+                    Arc::new(EngineShard::from_sorted_columns(
+                        range,
+                        keys,
+                        pts,
+                        vals,
+                        &self.extent,
+                        self.spline_radix_bits,
+                        self.spline_error,
+                    ))
+                })
+                .collect();
+        delta.points.clear();
+        delta.values.clear();
+        self.publish(|current| EngineSnapshot {
+            bound: current.bound,
+            extent: current.extent,
+            regions: Arc::clone(&current.regions),
+            join: current.join.clone(),
+            shards,
+            delta: None,
+            generation: current.generation + 1,
+        });
+        true
+    }
+
+    /// Swaps in a new snapshot derived from the current one. Callers hold
+    /// the `delta` write lock, which serializes all publishes.
+    fn publish<F: FnOnce(&EngineSnapshot) -> EngineSnapshot>(&self, make: F) {
+        let mut slot = self.snapshot.write();
+        *slot = Arc::new(make(&slot));
+    }
+
+    /// Structural statistics of the current snapshot, including the
+    /// per-shard breakdown.
+    pub fn stats(&self) -> EngineStats {
+        self.snapshot().stats()
+    }
+
+    /// [`EngineSnapshot::aggregate_by_region`] on the current snapshot.
+    pub fn aggregate_by_region(&self) -> JoinResult {
+        self.snapshot().aggregate_by_region()
+    }
+
+    /// [`EngineSnapshot::aggregate_by_region_parallel`] on the current
+    /// snapshot.
+    pub fn aggregate_by_region_parallel(&self, threads: usize) -> JoinResult {
+        self.snapshot().aggregate_by_region_parallel(threads)
+    }
+
+    /// [`EngineSnapshot::aggregate_in_region`] on the current snapshot.
+    pub fn aggregate_in_region<G: Rasterizable>(
+        &self,
+        region: &G,
+        cell_budget: usize,
+    ) -> (RegionAggregate, usize) {
+        self.snapshot().aggregate_in_region(region, cell_budget)
+    }
+
+    /// [`EngineSnapshot::aggregate_in_polygon`] on the current snapshot.
+    pub fn aggregate_in_polygon(
+        &self,
+        polygon: &Polygon,
+        cell_budget: usize,
+    ) -> (RegionAggregate, usize) {
+        self.snapshot().aggregate_in_polygon(polygon, cell_budget)
+    }
+
+    /// [`EngineSnapshot::count_ranges`] on the current snapshot.
+    pub fn count_ranges(&self) -> Vec<ResultRange> {
+        self.snapshot().count_ranges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_datagen::{city_extent, PolygonSetGenerator, TaxiPointGenerator};
+
+    fn workload(n: usize, regions: usize) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>) {
+        let taxi = TaxiPointGenerator::new(city_extent(), 7).generate(n);
+        let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let polys = PolygonSetGenerator::new(city_extent(), regions, 18, 11).generate();
+        (points, values, polys)
+    }
+
+    fn build(n: usize, regions: usize, shards: usize) -> ShardedEngine {
+        let (points, values, polys) = workload(n, regions);
+        ShardedEngine::builder()
+            .distance_bound(DistanceBound::meters(10.0))
+            .extent(city_extent())
+            .points(points, values)
+            .regions(polys)
+            .shards(shards)
+            .build()
+    }
+
+    #[test]
+    fn shards_partition_the_points_in_key_order() {
+        let engine = build(6_000, 9, 4);
+        let snap = engine.snapshot();
+        assert_eq!(snap.shard_count(), 4);
+        assert_eq!(snap.point_count(), 6_000);
+        assert_eq!(snap.generation(), 0);
+        let mut prev_hi: Option<u64> = None;
+        for shard in snap.shards() {
+            let range = shard.key_range();
+            if let Some(hi) = prev_hi {
+                assert_eq!(hi.wrapping_add(1), range.lo, "contiguous ranges");
+            }
+            prev_hi = Some(range.hi);
+            // Every key in range, keys sorted.
+            let keys = shard.table().keys();
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            assert!(keys.iter().all(|k| range.contains(*k)));
+            // Weighted split: no shard is empty or grossly oversized.
+            assert!(!shard.is_empty());
+            assert!(shard.len() < 6_000);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+    }
+
+    #[test]
+    fn sharded_aggregation_matches_the_monolithic_engine() {
+        let (points, values, polys) = workload(8_000, 9);
+        let mono = crate::ApproximateEngine::builder()
+            .distance_bound(DistanceBound::meters(10.0))
+            .extent(city_extent())
+            .points(points.clone(), values.clone())
+            .regions(polys.clone())
+            .build();
+        let reference = mono.aggregate_by_region();
+        for shards in [1usize, 2, 8] {
+            let engine = ShardedEngine::builder()
+                .distance_bound(DistanceBound::meters(10.0))
+                .extent(city_extent())
+                .points(points.clone(), values.clone())
+                .regions(polys.clone())
+                .shards(shards)
+                .build();
+            let result = engine.aggregate_by_region_parallel(4);
+            assert_eq!(result.unmatched, reference.unmatched, "{shards} shards");
+            assert_eq!(result.pip_tests, 0);
+            for (a, b) in result.regions.iter().zip(&reference.regions) {
+                assert_eq!(a.count, b.count);
+                assert_eq!(a.boundary_count, b.boundary_count);
+                assert_eq!(a.min, b.min);
+                assert_eq!(a.max, b.max);
+                assert!((a.sum - b.sum).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn adhoc_containment_prunes_but_stays_exactly_equal() {
+        let (points, values, polys) = workload(6_000, 4);
+        let mono = crate::ApproximateEngine::builder()
+            .distance_bound(DistanceBound::meters(10.0))
+            .extent(city_extent())
+            .points(points.clone(), values.clone())
+            .regions(polys.clone())
+            .build();
+        let query = Polygon::from_coords(&[
+            (5_000.0, 5_000.0),
+            (20_000.0, 6_000.0),
+            (18_000.0, 22_000.0),
+            (6_000.0, 20_000.0),
+        ]);
+        let (mono_agg, mono_cells) = mono.aggregate_in_polygon(&query, 512);
+        let engine = build_from(points, values, polys, 8);
+        let (agg, cells) = engine.aggregate_in_polygon(&query, 512);
+        assert_eq!(cells, mono_cells);
+        assert_eq!(agg.count, mono_agg.count);
+        assert_eq!(agg.boundary_count, mono_agg.boundary_count);
+        assert_eq!(agg.min, mono_agg.min);
+        assert_eq!(agg.max, mono_agg.max);
+        assert!((agg.sum - mono_agg.sum).abs() < 1e-6);
+    }
+
+    fn build_from(
+        points: Vec<Point>,
+        values: Vec<f64>,
+        polys: Vec<MultiPolygon>,
+        shards: usize,
+    ) -> ShardedEngine {
+        ShardedEngine::builder()
+            .distance_bound(DistanceBound::meters(10.0))
+            .extent(city_extent())
+            .points(points, values)
+            .regions(polys)
+            .shards(shards)
+            .build()
+    }
+
+    #[test]
+    fn append_is_visible_and_compact_folds_it_in() {
+        let engine = build(3_000, 9, 4);
+        let before = engine.aggregate_by_region();
+        let snap0 = engine.snapshot();
+
+        let (extra_points, extra_values, _) = workload(500, 1);
+        engine.append_points(extra_points.clone(), extra_values.clone());
+        assert_eq!(engine.pending_points(), 500);
+        let snap1 = engine.snapshot();
+        assert_eq!(snap1.generation(), 1);
+        assert_eq!(snap1.point_count(), 3_500);
+        assert!(snap1.delta_shard().is_some());
+        // The old snapshot is untouched.
+        assert_eq!(snap0.point_count(), 3_000);
+
+        let after_append = engine.aggregate_by_region();
+        let matched_delta = after_append.total_matched() + after_append.unmatched
+            - before.total_matched()
+            - before.unmatched;
+        assert_eq!(matched_delta, 500);
+
+        assert!(engine.compact());
+        assert_eq!(engine.pending_points(), 0);
+        let snap2 = engine.snapshot();
+        assert_eq!(snap2.generation(), 2);
+        assert!(snap2.delta_shard().is_none());
+        assert_eq!(snap2.point_count(), 3_500);
+        assert_eq!(snap2.shard_count(), 4);
+
+        // Compaction preserves the query answer (counts exactly).
+        let after_compact = engine.aggregate_by_region();
+        for (a, b) in after_compact.regions.iter().zip(&after_append.regions) {
+            assert_eq!(a.count, b.count);
+            assert!((a.sum - b.sum).abs() < 1e-6);
+        }
+        assert_eq!(after_compact.unmatched, after_append.unmatched);
+    }
+
+    #[test]
+    fn stats_break_down_per_shard_and_stay_exact() {
+        let engine = build(4_000, 9, 4);
+        let (extra_points, extra_values, _) = workload(300, 1);
+        engine.append_points(extra_points, extra_values);
+        let stats = engine.stats();
+        assert_eq!(stats.points, 4_300);
+        assert_eq!(stats.regions, 9);
+        assert_eq!(stats.per_shard.len(), 5, "4 base shards + delta");
+        assert_eq!(
+            stats.per_shard.iter().map(|s| s.points).sum::<usize>(),
+            4_300
+        );
+        assert_eq!(
+            stats
+                .per_shard
+                .iter()
+                .map(|s| s.point_index_bytes)
+                .sum::<usize>(),
+            stats.point_index_bytes
+        );
+        assert_eq!(stats.per_shard.iter().filter(|s| s.delta).count(), 1);
+        assert!(stats.per_shard.last().unwrap().delta);
+    }
+
+    #[test]
+    fn count_ranges_cover_exact_counts_under_sharding() {
+        let engine = build(4_000, 9, 8);
+        let snap = engine.snapshot();
+        let ranges = engine.count_ranges();
+        let (points, _) = snap.all_rows();
+        for (range, region) in ranges.iter().zip(snap.regions()) {
+            let exact = points.iter().filter(|p| region.contains_point(p)).count();
+            assert!(
+                range.contains(exact as f64),
+                "exact {exact} outside [{}, {}]",
+                range.lower,
+                range.upper
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no regions loaded")]
+    fn aggregation_without_regions_panics() {
+        let (points, values, _) = workload(100, 1);
+        let engine = ShardedEngine::builder()
+            .distance_bound(DistanceBound::meters(5.0))
+            .extent(city_extent())
+            .points(points, values)
+            .shards(2)
+            .build();
+        let _ = engine.aggregate_by_region();
+    }
+
+    #[test]
+    fn empty_engine_accepts_ingest() {
+        let engine = ShardedEngine::builder()
+            .distance_bound(DistanceBound::meters(5.0))
+            .extent(city_extent())
+            .shards(4)
+            .build();
+        assert_eq!(engine.snapshot().point_count(), 0);
+        let (points, values, _) = workload(200, 1);
+        engine.append_points(points, values);
+        assert_eq!(engine.snapshot().point_count(), 200);
+        assert!(engine.compact());
+        let snap = engine.snapshot();
+        assert_eq!(snap.point_count(), 200);
+        assert!(snap.delta_shard().is_none());
+    }
+}

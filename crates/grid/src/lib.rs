@@ -22,11 +22,13 @@ pub mod cell_id;
 pub mod extent;
 pub mod hilbert;
 pub mod morton;
+pub mod partition;
 
 pub use cell_id::{CellId, MAX_LEVEL};
 pub use extent::GridExtent;
 pub use hilbert::{hilbert_d2xy, hilbert_xy2d};
 pub use morton::{morton_decode, morton_encode};
+pub use partition::{partition_sorted_keys, shard_of, split_at_ranges, KeyRange};
 
 /// Which space-filling curve to use when linearizing cells at a fixed level.
 ///

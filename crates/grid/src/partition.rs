@@ -1,0 +1,352 @@
+//! Weighted Morton-key-range partitioning.
+//!
+//! The sharded engine stores its point table as `n` shards, each owning a
+//! contiguous range of the Z-order (Morton) leaf-key domain. Because the
+//! linearized keys order points along the Z curve, contiguous key ranges
+//! are spatially coherent tiles, and because every query cell's descendant
+//! range is itself a contiguous key interval, a shard can be *pruned* from
+//! a query by a single interval-intersection test.
+//!
+//! The partitioner is **weighted**: shard boundaries are chosen at point
+//! count quantiles of the actual key distribution (every key carries unit
+//! weight), not at fixed fractions of the key domain. Skewed workloads —
+//! the Gaussian hot-spots of the taxi generator, or any real city — would
+//! otherwise put most points into one or two shards.
+
+use crate::cell_id::CellId;
+
+/// An inclusive range `[lo, hi]` of raw leaf-cell keys.
+///
+/// Ranges produced by [`partition_sorted_keys`] tile the whole `u64`
+/// domain, so *any* present or future point key falls into exactly one
+/// shard — the property incremental ingest relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyRange {
+    /// Smallest key in the range (inclusive).
+    pub lo: u64,
+    /// Largest key in the range (inclusive).
+    pub hi: u64,
+}
+
+impl KeyRange {
+    /// The range covering the entire key domain.
+    pub const FULL: KeyRange = KeyRange {
+        lo: 0,
+        hi: u64::MAX,
+    };
+
+    /// Creates a range; `lo` must not exceed `hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "invalid key range [{lo}, {hi}]");
+        KeyRange { lo, hi }
+    }
+
+    /// Whether the key falls inside the range.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.lo <= key && key <= self.hi
+    }
+
+    /// Whether this range intersects the inclusive interval `[lo, hi]`.
+    #[inline]
+    pub fn intersects(&self, lo: u64, hi: u64) -> bool {
+        self.lo <= hi && lo <= self.hi
+    }
+
+    /// Whether this range intersects the leaf-descendant range of `cell` —
+    /// the shard-pruning test for one query raster cell.
+    #[inline]
+    pub fn intersects_cell(&self, cell: CellId) -> bool {
+        self.intersects(cell.range_min().raw(), cell.range_max().raw())
+    }
+}
+
+impl std::fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#x}, {:#x}]", self.lo, self.hi)
+    }
+}
+
+/// Splits a **sorted** key multiset into at most `shards` contiguous
+/// [`KeyRange`]s of near-equal weight (point count).
+///
+/// Guarantees:
+///
+/// * the returned ranges are ascending and tile the whole `u64` domain
+///   (first `lo` = 0, last `hi` = `u64::MAX`, no gaps and no overlap);
+/// * with `shards` or more distinct keys, exactly `shards` ranges are
+///   returned; boundaries that would fall inside a duplicate run collapse,
+///   so degenerate inputs may yield fewer (never zero) ranges;
+/// * equal keys are never split across two shards (the boundary advances
+///   past the duplicate run), so assignment by key is unambiguous;
+/// * boundaries sit at count quantiles of `keys`, so shard weights are
+///   balanced up to duplicate-run granularity.
+///
+/// With an empty `keys` slice the domain is split into `shards` equal-width
+/// ranges (there is no weight to balance yet — the ingest path starts
+/// here).
+///
+/// # Panics
+/// Panics if `shards` is zero. Sortedness of `keys` is the caller's
+/// contract, checked in debug builds only (every call site feeds an
+/// already-sorted column; an O(n) release-mode re-check would tax the
+/// per-query path).
+pub fn partition_sorted_keys(keys: &[u64], shards: usize) -> Vec<KeyRange> {
+    assert!(shards > 0, "at least one shard is required");
+    debug_assert!(
+        keys.windows(2).all(|w| w[0] <= w[1]),
+        "partitioning requires sorted keys"
+    );
+    if keys.is_empty() {
+        return split_domain_evenly(shards);
+    }
+
+    // Pick one cut key per internal boundary at the count quantile,
+    // rounding the cut position up past any duplicate run so equal keys
+    // stay together. The shard starting at cut key `k` owns [k, next-1].
+    let mut cuts: Vec<u64> = Vec::with_capacity(shards - 1);
+    for s in 1..shards {
+        let target = s * keys.len() / shards;
+        // First index whose key differs from the key before the target:
+        // the start of shard `s` in the sorted order.
+        let mut at = target;
+        while at < keys.len() && at > 0 && keys[at] == keys[at - 1] {
+            at += 1;
+        }
+        if at >= keys.len() {
+            break; // everything left is one duplicate run; later shards are empty
+        }
+        let cut = keys[at];
+        // A cut at key 0 would make the first shard empty over an empty
+        // range — the shard starting at 0 already owns it.
+        if cut != 0 && cuts.last() != Some(&cut) {
+            cuts.push(cut);
+        }
+    }
+
+    let mut ranges = Vec::with_capacity(cuts.len() + 1);
+    let mut lo = 0u64;
+    for &cut in &cuts {
+        ranges.push(KeyRange::new(lo, cut - 1));
+        lo = cut;
+    }
+    ranges.push(KeyRange::new(lo, u64::MAX));
+    ranges
+}
+
+fn split_domain_evenly(shards: usize) -> Vec<KeyRange> {
+    let width = u64::MAX / shards as u64;
+    (0..shards)
+        .map(|s| {
+            let lo = s as u64 * width.saturating_add(1);
+            let hi = if s + 1 == shards {
+                u64::MAX
+            } else {
+                (s as u64 + 1) * width.saturating_add(1) - 1
+            };
+            KeyRange::new(lo, hi)
+        })
+        .collect()
+}
+
+/// Splits the index space of `sorted_keys` at the partition boundaries:
+/// one half-open `(from, to)` index pair per range, in range order,
+/// covering `0..sorted_keys.len()` without gaps. The single place that
+/// encodes "a range owns the keys `<= hi`" — shard construction and
+/// shard-level query execution both slice with this.
+pub fn split_at_ranges(sorted_keys: &[u64], ranges: &[KeyRange]) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::with_capacity(ranges.len());
+    let mut from = 0usize;
+    for range in ranges {
+        let to = from + sorted_keys[from..].partition_point(|k| *k <= range.hi);
+        bounds.push((from, to));
+        from = to;
+    }
+    debug_assert!(from == sorted_keys.len() || ranges.is_empty());
+    bounds
+}
+
+/// The shard index owning `key` under the given partition (ranges as
+/// produced by [`partition_sorted_keys`]: sorted, non-overlapping, tiling
+/// the domain). Binary search over the range bounds.
+pub fn shard_of(ranges: &[KeyRange], key: u64) -> usize {
+    debug_assert!(!ranges.is_empty());
+    match ranges.binary_search_by(|r| {
+        if key < r.lo {
+            std::cmp::Ordering::Greater
+        } else if key > r.hi {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    }) {
+        Ok(i) => i,
+        Err(_) => unreachable!("partition ranges must tile the key domain"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_tiling(ranges: &[KeyRange]) {
+        assert_eq!(ranges[0].lo, 0);
+        assert_eq!(ranges.last().unwrap().hi, u64::MAX);
+        for w in ranges.windows(2) {
+            assert_eq!(
+                w[0].hi.wrapping_add(1),
+                w[1].lo,
+                "gap or overlap between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_keys_split_the_domain_evenly() {
+        for shards in [1usize, 2, 3, 8] {
+            let ranges = partition_sorted_keys(&[], shards);
+            assert_eq!(ranges.len(), shards);
+            assert_tiling(&ranges);
+        }
+    }
+
+    #[test]
+    fn balanced_weights_on_uniform_keys() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 37).collect();
+        let ranges = partition_sorted_keys(&keys, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_tiling(&ranges);
+        for r in &ranges {
+            let n = keys.iter().filter(|k| r.contains(**k)).count();
+            assert!(
+                (1_100..=1_400).contains(&n),
+                "unbalanced shard {r}: {n} keys"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_weights_still_balance_by_count() {
+        // 90 % of the keys in the lowest 1 % of the domain.
+        let mut keys: Vec<u64> = (0..9_000u64).map(|i| i % 1_000).collect();
+        keys.extend((0..1_000u64).map(|i| i * (u64::MAX / 1_001)));
+        keys.sort_unstable();
+        let ranges = partition_sorted_keys(&keys, 4);
+        assert_tiling(&ranges);
+        for r in &ranges {
+            let n = keys.iter().filter(|k| r.contains(**k)).count();
+            assert!(n >= 1_000, "weighted split left shard {r} with {n} keys");
+        }
+    }
+
+    #[test]
+    fn duplicate_runs_are_never_split() {
+        // One huge duplicate run right at the natural boundary.
+        let mut keys = vec![5u64; 500];
+        keys.extend(vec![9u64; 500]);
+        let ranges = partition_sorted_keys(&keys, 2);
+        assert_eq!(ranges.len(), 2);
+        assert_tiling(&ranges);
+        for key in [5u64, 9] {
+            let owners: Vec<usize> = ranges
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(key))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(owners.len(), 1, "key {key} owned by {owners:?}");
+        }
+    }
+
+    #[test]
+    fn all_equal_keys_collapse_to_a_single_range() {
+        let keys = vec![42u64; 1_000];
+        let ranges = partition_sorted_keys(&keys, 8);
+        assert_eq!(ranges.len(), 1, "one duplicate run cannot be split");
+        assert_tiling(&ranges);
+        assert!(ranges[0].contains(42));
+    }
+
+    #[test]
+    fn key_zero_with_more_shards_than_keys_stays_well_formed() {
+        let ranges = partition_sorted_keys(&[0], 2);
+        assert_tiling(&ranges);
+        assert_eq!(shard_of(&ranges, 0), 0);
+        let ranges = partition_sorted_keys(&[0, 0, 1], 3);
+        assert_tiling(&ranges);
+        assert_eq!(shard_of(&ranges, 0), 0);
+    }
+
+    #[test]
+    fn shard_of_matches_linear_scan() {
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * i).collect();
+        let ranges = partition_sorted_keys(&keys, 6);
+        for probe in [0u64, 1, 999, 123_456, u64::MAX / 2, u64::MAX] {
+            let expected = ranges.iter().position(|r| r.contains(probe)).unwrap();
+            assert_eq!(shard_of(&ranges, probe), expected);
+        }
+    }
+
+    #[test]
+    fn split_at_ranges_tiles_the_index_space() {
+        let keys: Vec<u64> = (0..2_000u64).map(|i| i * 13).collect();
+        let ranges = partition_sorted_keys(&keys, 5);
+        let bounds = split_at_ranges(&keys, &ranges);
+        assert_eq!(bounds.len(), ranges.len());
+        assert_eq!(bounds[0].0, 0);
+        assert_eq!(bounds.last().unwrap().1, keys.len());
+        for (w, (range, &(from, to))) in ranges.iter().zip(&bounds).enumerate() {
+            assert!(from <= to, "window {w}");
+            assert!(keys[from..to].iter().all(|k| range.contains(*k)));
+        }
+        for w in bounds.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "contiguous index windows");
+        }
+    }
+
+    #[test]
+    fn key_range_cell_intersection() {
+        let cell = CellId::from_cell_xy(1, 1, 1);
+        let r = KeyRange::new(cell.range_min().raw(), cell.range_max().raw());
+        assert!(r.intersects_cell(cell));
+        assert!(r.intersects_cell(CellId::ROOT));
+        let sibling = CellId::from_cell_xy(0, 0, 1);
+        assert!(!r.intersects_cell(sibling));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = partition_sorted_keys(&[], 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_partition_tiles_and_assigns_uniquely(
+            mut keys in proptest::collection::vec(any::<u64>(), 0..400),
+            shards in 1usize..12,
+        ) {
+            keys.sort_unstable();
+            let ranges = partition_sorted_keys(&keys, shards);
+            prop_assert!(!ranges.is_empty() && ranges.len() <= shards);
+            assert_tiling(&ranges);
+            // Every key is owned by exactly one range, and shard_of finds it.
+            for &k in &keys {
+                let owners = ranges.iter().filter(|r| r.contains(k)).count();
+                prop_assert_eq!(owners, 1);
+                prop_assert!(ranges[shard_of(&ranges, k)].contains(k));
+            }
+            // Equal keys land in the same shard.
+            for w in keys.windows(2) {
+                if w[0] == w[1] {
+                    prop_assert_eq!(shard_of(&ranges, w[0]), shard_of(&ranges, w[1]));
+                }
+            }
+        }
+    }
+}

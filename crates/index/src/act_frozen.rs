@@ -55,6 +55,11 @@ pub struct FrozenCellTrie {
     posting_classes: Vec<CellClass>,
     polygons: usize,
     max_depth: u8,
+    /// Inclusive span `[lo, hi]` of raw leaf keys covered by at least one
+    /// posting cell (`None` when the trie holds no postings). Probes whose
+    /// keys fall outside the span cannot match — the basis for shard
+    /// pruning in the sharded execution layer.
+    covered: Option<(u64, u64)>,
 }
 
 /// Child position of `leaf`'s ancestor at `level` — pure bit arithmetic on
@@ -76,11 +81,14 @@ impl FrozenCellTrie {
         let mut nodes = Vec::with_capacity(node_count);
         let mut posting_polygons = Vec::with_capacity(posting_count);
         let mut posting_classes = Vec::with_capacity(posting_count);
+        let mut covered = None;
         freeze_node(
             &trie.root,
+            CellId::ROOT,
             &mut nodes,
             &mut posting_polygons,
             &mut posting_classes,
+            &mut covered,
         );
         debug_assert_eq!(nodes.len(), node_count);
         debug_assert_eq!(posting_polygons.len(), posting_count);
@@ -90,7 +98,16 @@ impl FrozenCellTrie {
             posting_classes,
             polygons: trie.polygon_count(),
             max_depth: trie.max_depth(),
+            covered,
         }
+    }
+
+    /// The inclusive span of raw leaf keys covered by at least one posting
+    /// cell, or `None` for a trie without postings. Any probe key outside
+    /// the span is guaranteed unmatched, so a point shard whose key range
+    /// does not intersect it can skip probing entirely.
+    pub fn covered_key_range(&self) -> Option<(u64, u64)> {
+        self.covered
     }
 
     /// Number of indexed polygons.
@@ -210,12 +227,16 @@ impl FrozenCellTrie {
 }
 
 /// Pre-order flattening: the parent is emitted before its children, so a
-/// descent path runs forward through the node array.
+/// descent path runs forward through the node array. `cell` is the grid
+/// cell this node represents; nodes with postings extend the covered
+/// leaf-key span by their descendant range.
 fn freeze_node(
     node: &TrieNode,
+    cell: CellId,
     nodes: &mut Vec<FrozenNode>,
     posting_polygons: &mut Vec<PolygonId>,
     posting_classes: &mut Vec<CellClass>,
+    covered: &mut Option<(u64, u64)>,
 ) -> u32 {
     let idx = nodes.len() as u32;
     nodes.push(FrozenNode {
@@ -223,13 +244,27 @@ fn freeze_node(
         postings_offset: posting_polygons.len() as u32,
         postings_len: node.postings.len() as u32,
     });
+    if !node.postings.is_empty() {
+        let (lo, hi) = (cell.range_min().raw(), cell.range_max().raw());
+        *covered = Some(match covered {
+            Some((clo, chi)) => ((*clo).min(lo), (*chi).max(hi)),
+            None => (lo, hi),
+        });
+    }
     for p in &node.postings {
         posting_polygons.push(p.polygon);
         posting_classes.push(p.class);
     }
     for (pos, child) in node.children.iter().enumerate() {
         if let Some(child) = child {
-            let child_idx = freeze_node(child, nodes, posting_polygons, posting_classes);
+            let child_idx = freeze_node(
+                child,
+                cell.children()[pos],
+                nodes,
+                posting_polygons,
+                posting_classes,
+                covered,
+            );
             nodes[idx as usize].children[pos] = child_idx;
         }
     }
@@ -470,6 +505,42 @@ mod tests {
             frozen.memory_bytes(),
             pointer.memory_bytes()
         );
+    }
+
+    #[test]
+    fn covered_key_range_bounds_every_posting_cell() {
+        let (_, frozen) = build_both(8.0);
+        let (lo, hi) = frozen.covered_key_range().expect("postings exist");
+        assert!(lo <= hi);
+        // Probes outside the span never match; a probe inside the span of
+        // the first polygon's interior does.
+        let ext = extent();
+        let inside = ext.leaf_cell_id(&Point::new(200.0, 200.0));
+        assert!(lo <= inside.raw() && inside.raw() <= hi);
+        assert!(frozen.first_posting(inside).is_some());
+        for probe in [
+            CellId::leaf(0, 0),
+            CellId::leaf((1 << 30) - 1, (1 << 30) - 1),
+        ] {
+            if probe.raw() < lo || probe.raw() > hi {
+                assert_eq!(frozen.first_posting(probe), None);
+            }
+        }
+        // Empty tries cover nothing.
+        assert_eq!(AdaptiveCellTrie::new().freeze().covered_key_range(), None);
+    }
+
+    #[test]
+    fn covered_key_range_matches_manual_cell_span() {
+        let mut act = AdaptiveCellTrie::new();
+        let a = CellId::from_cell_xy(1, 0, 3);
+        let b = CellId::from_cell_xy(6, 7, 3);
+        act.insert_cell(0, a, CellClass::Interior);
+        act.insert_cell(1, b, CellClass::Boundary);
+        let frozen = act.freeze();
+        let lo = a.range_min().raw().min(b.range_min().raw());
+        let hi = a.range_max().raw().max(b.range_max().raw());
+        assert_eq!(frozen.covered_key_range(), Some((lo, hi)));
     }
 
     #[test]

@@ -246,6 +246,13 @@ impl RangeMinMax {
         self.values.is_empty()
     }
 
+    /// The indexed values, in the order they were given (key order in the
+    /// linearized tables) — shared so callers need not keep a second copy
+    /// of the column.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     #[inline]
     fn check_range(&self, from: usize, to: usize) {
         assert!(

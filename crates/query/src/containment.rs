@@ -43,7 +43,10 @@ pub struct LinearizedPointTable {
     keys: SortedKeyArray,
     prefix: PrefixSumArray,
     /// Sparse-table RMQ over the value column (in key order) for O(1)
-    /// `MIN`/`MAX` per cell regardless of the range width.
+    /// `MIN`/`MAX` per cell regardless of the range width. Also the owner
+    /// of the key-ordered value column itself, which the sharded join
+    /// walks as a precomputed probe schedule (keys are already sorted, so
+    /// no per-query sort or scatter is needed).
     minmax: RangeMinMax,
     spline: RadixSpline,
     btree: BPlusTree,
@@ -77,8 +80,30 @@ impl LinearizedPointTable {
         pairs.sort_unstable_by_key(|(k, _)| *k);
         let keys: Vec<u64> = pairs.iter().map(|(k, _)| *k).collect();
         let sorted_values: Vec<f64> = pairs.iter().map(|(_, v)| *v).collect();
-        let prefix = PrefixSumArray::new(&sorted_values);
-        let minmax = RangeMinMax::new(&sorted_values);
+        Self::from_sorted_rows(keys, sorted_values, extent, radix_bits, spline_error)
+    }
+
+    /// Builds the table from rows already sorted by key (ascending), with
+    /// values aligned to the keys. The sharded engine sorts each shard's
+    /// rows once and hands the aligned columns here, so points, keys and
+    /// values stay consistently paired through one sort.
+    ///
+    /// # Panics
+    /// Panics if the columns differ in length or the keys are not sorted.
+    pub fn from_sorted_rows(
+        keys: Vec<u64>,
+        values: Vec<f64>,
+        extent: &GridExtent,
+        radix_bits: u32,
+        spline_error: usize,
+    ) -> Self {
+        assert_eq!(keys.len(), values.len(), "one value per key required");
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "from_sorted_rows requires keys sorted ascending"
+        );
+        let prefix = PrefixSumArray::new(&values);
+        let minmax = RangeMinMax::new(&values);
         let spline = RadixSplineBuilder::new()
             .radix_bits(radix_bits)
             .spline_error(spline_error)
@@ -107,6 +132,25 @@ impl LinearizedPointTable {
     /// The grid extent used for linearization.
     pub fn extent(&self) -> &GridExtent {
         &self.extent
+    }
+
+    /// The sorted leaf keys — a ready-made sorted probe schedule for the
+    /// batched join paths.
+    pub fn keys(&self) -> &[u64] {
+        self.keys.keys()
+    }
+
+    /// The attribute column aligned with [`keys`](Self::keys) (borrowed
+    /// from the RMQ structure, which stores the column for edge scans).
+    pub fn values_in_key_order(&self) -> &[f64] {
+        self.minmax.values()
+    }
+
+    /// Inclusive span `[lo, hi]` of the stored keys (`None` when empty) —
+    /// the key-range metadata shard pruning intersects against query cells.
+    pub fn key_range(&self) -> Option<(u64, u64)> {
+        let keys = self.keys.keys();
+        Some((*keys.first()?, *keys.last()?))
     }
 
     /// Memory footprint of the chosen index variant (keys + search structure).
@@ -520,6 +564,54 @@ mod tests {
         let near_nothing = exact(&points, &values, &far).count;
         let (agg, _) = table.aggregate_polygon(&far, 64, PointIndexVariant::BinarySearch);
         assert!(agg.count as i64 - near_nothing as i64 >= 0);
+    }
+
+    #[test]
+    fn sorted_row_accessors_expose_the_probe_schedule() {
+        let (points, values, extent) = setup(3_000);
+        let table = LinearizedPointTable::build(&points, &values, &extent);
+        let keys = table.keys();
+        assert_eq!(keys.len(), 3_000);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(table.values_in_key_order().len(), 3_000);
+        let (lo, hi) = table.key_range().unwrap();
+        assert_eq!((lo, hi), (keys[0], *keys.last().unwrap()));
+        // The value multiset is preserved through the key sort.
+        let mut sorted_in: Vec<f64> = values.clone();
+        let mut sorted_out: Vec<f64> = table.values_in_key_order().to_vec();
+        sorted_in.sort_by(f64::total_cmp);
+        sorted_out.sort_by(f64::total_cmp);
+        assert_eq!(sorted_in, sorted_out);
+        // Empty tables expose no key range.
+        let empty = LinearizedPointTable::build(&[], &[], &extent);
+        assert_eq!(empty.key_range(), None);
+        assert!(empty.keys().is_empty());
+    }
+
+    #[test]
+    fn from_sorted_rows_matches_build() {
+        let (points, values, extent) = setup(2_000);
+        let built = LinearizedPointTable::build(&points, &values, &extent);
+        let rebuilt = LinearizedPointTable::from_sorted_rows(
+            built.keys().to_vec(),
+            built.values_in_key_order().to_vec(),
+            &extent,
+            25,
+            32,
+        );
+        let poly = query_polygon();
+        let (a, ca) = built.aggregate_polygon(&poly, 256, PointIndexVariant::RadixSpline);
+        let (b, cb) = rebuilt.aggregate_polygon(&poly, 256, PointIndexVariant::RadixSpline);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.sum, b.sum);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn from_sorted_rows_rejects_unsorted_keys() {
+        let extent = GridExtent::covering(&city_extent());
+        let _ = LinearizedPointTable::from_sorted_rows(vec![5, 3], vec![1.0, 2.0], &extent, 25, 32);
     }
 
     #[test]

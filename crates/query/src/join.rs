@@ -145,6 +145,14 @@ impl ApproximateCellJoin {
         self.trie.memory_bytes()
     }
 
+    /// Inclusive span of leaf keys covered by any indexed region cell
+    /// (`None` when no region produced postings). Point shards whose key
+    /// range lies outside the span can be pruned: every one of their
+    /// points is unmatched.
+    pub fn covered_key_range(&self) -> Option<(u64, u64)> {
+        self.trie.covered_key_range()
+    }
+
     /// The frozen trie the join probes (exposed for benchmarks and stats).
     pub fn trie(&self) -> &FrozenCellTrie {
         &self.trie
@@ -220,37 +228,137 @@ impl ApproximateCellJoin {
         }
     }
 
-    /// Executes the join with the points partitioned across `threads`
-    /// worker threads (each thread produces a partial [`JoinResult`] which
-    /// are then merged — the "each cell can be processed independently"
-    /// parallelism the paper points out).
-    pub fn execute_parallel(&self, points: &[Point], values: &[f64], threads: usize) -> JoinResult {
-        assert_eq!(points.len(), values.len(), "one value per point required");
-        let threads = threads.max(1);
-        if threads == 1 || points.len() < 1024 {
-            return self.execute(points, values);
+    /// Executes the join over a **precomputed probe schedule**: leaf keys
+    /// sorted ascending with the attribute column aligned. This is the
+    /// per-shard hot path of the sharded engine — no per-query leaf-id
+    /// computation, no sort, no match scatter; one cursor walk straight
+    /// over the schedule, accumulating in key order.
+    ///
+    /// Matching is per-key identical to [`execute`](Self::execute) /
+    /// [`execute_scalar`](Self::execute_scalar); only the f64 summation
+    /// order differs (key order instead of original point order), so
+    /// counts are exactly equal and sums agree up to rounding.
+    pub fn execute_keys(&self, keys: &[u64], values: &[f64]) -> JoinResult {
+        assert_eq!(keys.len(), values.len(), "one value per key required");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "execute_keys expects keys sorted ascending"
+        );
+        let mut result = JoinResult::with_regions(self.region_count);
+        let mut cursor = self.trie.cursor();
+        for (k, v) in keys.iter().zip(values) {
+            match cursor.first_posting(CellId::from_raw(*k)) {
+                Some(posting) => Self::accumulate(&mut result, posting, *v),
+                None => result.unmatched += 1,
+            }
         }
-        let chunk = points.len().div_ceil(threads);
-        let mut partials: Vec<JoinResult> = Vec::with_capacity(threads);
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for (pts, vals) in points.chunks(chunk).zip(values.chunks(chunk)) {
-                handles.push(scope.spawn(move |_| {
-                    let mut partial = JoinResult::with_regions(self.region_count);
-                    self.execute_into(pts, vals, &mut partial);
-                    partial
-                }));
+        result
+    }
+
+    /// Executes the join shard-by-shard with up to `threads` workers.
+    ///
+    /// Each [`ShardProbe`] is one shard's probe schedule. Shards whose key
+    /// span does not intersect [`covered_key_range`](Self::covered_key_range)
+    /// are pruned: their points are all unmatched and no probe runs.
+    ///
+    /// **Determinism policy:** shard partials are produced independently
+    /// (each accumulated in its shard's key order) and merged in shard
+    /// index order via [`JoinResult::merge`] — the one merge
+    /// implementation every parallel path shares. For a fixed shard
+    /// layout the result is therefore bit-for-bit reproducible regardless
+    /// of `threads`; across different shard layouts, counts and unmatched
+    /// totals are identical and only f64 sums may differ in final-bit
+    /// rounding (different summation order).
+    pub fn execute_shards(&self, shards: &[ShardProbe<'_>], threads: usize) -> JoinResult {
+        let covered = self.covered_key_range();
+        let run_shard = |shard: &ShardProbe<'_>| -> JoinResult {
+            let prunable = match (covered, shard.key_span()) {
+                (_, None) => true,
+                (None, _) => true,
+                (Some((clo, chi)), Some((lo, hi))) => hi < clo || chi < lo,
+            };
+            if prunable {
+                let mut partial = JoinResult::with_regions(self.region_count);
+                partial.unmatched = shard.len() as u64;
+                partial
+            } else {
+                self.execute_keys(shard.keys, shard.values)
             }
-            for h in handles {
-                partials.push(h.join().expect("join worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
+        };
+
+        let workers = threads.max(1).min(shards.len().max(1));
+        let mut partials: Vec<JoinResult>;
+        if workers <= 1 {
+            partials = shards.iter().map(run_shard).collect();
+        } else {
+            partials = vec![JoinResult::default(); shards.len()];
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                // Round-robin shard assignment: worker w owns shards
+                // w, w + workers, …; partials land at their shard index.
+                for w in 0..workers {
+                    let run_shard = &run_shard;
+                    handles.push(scope.spawn(move |_| {
+                        (w..shards.len())
+                            .step_by(workers)
+                            .map(|i| (i, run_shard(&shards[i])))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    for (i, partial) in h.join().expect("join worker panicked") {
+                        partials[i] = partial;
+                    }
+                }
+            })
+            .expect("crossbeam scope failed");
+        }
+
+        // One merge implementation for every parallel path, applied in
+        // shard index order.
         let mut result = JoinResult::with_regions(self.region_count);
         for p in &partials {
             result.merge(p);
         }
         result
+    }
+}
+
+/// One shard's probe schedule for [`ApproximateCellJoin::execute_shards`]:
+/// leaf keys sorted ascending, attribute values aligned.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardProbe<'a> {
+    /// Sorted raw leaf keys of the shard's points.
+    pub keys: &'a [u64],
+    /// Attribute values aligned with `keys`.
+    pub values: &'a [f64],
+}
+
+impl<'a> ShardProbe<'a> {
+    /// Creates a probe schedule; the columns must be equally long and the
+    /// keys sorted ascending (checked in debug builds).
+    pub fn new(keys: &'a [u64], values: &'a [f64]) -> Self {
+        assert_eq!(keys.len(), values.len(), "one value per key required");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "shard probe keys must be sorted ascending"
+        );
+        ShardProbe { keys, values }
+    }
+
+    /// Number of points in the shard.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Inclusive `[lo, hi]` span of the shard's keys (`None` when empty).
+    pub fn key_span(&self) -> Option<(u64, u64)> {
+        Some((*self.keys.first()?, *self.keys.last()?))
     }
 }
 
@@ -476,24 +584,93 @@ mod tests {
         }
     }
 
+    /// Sorts the workload rows by leaf key and splits them into contiguous
+    /// shard probe schedules along weighted Morton key ranges.
+    fn shard_schedules(
+        points: &[Point],
+        values: &[f64],
+        extent: &GridExtent,
+        shards: usize,
+    ) -> (Vec<u64>, Vec<f64>, Vec<(usize, usize)>) {
+        let mut rows: Vec<(u64, f64)> = points
+            .iter()
+            .zip(values)
+            .map(|(p, v)| (extent.leaf_cell_id(p).raw(), *v))
+            .collect();
+        rows.sort_unstable_by_key(|(k, _)| *k);
+        let keys: Vec<u64> = rows.iter().map(|(k, _)| *k).collect();
+        let vals: Vec<f64> = rows.iter().map(|(_, v)| *v).collect();
+        let ranges = dbsa_grid::partition_sorted_keys(&keys, shards);
+        let bounds = dbsa_grid::split_at_ranges(&keys, &ranges);
+        (keys, vals, bounds)
+    }
+
     #[test]
-    fn parallel_join_matches_sequential() {
+    fn sharded_execution_matches_sequential_and_is_deterministic() {
         let (points, values, regions, extent) = workload(10_000, 9);
         let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(10.0));
         let seq = join.execute(&points, &values);
-        let par = join.execute_parallel(&points, &values, 4);
-        for (s, p) in seq.regions.iter().zip(&par.regions) {
-            assert_eq!(s.count, p.count);
-            assert_eq!(s.boundary_count, p.boundary_count);
-            assert_eq!(s.min, p.min);
-            assert_eq!(s.max, p.max);
-            // Summation order differs across threads; only rounding may change.
-            assert!((s.sum - p.sum).abs() < 1e-6);
+        for shards in [1usize, 3, 8] {
+            let (keys, vals, bounds) = shard_schedules(&points, &values, &extent, shards);
+            let probes: Vec<ShardProbe<'_>> = bounds
+                .iter()
+                .map(|&(a, b)| ShardProbe::new(&keys[a..b], &vals[a..b]))
+                .collect();
+            let threaded = join.execute_shards(&probes, 4);
+            let single = join.execute_shards(&probes, 1);
+            // For a fixed shard layout the result is bit-for-bit
+            // reproducible regardless of the worker count.
+            assert_eq!(threaded, single, "{shards} shards");
+            // Counts and unmatched match the unsharded join exactly; sums
+            // agree up to summation-order rounding.
+            assert_eq!(threaded.unmatched, seq.unmatched);
+            assert_eq!(threaded.pip_tests, 0);
+            for (s, p) in seq.regions.iter().zip(&threaded.regions) {
+                assert_eq!(s.count, p.count);
+                assert_eq!(s.boundary_count, p.boundary_count);
+                assert_eq!(s.min, p.min);
+                assert_eq!(s.max, p.max);
+                assert!((s.sum - p.sum).abs() < 1e-6);
+            }
         }
-        assert_eq!(seq.unmatched, par.unmatched);
-        // Tiny inputs fall back to the sequential path.
-        let small = join.execute_parallel(&points[..100], &values[..100], 4);
-        assert_eq!(small.regions.len(), 9);
+        // No shards at all: a well-formed empty result.
+        let empty = join.execute_shards(&[], 4);
+        assert_eq!(empty.regions.len(), 9);
+        assert_eq!(empty.total_matched(), 0);
+    }
+
+    #[test]
+    fn execute_keys_walks_a_precomputed_schedule() {
+        let (points, values, regions, extent) = workload(4_000, 9);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let (keys, vals, _) = shard_schedules(&points, &values, &extent, 1);
+        let by_keys = join.execute_keys(&keys, &vals);
+        let by_points = join.execute(&points, &values);
+        assert_eq!(by_keys.unmatched, by_points.unmatched);
+        for (a, b) in by_keys.regions.iter().zip(&by_points.regions) {
+            assert_eq!(a.count, b.count);
+            assert!((a.sum - b.sum).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shards_outside_the_covered_range_are_pruned() {
+        let (_, _, regions, extent) = workload(10, 4);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let (lo, hi) = join.covered_key_range().expect("regions have postings");
+        assert!(lo <= hi);
+        // A shard entirely above the covered span: every point unmatched,
+        // bit-for-bit the same as actually probing it.
+        let far = Point::new(39_999.0, 39_999.0);
+        let far_key = extent.leaf_cell_id(&far).raw();
+        assert!(far_key > hi, "test point must sit outside every region");
+        let keys = vec![far_key; 5];
+        let vals = vec![1.0; 5];
+        let probe = ShardProbe::new(&keys, &vals);
+        let pruned = join.execute_shards(&[probe], 1);
+        assert_eq!(pruned.unmatched, 5);
+        assert_eq!(pruned.total_matched(), 0);
+        assert_eq!(pruned, join.execute_keys(&keys, &vals));
     }
 
     /// The seed's pointer-trie scalar probe loop, kept as the reference the

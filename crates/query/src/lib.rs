@@ -28,5 +28,5 @@ pub use containment::{
     LinearizedPointTable, PointIndexVariant, SpatialBaseline, SpatialBaselineKind,
 };
 pub use error::{median, relative_error, ErrorSummary};
-pub use join::{ApproximateCellJoin, JoinResult, RTreeExactJoin, ShapeIndexExactJoin};
+pub use join::{ApproximateCellJoin, JoinResult, RTreeExactJoin, ShapeIndexExactJoin, ShardProbe};
 pub use result_range::ResultRange;

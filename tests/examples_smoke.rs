@@ -66,6 +66,7 @@ example_tests!(
     quickstart,
     motivating_example,
     result_range_estimation,
+    sharded_serving,
     taxi_aggregation,
     visual_exploration,
 );

@@ -25,6 +25,17 @@ impl<T> Mutex<T> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Attempts to acquire the lock without blocking; `None` when another
+    /// thread holds it. The sharded engine's `compact` uses this to skip —
+    /// rather than queue behind — an already-running compaction.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consumes the mutex and returns the inner value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
@@ -54,6 +65,37 @@ impl<T> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Attempts to acquire a read guard without blocking; `None` when a
+    /// writer holds the lock (monitoring paths prefer stale-or-nothing
+    /// over blocking the ingest writer).
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire a write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`, so the borrow
+    /// checker proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +115,31 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn mutex_try_lock_skips_when_held() {
+        let m = Mutex::new(0u32);
+        let guard = m.try_lock().expect("uncontended try_lock succeeds");
+        assert!(m.try_lock().is_none(), "second try_lock must not block");
+        drop(guard);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_try_variants_and_get_mut() {
+        let mut l = RwLock::new(1u32);
+        *l.get_mut() = 2;
+        {
+            let _w = l.try_write().expect("uncontended try_write succeeds");
+            assert!(l.try_read().is_none(), "writer blocks try_read");
+            assert!(l.try_write().is_none(), "writer blocks try_write");
+        }
+        {
+            let _r = l.try_read().expect("uncontended try_read succeeds");
+            assert!(l.try_write().is_none(), "reader blocks try_write");
+            assert!(l.try_read().is_some(), "readers share");
+        }
+        assert_eq!(l.into_inner(), 2);
     }
 }
