@@ -1,0 +1,56 @@
+//! Exact-refinement pipeline microbench: refined-exact through the frozen
+//! ACT filter vs. the R-tree exact join, plus the per-query coarse-bound
+//! levels of the same index, on the Figure 6 neighborhood workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::prelude::*;
+use dbsa_bench::Workload;
+use std::time::Duration;
+
+const N_POINTS: usize = 100_000;
+
+fn bench_refine_pipeline(c: &mut Criterion) {
+    let bound = DistanceBound::meters(4.0);
+    let workload = Workload::from_profile(N_POINTS, DatasetProfile::Neighborhoods, 2021);
+    let join = ApproximateCellJoin::build(&workload.regions, &workload.extent, bound);
+    let rtree = RTreeExactJoin::build(&workload.regions);
+
+    // The answers must agree before the timings mean anything.
+    let refined = join.execute_refined(&workload.points, &workload.values, &workload.regions);
+    let reference = rtree.execute(&workload.points, &workload.values);
+    assert_eq!(refined.regions, reference.regions);
+    assert_eq!(refined.unmatched, reference.unmatched);
+
+    let mut group = c.benchmark_group("refine_pipeline");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(20);
+
+    group.bench_function("rtree_exact_join", |b| {
+        b.iter(|| std::hint::black_box(rtree.execute(&workload.points, &workload.values)))
+    });
+    group.bench_function("refined_exact", |b| {
+        b.iter(|| {
+            std::hint::black_box(join.execute_refined(
+                &workload.points,
+                &workload.values,
+                &workload.regions,
+            ))
+        })
+    });
+    for eps in [4.0, 16.0, 64.0] {
+        let plan = join.plan(&QuerySpec::within_meters(eps));
+        group.bench_with_input(
+            BenchmarkId::new("approximate", format!("{eps}m_level{}", plan.level)),
+            &plan.level,
+            |b, &level| {
+                b.iter(|| {
+                    std::hint::black_box(join.execute_at(&workload.points, &workload.values, level))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refine_pipeline);
+criterion_main!(benches);

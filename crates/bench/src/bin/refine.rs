@@ -1,0 +1,177 @@
+//! Refine — per-query distance bounds and the exact-refinement pipeline on
+//! the Figure 6 workload (300 k points, neighborhood-profile regions).
+//!
+//! One `ApproximateCellJoin` is built at the 4 m bound. Each row then
+//! queries the *same frozen index* under a different per-query spec:
+//!
+//! * approximate at 4 m / 16 m / 64 m — the planner maps each bound onto a
+//!   truncation level of the level-stacked trie (coarser level → cheaper
+//!   probes → more boundary-cell uncertainty),
+//! * refined-exact — the approximate filter at the finest level plus exact
+//!   point-in-polygon refinement of boundary-cell matches only,
+//! * R-tree exact — the classic filter-and-refine baseline.
+//!
+//! The acceptance bar: refined-exact beats `RTreeExactJoin::execute` on
+//! this workload (the filter-and-refine win the paper promises), with the
+//! answer fields verified equal before timing.
+
+use dbsa::prelude::*;
+use dbsa_bench::{
+    fmt_ms, json_output_path, mean_time, print_header, JsonReport, JsonValue, Workload,
+};
+
+const N_POINTS: usize = 300_000;
+const ITERS: usize = 5;
+const BOUNDS_M: [f64; 3] = [4.0, 16.0, 64.0];
+
+fn main() {
+    let json_path = json_output_path();
+    let config = dbsa::ExperimentConfig {
+        experiment: "refine".into(),
+        points: N_POINTS,
+        regions: 0, // Neighborhoods profile below
+        vertices_per_region: 0,
+        distance_bounds: BOUNDS_M.to_vec(),
+        precision_levels: vec![],
+        seed: 2021,
+    };
+    print_header(
+        "Refine",
+        "per-query bounds over one frozen index + exact refinement vs. R-tree",
+        &config,
+    );
+    let mut report = JsonReport::new("refine", &config);
+
+    let workload = Workload::from_profile(N_POINTS, DatasetProfile::Neighborhoods, config.seed);
+    let regions = workload.regions.len();
+    let bound = DistanceBound::meters(4.0);
+    let join = ApproximateCellJoin::build(&workload.regions, &workload.extent, bound);
+    let rtree = RTreeExactJoin::build(&workload.regions);
+
+    println!(
+        "{:<22} | {:>5} | {:>10} | {:>10} | {:>11} | {:>11}",
+        "mode", "level", "bound", "join time", "uncertain", "PIP tests"
+    );
+    println!(
+        "{:-<22}-+-{:-<5}-+-{:-<10}-+-{:-<10}-+-{:-<11}-+-{:-<11}",
+        "", "", "", "", "", ""
+    );
+
+    // Approximate rows: one frozen build, three per-query bounds.
+    for eps in BOUNDS_M {
+        let spec = QuerySpec::within_meters(eps);
+        let (plan, result) =
+            join.execute_spec(&spec, &workload.points, &workload.values, &workload.regions);
+        assert!(plan.satisfies_request);
+        let time = mean_time(ITERS, || {
+            std::hint::black_box(join.execute_at(&workload.points, &workload.values, plan.level));
+        });
+        let uncertain: u64 = result.regions.iter().map(|r| r.boundary_count).sum();
+        println!(
+            "{:<22} | {:>5} | {:>9.2}m | {:>10} | {:>11} | {:>11}",
+            format!("approximate ≤{eps} m"),
+            plan.level,
+            plan.guaranteed_bound,
+            fmt_ms(time),
+            uncertain,
+            result.pip_tests,
+        );
+        report.push_row(&[
+            ("mode", JsonValue::Str("approximate".into())),
+            ("requested_bound_m", JsonValue::Num(eps)),
+            ("level", JsonValue::Int(plan.level as u64)),
+            ("guaranteed_bound_m", JsonValue::Num(plan.guaranteed_bound)),
+            (
+                "estimated_nodes",
+                JsonValue::Int(plan.estimated_nodes as u64),
+            ),
+            ("regions", JsonValue::Int(regions as u64)),
+            ("points", JsonValue::Int(N_POINTS as u64)),
+            ("join_ms", JsonValue::Num(time.as_secs_f64() * 1e3)),
+            ("uncertain_matches", JsonValue::Int(uncertain)),
+            ("pip_tests", JsonValue::Int(result.pip_tests)),
+        ]);
+    }
+
+    // Refined-exact through the same index, verified against the R-tree
+    // join before timing.
+    let (plan, refined) = join.execute_spec(
+        &QuerySpec::exact(),
+        &workload.points,
+        &workload.values,
+        &workload.regions,
+    );
+    let reference = rtree.execute(&workload.points, &workload.values);
+    assert_eq!(
+        refined.regions, reference.regions,
+        "exact answers must match"
+    );
+    assert_eq!(refined.unmatched, reference.unmatched);
+
+    let refined_time = mean_time(ITERS, || {
+        std::hint::black_box(join.execute_refined(
+            &workload.points,
+            &workload.values,
+            &workload.regions,
+        ));
+    });
+    println!(
+        "{:<22} | {:>5} | {:>10} | {:>10} | {:>11} | {:>11}",
+        "refined exact",
+        plan.level,
+        "exact",
+        fmt_ms(refined_time),
+        0,
+        refined.pip_tests,
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str("refined_exact".into())),
+        ("level", JsonValue::Int(plan.level as u64)),
+        ("regions", JsonValue::Int(regions as u64)),
+        ("points", JsonValue::Int(N_POINTS as u64)),
+        ("join_ms", JsonValue::Num(refined_time.as_secs_f64() * 1e3)),
+        ("pip_tests", JsonValue::Int(refined.pip_tests)),
+    ]);
+
+    let rtree_time = mean_time(ITERS, || {
+        std::hint::black_box(rtree.execute(&workload.points, &workload.values));
+    });
+    println!(
+        "{:<22} | {:>5} | {:>10} | {:>10} | {:>11} | {:>11}",
+        "R-tree exact",
+        "-",
+        "exact",
+        fmt_ms(rtree_time),
+        0,
+        reference.pip_tests,
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str("rtree_exact".into())),
+        ("regions", JsonValue::Int(regions as u64)),
+        ("points", JsonValue::Int(N_POINTS as u64)),
+        ("join_ms", JsonValue::Num(rtree_time.as_secs_f64() * 1e3)),
+        ("pip_tests", JsonValue::Int(reference.pip_tests)),
+    ]);
+
+    let ratio = rtree_time.as_secs_f64() / refined_time.as_secs_f64();
+    println!();
+    println!(
+        "acceptance: refined-exact vs. R-tree exact = {ratio:.2}x faster \
+         ({} vs {} PIP tests) -> {}",
+        refined.pip_tests,
+        reference.pip_tests,
+        if ratio > 1.0 { "PASS" } else { "FAIL" }
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str("summary".into())),
+        ("rtree_over_refined", JsonValue::Num(ratio)),
+        ("refined_pip_tests", JsonValue::Int(refined.pip_tests)),
+        ("rtree_pip_tests", JsonValue::Int(reference.pip_tests)),
+        (
+            "pass",
+            JsonValue::Str(if ratio > 1.0 { "true" } else { "false" }.into()),
+        ),
+    ]);
+
+    report.write_if_requested(json_path.as_deref());
+}

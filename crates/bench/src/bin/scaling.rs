@@ -17,9 +17,10 @@
 //! single-threaded queries), reporting aggregate queries/second.
 
 use dbsa::prelude::*;
-use dbsa_bench::{fmt_ms, json_output_path, print_header, timed, JsonReport, JsonValue, Workload};
+use dbsa_bench::{
+    fmt_ms, json_output_path, mean_time, print_header, timed, JsonReport, JsonValue, Workload,
+};
 use std::sync::Arc;
-use std::time::Duration;
 
 const N_POINTS: usize = 300_000;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -27,17 +28,6 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const ITERS: usize = 5;
 const QUERIES_PER_CLIENT: usize = 3;
-
-/// Mean wall time of `iters` runs of `f` (after one warm-up run).
-fn mean_time<F: FnMut()>(iters: usize, mut f: F) -> Duration {
-    f();
-    let mut total = Duration::ZERO;
-    for _ in 0..iters {
-        let ((), elapsed) = timed(&mut f);
-        total += elapsed;
-    }
-    total / iters as u32
-}
 
 fn main() {
     let json_path = json_output_path();

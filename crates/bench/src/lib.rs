@@ -11,6 +11,8 @@
 //! | E3/E3b | Figure 6 + memory footprints — main-memory join | `… --bin fig6` | `fig6_join` |
 //! | E4 | Figure 7 — Bounded Raster Join vs. GPU baseline | `… --bin fig7` | `fig7_brj` |
 //! | E6 | §6 — result-range estimation | `… --bin result_range` | `result_range` |
+//! | —  | scaling (sharded serving across shards × threads) | `… --bin scaling` | `scaling` |
+//! | —  | per-query bounds + exact refinement vs. R-tree | `… --bin refine` | `refine_pipeline` |
 //! | —  | ablations (curve choice, boundary policy, spline error) | — | `ablations` |
 //!
 //! The report binaries print the same rows/series the paper plots; the
@@ -101,6 +103,18 @@ pub fn timed<T, F: FnOnce() -> T>(f: F) -> (T, Duration) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+/// Mean wall time of `iters` runs of `f` (after one warm-up run) — the
+/// shared measurement loop of the report binaries.
+pub fn mean_time<F: FnMut()>(iters: usize, mut f: F) -> Duration {
+    f();
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let ((), elapsed) = timed(&mut f);
+        total += elapsed;
+    }
+    total / iters as u32
 }
 
 /// Formats a duration in engineering-friendly milliseconds.

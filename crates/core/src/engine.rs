@@ -11,8 +11,8 @@
 use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
 use dbsa_grid::{partition_sorted_keys, split_at_ranges, GridExtent, KeyRange};
 use dbsa_query::{
-    ApproximateCellJoin, JoinResult, LinearizedPointTable, PointIndexVariant, RTreeExactJoin,
-    RegionAggregate, ResultRange, ShardProbe,
+    ApproximateCellJoin, JoinResult, LinearizedPointTable, PointIndexVariant, QueryPlan, QuerySpec,
+    RTreeExactJoin, RegionAggregate, ResultRange, ShardProbe,
 };
 use dbsa_raster::{DistanceBound, Rasterizable};
 
@@ -232,6 +232,40 @@ impl ApproximateEngine {
             .execute(&self.points, &self.values)
     }
 
+    /// Plans a [`QuerySpec`] against the region index without executing it:
+    /// which truncation level of the level-stacked trie serves it, the
+    /// bound that level guarantees, and the estimated probe cost.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn plan_query(&self, spec: &QuerySpec) -> QueryPlan {
+        self.join.as_ref().expect("no regions loaded").plan(spec)
+    }
+
+    /// [`aggregate_by_region`](Self::aggregate_by_region) with a
+    /// **per-query accuracy spec**: the same frozen index build answers at
+    /// any bound at or above the build bound (coarser truncation levels of
+    /// the level-stacked trie), or exactly ([`QuerySpec::exact`]) by
+    /// refining boundary-cell matches with exact point-in-polygon tests —
+    /// no rebuild in either case. Returns the plan alongside the result so
+    /// callers can report the level chosen and the bound actually served.
+    ///
+    /// The exact path's per-region aggregates and unmatched count are
+    /// bit-for-bit identical to
+    /// [`aggregate_by_region_exact`](Self::aggregate_by_region_exact);
+    /// only `pip_tests` differs (the filter eliminates most of them).
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn aggregate_by_region_spec(&self, spec: &QuerySpec) -> (QueryPlan, JoinResult) {
+        self.join.as_ref().expect("no regions loaded").execute_spec(
+            spec,
+            &self.points,
+            &self.values,
+            &self.regions,
+        )
+    }
+
     /// Multi-threaded variant of [`aggregate_by_region`](Self::aggregate_by_region).
     ///
     /// Routed through the shard-level execution path: the table's sorted
@@ -302,13 +336,38 @@ impl ApproximateEngine {
     }
 
     /// Guaranteed result ranges (Section 6) for the per-region counts of the
-    /// approximate aggregation.
+    /// approximate aggregation, at the build-time bound.
     pub fn count_ranges(&self) -> Vec<ResultRange> {
         self.aggregate_by_region()
             .regions
             .iter()
             .map(ResultRange::count_range)
             .collect()
+    }
+
+    /// [`count_ranges`](Self::count_ranges) under a per-query accuracy
+    /// spec: looser bounds serve from coarser truncation levels (cheaper
+    /// probes, wider ranges — more points match through boundary cells);
+    /// [`QuerySpec::exact`] degenerates every range to its exact count.
+    ///
+    /// Range semantics follow the join's attribution policy: a point
+    /// within the *served* bound of a boundary shared by two regions may
+    /// be attributed to either side, so per-region ranges are guaranteed
+    /// relative to that ε-admissible attribution — strict per-region
+    /// coverage of the exact count holds when regions are separated by
+    /// more than the served bound, and the *summed* range always covers
+    /// the total exact count.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn count_ranges_spec(&self, spec: &QuerySpec) -> (QueryPlan, Vec<ResultRange>) {
+        let (plan, result) = self.aggregate_by_region_spec(spec);
+        let ranges = result
+            .regions
+            .iter()
+            .map(ResultRange::count_range)
+            .collect();
+        (plan, ranges)
     }
 
     /// Access to the underlying linearized point table (for benchmarks that
@@ -429,6 +488,54 @@ mod tests {
             .extent(city_extent())
             .build();
         let _ = engine.aggregate_by_region();
+    }
+
+    #[test]
+    fn per_query_specs_trade_accuracy_for_speed_on_one_build() {
+        let engine = build_engine(6_000, 9, 4.0);
+        let finest = engine.plan_query(&QuerySpec::within_meters(4.0));
+        let coarse = engine.plan_query(&QuerySpec::within_meters(64.0));
+        assert!(coarse.level < finest.level);
+        assert!(coarse.estimated_nodes < finest.estimated_nodes);
+        assert!(coarse.guaranteed_bound <= 64.0);
+
+        let (_, at_build) = engine.aggregate_by_region_spec(&QuerySpec::within_meters(4.0));
+        // The build-bound spec reproduces the default path bit-for-bit.
+        assert_eq!(at_build, engine.aggregate_by_region());
+
+        // Exact spec equals the R-tree reference on every answer field.
+        let (plan, exact) = engine.aggregate_by_region_spec(&QuerySpec::exact());
+        assert!(plan.exact_refinement);
+        let reference = engine.aggregate_by_region_exact();
+        assert_eq!(exact.regions, reference.regions);
+        assert_eq!(exact.unmatched, reference.unmatched);
+        assert!(exact.pip_tests < reference.pip_tests);
+    }
+
+    #[test]
+    fn count_ranges_spec_widens_with_looser_bounds() {
+        let engine = build_engine(4_000, 9, 4.0);
+        let (_, tight) = engine.count_ranges_spec(&QuerySpec::within_meters(4.0));
+        let (_, loose) = engine.count_ranges_spec(&QuerySpec::within_meters(64.0));
+        let width = |rs: &Vec<ResultRange>| -> f64 { rs.iter().map(|r| r.upper - r.lower).sum() };
+        assert!(width(&loose) >= width(&tight));
+        // The structural guarantee: the *summed* range covers the total
+        // exact count at any served bound (interior matches are true
+        // positives; the conservative covering can only over-match).
+        // Per-region coverage additionally holds when regions are
+        // separated by more than the served bound — not asserted here
+        // because coarse truncation may attribute shared-subtree boundary
+        // points to either adjacent region.
+        let exact = engine.aggregate_by_region_exact();
+        let total_exact: u64 = exact.regions.iter().map(|r| r.count).sum();
+        for ranges in [&tight, &loose] {
+            let lower: f64 = ranges.iter().map(|r| r.lower).sum();
+            let upper: f64 = ranges.iter().map(|r| r.upper).sum();
+            assert!(
+                lower - 1e-9 <= total_exact as f64 && total_exact as f64 <= upper + 1e-9,
+                "total {total_exact} outside summed range [{lower}, {upper}]"
+            );
+        }
     }
 
     #[test]

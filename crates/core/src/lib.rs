@@ -73,8 +73,9 @@ pub mod prelude {
     pub use dbsa_index::{AdaptiveCellTrie, FrozenCellTrie, MemoryFootprint, RTree, RadixSpline};
     pub use dbsa_query::{
         AggregateKind, ApproximateCellJoin, ErrorSummary, JoinResult, LinearizedPointTable,
-        PointIndexVariant, RTreeExactJoin, RegionAggregate, ResultRange, ShapeIndexExactJoin,
-        ShardProbe, SpatialBaseline, SpatialBaselineKind,
+        PointIndexVariant, QueryMode, QueryPlan, QueryPlanner, QuerySpec, RTreeExactJoin,
+        RegionAggregate, ResultRange, ShapeIndexExactJoin, ShardProbe, SpatialBaseline,
+        SpatialBaselineKind,
     };
     pub use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster, UniformRaster};
 }

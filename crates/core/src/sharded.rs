@@ -24,16 +24,24 @@
 //!   queued (`Mutex::try_lock`).
 //! * **Shard pruning** — a shard is skipped when its key span cannot
 //!   intersect the query: the region trie's covered key range for the
-//!   aggregation join, the query raster's leaf-key ranges for ad-hoc
-//!   containment. Both tests are single interval intersections, courtesy
-//!   of the Z-order descendant-range property.
+//!   aggregation join (the *chosen level's* range for planned coarse-bound
+//!   queries), the query raster's leaf-key ranges for ad-hoc containment.
+//!   Both tests are single interval intersections, courtesy of the Z-order
+//!   descendant-range property.
+//! * **Per-query accuracy** — every snapshot serves
+//!   [`EngineSnapshot::aggregate_by_region_spec`]: the request carries a
+//!   [`QuerySpec`] (a distance bound, or exactness), the planner maps it
+//!   onto a truncation level of the shared level-stacked frozen trie, and
+//!   exact requests refine boundary-cell matches per shard — one index
+//!   build, any bound, exact on demand, without rebuilding or re-sharding
+//!   anything.
 
 use crate::engine::{EngineStats, ShardStats};
 use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
 use dbsa_grid::{partition_sorted_keys, split_at_ranges, GridExtent, KeyRange};
 use dbsa_query::{
-    ApproximateCellJoin, JoinResult, LinearizedPointTable, PointIndexVariant, RegionAggregate,
-    ResultRange, ShardProbe,
+    ApproximateCellJoin, JoinResult, LinearizedPointTable, PointIndexVariant, QueryPlan, QuerySpec,
+    RegionAggregate, ResultRange, ShardProbe,
 };
 use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster, Rasterizable};
 use parking_lot::{Mutex, RwLock};
@@ -111,9 +119,15 @@ impl EngineShard {
         &self.table
     }
 
-    /// The shard's probe schedule for the aggregation join.
+    /// The shard's probe schedule for the aggregation join. Carries the
+    /// key-aligned point column so exact-refinement queries can run
+    /// point-in-polygon tests without re-sorting anything.
     fn probe(&self) -> ShardProbe<'_> {
-        ShardProbe::new(self.table.keys(), self.table.values_in_key_order())
+        ShardProbe::with_points(
+            self.table.keys(),
+            &self.points,
+            self.table.values_in_key_order(),
+        )
     }
 
     /// Whether any of the query raster's cells can contain one of this
@@ -273,6 +287,44 @@ impl EngineSnapshot {
         join.execute_shards(&probes, threads)
     }
 
+    /// Plans a [`QuerySpec`] against the shared region index without
+    /// executing it.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn plan_query(&self, spec: &QuerySpec) -> QueryPlan {
+        self.join().plan(spec)
+    }
+
+    /// [`aggregate_by_region_parallel`](Self::aggregate_by_region_parallel)
+    /// with a **per-query accuracy spec**: one snapshot of one frozen index
+    /// serves any bound at or above the build bound, or the exact answer,
+    /// per request. Shard pruning intersects each shard's key span against
+    /// the **chosen level's** covered key range — a coarser level's
+    /// truncated covering is wider, so fewer shards prune, exactly as the
+    /// coarser approximation demands. Exact specs refine boundary-cell
+    /// matches per shard (interior matches are accepted from the frozen
+    /// probe schedule wholesale).
+    ///
+    /// Determinism follows the sharded policy: for a fixed snapshot and
+    /// spec the result is bit-for-bit reproducible regardless of
+    /// `threads`; exact-spec counts, min/max and unmatched equal
+    /// `RTreeExactJoin` over the snapshot's rows for any shard count, f64
+    /// sums bit-for-bit for one shard and up to summation-order rounding
+    /// otherwise.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn aggregate_by_region_spec(
+        &self,
+        spec: &QuerySpec,
+        threads: usize,
+    ) -> (QueryPlan, JoinResult) {
+        let join = self.join();
+        let probes: Vec<ShardProbe<'_>> = self.all_shards().map(|s| s.probe()).collect();
+        join.execute_shards_spec(spec, &probes, &self.regions, threads)
+    }
+
     /// Ad-hoc containment aggregate over an arbitrary rasterizable region,
     /// approximated with at most `cell_budget` hierarchical cells. The
     /// region is rasterized once; shards whose key span intersects none of
@@ -312,16 +364,44 @@ impl EngineSnapshot {
     }
 
     /// Guaranteed result ranges (Section 6) for the per-region counts,
-    /// evaluated through the pruned, sharded join.
+    /// evaluated through the planner path at the build-time bound (the
+    /// pruned, sharded join at the finest level).
     ///
     /// # Panics
     /// Panics if no regions were loaded.
     pub fn count_ranges(&self) -> Vec<ResultRange> {
-        self.aggregate_by_region()
+        self.count_ranges_spec(&QuerySpec::within(self.bound), 1).1
+    }
+
+    /// [`count_ranges`](Self::count_ranges) under a per-query accuracy
+    /// spec: looser bounds serve from coarser truncation levels and yield
+    /// wider ranges; [`QuerySpec::exact`] degenerates every range to its
+    /// exact count.
+    ///
+    /// Range semantics follow the join's attribution policy: a point
+    /// within the *served* bound of a boundary shared by two regions may
+    /// be attributed to either side (at coarse levels, to the truncated
+    /// covering's first region), so per-region ranges are guaranteed
+    /// relative to that ε-admissible attribution — strict per-region
+    /// coverage of the exact count holds when regions are separated by
+    /// more than the served bound, and the *summed* range always covers
+    /// the total exact count (interior matches are true positives; the
+    /// conservative covering can only over-match).
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn count_ranges_spec(
+        &self,
+        spec: &QuerySpec,
+        threads: usize,
+    ) -> (QueryPlan, Vec<ResultRange>) {
+        let (plan, result) = self.aggregate_by_region_spec(spec, threads);
+        let ranges = result
             .regions
             .iter()
             .map(ResultRange::count_range)
-            .collect()
+            .collect();
+        (plan, ranges)
     }
 
     /// All rows visible in this snapshot, in merge order (shard by shard,
@@ -668,6 +748,30 @@ impl ShardedEngine {
     /// snapshot.
     pub fn aggregate_by_region_parallel(&self, threads: usize) -> JoinResult {
         self.snapshot().aggregate_by_region_parallel(threads)
+    }
+
+    /// [`EngineSnapshot::plan_query`] on the current snapshot.
+    pub fn plan_query(&self, spec: &QuerySpec) -> QueryPlan {
+        self.snapshot().plan_query(spec)
+    }
+
+    /// [`EngineSnapshot::aggregate_by_region_spec`] on the current
+    /// snapshot.
+    pub fn aggregate_by_region_spec(
+        &self,
+        spec: &QuerySpec,
+        threads: usize,
+    ) -> (QueryPlan, JoinResult) {
+        self.snapshot().aggregate_by_region_spec(spec, threads)
+    }
+
+    /// [`EngineSnapshot::count_ranges_spec`] on the current snapshot.
+    pub fn count_ranges_spec(
+        &self,
+        spec: &QuerySpec,
+        threads: usize,
+    ) -> (QueryPlan, Vec<ResultRange>) {
+        self.snapshot().count_ranges_spec(spec, threads)
     }
 
     /// [`EngineSnapshot::aggregate_in_region`] on the current snapshot.

@@ -22,6 +22,19 @@
 //! re-descends only from the first level where its key diverges from the
 //! previous one, so most probes touch one or two nodes instead of walking
 //! from the root.
+//!
+//! The frozen layout is also **level-stacked**: every node carries a
+//! summary of its strict subtree, so truncating a probe at any level `ℓ`
+//! answers against the *Morton-prefix truncation* of the indexed rasters —
+//! the coarser approximation in which every cell deeper than `ℓ` is
+//! replaced by its level-`ℓ` ancestor (classified `Boundary`, because a
+//! cell that was subdivided past `ℓ` necessarily touches a region
+//! boundary). One freeze therefore serves *any* distance bound at or above
+//! the built one: probe with [`FrozenCellTrie::first_posting_at`] /
+//! [`FrozenCellTrie::cursor_at`], and consult
+//! [`FrozenCellTrie::covered_key_range_at`] /
+//! [`FrozenCellTrie::nodes_at_or_above`] for the per-level pruning range
+//! and probe-cost estimate the query planner uses.
 
 use crate::act::{ActStats, AdaptiveCellTrie, CellPosting, PolygonId, TrieNode};
 use crate::footprint::MemoryFootprint;
@@ -31,7 +44,11 @@ use dbsa_raster::CellClass;
 /// Sentinel child index: this child does not exist.
 const NO_CHILD: u32 = u32::MAX;
 
-/// Path-stack capacity: one entry per level, root included.
+/// Sentinel polygon id: the strict subtree holds no posting.
+const NO_POLYGON: u32 = u32::MAX;
+
+/// Path-stack capacity: one entry per level, root included. Also the length
+/// of the per-level metadata arrays (`covered_at`, `nodes_at_or_above`).
 const STACK: usize = MAX_LEVEL as usize + 1;
 
 /// One frozen trie node: four child indices plus the `(offset, len)` slice
@@ -53,13 +70,26 @@ pub struct FrozenCellTrie {
     posting_polygons: Vec<PolygonId>,
     /// Postings arena, class column (aligned with `posting_polygons`).
     posting_classes: Vec<CellClass>,
+    /// `deep_first[i]` = the polygon of the first posting in node `i`'s
+    /// *strict* subtree, in pre-order (a node's own postings before its
+    /// descendants, siblings in Z-order); `NO_POLYGON` when the subtree
+    /// below `i` holds no posting. A probe truncated at node `i`'s level
+    /// resolves to this polygon with class `Boundary` — the Morton-prefix
+    /// truncation of the indexed rasters.
+    deep_first: Vec<u32>,
     polygons: usize,
     max_depth: u8,
-    /// Inclusive span `[lo, hi]` of raw leaf keys covered by at least one
-    /// posting cell (`None` when the trie holds no postings). Probes whose
-    /// keys fall outside the span cannot match — the basis for shard
-    /// pruning in the sharded execution layer.
-    covered: Option<(u64, u64)>,
+    /// `covered_at[ℓ]` = inclusive span `[lo, hi]` of raw leaf keys covered
+    /// by at least one posting cell once cells deeper than `ℓ` are
+    /// truncated to their level-`ℓ` ancestor (`None` for a trie without
+    /// postings). `covered_at[MAX_LEVEL]` is the exact covered span; probes
+    /// whose keys fall outside the level's span cannot match at that level
+    /// — the basis for per-level shard pruning.
+    covered_at: [Option<(u64, u64)>; STACK],
+    /// `nodes_at_or_above[ℓ]` = number of trie nodes at level ≤ ℓ — the
+    /// size of the structure a level-`ℓ` probe can touch, used as the
+    /// planner's probe-cost estimate.
+    nodes_at_or_above: [u32; STACK],
 }
 
 /// Child position of `leaf`'s ancestor at `level` — pure bit arithmetic on
@@ -78,27 +108,32 @@ impl FrozenCellTrie {
             node_count < NO_CHILD as usize && posting_count <= u32::MAX as usize,
             "trie too large for u32 indices ({node_count} nodes, {posting_count} postings)"
         );
-        let mut nodes = Vec::with_capacity(node_count);
-        let mut posting_polygons = Vec::with_capacity(posting_count);
-        let mut posting_classes = Vec::with_capacity(posting_count);
-        let mut covered = None;
-        freeze_node(
-            &trie.root,
-            CellId::ROOT,
-            &mut nodes,
-            &mut posting_polygons,
-            &mut posting_classes,
-            &mut covered,
-        );
-        debug_assert_eq!(nodes.len(), node_count);
-        debug_assert_eq!(posting_polygons.len(), posting_count);
+        let mut state = FreezeState {
+            nodes: Vec::with_capacity(node_count),
+            posting_polygons: Vec::with_capacity(posting_count),
+            posting_classes: Vec::with_capacity(posting_count),
+            deep_first: Vec::with_capacity(node_count),
+            covered_at: [None; STACK],
+            level_nodes: [0; STACK],
+        };
+        state.freeze_node(&trie.root, CellId::ROOT);
+        debug_assert_eq!(state.nodes.len(), node_count);
+        debug_assert_eq!(state.posting_polygons.len(), posting_count);
+        let mut nodes_at_or_above = [0u32; STACK];
+        let mut running = 0u32;
+        for (cum, count) in nodes_at_or_above.iter_mut().zip(state.level_nodes) {
+            running += count;
+            *cum = running;
+        }
         FrozenCellTrie {
-            nodes,
-            posting_polygons,
-            posting_classes,
+            nodes: state.nodes,
+            posting_polygons: state.posting_polygons,
+            posting_classes: state.posting_classes,
+            deep_first: state.deep_first,
             polygons: trie.polygon_count(),
             max_depth: trie.max_depth(),
-            covered,
+            covered_at: state.covered_at,
+            nodes_at_or_above,
         }
     }
 
@@ -107,7 +142,24 @@ impl FrozenCellTrie {
     /// the span is guaranteed unmatched, so a point shard whose key range
     /// does not intersect it can skip probing entirely.
     pub fn covered_key_range(&self) -> Option<(u64, u64)> {
-        self.covered
+        self.covered_at[MAX_LEVEL as usize]
+    }
+
+    /// The covered leaf-key span of the **level-`level` truncation** of the
+    /// indexed rasters: every posting cell deeper than `level` widens the
+    /// span to its level-`level` ancestor's descendant range. Probes outside
+    /// the span cannot match *at that level*, so shard pruning for a
+    /// coarse-level query must intersect against this (wider) range, not the
+    /// exact one.
+    pub fn covered_key_range_at(&self, level: u8) -> Option<(u64, u64)> {
+        self.covered_at[level.min(MAX_LEVEL) as usize]
+    }
+
+    /// Number of trie nodes at level ≤ `level` — the portion of the
+    /// structure a probe truncated at `level` can touch. The query planner
+    /// uses this as its probe-cost estimate for a candidate level.
+    pub fn nodes_at_or_above(&self, level: u8) -> usize {
+        self.nodes_at_or_above[level.min(MAX_LEVEL) as usize] as usize
     }
 
     /// Number of indexed polygons.
@@ -219,64 +271,135 @@ impl FrozenCellTrie {
         self.first_posting(leaf).map(|p| p.polygon)
     }
 
+    /// The truncated-covering posting a probe resolves to when it stops at
+    /// node `idx` with nothing found on the path: the strict subtree's
+    /// first posting, classified `Boundary` (a cell subdivided past the
+    /// truncation level necessarily touches a region boundary).
+    #[inline(always)]
+    fn deep_summary(&self, idx: usize) -> Option<CellPosting> {
+        let polygon = self.deep_first[idx];
+        (polygon != NO_POLYGON).then_some(CellPosting {
+            polygon,
+            class: CellClass::Boundary,
+        })
+    }
+
+    /// The first posting covering the leaf cell **at truncation level
+    /// `level`** — the answer the trie would give if every cell deeper than
+    /// `level` were replaced by its level-`level` ancestor (class
+    /// `Boundary`). `level >= max_depth` reproduces
+    /// [`first_posting`](Self::first_posting) exactly.
+    pub fn first_posting_at(&self, leaf: CellId, level: u8) -> Option<CellPosting> {
+        debug_assert!(leaf.is_leaf(), "lookup requires a leaf cell id: {leaf}");
+        let raw = leaf.raw();
+        let mut node = 0usize;
+        if let Some(p) = self.node_first_posting(node) {
+            return Some(p);
+        }
+        for l in 1..=self.max_depth.min(level) {
+            let child = self.nodes[node].children[child_pos(raw, l)];
+            if child == NO_CHILD {
+                // No original cell lies under this branch at or below the
+                // truncation level, so the truncated covering has no cell
+                // here either.
+                return None;
+            }
+            node = child as usize;
+            if let Some(p) = self.node_first_posting(node) {
+                return Some(p);
+            }
+        }
+        // Ran out of levels with nothing on the path: postings strictly
+        // below the cutoff truncate into this node's cell.
+        self.deep_summary(node)
+    }
+
     /// Starts a batched probe cursor. Feed it leaf cells (ideally in key
     /// order) via [`SortedProbeCursor::first_posting`].
     pub fn cursor(&self) -> SortedProbeCursor<'_> {
-        SortedProbeCursor::new(self)
+        self.cursor_at(MAX_LEVEL)
+    }
+
+    /// Starts a batched probe cursor truncated at `level`: probe answers
+    /// match [`first_posting_at`](Self::first_posting_at) with the same
+    /// level. `cursor_at(MAX_LEVEL)` is [`cursor`](Self::cursor).
+    pub fn cursor_at(&self, level: u8) -> SortedProbeCursor<'_> {
+        SortedProbeCursor::new(self, level)
     }
 }
 
-/// Pre-order flattening: the parent is emitted before its children, so a
-/// descent path runs forward through the node array. `cell` is the grid
-/// cell this node represents; nodes with postings extend the covered
-/// leaf-key span by their descendant range.
-fn freeze_node(
-    node: &TrieNode,
-    cell: CellId,
-    nodes: &mut Vec<FrozenNode>,
-    posting_polygons: &mut Vec<PolygonId>,
-    posting_classes: &mut Vec<CellClass>,
-    covered: &mut Option<(u64, u64)>,
-) -> u32 {
-    let idx = nodes.len() as u32;
-    nodes.push(FrozenNode {
-        children: [NO_CHILD; 4],
-        postings_offset: posting_polygons.len() as u32,
-        postings_len: node.postings.len() as u32,
-    });
-    if !node.postings.is_empty() {
-        let (lo, hi) = (cell.range_min().raw(), cell.range_max().raw());
-        *covered = Some(match covered {
-            Some((clo, chi)) => ((*clo).min(lo), (*chi).max(hi)),
-            None => (lo, hi),
+/// Working state of the pre-order flattening.
+struct FreezeState {
+    nodes: Vec<FrozenNode>,
+    posting_polygons: Vec<PolygonId>,
+    posting_classes: Vec<CellClass>,
+    deep_first: Vec<u32>,
+    covered_at: [Option<(u64, u64)>; STACK],
+    level_nodes: [u32; STACK],
+}
+
+impl FreezeState {
+    /// Pre-order flattening: the parent is emitted before its children, so a
+    /// descent path runs forward through the node array. `cell` is the grid
+    /// cell this node represents; nodes with postings extend every level's
+    /// covered leaf-key span by their (possibly truncated) descendant range.
+    ///
+    /// Returns `(node index, first polygon in the subtree including own
+    /// postings)` — the parent folds the second component into its own
+    /// `deep_first` summary, which is therefore the subtree's first posting
+    /// in pre-order (own postings before descendants, siblings in Z-order).
+    fn freeze_node(&mut self, node: &TrieNode, cell: CellId) -> (u32, u32) {
+        let idx = self.nodes.len() as u32;
+        let level = cell.level();
+        self.level_nodes[level as usize] += 1;
+        self.nodes.push(FrozenNode {
+            children: [NO_CHILD; 4],
+            postings_offset: self.posting_polygons.len() as u32,
+            postings_len: node.postings.len() as u32,
         });
-    }
-    for p in &node.postings {
-        posting_polygons.push(p.polygon);
-        posting_classes.push(p.class);
-    }
-    for (pos, child) in node.children.iter().enumerate() {
-        if let Some(child) = child {
-            let child_idx = freeze_node(
-                child,
-                cell.children()[pos],
-                nodes,
-                posting_polygons,
-                posting_classes,
-                covered,
-            );
-            nodes[idx as usize].children[pos] = child_idx;
+        self.deep_first.push(NO_POLYGON);
+        if !node.postings.is_empty() {
+            // A cell at level L widens the truncated covering of every
+            // level ℓ < L to its level-ℓ ancestor; at ℓ ≥ L it contributes
+            // its own range.
+            for l in 0..STACK as u8 {
+                let effective = if level <= l { cell } else { cell.parent_at(l) };
+                let (lo, hi) = (effective.range_min().raw(), effective.range_max().raw());
+                let slot = &mut self.covered_at[l as usize];
+                *slot = Some(match slot {
+                    Some((clo, chi)) => ((*clo).min(lo), (*chi).max(hi)),
+                    None => (lo, hi),
+                });
+            }
         }
+        for p in &node.postings {
+            self.posting_polygons.push(p.polygon);
+            self.posting_classes.push(p.class);
+        }
+        let mut deep = NO_POLYGON;
+        for (pos, child) in node.children.iter().enumerate() {
+            if let Some(child) = child {
+                let (child_idx, child_first) = self.freeze_node(child, cell.children()[pos]);
+                self.nodes[idx as usize].children[pos] = child_idx;
+                if deep == NO_POLYGON {
+                    deep = child_first;
+                }
+            }
+        }
+        self.deep_first[idx as usize] = deep;
+        let own_first = node.postings.first().map(|p| p.polygon);
+        (idx, own_first.unwrap_or(deep))
     }
-    idx
 }
 
 impl MemoryFootprint for FrozenCellTrie {
     fn memory_bytes(&self) -> usize {
-        // Exact: three flat arrays, no hidden per-node allocations.
+        // Exact: four flat arrays, no hidden per-node allocations (the
+        // per-level metadata lives inline in the struct).
         self.nodes.capacity() * std::mem::size_of::<FrozenNode>()
             + self.posting_polygons.capacity() * std::mem::size_of::<PolygonId>()
             + self.posting_classes.capacity() * std::mem::size_of::<CellClass>()
+            + self.deep_first.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -288,11 +411,20 @@ impl MemoryFootprint for FrozenCellTrie {
 /// re-descends only from the first diverging level. Correct for any probe
 /// order; fast when probes are sorted by leaf key, because Z-order neighbors
 /// share long prefixes.
+///
+/// A cursor created with [`FrozenCellTrie::cursor_at`] truncates every
+/// descent at the cutoff level: probes that reach the cutoff node without a
+/// posting on the path resolve to the node's strict-subtree summary
+/// (`Boundary` class), matching [`FrozenCellTrie::first_posting_at`].
 pub struct SortedProbeCursor<'a> {
     trie: &'a FrozenCellTrie,
+    /// Deepest level a descent may reach (`min(cutoff, max_depth)`).
+    cutoff: usize,
     /// `stack[d]` = node index at level `d` on the current path.
     stack: [u32; STACK],
-    /// `first[d]` = first posting encountered at or above level `d`.
+    /// `first[d]` = first posting encountered at or above level `d` (path
+    /// postings only — never a subtree summary, which is valid only at the
+    /// exact cutoff node it was computed for).
     first: [Option<CellPosting>; STACK],
     /// Deepest valid level on the stack.
     depth: usize,
@@ -304,11 +436,12 @@ pub struct SortedProbeCursor<'a> {
 }
 
 impl<'a> SortedProbeCursor<'a> {
-    fn new(trie: &'a FrozenCellTrie) -> Self {
+    fn new(trie: &'a FrozenCellTrie, level: u8) -> Self {
         let mut first = [None; STACK];
         first[0] = trie.node_first_posting(0);
         SortedProbeCursor {
             trie,
+            cutoff: trie.max_depth.min(level) as usize,
             stack: [0; STACK],
             first,
             depth: 0,
@@ -318,8 +451,9 @@ impl<'a> SortedProbeCursor<'a> {
         }
     }
 
-    /// The first (coarsest) posting covering `leaf`, descending only from
-    /// the level where `leaf` diverges from the previous probe.
+    /// The first (coarsest) posting covering `leaf` at the cursor's
+    /// truncation level, descending only from the level where `leaf`
+    /// diverges from the previous probe.
     pub fn first_posting(&mut self, leaf: CellId) -> Option<CellPosting> {
         debug_assert!(
             leaf.is_leaf(),
@@ -338,8 +472,8 @@ impl<'a> SortedProbeCursor<'a> {
             let diverge_level = MAX_LEVEL as usize - (high_bit - 1) / 2;
             if self.depth + 1 < diverge_level {
                 // The keys diverge below the point where the previous
-                // descent already ran out of children — the walk, and hence
-                // the answer, is unchanged.
+                // descent already ran out of children (or hit the cutoff)
+                // — the walk, and hence the answer, is unchanged.
                 self.prev = raw;
                 return self.cached;
             }
@@ -352,7 +486,7 @@ impl<'a> SortedProbeCursor<'a> {
         self.depth = start - 1;
         let mut node = self.stack[self.depth] as usize;
         let mut best = self.first[self.depth];
-        for l in start..=self.trie.max_depth as usize {
+        for l in start..=self.cutoff {
             let child = self.trie.nodes[node].children[child_pos(raw, l as u8)];
             if child == NO_CHILD {
                 break;
@@ -364,6 +498,11 @@ impl<'a> SortedProbeCursor<'a> {
                 best = self.trie.node_first_posting(node);
             }
             self.first[l] = best;
+        }
+        if best.is_none() && self.depth == self.cutoff {
+            // Truncated descent reached the cutoff with nothing on the
+            // path: deeper postings fold into this node's cell.
+            best = self.trie.deep_summary(node);
         }
         self.cached = best;
         best
@@ -495,7 +634,8 @@ mod tests {
     #[test]
     fn frozen_memory_is_exact_and_below_the_pointer_builder() {
         let (pointer, frozen) = build_both(4.0);
-        let expected = frozen.node_count() * std::mem::size_of::<FrozenNode>()
+        let expected = frozen.node_count()
+            * (std::mem::size_of::<FrozenNode>() + std::mem::size_of::<u32>())
             + frozen.posting_count()
                 * (std::mem::size_of::<PolygonId>() + std::mem::size_of::<CellClass>());
         assert_eq!(frozen.memory_bytes(), expected);
@@ -544,6 +684,158 @@ mod tests {
     }
 
     #[test]
+    fn truncated_lookup_matches_full_lookup_at_or_below_max_depth() {
+        let (_, frozen) = build_both(4.0);
+        let ext = extent();
+        for i in 0..48 {
+            for j in 0..48 {
+                let leaf =
+                    ext.leaf_cell_id(&Point::new(i as f64 * 21.0 + 1.0, j as f64 * 21.0 + 1.0));
+                for level in [frozen.max_depth(), frozen.max_depth() + 1, MAX_LEVEL] {
+                    assert_eq!(
+                        frozen.first_posting_at(leaf, level),
+                        frozen.first_posting(leaf),
+                        "level {level} must reproduce the untruncated probe"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_lookup_is_a_conservative_boundary_superset() {
+        let (_, frozen) = build_both(4.0);
+        let ext = extent();
+        let max_depth = frozen.max_depth();
+        for i in 0..48 {
+            for j in 0..48 {
+                let leaf =
+                    ext.leaf_cell_id(&Point::new(i as f64 * 21.0 + 1.0, j as f64 * 21.0 + 1.0));
+                let mut prev_matched = frozen.first_posting(leaf).is_some();
+                let mut prev_boundary = frozen
+                    .first_posting(leaf)
+                    .is_some_and(|p| p.class == CellClass::Boundary);
+                // Coarsening the truncation level can only grow the covered
+                // region and only turn interior answers into boundary ones.
+                for level in (0..max_depth).rev() {
+                    let p = frozen.first_posting_at(leaf, level);
+                    let matched = p.is_some();
+                    let boundary = p.is_some_and(|p| p.class == CellClass::Boundary);
+                    assert!(!prev_matched || matched, "coarser level lost a match");
+                    assert!(
+                        !prev_boundary || boundary,
+                        "coarser level must not turn boundary into interior"
+                    );
+                    prev_matched = matched;
+                    prev_boundary = boundary;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leveled_cursor_matches_scalar_truncated_lookups() {
+        let (_, frozen) = build_both(8.0);
+        let ext = extent();
+        let mut leaves: Vec<CellId> = (0..40)
+            .flat_map(|i| {
+                (0..40).map(move |j| {
+                    ext.leaf_cell_id(&Point::new(i as f64 * 25.0 + 2.0, j as f64 * 25.0 + 2.0))
+                })
+            })
+            .collect();
+        leaves.push(leaves[11]);
+        leaves.sort_unstable();
+        for level in 0..=frozen.max_depth() {
+            let mut cursor = frozen.cursor_at(level);
+            for &leaf in &leaves {
+                assert_eq!(
+                    cursor.first_posting(leaf),
+                    frozen.first_posting_at(leaf, level),
+                    "level {level} at {leaf}"
+                );
+            }
+        }
+        // Unsorted order must stay correct too.
+        let mut cursor = frozen.cursor_at(3);
+        for &leaf in leaves.iter().rev() {
+            assert_eq!(cursor.first_posting(leaf), frozen.first_posting_at(leaf, 3));
+        }
+    }
+
+    #[test]
+    fn covered_key_range_widens_as_levels_coarsen() {
+        let (_, frozen) = build_both(8.0);
+        assert_eq!(
+            frozen.covered_key_range_at(MAX_LEVEL),
+            frozen.covered_key_range()
+        );
+        let mut prev = frozen.covered_key_range().expect("postings exist");
+        for level in (0..MAX_LEVEL).rev() {
+            let (lo, hi) = frozen
+                .covered_key_range_at(level)
+                .expect("covered at all levels once covered at the finest");
+            assert!(lo <= prev.0 && hi >= prev.1, "level {level} must widen");
+            prev = (lo, hi);
+        }
+        // Root truncation covers the whole domain the postings touch; the
+        // node-count estimate shrinks monotonically toward the root.
+        let mut prev_nodes = frozen.nodes_at_or_above(MAX_LEVEL);
+        assert_eq!(prev_nodes, frozen.node_count());
+        for level in (0..MAX_LEVEL).rev() {
+            let n = frozen.nodes_at_or_above(level);
+            assert!(n <= prev_nodes);
+            prev_nodes = n;
+        }
+        assert_eq!(frozen.nodes_at_or_above(0), 1, "only the root at level 0");
+    }
+
+    #[test]
+    fn truncation_at_level_zero_resolves_to_a_boundary_summary() {
+        let mut act = AdaptiveCellTrie::new();
+        let cell = CellId::from_cell_xy(2, 3, 4);
+        act.insert_cell(9, cell, CellClass::Interior);
+        let frozen = act.freeze();
+        // Any probe resolves through the root's subtree summary at level 0.
+        let probe = CellId::leaf(0, 0);
+        assert_eq!(
+            frozen.first_posting_at(probe, 0),
+            Some(CellPosting {
+                polygon: 9,
+                class: CellClass::Boundary
+            })
+        );
+        // At the cell's own level the true class comes back.
+        assert_eq!(
+            frozen.first_posting_at(cell.range_min(), 4),
+            Some(CellPosting {
+                polygon: 9,
+                class: CellClass::Interior
+            })
+        );
+        // Between root and the cell's level: boundary summary on-path only.
+        assert_eq!(
+            frozen.first_posting_at(cell.range_min(), 2),
+            Some(CellPosting {
+                polygon: 9,
+                class: CellClass::Boundary
+            })
+        );
+        // leaf(0,0) shares the cell's level-2 ancestor (0,0), so it matches
+        // the summary there; a probe under a different level-2 ancestor
+        // finds nothing.
+        assert_eq!(
+            frozen.first_posting_at(probe, 2),
+            Some(CellPosting {
+                polygon: 9,
+                class: CellClass::Boundary
+            })
+        );
+        let elsewhere = CellId::from_cell_xy(3, 3, 2).range_min();
+        assert_eq!(frozen.first_posting_at(elsewhere, 2), None);
+    }
+
+    #[test]
     fn manual_insertion_round_trips_through_freeze() {
         let mut act = AdaptiveCellTrie::new();
         let cell = CellId::from_cell_xy(2, 3, 4);
@@ -566,6 +858,7 @@ mod tests {
             cells in proptest::collection::vec(
                 (0u32..64, 0u32..64, 3u8..9, 0u32..5, proptest::bool::ANY), 1..120),
             probes in proptest::collection::vec((0u32..1024, 0u32..1024), 1..80),
+            cutoff in 0u8..=10,
         ) {
             let mut act = AdaptiveCellTrie::new();
             for (x, y, level, polygon, boundary) in cells {
@@ -583,6 +876,7 @@ mod tests {
                 .collect();
             leaves.sort_unstable();
             let mut cursor = frozen.cursor();
+            let mut leveled = frozen.cursor_at(cutoff);
             let mut buf = Vec::new();
             for leaf in leaves {
                 let reference = act.lookup_leaf(leaf);
@@ -590,6 +884,12 @@ mod tests {
                 prop_assert_eq!(&buf, &reference);
                 prop_assert_eq!(frozen.first_posting(leaf), reference.first().copied());
                 prop_assert_eq!(cursor.first_posting(leaf), reference.first().copied());
+                // The leveled cursor agrees with the scalar truncated probe
+                // at every cutoff, including ones above and below max_depth.
+                prop_assert_eq!(
+                    leveled.first_posting(leaf),
+                    frozen.first_posting_at(leaf, cutoff)
+                );
             }
         }
     }

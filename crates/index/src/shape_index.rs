@@ -12,7 +12,7 @@ use crate::act::PolygonId;
 use crate::footprint::MemoryFootprint;
 use dbsa_geom::{MultiPolygon, Point};
 use dbsa_grid::{CellId, GridExtent};
-use dbsa_raster::{BoundaryPolicy, CellClass, HierarchicalRaster};
+use dbsa_raster::{refine_contains, BoundaryPolicy, CellClass, HierarchicalRaster};
 
 /// A cell posting: which polygon, and whether exact refinement is needed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +111,7 @@ impl ShapeIndex {
     /// exact point-in-polygon test. The result is exact (unlike ACT) but
     /// each boundary hit costs a PIP test linear in the polygon size.
     pub fn lookup(&self, p: &Point) -> Vec<PolygonId> {
-        let mut refinements = 0usize;
+        let mut refinements = 0u64;
         self.lookup_counting(p, &mut refinements)
     }
 
@@ -123,7 +123,7 @@ impl ShapeIndex {
 
     /// Exact lookup that also reports how many exact PIP refinements were
     /// performed (the quantity the paper's analysis attributes the cost to).
-    pub fn lookup_counting(&self, p: &Point, refinements: &mut usize) -> Vec<PolygonId> {
+    pub fn lookup_counting(&self, p: &Point, refinements: &mut u64) -> Vec<PolygonId> {
         let mut out = Vec::new();
         self.lookup_counting_into(p, refinements, &mut out);
         out
@@ -132,12 +132,7 @@ impl ShapeIndex {
     /// Allocation-free variant of [`lookup_counting`](Self::lookup_counting):
     /// clears and fills a caller-provided buffer so per-probe allocation
     /// disappears from the join's probe loop.
-    pub fn lookup_counting_into(
-        &self,
-        p: &Point,
-        refinements: &mut usize,
-        out: &mut Vec<PolygonId>,
-    ) {
+    pub fn lookup_counting_into(&self, p: &Point, refinements: &mut u64, out: &mut Vec<PolygonId>) {
         let leaf = self.extent.leaf_cell_id(p);
         out.clear();
         // Candidate cells are those whose range contains the leaf. They are
@@ -154,8 +149,7 @@ impl ShapeIndex {
             let cell = &self.cells[i];
             if cell.range_min <= leaf && leaf <= cell.range_max {
                 let hit = if cell.needs_refinement {
-                    *refinements += 1;
-                    self.polygons[cell.polygon as usize].contains_point(p)
+                    refine_contains(&self.polygons[cell.polygon as usize], p, refinements)
                 } else {
                     true
                 };
@@ -244,13 +238,13 @@ mod tests {
     fn interior_hits_avoid_refinement() {
         let polys = polygons();
         let si = ShapeIndex::with_cells_per_polygon(&polys, &extent(), 64);
-        let mut refinements = 0usize;
+        let mut refinements = 0u64;
         // A deep interior point should be answered by an interior cell.
         let hits = si.lookup_counting(&Point::new(200.0, 200.0), &mut refinements);
         assert_eq!(hits, vec![0]);
         assert_eq!(refinements, 0, "interior lookups must not refine");
         // A point near an edge requires a PIP refinement.
-        let mut refinements = 0usize;
+        let mut refinements = 0u64;
         let _ = si.lookup_counting(&Point::new(100.5, 200.0), &mut refinements);
         assert!(refinements >= 1);
     }
@@ -265,8 +259,8 @@ mod tests {
         assert_eq!(coarse.cells_per_polygon(), 4);
 
         // Count refinements over a sweep: the fine covering needs fewer.
-        let mut coarse_ref = 0usize;
-        let mut fine_ref = 0usize;
+        let mut coarse_ref = 0u64;
+        let mut fine_ref = 0u64;
         for i in 0..40 {
             for j in 0..40 {
                 let p = Point::new(i as f64 * 25.0 + 2.0, j as f64 * 25.0 + 2.0);

@@ -19,7 +19,9 @@ use dbsa_index::{
     BPlusTree, KdTree, MemoryFootprint, PointQuadtree, RTree, RTreeEntry, RadixSpline,
     RadixSplineBuilder, SortedKeyArray,
 };
-use dbsa_raster::{BoundaryPolicy, CellClass, HierarchicalRaster, RasterCell, Rasterizable};
+use dbsa_raster::{
+    refine_contains, BoundaryPolicy, CellClass, HierarchicalRaster, RasterCell, Rasterizable,
+};
 
 /// Which 1-D search structure answers the range lookups over the linearized
 /// point keys.
@@ -343,6 +345,26 @@ impl SpatialBaseline {
         }
     }
 
+    /// Refines MBR-filter candidates with one counted PIP test each
+    /// (`dbsa_raster::refine_contains` — the shared refinement primitive)
+    /// and aggregates the survivors. Every candidate is refined, so the
+    /// PIP-test count equals the qualifying count the filter produced.
+    fn refine_candidates<G: Rasterizable>(
+        &self,
+        region: &G,
+        candidates: Vec<u64>,
+    ) -> (RegionAggregate, u64) {
+        let mut pip_tests = 0u64;
+        let mut agg = RegionAggregate::default();
+        for id in candidates {
+            let p = &self.points[id as usize];
+            if refine_contains(region, p, &mut pip_tests) {
+                agg.add(self.values[id as usize], false);
+            }
+        }
+        (agg, pip_tests)
+    }
+
     /// Evaluates the containment aggregation exactly: MBR filter, then a
     /// PIP test per candidate.
     ///
@@ -351,15 +373,7 @@ impl SpatialBaseline {
     /// deems relevant before refinement).
     pub fn aggregate_polygon(&self, polygon: &Polygon) -> (RegionAggregate, u64) {
         let candidates = self.filter_candidates(polygon);
-        let qualifying = candidates.len() as u64;
-        let mut agg = RegionAggregate::default();
-        for id in candidates {
-            let p = &self.points[id as usize];
-            if polygon.contains_point(p) {
-                agg.add(self.values[id as usize], false);
-            }
-        }
-        (agg, qualifying)
+        self.refine_candidates(polygon, candidates)
     }
 
     /// Same as [`aggregate_polygon`](Self::aggregate_polygon) for
@@ -371,15 +385,7 @@ impl SpatialBaseline {
             BaselineIndex::Quadtree(t) => t.query_bbox(&mbr),
             BaselineIndex::KdTree(t) => t.query_bbox(&mbr),
         };
-        let qualifying = candidates.len() as u64;
-        let mut agg = RegionAggregate::default();
-        for id in candidates {
-            let p = &self.points[id as usize];
-            if region.contains_point(p) {
-                agg.add(self.values[id as usize], false);
-            }
-        }
-        (agg, qualifying)
+        self.refine_candidates(region, candidates)
     }
 }
 

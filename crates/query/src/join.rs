@@ -14,24 +14,32 @@
 //!   approximated by distance-bounded hierarchical rasters, indexed in the
 //!   Adaptive Cell Trie, and every point is answered by a trie lookup; no
 //!   exact geometry is ever consulted (index-nested-loop join fused with the
-//!   aggregation).
+//!   aggregation). The frozen trie is **level-stacked**, so one build serves
+//!   any distance bound at or above the built one: a
+//!   [`QuerySpec`](crate::plan::QuerySpec) is planned onto a truncation
+//!   level ([`ApproximateCellJoin::plan`]) and executed there
+//!   ([`ApproximateCellJoin::execute_at`]), or refined to the **exact**
+//!   answer ([`ApproximateCellJoin::execute_refined`]): interior-cell
+//!   matches are accepted wholesale, only boundary-cell matches pay a
+//!   counted point-in-polygon test.
 //! * [`RTreeExactJoin`] — the classic baseline: R-tree over the polygon
 //!   MBRs, every point probes the tree and every candidate polygon is
 //!   verified with an exact point-in-polygon test.
 //! * [`ShapeIndexExactJoin`] — the S2ShapeIndex-like baseline: coarse cell
 //!   coverings with exact refinement only for boundary cells.
 //!
-//! All three share the [`JoinResult`] output so the harness can compare
+//! All paths share the [`JoinResult`] output so the harness can compare
 //! counts, errors, timings and memory footprints directly.
 
 use crate::aggregate::RegionAggregate;
+use crate::plan::{QueryPlan, QueryPlanner, QuerySpec};
 use dbsa_geom::{MultiPolygon, Point};
-use dbsa_grid::{CellId, GridExtent};
+use dbsa_grid::{CellId, GridExtent, MAX_LEVEL};
 use dbsa_index::{
     ActStats, AdaptiveCellTrie, CellPosting, FrozenCellTrie, MemoryFootprint, PolygonId, RTree,
     RTreeEntry, ShapeIndex,
 };
-use dbsa_raster::{BoundaryPolicy, CellClass, DistanceBound, HierarchicalRaster};
+use dbsa_raster::{refine_contains, BoundaryPolicy, CellClass, DistanceBound, HierarchicalRaster};
 
 /// Output of a spatial aggregation join: one aggregate per region.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -106,6 +114,9 @@ pub struct ApproximateCellJoin {
     extent: GridExtent,
     region_count: usize,
     bound: DistanceBound,
+    /// Boundary level the rasters were refined to — the finest truncation
+    /// level of the level-stacked trie, serving the built bound.
+    finest_level: u8,
     raster_cells: usize,
 }
 
@@ -114,6 +125,9 @@ impl ApproximateCellJoin {
     /// raster per region, all inserted into one Adaptive Cell Trie, which is
     /// then frozen for querying.
     pub fn build(regions: &[MultiPolygon], extent: &GridExtent, bound: DistanceBound) -> Self {
+        let finest_level = bound
+            .level_on(extent)
+            .expect("distance bound too small for this extent");
         let rasters: Vec<HierarchicalRaster> = regions
             .iter()
             .map(|r| HierarchicalRaster::with_bound(r, extent, bound, BoundaryPolicy::Conservative))
@@ -125,13 +139,38 @@ impl ApproximateCellJoin {
             extent: *extent,
             region_count: regions.len(),
             bound,
+            finest_level,
             raster_cells,
         }
     }
 
-    /// The distance bound the join guarantees.
+    /// The distance bound the join guarantees at its finest level (the
+    /// build-time bound; per-query specs can only loosen it, or request
+    /// exactness through refinement).
     pub fn bound(&self) -> DistanceBound {
         self.bound
+    }
+
+    /// The grid extent the index linearizes against.
+    pub fn extent(&self) -> &GridExtent {
+        &self.extent
+    }
+
+    /// The finest truncation level of the level-stacked trie (the boundary
+    /// level the rasters were built at).
+    pub fn finest_level(&self) -> u8 {
+        self.finest_level
+    }
+
+    /// A planner over this index's level stack.
+    pub fn planner(&self) -> QueryPlanner<'_> {
+        QueryPlanner::new(&self.extent, self.finest_level, &self.trie)
+    }
+
+    /// Plans one query spec onto a truncation level (plus an optional exact
+    /// refinement stage) without executing it.
+    pub fn plan(&self, spec: &QuerySpec) -> QueryPlan {
+        self.planner().plan(spec)
     }
 
     /// Total number of raster cells indexed (the paper reports 13.2 M cells
@@ -170,20 +209,116 @@ impl ApproximateCellJoin {
     /// prefix-sharing cursor over the frozen trie, so consecutive probes
     /// re-descend only below the level where their Z-order keys diverge.
     pub fn lookup_batch(&self, points: &[Point]) -> Vec<Option<CellPosting>> {
+        self.lookup_batch_at(points, MAX_LEVEL)
+    }
+
+    /// [`lookup_batch`](Self::lookup_batch) against the **level-`level`
+    /// truncation** of the index: probes that would resolve below `level`
+    /// come back as `Boundary`-class summaries of the coarser covering.
+    pub fn lookup_batch_at(&self, points: &[Point], level: u8) -> Vec<Option<CellPosting>> {
         let order = sorted_probe_order(points, &self.extent);
         let mut matches = vec![None; points.len()];
-        let mut cursor = self.trie.cursor();
+        let mut cursor = self.trie.cursor_at(level);
         for &(leaf, idx) in &order {
             matches[idx as usize] = cursor.first_posting(leaf);
         }
         matches
     }
 
-    /// Executes the join single-threaded (batched sorted-probe path).
+    /// Executes the join single-threaded (batched sorted-probe path) at the
+    /// finest built level — the build-time distance bound.
     pub fn execute(&self, points: &[Point], values: &[f64]) -> JoinResult {
+        self.execute_at(points, values, MAX_LEVEL)
+    }
+
+    /// Executes the join against the level-`level` truncation of the index:
+    /// the same probe schedule, walked over the coarser covering the
+    /// planner selected for a looser per-query bound. `level >= max_depth`
+    /// reproduces [`execute`](Self::execute) bit-for-bit.
+    pub fn execute_at(&self, points: &[Point], values: &[f64], level: u8) -> JoinResult {
         assert_eq!(points.len(), values.len(), "one value per point required");
         let mut result = JoinResult::with_regions(self.region_count);
-        self.execute_into(points, values, &mut result);
+        let matches = self.lookup_batch_at(points, level);
+        // Aggregate in the original point order so the result — including
+        // the f64 summation order — is bit-for-bit identical to the scalar
+        // probe loop.
+        for (m, v) in matches.iter().zip(values) {
+            match m {
+                Some(posting) => Self::accumulate(&mut result, *posting, *v),
+                None => result.unmatched += 1,
+            }
+        }
+        result
+    }
+
+    /// Executes the query spec end to end: plans it, runs the approximate
+    /// filter at the chosen level, and — for [`QuerySpec::exact`] — refines
+    /// boundary-cell matches with exact point-in-polygon tests against
+    /// `regions` (the indexed geometries, in index order).
+    pub fn execute_spec(
+        &self,
+        spec: &QuerySpec,
+        points: &[Point],
+        values: &[f64],
+        regions: &[MultiPolygon],
+    ) -> (QueryPlan, JoinResult) {
+        let plan = self.plan(spec);
+        let result = if plan.exact_refinement {
+            self.execute_refined(points, values, regions)
+        } else {
+            self.execute_at(points, values, plan.level)
+        };
+        (plan, result)
+    }
+
+    /// The exact filter-and-refine pipeline: probes run at the finest built
+    /// level; points matched through **interior** cells are accepted
+    /// wholesale (the cell is fully inside its region — no geometry test
+    /// needed), points matched through **boundary** cells are resolved with
+    /// exact point-in-polygon tests, candidates in coarsest-first posting
+    /// order.
+    ///
+    /// **Determinism policy:** for **disjoint region sets** (the
+    /// administrative-partition workloads this engine targets — a point
+    /// lies in at most one region, so attribution order cannot matter),
+    /// the per-region aggregates and the unmatched count are bit-for-bit
+    /// identical to [`RTreeExactJoin::execute`] over the same rows (same
+    /// matches, same f64 summation order — the original point order).
+    /// With overlapping regions both pipelines remain exact per point but
+    /// may attribute a multiply-contained point to different regions
+    /// (first-accepting candidate in different candidate orders). Only
+    /// `pip_tests` differs: it counts the refinements this pipeline
+    /// actually performed, which is the point — the approximate filter
+    /// eliminates most of the R-tree join's candidate tests.
+    pub fn execute_refined(
+        &self,
+        points: &[Point],
+        values: &[f64],
+        regions: &[MultiPolygon],
+    ) -> JoinResult {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        assert_eq!(
+            regions.len(),
+            self.region_count,
+            "refinement needs the exact geometry of every indexed region"
+        );
+        let order = sorted_probe_order(points, &self.extent);
+        let mut matches: Vec<Option<PolygonId>> = vec![None; points.len()];
+        let mut postings: Vec<CellPosting> = Vec::new();
+        let mut pip_tests = 0u64;
+        for &(leaf, idx) in &order {
+            self.trie.lookup_leaf_into(leaf, &mut postings);
+            matches[idx as usize] =
+                resolve_exact(&postings, &points[idx as usize], regions, &mut pip_tests);
+        }
+        let mut result = JoinResult::with_regions(self.region_count);
+        result.pip_tests = pip_tests;
+        for (m, v) in matches.iter().zip(values) {
+            match m {
+                Some(rid) => result.regions[*rid as usize].add(*v, false),
+                None => result.unmatched += 1,
+            }
+        }
         result
     }
 
@@ -215,19 +350,6 @@ impl ApproximateCellJoin {
         result.regions[posting.polygon as usize].add(value, posting.class == CellClass::Boundary);
     }
 
-    fn execute_into(&self, points: &[Point], values: &[f64], result: &mut JoinResult) {
-        let matches = self.lookup_batch(points);
-        // Aggregate in the original point order so the result — including
-        // the f64 summation order — is bit-for-bit identical to the scalar
-        // probe loop.
-        for (m, v) in matches.iter().zip(values) {
-            match m {
-                Some(posting) => Self::accumulate(result, *posting, *v),
-                None => result.unmatched += 1,
-            }
-        }
-    }
-
     /// Executes the join over a **precomputed probe schedule**: leaf keys
     /// sorted ascending with the attribute column aligned. This is the
     /// per-shard hot path of the sharded engine — no per-query leaf-id
@@ -239,13 +361,20 @@ impl ApproximateCellJoin {
     /// order differs (key order instead of original point order), so
     /// counts are exactly equal and sums agree up to rounding.
     pub fn execute_keys(&self, keys: &[u64], values: &[f64]) -> JoinResult {
+        self.execute_keys_at(keys, values, MAX_LEVEL)
+    }
+
+    /// [`execute_keys`](Self::execute_keys) against the level-`level`
+    /// truncation of the index (the sharded hot path of a planned
+    /// coarse-bound query).
+    pub fn execute_keys_at(&self, keys: &[u64], values: &[f64], level: u8) -> JoinResult {
         assert_eq!(keys.len(), values.len(), "one value per key required");
         debug_assert!(
             keys.windows(2).all(|w| w[0] <= w[1]),
             "execute_keys expects keys sorted ascending"
         );
         let mut result = JoinResult::with_regions(self.region_count);
-        let mut cursor = self.trie.cursor();
+        let mut cursor = self.trie.cursor_at(level);
         for (k, v) in keys.iter().zip(values) {
             match cursor.first_posting(CellId::from_raw(*k)) {
                 Some(posting) => Self::accumulate(&mut result, posting, *v),
@@ -255,7 +384,44 @@ impl ApproximateCellJoin {
         result
     }
 
-    /// Executes the join shard-by-shard with up to `threads` workers.
+    /// The per-shard exact filter-and-refine path: like
+    /// [`execute_refined`](Self::execute_refined) but over a precomputed
+    /// probe schedule (sorted keys with the point and value columns
+    /// aligned), accumulating in key order — the summation order of the
+    /// sharded engine's row layout.
+    pub fn execute_keys_refined(
+        &self,
+        keys: &[u64],
+        points: &[Point],
+        values: &[f64],
+        regions: &[MultiPolygon],
+    ) -> JoinResult {
+        assert_eq!(keys.len(), values.len(), "one value per key required");
+        assert_eq!(keys.len(), points.len(), "one point per key required");
+        assert_eq!(
+            regions.len(),
+            self.region_count,
+            "refinement needs the exact geometry of every indexed region"
+        );
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "execute_keys_refined expects keys sorted ascending"
+        );
+        let mut result = JoinResult::with_regions(self.region_count);
+        let mut postings: Vec<CellPosting> = Vec::new();
+        for ((k, p), v) in keys.iter().zip(points).zip(values) {
+            self.trie
+                .lookup_leaf_into(CellId::from_raw(*k), &mut postings);
+            match resolve_exact(&postings, p, regions, &mut result.pip_tests) {
+                Some(rid) => result.regions[rid as usize].add(*v, false),
+                None => result.unmatched += 1,
+            }
+        }
+        result
+    }
+
+    /// Executes the join shard-by-shard with up to `threads` workers, at the
+    /// finest built level.
     ///
     /// Each [`ShardProbe`] is one shard's probe schedule. Shards whose key
     /// span does not intersect [`covered_key_range`](Self::covered_key_range)
@@ -270,26 +436,107 @@ impl ApproximateCellJoin {
     /// totals are identical and only f64 sums may differ in final-bit
     /// rounding (different summation order).
     pub fn execute_shards(&self, shards: &[ShardProbe<'_>], threads: usize) -> JoinResult {
-        let covered = self.covered_key_range();
-        let run_shard = |shard: &ShardProbe<'_>| -> JoinResult {
-            let prunable = match (covered, shard.key_span()) {
-                (_, None) => true,
-                (None, _) => true,
-                (Some((clo, chi)), Some((lo, hi))) => hi < clo || chi < lo,
-            };
-            if prunable {
-                let mut partial = JoinResult::with_regions(self.region_count);
-                partial.unmatched = shard.len() as u64;
-                partial
-            } else {
-                self.execute_keys(shard.keys, shard.values)
-            }
-        };
+        self.execute_shards_at(shards, threads, MAX_LEVEL)
+    }
 
+    /// [`execute_shards`](Self::execute_shards) against the level-`level`
+    /// truncation of the index. Shard pruning intersects against the
+    /// **chosen level's** covered key range
+    /// ([`FrozenCellTrie::covered_key_range_at`]) — the truncated covering
+    /// is a superset of the exact one, so the coarser the level, the wider
+    /// the range a shard must clear to be pruned.
+    pub fn execute_shards_at(
+        &self,
+        shards: &[ShardProbe<'_>],
+        threads: usize,
+        level: u8,
+    ) -> JoinResult {
+        let covered = self.trie.covered_key_range_at(level);
+        self.run_shards(shards, threads, |shard| {
+            if prunable(covered, shard.key_span()) {
+                self.pruned_partial(shard)
+            } else {
+                self.execute_keys_at(shard.keys, shard.values, level)
+            }
+        })
+    }
+
+    /// The sharded exact filter-and-refine pipeline. Probe schedules must
+    /// carry their point column ([`ShardProbe::with_points`]); shards
+    /// outside the exact covered key range are pruned — their points lie
+    /// outside every region (the covering is conservative), so "all
+    /// unmatched" is the exact answer.
+    ///
+    /// **Determinism policy:** as with [`execute_shards`](Self::execute_shards),
+    /// partials merge in shard index order, so for a fixed shard layout the
+    /// result is bit-for-bit reproducible regardless of `threads`. Against
+    /// [`RTreeExactJoin::execute`] over the same rows, every *count*, the
+    /// unmatched total and min/max are identical for any shard layout (the
+    /// matches are the same point-by-point); f64 sums are bit-for-bit for a
+    /// single shard and agree up to summation-order rounding across shard
+    /// merges (partial sums re-associate). `pip_tests` counts this
+    /// pipeline's own (far fewer) refinements.
+    pub fn execute_shards_refined(
+        &self,
+        shards: &[ShardProbe<'_>],
+        regions: &[MultiPolygon],
+        threads: usize,
+    ) -> JoinResult {
+        assert_eq!(
+            regions.len(),
+            self.region_count,
+            "refinement needs the exact geometry of every indexed region"
+        );
+        let covered = self.covered_key_range();
+        self.run_shards(shards, threads, |shard| {
+            if prunable(covered, shard.key_span()) {
+                self.pruned_partial(shard)
+            } else {
+                let points = shard
+                    .points()
+                    .expect("refined execution needs shard probes built with_points");
+                self.execute_keys_refined(shard.keys, points, shard.values, regions)
+            }
+        })
+    }
+
+    /// Plans and executes a query spec over shard probe schedules: the
+    /// sharded twin of [`execute_spec`](Self::execute_spec). Exact specs
+    /// require probes built with [`ShardProbe::with_points`].
+    pub fn execute_shards_spec(
+        &self,
+        spec: &QuerySpec,
+        shards: &[ShardProbe<'_>],
+        regions: &[MultiPolygon],
+        threads: usize,
+    ) -> (QueryPlan, JoinResult) {
+        let plan = self.plan(spec);
+        let result = if plan.exact_refinement {
+            self.execute_shards_refined(shards, regions, threads)
+        } else {
+            self.execute_shards_at(shards, threads, plan.level)
+        };
+        (plan, result)
+    }
+
+    /// The partial result of a pruned shard: every point unmatched.
+    fn pruned_partial(&self, shard: &ShardProbe<'_>) -> JoinResult {
+        let mut partial = JoinResult::with_regions(self.region_count);
+        partial.unmatched = shard.len() as u64;
+        partial
+    }
+
+    /// Shared worker scaffolding of every sharded path: runs `run_shard`
+    /// over the shards with up to `threads` workers (round-robin shard
+    /// assignment) and merges the partials in shard index order.
+    fn run_shards<F>(&self, shards: &[ShardProbe<'_>], threads: usize, run_shard: F) -> JoinResult
+    where
+        F: Fn(&ShardProbe<'_>) -> JoinResult + Sync,
+    {
         let workers = threads.max(1).min(shards.len().max(1));
         let mut partials: Vec<JoinResult>;
         if workers <= 1 {
-            partials = shards.iter().map(run_shard).collect();
+            partials = shards.iter().map(&run_shard).collect();
         } else {
             partials = vec![JoinResult::default(); shards.len()];
             crossbeam::scope(|scope| {
@@ -324,26 +571,86 @@ impl ApproximateCellJoin {
     }
 }
 
+/// Whether a shard whose keys span `span` can be skipped against the
+/// covered key range `covered`: empty shards, index-less queries and
+/// disjoint intervals all prune.
+fn prunable(covered: Option<(u64, u64)>, span: Option<(u64, u64)>) -> bool {
+    match (covered, span) {
+        (_, None) => true,
+        (None, _) => true,
+        (Some((clo, chi)), Some((lo, hi))) => hi < clo || chi < lo,
+    }
+}
+
+/// Resolves one probe exactly: interior-cell postings accept their polygon
+/// outright (an interior cell is fully inside its region), boundary-cell
+/// postings pay one counted point-in-polygon test each, in coarsest-first
+/// posting order, until one accepts.
+fn resolve_exact(
+    postings: &[CellPosting],
+    p: &Point,
+    regions: &[MultiPolygon],
+    pip_tests: &mut u64,
+) -> Option<PolygonId> {
+    for posting in postings {
+        match posting.class {
+            CellClass::Interior => return Some(posting.polygon),
+            CellClass::Boundary => {
+                if refine_contains(&regions[posting.polygon as usize], p, pip_tests) {
+                    return Some(posting.polygon);
+                }
+            }
+        }
+    }
+    None
+}
+
 /// One shard's probe schedule for [`ApproximateCellJoin::execute_shards`]:
-/// leaf keys sorted ascending, attribute values aligned.
+/// leaf keys sorted ascending, attribute values aligned, and (for exact
+/// refinement) the point column aligned as well.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardProbe<'a> {
     /// Sorted raw leaf keys of the shard's points.
     pub keys: &'a [u64],
     /// Attribute values aligned with `keys`.
     pub values: &'a [f64],
+    /// The shard's points aligned with `keys`, required by the exact
+    /// refinement path (boundary-cell matches need the coordinates for
+    /// their point-in-polygon tests).
+    points: Option<&'a [Point]>,
 }
 
 impl<'a> ShardProbe<'a> {
     /// Creates a probe schedule; the columns must be equally long and the
-    /// keys sorted ascending (checked in debug builds).
+    /// keys sorted ascending (checked in debug builds). The resulting probe
+    /// serves bounded queries only — use
+    /// [`with_points`](Self::with_points) to enable exact refinement.
     pub fn new(keys: &'a [u64], values: &'a [f64]) -> Self {
         assert_eq!(keys.len(), values.len(), "one value per key required");
         debug_assert!(
             keys.windows(2).all(|w| w[0] <= w[1]),
             "shard probe keys must be sorted ascending"
         );
-        ShardProbe { keys, values }
+        ShardProbe {
+            keys,
+            values,
+            points: None,
+        }
+    }
+
+    /// Creates a probe schedule carrying the aligned point column, enabling
+    /// the exact refinement path.
+    pub fn with_points(keys: &'a [u64], points: &'a [Point], values: &'a [f64]) -> Self {
+        assert_eq!(keys.len(), points.len(), "one point per key required");
+        let mut probe = Self::new(keys, values);
+        probe.points = Some(points);
+        probe
+    }
+
+    /// The aligned point column, when the probe was built
+    /// [`with_points`](Self::with_points).
+    pub fn points(&self) -> Option<&'a [Point]> {
+        self.points
     }
 
     /// Number of points in the shard.
@@ -397,8 +704,7 @@ impl RTreeExactJoin {
             let candidates = self.tree.query_point(p);
             let mut matched = false;
             for rid in candidates {
-                result.pip_tests += 1;
-                if self.regions[rid as usize].contains_point(p) {
+                if refine_contains(&self.regions[rid as usize], p, &mut result.pip_tests) {
                     result.regions[rid as usize].add(*v, false);
                     matched = true;
                     break;
@@ -451,13 +757,13 @@ impl ShapeIndexExactJoin {
         let order = sorted_probe_order(points, self.index.extent());
         let mut matches: Vec<Option<PolygonId>> = vec![None; points.len()];
         let mut hits: Vec<PolygonId> = Vec::new();
-        let mut refinements = 0usize;
+        let mut refinements = 0u64;
         for &(_, idx) in &order {
             self.index
                 .lookup_counting_into(&points[idx as usize], &mut refinements, &mut hits);
             matches[idx as usize] = hits.first().copied();
         }
-        result.pip_tests += refinements as u64;
+        result.pip_tests += refinements;
         for (m, v) in matches.iter().zip(values) {
             match m {
                 Some(rid) => result.regions[*rid as usize].add(*v, false),
@@ -721,6 +1027,137 @@ mod tests {
             let leaf = extent.leaf_cell_id(p);
             assert_eq!(*m, join.trie().first_posting(leaf));
         }
+    }
+
+    #[test]
+    fn one_build_serves_coarser_bounds_with_monotone_uncertainty() {
+        let (points, values, regions, extent) = workload(8_000, 9);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(4.0));
+        let mut prev_boundary = u64::MAX;
+        let mut prev_matched = u64::MAX;
+        let mut levels = Vec::new();
+        for eps in [4.0, 16.0, 64.0] {
+            let spec = QuerySpec::within_meters(eps);
+            let (plan, result) = join.execute_spec(&spec, &points, &values, &regions);
+            assert!(plan.satisfies_request);
+            assert!(plan.guaranteed_bound <= eps);
+            assert_eq!(result.pip_tests, 0, "bounded specs never refine");
+            assert_eq!(
+                result.total_matched() + result.unmatched,
+                points.len() as u64
+            );
+            let boundary: u64 = result.regions.iter().map(|r| r.boundary_count).sum();
+            // Sweeping tight→loose: the uncertain (boundary-matched) count
+            // and the conservative match total can only grow as the bound
+            // loosens — i.e. tightening the bound monotonically shrinks
+            // them.
+            if prev_boundary != u64::MAX {
+                assert!(boundary >= prev_boundary, "eps {eps}");
+                assert!(result.total_matched() >= prev_matched, "eps {eps}");
+            }
+            prev_boundary = boundary;
+            prev_matched = result.total_matched();
+            levels.push(plan.level);
+        }
+        // Three distinct bounds map to three distinct levels of one build.
+        assert!(levels[0] > levels[1] && levels[1] > levels[2], "{levels:?}");
+    }
+
+    #[test]
+    fn refined_execution_equals_rtree_exact_join() {
+        let (points, values, regions, extent) = workload(9_000, 12);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let reference = RTreeExactJoin::build(&regions).execute(&points, &values);
+        let (plan, refined) = join.execute_spec(&QuerySpec::exact(), &points, &values, &regions);
+        assert!(plan.exact_refinement);
+        assert_eq!(plan.guaranteed_bound, 0.0);
+        // Bit-for-bit on the answer fields; pip_tests is a work counter and
+        // the whole point is that refinement does far fewer of them.
+        assert_eq!(refined.regions, reference.regions);
+        assert_eq!(refined.unmatched, reference.unmatched);
+        assert!(
+            refined.pip_tests < reference.pip_tests,
+            "refinement must out-filter the R-tree: {} vs {}",
+            refined.pip_tests,
+            reference.pip_tests
+        );
+        assert!(refined.pip_tests > 0, "boundary points still refine");
+    }
+
+    #[test]
+    fn coarse_level_sharded_execution_matches_unsharded() {
+        let (points, values, regions, extent) = workload(8_000, 9);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(4.0));
+        let plan = join.plan(&QuerySpec::within_meters(64.0));
+        assert!(plan.level < join.finest_level());
+        let seq = join.execute_at(&points, &values, plan.level);
+        for shards in [1usize, 3, 8] {
+            let (keys, vals, bounds) = shard_schedules(&points, &values, &extent, shards);
+            let probes: Vec<ShardProbe<'_>> = bounds
+                .iter()
+                .map(|&(a, b)| ShardProbe::new(&keys[a..b], &vals[a..b]))
+                .collect();
+            let sharded = join.execute_shards_at(&probes, 4, plan.level);
+            assert_eq!(sharded.unmatched, seq.unmatched, "{shards} shards");
+            for (s, p) in seq.regions.iter().zip(&sharded.regions) {
+                assert_eq!(s.count, p.count);
+                assert_eq!(s.boundary_count, p.boundary_count);
+                assert!((s.sum - p.sum).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_refined_execution_equals_rtree_on_shard_order_rows() {
+        let (points, values, regions, extent) = workload(6_000, 9);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        // Shard-order rows: keys sorted, points and values aligned.
+        let mut rows: Vec<(u64, Point, f64)> = points
+            .iter()
+            .zip(&values)
+            .map(|(p, v)| (extent.leaf_cell_id(p).raw(), *p, *v))
+            .collect();
+        rows.sort_unstable_by_key(|r| r.0);
+        let keys: Vec<u64> = rows.iter().map(|r| r.0).collect();
+        let pts: Vec<Point> = rows.iter().map(|r| r.1).collect();
+        let vals: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        let reference = RTreeExactJoin::build(&regions).execute(&pts, &vals);
+        for shards in [1usize, 2, 8] {
+            let ranges = dbsa_grid::partition_sorted_keys(&keys, shards);
+            let bounds = dbsa_grid::split_at_ranges(&keys, &ranges);
+            let probes: Vec<ShardProbe<'_>> = bounds
+                .iter()
+                .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+                .collect();
+            let (plan, refined) =
+                join.execute_shards_spec(&QuerySpec::exact(), &probes, &regions, 4);
+            assert!(plan.exact_refinement);
+            // One shard: fully bit-for-bit (same matches, same summation
+            // order). Across shard merges, sums re-associate: counts,
+            // min/max and unmatched stay identical, sums agree to rounding.
+            if shards == 1 {
+                assert_eq!(refined.regions, reference.regions);
+            }
+            for (a, b) in refined.regions.iter().zip(&reference.regions) {
+                assert_eq!(a.count, b.count, "{shards} shards");
+                assert_eq!(a.boundary_count, b.boundary_count);
+                assert_eq!(a.min, b.min);
+                assert_eq!(a.max, b.max);
+                assert!((a.sum - b.sum).abs() < 1e-6);
+            }
+            assert_eq!(refined.unmatched, reference.unmatched);
+            assert!(refined.pip_tests < reference.pip_tests);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "with_points")]
+    fn refined_shards_require_the_point_column() {
+        let (points, values, regions, extent) = workload(200, 4);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let (keys, vals, _) = shard_schedules(&points, &values, &extent, 1);
+        let probe = ShardProbe::new(&keys, &vals);
+        let _ = join.execute_shards_refined(&[probe], &regions, 1);
     }
 
     #[test]

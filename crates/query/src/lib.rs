@@ -12,6 +12,11 @@
 //! * [`join`] — spatial aggregation joins (Section 5.1, Figure 6): the
 //!   approximate ACT index-nested-loop join against exact R-tree and
 //!   shape-index joins, with optional multi-threaded point partitioning.
+//! * [`plan`] — per-query accuracy: a [`QuerySpec`] carries the distance
+//!   bound (or asks for exactness) with each request, and the
+//!   [`QueryPlanner`] maps it onto a truncation level of the level-stacked
+//!   frozen trie, reporting the level chosen, the bound it guarantees and
+//!   the estimated probe cost.
 //! * [`result_range`] — result-range estimation (Section 6): conservative
 //!   rasters give `[α − ε, α]` intervals with 100 % confidence.
 //! * [`error`] — error metrics (relative error, median error over regions)
@@ -21,6 +26,7 @@ pub mod aggregate;
 pub mod containment;
 pub mod error;
 pub mod join;
+pub mod plan;
 pub mod result_range;
 
 pub use aggregate::{AggregateKind, RegionAggregate};
@@ -29,4 +35,5 @@ pub use containment::{
 };
 pub use error::{median, relative_error, ErrorSummary};
 pub use join::{ApproximateCellJoin, JoinResult, RTreeExactJoin, ShapeIndexExactJoin, ShardProbe};
+pub use plan::{QueryMode, QueryPlan, QueryPlanner, QuerySpec};
 pub use result_range::ResultRange;

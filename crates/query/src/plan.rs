@@ -1,0 +1,279 @@
+//! Per-query accuracy specification and the query planner.
+//!
+//! The paper's serving story is that the **query** carries the distance
+//! bound: the same frozen region index answers one request at a loose 64 m
+//! bound, the next at the 4 m bound it was built with, and a third exactly
+//! — no rebuild anywhere. A [`QuerySpec`] states what the caller wants,
+//! the [`QueryPlanner`] turns it into a [`QueryPlan`]: the truncation
+//! level to probe the level-stacked frozen trie at, the bound that level
+//! actually guarantees, and a probe-cost estimate, plus whether an exact
+//! refinement stage runs after the approximate filter.
+//!
+//! Planning is a pure function of the frozen index's per-level metadata
+//! (`FrozenCellTrie::nodes_at_or_above`, the extent's cell diagonals and
+//! the finest built level); executing a plan never consults geometry
+//! unless the plan requests exact refinement.
+
+use dbsa_grid::{GridExtent, MAX_LEVEL};
+use dbsa_index::FrozenCellTrie;
+use dbsa_raster::DistanceBound;
+
+/// What a query asks of the engine: an answer within a Hausdorff bound, or
+/// the exact answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryMode {
+    /// Any answer whose error stays within the given distance bound.
+    Bounded(DistanceBound),
+    /// The exact answer: the approximate filter runs at the finest built
+    /// level and boundary-cell matches are refined with exact
+    /// point-in-polygon tests.
+    Exact,
+}
+
+/// Per-query accuracy specification, carried by the request rather than
+/// baked into the index build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    mode: QueryMode,
+}
+
+impl QuerySpec {
+    /// Asks for an answer within `bound` of exact.
+    pub fn within(bound: DistanceBound) -> Self {
+        QuerySpec {
+            mode: QueryMode::Bounded(bound),
+        }
+    }
+
+    /// Convenience: [`within`](Self::within) a bound of `epsilon` meters.
+    pub fn within_meters(epsilon: f64) -> Self {
+        Self::within(DistanceBound::meters(epsilon))
+    }
+
+    /// Asks for the exact answer (filter-and-refine over the same index).
+    pub fn exact() -> Self {
+        QuerySpec {
+            mode: QueryMode::Exact,
+        }
+    }
+
+    /// The requested mode.
+    pub fn mode(&self) -> QueryMode {
+        self.mode
+    }
+
+    /// Whether this spec requests exact refinement.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.mode, QueryMode::Exact)
+    }
+}
+
+impl std::fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.mode {
+            QueryMode::Bounded(b) => write!(f, "within {b}"),
+            QueryMode::Exact => write!(f, "exact"),
+        }
+    }
+}
+
+/// The planner's decision for one query: which truncation level of the
+/// level-stacked frozen trie to probe, what that level guarantees, and what
+/// it is expected to cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryPlan {
+    /// Trie truncation level the probes run at.
+    pub level: u8,
+    /// The Hausdorff bound the chosen level guarantees (cell diagonal at
+    /// `level`); `0.0` when exact refinement makes the answer exact.
+    pub guaranteed_bound: f64,
+    /// Whether an exact point-in-polygon refinement stage runs on
+    /// boundary-cell matches after the approximate filter.
+    pub exact_refinement: bool,
+    /// Whether the plan satisfies the request. `false` only when a bounded
+    /// request is tighter than the finest built level can guarantee — the
+    /// plan then serves the finest level as a best effort, and
+    /// `guaranteed_bound` reports what the caller actually gets.
+    pub satisfies_request: bool,
+    /// Number of trie nodes a probe at the chosen level can touch — the
+    /// planner's probe-cost estimate (coarser level → smaller structure →
+    /// cheaper probes).
+    pub estimated_nodes: usize,
+}
+
+impl std::fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "level {} (ε ≤ {:.3}{}{}, ≤ {} nodes/probe)",
+            self.level,
+            self.guaranteed_bound,
+            if self.exact_refinement {
+                ", exact refinement"
+            } else {
+                ""
+            },
+            if self.satisfies_request {
+                ""
+            } else {
+                ", best effort"
+            },
+            self.estimated_nodes,
+        )
+    }
+}
+
+/// Picks the cheapest truncation level of a level-stacked frozen trie that
+/// satisfies a [`QuerySpec`].
+///
+/// The planner is deliberately tiny: levels are totally ordered by cost
+/// (fewer nodes at coarser truncations) *and* by accuracy (smaller cell
+/// diagonals at finer truncations), so "cheapest satisfying level" is just
+/// the coarsest level whose diagonal is at or below the requested bound,
+/// clamped to the finest level the index was built with.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryPlanner<'a> {
+    extent: &'a GridExtent,
+    /// Finest truncation level the index can serve (the built boundary
+    /// level).
+    finest_level: u8,
+    /// The level-stacked frozen trie, for per-level cost estimates.
+    trie: &'a FrozenCellTrie,
+}
+
+impl<'a> QueryPlanner<'a> {
+    /// Creates a planner over a level-stacked frozen trie. `finest_level`
+    /// is the boundary level the index was built at — the deepest
+    /// truncation that still answers with a meaningful bound.
+    pub fn new(extent: &'a GridExtent, finest_level: u8, trie: &'a FrozenCellTrie) -> Self {
+        QueryPlanner {
+            extent,
+            finest_level,
+            trie,
+        }
+    }
+
+    /// The finest level this planner can schedule.
+    pub fn finest_level(&self) -> u8 {
+        self.finest_level
+    }
+
+    /// Plans one query.
+    pub fn plan(&self, spec: &QuerySpec) -> QueryPlan {
+        match spec.mode() {
+            QueryMode::Exact => QueryPlan {
+                level: self.finest_level,
+                guaranteed_bound: 0.0,
+                exact_refinement: true,
+                satisfies_request: true,
+                estimated_nodes: self.trie.nodes_at_or_above(self.finest_level),
+            },
+            QueryMode::Bounded(bound) => {
+                // The coarsest level whose cell diagonal satisfies the
+                // bound; tighter-than-built requests clamp to the finest
+                // built level and report what they actually get.
+                let wanted = bound.level_on(self.extent).unwrap_or(MAX_LEVEL);
+                let level = wanted.min(self.finest_level);
+                let guaranteed = self.extent.cell_diagonal(level);
+                QueryPlan {
+                    level,
+                    guaranteed_bound: guaranteed,
+                    exact_refinement: false,
+                    satisfies_request: guaranteed <= bound.epsilon(),
+                    estimated_nodes: self.trie.nodes_at_or_above(level),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::{Point, Polygon};
+    use dbsa_index::AdaptiveCellTrie;
+    use dbsa_raster::{BoundaryPolicy, HierarchicalRaster};
+
+    /// A small frozen trie over one square, refined to level 8 on a 1024 m
+    /// extent (level ℓ cells have side 1024 / 2^ℓ).
+    fn planner_fixture() -> (GridExtent, FrozenCellTrie) {
+        let extent = GridExtent::new(Point::new(0.0, 0.0), 1024.0);
+        let square = Polygon::from_coords(&[
+            (100.0, 100.0),
+            (420.0, 100.0),
+            (420.0, 420.0),
+            (100.0, 420.0),
+        ]);
+        let raster = HierarchicalRaster::with_boundary_level(
+            &square,
+            &extent,
+            8,
+            BoundaryPolicy::Conservative,
+        );
+        (extent, AdaptiveCellTrie::build(&[raster]).freeze())
+    }
+
+    #[test]
+    fn bounded_specs_pick_the_coarsest_satisfying_level() {
+        let (extent, trie) = planner_fixture();
+        let planner = QueryPlanner::new(&extent, 8, &trie);
+        assert_eq!(planner.finest_level(), 8);
+
+        let loose = planner.plan(&QuerySpec::within_meters(512.0));
+        let mid = planner.plan(&QuerySpec::within_meters(64.0));
+        let tight = planner.plan(&QuerySpec::within_meters(8.0));
+        assert!(loose.level < mid.level && mid.level < tight.level);
+        for plan in [loose, mid, tight] {
+            assert!(plan.satisfies_request);
+            assert!(!plan.exact_refinement);
+            assert!(plan.guaranteed_bound <= extent.cell_diagonal(plan.level) + 1e-12);
+        }
+        // Coarser levels are estimated cheaper.
+        assert!(loose.estimated_nodes < mid.estimated_nodes);
+        assert!(mid.estimated_nodes < tight.estimated_nodes);
+    }
+
+    #[test]
+    fn tighter_than_built_requests_clamp_and_report_best_effort() {
+        let (extent, trie) = planner_fixture();
+        let planner = QueryPlanner::new(&extent, 6, &trie);
+        let plan = planner.plan(&QuerySpec::within_meters(0.001));
+        assert_eq!(plan.level, 6);
+        assert!(!plan.satisfies_request);
+        assert_eq!(plan.guaranteed_bound, extent.cell_diagonal(6));
+    }
+
+    #[test]
+    fn exact_specs_run_refinement_at_the_finest_level() {
+        let (extent, trie) = planner_fixture();
+        let planner = QueryPlanner::new(&extent, 7, &trie);
+        let spec = QuerySpec::exact();
+        assert!(spec.is_exact());
+        let plan = planner.plan(&spec);
+        assert_eq!(plan.level, 7);
+        assert!(plan.exact_refinement);
+        assert!(plan.satisfies_request);
+        assert_eq!(plan.guaranteed_bound, 0.0);
+    }
+
+    #[test]
+    fn specs_and_plans_display() {
+        assert_eq!(QuerySpec::exact().to_string(), "exact");
+        assert!(QuerySpec::within_meters(4.0).to_string().contains("ε = 4"));
+        let (extent, trie) = planner_fixture();
+        let plan = QueryPlanner::new(&extent, 8, &trie).plan(&QuerySpec::exact());
+        let s = plan.to_string();
+        assert!(s.contains("level 8"));
+        assert!(s.contains("exact refinement"));
+    }
+
+    #[test]
+    fn query_mode_round_trips() {
+        let b = DistanceBound::meters(10.0);
+        match QuerySpec::within(b).mode() {
+            QueryMode::Bounded(got) => assert_eq!(got.epsilon(), 10.0),
+            QueryMode::Exact => panic!("expected bounded"),
+        }
+        assert!(!QuerySpec::within(b).is_exact());
+    }
+}

@@ -90,6 +90,24 @@ impl BoundaryPolicy {
     }
 }
 
+/// One **counted** exact point-in-polygon refinement: the single place the
+/// whole stack pays for an exact geometric test at query time.
+///
+/// Every exact evaluation path — the R-tree join's candidate verification,
+/// the shape-index baseline's boundary-cell refinement, the spatial
+/// baselines' MBR-filter refinement and the planner's exact-refinement
+/// stage — routes its PIP tests through here so the "refinements performed"
+/// accounting (the cost the paper attributes exactness to) is defined once.
+#[inline]
+pub fn refine_contains<G: Rasterizable + ?Sized>(
+    geometry: &G,
+    p: &Point,
+    pip_tests: &mut u64,
+) -> bool {
+    *pip_tests += 1;
+    geometry.contains_point(p)
+}
+
 /// Estimates the fraction of `cell_bbox` covered by the geometry by testing
 /// an `n x n` grid of sample points.
 pub fn estimate_overlap_fraction<G: Rasterizable + ?Sized>(

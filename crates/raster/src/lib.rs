@@ -30,7 +30,7 @@ pub mod uniform;
 pub mod verify;
 
 pub use bound::DistanceBound;
-pub use cell::{BoundaryPolicy, CellClass, RasterCell, Rasterizable};
+pub use cell::{refine_contains, BoundaryPolicy, CellClass, RasterCell, Rasterizable};
 pub use hierarchical::HierarchicalRaster;
 pub use uniform::UniformRaster;
 pub use verify::{verify_distance_bound, BoundViolation};

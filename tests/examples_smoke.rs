@@ -65,6 +65,7 @@ macro_rules! example_tests {
 example_tests!(
     quickstart,
     motivating_example,
+    query_bounds,
     result_range_estimation,
     sharded_serving,
     taxi_aggregation,

@@ -1,0 +1,180 @@
+//! Behavioural tests of per-query distance bounds: one frozen index build
+//! serving several bounds plus exact mode, the exact-refinement pipeline
+//! equalling the R-tree reference, and the uncertainty monotonicity the
+//! level stack guarantees — as properties over random workloads and shard
+//! counts 1 / 2 / 8.
+
+use dbsa::prelude::*;
+use proptest::prelude::*;
+
+fn workload(
+    n_points: usize,
+    n_regions: usize,
+    seed: u64,
+) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>) {
+    let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), n_regions, 20, seed + 3).generate();
+    (points, values, regions)
+}
+
+fn sharded(
+    points: Vec<Point>,
+    values: Vec<f64>,
+    regions: Vec<MultiPolygon>,
+    eps: f64,
+    shards: usize,
+) -> ShardedEngine {
+    ShardedEngine::builder()
+        .distance_bound(DistanceBound::meters(eps))
+        .extent(city_extent())
+        .points(points, values)
+        .regions(regions)
+        .shards(shards)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// `QuerySpec::exact()` through the planner equals
+    /// `RTreeExactJoin::execute` over the snapshot's rows, across shard
+    /// counts 1 / 2 / 8: every count, min/max and the unmatched total
+    /// bit-for-bit for any layout; f64 sums bit-for-bit for one shard and
+    /// up to summation-order rounding across shard merges.
+    #[test]
+    fn prop_exact_spec_equals_rtree_exact_join(
+        seed in 0u64..40,
+        n_regions in 4usize..12,
+        eps in 4.0f64..24.0,
+    ) {
+        let (points, values, regions) = workload(3_000, n_regions, seed);
+        for shards in [1usize, 2, 8] {
+            let engine = sharded(
+                points.clone(), values.clone(), regions.clone(), eps, shards);
+            let snap = engine.snapshot();
+            let (rows, row_values) = snap.all_rows();
+            let reference = RTreeExactJoin::build(&regions).execute(&rows, &row_values);
+            let (plan, refined) = snap.aggregate_by_region_spec(&QuerySpec::exact(), 4);
+            prop_assert!(plan.exact_refinement);
+            prop_assert_eq!(plan.guaranteed_bound, 0.0);
+            prop_assert_eq!(refined.unmatched, reference.unmatched, "{} shards", shards);
+            if shards == 1 {
+                prop_assert_eq!(&refined.regions, &reference.regions);
+            }
+            for (a, b) in refined.regions.iter().zip(&reference.regions) {
+                prop_assert_eq!(a.count, b.count, "{} shards", shards);
+                prop_assert_eq!(a.boundary_count, b.boundary_count);
+                prop_assert_eq!(a.min, b.min);
+                prop_assert_eq!(a.max, b.max);
+                prop_assert!((a.sum - b.sum).abs() < 1e-6);
+            }
+            // The filter does the R-tree's job with far fewer PIP tests.
+            prop_assert!(refined.pip_tests <= reference.pip_tests);
+        }
+    }
+
+    /// Tightening the per-query bound monotonically shrinks the
+    /// boundary-cell (uncertain) count and the conservative match total,
+    /// across shard counts 1 / 2 / 8 — all served by one index build.
+    #[test]
+    fn prop_tighter_bounds_shrink_uncertainty(
+        seed in 0u64..40,
+        n_regions in 4usize..12,
+    ) {
+        let (points, values, regions) = workload(3_000, n_regions, seed);
+        for shards in [1usize, 2, 8] {
+            let engine = sharded(
+                points.clone(), values.clone(), regions.clone(), 4.0, shards);
+            let snap = engine.snapshot();
+            let mut prev_boundary = u64::MAX;
+            let mut prev_matched = u64::MAX;
+            let mut levels = Vec::new();
+            // Sweep loose → tight: uncertainty must not grow.
+            for eps in [64.0, 16.0, 4.0] {
+                let spec = QuerySpec::within_meters(eps);
+                let (plan, result) = snap.aggregate_by_region_spec(&spec, 4);
+                prop_assert!(plan.satisfies_request);
+                prop_assert!(plan.guaranteed_bound <= eps);
+                prop_assert_eq!(result.pip_tests, 0);
+                prop_assert_eq!(
+                    result.total_matched() + result.unmatched,
+                    points.len() as u64
+                );
+                let boundary: u64 =
+                    result.regions.iter().map(|r| r.boundary_count).sum();
+                prop_assert!(boundary <= prev_boundary,
+                    "tightening to {} grew uncertainty: {} > {}",
+                    eps, boundary, prev_boundary);
+                prop_assert!(result.total_matched() <= prev_matched);
+                prev_boundary = boundary;
+                prev_matched = result.total_matched();
+                levels.push(plan.level);
+            }
+            // Three distinct bounds, three distinct levels, one build.
+            prop_assert!(levels[0] < levels[1] && levels[1] < levels[2]);
+        }
+    }
+}
+
+#[test]
+fn one_snapshot_serves_three_bounds_and_exact_without_rebuild() {
+    let (points, values, regions) = workload(4_000, 9, 7);
+    let engine = sharded(points.clone(), values, regions.clone(), 4.0, 4);
+    let snap = engine.snapshot();
+
+    // Three bounded requests hit three different levels of the same
+    // snapshot, coarser ones estimated cheaper.
+    let plans: Vec<QueryPlan> = [4.0, 16.0, 64.0]
+        .iter()
+        .map(|&eps| snap.plan_query(&QuerySpec::within_meters(eps)))
+        .collect();
+    assert!(plans[0].level > plans[1].level && plans[1].level > plans[2].level);
+    assert!(plans[0].estimated_nodes > plans[1].estimated_nodes);
+    assert!(plans[1].estimated_nodes > plans[2].estimated_nodes);
+
+    // The build-bound spec reproduces the default sharded path bit-for-bit.
+    let (_, at_build) = snap.aggregate_by_region_spec(&QuerySpec::within_meters(4.0), 4);
+    assert_eq!(at_build, snap.aggregate_by_region_parallel(4));
+
+    // Exact mode answers from the same snapshot and matches a from-scratch
+    // exact join; the plan reports the refinement stage.
+    let (plan, exact) = snap.aggregate_by_region_spec(&QuerySpec::exact(), 4);
+    assert!(plan.exact_refinement);
+    let (rows, row_values) = snap.all_rows();
+    let reference = RTreeExactJoin::build(&regions).execute(&rows, &row_values);
+    assert_eq!(exact.unmatched, reference.unmatched);
+    for (a, b) in exact.regions.iter().zip(&reference.regions) {
+        assert_eq!(a.count, b.count);
+        assert!((a.sum - b.sum).abs() < 1e-6);
+    }
+
+    // A request tighter than the build bound is served best-effort at the
+    // finest level and says so.
+    let plan = snap.plan_query(&QuerySpec::within_meters(0.5));
+    assert!(!plan.satisfies_request);
+    assert_eq!(plan.level, plans[0].level);
+}
+
+#[test]
+fn count_ranges_route_through_the_planner_and_stay_guaranteed() {
+    let (points, values, regions) = workload(4_000, 9, 11);
+    let engine = sharded(points, values, regions.clone(), 10.0, 8);
+    let snap = engine.snapshot();
+
+    // The default path equals the spec path at the build bound.
+    let (plan, via_spec) = snap.count_ranges_spec(&QuerySpec::within_meters(10.0), 1);
+    assert_eq!(via_spec, snap.count_ranges());
+    assert!(!plan.exact_refinement);
+
+    // Exact ranges degenerate to the exact counts.
+    let (plan, exact_ranges) = snap.count_ranges_spec(&QuerySpec::exact(), 4);
+    assert!(plan.exact_refinement);
+    let (rows, _) = snap.all_rows();
+    for (range, region) in exact_ranges.iter().zip(&regions) {
+        assert_eq!(range.lower, range.upper, "exact ranges have zero width");
+        let exact = rows.iter().filter(|p| region.contains_point(p)).count();
+        assert!(range.contains(exact as f64));
+    }
+}
