@@ -35,8 +35,7 @@ fn pointer_scalar_join(
 ) -> JoinResult {
     let mut result = JoinResult {
         regions: vec![RegionAggregate::default(); region_count],
-        unmatched: 0,
-        pip_tests: 0,
+        ..JoinResult::default()
     };
     for (p, v) in points.iter().zip(values) {
         let postings = trie.lookup_leaf(extent.leaf_cell_id(p));

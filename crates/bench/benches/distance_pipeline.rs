@@ -1,0 +1,86 @@
+//! Distance-pipeline microbench: the refined within-distance join through
+//! the distance-annotated frozen index vs. the brute-force all-regions
+//! baseline, plus the approximate per-tolerance levels and the kNN search,
+//! on the Figure 6 neighborhood workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsa::prelude::*;
+use dbsa_bench::Workload;
+use std::time::Duration;
+
+const N_POINTS: usize = 100_000;
+const WITHIN_M: f64 = 250.0;
+
+fn bench_distance_pipeline(c: &mut Criterion) {
+    let workload = Workload::from_profile(N_POINTS, DatasetProfile::Neighborhoods, 2021);
+    let join = ApproximateCellJoin::build(
+        &workload.regions,
+        &workload.extent,
+        DistanceBound::meters(4.0),
+    );
+    let brute = BruteForceDistanceJoin::new(&workload.regions);
+
+    // The answers must agree before the timings mean anything.
+    let refined = join.distance().within_refined(
+        WITHIN_M,
+        &workload.points,
+        &workload.values,
+        &workload.regions,
+    );
+    let reference = brute.within(WITHIN_M, &workload.points, &workload.values);
+    assert_eq!(refined.regions, reference.regions);
+    assert_eq!(refined.unmatched, reference.unmatched);
+
+    let mut group = c.benchmark_group("distance_pipeline");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(10);
+
+    group.bench_function("brute_force_within", |b| {
+        b.iter(|| std::hint::black_box(brute.within(WITHIN_M, &workload.points, &workload.values)))
+    });
+    group.bench_function("refined_within", |b| {
+        b.iter(|| {
+            std::hint::black_box(join.distance().within_refined(
+                WITHIN_M,
+                &workload.points,
+                &workload.values,
+                &workload.regions,
+            ))
+        })
+    });
+    for tol in [16.0, 64.0] {
+        let spec = DistanceSpec::within_bounded(WITHIN_M, tol).expect("valid spec");
+        let plan = join.distance().plan(&spec);
+        group.bench_with_input(
+            BenchmarkId::new("approximate_within", format!("{tol}m_level{}", plan.level)),
+            &plan.level,
+            |b, &level| {
+                b.iter(|| {
+                    std::hint::black_box(join.distance().within_at(
+                        WITHIN_M,
+                        &workload.points,
+                        &workload.values,
+                        level,
+                    ))
+                })
+            },
+        );
+    }
+    // kNN over a probe sample (per-probe search, no batch state).
+    let probes: Vec<Point> = workload.points.iter().step_by(100).copied().collect();
+    group.bench_function("knn_k3", |b| {
+        b.iter(|| {
+            for p in &probes {
+                std::hint::black_box(
+                    join.distance()
+                        .knn(p, 3, join.finest_level())
+                        .expect("k >= 1"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_pipeline);
+criterion_main!(benches);

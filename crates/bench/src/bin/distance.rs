@@ -1,0 +1,247 @@
+//! Distance — the distance query family on the Figure 6 workload
+//! (300 k points, Neighborhoods-profile regions).
+//!
+//! One `ApproximateCellJoin` is built at the 4 m bound — the same build
+//! every containment experiment uses — and its distance-annotated frozen
+//! index then serves:
+//!
+//! * `WITHIN_DISTANCE(d)` approximately at per-query tolerances (planner
+//!   picks the truncation level whose cell diagonal + bin width fits),
+//! * `WITHIN_DISTANCE(d)` **exactly**: cells inside the d-dilation accept
+//!   wholesale, only straddling candidates pay counted exact
+//!   segment-distance tests — measured against the brute-force
+//!   all-regions baseline,
+//! * approximate kNN with guaranteed intervals, reporting recall@k
+//!   against the exact brute-force top-k.
+//!
+//! Acceptance bar: the refined distance join beats the brute-force exact
+//! baseline by ≥2× with ≥100× fewer counted exact-distance tests.
+
+use dbsa::prelude::*;
+use dbsa_bench::{
+    fmt_ms, json_output_path, mean_time, print_header, JsonReport, JsonValue, Workload,
+};
+
+const N_POINTS: usize = 300_000;
+const ITERS: usize = 3;
+const WITHIN_M: f64 = 250.0;
+const TOLERANCES_M: [f64; 2] = [64.0, 16.0];
+const KNN_PROBES: usize = 2_000;
+const K: usize = 3;
+
+fn main() {
+    let json_path = json_output_path();
+    let config = dbsa::ExperimentConfig {
+        experiment: "distance".into(),
+        points: N_POINTS,
+        regions: 0, // Neighborhoods profile below
+        vertices_per_region: 0,
+        distance_bounds: TOLERANCES_M.to_vec(),
+        precision_levels: vec![],
+        seed: 2021,
+    };
+    print_header(
+        "Distance",
+        "within-distance join + kNN from the containment build vs. brute force",
+        &config,
+    );
+    let mut report = JsonReport::new("distance", &config);
+
+    let workload = Workload::from_profile(N_POINTS, DatasetProfile::Neighborhoods, config.seed);
+    let regions = workload.regions.len();
+    let join = ApproximateCellJoin::build(
+        &workload.regions,
+        &workload.extent,
+        DistanceBound::meters(4.0),
+    );
+    let brute = BruteForceDistanceJoin::new(&workload.regions);
+
+    println!(
+        "{:<26} | {:>5} | {:>10} | {:>9} | {:>11}",
+        "mode", "level", "join time", "matched", "dist tests"
+    );
+    println!(
+        "{:-<26}-+-{:-<5}-+-{:-<10}-+-{:-<9}-+-{:-<11}",
+        "", "", "", "", ""
+    );
+
+    // Approximate rows: per-query tolerances over one frozen build.
+    for tol in TOLERANCES_M {
+        let spec = DistanceSpec::within_bounded(WITHIN_M, tol).expect("valid spec");
+        let (plan, result) = join.distance().execute_spec(
+            &spec,
+            &workload.points,
+            &workload.values,
+            &workload.regions,
+        );
+        assert!(plan.satisfies_request);
+        let time = mean_time(ITERS, || {
+            std::hint::black_box(join.distance().within_at(
+                WITHIN_M,
+                &workload.points,
+                &workload.values,
+                plan.level,
+            ));
+        });
+        println!(
+            "{:<26} | {:>5} | {:>10} | {:>9} | {:>11}",
+            format!("approx within ±{tol} m"),
+            plan.level,
+            fmt_ms(time),
+            result.total_matched(),
+            result.dist_tests,
+        );
+        report.push_row(&[
+            ("mode", JsonValue::Str("approximate_within".into())),
+            ("within_m", JsonValue::Num(WITHIN_M)),
+            ("tolerance_m", JsonValue::Num(tol)),
+            ("level", JsonValue::Int(plan.level as u64)),
+            ("guaranteed_bound_m", JsonValue::Num(plan.guaranteed_bound)),
+            ("regions", JsonValue::Int(regions as u64)),
+            ("points", JsonValue::Int(N_POINTS as u64)),
+            ("join_ms", JsonValue::Num(time.as_secs_f64() * 1e3)),
+            ("matched", JsonValue::Int(result.total_matched())),
+            ("dist_tests", JsonValue::Int(result.dist_tests)),
+        ]);
+    }
+
+    // Refined-exact within-distance, verified against brute force before
+    // timing.
+    let spec = DistanceSpec::within(WITHIN_M).expect("valid spec");
+    let (plan, refined) =
+        join.distance()
+            .execute_spec(&spec, &workload.points, &workload.values, &workload.regions);
+    let reference = brute.within(WITHIN_M, &workload.points, &workload.values);
+    assert_eq!(
+        refined.regions, reference.regions,
+        "exact answers must match"
+    );
+    assert_eq!(refined.unmatched, reference.unmatched);
+
+    let refined_time = mean_time(ITERS, || {
+        std::hint::black_box(join.distance().within_refined(
+            WITHIN_M,
+            &workload.points,
+            &workload.values,
+            &workload.regions,
+        ));
+    });
+    println!(
+        "{:<26} | {:>5} | {:>10} | {:>9} | {:>11}",
+        "refined exact within",
+        plan.level,
+        fmt_ms(refined_time),
+        refined.total_matched(),
+        refined.dist_tests,
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str("refined_within".into())),
+        ("within_m", JsonValue::Num(WITHIN_M)),
+        ("level", JsonValue::Int(plan.level as u64)),
+        ("regions", JsonValue::Int(regions as u64)),
+        ("points", JsonValue::Int(N_POINTS as u64)),
+        ("join_ms", JsonValue::Num(refined_time.as_secs_f64() * 1e3)),
+        ("matched", JsonValue::Int(refined.total_matched())),
+        ("dist_tests", JsonValue::Int(refined.dist_tests)),
+    ]);
+
+    let brute_time = mean_time(ITERS, || {
+        std::hint::black_box(brute.within(WITHIN_M, &workload.points, &workload.values));
+    });
+    println!(
+        "{:<26} | {:>5} | {:>10} | {:>9} | {:>11}",
+        "brute-force exact",
+        "-",
+        fmt_ms(brute_time),
+        reference.total_matched(),
+        reference.dist_tests,
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str("brute_force_within".into())),
+        ("within_m", JsonValue::Num(WITHIN_M)),
+        ("regions", JsonValue::Int(regions as u64)),
+        ("points", JsonValue::Int(N_POINTS as u64)),
+        ("join_ms", JsonValue::Num(brute_time.as_secs_f64() * 1e3)),
+        ("matched", JsonValue::Int(reference.total_matched())),
+        ("dist_tests", JsonValue::Int(reference.dist_tests)),
+    ]);
+
+    // kNN recall@k of the approximate intervals against the exact top-k.
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    let mut contained = 0usize;
+    let mut knn_tests = 0u64;
+    let stride = (N_POINTS / KNN_PROBES).max(1);
+    for p in workload.points.iter().step_by(stride).take(KNN_PROBES) {
+        let approx = join
+            .distance()
+            .knn(p, K, join.finest_level())
+            .expect("k >= 1");
+        let exact = brute.knn(p, K, &mut knn_tests);
+        for e in &exact {
+            total += 1;
+            if let Some(a) = approx.iter().find(|a| a.region == e.region) {
+                hits += 1;
+                if a.contains(e.lo) {
+                    contained += 1;
+                }
+            }
+        }
+    }
+    let recall = hits as f64 / total.max(1) as f64;
+    println!();
+    println!(
+        "kNN recall@{K} over {KNN_PROBES} probes: {:.4} ({} of {} exact neighbors reported, {} intervals contained the exact distance)",
+        recall, hits, total, contained
+    );
+    assert_eq!(
+        contained, hits,
+        "every reported interval must contain the exact distance"
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str("knn".into())),
+        ("k", JsonValue::Int(K as u64)),
+        ("probes", JsonValue::Int(KNN_PROBES as u64)),
+        ("recall_at_k", JsonValue::Num(recall)),
+        (
+            "intervals_containing_exact",
+            JsonValue::Int(contained as u64),
+        ),
+        ("reported", JsonValue::Int(hits as u64)),
+    ]);
+
+    let ratio = brute_time.as_secs_f64() / refined_time.as_secs_f64();
+    let test_ratio = reference.dist_tests as f64 / refined.dist_tests.max(1) as f64;
+    println!();
+    println!(
+        "acceptance: refined within vs. brute force = {ratio:.2}x faster, \
+         {test_ratio:.0}x fewer exact distance tests ({} vs {}) -> {}",
+        refined.dist_tests,
+        reference.dist_tests,
+        if ratio >= 2.0 && test_ratio >= 100.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str("summary".into())),
+        ("brute_over_refined", JsonValue::Num(ratio)),
+        ("dist_test_reduction", JsonValue::Num(test_ratio)),
+        ("refined_dist_tests", JsonValue::Int(refined.dist_tests)),
+        ("brute_dist_tests", JsonValue::Int(reference.dist_tests)),
+        (
+            "pass",
+            JsonValue::Str(
+                if ratio >= 2.0 && test_ratio >= 100.0 {
+                    "true"
+                } else {
+                    "false"
+                }
+                .into(),
+            ),
+        ),
+    ]);
+
+    report.write_if_requested(json_path.as_deref());
+}

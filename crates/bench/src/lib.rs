@@ -13,6 +13,7 @@
 //! | E6 | §6 — result-range estimation | `… --bin result_range` | `result_range` |
 //! | —  | scaling (sharded serving across shards × threads) | `… --bin scaling` | `scaling` |
 //! | —  | per-query bounds + exact refinement vs. R-tree | `… --bin refine` | `refine_pipeline` |
+//! | —  | distance family (within-distance join + kNN) vs. brute force | `… --bin distance` | `distance_pipeline` |
 //! | —  | ablations (curve choice, boundary policy, spline error) | — | `ablations` |
 //!
 //! The report binaries print the same rows/series the paper plots; the

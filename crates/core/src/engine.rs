@@ -11,8 +11,9 @@
 use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
 use dbsa_grid::{partition_sorted_keys, split_at_ranges, GridExtent, KeyRange};
 use dbsa_query::{
-    ApproximateCellJoin, JoinResult, LinearizedPointTable, PointIndexVariant, QueryPlan, QuerySpec,
-    RTreeExactJoin, RegionAggregate, ResultRange, ShardProbe,
+    ApproximateCellJoin, BruteForceDistanceJoin, DistanceSpec, JoinResult, KnnNeighbor,
+    LinearizedPointTable, PointIndexVariant, QueryError, QueryPlan, QuerySpec, RTreeExactJoin,
+    RegionAggregate, ResultRange, ShardProbe,
 };
 use dbsa_raster::{DistanceBound, Rasterizable};
 
@@ -304,6 +305,56 @@ impl ApproximateEngine {
         RTreeExactJoin::build(&self.regions).execute(&self.points, &self.values)
     }
 
+    /// The `WITHIN_DISTANCE(d)` semi-join over the loaded points and
+    /// regions, served from the **same** distance-annotated frozen index
+    /// as every containment query: bounded specs run the approximate join
+    /// at the planned truncation level (no geometry consulted), exact
+    /// specs run the filter-and-refine pipeline where only cells
+    /// straddling the d-contour pay a counted exact segment-distance test.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn within_distance(&self, spec: &DistanceSpec) -> (QueryPlan, JoinResult) {
+        self.join
+            .as_ref()
+            .expect("no regions loaded")
+            .distance()
+            .execute_spec(spec, &self.points, &self.values, &self.regions)
+    }
+
+    /// The brute-force exact within-distance baseline (every point tests
+    /// every region with a counted exact distance evaluation). Used to
+    /// validate [`within_distance`](Self::within_distance) and by the
+    /// benchmark harness.
+    pub fn within_distance_exact(&self, d: f64) -> JoinResult {
+        BruteForceDistanceJoin::new(&self.regions).within(d, &self.points, &self.values)
+    }
+
+    /// The `k` nearest regions to a probe point with **guaranteed**
+    /// distance intervals, best-first over the frozen index at its finest
+    /// level — no exact geometry consulted.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn knn(&self, p: &Point, k: usize) -> Result<Vec<KnnNeighbor>, QueryError> {
+        let join = self.join.as_ref().expect("no regions loaded");
+        join.distance().knn(p, k, join.finest_level())
+    }
+
+    /// The exact `k` nearest regions: the best-first search narrows the
+    /// frontier, which is then refined with counted exact distance tests.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn knn_exact(&self, p: &Point, k: usize) -> Result<Vec<KnnNeighbor>, QueryError> {
+        self.join
+            .as_ref()
+            .expect("no regions loaded")
+            .distance()
+            .knn_refined(p, k, &self.regions)
+            .map(|(neighbors, _)| neighbors)
+    }
+
     /// Ad-hoc containment aggregate: counts and sums the points inside an
     /// arbitrary query polygon approximated with at most `cell_budget`
     /// hierarchical cells (Figure 4's query). Returns the aggregate and the
@@ -536,6 +587,47 @@ mod tests {
                 "total {total_exact} outside summed range [{lower}, {upper}]"
             );
         }
+    }
+
+    #[test]
+    fn within_distance_family_runs_on_the_containment_build() {
+        let engine = build_engine(4_000, 9, 10.0);
+        let d = 150.0;
+        // Exact spec equals the brute-force baseline bit-for-bit.
+        let (plan, exact) = engine.within_distance(&DistanceSpec::within(d).unwrap());
+        assert!(plan.exact_refinement);
+        let reference = engine.within_distance_exact(d);
+        assert_eq!(exact.regions, reference.regions);
+        assert_eq!(exact.unmatched, reference.unmatched);
+        assert!(exact.dist_tests < reference.dist_tests);
+
+        // Bounded spec: conservative (no false negatives), no geometry.
+        let (plan, approx) =
+            engine.within_distance(&DistanceSpec::within_bounded(d, 64.0).unwrap());
+        assert!(!plan.exact_refinement);
+        assert_eq!(approx.dist_tests, 0);
+        assert!(approx.total_matched() >= reference.total_matched());
+    }
+
+    #[test]
+    fn knn_intervals_cover_the_exact_answer() {
+        let engine = build_engine(500, 9, 10.0);
+        let p = engine.points()[17];
+        let approx = engine.knn(&p, 3).unwrap();
+        let exact = engine.knn_exact(&p, 3).unwrap();
+        assert_eq!(approx.len(), 3);
+        assert_eq!(exact.len(), 3);
+        for e in &exact {
+            assert_eq!(e.lo, e.hi, "refined intervals collapse");
+        }
+        // Every refined answer is covered by some approximate interval of
+        // the same region, when that region was reported.
+        for a in &approx {
+            if let Some(e) = exact.iter().find(|e| e.region == a.region) {
+                assert!(a.contains(e.lo));
+            }
+        }
+        assert!(engine.knn(&p, 0).is_err());
     }
 
     #[test]

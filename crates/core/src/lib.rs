@@ -72,12 +72,14 @@ pub mod prelude {
     pub use dbsa_grid::{CellId, CurveKind, GridExtent, KeyRange};
     pub use dbsa_index::{AdaptiveCellTrie, FrozenCellTrie, MemoryFootprint, RTree, RadixSpline};
     pub use dbsa_query::{
-        AggregateKind, ApproximateCellJoin, ErrorSummary, JoinResult, LinearizedPointTable,
-        PointIndexVariant, QueryMode, QueryPlan, QueryPlanner, QuerySpec, RTreeExactJoin,
-        RegionAggregate, ResultRange, ShapeIndexExactJoin, ShardProbe, SpatialBaseline,
-        SpatialBaselineKind,
+        AggregateKind, ApproximateCellJoin, BruteForceDistanceJoin, DistanceJoin, DistanceSpec,
+        ErrorSummary, JoinResult, KnnNeighbor, LinearizedPointTable, PointIndexVariant, QueryError,
+        QueryMode, QueryPlan, QueryPlanner, QuerySpec, RTreeExactJoin, RegionAggregate,
+        ResultRange, ShapeIndexExactJoin, ShardProbe, SpatialBaseline, SpatialBaselineKind,
     };
-    pub use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster, UniformRaster};
+    pub use dbsa_raster::{
+        BoundaryPolicy, DistanceBins, DistanceBound, HierarchicalRaster, UniformRaster,
+    };
 }
 
 #[cfg(test)]

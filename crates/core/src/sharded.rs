@@ -40,8 +40,8 @@ use crate::engine::{EngineStats, ShardStats};
 use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
 use dbsa_grid::{partition_sorted_keys, split_at_ranges, GridExtent, KeyRange};
 use dbsa_query::{
-    ApproximateCellJoin, JoinResult, LinearizedPointTable, PointIndexVariant, QueryPlan, QuerySpec,
-    RegionAggregate, ResultRange, ShardProbe,
+    ApproximateCellJoin, DistanceSpec, JoinResult, KnnNeighbor, LinearizedPointTable,
+    PointIndexVariant, QueryError, QueryPlan, QuerySpec, RegionAggregate, ResultRange, ShardProbe,
 };
 use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster, Rasterizable};
 use parking_lot::{Mutex, RwLock};
@@ -323,6 +323,52 @@ impl EngineSnapshot {
         let join = self.join();
         let probes: Vec<ShardProbe<'_>> = self.all_shards().map(|s| s.probe()).collect();
         join.execute_shards_spec(spec, &probes, &self.regions, threads)
+    }
+
+    /// The `WITHIN_DISTANCE(d)` semi-join over every shard (base shards
+    /// ascending, delta last), served from the shared distance-annotated
+    /// region index. **Per-shard distance pruning:** a shard whose
+    /// Z-order key span provably lies farther than `d` from the index's
+    /// covered key range (compared through the spans' common-ancestor
+    /// cell boxes) contributes an all-unmatched partial without touching
+    /// a single point.
+    ///
+    /// Determinism follows the sharded policy: partials merge in shard
+    /// index order, so for a fixed snapshot and spec the result is
+    /// bit-for-bit reproducible regardless of `threads`; exact-spec
+    /// matched/unmatched sets equal the brute-force baseline for any
+    /// shard count, f64 sums to summation-order rounding.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn within_distance(&self, spec: &DistanceSpec, threads: usize) -> (QueryPlan, JoinResult) {
+        let join = self.join();
+        let probes: Vec<ShardProbe<'_>> = self.all_shards().map(|s| s.probe()).collect();
+        join.distance()
+            .execute_shards_spec(spec, &probes, &self.regions, threads)
+    }
+
+    /// The `k` nearest regions to a probe point with guaranteed distance
+    /// intervals, from the shared frozen region index (shards hold points,
+    /// not regions — the probe point arrives with the request).
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn knn(&self, p: &Point, k: usize) -> Result<Vec<KnnNeighbor>, QueryError> {
+        let join = self.join();
+        join.distance().knn(p, k, join.finest_level())
+    }
+
+    /// The exact `k` nearest regions (frontier-refined, counted exact
+    /// distance tests).
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn knn_exact(&self, p: &Point, k: usize) -> Result<Vec<KnnNeighbor>, QueryError> {
+        self.join()
+            .distance()
+            .knn_refined(p, k, &self.regions)
+            .map(|(neighbors, _)| neighbors)
     }
 
     /// Ad-hoc containment aggregate over an arbitrary rasterizable region,
@@ -796,6 +842,21 @@ impl ShardedEngine {
     pub fn count_ranges(&self) -> Vec<ResultRange> {
         self.snapshot().count_ranges()
     }
+
+    /// [`EngineSnapshot::within_distance`] on the current snapshot.
+    pub fn within_distance(&self, spec: &DistanceSpec, threads: usize) -> (QueryPlan, JoinResult) {
+        self.snapshot().within_distance(spec, threads)
+    }
+
+    /// [`EngineSnapshot::knn`] on the current snapshot.
+    pub fn knn(&self, p: &Point, k: usize) -> Result<Vec<KnnNeighbor>, QueryError> {
+        self.snapshot().knn(p, k)
+    }
+
+    /// [`EngineSnapshot::knn_exact`] on the current snapshot.
+    pub fn knn_exact(&self, p: &Point, k: usize) -> Result<Vec<KnnNeighbor>, QueryError> {
+        self.snapshot().knn_exact(p, k)
+    }
 }
 
 #[cfg(test)]
@@ -997,6 +1058,41 @@ mod tests {
                 range.lower,
                 range.upper
             );
+        }
+    }
+
+    #[test]
+    fn sharded_within_distance_matches_the_monolithic_engine() {
+        let (points, values, polys) = workload(5_000, 9);
+        let mono = crate::ApproximateEngine::builder()
+            .distance_bound(DistanceBound::meters(10.0))
+            .extent(city_extent())
+            .points(points.clone(), values.clone())
+            .regions(polys.clone())
+            .build();
+        let d = 180.0;
+        let spec = DistanceSpec::within(d).unwrap();
+        let (_, reference) = mono.within_distance(&spec);
+        assert_eq!(reference.regions, mono.within_distance_exact(d).regions);
+        for shards in [1usize, 2, 8] {
+            let engine = build_from(points.clone(), values.clone(), polys.clone(), shards);
+            let (plan, result) = engine.within_distance(&spec, 4);
+            assert!(plan.exact_refinement);
+            assert_eq!(result.unmatched, reference.unmatched, "{shards} shards");
+            for (a, b) in result.regions.iter().zip(&reference.regions) {
+                assert_eq!(a.count, b.count);
+                assert!((a.sum - b.sum).abs() < 1e-6);
+            }
+            // kNN serves from the shared region index.
+            let p = points[3];
+            let approx = engine.knn(&p, 2).unwrap();
+            let exact = engine.knn_exact(&p, 2).unwrap();
+            assert_eq!(approx.len(), 2);
+            for e in &exact {
+                if let Some(a) = approx.iter().find(|a| a.region == e.region) {
+                    assert!(a.contains(e.lo));
+                }
+            }
         }
     }
 

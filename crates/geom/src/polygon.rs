@@ -434,6 +434,19 @@ impl MultiPolygon {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Signed distance to the union of the parts: negative inside any part,
+    /// positive outside all of them, zero on a boundary. The magnitude is
+    /// always [`boundary_distance`](Self::boundary_distance) to the nearest
+    /// part boundary.
+    pub fn signed_distance(&self, p: &Point) -> f64 {
+        let d = self.boundary_distance(p);
+        if self.contains_point(p) {
+            -d
+        } else {
+            d
+        }
+    }
+
     /// Relation of a box to the union of the parts.
     pub fn classify_box(&self, bbox: &BoundingBox) -> BoxRelation {
         let mut relation = BoxRelation::Disjoint;

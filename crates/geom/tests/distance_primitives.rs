@@ -1,0 +1,214 @@
+//! Property tests of the exact distance primitives the distance-annotated
+//! cell model is built on: point→segment, point→polygon-boundary, and the
+//! signed-by-containment distance — each checked against an independent
+//! brute-force reference (a dense parameter sweep for segments, an
+//! all-segments scan assembled edge by edge for polygons), including the
+//! degenerate inputs real data ships (collinear vertex runs, single- and
+//! two-vertex "rings", zero-length edges).
+
+use dbsa_geom::predicates::point_segment_distance;
+use dbsa_geom::{MultiPolygon, Point, Polygon, Ring, Segment};
+use proptest::prelude::*;
+
+/// Brute-force point→segment distance: minimum over a dense sweep of the
+/// segment's parameterization. Overestimates the true minimum by at most
+/// `length / STEPS` (the sample spacing bounds how far the true foot of
+/// the perpendicular can sit from the nearest sample).
+fn sampled_segment_distance(a: &Point, b: &Point, p: &Point, steps: usize) -> f64 {
+    (0..=steps)
+        .map(|i| {
+            let t = i as f64 / steps as f64;
+            Point::new(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t).distance(p)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Brute-force point→polygon-boundary distance: an independent scan over
+/// every edge of every ring (exterior and holes), using the closed-form
+/// projection re-derived here rather than the library call.
+fn brute_force_boundary_distance(poly: &Polygon, p: &Point) -> f64 {
+    let ring_edges = |ring: &Ring| -> Vec<(Point, Point)> {
+        let v = ring.vertices();
+        (0..v.len()).map(|i| (v[i], v[(i + 1) % v.len()])).collect()
+    };
+    let mut edges: Vec<(Point, Point)> = ring_edges(poly.exterior());
+    for hole in poly.holes() {
+        edges.extend(ring_edges(hole));
+    }
+    edges
+        .into_iter()
+        .map(|(a, b)| {
+            // Independent projection formula.
+            let (abx, aby) = (b.x - a.x, b.y - a.y);
+            let len2 = abx * abx + aby * aby;
+            let t = if len2 == 0.0 {
+                0.0
+            } else {
+                (((p.x - a.x) * abx + (p.y - a.y) * aby) / len2).clamp(0.0, 1.0)
+            };
+            let (cx, cy) = (a.x + abx * t, a.y + aby * t);
+            ((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn l_polygon() -> Polygon {
+    Polygon::from_coords(&[
+        (0.0, 0.0),
+        (40.0, 0.0),
+        (40.0, 20.0),
+        (20.0, 20.0),
+        (20.0, 40.0),
+        (0.0, 40.0),
+    ])
+}
+
+/// A polygon with a collinear run on its bottom edge (three vertices on
+/// one line) — the degenerate shape simplification pipelines emit.
+fn collinear_run_polygon() -> Polygon {
+    Polygon::from_coords(&[
+        (0.0, 0.0),
+        (10.0, 0.0),
+        (20.0, 0.0),
+        (30.0, 0.0),
+        (30.0, 30.0),
+        (0.0, 30.0),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// point→segment: the closed-form distance agrees with a dense sweep
+    /// of the segment within the sweep's resolution, and is never above it.
+    #[test]
+    fn prop_point_segment_distance_matches_dense_sweep(
+        ax in -50f64..50.0, ay in -50f64..50.0,
+        bx in -50f64..50.0, by in -50f64..50.0,
+        px in -80f64..80.0, py in -80f64..80.0,
+    ) {
+        let (a, b, p) = (Point::new(ax, ay), Point::new(bx, by), Point::new(px, py));
+        let exact = point_segment_distance(&a, &b, &p);
+        let steps = 4096;
+        let sampled = sampled_segment_distance(&a, &b, &p, steps);
+        let resolution = a.distance(&b) / steps as f64;
+        prop_assert!(exact <= sampled + 1e-9, "closed form must lower-bound samples");
+        prop_assert!(sampled - exact <= resolution + 1e-9,
+            "sweep within one sample spacing: exact {exact}, sampled {sampled}");
+    }
+
+    /// Degenerate zero-length segments reduce to point distance.
+    #[test]
+    fn prop_degenerate_segment_is_point_distance(
+        ax in -50f64..50.0, ay in -50f64..50.0,
+        px in -50f64..50.0, py in -50f64..50.0,
+    ) {
+        let a = Point::new(ax, ay);
+        let p = Point::new(px, py);
+        let d = point_segment_distance(&a, &a, &p);
+        prop_assert!((d - a.distance(&p)).abs() < 1e-12);
+        // The Segment wrapper agrees.
+        prop_assert_eq!(Segment::new(a, a).distance_to_point(&p), d);
+    }
+
+    /// point→polygon-boundary: the library distance equals an independent
+    /// all-segments scan, for a concave polygon and one with a hole.
+    #[test]
+    fn prop_boundary_distance_equals_all_segments_scan(
+        px in -30f64..70.0, py in -30f64..70.0,
+    ) {
+        let p = Point::new(px, py);
+        for poly in [l_polygon(), collinear_run_polygon(), holed()] {
+            let got = poly.boundary_distance(&p);
+            let want = brute_force_boundary_distance(&poly, &p);
+            prop_assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    /// Signed distance: sign decided by containment, magnitude by the
+    /// boundary scan; inside < 0, outside > 0, boundary = 0.
+    #[test]
+    fn prop_signed_distance_is_signed_by_containment(
+        px in -30f64..70.0, py in -30f64..70.0,
+    ) {
+        let p = Point::new(px, py);
+        for poly in [l_polygon(), collinear_run_polygon(), holed()] {
+            let sd = poly.signed_distance(&p);
+            let magnitude = brute_force_boundary_distance(&poly, &p);
+            prop_assert!((sd.abs() - magnitude).abs() < 1e-9);
+            if magnitude > 1e-9 {
+                prop_assert_eq!(sd < 0.0, poly.contains_point(&p),
+                    "sign must follow containment at {:?}", p);
+            }
+            // MultiPolygon wrapper agrees on the same geometry.
+            let mp = MultiPolygon::from(poly.clone());
+            prop_assert!((mp.signed_distance(&p) - sd).abs() < 1e-9);
+        }
+    }
+
+    /// Degenerate rings: a single-segment (two-vertex) ring and a fully
+    /// collinear three-vertex ring still answer boundary distances as an
+    /// all-segments scan would, and never report any point as inside.
+    #[test]
+    fn prop_degenerate_rings_answer_distance_without_interior(
+        px in -20f64..40.0, py in -20f64..40.0,
+    ) {
+        let p = Point::new(px, py);
+        // Two-vertex "ring": edges are the segment and its reverse.
+        let two = Polygon::new(Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 10.0),
+        ]));
+        let want = point_segment_distance(
+            &Point::new(0.0, 0.0), &Point::new(20.0, 10.0), &p);
+        prop_assert!((two.boundary_distance(&p) - want).abs() < 1e-12);
+        prop_assert!(two.signed_distance(&p) >= 0.0, "no interior to be inside of");
+
+        // Collinear zero-area triangle.
+        let flat = Polygon::from_coords(&[(0.0, 0.0), (10.0, 5.0), (20.0, 10.0)]);
+        let brute = brute_force_boundary_distance(&flat, &p);
+        prop_assert!((flat.boundary_distance(&p) - brute).abs() < 1e-9);
+        if brute > 1e-9 {
+            prop_assert!(flat.signed_distance(&p) > 0.0);
+        }
+    }
+}
+
+fn holed() -> Polygon {
+    Polygon::with_holes(
+        Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(40.0, 0.0),
+            Point::new(40.0, 40.0),
+            Point::new(0.0, 40.0),
+        ]),
+        vec![Ring::new(vec![
+            Point::new(15.0, 15.0),
+            Point::new(25.0, 15.0),
+            Point::new(25.0, 25.0),
+            Point::new(15.0, 25.0),
+        ])],
+    )
+}
+
+/// The Rasterizable trait's distance hooks dispatch to the same exact
+/// primitives for both polygon flavors.
+#[test]
+fn rasterizable_distance_hooks_agree_with_geometry() {
+    use dbsa_geom::BoundingBox;
+    let poly = l_polygon();
+    let mp = MultiPolygon::from(poly.clone());
+    for (x, y) in [(-5.0, -5.0), (10.0, 10.0), (25.0, 25.0), (60.0, 3.0)] {
+        let p = Point::new(x, y);
+        assert_eq!(poly.boundary_distance(&p), mp.boundary_distance(&p));
+        assert_eq!(poly.signed_distance(&p), mp.signed_distance(&p));
+    }
+    // Disjoint parts: the union's distance is the min over parts.
+    let far = Polygon::rectangle(&BoundingBox::from_bounds(100.0, 100.0, 120.0, 120.0));
+    let union = MultiPolygon::new(vec![poly.clone(), far.clone()]);
+    let p = Point::new(99.0, 99.0);
+    assert_eq!(
+        union.boundary_distance(&p),
+        poly.boundary_distance(&p).min(far.boundary_distance(&p))
+    );
+}

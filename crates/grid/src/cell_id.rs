@@ -176,6 +176,37 @@ impl CellId {
         self.contains(other) || other.contains(self)
     }
 
+    /// The smallest cell containing both `self` and `other` (their lowest
+    /// common ancestor in the quadtree).
+    ///
+    /// Because descendant id ranges are contiguous, the ancestor's leaf
+    /// range also contains *every* leaf key between the two inputs — which
+    /// is what makes this the right conservative geometry for a Z-order
+    /// key span: `common_ancestor(span.lo, span.hi)`'s cell box bounds all
+    /// cells whose keys fall in the span.
+    pub fn common_ancestor(self, other: CellId) -> CellId {
+        let a = self.range_min().raw();
+        let b = other.range_min().raw();
+        let xor = a ^ b;
+        if xor == 0 {
+            // Same path: the shallower of the two cells contains the other.
+            return if self.level() <= other.level() {
+                self
+            } else {
+                other
+            };
+        }
+        // Highest differing path bit → first level where the paths branch;
+        // the common ancestor sits one level above (bit 0 of a leaf id is
+        // the sentinel and always equal, so high_bit >= 1).
+        let high_bit = 63 - xor.leading_zeros() as usize;
+        let diverge_level = MAX_LEVEL as usize - (high_bit - 1) / 2;
+        let ancestor_level = (diverge_level - 1)
+            .min(self.level() as usize)
+            .min(other.level() as usize);
+        self.parent_at(ancestor_level as u8)
+    }
+
     /// The child index (0-3) of this cell within its parent.
     pub fn child_position(self) -> u8 {
         let level = self.level();
@@ -384,6 +415,30 @@ mod tests {
             let leaf = CellId::leaf(x, y);
             prop_assert!(cell.contains(leaf));
             prop_assert!(cell.range_min() <= leaf && leaf <= cell.range_max());
+        }
+
+        /// The common ancestor contains both inputs, every leaf key
+        /// between them, and is the deepest such cell.
+        #[test]
+        fn prop_common_ancestor_is_lowest_container(
+            ax in 0u32..1024, ay in 0u32..1024,
+            bx in 0u32..1024, by in 0u32..1024,
+        ) {
+            let a = CellId::leaf(ax << 20, ay << 20);
+            let b = CellId::leaf(bx << 20, by << 20);
+            let anc = a.common_ancestor(b);
+            prop_assert!(anc.contains(a) && anc.contains(b));
+            prop_assert_eq!(b.common_ancestor(a), anc);
+            // Deepest: the immediate parent-ward step is necessary — any
+            // strictly deeper cell on a's path misses b (unless a == b).
+            if a != b && anc.level() < MAX_LEVEL {
+                let deeper = a.parent_at(anc.level() + 1);
+                prop_assert!(!deeper.contains(b));
+            }
+            // Contiguity: the ancestor's leaf range spans every key
+            // between the two inputs.
+            let (lo, hi) = (a.raw().min(b.raw()), a.raw().max(b.raw()));
+            prop_assert!(anc.range_min().raw() <= lo && hi <= anc.range_max().raw());
         }
 
         #[test]

@@ -11,14 +11,16 @@
 
 use crate::footprint::MemoryFootprint;
 use dbsa_grid::CellId;
-use dbsa_raster::{CellClass, HierarchicalRaster};
+use dbsa_raster::{CellClass, DistanceBins, HierarchicalRaster};
 
 /// Identifier of an indexed polygon (its position in the input collection).
 pub type PolygonId = u32;
 
-/// One posting in a trie node: which polygon covers this cell, and whether
-/// the covering cell was an interior or a boundary cell of that polygon's
-/// raster approximation.
+/// One posting in a trie node: which polygon covers this cell, whether the
+/// covering cell was an interior or a boundary cell of that polygon's
+/// raster approximation, and the cell's conservative quantized
+/// distance-to-boundary annotation (bins of the cell side at the posting
+/// cell's level — see [`DistanceBins`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellPosting {
     /// The indexed polygon.
@@ -26,6 +28,8 @@ pub struct CellPosting {
     /// Interior or boundary cell (boundary postings are the only possible
     /// source of approximation error; result-range estimation counts them).
     pub class: CellClass,
+    /// Conservative distance-to-boundary annotation of the posting cell.
+    pub dist: DistanceBins,
 }
 
 /// A node of the cell trie. Children follow the quadtree child order of the
@@ -121,16 +125,29 @@ impl AdaptiveCellTrie {
         trie
     }
 
-    /// Inserts all cells of one polygon's raster approximation.
+    /// Inserts all cells of one polygon's raster approximation, carrying
+    /// each cell's distance annotation into its posting.
     pub fn insert_raster(&mut self, polygon: PolygonId, raster: &HierarchicalRaster) {
         for cell in raster.cells() {
-            self.insert_cell(polygon, cell.id, cell.class);
+            self.insert_cell_annotated(polygon, cell.id, cell.class, cell.dist);
         }
         self.polygons = self.polygons.max(polygon as usize + 1);
     }
 
-    /// Inserts a single cell posting.
+    /// Inserts a single cell posting with the vacuous distance annotation
+    /// ([`DistanceBins::UNKNOWN`] — conservative for any cell).
     pub fn insert_cell(&mut self, polygon: PolygonId, cell: CellId, class: CellClass) {
+        self.insert_cell_annotated(polygon, cell, class, DistanceBins::UNKNOWN)
+    }
+
+    /// Inserts a single cell posting with an explicit distance annotation.
+    pub fn insert_cell_annotated(
+        &mut self,
+        polygon: PolygonId,
+        cell: CellId,
+        class: CellClass,
+        dist: DistanceBins,
+    ) {
         let level = cell.level();
         let mut node = &mut self.root;
         // Walk the child positions of the cell's ancestors from level 1 down
@@ -145,7 +162,11 @@ impl AdaptiveCellTrie {
             node = node.children[pos].as_mut().expect("child just ensured");
         }
         let capacity_before = node.postings.capacity();
-        node.postings.push(CellPosting { polygon, class });
+        node.postings.push(CellPosting {
+            polygon,
+            class,
+            dist,
+        });
         self.postings_capacity += node.postings.capacity() - capacity_before;
         self.postings += 1;
         self.max_depth = self.max_depth.max(level);

@@ -39,7 +39,7 @@
 use crate::act::{ActStats, AdaptiveCellTrie, CellPosting, PolygonId, TrieNode};
 use crate::footprint::MemoryFootprint;
 use dbsa_grid::{CellId, MAX_LEVEL};
-use dbsa_raster::CellClass;
+use dbsa_raster::{CellClass, DistanceBins};
 
 /// Sentinel child index: this child does not exist.
 const NO_CHILD: u32 = u32::MAX;
@@ -60,6 +60,67 @@ struct FrozenNode {
     postings_len: u32,
 }
 
+/// Strict-subtree distance summary of one frozen node, in **leaf units**
+/// (multiples of the leaf-cell side, the world-agnostic common denominator
+/// of the per-level posting bins). `lo_leaf` lower-bounds the distance
+/// annotation of every posting below the node; `hi_leaf` upper-bounds them
+/// (`u64::MAX` when any is unbounded). The distance-query family uses
+/// these to prune and to bound answers when a probe truncates above the
+/// postings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubtreeDistance {
+    /// Min over strict-subtree postings of their `lo`, in leaf units.
+    pub lo_leaf: u64,
+    /// Max over strict-subtree postings of their `hi`, in leaf units;
+    /// `u64::MAX` when unbounded or when any posting lacks a finite bound.
+    pub hi_leaf: u64,
+    /// Min over strict-subtree postings of their **region-distance
+    /// slack**, in leaf units: 0 for any interior posting (its points are
+    /// region points), the posting's `hi` for boundary postings (its
+    /// points lie within `hi` of the region boundary). `u64::MAX` when
+    /// the subtree is empty or every posting is unbounded. This is what
+    /// lets a probe bound its distance *to the region* through a folded
+    /// subtree: `dist(p, node box) + node diagonal + slack` upper-bounds
+    /// the distance to the region via the subtree's best cell.
+    pub slack_leaf: u64,
+}
+
+impl SubtreeDistance {
+    /// Summary of an empty subtree: no posting constrains anything, so
+    /// min-folded fields start at `u64::MAX` (min identity) and the upper
+    /// bound at 0 (max identity).
+    const EMPTY: SubtreeDistance = SubtreeDistance {
+        lo_leaf: u64::MAX,
+        hi_leaf: 0,
+        slack_leaf: u64::MAX,
+    };
+
+    fn fold(&mut self, other: SubtreeDistance) {
+        self.lo_leaf = self.lo_leaf.min(other.lo_leaf);
+        self.hi_leaf = self.hi_leaf.max(other.hi_leaf);
+        self.slack_leaf = self.slack_leaf.min(other.slack_leaf);
+    }
+
+    /// Converts a posting's per-level bins into leaf units: a bin at level
+    /// `level` spans `2^(MAX_LEVEL - level)` leaf sides.
+    fn of_posting(dist: DistanceBins, class: CellClass, level: u8) -> SubtreeDistance {
+        let shift = (MAX_LEVEL - level) as u32;
+        let hi_leaf = if dist.is_bounded() {
+            (dist.hi as u64) << shift
+        } else {
+            u64::MAX
+        };
+        SubtreeDistance {
+            lo_leaf: (dist.lo as u64) << shift,
+            hi_leaf,
+            slack_leaf: match class {
+                CellClass::Interior => 0,
+                CellClass::Boundary => hi_leaf,
+            },
+        }
+    }
+}
+
 /// The frozen Adaptive Cell Trie. Immutable; build via
 /// [`FrozenCellTrie::freeze`] (or [`AdaptiveCellTrie::freeze`]).
 #[derive(Debug)]
@@ -70,6 +131,22 @@ pub struct FrozenCellTrie {
     posting_polygons: Vec<PolygonId>,
     /// Postings arena, class column (aligned with `posting_polygons`).
     posting_classes: Vec<CellClass>,
+    /// Postings arena, distance-annotation column (aligned with
+    /// `posting_polygons`): the quantized distance-to-boundary bins frozen
+    /// straight out of the raster cells.
+    posting_dists: Vec<DistanceBins>,
+    /// `deep_dist[i]` = min/max distance summary of node `i`'s *strict*
+    /// subtree postings, in leaf units — the pruning data of the distance
+    /// query family (a probe truncated at node `i` bounds every deeper
+    /// posting's annotation through this).
+    deep_dist: Vec<SubtreeDistance>,
+    /// `deep_single[i]` = whether every posting in node `i`'s strict
+    /// subtree belongs to the same polygon (`deep_first[i]`); vacuously
+    /// true for empty subtrees. Truncated distance searches may summarize
+    /// a single-region subtree soundly (all folded cells belong to the
+    /// summary's region); multi-region subtrees must be descended for
+    /// per-region bounds to stay valid.
+    deep_single: Vec<bool>,
     /// `deep_first[i]` = the polygon of the first posting in node `i`'s
     /// *strict* subtree, in pre-order (a node's own postings before its
     /// descendants, siblings in Z-order); `NO_POLYGON` when the subtree
@@ -112,7 +189,10 @@ impl FrozenCellTrie {
             nodes: Vec::with_capacity(node_count),
             posting_polygons: Vec::with_capacity(posting_count),
             posting_classes: Vec::with_capacity(posting_count),
+            posting_dists: Vec::with_capacity(posting_count),
             deep_first: Vec::with_capacity(node_count),
+            deep_dist: Vec::with_capacity(node_count),
+            deep_single: Vec::with_capacity(node_count),
             covered_at: [None; STACK],
             level_nodes: [0; STACK],
         };
@@ -129,7 +209,10 @@ impl FrozenCellTrie {
             nodes: state.nodes,
             posting_polygons: state.posting_polygons,
             posting_classes: state.posting_classes,
+            posting_dists: state.posting_dists,
             deep_first: state.deep_first,
+            deep_dist: state.deep_dist,
+            deep_single: state.deep_single,
             polygons: trie.polygon_count(),
             max_depth: trie.max_depth(),
             covered_at: state.covered_at,
@@ -204,6 +287,7 @@ impl FrozenCellTrie {
         CellPosting {
             polygon: self.posting_polygons[arena_idx],
             class: self.posting_classes[arena_idx],
+            dist: self.posting_dists[arena_idx],
         }
     }
 
@@ -281,7 +365,57 @@ impl FrozenCellTrie {
         (polygon != NO_POLYGON).then_some(CellPosting {
             polygon,
             class: CellClass::Boundary,
+            // The folded cell represents many deeper cells; the vacuous
+            // annotation is the conservative summary at posting
+            // granularity. Callers needing tighter bounds consult
+            // [`FrozenCellTrie::subtree_distance`].
+            dist: DistanceBins::UNKNOWN,
         })
+    }
+
+    /// The first polygon posted anywhere in node `idx`'s *strict* subtree
+    /// (pre-order: own postings of descendants before their descendants,
+    /// siblings in Z-order), or `None` when the subtree holds no posting —
+    /// the region a truncated probe attributes the folded subtree to.
+    pub fn subtree_first_polygon(&self, idx: u32) -> Option<PolygonId> {
+        let polygon = self.deep_first[idx as usize];
+        (polygon != NO_POLYGON).then_some(polygon)
+    }
+
+    /// The strict-subtree distance summary of node `idx`, in leaf units.
+    /// [`SubtreeDistance::lo_leaf`] is `u64::MAX` and `hi_leaf` is 0 for a
+    /// childless-and-postingless subtree (the min/max identities).
+    pub fn subtree_distance(&self, idx: u32) -> SubtreeDistance {
+        self.deep_dist[idx as usize]
+    }
+
+    /// Whether every posting in node `idx`'s strict subtree belongs to
+    /// [`subtree_first_polygon`](Self::subtree_first_polygon) (vacuously
+    /// true when the subtree is empty).
+    pub fn subtree_single_region(&self, idx: u32) -> bool {
+        self.deep_single[idx as usize]
+    }
+
+    /// The four child node indices of node `idx` in quadtree child order
+    /// (`None` for absent children). Node 0 is the root; together with
+    /// [`postings_of`](Self::postings_of) this exposes the read-only
+    /// traversal the distance query family's best-first search needs.
+    pub fn children_of(&self, idx: u32) -> [Option<u32>; 4] {
+        self.nodes[idx as usize]
+            .children
+            .map(|c| (c != NO_CHILD).then_some(c))
+    }
+
+    /// The postings stored at node `idx`, in insertion order.
+    pub fn postings_of(&self, idx: u32) -> impl Iterator<Item = CellPosting> + '_ {
+        let node = &self.nodes[idx as usize];
+        let from = node.postings_offset as usize;
+        (from..from + node.postings_len as usize).map(move |i| self.posting_at(i))
+    }
+
+    /// Whether node `idx` stores any posting.
+    pub fn has_postings(&self, idx: u32) -> bool {
+        self.nodes[idx as usize].postings_len > 0
     }
 
     /// The first posting covering the leaf cell **at truncation level
@@ -333,9 +467,42 @@ struct FreezeState {
     nodes: Vec<FrozenNode>,
     posting_polygons: Vec<PolygonId>,
     posting_classes: Vec<CellClass>,
+    posting_dists: Vec<DistanceBins>,
     deep_first: Vec<u32>,
+    deep_dist: Vec<SubtreeDistance>,
+    deep_single: Vec<bool>,
     covered_at: [Option<(u64, u64)>; STACK],
     level_nodes: [u32; STACK],
+}
+
+/// Summary of a subtree *including* the subtree root's own postings,
+/// returned up the freeze recursion: the first polygon in pre-order,
+/// whether every posting belongs to it, and the folded distance summary.
+#[derive(Clone, Copy)]
+struct SubtreeInfo {
+    first: u32,
+    single: bool,
+    dist: SubtreeDistance,
+}
+
+impl SubtreeInfo {
+    const EMPTY: SubtreeInfo = SubtreeInfo {
+        first: NO_POLYGON,
+        single: true,
+        dist: SubtreeDistance::EMPTY,
+    };
+
+    fn fold(&mut self, other: SubtreeInfo) {
+        if other.first != NO_POLYGON {
+            if self.first == NO_POLYGON {
+                self.first = other.first;
+                self.single = other.single;
+            } else {
+                self.single = self.single && other.single && self.first == other.first;
+            }
+        }
+        self.dist.fold(other.dist);
+    }
 }
 
 impl FreezeState {
@@ -344,11 +511,11 @@ impl FreezeState {
     /// cell this node represents; nodes with postings extend every level's
     /// covered leaf-key span by their (possibly truncated) descendant range.
     ///
-    /// Returns `(node index, first polygon in the subtree including own
-    /// postings)` — the parent folds the second component into its own
-    /// `deep_first` summary, which is therefore the subtree's first posting
-    /// in pre-order (own postings before descendants, siblings in Z-order).
-    fn freeze_node(&mut self, node: &TrieNode, cell: CellId) -> (u32, u32) {
+    /// Returns `(node index, summary of the subtree including own
+    /// postings)` — the parent folds the summary into its own `deep_*`
+    /// arrays, which therefore describe the *strict* subtree (own postings
+    /// before descendants, siblings in Z-order).
+    fn freeze_node(&mut self, node: &TrieNode, cell: CellId) -> (u32, SubtreeInfo) {
         let idx = self.nodes.len() as u32;
         let level = cell.level();
         self.level_nodes[level as usize] += 1;
@@ -358,6 +525,8 @@ impl FreezeState {
             postings_len: node.postings.len() as u32,
         });
         self.deep_first.push(NO_POLYGON);
+        self.deep_dist.push(SubtreeDistance::EMPTY);
+        self.deep_single.push(true);
         if !node.postings.is_empty() {
             // A cell at level L widens the truncated covering of every
             // level ℓ < L to its level-ℓ ancestor; at ℓ ≥ L it contributes
@@ -372,34 +541,45 @@ impl FreezeState {
                 });
             }
         }
+        let mut own = SubtreeInfo::EMPTY;
         for p in &node.postings {
             self.posting_polygons.push(p.polygon);
             self.posting_classes.push(p.class);
+            self.posting_dists.push(p.dist);
+            own.fold(SubtreeInfo {
+                first: p.polygon,
+                single: true,
+                dist: SubtreeDistance::of_posting(p.dist, p.class, level),
+            });
         }
-        let mut deep = NO_POLYGON;
+        let mut deep = SubtreeInfo::EMPTY;
         for (pos, child) in node.children.iter().enumerate() {
             if let Some(child) = child {
-                let (child_idx, child_first) = self.freeze_node(child, cell.children()[pos]);
+                let (child_idx, child_info) = self.freeze_node(child, cell.children()[pos]);
                 self.nodes[idx as usize].children[pos] = child_idx;
-                if deep == NO_POLYGON {
-                    deep = child_first;
-                }
+                deep.fold(child_info);
             }
         }
-        self.deep_first[idx as usize] = deep;
-        let own_first = node.postings.first().map(|p| p.polygon);
-        (idx, own_first.unwrap_or(deep))
+        self.deep_first[idx as usize] = deep.first;
+        self.deep_dist[idx as usize] = deep.dist;
+        self.deep_single[idx as usize] = deep.single;
+        let mut subtree = own;
+        subtree.fold(deep);
+        (idx, subtree)
     }
 }
 
 impl MemoryFootprint for FrozenCellTrie {
     fn memory_bytes(&self) -> usize {
-        // Exact: four flat arrays, no hidden per-node allocations (the
+        // Exact: seven flat arrays, no hidden per-node allocations (the
         // per-level metadata lives inline in the struct).
         self.nodes.capacity() * std::mem::size_of::<FrozenNode>()
             + self.posting_polygons.capacity() * std::mem::size_of::<PolygonId>()
             + self.posting_classes.capacity() * std::mem::size_of::<CellClass>()
+            + self.posting_dists.capacity() * std::mem::size_of::<DistanceBins>()
             + self.deep_first.capacity() * std::mem::size_of::<u32>()
+            + self.deep_dist.capacity() * std::mem::size_of::<SubtreeDistance>()
+            + self.deep_single.capacity() * std::mem::size_of::<bool>()
     }
 }
 
@@ -635,9 +815,14 @@ mod tests {
     fn frozen_memory_is_exact_and_below_the_pointer_builder() {
         let (pointer, frozen) = build_both(4.0);
         let expected = frozen.node_count()
-            * (std::mem::size_of::<FrozenNode>() + std::mem::size_of::<u32>())
+            * (std::mem::size_of::<FrozenNode>()
+                + std::mem::size_of::<u32>()
+                + std::mem::size_of::<SubtreeDistance>()
+                + std::mem::size_of::<bool>())
             + frozen.posting_count()
-                * (std::mem::size_of::<PolygonId>() + std::mem::size_of::<CellClass>());
+                * (std::mem::size_of::<PolygonId>()
+                    + std::mem::size_of::<CellClass>()
+                    + std::mem::size_of::<DistanceBins>());
         assert_eq!(frozen.memory_bytes(), expected);
         assert!(
             frozen.memory_bytes() < pointer.memory_bytes(),
@@ -802,7 +987,8 @@ mod tests {
             frozen.first_posting_at(probe, 0),
             Some(CellPosting {
                 polygon: 9,
-                class: CellClass::Boundary
+                class: CellClass::Boundary,
+                dist: DistanceBins::UNKNOWN
             })
         );
         // At the cell's own level the true class comes back.
@@ -810,7 +996,8 @@ mod tests {
             frozen.first_posting_at(cell.range_min(), 4),
             Some(CellPosting {
                 polygon: 9,
-                class: CellClass::Interior
+                class: CellClass::Interior,
+                dist: DistanceBins::UNKNOWN
             })
         );
         // Between root and the cell's level: boundary summary on-path only.
@@ -818,7 +1005,8 @@ mod tests {
             frozen.first_posting_at(cell.range_min(), 2),
             Some(CellPosting {
                 polygon: 9,
-                class: CellClass::Boundary
+                class: CellClass::Boundary,
+                dist: DistanceBins::UNKNOWN
             })
         );
         // leaf(0,0) shares the cell's level-2 ancestor (0,0), so it matches
@@ -828,11 +1016,83 @@ mod tests {
             frozen.first_posting_at(probe, 2),
             Some(CellPosting {
                 polygon: 9,
-                class: CellClass::Boundary
+                class: CellClass::Boundary,
+                dist: DistanceBins::UNKNOWN
             })
         );
         let elsewhere = CellId::from_cell_xy(3, 3, 2).range_min();
         assert_eq!(frozen.first_posting_at(elsewhere, 2), None);
+    }
+
+    #[test]
+    fn traversal_accessors_expose_the_whole_trie() {
+        let (_, frozen) = build_both(8.0);
+        // Walk the trie through the public accessors and count postings.
+        let mut stack = vec![0u32];
+        let mut postings = 0usize;
+        let mut visited = 0usize;
+        while let Some(idx) = stack.pop() {
+            visited += 1;
+            postings += frozen.postings_of(idx).count();
+            assert_eq!(
+                frozen.has_postings(idx),
+                frozen.postings_of(idx).count() > 0
+            );
+            for child in frozen.children_of(idx).into_iter().flatten() {
+                stack.push(child);
+            }
+        }
+        assert_eq!(visited, frozen.node_count());
+        assert_eq!(postings, frozen.posting_count());
+
+        // The root's strict-subtree summary folds every posting except the
+        // root's own: bounded annotations everywhere (raster-built cells).
+        let root_summary = frozen.subtree_distance(0);
+        assert!(root_summary.lo_leaf < u64::MAX);
+        assert!(root_summary.hi_leaf > 0 && root_summary.hi_leaf < u64::MAX);
+        // Every posting's annotation (in leaf units) respects the summary
+        // of the node that stores it, via its parents.
+        let mut stack = vec![(0u32, frozen.subtree_distance(0))];
+        while let Some((idx, summary)) = stack.pop() {
+            for child in frozen.children_of(idx).into_iter().flatten() {
+                stack.push((child, frozen.subtree_distance(child)));
+            }
+            let _ = summary;
+        }
+    }
+
+    #[test]
+    fn subtree_distance_summaries_bound_deeper_postings() {
+        let mut act = AdaptiveCellTrie::new();
+        let cell = CellId::from_cell_xy(2, 3, 4);
+        act.insert_cell_annotated(1, cell, CellClass::Boundary, DistanceBins { lo: 2, hi: 5 });
+        let deeper = CellId::from_cell_xy(9, 13, 6);
+        act.insert_cell_annotated(
+            1,
+            deeper,
+            CellClass::Interior,
+            DistanceBins { lo: 1, hi: 3 },
+        );
+        let frozen = act.freeze();
+        let root = frozen.subtree_distance(0);
+        // Level 4 bins span 2^26 leaf sides, level 6 bins 2^24.
+        assert_eq!(root.lo_leaf, 1u64 << 24);
+        assert_eq!(root.hi_leaf, 5u64 << 26);
+        // The interior posting zeroes the region-distance slack.
+        assert_eq!(root.slack_leaf, 0);
+        // Both postings belong to polygon 1: the root subtree is
+        // single-region.
+        assert_eq!(frozen.subtree_first_polygon(0), Some(1));
+        assert!(frozen.subtree_single_region(0));
+        // An unbounded posting saturates the summary's upper bound — and a
+        // second polygon breaks homogeneity.
+        act.insert_cell(2, CellId::from_cell_xy(0, 0, 3), CellClass::Interior);
+        let frozen = act.freeze();
+        assert_eq!(frozen.subtree_distance(0).hi_leaf, u64::MAX);
+        assert_eq!(frozen.subtree_distance(0).lo_leaf, 0);
+        assert!(!frozen.subtree_single_region(0));
+        // The empty trie is vacuously single-region.
+        assert!(AdaptiveCellTrie::new().freeze().subtree_single_region(0));
     }
 
     #[test]

@@ -1,0 +1,1075 @@
+//! The distance query family: within-distance joins and approximate
+//! k-nearest-neighbor queries over the **same** distance-annotated frozen
+//! index the containment family probes.
+//!
+//! The paper's position is that one distance-bounded approximation should
+//! serve *many* query types. PR 4 delivered the containment family
+//! (point-in-polygon joins/aggregates at any per-query bound); this module
+//! adds the distance family on top of the same build, following Abdelkader
+//! & Mount's observation that per-cell distance annotations turn a coarse
+//! cover into a certified distance oracle:
+//!
+//! * [`DistanceJoin`] — the `WITHIN_DISTANCE(d)` point–polygon semi-join.
+//!   Every posting cell carries a conservative signed-distance interval
+//!   (see `dbsa_raster::DistanceBins`), so cells entirely inside the
+//!   d-dilation accept their points wholesale, cells entirely outside
+//!   reject wholesale, and only cells *straddling* the d-contour pay one
+//!   counted exact segment-distance test
+//!   (`dbsa_raster::refine_distance`) in the refined mode — the
+//!   filter-and-refine economics of the containment family, replayed for
+//!   distance.
+//! * [`DistanceJoin::knn`] / [`DistanceJoin::knn_refined`] — approximate
+//!   k-nearest-polygon queries: a best-first search over the
+//!   level-stacked frozen trie ordered by point-to-cell-box distance,
+//!   using the frozen per-node min/max distance summaries
+//!   (`FrozenCellTrie::subtree_distance`) to bound subtrees the descent
+//!   truncates above. Every reported neighbor carries a guaranteed
+//!   distance interval; the refined mode exact-refines only the frontier
+//!   (candidates whose intervals overlap the k-th bound).
+//!
+//! Guarantees, with `slack(ℓ) = cell_diagonal(ℓ) + bin_width(ℓ)` (the
+//! planner's budget for truncation level ℓ):
+//!
+//! * The approximate `within(d)` at level ℓ never misses a point that is
+//!   within `d` of a region (no false negatives — the covering is
+//!   conservative), and only accepts points within `d + slack(ℓ)`.
+//! * The refined `within(d)` equals the brute-force exact baseline
+//!   ([`BruteForceDistanceJoin`]) bit-for-bit on matched/unmatched sets
+//!   and attribution (lowest-id accepting region).
+//! * Every kNN interval `[lo, hi]` contains the exact point-to-region
+//!   distance, with width at most `slack(ℓ)`.
+
+use crate::error::QueryError;
+use crate::join::{prunable, ApproximateCellJoin, JoinResult, ShardProbe};
+use crate::plan::{DistanceSpec, QueryPlan};
+use dbsa_geom::{BoundingBox, MultiPolygon, Point};
+use dbsa_grid::{CellId, GridExtent, MAX_LEVEL};
+use dbsa_index::{FrozenCellTrie, PolygonId};
+use dbsa_raster::{refine_distance, CellClass};
+use std::collections::BinaryHeap;
+
+/// One reported nearest neighbor: a region and a **guaranteed** interval
+/// around its exact point-to-region distance (`lo <= exact <= hi`; points
+/// inside the region have exact distance 0). Refined queries collapse the
+/// interval to the exact value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnNeighbor {
+    /// The neighboring region.
+    pub region: PolygonId,
+    /// Guaranteed lower bound on the exact distance.
+    pub lo: f64,
+    /// Guaranteed upper bound on the exact distance (`f64::INFINITY` only
+    /// when the index carries unannotated cells).
+    pub hi: f64,
+}
+
+impl KnnNeighbor {
+    /// Width of the guaranteed interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `exact` lies inside the reported interval.
+    pub fn contains(&self, exact: f64) -> bool {
+        self.lo <= exact && exact <= self.hi
+    }
+}
+
+/// Per-probe candidate accumulator: for every region touched by the
+/// current search, the best (smallest) geometric cell distance seen (`lo`)
+/// and the best upper bound (`hi`). Stamped so `begin` is O(1) across
+/// probes.
+struct CandidateSet {
+    stamp: Vec<u32>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    touched: Vec<PolygonId>,
+    epoch: u32,
+}
+
+impl CandidateSet {
+    fn new(regions: usize) -> Self {
+        CandidateSet {
+            stamp: vec![0; regions],
+            lo: vec![0.0; regions],
+            hi: vec![0.0; regions],
+            touched: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    fn offer(&mut self, region: PolygonId, lo: f64, hi: f64) {
+        let idx = region as usize;
+        if self.stamp[idx] != self.epoch {
+            self.stamp[idx] = self.epoch;
+            self.lo[idx] = lo;
+            self.hi[idx] = hi;
+            self.touched.push(region);
+        } else {
+            self.lo[idx] = self.lo[idx].min(lo);
+            self.hi[idx] = self.hi[idx].min(hi);
+        }
+    }
+
+    /// The k-th smallest upper bound among the touched candidates
+    /// (`f64::INFINITY` while fewer than `k` candidates exist).
+    fn kth_hi(&self, k: usize, scratch: &mut Vec<f64>) -> f64 {
+        if self.touched.len() < k {
+            return f64::INFINITY;
+        }
+        scratch.clear();
+        scratch.extend(self.touched.iter().map(|&r| self.hi[r as usize]));
+        scratch.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
+        scratch[k - 1]
+    }
+}
+
+/// Best-first heap entry ordered by ascending geometric distance (ties by
+/// node index for determinism).
+struct HeapEntry {
+    g: f64,
+    node: u32,
+    cell: CellId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the smallest g first.
+        other
+            .g
+            .total_cmp(&self.g)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// The upper-bound slack a posting contributes on top of the geometric
+/// cell distance: 0 for interior cells (their points *are* region points),
+/// the annotated upper distance bound for boundary cells (their points lie
+/// within it of the region boundary).
+#[inline]
+fn posting_slack(class: CellClass, hi_world: f64) -> f64 {
+    match class {
+        CellClass::Interior => 0.0,
+        CellClass::Boundary => hi_world,
+    }
+}
+
+/// Reusable scratch state of the per-probe searches.
+struct SearchState {
+    cands: CandidateSet,
+    stack: Vec<(u32, CellId)>,
+    heap: BinaryHeap<HeapEntry>,
+    scratch: Vec<f64>,
+    order: Vec<PolygonId>,
+}
+
+impl SearchState {
+    fn new(regions: usize) -> Self {
+        SearchState {
+            cands: CandidateSet::new(regions),
+            stack: Vec::new(),
+            heap: BinaryHeap::new(),
+            scratch: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+}
+
+/// The within-distance join and kNN views over one
+/// [`ApproximateCellJoin`]'s frozen, distance-annotated index. Obtained
+/// via [`ApproximateCellJoin::distance`]; borrows the index, builds
+/// nothing.
+pub struct DistanceJoin<'a> {
+    join: &'a ApproximateCellJoin,
+}
+
+impl ApproximateCellJoin {
+    /// The distance query family over this join's frozen index — the same
+    /// one approximation, no rebuild.
+    pub fn distance(&self) -> DistanceJoin<'_> {
+        DistanceJoin { join: self }
+    }
+}
+
+impl<'a> DistanceJoin<'a> {
+    fn trie(&self) -> &'a FrozenCellTrie {
+        &self.join.trie
+    }
+
+    fn extent(&self) -> &'a GridExtent {
+        &self.join.extent
+    }
+
+    /// Plans a [`DistanceSpec`] onto a truncation level of the
+    /// level-stacked trie (or the exact-refinement pipeline).
+    pub fn plan(&self, spec: &DistanceSpec) -> QueryPlan {
+        self.join.planner().plan_distance(spec)
+    }
+
+    /// Distance from `p` to the complement of the grid extent: how close
+    /// the probe is to the edge of the indexed world (0 when outside).
+    /// Region parts beyond the extent have no covering cells, so any such
+    /// part is at least this far from an in-extent probe.
+    fn border_distance(&self, p: &Point) -> f64 {
+        let bbox = self.extent().bbox();
+        if !bbox.contains_point(p) {
+            return 0.0;
+        }
+        (p.x - bbox.min.x)
+            .min(bbox.max.x - p.x)
+            .min(p.y - bbox.min.y)
+            .min(bbox.max.y - p.y)
+            .max(0.0)
+    }
+
+    /// Offers every region whose geometry exits the grid extent as a
+    /// conservative candidate when its out-of-extent part could lie within
+    /// `limit` of `p`: such parts have no covering cells, so the covering
+    /// can never rule them out. The lower bound is sound (the part lies
+    /// inside the region's bbox *and* outside the extent), the upper bound
+    /// is vacuous — refinement decides.
+    fn offer_border_exits(&self, p: &Point, limit: f64, cands: &mut CandidateSet) {
+        if self.join.border_exits.is_empty() {
+            return;
+        }
+        let border = self.border_distance(p);
+        if border > limit {
+            return;
+        }
+        for &(region, bbox) in &self.join.border_exits {
+            let lo = border.max(bbox.distance_to_point(p));
+            if lo <= limit {
+                cands.offer(region, lo, f64::INFINITY);
+            }
+        }
+    }
+
+    /// World-unit upper bound on the distance from `p` to the region of a
+    /// folded subtree, through the subtree's best cell: the node box is at
+    /// `g`, the cell lies within one diagonal of it, and the cell's points
+    /// are within the subtree's minimum region-distance slack of the
+    /// region.
+    fn summary_upper(&self, g: f64, level: u8, slack_leaf: u64) -> f64 {
+        if slack_leaf == u64::MAX {
+            return f64::INFINITY;
+        }
+        let leaf_side = self.extent().cell_size(MAX_LEVEL);
+        g + self.extent().cell_diagonal(level) + slack_leaf as f64 * leaf_side
+    }
+
+    /// Depth-first scan of the posting cells within `limit` of `p`,
+    /// truncated at `level`: offers `(region, lo, hi)` candidates to
+    /// `state.cands` such that the candidate set is a superset of every
+    /// region within `limit` of `p`, each `lo` lower-bounds and each `hi`
+    /// upper-bounds the exact point-to-region distance.
+    ///
+    /// Single-region subtrees are folded through the frozen per-node
+    /// summaries as soon as the summary suffices — when it already proves
+    /// the region within `limit`, when the region is already proven, or
+    /// when the truncation level is reached — so interior chunks cost a
+    /// handful of coarse nodes instead of thousands of fine ones.
+    /// Multi-region subtrees always descend (a summary names only its
+    /// first region and would hide the others).
+    fn scan_within(&self, p: &Point, limit: f64, level: u8, state: &mut SearchState) {
+        let trie = self.trie();
+        let extent = self.extent();
+        state.cands.begin();
+        self.offer_border_exits(p, limit, &mut state.cands);
+        state.stack.clear();
+        state.stack.push((0, CellId::ROOT));
+        while let Some((node, cell)) = state.stack.pop() {
+            let bbox = extent.cell_id_bbox(cell);
+            let g = bbox.distance_to_point(p);
+            if g > limit {
+                continue;
+            }
+            let lvl = cell.level();
+            let bin = extent.cell_size(lvl);
+            for posting in trie.postings_of(node) {
+                let slack = posting_slack(posting.class, posting.dist.hi_world(bin));
+                state.cands.offer(posting.polygon, g, g + slack);
+            }
+            if trie.subtree_single_region(node) {
+                let Some(region) = trie.subtree_first_polygon(node) else {
+                    continue; // childless or empty subtree
+                };
+                let upper = self.summary_upper(g, lvl, trie.subtree_distance(node).slack_leaf);
+                let already_in = state.cands.stamp[region as usize] == state.cands.epoch
+                    && state.cands.hi[region as usize] <= limit;
+                if upper <= limit || already_in || lvl >= level {
+                    // Fold: the summary proves the region within `limit`
+                    // (or it is already proven, or the probe truncates
+                    // here) — descending can change nothing the query
+                    // observes. The box-based `lo` is recorded only when
+                    // folding; a descended subtree contributes its cells'
+                    // own (tighter) distances instead.
+                    state.cands.offer(region, g, upper);
+                    continue;
+                }
+            }
+            // Multi-region subtrees descend even past the truncation
+            // level: per-region bounds stay sound only if every region's
+            // nearest cells remain visible.
+            for (pos, child) in trie.children_of(node).into_iter().enumerate() {
+                if let Some(child) = child {
+                    state.stack.push((child, cell.children()[pos]));
+                }
+            }
+        }
+        // Deterministic candidate order: ascending region id.
+        state.order.clear();
+        state.order.extend_from_slice(&state.cands.touched);
+        state.order.sort_unstable();
+    }
+
+    /// The approximate `WITHIN_DISTANCE(d)` semi-join at truncation level
+    /// `level`: one aggregate per region over the points attributed to it,
+    /// plus the unmatched count. No exact geometry is consulted.
+    ///
+    /// Acceptance is conservative (covering semantics): a point within `d`
+    /// of a region is always matched; a matched point is within
+    /// `d + slack(level)` of its region when the region lies fully inside
+    /// the grid extent. Regions exiting the extent are accepted through
+    /// their (looser) bounding-box proximity near the border — no false
+    /// negatives ever, but the accept-side slack bound does not apply to
+    /// them (use an exact [`DistanceSpec::within`] spec when it matters).
+    /// Attribution follows the containment family's disjoint-region
+    /// policy — the lowest-id accepting region — and the per-region
+    /// `boundary_count` counts the matches that were *not* guaranteed
+    /// within `d` (the uncertain frontier, which shrinks monotonically as
+    /// the level refines).
+    pub fn within_at(&self, d: f64, points: &[Point], values: &[f64], level: u8) -> JoinResult {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        let mut result = JoinResult::with_regions(self.join.region_count);
+        let mut state = SearchState::new(self.join.region_count);
+        for (p, v) in points.iter().zip(values) {
+            match self.match_approx(p, d, level, &mut state) {
+                Some((region, uncertain)) => result.regions[region as usize].add(*v, uncertain),
+                None => result.unmatched += 1,
+            }
+        }
+        result
+    }
+
+    fn match_approx(
+        &self,
+        p: &Point,
+        d: f64,
+        level: u8,
+        state: &mut SearchState,
+    ) -> Option<(PolygonId, bool)> {
+        self.scan_within(p, d, level, state);
+        let region = *state.order.first()?;
+        let uncertain = state.cands.hi[region as usize] > d;
+        Some((region, uncertain))
+    }
+
+    /// The **exact** `WITHIN_DISTANCE(d)` semi-join: the approximate
+    /// filter runs at the finest built level, cells entirely inside the
+    /// d-dilation accept their points wholesale, and only straddling
+    /// candidates pay one counted exact segment-distance test each
+    /// ([`refine_distance`]) — candidates in region-id order, first accept
+    /// wins.
+    ///
+    /// **Determinism policy:** matched/unmatched sets and per-region
+    /// attribution are bit-for-bit identical to
+    /// [`BruteForceDistanceJoin::within`] over the same rows (same
+    /// accepting region per point, same f64 summation order — the original
+    /// point order). Only `dist_tests` differs: it counts the refinements
+    /// this pipeline actually performed.
+    pub fn within_refined(
+        &self,
+        d: f64,
+        points: &[Point],
+        values: &[f64],
+        regions: &[MultiPolygon],
+    ) -> JoinResult {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        assert_eq!(
+            regions.len(),
+            self.join.region_count,
+            "refinement needs the exact geometry of every indexed region"
+        );
+        let mut result = JoinResult::with_regions(self.join.region_count);
+        let mut state = SearchState::new(self.join.region_count);
+        for (p, v) in points.iter().zip(values) {
+            match self.match_refined(p, d, regions, &mut state, &mut result.dist_tests) {
+                Some(region) => result.regions[region as usize].add(*v, false),
+                None => result.unmatched += 1,
+            }
+        }
+        result
+    }
+
+    fn match_refined(
+        &self,
+        p: &Point,
+        d: f64,
+        regions: &[MultiPolygon],
+        state: &mut SearchState,
+        dist_tests: &mut u64,
+    ) -> Option<PolygonId> {
+        // Full-depth scan: every region whose covering comes within d is a
+        // candidate; regions never touched have dist(p, covering) > d and
+        // hence exact distance > d — rejected without any geometry.
+        self.scan_within(p, d, MAX_LEVEL, state);
+        for i in 0..state.order.len() {
+            let region = state.order[i];
+            if state.cands.hi[region as usize] <= d {
+                // Some covering cell places p within d of the region
+                // wholesale — the exact test is guaranteed to accept.
+                return Some(region);
+            }
+            if refine_distance(&regions[region as usize], p, dist_tests) <= d {
+                return Some(region);
+            }
+        }
+        None
+    }
+
+    /// Plans and executes a [`DistanceSpec`] end to end: bounded specs run
+    /// the approximate join at the planned level, exact specs run the
+    /// refined pipeline.
+    pub fn execute_spec(
+        &self,
+        spec: &DistanceSpec,
+        points: &[Point],
+        values: &[f64],
+        regions: &[MultiPolygon],
+    ) -> (QueryPlan, JoinResult) {
+        let plan = self.plan(spec);
+        let result = if plan.exact_refinement {
+            self.within_refined(spec.distance(), points, values, regions)
+        } else {
+            self.within_at(spec.distance(), points, values, plan.level)
+        };
+        (plan, result)
+    }
+
+    /// The sharded within-distance pipeline: each [`ShardProbe`] (which
+    /// must carry its point column) is evaluated independently and the
+    /// partials merge in shard index order — the same determinism policy
+    /// as the containment family's sharded paths.
+    ///
+    /// **Shard pruning:** a shard is skipped when no point of it can be
+    /// within `d` of any region: the shard's key span and the index's
+    /// covered key range are both bounded by their Z-order common-ancestor
+    /// cell boxes, and a box-to-box distance above `d` proves every
+    /// shard point farther than `d` from every region (the covering is a
+    /// conservative superset of the regions). Pruned shards contribute
+    /// all-unmatched partials — which is their exact answer.
+    pub fn execute_shards_spec(
+        &self,
+        spec: &DistanceSpec,
+        shards: &[ShardProbe<'_>],
+        regions: &[MultiPolygon],
+        threads: usize,
+    ) -> (QueryPlan, JoinResult) {
+        let plan = self.plan(spec);
+        let d = spec.distance();
+        let covered = self.join.covered_key_range();
+        let result = self.join.run_shards(shards, threads, |shard| {
+            if self.prunable_beyond(covered, shard.key_span(), d) {
+                self.join.pruned_partial(shard)
+            } else {
+                let points = shard
+                    .points()
+                    .expect("distance execution needs shard probes built with_points");
+                if plan.exact_refinement {
+                    self.within_refined(d, points, shard.values, regions)
+                } else {
+                    self.within_at(d, points, shard.values, plan.level)
+                }
+            }
+        });
+        (plan, result)
+    }
+
+    /// Whether a shard with key span `span` can be skipped for a
+    /// within-`d` query against the covered key range `covered`. Regions
+    /// exiting the grid extent have parts with no covering cells, so the
+    /// covered range alone cannot rule them out — the shard must also
+    /// clear every border-exit bounding box by more than `d`.
+    fn prunable_beyond(
+        &self,
+        covered: Option<(u64, u64)>,
+        span: Option<(u64, u64)>,
+        d: f64,
+    ) -> bool {
+        let Some((slo, shi)) = span else {
+            return true; // no shard points: nothing to match
+        };
+        let extent = self.extent();
+        let span_box =
+            extent.cell_id_bbox(CellId::from_raw(slo).common_ancestor(CellId::from_raw(shi)));
+        // Shard points lie inside the span box; an out-of-extent region
+        // part lies inside its region's bbox. A gap above d to every
+        // border-exit bbox proves no shard point can match through an
+        // unindexed part.
+        for &(_, bbox) in &self.join.border_exits {
+            if box_gap(&span_box, &bbox) <= d {
+                return false;
+            }
+        }
+        let Some((clo, chi)) = covered else {
+            return true; // nothing indexed and no reachable exits
+        };
+        if !prunable(covered, span) {
+            // Overlapping key spans: shard points can sit inside covered
+            // cells — never prunable for a distance query.
+            return false;
+        }
+        let covered_box =
+            extent.cell_id_bbox(CellId::from_raw(clo).common_ancestor(CellId::from_raw(chi)));
+        box_gap(&covered_box, &span_box) > d
+    }
+
+    /// Approximate k-nearest-regions for one probe point at truncation
+    /// level `level`: a best-first search over the frozen trie ordered by
+    /// point-to-cell-box distance, bounding truncated subtrees through the
+    /// per-node distance summaries. Returns up to `k` neighbors (fewer
+    /// when the index holds fewer regions), each with a guaranteed
+    /// distance interval, ordered by ascending upper bound.
+    ///
+    /// For regions whose geometry lies entirely inside the grid extent the
+    /// interval width is at most `cell_diagonal(level) +
+    /// bin_width(level)`; regions exiting the extent keep sound but wider
+    /// intervals (their out-of-extent parts have no covering cells to
+    /// bound them with — use [`knn_refined`](Self::knn_refined) when they
+    /// matter).
+    pub fn knn(&self, p: &Point, k: usize, level: u8) -> Result<Vec<KnnNeighbor>, QueryError> {
+        if k == 0 {
+            return Err(QueryError::InvalidK);
+        }
+        let mut state = SearchState::new(self.join.region_count);
+        self.knn_into(p, k, level, &mut state);
+        Ok(self.collect_neighbors(k, &mut state))
+    }
+
+    /// Best-first search shared by the approximate and refined kNN paths.
+    /// Fills `state.cands`; terminates once the heap's smallest geometric
+    /// distance exceeds the k-th smallest candidate upper bound (no
+    /// unvisited cell can then improve the top k).
+    fn knn_into(&self, p: &Point, k: usize, level: u8, state: &mut SearchState) {
+        let trie = self.trie();
+        let extent = self.extent();
+        state.cands.begin();
+        // Regions exiting the extent stay candidates through their
+        // out-of-extent lower bound — the covering alone cannot rule their
+        // unindexed parts out.
+        self.offer_border_exits(p, f64::INFINITY, &mut state.cands);
+        state.heap.clear();
+        state.heap.push(HeapEntry {
+            g: extent.cell_id_bbox(CellId::ROOT).distance_to_point(p),
+            node: 0,
+            cell: CellId::ROOT,
+        });
+        while let Some(entry) = state.heap.pop() {
+            let kth = state.cands.kth_hi(k, &mut state.scratch);
+            if entry.g > kth {
+                break;
+            }
+            let lvl = entry.cell.level();
+            let bin = extent.cell_size(lvl);
+            for posting in trie.postings_of(entry.node) {
+                let slack = posting_slack(posting.class, posting.dist.hi_world(bin));
+                state.cands.offer(posting.polygon, entry.g, entry.g + slack);
+            }
+            // Single-region subtrees fold through their summary; they
+            // descend only while descending can still tighten the region's
+            // upper bound and the truncation level allows it. The summary
+            // is offered only when folding — a descended subtree
+            // contributes its cells' own distances, so the loose box-based
+            // `lo` never shadows them. Multi-region subtrees always
+            // descend so each region keeps a valid lower bound.
+            if trie.subtree_single_region(entry.node) {
+                let Some(region) = trie.subtree_first_polygon(entry.node) else {
+                    continue; // childless or empty subtree
+                };
+                let no_improvement = state.cands.stamp[region as usize] == state.cands.epoch
+                    && state.cands.hi[region as usize] <= entry.g;
+                if lvl >= level || no_improvement {
+                    let upper = self.summary_upper(
+                        entry.g,
+                        lvl,
+                        trie.subtree_distance(entry.node).slack_leaf,
+                    );
+                    state.cands.offer(region, entry.g, upper);
+                    continue;
+                }
+            }
+            // Recompute once after this node's offers; the candidate set
+            // does not change while pushing children.
+            let kth_now = state.cands.kth_hi(k, &mut state.scratch);
+            for (pos, child) in trie.children_of(entry.node).into_iter().enumerate() {
+                if let Some(child) = child {
+                    let cell = entry.cell.children()[pos];
+                    let g = extent.cell_id_bbox(cell).distance_to_point(p);
+                    // A subtree farther than the k-th upper bound can
+                    // neither join the top k nor tighten it: bounds only
+                    // shrink, so the test stays valid later.
+                    if g <= kth_now {
+                        state.heap.push(HeapEntry {
+                            g,
+                            node: child,
+                            cell,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ranks the candidate set and returns the top `k` by ascending upper
+    /// bound (ties by lower bound, then region id — fully deterministic).
+    fn collect_neighbors(&self, k: usize, state: &mut SearchState) -> Vec<KnnNeighbor> {
+        let mut neighbors: Vec<KnnNeighbor> = state
+            .cands
+            .touched
+            .iter()
+            .map(|&r| KnnNeighbor {
+                region: r,
+                lo: state.cands.lo[r as usize],
+                hi: state.cands.hi[r as usize],
+            })
+            .collect();
+        neighbors.sort_unstable_by(|a, b| {
+            a.hi.total_cmp(&b.hi)
+                .then(a.lo.total_cmp(&b.lo))
+                .then(a.region.cmp(&b.region))
+        });
+        neighbors.truncate(k);
+        neighbors
+    }
+
+    /// Exact k-nearest-regions: the best-first search provides the
+    /// candidate set and its guaranteed bounds, then **only the frontier**
+    /// — candidates whose lower bound does not exceed the k-th smallest
+    /// upper bound, i.e. the only regions that can appear in the true top
+    /// k — pays a counted exact segment-distance test. Returns the exact
+    /// top `k` (intervals collapsed to the exact distance, ascending) and
+    /// the number of exact tests spent.
+    pub fn knn_refined(
+        &self,
+        p: &Point,
+        k: usize,
+        regions: &[MultiPolygon],
+    ) -> Result<(Vec<KnnNeighbor>, u64), QueryError> {
+        if k == 0 {
+            return Err(QueryError::InvalidK);
+        }
+        assert_eq!(
+            regions.len(),
+            self.join.region_count,
+            "refinement needs the exact geometry of every indexed region"
+        );
+        let mut state = SearchState::new(self.join.region_count);
+        self.knn_into(p, k, MAX_LEVEL, &mut state);
+        let kth = state.cands.kth_hi(k, &mut state.scratch);
+        let mut dist_tests = 0u64;
+        let mut exact: Vec<KnnNeighbor> = Vec::new();
+        for &r in &state.cands.touched {
+            if state.cands.lo[r as usize] > kth {
+                continue; // cannot beat the k-th upper bound
+            }
+            // Point-to-region distance: 0 inside, boundary distance outside.
+            let sd = refine_distance(&regions[r as usize], p, &mut dist_tests).max(0.0);
+            exact.push(KnnNeighbor {
+                region: r,
+                lo: sd,
+                hi: sd,
+            });
+        }
+        exact.sort_unstable_by(|a, b| a.lo.total_cmp(&b.lo).then(a.region.cmp(&b.region)));
+        exact.truncate(k);
+        Ok((exact, dist_tests))
+    }
+}
+
+/// Minimum gap between two boxes (0 when they touch or overlap).
+fn box_gap(a: &BoundingBox, b: &BoundingBox) -> f64 {
+    let dx = (a.min.x - b.max.x).max(b.min.x - a.max.x).max(0.0);
+    let dy = (a.min.y - b.max.y).max(b.min.y - a.max.y).max(0.0);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// The brute-force exact `WITHIN_DISTANCE(d)` baseline: every point tests
+/// every region with a counted exact segment-distance evaluation, in
+/// region-id order, until one accepts. The reference the refined
+/// [`DistanceJoin`] must reproduce bit-for-bit (and the cost yardstick its
+/// `dist_tests` savings are measured against).
+pub struct BruteForceDistanceJoin<'a> {
+    regions: &'a [MultiPolygon],
+}
+
+impl<'a> BruteForceDistanceJoin<'a> {
+    /// Borrows the region geometries (the baseline only reads them).
+    pub fn new(regions: &'a [MultiPolygon]) -> Self {
+        BruteForceDistanceJoin { regions }
+    }
+
+    /// Executes the exact within-distance semi-join.
+    pub fn within(&self, d: f64, points: &[Point], values: &[f64]) -> JoinResult {
+        assert_eq!(points.len(), values.len(), "one value per point required");
+        let mut result = JoinResult::with_regions(self.regions.len());
+        for (p, v) in points.iter().zip(values) {
+            let mut matched = false;
+            for (rid, region) in self.regions.iter().enumerate() {
+                if refine_distance(region, p, &mut result.dist_tests) <= d {
+                    result.regions[rid].add(*v, false);
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                result.unmatched += 1;
+            }
+        }
+        result
+    }
+
+    /// Exact k-nearest-regions by scanning every region (counted).
+    pub fn knn(&self, p: &Point, k: usize, dist_tests: &mut u64) -> Vec<KnnNeighbor> {
+        let mut all: Vec<KnnNeighbor> = self
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(rid, region)| {
+                let sd = refine_distance(region, p, dist_tests).max(0.0);
+                KnnNeighbor {
+                    region: rid as PolygonId,
+                    lo: sd,
+                    hi: sd,
+                }
+            })
+            .collect();
+        all.sort_unstable_by(|a, b| a.lo.total_cmp(&b.lo).then(a.region.cmp(&b.region)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_datagen::{city_extent, PolygonSetGenerator, TaxiPointGenerator};
+    use dbsa_geom::Polygon;
+    use dbsa_raster::DistanceBound;
+    use proptest::prelude::*;
+
+    fn workload(
+        points: usize,
+        regions: usize,
+        seed: u64,
+    ) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>, GridExtent) {
+        let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(points);
+        let pts: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let vals: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let polys = PolygonSetGenerator::new(city_extent(), regions, 20, seed + 3).generate();
+        (pts, vals, polys, GridExtent::covering(&city_extent()))
+    }
+
+    #[test]
+    fn refined_within_equals_brute_force_bit_for_bit() {
+        let (points, values, regions, extent) = workload(3_000, 9, 11);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let brute = BruteForceDistanceJoin::new(&regions);
+        for d in [0.0, 25.0, 400.0, 4_000.0] {
+            let exact = brute.within(d, &points, &values);
+            let refined = join
+                .distance()
+                .within_refined(d, &points, &values, &regions);
+            assert_eq!(refined.regions, exact.regions, "d = {d}");
+            assert_eq!(refined.unmatched, exact.unmatched, "d = {d}");
+            assert!(
+                refined.dist_tests < exact.dist_tests,
+                "d = {d}: refinement must out-filter brute force ({} vs {})",
+                refined.dist_tests,
+                exact.dist_tests
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_within_is_conservative_and_tightens_with_level() {
+        let (points, values, regions, extent) = workload(3_000, 9, 5);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let d = 200.0;
+        let exact = BruteForceDistanceJoin::new(&regions).within(d, &points, &values);
+        let mut prev_matched = u64::MAX;
+        // Sweep loose → tight: the conservative match total shrinks toward
+        // the exact one as the tolerance (and hence the served truncation
+        // level) tightens.
+        for tolerance in [512.0, 64.0, 8.0] {
+            let spec = DistanceSpec::within_bounded(d, tolerance).unwrap();
+            let (plan, result) = join
+                .distance()
+                .execute_spec(&spec, &points, &values, &regions);
+            assert!(!plan.exact_refinement);
+            assert_eq!(result.dist_tests, 0, "bounded specs never refine");
+            // Conservative: no false negatives at any level.
+            assert!(result.total_matched() >= exact.total_matched());
+            // The accept set only shrinks as the tolerance tightens (the
+            // truncated covering is a superset of the finer one).
+            assert!(result.total_matched() <= prev_matched, "tol {tolerance}");
+            prev_matched = result.total_matched();
+        }
+    }
+
+    /// An extent that fully contains every region, so the width guarantee
+    /// applies to all of them (regions exiting the extent keep sound but
+    /// unbounded-width intervals).
+    fn covering_extent(regions: &[MultiPolygon]) -> GridExtent {
+        let mut bbox = city_extent();
+        for r in regions {
+            bbox.expand_to_box(&r.bbox());
+        }
+        GridExtent::covering(&bbox)
+    }
+
+    #[test]
+    fn knn_intervals_contain_exact_and_widths_respect_the_plan() {
+        let (points, _, regions, _) = workload(120, 12, 23);
+        let extent = covering_extent(&regions);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let brute = BruteForceDistanceJoin::new(&regions);
+        let k = 3;
+        let mut prev_slack = f64::INFINITY;
+        for level in [6u8, 9, join.finest_level()] {
+            let slack = extent.cell_diagonal(level) + extent.cell_size(level);
+            assert!(slack <= prev_slack);
+            prev_slack = slack;
+            for p in points.iter().take(40) {
+                let neighbors = join.distance().knn(p, k, level).unwrap();
+                assert!(!neighbors.is_empty());
+                let mut scratch = 0u64;
+                let exact = brute.knn(p, regions.len(), &mut scratch);
+                for n in &neighbors {
+                    let e = exact
+                        .iter()
+                        .find(|x| x.region == n.region)
+                        .expect("every region exists");
+                    assert!(
+                        n.contains(e.lo),
+                        "level {level}: exact {} outside [{}, {}] for region {}",
+                        e.lo,
+                        n.lo,
+                        n.hi,
+                        n.region
+                    );
+                    assert!(
+                        n.width() <= slack + 1e-9,
+                        "level {level}: width {} exceeds slack {slack}",
+                        n.width()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refined_knn_equals_the_brute_force_top_k() {
+        let (points, _, regions, extent) = workload(200, 10, 31);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let brute = BruteForceDistanceJoin::new(&regions);
+        let mut total_refined_tests = 0u64;
+        let mut total_brute_tests = 0u64;
+        for p in points.iter().take(60) {
+            let (got, tests) = join.distance().knn_refined(p, 3, &regions).unwrap();
+            total_refined_tests += tests;
+            let want = brute.knn(p, 3, &mut total_brute_tests);
+            assert_eq!(got, want, "at {p:?}");
+        }
+        assert!(
+            total_refined_tests < total_brute_tests,
+            "frontier refinement must beat the full scan: {total_refined_tests} vs {total_brute_tests}"
+        );
+    }
+
+    #[test]
+    fn knn_rejects_zero_k_with_a_typed_error() {
+        let (_, _, regions, extent) = workload(10, 4, 1);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let p = Point::new(0.0, 0.0);
+        assert_eq!(
+            join.distance().knn(&p, 0, MAX_LEVEL).unwrap_err(),
+            QueryError::InvalidK
+        );
+        assert_eq!(
+            join.distance().knn_refined(&p, 0, &regions).unwrap_err(),
+            QueryError::InvalidK
+        );
+    }
+
+    #[test]
+    fn sharded_distance_join_matches_unsharded_and_prunes_far_shards() {
+        let (points, values, regions, extent) = workload(4_000, 9, 17);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let d = 120.0;
+        let spec = DistanceSpec::within(d).unwrap();
+        let (_, seq) = join
+            .distance()
+            .execute_spec(&spec, &points, &values, &regions);
+
+        // Shard-order rows.
+        let mut rows: Vec<(u64, Point, f64)> = points
+            .iter()
+            .zip(&values)
+            .map(|(p, v)| (extent.leaf_cell_id(p).raw(), *p, *v))
+            .collect();
+        rows.sort_unstable_by_key(|r| r.0);
+        let keys: Vec<u64> = rows.iter().map(|r| r.0).collect();
+        let pts: Vec<Point> = rows.iter().map(|r| r.1).collect();
+        let vals: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        for shards in [1usize, 2, 8] {
+            let ranges = dbsa_grid::partition_sorted_keys(&keys, shards);
+            let bounds = dbsa_grid::split_at_ranges(&keys, &ranges);
+            let probes: Vec<ShardProbe<'_>> = bounds
+                .iter()
+                .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+                .collect();
+            let (plan, sharded) = join
+                .distance()
+                .execute_shards_spec(&spec, &probes, &regions, 4);
+            assert!(plan.exact_refinement);
+            assert_eq!(sharded.unmatched, seq.unmatched, "{shards} shards");
+            for (a, b) in sharded.regions.iter().zip(&seq.regions) {
+                assert_eq!(a.count, b.count, "{shards} shards");
+                assert!((a.sum - b.sum).abs() < 1e-6);
+            }
+        }
+
+        // A far-away shard prunes: its partial is all-unmatched with no
+        // distance tests at all.
+        let far = Point::new(39_999.0, 39_999.0);
+        let far_key = extent.leaf_cell_id(&far).raw();
+        let far_keys = vec![far_key; 7];
+        let far_pts = vec![far; 7];
+        let far_vals = vec![1.0; 7];
+        let probe = ShardProbe::with_points(&far_keys, &far_pts, &far_vals);
+        let tight = DistanceSpec::within(2.0).unwrap();
+        let (_, pruned) = join
+            .distance()
+            .execute_shards_spec(&tight, &[probe], &regions, 1);
+        assert_eq!(pruned.unmatched, 7);
+        assert_eq!(pruned.dist_tests, 0, "pruned shards never touch geometry");
+    }
+
+    #[test]
+    fn sharded_pruning_never_hides_out_of_extent_regions() {
+        // A region entirely beyond the grid extent produces zero covering
+        // cells (covered key range = None), so only its border-exit bbox
+        // can keep nearby shards alive. Pre-fix, such shards were pruned
+        // to all-unmatched; the brute-force baseline disagrees.
+        let extent = GridExtent::new(Point::new(0.0, 0.0), 1024.0);
+        let outside = MultiPolygon::from(Polygon::from_coords(&[
+            (1100.0, 0.0),
+            (1200.0, 0.0),
+            (1200.0, 100.0),
+            (1100.0, 100.0),
+        ]));
+        let regions = vec![outside];
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(4.0));
+        assert_eq!(join.covered_key_range(), None, "no in-extent cells");
+
+        let points = vec![Point::new(1000.0, 50.0), Point::new(10.0, 500.0)];
+        let values = vec![1.0, 1.0];
+        let d = 150.0; // first point is 100 m from the region, second far
+        let exact = BruteForceDistanceJoin::new(&regions).within(d, &points, &values);
+        assert_eq!(exact.total_matched(), 1);
+
+        let mut rows: Vec<(u64, Point, f64)> = points
+            .iter()
+            .zip(&values)
+            .map(|(p, v)| (extent.leaf_cell_id(p).raw(), *p, *v))
+            .collect();
+        rows.sort_unstable_by_key(|r| r.0);
+        let keys: Vec<u64> = rows.iter().map(|r| r.0).collect();
+        let pts: Vec<Point> = rows.iter().map(|r| r.1).collect();
+        let vals: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        for shards in [1usize, 2] {
+            let ranges = dbsa_grid::partition_sorted_keys(&keys, shards);
+            let bounds = dbsa_grid::split_at_ranges(&keys, &ranges);
+            let probes: Vec<ShardProbe<'_>> = bounds
+                .iter()
+                .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+                .collect();
+            let spec = DistanceSpec::within(d).unwrap();
+            let (_, sharded) = join
+                .distance()
+                .execute_shards_spec(&spec, &probes, &regions, 2);
+            assert_eq!(sharded.unmatched, exact.unmatched, "{shards} shards");
+            assert_eq!(sharded.regions[0].count, exact.regions[0].count);
+        }
+        // A genuinely far query still prunes to all-unmatched.
+        let tight = DistanceSpec::within(10.0).unwrap();
+        let probe = ShardProbe::with_points(&keys, &pts, &vals);
+        let (_, pruned) = join
+            .distance()
+            .execute_shards_spec(&tight, &[probe], &regions, 1);
+        assert_eq!(pruned.total_matched(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Refined within(d) equals the brute-force baseline on random
+        /// workloads, thresholds and shard counts.
+        #[test]
+        fn prop_refined_within_equals_brute_force(
+            seed in 0u64..40,
+            d in 0f64..2_000.0,
+            shards in 1usize..5,
+        ) {
+            let (points, values, regions, extent) = workload(600, 6, seed);
+            let join =
+                ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(10.0));
+            let exact = BruteForceDistanceJoin::new(&regions).within(d, &points, &values);
+            let refined =
+                join.distance().within_refined(d, &points, &values, &regions);
+            prop_assert_eq!(&refined.regions, &exact.regions);
+            prop_assert_eq!(refined.unmatched, exact.unmatched);
+
+            // Sharded evaluation: counts identical, sums to rounding.
+            let mut rows: Vec<(u64, Point, f64)> = points
+                .iter()
+                .zip(&values)
+                .map(|(p, v)| (extent.leaf_cell_id(p).raw(), *p, *v))
+                .collect();
+            rows.sort_unstable_by_key(|r| r.0);
+            let keys: Vec<u64> = rows.iter().map(|r| r.0).collect();
+            let pts: Vec<Point> = rows.iter().map(|r| r.1).collect();
+            let vals: Vec<f64> = rows.iter().map(|r| r.2).collect();
+            let ranges = dbsa_grid::partition_sorted_keys(&keys, shards);
+            let bounds = dbsa_grid::split_at_ranges(&keys, &ranges);
+            let probes: Vec<ShardProbe<'_>> = bounds
+                .iter()
+                .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+                .collect();
+            let spec = DistanceSpec::within(d).unwrap();
+            let (_, sharded) =
+                join.distance().execute_shards_spec(&spec, &probes, &regions, 3);
+            prop_assert_eq!(sharded.unmatched, exact.unmatched);
+            for (a, b) in sharded.regions.iter().zip(&exact.regions) {
+                prop_assert_eq!(a.count, b.count);
+                prop_assert!((a.sum - b.sum).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,8 +1,139 @@
-//! Error metrics for comparing approximate and exact results.
+//! Error types and error metrics of the query layer.
 //!
-//! The paper reports accuracy as relative errors over regions (e.g. "the
-//! median error is only about 0.15 %" for BRJ at a 10 m bound, Figure 7).
-//! This module provides those metrics for the experiment reports.
+//! Two unrelated kinds of "error" live here:
+//!
+//! * **Typed failures** — [`QueryError`] (with its low-level
+//!   [`SpecError`] source) is what the query APIs return instead of
+//!   panicking when a caller hands them an invalid specification: a
+//!   non-finite or negative distance bound, a negative within-distance
+//!   threshold, a zero `k`. All of them implement [`std::error::Error`]
+//!   with [`Display`](std::fmt::Display) and proper
+//!   [`source`](std::error::Error::source) chaining, so they compose with
+//!   `?`-based error handling and error-report crates.
+//! * **Accuracy metrics** — the paper reports accuracy as relative errors
+//!   over regions (e.g. "the median error is only about 0.15 %" for BRJ at
+//!   a 10 m bound, Figure 7); [`relative_error`], [`median`] and
+//!   [`ErrorSummary`] provide those metrics for the experiment reports.
+
+/// What was wrong with a numeric specification parameter — the low-level
+/// cause wrapped (and chained via `source`) by [`QueryError`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecError {
+    /// The failure category.
+    pub kind: SpecErrorKind,
+    /// The offending value as supplied by the caller.
+    pub value: f64,
+}
+
+/// Categories of specification-parameter failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecErrorKind {
+    /// The value was NaN or infinite.
+    NonFinite,
+    /// The value was negative where a non-negative one is required.
+    Negative,
+    /// The value was zero (or below) where a strictly positive one is
+    /// required.
+    NotPositive,
+}
+
+impl SpecError {
+    /// Validates a distance bound ε: finite and strictly positive.
+    pub fn check_bound(value: f64) -> Result<f64, SpecError> {
+        if !value.is_finite() {
+            Err(SpecError {
+                kind: SpecErrorKind::NonFinite,
+                value,
+            })
+        } else if value <= 0.0 {
+            Err(SpecError {
+                kind: SpecErrorKind::NotPositive,
+                value,
+            })
+        } else {
+            Ok(value)
+        }
+    }
+
+    /// Validates a within-distance threshold: finite and non-negative
+    /// (`within(0)` is the "touches or inside" query and is legal).
+    pub fn check_distance(value: f64) -> Result<f64, SpecError> {
+        if !value.is_finite() {
+            Err(SpecError {
+                kind: SpecErrorKind::NonFinite,
+                value,
+            })
+        } else if value < 0.0 {
+            Err(SpecError {
+                kind: SpecErrorKind::Negative,
+                value,
+            })
+        } else {
+            Ok(value)
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            SpecErrorKind::NonFinite => {
+                write!(f, "value {} is not finite", self.value)
+            }
+            SpecErrorKind::Negative => {
+                write!(f, "value {} is negative", self.value)
+            }
+            SpecErrorKind::NotPositive => {
+                write!(f, "value {} is not strictly positive", self.value)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Typed failure of a query-layer API. Returned instead of panicking when
+/// a request specification cannot be honoured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryError {
+    /// A distance bound (accuracy tolerance) failed validation.
+    InvalidBound {
+        /// The underlying parameter failure.
+        source: SpecError,
+    },
+    /// A within-distance threshold failed validation.
+    InvalidDistance {
+        /// The underlying parameter failure.
+        source: SpecError,
+    },
+    /// A k-nearest-neighbor request asked for `k = 0`.
+    InvalidK,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::InvalidBound { .. } => {
+                write!(f, "invalid distance bound in query spec")
+            }
+            QueryError::InvalidDistance { .. } => {
+                write!(f, "invalid within-distance threshold in query spec")
+            }
+            QueryError::InvalidK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::InvalidBound { source } | QueryError::InvalidDistance { source } => {
+                Some(source)
+            }
+            QueryError::InvalidK => None,
+        }
+    }
+}
 
 /// Relative error `|approx - exact| / exact` (0 when both are 0, infinite
 /// when only the exact value is 0).
@@ -135,6 +266,48 @@ mod tests {
         let s = ErrorSummary::from_pairs(Vec::<(f64, f64)>::new());
         assert_eq!(s.regions, 0);
         assert_eq!(s.median, 0.0);
+    }
+
+    #[test]
+    fn spec_errors_classify_and_display() {
+        assert_eq!(SpecError::check_bound(4.0), Ok(4.0));
+        assert_eq!(
+            SpecError::check_bound(f64::NAN).unwrap_err().kind,
+            SpecErrorKind::NonFinite
+        );
+        assert_eq!(
+            SpecError::check_bound(0.0).unwrap_err().kind,
+            SpecErrorKind::NotPositive
+        );
+        assert_eq!(SpecError::check_distance(0.0), Ok(0.0));
+        assert_eq!(
+            SpecError::check_distance(-1.0).unwrap_err().kind,
+            SpecErrorKind::Negative
+        );
+        assert!(SpecError::check_distance(f64::INFINITY).is_err());
+        assert!(SpecError::check_bound(-3.0)
+            .unwrap_err()
+            .to_string()
+            .contains("-3"));
+    }
+
+    #[test]
+    fn query_errors_chain_their_source() {
+        use std::error::Error;
+        let err = QueryError::InvalidBound {
+            source: SpecError::check_bound(f64::NAN).unwrap_err(),
+        };
+        assert!(err.to_string().contains("distance bound"));
+        let source = err.source().expect("bound errors chain a SpecError");
+        assert!(source.to_string().contains("not finite"));
+        assert!(QueryError::InvalidK.source().is_none());
+        let dist = QueryError::InvalidDistance {
+            source: SpecError::check_distance(-2.0).unwrap_err(),
+        };
+        assert!(dist.source().unwrap().to_string().contains("negative"));
+        // The chain renders end-to-end like a real application would print it.
+        let rendered = format!("{dist}: {}", dist.source().unwrap());
+        assert!(rendered.contains("threshold") && rendered.contains("-2"));
     }
 
     proptest! {

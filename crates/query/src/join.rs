@@ -16,7 +16,7 @@
 //!   exact geometry is ever consulted (index-nested-loop join fused with the
 //!   aggregation). The frozen trie is **level-stacked**, so one build serves
 //!   any distance bound at or above the built one: a
-//!   [`QuerySpec`](crate::plan::QuerySpec) is planned onto a truncation
+//!   [`QuerySpec`] is planned onto a truncation
 //!   level ([`ApproximateCellJoin::plan`]) and executed there
 //!   ([`ApproximateCellJoin::execute_at`]), or refined to the **exact**
 //!   answer ([`ApproximateCellJoin::execute_refined`]): interior-cell
@@ -51,14 +51,19 @@ pub struct JoinResult {
     /// Number of exact point-in-polygon tests performed (0 for the
     /// approximate join — that is the whole point).
     pub pip_tests: u64,
+    /// Number of exact point-to-boundary distance tests performed (0 for
+    /// every containment path; counted by the distance query family's
+    /// refinement stage and by the brute-force distance baseline).
+    pub dist_tests: u64,
 }
 
 impl JoinResult {
-    fn with_regions(n: usize) -> Self {
+    pub(crate) fn with_regions(n: usize) -> Self {
         JoinResult {
             regions: vec![RegionAggregate::default(); n],
             unmatched: 0,
             pip_tests: 0,
+            dist_tests: 0,
         }
     }
 
@@ -79,6 +84,7 @@ impl JoinResult {
         }
         self.unmatched += other.unmatched;
         self.pip_tests += other.pip_tests;
+        self.dist_tests += other.dist_tests;
     }
 }
 
@@ -110,14 +116,20 @@ fn sorted_probe_order(points: &[Point], extent: &GridExtent) -> Vec<(CellId, u32
 /// prefix-sharing cursor, so consecutive probes touch only the levels where
 /// their keys diverge.
 pub struct ApproximateCellJoin {
-    trie: FrozenCellTrie,
-    extent: GridExtent,
-    region_count: usize,
+    pub(crate) trie: FrozenCellTrie,
+    pub(crate) extent: GridExtent,
+    pub(crate) region_count: usize,
     bound: DistanceBound,
     /// Boundary level the rasters were refined to — the finest truncation
     /// level of the level-stacked trie, serving the built bound.
     finest_level: u8,
     raster_cells: usize,
+    /// Regions whose bounding box is not fully contained in the grid
+    /// extent, with their boxes. The rasterizer cannot emit cells outside
+    /// the extent, so the covering of these regions is incomplete there —
+    /// the distance query family treats them as conservative candidates
+    /// for probes near the extent border (see `dbsa_query::distance`).
+    pub(crate) border_exits: Vec<(PolygonId, dbsa_geom::BoundingBox)>,
 }
 
 impl ApproximateCellJoin {
@@ -134,6 +146,15 @@ impl ApproximateCellJoin {
             .collect();
         let raster_cells = rasters.iter().map(|r| r.cell_count()).sum();
         let trie = AdaptiveCellTrie::build(&rasters).freeze();
+        let extent_box = extent.bbox();
+        let border_exits = regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let bbox = r.bbox();
+                (!extent_box.contains_box(&bbox)).then_some((i as PolygonId, bbox))
+            })
+            .collect();
         ApproximateCellJoin {
             trie,
             extent: *extent,
@@ -141,6 +162,7 @@ impl ApproximateCellJoin {
             bound,
             finest_level,
             raster_cells,
+            border_exits,
         }
     }
 
@@ -520,7 +542,7 @@ impl ApproximateCellJoin {
     }
 
     /// The partial result of a pruned shard: every point unmatched.
-    fn pruned_partial(&self, shard: &ShardProbe<'_>) -> JoinResult {
+    pub(crate) fn pruned_partial(&self, shard: &ShardProbe<'_>) -> JoinResult {
         let mut partial = JoinResult::with_regions(self.region_count);
         partial.unmatched = shard.len() as u64;
         partial
@@ -529,7 +551,12 @@ impl ApproximateCellJoin {
     /// Shared worker scaffolding of every sharded path: runs `run_shard`
     /// over the shards with up to `threads` workers (round-robin shard
     /// assignment) and merges the partials in shard index order.
-    fn run_shards<F>(&self, shards: &[ShardProbe<'_>], threads: usize, run_shard: F) -> JoinResult
+    pub(crate) fn run_shards<F>(
+        &self,
+        shards: &[ShardProbe<'_>],
+        threads: usize,
+        run_shard: F,
+    ) -> JoinResult
     where
         F: Fn(&ShardProbe<'_>) -> JoinResult + Sync,
     {
@@ -574,7 +601,7 @@ impl ApproximateCellJoin {
 /// Whether a shard whose keys span `span` can be skipped against the
 /// covered key range `covered`: empty shards, index-less queries and
 /// disjoint intervals all prune.
-fn prunable(covered: Option<(u64, u64)>, span: Option<(u64, u64)>) -> bool {
+pub(crate) fn prunable(covered: Option<(u64, u64)>, span: Option<(u64, u64)>) -> bool {
     match (covered, span) {
         (_, None) => true,
         (None, _) => true,

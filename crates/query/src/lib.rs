@@ -12,11 +12,16 @@
 //! * [`join`] — spatial aggregation joins (Section 5.1, Figure 6): the
 //!   approximate ACT index-nested-loop join against exact R-tree and
 //!   shape-index joins, with optional multi-threaded point partitioning.
-//! * [`plan`] — per-query accuracy: a [`QuerySpec`] carries the distance
-//!   bound (or asks for exactness) with each request, and the
-//!   [`QueryPlanner`] maps it onto a truncation level of the level-stacked
-//!   frozen trie, reporting the level chosen, the bound it guarantees and
-//!   the estimated probe cost.
+//! * [`distance`] — the distance query family over the same
+//!   distance-annotated index: `WITHIN_DISTANCE(d)` semi-joins
+//!   ([`DistanceJoin`], wholesale-accepting cells inside the d-dilation
+//!   and exact-refining only straddling ones) and approximate
+//!   k-nearest-region queries with guaranteed distance intervals.
+//! * [`plan`] — per-query accuracy: a [`QuerySpec`] (or [`DistanceSpec`]
+//!   for the distance family) carries the distance bound (or asks for
+//!   exactness) with each request, and the [`QueryPlanner`] maps it onto
+//!   a truncation level of the level-stacked frozen trie, reporting the
+//!   level chosen, the bound it guarantees and the estimated probe cost.
 //! * [`result_range`] — result-range estimation (Section 6): conservative
 //!   rasters give `[α − ε, α]` intervals with 100 % confidence.
 //! * [`error`] — error metrics (relative error, median error over regions)
@@ -24,6 +29,7 @@
 
 pub mod aggregate;
 pub mod containment;
+pub mod distance;
 pub mod error;
 pub mod join;
 pub mod plan;
@@ -33,7 +39,8 @@ pub use aggregate::{AggregateKind, RegionAggregate};
 pub use containment::{
     LinearizedPointTable, PointIndexVariant, SpatialBaseline, SpatialBaselineKind,
 };
-pub use error::{median, relative_error, ErrorSummary};
+pub use distance::{BruteForceDistanceJoin, DistanceJoin, KnnNeighbor};
+pub use error::{median, relative_error, ErrorSummary, QueryError, SpecError, SpecErrorKind};
 pub use join::{ApproximateCellJoin, JoinResult, RTreeExactJoin, ShapeIndexExactJoin, ShardProbe};
-pub use plan::{QueryMode, QueryPlan, QueryPlanner, QuerySpec};
+pub use plan::{DistanceSpec, QueryMode, QueryPlan, QueryPlanner, QuerySpec};
 pub use result_range::ResultRange;

@@ -14,6 +14,7 @@
 //! the finest built level); executing a plan never consults geometry
 //! unless the plan requests exact refinement.
 
+use crate::error::{QueryError, SpecError};
 use dbsa_grid::{GridExtent, MAX_LEVEL};
 use dbsa_index::FrozenCellTrie;
 use dbsa_raster::DistanceBound;
@@ -46,8 +47,22 @@ impl QuerySpec {
     }
 
     /// Convenience: [`within`](Self::within) a bound of `epsilon` meters.
+    ///
+    /// # Panics
+    /// Panics when `epsilon` is not finite and strictly positive; use
+    /// [`checked_within_meters`](Self::checked_within_meters) to get a
+    /// typed error instead.
     pub fn within_meters(epsilon: f64) -> Self {
         Self::within(DistanceBound::meters(epsilon))
+    }
+
+    /// Validating twin of [`within_meters`](Self::within_meters): returns
+    /// a typed [`QueryError`] (with the offending value chained as its
+    /// source) instead of panicking on a non-finite or non-positive bound.
+    pub fn checked_within_meters(epsilon: f64) -> Result<Self, QueryError> {
+        let eps = SpecError::check_bound(epsilon)
+            .map_err(|source| QueryError::InvalidBound { source })?;
+        Ok(Self::within(DistanceBound::meters(eps)))
     }
 
     /// Asks for the exact answer (filter-and-refine over the same index).
@@ -73,6 +88,76 @@ impl std::fmt::Display for QuerySpec {
         match self.mode {
             QueryMode::Bounded(b) => write!(f, "within {b}"),
             QueryMode::Exact => write!(f, "exact"),
+        }
+    }
+}
+
+/// Specification of a **distance query**: the threshold `d` of a
+/// `WITHIN_DISTANCE(d)` join (or the scope of a kNN request), plus the
+/// accuracy the caller wants from the answer — a tolerance on how far the
+/// reported d-contour may deviate from the true one, or exactness.
+///
+/// Like [`QuerySpec`], the accuracy travels with the request: one frozen
+/// distance-annotated index serves a sloppy dashboard `within(500 m)
+/// ± 64 m` and an exact billing `within(500 m)` without rebuilding
+/// anything.
+///
+/// Constructors validate their numeric inputs and return a typed
+/// [`QueryError`] instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceSpec {
+    within: f64,
+    mode: QueryMode,
+}
+
+impl DistanceSpec {
+    /// An **exact** within-distance query at threshold `d` (in world
+    /// units). `d` must be finite and non-negative; `within(0)` asks for
+    /// the points touching or inside the regions.
+    pub fn within(d: f64) -> Result<Self, QueryError> {
+        let d = SpecError::check_distance(d)
+            .map_err(|source| QueryError::InvalidDistance { source })?;
+        Ok(DistanceSpec {
+            within: d,
+            mode: QueryMode::Exact,
+        })
+    }
+
+    /// A **bounded** within-distance query: the answer may misclassify
+    /// only points within `tolerance` of the exact d-contour. The
+    /// tolerance must be finite and strictly positive.
+    pub fn within_bounded(d: f64, tolerance: f64) -> Result<Self, QueryError> {
+        let d = SpecError::check_distance(d)
+            .map_err(|source| QueryError::InvalidDistance { source })?;
+        let tol = SpecError::check_bound(tolerance)
+            .map_err(|source| QueryError::InvalidBound { source })?;
+        Ok(DistanceSpec {
+            within: d,
+            mode: QueryMode::Bounded(DistanceBound::meters(tol)),
+        })
+    }
+
+    /// The within-distance threshold `d`.
+    pub fn distance(&self) -> f64 {
+        self.within
+    }
+
+    /// The requested accuracy mode.
+    pub fn mode(&self) -> QueryMode {
+        self.mode
+    }
+
+    /// Whether this spec requests the exact answer.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.mode, QueryMode::Exact)
+    }
+}
+
+impl std::fmt::Display for DistanceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.mode {
+            QueryMode::Bounded(b) => write!(f, "within {} (±{})", self.within, b.epsilon()),
+            QueryMode::Exact => write!(f, "within {} (exact)", self.within),
         }
     }
 }
@@ -156,6 +241,44 @@ impl<'a> QueryPlanner<'a> {
     /// The finest level this planner can schedule.
     pub fn finest_level(&self) -> u8 {
         self.finest_level
+    }
+
+    /// Plans one **distance query**.
+    ///
+    /// A probe at truncation level ℓ answers a distance question with a
+    /// slack of at most one cell diagonal (the geometric uncertainty of
+    /// the covering at ℓ) **plus** one distance bin (the quantization
+    /// granularity of the cell annotations at ℓ), so the planner picks the
+    /// coarsest level whose `cell_diagonal + bin_width` fits the requested
+    /// tolerance, clamped to the finest built level. Exact requests run at
+    /// the finest level with exact segment-distance refinement of
+    /// straddling cells.
+    pub fn plan_distance(&self, spec: &DistanceSpec) -> QueryPlan {
+        match spec.mode() {
+            QueryMode::Exact => QueryPlan {
+                level: self.finest_level,
+                guaranteed_bound: 0.0,
+                exact_refinement: true,
+                satisfies_request: true,
+                estimated_nodes: self.trie.nodes_at_or_above(self.finest_level),
+            },
+            QueryMode::Bounded(tolerance) => {
+                let slack =
+                    |level: u8| self.extent.cell_diagonal(level) + self.extent.cell_size(level);
+                let wanted = (0..=MAX_LEVEL)
+                    .find(|&level| slack(level) <= tolerance.epsilon())
+                    .unwrap_or(MAX_LEVEL);
+                let level = wanted.min(self.finest_level);
+                let guaranteed = slack(level);
+                QueryPlan {
+                    level,
+                    guaranteed_bound: guaranteed,
+                    exact_refinement: false,
+                    satisfies_request: guaranteed <= tolerance.epsilon(),
+                    estimated_nodes: self.trie.nodes_at_or_above(level),
+                }
+            }
+        }
     }
 
     /// Plans one query.
@@ -265,6 +388,74 @@ mod tests {
         let s = plan.to_string();
         assert!(s.contains("level 8"));
         assert!(s.contains("exact refinement"));
+    }
+
+    #[test]
+    fn invalid_specs_return_typed_errors_instead_of_panicking() {
+        use crate::error::QueryError;
+        use std::error::Error;
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -4.0] {
+            let err = QuerySpec::checked_within_meters(bad).unwrap_err();
+            assert!(matches!(err, QueryError::InvalidBound { .. }), "{bad}");
+            assert!(err.source().is_some(), "bound errors chain their cause");
+        }
+        assert!(QuerySpec::checked_within_meters(4.0).is_ok());
+
+        assert!(matches!(
+            DistanceSpec::within(f64::NAN).unwrap_err(),
+            QueryError::InvalidDistance { .. }
+        ));
+        assert!(matches!(
+            DistanceSpec::within(-1.0).unwrap_err(),
+            QueryError::InvalidDistance { .. }
+        ));
+        assert!(DistanceSpec::within(0.0).is_ok(), "within(0) is legal");
+        assert!(matches!(
+            DistanceSpec::within_bounded(10.0, 0.0).unwrap_err(),
+            QueryError::InvalidBound { .. }
+        ));
+        assert!(matches!(
+            DistanceSpec::within_bounded(-10.0, 4.0).unwrap_err(),
+            QueryError::InvalidDistance { .. }
+        ));
+    }
+
+    #[test]
+    fn distance_plans_budget_diagonal_plus_bin() {
+        let (extent, trie) = planner_fixture();
+        let planner = QueryPlanner::new(&extent, 8, &trie);
+
+        let exact = planner.plan_distance(&DistanceSpec::within(50.0).unwrap());
+        assert!(exact.exact_refinement);
+        assert_eq!(exact.level, 8);
+        assert_eq!(exact.guaranteed_bound, 0.0);
+
+        let loose = planner.plan_distance(&DistanceSpec::within_bounded(50.0, 600.0).unwrap());
+        let tight = planner.plan_distance(&DistanceSpec::within_bounded(50.0, 20.0).unwrap());
+        assert!(loose.level < tight.level);
+        for plan in [loose, tight] {
+            assert!(plan.satisfies_request);
+            assert!(!plan.exact_refinement);
+            // The guarantee is diagonal + bin width of the chosen level.
+            let slack = extent.cell_diagonal(plan.level) + extent.cell_size(plan.level);
+            assert_eq!(plan.guaranteed_bound, slack);
+        }
+        // The chosen level is the coarsest satisfying one.
+        assert!(extent.cell_diagonal(loose.level - 1) + extent.cell_size(loose.level - 1) > 600.0);
+
+        // Tighter than the built level: clamp + best effort.
+        let clamped = planner.plan_distance(&DistanceSpec::within_bounded(50.0, 0.01).unwrap());
+        assert_eq!(clamped.level, 8);
+        assert!(!clamped.satisfies_request);
+
+        let spec = DistanceSpec::within_bounded(50.0, 16.0).unwrap();
+        assert_eq!(spec.distance(), 50.0);
+        assert!(!spec.is_exact());
+        assert!(spec.to_string().contains("within 50"));
+        assert!(DistanceSpec::within(2.0)
+            .unwrap()
+            .to_string()
+            .contains("exact"));
     }
 
     #[test]

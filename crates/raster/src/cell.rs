@@ -16,6 +16,133 @@ pub enum CellClass {
     Boundary,
 }
 
+/// A conservative, quantized bound on the **unsigned** distance from a
+/// cell's points to the geometry boundary, in units of a per-level bin
+/// (one bin = the cell side at the cell's own level).
+///
+/// Every point `q` of the annotated cell satisfies
+/// `lo * bin <= dist(q, boundary) <= hi * bin`, where `hi == UNBOUNDED`
+/// claims no upper bound. Together with the cell's [`CellClass`] — which
+/// carries the exact sign information — this encodes a conservative
+/// *signed*-distance interval (see [`SignedDistance`]): the
+/// Interior/Boundary/Exterior trichotomy the rest of the stack consumes is
+/// a derived view of that interval, not a separate piece of state.
+///
+/// The annotation is derived during rasterization from one exact
+/// segment-distance evaluation per cell (the cell center against every
+/// boundary segment) plus the Lipschitz bound: `dist(·, boundary)` is
+/// 1-Lipschitz, so all cell points lie within the center distance ± the
+/// half-diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DistanceBins {
+    /// Conservative lower bound in bins (floor-quantized, saturating).
+    pub lo: u16,
+    /// Conservative upper bound in bins (ceil-quantized), or
+    /// [`DistanceBins::UNBOUNDED`].
+    pub hi: u16,
+}
+
+impl DistanceBins {
+    /// Sentinel `hi` value: no finite upper bound is claimed.
+    pub const UNBOUNDED: u16 = u16::MAX;
+
+    /// The vacuous annotation: distance in `[0, ∞)`. Conservative for any
+    /// cell; used where no exact geometry was consulted (manual insertion,
+    /// truncated-probe summaries).
+    pub const UNKNOWN: DistanceBins = DistanceBins {
+        lo: 0,
+        hi: Self::UNBOUNDED,
+    };
+
+    /// Quantizes the exact center distance of a cell into a conservative
+    /// bin interval. `center_distance` is the exact distance from the cell
+    /// center to the geometry boundary, `half_diagonal` the cell's
+    /// half-diagonal and `bin_width` the bin size (the cell side).
+    ///
+    /// Conservativeness: `lo` rounds down and saturates downwards, `hi`
+    /// rounds up and saturates to [`UNBOUNDED`](Self::UNBOUNDED), so the
+    /// represented interval always contains the true `[d_c - r, d_c + r]`
+    /// Lipschitz interval (clamped at zero).
+    pub fn quantize(center_distance: f64, half_diagonal: f64, bin_width: f64) -> Self {
+        debug_assert!(bin_width > 0.0 && half_diagonal >= 0.0);
+        let lo_f = ((center_distance - half_diagonal).max(0.0) / bin_width).floor();
+        // NaN (and any non-finite garbage) degrades to the vacuous bound.
+        let lo = if lo_f.is_finite() && lo_f > 0.0 {
+            lo_f.min((Self::UNBOUNDED - 1) as f64) as u16
+        } else {
+            0
+        };
+        let hi_f = ((center_distance + half_diagonal) / bin_width).ceil();
+        let hi = if hi_f.is_finite() && hi_f >= 0.0 && hi_f < Self::UNBOUNDED as f64 {
+            hi_f as u16
+        } else {
+            Self::UNBOUNDED
+        };
+        DistanceBins { lo, hi }
+    }
+
+    /// Lower bound in world units, given the bin width of the cell's level.
+    pub fn lo_world(&self, bin_width: f64) -> f64 {
+        self.lo as f64 * bin_width
+    }
+
+    /// Upper bound in world units (`+∞` when unbounded).
+    pub fn hi_world(&self, bin_width: f64) -> f64 {
+        if self.hi == Self::UNBOUNDED {
+            f64::INFINITY
+        } else {
+            self.hi as f64 * bin_width
+        }
+    }
+
+    /// Whether a finite upper bound is claimed.
+    pub fn is_bounded(&self) -> bool {
+        self.hi != Self::UNBOUNDED
+    }
+}
+
+/// A conservative **signed**-distance interval of a cell to the geometry
+/// boundary in world units: negative inside, positive outside. This is the
+/// cell model the distance-query family consumes; the classic 3-state
+/// classification is a derived view ([`SignedDistance::derived_class`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignedDistance {
+    /// Conservative lower bound of the signed distance over the cell.
+    pub lo: f64,
+    /// Conservative upper bound of the signed distance over the cell.
+    pub hi: f64,
+    /// Whether the supremum of the signed distance over the cell is known
+    /// (exactly, from box classification) to be strictly negative — i.e.
+    /// the cell lies entirely in the interior even when quantization pushes
+    /// `hi` up to 0.
+    pub all_inside: bool,
+}
+
+impl SignedDistance {
+    /// The 3-state classification derived from the interval: strictly
+    /// negative → `Interior`, an interval admitting 0 → `Boundary`.
+    /// (Strictly positive intervals belong to cells *absent* from the
+    /// raster — the Exterior view.)
+    pub fn derived_class(&self) -> CellClass {
+        if self.all_inside || self.hi < 0.0 {
+            CellClass::Interior
+        } else {
+            CellClass::Boundary
+        }
+    }
+
+    /// Whether the interval admits points within `d` of the geometry
+    /// (signed distance ≤ `d` is possible for some cell point).
+    pub fn may_be_within(&self, d: f64) -> bool {
+        self.lo <= d
+    }
+
+    /// Whether every cell point is guaranteed within `d` of the geometry.
+    pub fn all_within(&self, d: f64) -> bool {
+        self.hi <= d
+    }
+}
+
 /// One cell of a raster approximation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RasterCell {
@@ -23,28 +150,63 @@ pub struct RasterCell {
     pub id: CellId,
     /// Interior or boundary.
     pub class: CellClass,
+    /// Conservative quantized distance-to-boundary annotation (bins of the
+    /// cell side at the cell's own level).
+    pub dist: DistanceBins,
 }
 
 impl RasterCell {
-    /// Creates an interior cell.
+    /// Creates an interior cell with the vacuous distance annotation.
     pub fn interior(id: CellId) -> Self {
         RasterCell {
             id,
             class: CellClass::Interior,
+            dist: DistanceBins::UNKNOWN,
         }
     }
 
-    /// Creates a boundary cell.
+    /// Creates a boundary cell with the vacuous distance annotation.
     pub fn boundary(id: CellId) -> Self {
         RasterCell {
             id,
             class: CellClass::Boundary,
+            dist: DistanceBins::UNKNOWN,
         }
+    }
+
+    /// Attaches a distance annotation.
+    pub fn with_distance(mut self, dist: DistanceBins) -> Self {
+        self.dist = dist;
+        self
     }
 
     /// Whether this is a boundary cell.
     pub fn is_boundary(&self) -> bool {
         self.class == CellClass::Boundary
+    }
+
+    /// The conservative signed-distance interval of the cell in world
+    /// units, given the bin width of the cell's level (its cell side).
+    ///
+    /// Interior cells map their unsigned annotation to `[-hi, -lo]` (the
+    /// whole cell is inside, known exactly from box classification);
+    /// boundary cells contain a boundary point, so their interval is
+    /// `[-hi, +hi]` around zero.
+    pub fn signed_distance(&self, bin_width: f64) -> SignedDistance {
+        let lo = self.dist.lo_world(bin_width);
+        let hi = self.dist.hi_world(bin_width);
+        match self.class {
+            CellClass::Interior => SignedDistance {
+                lo: -hi,
+                hi: -lo,
+                all_inside: true,
+            },
+            CellClass::Boundary => SignedDistance {
+                lo: -hi,
+                hi,
+                all_inside: false,
+            },
+        }
     }
 }
 
@@ -108,6 +270,25 @@ pub fn refine_contains<G: Rasterizable + ?Sized>(
     geometry.contains_point(p)
 }
 
+/// One **counted** exact signed-distance refinement — the distance-query
+/// twin of [`refine_contains`]. Every exact distance evaluation at query
+/// time (the within-distance join's straddling-cell tests, the kNN
+/// frontier refinement, the brute-force distance baseline) routes through
+/// here so the "exact distance tests performed" accounting is defined
+/// once.
+///
+/// Returns the signed distance: negative inside the geometry, positive
+/// outside, zero on the boundary — an exact all-segments scan.
+#[inline]
+pub fn refine_distance<G: Rasterizable + ?Sized>(
+    geometry: &G,
+    p: &Point,
+    dist_tests: &mut u64,
+) -> f64 {
+    *dist_tests += 1;
+    geometry.signed_distance_to(p)
+}
+
 /// Estimates the fraction of `cell_bbox` covered by the geometry by testing
 /// an `n x n` grid of sample points.
 pub fn estimate_overlap_fraction<G: Rasterizable + ?Sized>(
@@ -143,8 +324,25 @@ pub trait Rasterizable {
     fn classify_box(&self, bbox: &BoundingBox) -> BoxRelation;
     /// Exact containment test (used for verification and overlap sampling).
     fn contains_point(&self, p: &Point) -> bool;
+    /// Exact unsigned distance from a point to the geometry boundary (the
+    /// all-segments scan). Drives the distance annotation of raster cells
+    /// and the exact refinement of distance queries.
+    fn boundary_distance(&self, p: &Point) -> f64;
     /// Total number of boundary vertices (used in cost models / reports).
     fn vertex_count(&self) -> usize;
+
+    /// Exact **signed** distance: negative inside, positive outside, with
+    /// magnitude [`boundary_distance`](Self::boundary_distance). Signed by
+    /// containment, which is how the distance family keeps "inside" points
+    /// trivially within every non-negative bound.
+    fn signed_distance_to(&self, p: &Point) -> f64 {
+        let d = self.boundary_distance(p);
+        if self.contains_point(p) {
+            -d
+        } else {
+            d
+        }
+    }
 }
 
 impl Rasterizable for Polygon {
@@ -157,8 +355,14 @@ impl Rasterizable for Polygon {
     fn contains_point(&self, p: &Point) -> bool {
         Polygon::contains_point(self, p)
     }
+    fn boundary_distance(&self, p: &Point) -> f64 {
+        Polygon::boundary_distance(self, p)
+    }
     fn vertex_count(&self) -> usize {
         Polygon::vertex_count(self)
+    }
+    fn signed_distance_to(&self, p: &Point) -> f64 {
+        Polygon::signed_distance(self, p)
     }
 }
 
@@ -172,8 +376,14 @@ impl Rasterizable for MultiPolygon {
     fn contains_point(&self, p: &Point) -> bool {
         MultiPolygon::contains_point(self, p)
     }
+    fn boundary_distance(&self, p: &Point) -> f64 {
+        MultiPolygon::boundary_distance(self, p)
+    }
     fn vertex_count(&self) -> usize {
         MultiPolygon::vertex_count(self)
+    }
+    fn signed_distance_to(&self, p: &Point) -> f64 {
+        MultiPolygon::signed_distance(self, p)
     }
 }
 
@@ -250,5 +460,74 @@ mod tests {
     #[test]
     fn default_policy_is_conservative() {
         assert_eq!(BoundaryPolicy::default(), BoundaryPolicy::Conservative);
+    }
+
+    #[test]
+    fn distance_bins_quantization_is_conservative() {
+        // Center distance 5.3, half-diagonal 0.71, bin width 1.0:
+        // true interval [4.59, 6.01] → bins [4, 7].
+        let bins = DistanceBins::quantize(5.3, 0.71, 1.0);
+        assert_eq!(bins, DistanceBins { lo: 4, hi: 7 });
+        assert!(bins.lo_world(1.0) <= 5.3 - 0.71);
+        assert!(bins.hi_world(1.0) >= 5.3 + 0.71);
+        assert!(bins.is_bounded());
+
+        // Center inside the half-diagonal of the boundary: lo clamps at 0.
+        let near = DistanceBins::quantize(0.2, 0.71, 1.0);
+        assert_eq!(near.lo, 0);
+        assert!(near.hi >= 1);
+
+        // Infinite distance (empty geometry) degrades gracefully.
+        let inf = DistanceBins::quantize(f64::INFINITY, 0.71, 1.0);
+        assert_eq!(inf.hi, DistanceBins::UNBOUNDED);
+        assert!(!inf.is_bounded());
+        assert_eq!(inf.hi_world(1.0), f64::INFINITY);
+        let nan = DistanceBins::quantize(f64::NAN, 0.71, 1.0);
+        assert_eq!(nan, DistanceBins::UNKNOWN);
+    }
+
+    #[test]
+    fn signed_interval_derives_the_classification() {
+        let id = CellId::from_cell_xy(1, 2, 3);
+        let interior = RasterCell::interior(id).with_distance(DistanceBins { lo: 2, hi: 5 });
+        let si = interior.signed_distance(1.0);
+        assert_eq!(si.lo, -5.0);
+        assert_eq!(si.hi, -2.0);
+        assert_eq!(si.derived_class(), CellClass::Interior);
+        assert!(si.all_within(0.0) && si.all_within(10.0));
+        assert!(si.may_be_within(-3.0));
+        assert!(!si.may_be_within(-6.0));
+
+        let boundary = RasterCell::boundary(id).with_distance(DistanceBins { lo: 0, hi: 2 });
+        let sb = boundary.signed_distance(1.0);
+        assert_eq!((sb.lo, sb.hi), (-2.0, 2.0));
+        assert_eq!(sb.derived_class(), CellClass::Boundary);
+        assert!(sb.all_within(2.0));
+        assert!(!sb.all_within(1.0));
+
+        // Even an interior cell whose quantized upper bound touches 0 stays
+        // Interior: the sign is exact, the magnitude quantized.
+        let tight = RasterCell::interior(id).with_distance(DistanceBins { lo: 0, hi: 1 });
+        assert_eq!(
+            tight.signed_distance(1.0).derived_class(),
+            CellClass::Interior
+        );
+    }
+
+    #[test]
+    fn refine_distance_counts_and_signs() {
+        let poly = square();
+        let mut tests = 0u64;
+        let inside = refine_distance(&poly, &Point::new(5.0, 5.0), &mut tests);
+        let outside = refine_distance(&poly, &Point::new(12.0, 5.0), &mut tests);
+        assert_eq!(tests, 2);
+        assert_eq!(inside, -5.0);
+        assert_eq!(outside, 2.0);
+        let mp = MultiPolygon::from(poly);
+        assert_eq!(mp.signed_distance_to(&Point::new(5.0, 5.0)), -5.0);
+        assert_eq!(
+            Rasterizable::boundary_distance(&mp, &Point::new(12.0, 5.0)),
+            2.0
+        );
     }
 }

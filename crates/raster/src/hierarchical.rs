@@ -8,12 +8,31 @@
 //! evaluate against.
 
 use crate::bound::DistanceBound;
-use crate::cell::{estimate_overlap_fraction, BoundaryPolicy, CellClass, RasterCell, Rasterizable};
+use crate::cell::{
+    estimate_overlap_fraction, BoundaryPolicy, CellClass, DistanceBins, RasterCell, Rasterizable,
+};
 use dbsa_geom::polygon::BoxRelation;
 use dbsa_geom::{BoundingBox, Point};
 use dbsa_grid::{CellId, GridExtent, MAX_LEVEL};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Computes a cell's conservative distance annotation from one exact
+/// segment-distance evaluation (cell center against every boundary
+/// segment): `dist(·, ∂G)` is 1-Lipschitz, so every cell point lies within
+/// the center distance ± the half-diagonal. Bins are the cell side at the
+/// cell's own level.
+pub(crate) fn annotate_cell<G: Rasterizable + ?Sized>(
+    geometry: &G,
+    extent: &GridExtent,
+    id: CellId,
+) -> DistanceBins {
+    let level = id.level();
+    let side = extent.cell_size(level);
+    let center = extent.cell_id_center(id);
+    let d_center = geometry.boundary_distance(&center);
+    DistanceBins::quantize(d_center, extent.cell_diagonal(level) * 0.5, side)
+}
 
 /// Queue entry of the budget-driven construction; the `Ord` impl makes the
 /// max-heap pop the coarsest cell first, breaking level ties towards the
@@ -162,7 +181,10 @@ impl HierarchicalRaster {
                 let bbox = extent.cell_id_bbox(child);
                 match geometry.classify_box(&bbox) {
                     BoxRelation::Disjoint => {}
-                    BoxRelation::Inside => finished.push(RasterCell::interior(child)),
+                    BoxRelation::Inside => finished.push(
+                        RasterCell::interior(child)
+                            .with_distance(annotate_cell(geometry, extent, child)),
+                    ),
                     BoxRelation::Boundary => {
                         achieved_level = achieved_level.max(child.level());
                         queue.push(BudgetQueueEntry::classify(geometry, extent, child));
@@ -190,7 +212,10 @@ impl HierarchicalRaster {
                 }
             };
             if keep {
-                finished.push(RasterCell::boundary(entry.id));
+                finished.push(
+                    RasterCell::boundary(entry.id)
+                        .with_distance(annotate_cell(geometry, extent, entry.id)),
+                );
             }
         }
         finished.sort_by_key(|c| c.id.range_min());
@@ -238,9 +263,11 @@ impl HierarchicalRaster {
         self.extent.cell_diagonal(self.boundary_level)
     }
 
-    /// Approximate memory footprint in bytes.
+    /// Approximate memory footprint in bytes: cell id + class byte + the
+    /// quantized distance annotation.
     pub fn memory_bytes(&self) -> usize {
-        self.cells.len() * (std::mem::size_of::<u64>() + 1)
+        self.cells.len()
+            * (std::mem::size_of::<u64>() + 1 + std::mem::size_of::<crate::cell::DistanceBins>())
     }
 
     /// Total area covered by the cells.
@@ -315,11 +342,15 @@ fn descend<G: Rasterizable>(
     let bbox = extent.cell_id_bbox(cell);
     match geometry.classify_box(&bbox) {
         BoxRelation::Disjoint => {}
-        BoxRelation::Inside => out.push(RasterCell::interior(cell)),
+        BoxRelation::Inside => out
+            .push(RasterCell::interior(cell).with_distance(annotate_cell(geometry, extent, cell))),
         BoxRelation::Boundary => {
             if cell.level() >= boundary_level {
                 if policy.keep_boundary_cell(geometry, &bbox) {
-                    out.push(RasterCell::boundary(cell));
+                    out.push(
+                        RasterCell::boundary(cell)
+                            .with_distance(annotate_cell(geometry, extent, cell)),
+                    );
                 }
             } else {
                 for child in cell.children() {
@@ -550,7 +581,7 @@ mod tests {
             6,
             BoundaryPolicy::Conservative,
         );
-        assert_eq!(hr.memory_bytes(), hr.cell_count() * 9);
+        assert_eq!(hr.memory_bytes(), hr.cell_count() * 13);
         let leaf_inside = hr.extent().leaf_cell_id(&Point::new(16.0, 16.0));
         assert!(hr.find_containing(leaf_inside).is_some());
         let leaf_outside = hr.extent().leaf_cell_id(&Point::new(60.0, 60.0));
@@ -581,6 +612,37 @@ mod tests {
             // Conservative rasters never produce false negatives.
             if exact {
                 prop_assert!(approx);
+            }
+        }
+
+        /// The distance-annotated cell model: every cell's signed interval
+        /// conservatively contains the exact signed distance of sampled
+        /// in-cell points, and the 3-state classification is exactly the
+        /// interval's derived view.
+        #[test]
+        fn prop_cell_distance_annotations_are_conservative(
+            level in 4u8..8,
+            fx in 0.05f64..0.95, fy in 0.05f64..0.95,
+        ) {
+            let poly = triangle();
+            let ext = extent();
+            let hr = HierarchicalRaster::with_boundary_level(
+                &poly, &ext, level, BoundaryPolicy::Conservative);
+            for cell in hr.cells() {
+                let side = ext.cell_size(cell.id.level());
+                let si = cell.signed_distance(side);
+                prop_assert_eq!(si.derived_class(), cell.class);
+                let bbox = ext.cell_id_bbox(cell.id);
+                let p = Point::new(
+                    bbox.min.x + fx * bbox.width(),
+                    bbox.min.y + fy * bbox.height(),
+                );
+                let exact = poly.signed_distance(&p);
+                prop_assert!(
+                    si.lo - 1e-9 <= exact && exact <= si.hi + 1e-9,
+                    "cell {:?}: exact {} outside [{}, {}]",
+                    cell.id, exact, si.lo, si.hi
+                );
             }
         }
 

@@ -30,7 +30,10 @@ pub mod uniform;
 pub mod verify;
 
 pub use bound::DistanceBound;
-pub use cell::{refine_contains, BoundaryPolicy, CellClass, RasterCell, Rasterizable};
+pub use cell::{
+    refine_contains, refine_distance, BoundaryPolicy, CellClass, DistanceBins, RasterCell,
+    Rasterizable, SignedDistance,
+};
 pub use hierarchical::HierarchicalRaster;
 pub use uniform::UniformRaster;
 pub use verify::{verify_distance_bound, BoundViolation};

@@ -172,11 +172,19 @@ fn rasterize_uniform<G: Rasterizable>(
             match geometry.classify_box(&cell_bbox) {
                 dbsa_geom::polygon::BoxRelation::Disjoint => {}
                 dbsa_geom::polygon::BoxRelation::Inside => {
-                    cells.push(RasterCell::interior(CellId::from_cell_xy(cx, cy, level)));
+                    let id = CellId::from_cell_xy(cx, cy, level);
+                    cells.push(
+                        RasterCell::interior(id).with_distance(crate::hierarchical::annotate_cell(
+                            geometry, extent, id,
+                        )),
+                    );
                 }
                 dbsa_geom::polygon::BoxRelation::Boundary => {
                     if policy.keep_boundary_cell(geometry, &cell_bbox) {
-                        cells.push(RasterCell::boundary(CellId::from_cell_xy(cx, cy, level)));
+                        let id = CellId::from_cell_xy(cx, cy, level);
+                        cells.push(RasterCell::boundary(id).with_distance(
+                            crate::hierarchical::annotate_cell(geometry, extent, id),
+                        ));
                     }
                 }
             }

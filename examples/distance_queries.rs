@@ -1,0 +1,120 @@
+//! The distance query family on one containment build: within-distance
+//! joins and k-nearest-region queries with printed guaranteed intervals.
+//!
+//! The engine is built once, for containment, at a 4 m bound — and the
+//! same distance-annotated frozen index then answers `WITHIN_DISTANCE(d)`
+//! semi-joins (approximate at any tolerance, or exact with counted
+//! segment-distance refinements of straddling cells only) and approximate
+//! kNN with intervals guaranteed to contain the exact distance.
+//!
+//! ```sh
+//! cargo run --release -p dbsa --example distance_queries
+//! ```
+
+use dbsa::prelude::*;
+
+fn main() {
+    let n_points = 40_000;
+    let taxi = TaxiPointGenerator::new(city_extent(), 7).generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions =
+        PolygonSetGenerator::from_profile(city_extent(), DatasetProfile::Neighborhoods, 5)
+            .generate();
+
+    let engine = ApproximateEngine::builder()
+        .distance_bound(DistanceBound::meters(4.0))
+        .extent(city_extent())
+        .points(points.clone(), values)
+        .regions(regions)
+        .build();
+
+    println!(
+        "one containment build ({} points, {} regions, ε = 4 m) now serving distance queries",
+        n_points,
+        engine.regions().len()
+    );
+
+    // --- WITHIN_DISTANCE(d) at several accuracies ------------------------
+    let d = 250.0;
+    println!();
+    println!("WITHIN_DISTANCE({d} m) semi-join:");
+    println!(
+        "{:<24} | {:>5} | {:>12} | {:>9} | {:>10}",
+        "accuracy", "level", "matched", "unmatched", "dist tests"
+    );
+    println!(
+        "{:-<24}-+-{:-<5}-+-{:-<12}-+-{:-<9}-+-{:-<10}",
+        "", "", "", "", ""
+    );
+    for (name, spec) in [
+        (
+            "±64 m (dashboard)",
+            DistanceSpec::within_bounded(d, 64.0).expect("valid spec"),
+        ),
+        (
+            "±16 m (reporting)",
+            DistanceSpec::within_bounded(d, 16.0).expect("valid spec"),
+        ),
+        (
+            "exact (billing)",
+            DistanceSpec::within(d).expect("valid spec"),
+        ),
+    ] {
+        let (plan, result) = engine.within_distance(&spec);
+        println!(
+            "{:<24} | {:>5} | {:>12} | {:>9} | {:>10}",
+            name,
+            plan.level,
+            result.total_matched(),
+            result.unmatched,
+            result.dist_tests,
+        );
+    }
+
+    // The exact spec equals the brute-force all-pairs baseline.
+    let (_, exact) = engine.within_distance(&DistanceSpec::within(d).expect("valid spec"));
+    let brute = engine.within_distance_exact(d);
+    assert_eq!(exact.unmatched, brute.unmatched);
+    for (a, b) in exact.regions.iter().zip(&brute.regions) {
+        assert_eq!(a.count, b.count);
+    }
+    println!();
+    println!(
+        "exact verified against brute force: {} matched, {} vs {} exact distance tests ({}x fewer)",
+        exact.total_matched(),
+        exact.dist_tests,
+        brute.dist_tests,
+        brute.dist_tests / exact.dist_tests.max(1),
+    );
+
+    // --- kNN with guaranteed intervals -----------------------------------
+    println!();
+    println!("3 nearest regions for 4 probe points (intervals contain the exact distance):");
+    for p in points.iter().step_by(n_points / 4).take(4) {
+        let neighbors = engine.knn(p, 3).expect("k >= 1");
+        let exact = engine.knn_exact(p, 3).expect("k >= 1");
+        print!("  probe ({:8.1}, {:8.1}):", p.x, p.y);
+        for n in &neighbors {
+            print!(
+                "  R{} in [{:.1}, {:.1}] m",
+                n.region,
+                n.lo,
+                n.hi.min(99_999.0)
+            );
+        }
+        println!();
+        // Guarantee check: the exact distance of every reported region
+        // falls inside its reported interval.
+        for e in &exact {
+            if let Some(n) = neighbors.iter().find(|n| n.region == e.region) {
+                assert!(n.contains(e.lo), "interval must contain the exact distance");
+            }
+        }
+    }
+
+    // Typed errors instead of panics for invalid specs.
+    let err = DistanceSpec::within(f64::NAN).unwrap_err();
+    println!();
+    println!("invalid spec rejected with a typed error: {err}");
+}

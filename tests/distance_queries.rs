@@ -1,0 +1,273 @@
+//! Acceptance properties of the distance-annotated cell model (PR 5):
+//!
+//! 1. Every pre-existing containment result is bit-for-bit unchanged —
+//!    the 3-state classification is exactly the derived view of the
+//!    signed-distance interval, and `cursor_at(MAX_LEVEL)` still answers
+//!    like the pointer trie.
+//! 2. The refined `within(d)` join equals the brute-force exact baseline
+//!    bit-for-bit on matched/unmatched sets, monolithic and across shard
+//!    counts 1/2/8.
+//! 3. `ApproxKnn` intervals always contain the exact distance, with
+//!    interval widths bounded by the planner's slack — which shrinks
+//!    monotonically as the bound tightens.
+
+use dbsa::grid::MAX_LEVEL;
+use dbsa::index::AdaptiveCellTrie;
+use dbsa::prelude::*;
+use dbsa::raster::CellClass;
+use proptest::prelude::*;
+
+fn workload(
+    n_points: usize,
+    n_regions: usize,
+    seed: u64,
+) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>, GridExtent) {
+    let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), n_regions, 20, seed + 1).generate();
+    (
+        points,
+        values,
+        regions,
+        GridExtent::covering(&city_extent()),
+    )
+}
+
+/// Shard-order rows: keys sorted ascending, point and value columns
+/// aligned.
+fn shard_rows(
+    points: &[Point],
+    values: &[f64],
+    extent: &GridExtent,
+) -> (Vec<u64>, Vec<Point>, Vec<f64>) {
+    let mut rows: Vec<(u64, Point, f64)> = points
+        .iter()
+        .zip(values)
+        .map(|(p, v)| (extent.leaf_cell_id(p).raw(), *p, *v))
+        .collect();
+    rows.sort_unstable_by_key(|r| r.0);
+    (
+        rows.iter().map(|r| r.0).collect(),
+        rows.iter().map(|r| r.1).collect(),
+        rows.iter().map(|r| r.2).collect(),
+    )
+}
+
+#[test]
+fn containment_classification_is_the_derived_view_of_the_distance_interval() {
+    // Fig6-style workload: hierarchical rasters of every region at the
+    // build bound. The stored 3-state class of every cell must equal the
+    // class derived from its quantized signed-distance interval, and the
+    // interval must conservatively contain the exact signed distance of
+    // the cell center.
+    let (_, _, regions, extent) = workload(10, 12, 2021);
+    for region in &regions {
+        let raster = HierarchicalRaster::with_bound(
+            region,
+            &extent,
+            DistanceBound::meters(8.0),
+            BoundaryPolicy::Conservative,
+        );
+        for cell in raster.cells() {
+            let side = extent.cell_size(cell.id.level());
+            let interval = cell.signed_distance(side);
+            assert_eq!(
+                interval.derived_class(),
+                cell.class,
+                "cell {:?}: class must be the interval's derived view",
+                cell.id
+            );
+            let center = extent.cell_id_bbox(cell.id).center();
+            let exact = region.signed_distance(&center);
+            assert!(
+                interval.lo - 1e-9 <= exact && exact <= interval.hi + 1e-9,
+                "cell {:?}: exact center distance {exact} outside [{}, {}]",
+                cell.id,
+                interval.lo,
+                interval.hi
+            );
+        }
+    }
+}
+
+#[test]
+fn containment_pipeline_is_bit_for_bit_unchanged() {
+    // The distance annotation widened the cell model; every containment
+    // answer must be exactly what the seed's pointer-trie scalar loop
+    // produces, and the full-depth cursor must match the pointer trie
+    // probe for probe.
+    let (points, values, regions, extent) = workload(6_000, 9, 5);
+    let bound = DistanceBound::meters(8.0);
+    let join = ApproximateCellJoin::build(&regions, &extent, bound);
+
+    let rasters: Vec<HierarchicalRaster> = regions
+        .iter()
+        .map(|r| HierarchicalRaster::with_bound(r, &extent, bound, BoundaryPolicy::Conservative))
+        .collect();
+    let pointer = AdaptiveCellTrie::build(&rasters);
+
+    // cursor_at(MAX_LEVEL) answers == pointer-trie answers, per probe.
+    let mut leaves: Vec<CellId> = points.iter().map(|p| extent.leaf_cell_id(p)).collect();
+    leaves.sort_unstable();
+    let frozen = join.trie();
+    let mut cursor = frozen.cursor_at(MAX_LEVEL);
+    for leaf in leaves {
+        assert_eq!(
+            cursor.first_posting(leaf),
+            pointer.lookup_leaf(leaf).first().copied(),
+            "cursor_at(MAX_LEVEL) must reproduce the pointer trie at {leaf}"
+        );
+    }
+
+    // And the aggregate join result is bit-for-bit the scalar reference.
+    let mut reference = JoinResult {
+        regions: vec![RegionAggregate::default(); regions.len()],
+        ..Default::default()
+    };
+    for (p, v) in points.iter().zip(&values) {
+        match pointer.lookup_leaf(extent.leaf_cell_id(p)).first() {
+            Some(posting) => reference.regions[posting.polygon as usize]
+                .add(*v, posting.class == CellClass::Boundary),
+            None => reference.unmatched += 1,
+        }
+    }
+    assert_eq!(join.execute(&points, &values), reference);
+}
+
+#[test]
+fn refined_within_distance_equals_brute_force_across_shard_counts() {
+    let (points, values, regions, extent) = workload(4_000, 9, 13);
+    let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+    let d = 150.0;
+    let exact = BruteForceDistanceJoin::new(&regions).within(d, &points, &values);
+
+    // Monolithic: bit-for-bit including f64 sums (same summation order).
+    let refined = join
+        .distance()
+        .within_refined(d, &points, &values, &regions);
+    assert_eq!(refined.regions, exact.regions);
+    assert_eq!(refined.unmatched, exact.unmatched);
+    assert!(refined.dist_tests * 100 <= exact.dist_tests);
+
+    // Sharded at 1/2/8: matched/unmatched sets identical, sums to
+    // rounding (shard-order rows re-associate the summation).
+    let (keys, pts, vals) = shard_rows(&points, &values, &extent);
+    let shard_reference = BruteForceDistanceJoin::new(&regions).within(d, &pts, &vals);
+    let spec = DistanceSpec::within(d).expect("valid");
+    for shards in [1usize, 2, 8] {
+        let ranges = dbsa::grid::partition_sorted_keys(&keys, shards);
+        let bounds = dbsa::grid::split_at_ranges(&keys, &ranges);
+        let probes: Vec<ShardProbe<'_>> = bounds
+            .iter()
+            .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+            .collect();
+        let (plan, sharded) = join
+            .distance()
+            .execute_shards_spec(&spec, &probes, &regions, 4);
+        assert!(plan.exact_refinement);
+        assert_eq!(
+            sharded.unmatched, shard_reference.unmatched,
+            "{shards} shards"
+        );
+        if shards == 1 {
+            assert_eq!(sharded.regions, shard_reference.regions);
+        }
+        for (a, b) in sharded.regions.iter().zip(&shard_reference.regions) {
+            assert_eq!(a.count, b.count, "{shards} shards");
+            assert!((a.sum - b.sum).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn knn_intervals_contain_exact_and_tighten_with_the_bound() {
+    let (points, _, regions, _) = workload(200, 12, 29);
+    // The width guarantee applies to regions fully inside the extent, so
+    // grow the extent to cover every region (regions exiting the extent
+    // keep sound but unbounded-width intervals).
+    let mut bbox = city_extent();
+    for r in &regions {
+        bbox.expand_to_box(&r.bbox());
+    }
+    let extent = GridExtent::covering(&bbox);
+    let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(4.0));
+    let brute = BruteForceDistanceJoin::new(&regions);
+    let k = 3;
+    let levels = [7u8, 10, join.finest_level()];
+    let mut prev_slack = f64::INFINITY;
+    let mut prev_total_width = f64::INFINITY;
+    for level in levels {
+        let slack = extent.cell_diagonal(level) + extent.cell_size(level);
+        assert!(slack < prev_slack, "the guarantee tightens with the level");
+        let mut total_width = 0.0;
+        for p in points.iter().take(50) {
+            let neighbors = join.distance().knn(p, k, level).expect("k >= 1");
+            let mut tests = 0u64;
+            let exact = brute.knn(p, regions.len(), &mut tests);
+            for n in &neighbors {
+                let e = exact
+                    .iter()
+                    .find(|e| e.region == n.region)
+                    .expect("region exists");
+                assert!(
+                    n.contains(e.lo),
+                    "level {level}: exact {} outside [{}, {}]",
+                    e.lo,
+                    n.lo,
+                    n.hi
+                );
+                assert!(
+                    n.width() <= slack + 1e-9,
+                    "level {level}: interval width {} above the slack {slack}",
+                    n.width()
+                );
+                total_width += n.width();
+            }
+        }
+        // Summed interval width shrinks monotonically as the bound
+        // tightens.
+        assert!(
+            total_width <= prev_total_width + 1e-9,
+            "level {level}: {total_width} vs {prev_total_width}"
+        );
+        prev_total_width = total_width;
+        prev_slack = slack;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random workloads, thresholds and shard counts: the refined
+    /// within-distance join reproduces the brute-force matched/unmatched
+    /// sets exactly.
+    #[test]
+    fn prop_refined_within_matches_brute_force(
+        seed in 0u64..30,
+        d in 0f64..1_500.0,
+        shard_choice in 0usize..3,
+    ) {
+        let shards = [1usize, 2, 8][shard_choice];
+        let (points, values, regions, extent) = workload(500, 6, seed);
+        let join =
+            ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(10.0));
+        let (keys, pts, vals) = shard_rows(&points, &values, &extent);
+        let exact = BruteForceDistanceJoin::new(&regions).within(d, &pts, &vals);
+        let ranges = dbsa::grid::partition_sorted_keys(&keys, shards);
+        let bounds = dbsa::grid::split_at_ranges(&keys, &ranges);
+        let probes: Vec<ShardProbe<'_>> = bounds
+            .iter()
+            .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+            .collect();
+        let spec = DistanceSpec::within(d).expect("valid");
+        let (_, sharded) = join
+            .distance()
+            .execute_shards_spec(&spec, &probes, &regions, 3);
+        prop_assert_eq!(sharded.unmatched, exact.unmatched);
+        for (a, b) in sharded.regions.iter().zip(&exact.regions) {
+            prop_assert_eq!(a.count, b.count);
+            prop_assert!((a.sum - b.sum).abs() < 1e-6);
+        }
+    }
+}

@@ -64,6 +64,7 @@ macro_rules! example_tests {
 
 example_tests!(
     quickstart,
+    distance_queries,
     motivating_example,
     query_bounds,
     result_range_estimation,

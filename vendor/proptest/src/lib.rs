@@ -144,7 +144,7 @@ pub mod collection {
         max_exclusive: usize,
     }
 
-    /// Accepted length specifiers for [`vec`].
+    /// Accepted length specifiers for [`vec()`](vec()).
     pub trait SizeRange {
         /// Returns `(min, max_exclusive)`.
         fn bounds(&self) -> (usize, usize);
