@@ -18,9 +18,11 @@
 
 use dbsa::prelude::*;
 use dbsa_bench::{
-    fmt_ms, json_output_path, mean_time, print_header, timed, JsonReport, JsonValue, Workload,
+    fmt_ms, json_output_path, mean_time, percentile, print_header, timed, JsonReport, JsonValue,
+    Workload,
 };
 use std::sync::Arc;
+use std::time::Duration;
 
 const N_POINTS: usize = 300_000;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -140,13 +142,17 @@ fn main() {
     }
 
     // Concurrent clients against one shared 8-shard engine: every client
-    // clones a snapshot and queries it lock-free.
+    // clones a snapshot and queries it lock-free, timing each query so the
+    // row reports per-query latency percentiles, not just wall-clock qps.
     println!();
     println!(
-        "{:<28} | {:>10} | {:>12} | {:>10}",
-        "concurrent clients (8 sh)", "wall time", "queries/s", "vs 1 cli"
+        "{:<28} | {:>10} | {:>12} | {:>10} | {:>10} | {:>10}",
+        "concurrent clients (8 sh)", "wall time", "queries/s", "vs 1 cli", "p50", "p99"
     );
-    println!("{:-<28}-+-{:-<10}-+-{:-<12}-+-{:-<10}", "", "", "", "");
+    println!(
+        "{:-<28}-+-{:-<10}-+-{:-<12}-+-{:-<10}-+-{:-<10}-+-{:-<10}",
+        "", "", "", "", "", ""
+    );
     let engine = Arc::new(
         ShardedEngine::builder()
             .distance_bound(bound)
@@ -158,33 +164,44 @@ fn main() {
     );
     let mut one_client_qps = 0.0f64;
     for &clients in &CLIENT_COUNTS {
-        let ((), wall) = timed(|| {
+        let (latencies, wall) = timed(|| {
             let handles: Vec<_> = (0..clients)
                 .map(|_| {
                     let engine = Arc::clone(&engine);
                     std::thread::spawn(move || {
                         let snapshot = engine.snapshot();
+                        let mut latencies = Vec::with_capacity(QUERIES_PER_CLIENT);
                         for _ in 0..QUERIES_PER_CLIENT {
-                            std::hint::black_box(snapshot.aggregate_by_region());
+                            let ((), elapsed) = timed(|| {
+                                std::hint::black_box(snapshot.aggregate_by_region());
+                            });
+                            latencies.push(elapsed);
                         }
+                        latencies
                     })
                 })
                 .collect();
+            let mut all: Vec<Duration> = Vec::with_capacity(clients * QUERIES_PER_CLIENT);
             for h in handles {
-                h.join().expect("client panicked");
+                all.extend(h.join().expect("client panicked"));
             }
+            all
         });
         let queries = (clients * QUERIES_PER_CLIENT) as f64;
         let qps = queries / wall.as_secs_f64();
         if clients == 1 {
             one_client_qps = qps;
         }
+        let p50 = percentile(&latencies, 50.0);
+        let p99 = percentile(&latencies, 99.0);
         println!(
-            "{:<28} | {:>10} | {:>12.2} | {:>9.2}x",
+            "{:<28} | {:>10} | {:>12.2} | {:>9.2}x | {:>10} | {:>10}",
             format!("{clients} clients x {QUERIES_PER_CLIENT} queries"),
             fmt_ms(wall),
             qps,
-            qps / one_client_qps
+            qps / one_client_qps,
+            fmt_ms(p50),
+            fmt_ms(p99)
         );
         report.push_row(&[
             ("mode", JsonValue::Str("concurrent_clients".into())),
@@ -197,6 +214,8 @@ fn main() {
             ("wall_ms", JsonValue::Num(wall.as_secs_f64() * 1e3)),
             ("queries_per_sec", JsonValue::Num(qps)),
             ("qps_vs_1_client", JsonValue::Num(qps / one_client_qps)),
+            ("p50_ms", JsonValue::Num(p50.as_secs_f64() * 1e3)),
+            ("p99_ms", JsonValue::Num(p99.as_secs_f64() * 1e3)),
         ]);
     }
 

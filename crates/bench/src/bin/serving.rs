@@ -1,0 +1,329 @@
+//! Serving — throughput and latency of the concurrent serving tier
+//! (`QueryService`) on the Figure 6 workload (300 k points,
+//! neighborhood-profile regions, 4 m bound, 8 shards).
+//!
+//! Three scenarios, each sweeping 1–64 simulated closed-loop clients:
+//!
+//! * **uniform** — every client issues the same finest-level bounded
+//!   aggregate (the query class of the `scaling` bin's
+//!   `concurrent_clients` rows, so qps is apples-to-apples). Identical
+//!   queries in one batch execute **once** and fan the result out, so
+//!   throughput grows with batch occupancy instead of being serialized.
+//! * **mixed** — a rotating menu of bounded aggregates at two bounds, an
+//!   exact aggregate, a bounded within-distance semi-join and a kNN probe:
+//!   the realistic case where batches share multi-level cursor walks.
+//! * **overload** — a burst into a tiny admission queue: rejected
+//!   submissions return `QueryError::Overloaded` at the caller and are
+//!   counted, admitted ones all complete.
+//!
+//! Every row reports qps plus per-query p50/p99 (submission →
+//! fulfillment, queueing included) and the batch-occupancy counter deltas
+//! from `ShardedEngine::stats().serving`.
+//!
+//! Acceptance bar: uniform qps at 8 clients ≥ 2× the `scaling` bin's
+//! snapshot-per-client figure (154.8 qps → bar 309.6).
+
+use dbsa::prelude::*;
+use dbsa_bench::{
+    fmt_ms, json_output_path, percentile, print_header, timed, JsonReport, JsonValue, Workload,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N_POINTS: usize = 300_000;
+const CLIENT_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+const QUERIES_PER_CLIENT: usize = 3;
+const BASELINE_8_CLIENT_QPS: f64 = 154.8;
+const ACCEPTANCE_FACTOR: f64 = 2.0;
+
+fn request_menu(bound: DistanceBound) -> Vec<(&'static str, QueryRequest)> {
+    vec![
+        (
+            "agg_finest",
+            QueryRequest::Aggregate(QuerySpec::within(bound)),
+        ),
+        (
+            "agg_64m",
+            QueryRequest::Aggregate(QuerySpec::within_meters(64.0)),
+        ),
+        ("agg_exact", QueryRequest::Aggregate(QuerySpec::exact())),
+        (
+            "within_50m",
+            QueryRequest::WithinDistance(DistanceSpec::within(50.0).expect("valid distance")),
+        ),
+        (
+            "knn_3",
+            QueryRequest::Knn {
+                probe: Point::new(12_000.0, 14_000.0),
+                k: 3,
+            },
+        ),
+    ]
+}
+
+struct StepOutcome {
+    latencies: Vec<Duration>,
+    wall: Duration,
+    rejected: u64,
+}
+
+/// Runs `clients` closed-loop client threads against the service, each
+/// issuing `QUERIES_PER_CLIENT` requests from `pick`, waiting each one
+/// out. Returns per-query submission→fulfillment latencies, the wall
+/// time, and how many submissions were rejected.
+fn run_clients<F>(service: &Arc<QueryService>, clients: usize, pick: F) -> StepOutcome
+where
+    F: Fn(usize, usize) -> QueryRequest + Copy + Send + 'static,
+{
+    let (per_client, wall) = timed(|| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = Arc::clone(service);
+                std::thread::spawn(move || {
+                    let mut latencies = Vec::with_capacity(QUERIES_PER_CLIENT);
+                    let mut rejected = 0u64;
+                    for round in 0..QUERIES_PER_CLIENT {
+                        match service.submit(pick(c, round)) {
+                            Ok(ticket) => {
+                                let done = ticket.wait();
+                                assert!(done.outcome.is_ok(), "benchmark queries are valid");
+                                latencies.push(done.total);
+                            }
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                    (latencies, rejected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut latencies = Vec::new();
+    let mut rejected = 0;
+    for (lat, rej) in per_client {
+        latencies.extend(lat);
+        rejected += rej;
+    }
+    StepOutcome {
+        latencies,
+        wall,
+        rejected,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report_step(
+    report: &mut JsonReport,
+    scenario: &str,
+    clients: usize,
+    outcome: &StepOutcome,
+    before: &ServingStats,
+    after: &ServingStats,
+    one_client_qps: f64,
+) -> f64 {
+    let completed = outcome.latencies.len() as u64;
+    let qps = completed as f64 / outcome.wall.as_secs_f64();
+    let p50 = percentile(&outcome.latencies, 50.0);
+    let p99 = percentile(&outcome.latencies, 99.0);
+    let batches = after.batches - before.batches;
+    let batched = after.batched_queries - before.batched_queries;
+    let occupancy = if batches == 0 {
+        0.0
+    } else {
+        batched as f64 / batches as f64
+    };
+    println!(
+        "{:<22} | {:>10} | {:>9.2} | {:>8.2}x | {:>10} | {:>10} | {:>6.2} | {:>8}",
+        format!("{scenario}: {clients} clients"),
+        fmt_ms(outcome.wall),
+        qps,
+        if one_client_qps > 0.0 {
+            qps / one_client_qps
+        } else {
+            1.0
+        },
+        fmt_ms(p50),
+        fmt_ms(p99),
+        occupancy,
+        outcome.rejected
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str(scenario.into())),
+        ("clients", JsonValue::Int(clients as u64)),
+        ("queries_completed", JsonValue::Int(completed)),
+        ("rejected", JsonValue::Int(outcome.rejected)),
+        ("wall_ms", JsonValue::Num(outcome.wall.as_secs_f64() * 1e3)),
+        ("queries_per_sec", JsonValue::Num(qps)),
+        ("p50_ms", JsonValue::Num(p50.as_secs_f64() * 1e3)),
+        ("p99_ms", JsonValue::Num(p99.as_secs_f64() * 1e3)),
+        ("batches", JsonValue::Int(batches)),
+        ("mean_batch_occupancy", JsonValue::Num(occupancy)),
+        (
+            "max_batch_occupancy",
+            JsonValue::Int(after.max_batch.max(before.max_batch)),
+        ),
+    ]);
+    qps
+}
+
+fn main() {
+    let json_path = json_output_path();
+    let bound = DistanceBound::meters(4.0);
+    let config = dbsa::ExperimentConfig {
+        experiment: "serving".into(),
+        points: N_POINTS,
+        regions: 0, // Neighborhoods profile below
+        vertices_per_region: 0,
+        distance_bounds: vec![4.0],
+        precision_levels: vec![],
+        seed: 2021,
+    };
+    print_header(
+        "Serving",
+        "concurrent serving tier: cross-query batching, admission control, latency accounting",
+        &config,
+    );
+    let mut report = JsonReport::new("serving", &config);
+
+    let workload = Workload::from_profile(N_POINTS, DatasetProfile::Neighborhoods, config.seed);
+    let engine = Arc::new(
+        ShardedEngine::builder()
+            .distance_bound(bound)
+            .extent(workload.extent_bbox())
+            .points(workload.points.clone(), workload.values.clone())
+            .regions(workload.regions.clone())
+            .shards(8)
+            .build(),
+    );
+
+    println!(
+        "{:<22} | {:>10} | {:>9} | {:>9} | {:>10} | {:>10} | {:>6} | {:>8}",
+        "scenario", "wall time", "qps", "vs 1 cli", "p50", "p99", "batch", "rejected"
+    );
+    println!(
+        "{:-<22}-+-{:-<10}-+-{:-<9}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<6}-+-{:-<8}",
+        "", "", "", "", "", "", "", ""
+    );
+
+    // Scenario 1 — uniform: the scaling bin's query class through the
+    // batching scheduler. Identical queries per batch execute once.
+    let service = Arc::new(engine.serve(ServingConfig::default()));
+    let uniform = move |_c: usize, _round: usize| QueryRequest::Aggregate(QuerySpec::within(bound));
+    let mut uniform_8_client_qps = 0.0f64;
+    let mut one_client_qps = 0.0f64;
+    for &clients in &CLIENT_COUNTS {
+        let before = engine.stats().serving;
+        let outcome = run_clients(&service, clients, uniform);
+        let after = engine.stats().serving;
+        let qps = report_step(
+            &mut report,
+            "uniform",
+            clients,
+            &outcome,
+            &before,
+            &after,
+            one_client_qps,
+        );
+        if clients == 1 {
+            one_client_qps = qps;
+        }
+        if clients == 8 {
+            uniform_8_client_qps = qps;
+        }
+    }
+    service.shutdown();
+
+    // Scenario 2 — mixed: rotating realistic menu; batches share
+    // multi-level walks across different bounds and query classes.
+    println!();
+    let service = Arc::new(engine.serve(ServingConfig::default()));
+    let mixed = move |c: usize, round: usize| {
+        let menu = request_menu(bound);
+        menu[(c + round) % menu.len()].1
+    };
+    let mut one_client_qps = 0.0f64;
+    for &clients in &CLIENT_COUNTS {
+        let before = engine.stats().serving;
+        let outcome = run_clients(&service, clients, mixed);
+        let after = engine.stats().serving;
+        let qps = report_step(
+            &mut report,
+            "mixed",
+            clients,
+            &outcome,
+            &before,
+            &after,
+            one_client_qps,
+        );
+        if clients == 1 {
+            one_client_qps = qps;
+        }
+    }
+    service.shutdown();
+
+    // Scenario 3 — overload: 32 clients burst slow exact queries into a
+    // capacity-4 queue; the surplus is rejected with a typed error.
+    println!();
+    let service = Arc::new(engine.serve(ServingConfig {
+        queue_capacity: 4,
+        max_batch: 4,
+        threads: 1,
+    }));
+    let slow = |_c: usize, _round: usize| QueryRequest::Aggregate(QuerySpec::exact());
+    let before = engine.stats().serving;
+    let outcome = run_clients(&service, 32, slow);
+    let after = engine.stats().serving;
+    report_step(&mut report, "overload", 32, &outcome, &before, &after, 0.0);
+    service.shutdown();
+    let stats = engine.stats().serving;
+    assert_eq!(
+        stats.admitted, stats.completed,
+        "every admitted query completed"
+    );
+
+    let bar = BASELINE_8_CLIENT_QPS * ACCEPTANCE_FACTOR;
+    let pass = uniform_8_client_qps >= bar;
+    println!();
+    println!(
+        "acceptance: uniform 8-client qps = {uniform_8_client_qps:.1} \
+         (bar: >= {bar:.1}, i.e. {ACCEPTANCE_FACTOR}x the scaling bin's {BASELINE_8_CLIENT_QPS} qps) \
+         -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "lifetime serving counters: {} admitted, {} completed, {} rejected, \
+         {} batches (mean occupancy {:.2}, peak {})",
+        stats.admitted,
+        stats.completed,
+        stats.rejected,
+        stats.batches,
+        stats.mean_batch(),
+        stats.max_batch
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str("summary".into())),
+        (
+            "qps_8_clients_uniform",
+            JsonValue::Num(uniform_8_client_qps),
+        ),
+        (
+            "baseline_qps_8_clients",
+            JsonValue::Num(BASELINE_8_CLIENT_QPS),
+        ),
+        ("bar", JsonValue::Num(bar)),
+        (
+            "pass",
+            JsonValue::Str(if pass { "true" } else { "false" }.into()),
+        ),
+        ("total_admitted", JsonValue::Int(stats.admitted)),
+        ("total_completed", JsonValue::Int(stats.completed)),
+        ("total_rejected", JsonValue::Int(stats.rejected)),
+        ("mean_batch_occupancy", JsonValue::Num(stats.mean_batch())),
+        ("max_batch_occupancy", JsonValue::Int(stats.max_batch)),
+    ]);
+
+    report.write_if_requested(json_path.as_deref());
+}

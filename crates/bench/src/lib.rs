@@ -123,6 +123,18 @@ pub fn fmt_ms(d: Duration) -> String {
     format!("{:.2} ms", d.as_secs_f64() * 1e3)
 }
 
+/// The `p`-th percentile (0–100, nearest-rank) of a latency sample.
+/// Returns `Duration::ZERO` for an empty sample.
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Formats a byte count like the paper does (KB / MB).
 pub fn fmt_bytes(b: usize) -> String {
     if b >= 1024 * 1024 {
@@ -303,5 +315,18 @@ mod tests {
         assert_eq!(fmt_bytes(500), "500 B");
         assert_eq!(fmt_bytes(2048), "2.0 KB");
         assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0 MB");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        let ms = |n: u64| Duration::from_millis(n);
+        let sample: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sample, 50.0), ms(50));
+        assert_eq!(percentile(&sample, 99.0), ms(99));
+        assert_eq!(percentile(&sample, 100.0), ms(100));
+        // Order-insensitive, and a singleton is every percentile.
+        assert_eq!(percentile(&[ms(7)], 1.0), ms(7));
+        assert_eq!(percentile(&[ms(3), ms(1), ms(2)], 50.0), ms(2));
     }
 }

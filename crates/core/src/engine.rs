@@ -8,6 +8,7 @@
 //! estimation — all without ever running an exact geometric test at query
 //! time. Exact evaluation paths are kept available for validation.
 
+use crate::serving::ServingStats;
 use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
 use dbsa_grid::{partition_sorted_keys, split_at_ranges, GridExtent, KeyRange};
 use dbsa_query::{
@@ -150,6 +151,10 @@ pub struct EngineStats {
     /// the monolithic engine; base shards ascending then the delta shard
     /// for the sharded engine).
     pub per_shard: Vec<ShardStats>,
+    /// Serving-tier counters (admissions, rejections, batch occupancy,
+    /// last generation served). All-zero for the monolithic engine and
+    /// for snapshots read outside a serving tier.
+    pub serving: ServingStats,
 }
 
 /// The approximate spatial query engine.
@@ -216,6 +221,7 @@ impl ApproximateEngine {
                 key_range: KeyRange::FULL,
                 delta: false,
             }],
+            serving: ServingStats::default(),
         }
     }
 

@@ -43,6 +43,8 @@
 //! | [`query`] | containment queries, aggregation joins, result ranges, error metrics |
 //! | [`datagen`] | synthetic NYC-like workloads (documented substitution for the TLC data) |
 //! | [`engine`] | the high-level [`ApproximateEngine`] facade |
+//! | [`sharded`] | the sharded, concurrently-servable [`ShardedEngine`] |
+//! | [`serving`] | the [`QueryService`] concurrent serving tier (cross-query batching, admission control) |
 
 pub use dbsa_canvas as canvas;
 pub use dbsa_datagen as datagen;
@@ -54,15 +56,23 @@ pub use dbsa_raster as raster;
 
 pub mod config;
 pub mod engine;
+pub mod serving;
 pub mod sharded;
 
 pub use config::ExperimentConfig;
 pub use engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats, ShardStats};
+pub use serving::{
+    CompletedQuery, QueryRequest, QueryResponse, QueryService, ServingConfig, ServingStats, Ticket,
+};
 pub use sharded::{EngineShard, EngineSnapshot, ShardedEngine, ShardedEngineBuilder};
 
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats, ShardStats};
+    pub use crate::serving::{
+        CompletedQuery, QueryRequest, QueryResponse, QueryService, ServingConfig, ServingStats,
+        Ticket,
+    };
     pub use crate::sharded::{EngineShard, EngineSnapshot, ShardedEngine, ShardedEngineBuilder};
     pub use dbsa_canvas::{BoundedRasterJoin, Canvas, GpuBaseline, SimulatedDevice};
     pub use dbsa_datagen::{

@@ -1,0 +1,421 @@
+//! The concurrent serving tier: cross-query batched scheduling over
+//! lock-free engine snapshots, with admission control and latency
+//! accounting.
+//!
+//! A [`QueryService`] is a front end over a shared [`ShardedEngine`]:
+//! clients [`submit`](QueryService::submit) queries from any thread and
+//! receive a [`Ticket`]; a dedicated scheduler thread drains the admission
+//! queue in batches, executes each batch over **one** engine snapshot via
+//! [`EngineSnapshot::execute_batch`], and fulfills every ticket with a
+//! [`CompletedQuery`] carrying the outcome plus its latency breakdown.
+//!
+//! **Batch window.** No timer and no artificial delay: while the scheduler
+//! executes one batch, newly submitted queries accumulate in the queue;
+//! the next drain takes them all (up to
+//! [`max_batch`](ServingConfig::max_batch)). Under load batches grow
+//! naturally and the cross-query sharing of
+//! [`dbsa_query::multi`] kicks in — identical queries execute once,
+//! bounded aggregates at different levels share one multi-level cursor
+//! walk. An idle service parks on a condition variable and serves the
+//! next query solo, at its solo latency.
+//!
+//! **Admission control.** The queue is bounded
+//! ([`queue_capacity`](ServingConfig::queue_capacity)): a submission
+//! against a full queue is rejected *at the caller* with
+//! [`QueryError::Overloaded`] — counted, never silently dropped. After
+//! [`shutdown`](QueryService::shutdown) (or drop) the service stops
+//! admitting ([`QueryError::ServiceStopped`]) but drains every
+//! already-admitted query before the scheduler exits — graceful drain.
+//!
+//! **Determinism guarantee.** Every response is bit-for-bit identical to
+//! executing that query alone against the same snapshot: batching is pure
+//! scheduling (see the determinism policy of
+//! [`dbsa_query::multi`]). Ingest and compaction never block readers —
+//! the scheduler picks up whatever snapshot is published when its batch
+//! starts, and the served generation is reported per response.
+
+use crate::sharded::{EngineSnapshot, ShardedEngine};
+use dbsa_geom::Point;
+use dbsa_query::{DistanceSpec, JoinResult, KnnNeighbor, QueryError, QueryPlan, QuerySpec};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One client query, as admitted by the serving tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryRequest {
+    /// `SELECT AGG(a) … GROUP BY region` under a per-query accuracy spec.
+    Aggregate(QuerySpec),
+    /// `WITHIN_DISTANCE(d)` semi-join under a per-query accuracy spec.
+    WithinDistance(DistanceSpec),
+    /// Approximate k-nearest-regions for a probe point.
+    Knn {
+        /// The probe point.
+        probe: Point,
+        /// Number of neighbors requested.
+        k: usize,
+    },
+    /// Exact (frontier-refined) k-nearest-regions for a probe point.
+    KnnExact {
+        /// The probe point.
+        probe: Point,
+        /// Number of neighbors requested.
+        k: usize,
+    },
+}
+
+/// The answer to one [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// Answer to [`QueryRequest::Aggregate`].
+    Aggregate {
+        /// The plan the request resolved to.
+        plan: QueryPlan,
+        /// Per-region aggregates.
+        result: JoinResult,
+    },
+    /// Answer to [`QueryRequest::WithinDistance`].
+    WithinDistance {
+        /// The plan the request resolved to.
+        plan: QueryPlan,
+        /// Per-region within-distance aggregates.
+        result: JoinResult,
+    },
+    /// Answer to [`QueryRequest::Knn`] / [`QueryRequest::KnnExact`].
+    Knn {
+        /// Up to `k` neighbors with guaranteed distance intervals.
+        neighbors: Vec<KnnNeighbor>,
+    },
+}
+
+/// A finished query as delivered to its owner: outcome plus accounting.
+#[derive(Debug, Clone)]
+pub struct CompletedQuery {
+    /// The query's result, or its typed failure.
+    pub outcome: Result<QueryResponse, QueryError>,
+    /// The snapshot generation that served the query.
+    pub generation: u64,
+    /// How many queries shared the batch this one ran in.
+    pub batch_size: usize,
+    /// Time spent waiting in the admission queue.
+    pub queued: Duration,
+    /// Total time from submission to fulfillment.
+    pub total: Duration,
+}
+
+/// Configuration of a [`QueryService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Admission-queue bound: submissions beyond it are rejected with
+    /// [`QueryError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Maximum queries drained into one batch.
+    pub max_batch: usize,
+    /// Shard-level worker threads per batch execution.
+    pub threads: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            queue_capacity: 1024,
+            max_batch: 64,
+            threads: 1,
+        }
+    }
+}
+
+/// Monotonic serving counters owned by the engine; snapshot them through
+/// [`ShardedEngine::stats`] (they appear as
+/// [`EngineStats::serving`](crate::engine::EngineStats::serving)).
+#[derive(Debug, Default)]
+pub(crate) struct ServingCounters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    queued: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    max_batch: AtomicU64,
+    last_generation: AtomicU64,
+}
+
+impl ServingCounters {
+    pub(crate) fn stats(&self) -> ServingStats {
+        ServingStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            last_generation: self.last_generation.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of the serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServingStats {
+    /// Queries admitted into the queue since engine construction.
+    pub admitted: u64,
+    /// Queries rejected at submission (overload or stopped service).
+    pub rejected: u64,
+    /// Queries completed (fulfilled tickets).
+    pub completed: u64,
+    /// Queries currently waiting in the admission queue.
+    pub queued: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Total queries across all executed batches.
+    pub batched_queries: u64,
+    /// Largest batch executed (peak batch occupancy).
+    pub max_batch: u64,
+    /// Snapshot generation of the most recently executed batch.
+    pub last_generation: u64,
+}
+
+impl ServingStats {
+    /// Mean batch occupancy: queries per executed batch (0 when no batch
+    /// ran yet).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_queries as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Rendezvous slot between a [`Ticket`] and the scheduler.
+#[derive(Default)]
+struct Slot {
+    state: Mutex<Option<CompletedQuery>>,
+    ready: Condvar,
+}
+
+/// The client's claim on an admitted query: wait (or poll) for the
+/// [`CompletedQuery`].
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the query completes. Admitted queries always complete
+    /// — shutdown drains the queue before the scheduler exits.
+    pub fn wait(self) -> CompletedQuery {
+        let mut state = self.slot.state.lock().expect("slot lock poisoned");
+        loop {
+            if let Some(done) = state.take() {
+                return done;
+            }
+            state = self.slot.ready.wait(state).expect("slot lock poisoned");
+        }
+    }
+
+    /// Non-blocking poll: the completion if it already happened.
+    pub fn try_take(&self) -> Option<CompletedQuery> {
+        self.slot.state.lock().expect("slot lock poisoned").take()
+    }
+}
+
+/// The scheduler's side of an admitted query: fulfilling it wakes the
+/// owner's [`Ticket`].
+pub struct QueryHandle {
+    slot: Arc<Slot>,
+    submitted: Instant,
+}
+
+impl QueryHandle {
+    fn fulfill(self, done: CompletedQuery) {
+        *self.slot.state.lock().expect("slot lock poisoned") = Some(done);
+        self.slot.ready.notify_one();
+    }
+}
+
+struct PendingQuery {
+    request: QueryRequest,
+    handle: QueryHandle,
+}
+
+struct ServiceQueue {
+    pending: VecDeque<PendingQuery>,
+    closed: bool,
+}
+
+struct ServiceShared {
+    queue: Mutex<ServiceQueue>,
+    work: Condvar,
+    config: ServingConfig,
+}
+
+/// The concurrent serving front end over a [`ShardedEngine`]. See the
+/// module docs for the batching, admission and determinism contracts.
+pub struct QueryService {
+    engine: Arc<ShardedEngine>,
+    shared: Arc<ServiceShared>,
+    scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// Starts the serving tier over `engine`: spawns the scheduler thread
+    /// and begins admitting queries immediately.
+    ///
+    /// # Panics
+    /// Panics when the engine holds no regions (every request type needs
+    /// the region index) or when `config` has a zero capacity or batch
+    /// size.
+    pub fn start(engine: Arc<ShardedEngine>, config: ServingConfig) -> QueryService {
+        assert!(
+            !engine.regions().is_empty(),
+            "the serving tier requires an engine with regions loaded"
+        );
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.max_batch > 0, "max batch must be positive");
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new(ServiceQueue {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+            config,
+        });
+        let scheduler = {
+            let engine = Arc::clone(&engine);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dbsa-serving".into())
+                .spawn(move || scheduler_loop(&engine, &shared))
+                .expect("failed to spawn the serving scheduler")
+        };
+        QueryService {
+            engine,
+            shared,
+            scheduler: Mutex::new(Some(scheduler)),
+        }
+    }
+
+    /// The engine this service fronts.
+    pub fn engine(&self) -> &Arc<ShardedEngine> {
+        &self.engine
+    }
+
+    /// Submits a query for batched execution. Returns the [`Ticket`] to
+    /// wait on, [`QueryError::Overloaded`] when the admission queue is
+    /// full, or [`QueryError::ServiceStopped`] after shutdown began.
+    pub fn submit(&self, request: QueryRequest) -> Result<Ticket, QueryError> {
+        let counters = self.engine.serving_counters();
+        let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+        if queue.closed {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(QueryError::ServiceStopped);
+        }
+        if queue.pending.len() >= self.shared.config.queue_capacity {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(QueryError::Overloaded {
+                queued: queue.pending.len(),
+                capacity: self.shared.config.queue_capacity,
+            });
+        }
+        let slot = Arc::new(Slot::default());
+        queue.pending.push_back(PendingQuery {
+            request,
+            handle: QueryHandle {
+                slot: Arc::clone(&slot),
+                submitted: Instant::now(),
+            },
+        });
+        counters.admitted.fetch_add(1, Ordering::Relaxed);
+        counters.queued.fetch_add(1, Ordering::Relaxed);
+        drop(queue);
+        self.shared.work.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Convenience: submit and wait.
+    pub fn query(&self, request: QueryRequest) -> Result<CompletedQuery, QueryError> {
+        self.submit(request).map(Ticket::wait)
+    }
+
+    /// Stops admitting queries, drains everything already admitted and
+    /// joins the scheduler. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+            queue.closed = true;
+        }
+        self.shared.work.notify_all();
+        let handle = self
+            .scheduler
+            .lock()
+            .expect("scheduler slot poisoned")
+            .take();
+        if let Some(handle) = handle {
+            handle.join().expect("serving scheduler panicked");
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The scheduler: drain a batch, execute it over one snapshot, scatter the
+/// completions, repeat — exiting only once the service is closed *and* the
+/// queue is empty (graceful drain).
+fn scheduler_loop(engine: &Arc<ShardedEngine>, shared: &Arc<ServiceShared>) {
+    let counters = engine.serving_counters();
+    loop {
+        let batch: Vec<PendingQuery> = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if !queue.pending.is_empty() {
+                    break;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.work.wait(queue).expect("queue lock poisoned");
+            }
+            let n = queue.pending.len().min(shared.config.max_batch);
+            queue.pending.drain(..n).collect()
+        };
+        let started = Instant::now();
+        let batch_size = batch.len();
+        counters
+            .queued
+            .fetch_sub(batch_size as u64, Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .batched_queries
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        counters
+            .max_batch
+            .fetch_max(batch_size as u64, Ordering::Relaxed);
+
+        // One snapshot per batch: ingest/compact publishes never block this
+        // read, and every query of the batch sees the same generation.
+        let snapshot: Arc<EngineSnapshot> = engine.snapshot();
+        let requests: Vec<QueryRequest> = batch.iter().map(|p| p.request).collect();
+        let outcomes = snapshot.execute_batch(&requests, shared.config.threads);
+        counters
+            .last_generation
+            .store(snapshot.generation(), Ordering::Relaxed);
+        for (pending, outcome) in batch.into_iter().zip(outcomes) {
+            let queued = started.saturating_duration_since(pending.handle.submitted);
+            let total = pending.handle.submitted.elapsed();
+            pending.handle.fulfill(CompletedQuery {
+                outcome,
+                generation: snapshot.generation(),
+                batch_size,
+                queued,
+                total,
+            });
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -37,10 +37,11 @@
 //!   anything.
 
 use crate::engine::{EngineStats, ShardStats};
+use crate::serving::{QueryRequest, QueryResponse, QueryService, ServingConfig, ServingCounters};
 use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
 use dbsa_grid::{partition_sorted_keys, split_at_ranges, GridExtent, KeyRange};
 use dbsa_query::{
-    ApproximateCellJoin, DistanceSpec, JoinResult, KnnNeighbor, LinearizedPointTable,
+    ApproximateCellJoin, BatchQuery, DistanceSpec, JoinResult, KnnNeighbor, LinearizedPointTable,
     PointIndexVariant, QueryError, QueryPlan, QuerySpec, RegionAggregate, ResultRange, ShardProbe,
 };
 use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster, Rasterizable};
@@ -371,6 +372,82 @@ impl EngineSnapshot {
             .map(|(neighbors, _)| neighbors)
     }
 
+    /// Executes a batch of client queries over this one snapshot, sharing
+    /// work *across* queries: all batchable requests (bounded and exact
+    /// aggregates, within-distance semi-joins) are grouped through
+    /// [`dbsa_query::multi::BatchQuery`] and routed through **one**
+    /// [`execute_shards_multi`](ApproximateCellJoin::execute_shards_multi)
+    /// pass — identical queries execute once, bounded aggregates at
+    /// different truncation levels share a single multi-level cursor walk
+    /// over each shard's probe schedule. kNN requests (point-probe, not
+    /// per-shard scans) are answered inline.
+    ///
+    /// **Determinism guarantee:** response `i` is bit-for-bit identical to
+    /// executing `requests[i]` alone against this snapshot, for any batch
+    /// composition and any `threads` — batching is pure scheduling (see
+    /// [`dbsa_query::multi`]).
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub fn execute_batch(
+        &self,
+        requests: &[QueryRequest],
+        threads: usize,
+    ) -> Vec<Result<QueryResponse, QueryError>> {
+        let join = self.join();
+        // Plan every batchable request; remember which output slot each
+        // batched query owns.
+        let mut batched: Vec<BatchQuery> = Vec::new();
+        let mut owners: Vec<(usize, QueryPlan, bool)> = Vec::new();
+        let mut responses: Vec<Option<Result<QueryResponse, QueryError>>> =
+            Vec::with_capacity(requests.len());
+        for (idx, request) in requests.iter().enumerate() {
+            match request {
+                QueryRequest::Aggregate(spec) => {
+                    let plan = join.plan(spec);
+                    batched.push(BatchQuery::aggregate(&plan));
+                    owners.push((idx, plan, false));
+                    responses.push(None);
+                }
+                QueryRequest::WithinDistance(spec) => {
+                    let plan = join.distance().plan(spec);
+                    batched.push(BatchQuery::within_distance(&plan, spec.distance()));
+                    owners.push((idx, plan, true));
+                    responses.push(None);
+                }
+                QueryRequest::Knn { probe, k } => {
+                    let outcome = join
+                        .distance()
+                        .knn(probe, *k, join.finest_level())
+                        .map(|neighbors| QueryResponse::Knn { neighbors });
+                    responses.push(Some(outcome));
+                }
+                QueryRequest::KnnExact { probe, k } => {
+                    let outcome = join
+                        .distance()
+                        .knn_refined(probe, *k, &self.regions)
+                        .map(|(neighbors, _)| QueryResponse::Knn { neighbors });
+                    responses.push(Some(outcome));
+                }
+            }
+        }
+        if !batched.is_empty() {
+            let probes: Vec<ShardProbe<'_>> = self.all_shards().map(|s| s.probe()).collect();
+            let results = join.execute_shards_multi(&batched, &probes, &self.regions, threads);
+            for ((idx, plan, is_distance), result) in owners.into_iter().zip(results) {
+                responses[idx] = Some(Ok(if is_distance {
+                    QueryResponse::WithinDistance { plan, result }
+                } else {
+                    QueryResponse::Aggregate { plan, result }
+                }));
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every request slot fulfilled"))
+            .collect()
+    }
+
     /// Ad-hoc containment aggregate over an arbitrary rasterizable region,
     /// approximated with at most `cell_budget` hierarchical cells. The
     /// region is rasterized once; shards whose key span intersects none of
@@ -489,6 +566,7 @@ impl EngineSnapshot {
             region_index_bytes: self.join.as_ref().map(|j| j.memory_bytes()).unwrap_or(0),
             point_index_bytes: per_shard.iter().map(|s| s.point_index_bytes).sum(),
             per_shard,
+            serving: crate::serving::ServingStats::default(),
         }
     }
 }
@@ -630,6 +708,7 @@ impl ShardedEngineBuilder {
             snapshot: RwLock::new(Arc::new(snapshot)),
             delta: RwLock::new(DeltaBuffer::default()),
             compaction: Mutex::new(()),
+            serving: ServingCounters::default(),
         }
     }
 }
@@ -653,6 +732,9 @@ pub struct ShardedEngine {
     /// Held for the duration of a compaction so concurrent `compact`
     /// calls skip instead of queueing.
     compaction: Mutex<()>,
+    /// Monotonic serving-tier counters, updated by every [`QueryService`]
+    /// fronting this engine and reported through [`stats`](Self::stats).
+    serving: ServingCounters,
 }
 
 impl ShardedEngine {
@@ -779,10 +861,31 @@ impl ShardedEngine {
         *slot = Arc::new(make(&slot));
     }
 
+    /// Starts a [`QueryService`] serving tier over this engine: concurrent
+    /// clients submit queries, the scheduler batches them across queries
+    /// and executes each batch over one published snapshot. Several
+    /// services may front the same engine; they share its serving
+    /// counters.
+    ///
+    /// # Panics
+    /// Panics when the engine holds no regions.
+    pub fn serve(self: &Arc<Self>, config: ServingConfig) -> QueryService {
+        QueryService::start(Arc::clone(self), config)
+    }
+
+    /// The engine-lifetime serving counters (shared by every
+    /// [`QueryService`] fronting this engine).
+    pub(crate) fn serving_counters(&self) -> &ServingCounters {
+        &self.serving
+    }
+
     /// Structural statistics of the current snapshot, including the
-    /// per-shard breakdown.
+    /// per-shard breakdown, overlaid with the engine-lifetime serving
+    /// counters.
     pub fn stats(&self) -> EngineStats {
-        self.snapshot().stats()
+        let mut stats = self.snapshot().stats();
+        stats.serving = self.serving.stats();
+        stats
     }
 
     /// [`EngineSnapshot::aggregate_by_region`] on the current snapshot.

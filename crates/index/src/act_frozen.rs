@@ -460,6 +460,19 @@ impl FrozenCellTrie {
     pub fn cursor_at(&self, level: u8) -> SortedProbeCursor<'_> {
         SortedProbeCursor::new(self, level)
     }
+
+    /// Starts a multi-consumer probe cursor answering **every** requested
+    /// truncation level from one shared descent per probe — the cross-query
+    /// analogue of [`cursor_at`](Self::cursor_at): where the sorted cursor
+    /// amortizes the root-to-leaf walk across *points*, the multi cursor
+    /// additionally amortizes it across *queries* that probe the same key
+    /// stream at different levels. Each answer is bit-for-bit what
+    /// [`first_posting_at`](Self::first_posting_at) returns for the same
+    /// `(leaf, level)` pair. `levels` must be non-empty and duplicate-free
+    /// (duplicate consumers would only clone answers; callers dedup).
+    pub fn multi_cursor(&self, levels: &[u8]) -> MultiLevelProbeCursor<'_> {
+        MultiLevelProbeCursor::new(self, levels)
+    }
 }
 
 /// Working state of the pre-order flattening.
@@ -686,6 +699,137 @@ impl<'a> SortedProbeCursor<'a> {
         }
         self.cached = best;
         best
+    }
+}
+
+/// Multi-consumer probe cursor: one shared descent per probe answers a set
+/// of truncation levels at once.
+///
+/// The batched serving tier coalesces the probe sets of concurrent queries
+/// into one key-sorted schedule; queries planned at different truncation
+/// levels still share the walk because a level-`L` answer is a pure
+/// function of the root-to-leaf path: the first posting at depth ≤ `L`, or
+/// the strict-subtree summary of the level-`L` path node when the path
+/// reaches it with nothing found. The cursor therefore descends once to the
+/// *deepest* requested cutoff, maintaining the same per-level
+/// `stack`/`first` bookkeeping as [`SortedProbeCursor`], and resolves each
+/// consumer level from that shared state. Prefix sharing between
+/// consecutive probes (XOR + leading-zeros re-descent) is identical to the
+/// single-level cursor, and so is correctness for unsorted probe orders.
+pub struct MultiLevelProbeCursor<'a> {
+    trie: &'a FrozenCellTrie,
+    /// Per consumer: effective cutoff (`min(level, max_depth)`), in the
+    /// order the levels were registered.
+    cutoffs: Vec<usize>,
+    /// Deepest consumer cutoff — how far a descent may reach.
+    max_cutoff: usize,
+    /// `stack[d]` = node index at level `d` on the current path.
+    stack: [u32; STACK],
+    /// `first[d]` = first posting at or above level `d` (path postings
+    /// only, as in [`SortedProbeCursor`]).
+    first: [Option<CellPosting>; STACK],
+    /// Deepest valid level on the stack.
+    depth: usize,
+    /// Raw leaf key of the previous probe.
+    prev: u64,
+    has_prev: bool,
+    /// Per-consumer results of the previous probe (reused when the walk is
+    /// shared).
+    cached: Vec<Option<CellPosting>>,
+}
+
+impl<'a> MultiLevelProbeCursor<'a> {
+    fn new(trie: &'a FrozenCellTrie, levels: &[u8]) -> Self {
+        assert!(!levels.is_empty(), "multi cursor needs at least one level");
+        let cutoffs: Vec<usize> = levels
+            .iter()
+            .map(|&l| trie.max_depth.min(l) as usize)
+            .collect();
+        let max_cutoff = cutoffs.iter().copied().max().unwrap_or(0);
+        let mut first = [None; STACK];
+        first[0] = trie.node_first_posting(0);
+        MultiLevelProbeCursor {
+            trie,
+            cached: vec![None; cutoffs.len()],
+            cutoffs,
+            max_cutoff,
+            stack: [0; STACK],
+            first,
+            depth: 0,
+            prev: 0,
+            has_prev: false,
+        }
+    }
+
+    /// Number of registered consumer levels (and required `out` length).
+    pub fn consumers(&self) -> usize {
+        self.cutoffs.len()
+    }
+
+    /// Answers every registered level for `leaf` in one walk, writing
+    /// `out[i]` for the `i`-th registered level. Each entry matches
+    /// [`FrozenCellTrie::first_posting_at`] for that level exactly.
+    pub fn first_postings(&mut self, leaf: CellId, out: &mut [Option<CellPosting>]) {
+        debug_assert!(
+            leaf.is_leaf(),
+            "cursor probes require a leaf cell id: {leaf}"
+        );
+        assert_eq!(
+            out.len(),
+            self.cutoffs.len(),
+            "output slot per registered level"
+        );
+        let raw = leaf.raw();
+        let start = if self.has_prev {
+            let xor = self.prev ^ raw;
+            if xor == 0 {
+                out.copy_from_slice(&self.cached);
+                return;
+            }
+            let high_bit = 63 - xor.leading_zeros() as usize;
+            let diverge_level = MAX_LEVEL as usize - (high_bit - 1) / 2;
+            if self.depth + 1 < diverge_level {
+                // Divergence below where the previous walk already ended:
+                // the shared path — and so every consumer's answer — is
+                // unchanged.
+                self.prev = raw;
+                out.copy_from_slice(&self.cached);
+                return;
+            }
+            diverge_level
+        } else {
+            1
+        };
+        self.has_prev = true;
+        self.prev = raw;
+        self.depth = start - 1;
+        let mut node = self.stack[self.depth] as usize;
+        let mut best = self.first[self.depth];
+        for l in start..=self.max_cutoff {
+            let child = self.trie.nodes[node].children[child_pos(raw, l as u8)];
+            if child == NO_CHILD {
+                break;
+            }
+            node = child as usize;
+            self.depth = l;
+            self.stack[l] = child;
+            if best.is_none() {
+                best = self.trie.node_first_posting(node);
+            }
+            self.first[l] = best;
+        }
+        // Resolve each consumer from the shared path state: the first
+        // posting at depth ≤ its cutoff, else — when the path reached the
+        // cutoff — the summary of the folded subtree at the cutoff node.
+        for (slot, &cutoff) in self.cached.iter_mut().zip(&self.cutoffs) {
+            let reach = cutoff.min(self.depth);
+            let mut answer = self.first[reach];
+            if answer.is_none() && self.depth >= cutoff {
+                answer = self.trie.deep_summary(self.stack[cutoff] as usize);
+            }
+            *slot = answer;
+        }
+        out.copy_from_slice(&self.cached);
     }
 }
 
@@ -949,6 +1093,45 @@ mod tests {
     }
 
     #[test]
+    fn multi_cursor_matches_single_level_cursors_everywhere() {
+        let (_, frozen) = build_both(8.0);
+        let ext = extent();
+        let mut leaves: Vec<CellId> = (0..40)
+            .flat_map(|i| {
+                (0..40).map(move |j| {
+                    ext.leaf_cell_id(&Point::new(i as f64 * 25.0 + 2.0, j as f64 * 25.0 + 2.0))
+                })
+            })
+            .collect();
+        leaves.push(leaves[11]);
+        leaves.sort_unstable();
+        // All levels at once, deliberately unsorted and spanning past
+        // max_depth.
+        let levels: Vec<u8> = vec![3, 0, frozen.max_depth(), 1, MAX_LEVEL, 2];
+        let mut multi = frozen.multi_cursor(&levels);
+        assert_eq!(multi.consumers(), levels.len());
+        let mut answers = vec![None; levels.len()];
+        for &leaf in &leaves {
+            multi.first_postings(leaf, &mut answers);
+            for (&level, &answer) in levels.iter().zip(&answers) {
+                assert_eq!(
+                    answer,
+                    frozen.first_posting_at(leaf, level),
+                    "level {level} at {leaf}"
+                );
+            }
+        }
+        // Unsorted probe order must stay correct too.
+        let mut multi = frozen.multi_cursor(&levels);
+        for &leaf in leaves.iter().rev() {
+            multi.first_postings(leaf, &mut answers);
+            for (&level, &answer) in levels.iter().zip(&answers) {
+                assert_eq!(answer, frozen.first_posting_at(leaf, level));
+            }
+        }
+    }
+
+    #[test]
     fn covered_key_range_widens_as_levels_coarsen() {
         let (_, frozen) = build_both(8.0);
         assert_eq!(
@@ -1150,6 +1333,48 @@ mod tests {
                     leveled.first_posting(leaf),
                     frozen.first_posting_at(leaf, cutoff)
                 );
+            }
+        }
+
+        /// The multi-consumer cursor answers every registered level exactly
+        /// as the scalar truncated probe would, for any probe order.
+        #[test]
+        fn prop_multi_cursor_equals_scalar_truncated_probes(
+            cells in proptest::collection::vec(
+                (0u32..64, 0u32..64, 3u8..9, 0u32..5, proptest::bool::ANY), 1..120),
+            probes in proptest::collection::vec((0u32..1024, 0u32..1024), 1..80),
+            levels in proptest::collection::vec(0u8..=12, 1..5),
+            sorted in proptest::bool::ANY,
+        ) {
+            let mut act = AdaptiveCellTrie::new();
+            for (x, y, level, polygon, boundary) in cells {
+                let cx = x % (1 << level);
+                let cy = y % (1 << level);
+                let class = if boundary { CellClass::Boundary } else { CellClass::Interior };
+                act.insert_cell(polygon, CellId::from_cell_xy(cx, cy, level), class);
+            }
+            let frozen = act.freeze();
+            let mut leaves: Vec<CellId> = probes
+                .into_iter()
+                .map(|(x, y)| CellId::leaf(x << 20, y << 20))
+                .collect();
+            if sorted {
+                leaves.sort_unstable();
+            }
+            let mut levels = levels;
+            levels.sort_unstable();
+            levels.dedup();
+            let mut multi = frozen.multi_cursor(&levels);
+            let mut answers = vec![None; levels.len()];
+            for leaf in leaves {
+                multi.first_postings(leaf, &mut answers);
+                for (&level, &answer) in levels.iter().zip(&answers) {
+                    prop_assert_eq!(
+                        answer,
+                        frozen.first_posting_at(leaf, level),
+                        "level {} at {}", level, leaf
+                    );
+                }
             }
         }
     }

@@ -43,7 +43,7 @@ pub mod shape_index;
 pub mod sorted_array;
 
 pub use act::{ActStats, AdaptiveCellTrie, CellPosting, PolygonId};
-pub use act_frozen::{FrozenCellTrie, SortedProbeCursor, SubtreeDistance};
+pub use act_frozen::{FrozenCellTrie, MultiLevelProbeCursor, SortedProbeCursor, SubtreeDistance};
 pub use btree::BPlusTree;
 pub use footprint::MemoryFootprint;
 pub use kdtree::KdTree;

@@ -506,7 +506,7 @@ impl<'a> DistanceJoin<'a> {
     /// exiting the grid extent have parts with no covering cells, so the
     /// covered range alone cannot rule them out — the shard must also
     /// clear every border-exit bounding box by more than `d`.
-    fn prunable_beyond(
+    pub(crate) fn prunable_beyond(
         &self,
         covered: Option<(u64, u64)>,
         span: Option<(u64, u64)>,

@@ -108,6 +108,18 @@ pub enum QueryError {
     },
     /// A k-nearest-neighbor request asked for `k = 0`.
     InvalidK,
+    /// The serving tier's admission queue was full: the query was rejected
+    /// at submission, not silently dropped. Callers may retry after
+    /// backing off.
+    Overloaded {
+        /// Queries already waiting when this one was rejected.
+        queued: usize,
+        /// The configured admission-queue capacity.
+        capacity: usize,
+    },
+    /// The serving tier has been shut down: no further queries are
+    /// admitted (already-admitted queries still drain to completion).
+    ServiceStopped,
 }
 
 impl std::fmt::Display for QueryError {
@@ -120,6 +132,13 @@ impl std::fmt::Display for QueryError {
                 write!(f, "invalid within-distance threshold in query spec")
             }
             QueryError::InvalidK => write!(f, "k must be at least 1"),
+            QueryError::Overloaded { queued, capacity } => {
+                write!(
+                    f,
+                    "serving queue full ({queued} queued of {capacity} capacity)"
+                )
+            }
+            QueryError::ServiceStopped => write!(f, "query service stopped"),
         }
     }
 }
@@ -130,7 +149,9 @@ impl std::error::Error for QueryError {
             QueryError::InvalidBound { source } | QueryError::InvalidDistance { source } => {
                 Some(source)
             }
-            QueryError::InvalidK => None,
+            QueryError::InvalidK | QueryError::Overloaded { .. } | QueryError::ServiceStopped => {
+                None
+            }
         }
     }
 }
@@ -308,6 +329,21 @@ mod tests {
         // The chain renders end-to-end like a real application would print it.
         let rendered = format!("{dist}: {}", dist.source().unwrap());
         assert!(rendered.contains("threshold") && rendered.contains("-2"));
+    }
+
+    #[test]
+    fn serving_errors_display_and_have_no_source() {
+        use std::error::Error;
+        let err = QueryError::Overloaded {
+            queued: 8,
+            capacity: 8,
+        };
+        assert!(err.to_string().contains("queue full"));
+        assert!(err.to_string().contains('8'));
+        assert!(err.source().is_none());
+        let stopped = QueryError::ServiceStopped;
+        assert!(stopped.to_string().contains("stopped"));
+        assert!(stopped.source().is_none());
     }
 
     proptest! {

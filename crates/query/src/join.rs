@@ -364,7 +364,7 @@ impl ApproximateCellJoin {
     }
 
     #[inline]
-    fn accumulate(result: &mut JoinResult, posting: CellPosting, value: f64) {
+    pub(crate) fn accumulate(result: &mut JoinResult, posting: CellPosting, value: f64) {
         // Administrative regions are disjoint: a point falls in at most
         // one region except within the bound of shared boundaries, where
         // the first (coarsest) posting wins — any such point is within ε

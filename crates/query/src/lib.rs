@@ -17,6 +17,11 @@
 //!   ([`DistanceJoin`], wholesale-accepting cells inside the d-dilation
 //!   and exact-refining only straddling ones) and approximate
 //!   k-nearest-region queries with guaranteed distance intervals.
+//! * [`multi`] — cross-query batched execution for the serving tier: a
+//!   [`BatchQuery`] batch shares one probe schedule, bounded aggregates at
+//!   different levels share one multi-level cursor walk, identical queries
+//!   share one execution — with per-query results bit-for-bit identical to
+//!   solo execution.
 //! * [`plan`] — per-query accuracy: a [`QuerySpec`] (or [`DistanceSpec`]
 //!   for the distance family) carries the distance bound (or asks for
 //!   exactness) with each request, and the [`QueryPlanner`] maps it onto
@@ -32,6 +37,7 @@ pub mod containment;
 pub mod distance;
 pub mod error;
 pub mod join;
+pub mod multi;
 pub mod plan;
 pub mod result_range;
 
@@ -42,5 +48,6 @@ pub use containment::{
 pub use distance::{BruteForceDistanceJoin, DistanceJoin, KnnNeighbor};
 pub use error::{median, relative_error, ErrorSummary, QueryError, SpecError, SpecErrorKind};
 pub use join::{ApproximateCellJoin, JoinResult, RTreeExactJoin, ShapeIndexExactJoin, ShardProbe};
+pub use multi::BatchQuery;
 pub use plan::{DistanceSpec, QueryMode, QueryPlan, QueryPlanner, QuerySpec};
 pub use result_range::ResultRange;

@@ -1,0 +1,604 @@
+//! Cross-query batched execution: many concurrent queries, one shared
+//! probe schedule.
+//!
+//! The serving tier admits concurrent client queries and drains them in
+//! batches. Every query in a batch probes the **same** key-sorted point
+//! schedule (the engine's shard layout), so the per-point work — the
+//! root-to-leaf trie descent — can be amortized *across queries* exactly
+//! the way the [`SortedProbeCursor`](dbsa_index::SortedProbeCursor)
+//! amortizes it across points:
+//!
+//! * Bounded aggregates planned at different truncation levels share one
+//!   [`MultiLevelProbeCursor`](dbsa_index::MultiLevelProbeCursor) walk:
+//!   one descent per probe answers every level
+//!   ([`ApproximateCellJoin::execute_keys_levels`]).
+//! * Queries with identical semantics (same plan, same parameters) form
+//!   one **execution group**: the group runs once and every member
+//!   receives a clone of the result.
+//! * Distance queries group by `(d, level)` — the within-`d` candidate
+//!   scan depends on `d` itself (its fold decisions consult the limit), so
+//!   only identical thresholds may share an execution bit-for-bit.
+//!
+//! **Determinism guarantee:** every per-query result is bit-for-bit
+//! identical to executing that query alone over the same shards — same
+//! per-shard accumulation order, same per-group shard pruning decision as
+//! the solo paths ([`ApproximateCellJoin::execute_shards_at`],
+//! [`execute_shards_refined`](ApproximateCellJoin::execute_shards_refined),
+//! [`DistanceJoin::execute_shards_spec`](crate::distance::DistanceJoin::execute_shards_spec)),
+//! and the same shard-index-order [`JoinResult::merge`]. Batching changes
+//! *when* work happens, never *what* is computed — property-tested in the
+//! serving-tier suite.
+
+use crate::join::{prunable, ApproximateCellJoin, JoinResult, ShardProbe};
+use crate::plan::QueryPlan;
+use dbsa_geom::MultiPolygon;
+use dbsa_grid::CellId;
+use dbsa_index::CellPosting;
+
+/// One query of a cross-query batch, reduced to its planned execution
+/// shape. Obtained from a [`QueryPlan`] via [`BatchQuery::aggregate`] /
+/// [`BatchQuery::within_distance`]; queries whose shapes are identical
+/// (same variant, same level, bit-identical distance) share one execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchQuery {
+    /// Bounded aggregation at a truncation level of the level-stacked trie.
+    AggregateAt {
+        /// The planned truncation level.
+        level: u8,
+    },
+    /// Exact aggregation through the filter-and-refine pipeline.
+    AggregateRefined,
+    /// Bounded `WITHIN_DISTANCE(d)` at a truncation level.
+    WithinAt {
+        /// The within-distance threshold, in world units.
+        d: f64,
+        /// The planned truncation level.
+        level: u8,
+    },
+    /// Exact `WITHIN_DISTANCE(d)` through the refined pipeline.
+    WithinRefined {
+        /// The within-distance threshold, in world units.
+        d: f64,
+    },
+}
+
+impl BatchQuery {
+    /// The batch shape of a planned aggregation query — the same routing
+    /// rule as [`ApproximateCellJoin::execute_shards_spec`].
+    pub fn aggregate(plan: &QueryPlan) -> BatchQuery {
+        if plan.exact_refinement {
+            BatchQuery::AggregateRefined
+        } else {
+            BatchQuery::AggregateAt { level: plan.level }
+        }
+    }
+
+    /// The batch shape of a planned within-distance query — the same
+    /// routing rule as
+    /// [`DistanceJoin::execute_shards_spec`](crate::distance::DistanceJoin::execute_shards_spec).
+    pub fn within_distance(plan: &QueryPlan, d: f64) -> BatchQuery {
+        if plan.exact_refinement {
+            BatchQuery::WithinRefined { d }
+        } else {
+            BatchQuery::WithinAt {
+                d,
+                level: plan.level,
+            }
+        }
+    }
+
+    /// Whether two queries may share one execution bit-for-bit. Distances
+    /// compare by bit pattern: only *identical* thresholds share (the
+    /// candidate scan's fold decisions depend on the limit).
+    fn same_group(&self, other: &BatchQuery) -> bool {
+        match (self, other) {
+            (BatchQuery::AggregateAt { level: a }, BatchQuery::AggregateAt { level: b }) => a == b,
+            (BatchQuery::AggregateRefined, BatchQuery::AggregateRefined) => true,
+            (
+                BatchQuery::WithinAt { d: da, level: la },
+                BatchQuery::WithinAt { d: db, level: lb },
+            ) => da.to_bits() == db.to_bits() && la == lb,
+            (BatchQuery::WithinRefined { d: da }, BatchQuery::WithinRefined { d: db }) => {
+                da.to_bits() == db.to_bits()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Deduplicates a batch into execution groups (first-appearance order) and
+/// the query-id → group-id scatter map.
+fn group_queries(queries: &[BatchQuery]) -> (Vec<BatchQuery>, Vec<usize>) {
+    let mut groups: Vec<BatchQuery> = Vec::new();
+    let mut of: Vec<usize> = Vec::with_capacity(queries.len());
+    for q in queries {
+        let g = match groups.iter().position(|seen| seen.same_group(q)) {
+            Some(g) => g,
+            None => {
+                groups.push(*q);
+                groups.len() - 1
+            }
+        };
+        of.push(g);
+    }
+    (groups, of)
+}
+
+impl ApproximateCellJoin {
+    /// Executes bounded aggregations at several truncation levels over one
+    /// probe schedule with a **single shared cursor walk**: one descent per
+    /// key answers every level. `levels` must be duplicate-free. Each
+    /// returned result is bit-for-bit what
+    /// [`execute_keys_at`](Self::execute_keys_at) returns for the same
+    /// level (same per-key answers, same key-order accumulation).
+    pub fn execute_keys_levels(
+        &self,
+        keys: &[u64],
+        values: &[f64],
+        levels: &[u8],
+    ) -> Vec<JoinResult> {
+        assert_eq!(keys.len(), values.len(), "one value per key required");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "execute_keys_levels expects keys sorted ascending"
+        );
+        let mut results: Vec<JoinResult> = levels
+            .iter()
+            .map(|_| JoinResult::with_regions(self.region_count))
+            .collect();
+        if levels.is_empty() {
+            return results;
+        }
+        let mut cursor = self.trie.multi_cursor(levels);
+        let mut answers: Vec<Option<CellPosting>> = vec![None; levels.len()];
+        for (k, v) in keys.iter().zip(values) {
+            cursor.first_postings(CellId::from_raw(*k), &mut answers);
+            for (result, answer) in results.iter_mut().zip(&answers) {
+                match answer {
+                    Some(posting) => Self::accumulate(result, *posting, *v),
+                    None => result.unmatched += 1,
+                }
+            }
+        }
+        results
+    }
+
+    /// Executes a whole batch of queries over **one** probe schedule,
+    /// returning one [`JoinResult`] per query (aligned with `queries`).
+    /// Identical queries share one execution; bounded aggregates at
+    /// distinct levels share one multi-level cursor walk. Exact and
+    /// distance queries require a probe built with
+    /// [`ShardProbe::with_points`].
+    pub fn execute_keys_multi(
+        &self,
+        queries: &[BatchQuery],
+        probe: &ShardProbe<'_>,
+        regions: &[MultiPolygon],
+    ) -> Vec<JoinResult> {
+        let (groups, of) = group_queries(queries);
+        let active = vec![true; groups.len()];
+        let partials = self.run_probe_groups(&groups, &active, probe, regions);
+        of.into_iter().map(|g| partials[g].clone()).collect()
+    }
+
+    /// The sharded cross-query batch: every query of the batch is executed
+    /// over the same shard schedules and receives its own merged
+    /// [`JoinResult`], bit-for-bit identical to running that query alone
+    /// via the solo sharded paths. Shard pruning is decided **per group**
+    /// with exactly the solo rules (level-covered range for bounded
+    /// aggregates, exact covered range for refined ones, the `d`-dilated
+    /// box gap for distance queries), and per-group partials merge in
+    /// shard index order — the determinism policy every sharded path
+    /// shares.
+    pub fn execute_shards_multi(
+        &self,
+        queries: &[BatchQuery],
+        shards: &[ShardProbe<'_>],
+        regions: &[MultiPolygon],
+        threads: usize,
+    ) -> Vec<JoinResult> {
+        let (groups, of) = group_queries(queries);
+        // The covered key range each group prunes against, computed once:
+        // bounded aggregates intersect the chosen level's range, everything
+        // else the exact range (matching the solo paths).
+        let covered: Vec<Option<(u64, u64)>> = groups
+            .iter()
+            .map(|q| match q {
+                BatchQuery::AggregateAt { level } => self.trie.covered_key_range_at(*level),
+                _ => self.covered_key_range(),
+            })
+            .collect();
+        let merged = self.run_shards_multi(&groups, &covered, shards, regions, threads);
+        of.into_iter().map(|g| merged[g].clone()).collect()
+    }
+
+    /// Per-shard batch kernel: runs every active group over one probe
+    /// schedule; inactive (pruned) groups contribute the all-unmatched
+    /// partial — their exact per-shard answer.
+    fn run_probe_groups(
+        &self,
+        groups: &[BatchQuery],
+        active: &[bool],
+        probe: &ShardProbe<'_>,
+        regions: &[MultiPolygon],
+    ) -> Vec<JoinResult> {
+        let mut out: Vec<Option<JoinResult>> = groups.iter().map(|_| None).collect();
+        // Bounded aggregates share one multi-level cursor walk.
+        let agg: Vec<(usize, u8)> = groups
+            .iter()
+            .enumerate()
+            .filter(|&(g, _)| active[g])
+            .filter_map(|(g, q)| match q {
+                BatchQuery::AggregateAt { level } => Some((g, *level)),
+                _ => None,
+            })
+            .collect();
+        if !agg.is_empty() {
+            let levels: Vec<u8> = agg.iter().map(|&(_, l)| l).collect();
+            let results = self.execute_keys_levels(probe.keys, probe.values, &levels);
+            for ((g, _), result) in agg.into_iter().zip(results) {
+                out[g] = Some(result);
+            }
+        }
+        for (g, q) in groups.iter().enumerate() {
+            if !active[g] || out[g].is_some() {
+                continue;
+            }
+            let points = probe
+                .points()
+                .expect("exact and distance batches need shard probes built with_points");
+            out[g] = Some(match *q {
+                BatchQuery::AggregateAt { .. } => unreachable!("handled by the shared walk"),
+                BatchQuery::AggregateRefined => {
+                    self.execute_keys_refined(probe.keys, points, probe.values, regions)
+                }
+                BatchQuery::WithinAt { d, level } => {
+                    self.distance().within_at(d, points, probe.values, level)
+                }
+                BatchQuery::WithinRefined { d } => {
+                    self.distance()
+                        .within_refined(d, points, probe.values, regions)
+                }
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.unwrap_or_else(|| self.pruned_partial(probe)))
+            .collect()
+    }
+
+    /// Shard fan-out of the batch: per-group prune decisions per shard,
+    /// per-group merge in shard index order. The worker scaffolding mirrors
+    /// [`run_shards`](Self::run_shards) (round-robin shard assignment).
+    fn run_shards_multi(
+        &self,
+        groups: &[BatchQuery],
+        covered: &[Option<(u64, u64)>],
+        shards: &[ShardProbe<'_>],
+        regions: &[MultiPolygon],
+        threads: usize,
+    ) -> Vec<JoinResult> {
+        let run_shard = |shard: &ShardProbe<'_>| -> Vec<JoinResult> {
+            let span = shard.key_span();
+            let active: Vec<bool> = groups
+                .iter()
+                .zip(covered)
+                .map(|(q, c)| match q {
+                    BatchQuery::AggregateAt { .. } | BatchQuery::AggregateRefined => {
+                        !prunable(*c, span)
+                    }
+                    BatchQuery::WithinAt { d, .. } | BatchQuery::WithinRefined { d } => {
+                        !self.distance().prunable_beyond(*c, span, *d)
+                    }
+                })
+                .collect();
+            self.run_probe_groups(groups, &active, shard, regions)
+        };
+
+        let workers = threads.max(1).min(shards.len().max(1));
+        let mut partials: Vec<Vec<JoinResult>>;
+        if workers <= 1 {
+            partials = shards.iter().map(run_shard).collect();
+        } else {
+            partials = vec![Vec::new(); shards.len()];
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                for w in 0..workers {
+                    let run_shard = &run_shard;
+                    handles.push(scope.spawn(move |_| {
+                        (w..shards.len())
+                            .step_by(workers)
+                            .map(|i| (i, run_shard(&shards[i])))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    for (i, partial) in h.join().expect("batch worker panicked") {
+                        partials[i] = partial;
+                    }
+                }
+            })
+            .expect("crossbeam scope failed");
+        }
+
+        let mut merged: Vec<JoinResult> = groups
+            .iter()
+            .map(|_| JoinResult::with_regions(self.region_count))
+            .collect();
+        for shard_partials in &partials {
+            for (m, p) in merged.iter_mut().zip(shard_partials) {
+                m.merge(p);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{DistanceSpec, QuerySpec};
+    use dbsa_datagen::{city_extent, PolygonSetGenerator, TaxiPointGenerator};
+    use dbsa_geom::Point;
+    use dbsa_grid::GridExtent;
+    use dbsa_raster::DistanceBound;
+    use proptest::prelude::*;
+
+    fn workload(
+        points: usize,
+        regions: usize,
+    ) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>, GridExtent) {
+        let gen = TaxiPointGenerator::new(city_extent(), 7);
+        let taxi = gen.generate(points);
+        let pts: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+        let vals: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+        let polys = PolygonSetGenerator::new(city_extent(), regions, 24, 11).generate();
+        let extent = GridExtent::covering(&city_extent());
+        (pts, vals, polys, extent)
+    }
+
+    /// Sorts the rows by leaf key and splits them into contiguous shard
+    /// schedules carrying their point columns.
+    #[allow(clippy::type_complexity)]
+    fn shard_rows(
+        points: &[Point],
+        values: &[f64],
+        extent: &GridExtent,
+        shards: usize,
+    ) -> (Vec<u64>, Vec<Point>, Vec<f64>, Vec<(usize, usize)>) {
+        let mut rows: Vec<(u64, Point, f64)> = points
+            .iter()
+            .zip(values)
+            .map(|(p, v)| (extent.leaf_cell_id(p).raw(), *p, *v))
+            .collect();
+        rows.sort_unstable_by_key(|(k, _, _)| *k);
+        let keys: Vec<u64> = rows.iter().map(|(k, _, _)| *k).collect();
+        let pts: Vec<Point> = rows.iter().map(|(_, p, _)| *p).collect();
+        let vals: Vec<f64> = rows.iter().map(|(_, _, v)| *v).collect();
+        let ranges = dbsa_grid::partition_sorted_keys(&keys, shards);
+        let bounds = dbsa_grid::split_at_ranges(&keys, &ranges);
+        (keys, pts, vals, bounds)
+    }
+
+    /// The solo (one-query-at-a-time) answer for a batch query over the
+    /// same shards — the reference the batched path must reproduce
+    /// bit-for-bit.
+    fn solo(
+        join: &ApproximateCellJoin,
+        q: &BatchQuery,
+        probes: &[ShardProbe<'_>],
+        regions: &[MultiPolygon],
+        threads: usize,
+    ) -> JoinResult {
+        match *q {
+            BatchQuery::AggregateAt { level } => join.execute_shards_at(probes, threads, level),
+            BatchQuery::AggregateRefined => join.execute_shards_refined(probes, regions, threads),
+            BatchQuery::WithinAt { d, level } => {
+                // The solo per-shard kernel the planner routes bounded
+                // distance queries to, pinned to the requested level.
+                let covered = join.covered_key_range();
+                join.run_shards(probes, threads, |shard| {
+                    if join
+                        .distance()
+                        .prunable_beyond(covered, shard.key_span(), d)
+                    {
+                        join.pruned_partial(shard)
+                    } else {
+                        let points = shard.points().expect("probes carry points");
+                        join.distance().within_at(d, points, shard.values, level)
+                    }
+                })
+            }
+            BatchQuery::WithinRefined { d } => {
+                let covered = join.covered_key_range();
+                join.run_shards(probes, threads, |shard| {
+                    if join
+                        .distance()
+                        .prunable_beyond(covered, shard.key_span(), d)
+                    {
+                        join.pruned_partial(shard)
+                    } else {
+                        let points = shard.points().expect("probes carry points");
+                        join.distance()
+                            .within_refined(d, points, shard.values, regions)
+                    }
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn multi_level_walk_matches_per_level_walks() {
+        let (points, values, regions, extent) = workload(6_000, 9);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(4.0));
+        let (keys, _, vals, _) = shard_rows(&points, &values, &extent, 1);
+        let levels: Vec<u8> = vec![join.finest_level(), 6, 3, 9, 0];
+        let batched = join.execute_keys_levels(&keys, &vals, &levels);
+        for (&level, result) in levels.iter().zip(&batched) {
+            assert_eq!(
+                result,
+                &join.execute_keys_at(&keys, &vals, level),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_execution_is_bit_for_bit_solo_across_shard_counts() {
+        let (points, values, regions, extent) = workload(8_000, 9);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let fine = join.finest_level();
+        let queries = vec![
+            BatchQuery::AggregateAt { level: fine },
+            BatchQuery::AggregateAt { level: 6 },
+            BatchQuery::AggregateRefined,
+            BatchQuery::WithinAt {
+                d: 120.0,
+                level: fine,
+            },
+            BatchQuery::WithinAt {
+                d: 120.0,
+                level: fine,
+            }, // duplicate: shares
+            BatchQuery::WithinRefined { d: 180.0 },
+            BatchQuery::AggregateAt { level: fine }, // duplicate: shares
+        ];
+        for shards in [1usize, 2, 8] {
+            let (keys, pts, vals, bounds) = shard_rows(&points, &values, &extent, shards);
+            let probes: Vec<ShardProbe<'_>> = bounds
+                .iter()
+                .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+                .collect();
+            for threads in [1usize, 4] {
+                let batched = join.execute_shards_multi(&queries, &probes, &regions, threads);
+                assert_eq!(batched.len(), queries.len());
+                for (q, result) in queries.iter().zip(&batched) {
+                    let reference = solo(&join, q, &probes, &regions, 1);
+                    assert_eq!(result, &reference, "{q:?} at {shards} shards");
+                }
+                // Duplicates received identical results.
+                assert_eq!(batched[3], batched[4]);
+                assert_eq!(batched[0], batched[6]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_schedule_batch_matches_solo_kernels() {
+        let (points, values, regions, extent) = workload(5_000, 9);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let (keys, pts, vals, _) = shard_rows(&points, &values, &extent, 1);
+        let probe = ShardProbe::with_points(&keys, &pts, &vals);
+        let queries = vec![
+            BatchQuery::AggregateAt { level: 5 },
+            BatchQuery::AggregateRefined,
+            BatchQuery::WithinAt {
+                d: 90.0,
+                level: join.finest_level(),
+            },
+        ];
+        let batched = join.execute_keys_multi(&queries, &probe, &regions);
+        assert_eq!(batched[0], join.execute_keys_at(&keys, &vals, 5));
+        assert_eq!(
+            batched[1],
+            join.execute_keys_refined(&keys, &pts, &vals, &regions)
+        );
+        assert_eq!(
+            batched[2],
+            join.distance()
+                .within_at(90.0, &pts, &vals, join.finest_level())
+        );
+        // An empty batch is a no-op.
+        assert!(join.execute_keys_multi(&[], &probe, &regions).is_empty());
+    }
+
+    #[test]
+    fn batch_shapes_follow_the_planner_routing() {
+        let (_, _, regions, extent) = workload(64, 4);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let bounded = join.plan(&QuerySpec::within_meters(64.0));
+        assert_eq!(
+            BatchQuery::aggregate(&bounded),
+            BatchQuery::AggregateAt {
+                level: bounded.level
+            }
+        );
+        let exact = join.plan(&QuerySpec::exact());
+        assert_eq!(BatchQuery::aggregate(&exact), BatchQuery::AggregateRefined);
+        let spec = DistanceSpec::within(150.0).unwrap();
+        let dplan = join.distance().plan(&spec);
+        let shape = BatchQuery::within_distance(&dplan, spec.distance());
+        if dplan.exact_refinement {
+            assert_eq!(shape, BatchQuery::WithinRefined { d: 150.0 });
+        } else {
+            assert_eq!(
+                shape,
+                BatchQuery::WithinAt {
+                    d: 150.0,
+                    level: dplan.level
+                }
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Random batches over random shard layouts: every member of the
+        /// batch gets bit-for-bit its solo answer.
+        #[test]
+        fn prop_batched_equals_solo(
+            seed in 0u64..1_000,
+            shards in 1usize..6,
+            picks in proptest::collection::vec((0usize..5, 0u8..10, 40f64..300.0), 1..8),
+        ) {
+            let n = 3_000 + (seed as usize % 1_000);
+            let (points, values, regions, extent) = workload(n, 9);
+            let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+            let queries: Vec<BatchQuery> = picks
+                .into_iter()
+                .map(|(kind, level, d)| match kind {
+                    0 => BatchQuery::AggregateAt { level },
+                    1 => BatchQuery::AggregateAt { level: join.finest_level() },
+                    2 => BatchQuery::AggregateRefined,
+                    3 => BatchQuery::WithinAt { d, level: join.finest_level() },
+                    _ => BatchQuery::WithinRefined { d },
+                })
+                .collect();
+            let (keys, pts, vals, bounds) = shard_rows(&points, &values, &extent, shards);
+            let probes: Vec<ShardProbe<'_>> = bounds
+                .iter()
+                .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+                .collect();
+            let batched = join.execute_shards_multi(&queries, &probes, &regions, 2);
+            for (q, result) in queries.iter().zip(&batched) {
+                let reference = solo(&join, q, &probes, &regions, 1);
+                prop_assert_eq!(result, &reference, "{:?}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_shards_prune_identically_per_group() {
+        // A workload confined to one corner of the extent guarantees some
+        // shards of a wide layout sit entirely outside the covered range.
+        let (points, values, regions, extent) = workload(4_000, 4);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(16.0));
+        let (keys, pts, vals, bounds) = shard_rows(&points, &values, &extent, 8);
+        let probes: Vec<ShardProbe<'_>> = bounds
+            .iter()
+            .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+            .collect();
+        let queries = vec![
+            BatchQuery::AggregateAt { level: 2 },
+            BatchQuery::AggregateRefined,
+            BatchQuery::WithinAt {
+                d: 50.0,
+                level: join.finest_level(),
+            },
+        ];
+        let batched = join.execute_shards_multi(&queries, &probes, &regions, 1);
+        for (q, result) in queries.iter().zip(&batched) {
+            assert_eq!(result, &solo(&join, q, &probes, &regions, 1), "{q:?}");
+        }
+    }
+}

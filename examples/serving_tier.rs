@@ -1,0 +1,114 @@
+//! The concurrent serving tier: clients submit queries to a
+//! `QueryService`, the scheduler batches them *across* queries over one
+//! snapshot per batch, and every ticket comes back with the answer plus
+//! its latency accounting — bit-for-bit what each query would return
+//! alone.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dbsa --example serving_tier
+//! ```
+
+use dbsa::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A sharded engine over the synthetic city workload.
+    let taxi = TaxiPointGenerator::new(city_extent(), 2021).generate(100_000);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let fares: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), 64, 30, 7).generate();
+    let engine = Arc::new(
+        ShardedEngine::builder()
+            .distance_bound(DistanceBound::meters(4.0))
+            .extent(city_extent())
+            .points(points, fares)
+            .regions(regions)
+            .shards(8)
+            .build(),
+    );
+
+    // 2. Start the serving tier: a bounded admission queue in front of a
+    //    scheduler that drains batches and executes each over exactly one
+    //    published snapshot. While one batch runs, new submissions queue
+    //    up — the batch window — so under load batches grow naturally and
+    //    identical or same-level queries share one index walk.
+    let service = Arc::new(engine.serve(ServingConfig {
+        queue_capacity: 256,
+        max_batch: 32,
+        threads: 1,
+    }));
+
+    // 3. Concurrent clients with a mixed workload: bounded and exact
+    //    aggregates, a within-distance semi-join, and a kNN probe.
+    let clients: Vec<_> = (0..4u64)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let probe = Point::new(11_000.0 + 800.0 * c as f64, 13_500.0);
+                let menu = [
+                    QueryRequest::Aggregate(QuerySpec::within_meters(16.0)),
+                    QueryRequest::Aggregate(QuerySpec::within_meters(64.0)),
+                    QueryRequest::Aggregate(QuerySpec::exact()),
+                    QueryRequest::WithinDistance(DistanceSpec::within(50.0).expect("valid")),
+                    QueryRequest::Knn { probe, k: 3 },
+                ];
+                let mut lines = Vec::new();
+                for round in 0..menu.len() {
+                    let request = menu[(round + c as usize) % menu.len()];
+                    match service.submit(request) {
+                        Ok(ticket) => {
+                            let done = ticket.wait();
+                            let what = match done.outcome.expect("query succeeded") {
+                                QueryResponse::Aggregate { plan, result } => format!(
+                                    "aggregate at level {} → {} matched",
+                                    plan.level,
+                                    result.total_matched()
+                                ),
+                                QueryResponse::WithinDistance { plan, result } => format!(
+                                    "within-distance at level {} → {} matched",
+                                    plan.level,
+                                    result.total_matched()
+                                ),
+                                QueryResponse::Knn { neighbors } => {
+                                    format!("knn → {} neighbors", neighbors.len())
+                                }
+                            };
+                            lines.push(format!(
+                                "client {c}: {what} \
+                                 (batch of {}, queued {:?}, total {:?}, generation {})",
+                                done.batch_size, done.queued, done.total, done.generation
+                            ));
+                        }
+                        Err(QueryError::Overloaded { queued, capacity }) => lines.push(format!(
+                            "client {c}: rejected — queue full ({queued}/{capacity})"
+                        )),
+                        Err(e) => lines.push(format!("client {c}: rejected — {e}")),
+                    }
+                }
+                lines
+            })
+        })
+        .collect();
+    for handle in clients {
+        for line in handle.join().expect("client panicked") {
+            println!("{line}");
+        }
+    }
+
+    // 4. Graceful shutdown, then the engine-lifetime serving counters.
+    service.shutdown();
+    let serving = engine.stats().serving;
+    println!(
+        "serving stats: {} admitted, {} completed, {} rejected, \
+         {} batches (mean occupancy {:.2}, peak {}), last generation {}",
+        serving.admitted,
+        serving.completed,
+        serving.rejected,
+        serving.batches,
+        serving.mean_batch(),
+        serving.max_batch,
+        serving.last_generation
+    );
+    assert_eq!(serving.completed, serving.admitted);
+}

@@ -68,6 +68,7 @@ example_tests!(
     motivating_example,
     query_bounds,
     result_range_estimation,
+    serving_tier,
     sharded_serving,
     taxi_aggregation,
     visual_exploration,

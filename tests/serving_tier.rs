@@ -1,0 +1,326 @@
+//! Behavioural tests of the concurrent serving tier: batched responses
+//! bit-for-bit identical to solo execution (as a property over random
+//! workloads and shard counts), admission control under overload,
+//! graceful drain on shutdown, and a stress test serving concurrent
+//! clients while another thread ingests and compacts.
+
+use dbsa::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+fn workload(
+    n_points: usize,
+    n_regions: usize,
+    seed: u64,
+) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>) {
+    let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), n_regions, 20, seed + 3).generate();
+    (points, values, regions)
+}
+
+fn sharded(
+    points: Vec<Point>,
+    values: Vec<f64>,
+    regions: Vec<MultiPolygon>,
+    eps: f64,
+    shards: usize,
+) -> ShardedEngine {
+    ShardedEngine::builder()
+        .distance_bound(DistanceBound::meters(eps))
+        .extent(city_extent())
+        .points(points, values)
+        .regions(regions)
+        .shards(shards)
+        .build()
+}
+
+/// The solo (single-query) answer a batched response must reproduce
+/// bit-for-bit, computed directly on a snapshot.
+fn solo(snap: &EngineSnapshot, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
+    match request {
+        QueryRequest::Aggregate(spec) => {
+            let (plan, result) = snap.aggregate_by_region_spec(spec, 1);
+            Ok(QueryResponse::Aggregate { plan, result })
+        }
+        QueryRequest::WithinDistance(spec) => {
+            let (plan, result) = snap.within_distance(spec, 1);
+            Ok(QueryResponse::WithinDistance { plan, result })
+        }
+        QueryRequest::Knn { probe, k } => snap
+            .knn(probe, *k)
+            .map(|neighbors| QueryResponse::Knn { neighbors }),
+        QueryRequest::KnnExact { probe, k } => snap
+            .knn_exact(probe, *k)
+            .map(|neighbors| QueryResponse::Knn { neighbors }),
+    }
+}
+
+/// A mixed request batch covering every request type: bounded aggregates at
+/// two different bounds (plus an exact duplicate pair), bounded and exact
+/// within-distance, and both kNN flavours.
+fn mixed_requests(eps_a: f64, eps_b: f64, d: f64) -> Vec<QueryRequest> {
+    let probe = Point::new(12_000.0, 14_000.0);
+    vec![
+        QueryRequest::Aggregate(QuerySpec::within_meters(eps_a)),
+        QueryRequest::Aggregate(QuerySpec::within_meters(eps_b)),
+        QueryRequest::Aggregate(QuerySpec::within_meters(eps_a)), // duplicate
+        QueryRequest::Aggregate(QuerySpec::exact()),
+        QueryRequest::WithinDistance(DistanceSpec::within(d).expect("valid d")),
+        QueryRequest::WithinDistance(
+            DistanceSpec::within_bounded(d, eps_b).expect("valid bounded d"),
+        ),
+        QueryRequest::Knn { probe, k: 3 },
+        QueryRequest::KnnExact { probe, k: 3 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every response served through the batched tier is bit-for-bit the
+    /// solo answer, across shard counts 1/2/8, execution thread counts,
+    /// and every request class (bounded/exact aggregate, bounded/exact
+    /// within-distance, approximate/exact kNN) — including duplicate
+    /// queries in one batch.
+    #[test]
+    fn prop_served_responses_equal_solo_execution(
+        seed in 0u64..30,
+        eps_a in 8.0f64..40.0,
+        eps_b in 48.0f64..120.0,
+        d in 20.0f64..150.0,
+    ) {
+        let (points, values, regions) = workload(1_200, 6, seed);
+        for (shard_count, threads) in [(1usize, 1usize), (2, 2), (8, 1)] {
+            let engine = Arc::new(sharded(
+                points.clone(),
+                values.clone(),
+                regions.clone(),
+                4.0,
+                shard_count,
+            ));
+            let snap = engine.snapshot();
+            let requests = mixed_requests(eps_a, eps_b, d);
+            let service = engine.serve(ServingConfig {
+                threads,
+                ..ServingConfig::default()
+            });
+            let tickets: Vec<Ticket> = requests
+                .iter()
+                .map(|r| service.submit(*r).expect("queue has headroom"))
+                .collect();
+            for (ticket, request) in tickets.into_iter().zip(&requests) {
+                let done = ticket.wait();
+                prop_assert_eq!(&done.outcome, &solo(&snap, request),
+                    "shards = {}, request = {:?}", shard_count, request);
+                prop_assert_eq!(done.generation, snap.generation());
+                prop_assert!(done.batch_size >= 1);
+                prop_assert!(done.total >= done.queued);
+            }
+            service.shutdown();
+            let stats = engine.stats();
+            prop_assert_eq!(stats.serving.admitted, requests.len() as u64);
+            prop_assert_eq!(stats.serving.completed, requests.len() as u64);
+            prop_assert_eq!(stats.serving.queued, 0);
+            prop_assert!(stats.serving.batches >= 1);
+            prop_assert!(stats.serving.mean_batch() >= 1.0);
+        }
+    }
+}
+
+/// A full admission queue rejects with `QueryError::Overloaded` at the
+/// caller — typed, counted, never silently dropped — and every *admitted*
+/// query still completes.
+#[test]
+fn overload_rejects_with_typed_error_and_counts_it() {
+    let (points, values, regions) = workload(3_000, 6, 11);
+    let engine = Arc::new(sharded(points, values, regions, 4.0, 4));
+    let service = engine.serve(ServingConfig {
+        queue_capacity: 1,
+        max_batch: 1,
+        threads: 1,
+    });
+    // Exact queries are the slow path: the queue (capacity 1) fills while
+    // the scheduler is busy, and a burst must hit a rejection.
+    let mut tickets = Vec::new();
+    let mut overloads = 0u64;
+    for _ in 0..200 {
+        match service.submit(QueryRequest::Aggregate(QuerySpec::exact())) {
+            Ok(t) => tickets.push(t),
+            Err(QueryError::Overloaded { queued, capacity }) => {
+                assert_eq!(capacity, 1);
+                assert!(queued >= 1);
+                overloads += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other:?}"),
+        }
+        if overloads >= 3 && tickets.len() >= 2 {
+            break;
+        }
+    }
+    assert!(
+        overloads >= 1,
+        "a capacity-1 queue must overflow under burst"
+    );
+    let admitted = tickets.len() as u64;
+    let snap = engine.snapshot();
+    let reference = solo(&snap, &QueryRequest::Aggregate(QuerySpec::exact()));
+    for ticket in tickets {
+        assert_eq!(ticket.wait().outcome, reference);
+    }
+    service.shutdown();
+    let stats = engine.stats();
+    assert_eq!(stats.serving.admitted, admitted);
+    assert_eq!(stats.serving.completed, admitted);
+    assert_eq!(stats.serving.rejected, overloads);
+    assert_eq!(stats.serving.max_batch, 1, "max_batch config is honoured");
+}
+
+/// Shutdown is graceful: already-admitted queries drain to completion,
+/// new submissions are rejected with `ServiceStopped`, and shutdown is
+/// idempotent (including the implicit one on drop).
+#[test]
+fn shutdown_drains_admitted_queries_then_rejects() {
+    let (points, values, regions) = workload(2_000, 5, 29);
+    let engine = Arc::new(sharded(points, values, regions, 4.0, 2));
+    let snap = engine.snapshot();
+    let service = engine.serve(ServingConfig::default());
+    let requests: Vec<QueryRequest> = (0..6)
+        .map(|i| {
+            QueryRequest::Aggregate(if i % 2 == 0 {
+                QuerySpec::exact()
+            } else {
+                QuerySpec::within_meters(16.0)
+            })
+        })
+        .collect();
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|r| service.submit(*r).expect("queue has headroom"))
+        .collect();
+    service.shutdown();
+    // Post-shutdown: rejected as stopped, and the rejection is counted.
+    let late = service.submit(QueryRequest::Knn {
+        probe: Point::new(0.0, 0.0),
+        k: 1,
+    });
+    assert_eq!(late.err(), Some(QueryError::ServiceStopped));
+    // Every admitted query drained with the correct answer.
+    for (ticket, request) in tickets.into_iter().zip(&requests) {
+        assert_eq!(ticket.wait().outcome, solo(&snap, request));
+    }
+    service.shutdown(); // idempotent
+    let stats = engine.stats();
+    assert_eq!(stats.serving.admitted, 6);
+    assert_eq!(stats.serving.completed, 6);
+    assert_eq!(stats.serving.rejected, 1);
+    drop(service); // drop runs shutdown again — still fine
+}
+
+/// Invalid request parameters surface as per-query typed errors through
+/// the ticket, exactly as solo execution reports them.
+#[test]
+fn invalid_requests_fail_per_query_not_per_batch() {
+    let (points, values, regions) = workload(600, 4, 41);
+    let engine = Arc::new(sharded(points, values, regions, 4.0, 2));
+    let snap = engine.snapshot();
+    let service = engine.serve(ServingConfig::default());
+    let bad = QueryRequest::Knn {
+        probe: Point::new(1_000.0, 1_000.0),
+        k: 0,
+    };
+    let good = QueryRequest::Aggregate(QuerySpec::within_meters(20.0));
+    let t_bad = service.submit(bad).expect("admitted");
+    let t_good = service.submit(good).expect("admitted");
+    assert_eq!(t_bad.wait().outcome, Err(QueryError::InvalidK));
+    assert_eq!(t_good.wait().outcome, solo(&snap, &good));
+    service.shutdown();
+}
+
+/// Stress: concurrent clients query through the serving tier while a
+/// writer ingests and compacts. Every response must equal the solo answer
+/// on the exact snapshot generation that served it — served generations
+/// are looked up in a writer-maintained generation → snapshot map.
+#[test]
+fn serving_stays_exact_during_ingest_and_compaction() {
+    let (points, values, regions) = workload(3_000, 6, 17);
+    let engine = Arc::new(sharded(points, values, regions, 4.0, 4));
+    let service = Arc::new(engine.serve(ServingConfig::default()));
+
+    // The writer is the only publisher, so the snapshot captured right
+    // after each publish is exactly that generation's snapshot.
+    let snapshots: Arc<Mutex<HashMap<u64, Arc<EngineSnapshot>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let capture = |map: &Mutex<HashMap<u64, Arc<EngineSnapshot>>>, snap: Arc<EngineSnapshot>| {
+        map.lock().unwrap().insert(snap.generation(), snap);
+    };
+    capture(&snapshots, engine.snapshot());
+
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let snapshots = Arc::clone(&snapshots);
+        std::thread::spawn(move || {
+            for batch in 0..6u64 {
+                let taxi = TaxiPointGenerator::new(city_extent(), 700 + batch).generate(200);
+                let pts: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+                let vals: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+                engine.append_points(pts, vals);
+                capture(&snapshots, engine.snapshot());
+                if batch % 2 == 1 && engine.compact() {
+                    capture(&snapshots, engine.snapshot());
+                }
+            }
+        })
+    };
+
+    let clients: Vec<_> = (0..3u64)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let probe = Point::new(10_000.0 + 500.0 * c as f64, 13_000.0);
+                let menu = [
+                    QueryRequest::Aggregate(QuerySpec::within_meters(12.0 + c as f64)),
+                    QueryRequest::Aggregate(QuerySpec::exact()),
+                    QueryRequest::WithinDistance(DistanceSpec::within(60.0).expect("valid")),
+                    QueryRequest::Knn { probe, k: 2 },
+                ];
+                let mut completed = Vec::new();
+                for round in 0..4 {
+                    let request = menu[(round + c as usize) % menu.len()];
+                    let done = service.submit(request).expect("default queue").wait();
+                    completed.push((request, done));
+                }
+                completed
+            })
+        })
+        .collect();
+
+    let mut all: Vec<(QueryRequest, CompletedQuery)> = Vec::new();
+    for client in clients {
+        all.extend(client.join().expect("client thread panicked"));
+    }
+    writer.join().expect("writer thread panicked");
+    service.shutdown();
+
+    // Validate every response against from-scratch solo execution on the
+    // snapshot generation that served it.
+    let snapshots = snapshots.lock().unwrap();
+    for (request, done) in &all {
+        let snap = snapshots
+            .get(&done.generation)
+            .expect("served generation was captured by the writer");
+        assert_eq!(
+            &done.outcome,
+            &solo(snap, request),
+            "request {request:?} at generation {}",
+            done.generation
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.serving.admitted, 12);
+    assert_eq!(stats.serving.completed, 12);
+    assert_eq!(stats.serving.rejected, 0);
+    assert!(stats.serving.last_generation <= engine.snapshot().generation());
+}
