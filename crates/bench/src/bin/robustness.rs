@@ -1,0 +1,309 @@
+//! Robustness — serving-tier behaviour under injected faults
+//! (100 k points, neighborhood-profile regions, 4 m bound, 8 shards).
+//!
+//! Two scenarios, 8 closed-loop clients × 12 queries each, rotating a
+//! menu of bounded aggregates, exact aggregates (under a deadline), a
+//! within-distance semi-join and a kNN probe:
+//!
+//! * **clean** — inert `FaultPlan`, generous deadlines: the baseline
+//!   qps/p50/p99 and a calibration of the exact-aggregate cost.
+//! * **faulty** — a seeded plan delays 1-in-10 per-shard executions by
+//!   2 ms (the "10 % slow shard") and panics 1-in-50 prepared queries;
+//!   exact aggregates carry a deadline of **half** the calibrated clean
+//!   exact latency, so once the scheduler's EWMA cost model warms up it
+//!   must degrade them to the finest bounded level — every degraded
+//!   answer carrying its guaranteed bound.
+//!
+//! Every row reports qps, p50/p99 (submission → fulfillment), the
+//! degraded fraction, and the fault ledger (internal errors, deadline
+//! misses, scheduler restarts).
+//!
+//! Acceptance bar: the faulty scenario degrades a nonzero fraction of
+//! queries, every degraded answer carries its `GuaranteedBound`, and the
+//! scheduler survives (no restarts — query panics are isolated).
+
+use dbsa::prelude::*;
+use dbsa_bench::{
+    fmt_ms, json_output_path, percentile, print_header, timed, JsonReport, JsonValue, Workload,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N_POINTS: usize = 100_000;
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 12;
+
+fn request_menu(bound: DistanceBound, exact_deadline: Option<Duration>) -> Vec<QueryRequest> {
+    let exact = match exact_deadline {
+        Some(deadline) => QueryRequest::aggregate(QuerySpec::exact()).with_deadline(deadline),
+        None => QueryRequest::aggregate(QuerySpec::exact()),
+    };
+    vec![
+        QueryRequest::aggregate(QuerySpec::within(bound)),
+        exact,
+        QueryRequest::aggregate(QuerySpec::within_meters(64.0)),
+        exact,
+        QueryRequest::within_distance(DistanceSpec::within(50.0).expect("valid distance")),
+        QueryRequest::knn(Point::new(12_000.0, 14_000.0), 3),
+    ]
+}
+
+struct ScenarioOutcome {
+    latencies: Vec<Duration>,
+    wall: Duration,
+    completed: u64,
+    degraded: u64,
+    degraded_with_bound: u64,
+    internal: u64,
+    deadline_missed: u64,
+}
+
+fn run_scenario(service: &Arc<QueryService>, menu: &[QueryRequest]) -> ScenarioOutcome {
+    let (per_client, wall) = timed(|| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let service = Arc::clone(service);
+                let menu = menu.to_vec();
+                std::thread::spawn(move || {
+                    let mut outcome = ScenarioOutcome {
+                        latencies: Vec::with_capacity(QUERIES_PER_CLIENT),
+                        wall: Duration::ZERO,
+                        completed: 0,
+                        degraded: 0,
+                        degraded_with_bound: 0,
+                        internal: 0,
+                        deadline_missed: 0,
+                    };
+                    for round in 0..QUERIES_PER_CLIENT {
+                        let request = menu[(c + round) % menu.len()];
+                        let Ok(ticket) = service.submit(request) else {
+                            continue;
+                        };
+                        let done = ticket.wait();
+                        outcome.completed += 1;
+                        outcome.latencies.push(done.total);
+                        if let Some(bound) = done.degraded {
+                            outcome.degraded += 1;
+                            if bound.epsilon > 0.0 {
+                                outcome.degraded_with_bound += 1;
+                            }
+                        }
+                        match done.outcome {
+                            Err(QueryError::Internal) => outcome.internal += 1,
+                            Err(QueryError::DeadlineExceeded { .. }) => {
+                                outcome.deadline_missed += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut total = ScenarioOutcome {
+        latencies: Vec::new(),
+        wall,
+        completed: 0,
+        degraded: 0,
+        degraded_with_bound: 0,
+        internal: 0,
+        deadline_missed: 0,
+    };
+    for part in per_client {
+        total.latencies.extend(part.latencies);
+        total.completed += part.completed;
+        total.degraded += part.degraded;
+        total.degraded_with_bound += part.degraded_with_bound;
+        total.internal += part.internal;
+        total.deadline_missed += part.deadline_missed;
+    }
+    total
+}
+
+fn report_scenario(
+    report: &mut JsonReport,
+    scenario: &str,
+    outcome: &ScenarioOutcome,
+    restarts: u64,
+) -> f64 {
+    let qps = outcome.completed as f64 / outcome.wall.as_secs_f64();
+    let p50 = percentile(&outcome.latencies, 50.0);
+    let p99 = percentile(&outcome.latencies, 99.0);
+    let degraded_fraction = if outcome.completed == 0 {
+        0.0
+    } else {
+        outcome.degraded as f64 / outcome.completed as f64
+    };
+    println!(
+        "{:<8} | {:>10} | {:>8.2} | {:>10} | {:>10} | {:>8.3} | {:>8} | {:>8} | {:>8}",
+        scenario,
+        fmt_ms(outcome.wall),
+        qps,
+        fmt_ms(p50),
+        fmt_ms(p99),
+        degraded_fraction,
+        outcome.internal,
+        outcome.deadline_missed,
+        restarts
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str(scenario.into())),
+        ("queries_completed", JsonValue::Int(outcome.completed)),
+        ("wall_ms", JsonValue::Num(outcome.wall.as_secs_f64() * 1e3)),
+        ("queries_per_sec", JsonValue::Num(qps)),
+        ("p50_ms", JsonValue::Num(p50.as_secs_f64() * 1e3)),
+        ("p99_ms", JsonValue::Num(p99.as_secs_f64() * 1e3)),
+        ("degraded", JsonValue::Int(outcome.degraded)),
+        (
+            "degraded_with_bound",
+            JsonValue::Int(outcome.degraded_with_bound),
+        ),
+        ("degraded_fraction", JsonValue::Num(degraded_fraction)),
+        ("internal_errors", JsonValue::Int(outcome.internal)),
+        ("deadline_missed", JsonValue::Int(outcome.deadline_missed)),
+        ("scheduler_restarts", JsonValue::Int(restarts)),
+    ]);
+    degraded_fraction
+}
+
+fn main() {
+    let json_path = json_output_path();
+    let bound = DistanceBound::meters(4.0);
+    let config = dbsa::ExperimentConfig {
+        experiment: "robustness".into(),
+        points: N_POINTS,
+        regions: 0, // Neighborhoods profile below
+        vertices_per_region: 0,
+        distance_bounds: vec![4.0],
+        precision_levels: vec![],
+        seed: 2021,
+    };
+    print_header(
+        "Robustness",
+        "serving tier under injected faults: slow shards, query panics, deadline-driven degradation",
+        &config,
+    );
+    let mut report = JsonReport::new("robustness", &config);
+
+    let workload = Workload::from_profile(N_POINTS, DatasetProfile::Neighborhoods, config.seed);
+    let engine = Arc::new(
+        ShardedEngine::builder()
+            .distance_bound(bound)
+            .extent(workload.extent_bbox())
+            .points(workload.points.clone(), workload.values.clone())
+            .regions(workload.regions.clone())
+            .shards(8)
+            .build(),
+    );
+
+    // Calibrate the exact-aggregate cost on a snapshot: the faulty
+    // scenario's deadline is half of it, so the warmed-up cost model must
+    // degrade exact requests.
+    let snap = engine.snapshot();
+    let (_, exact_cost) = timed(|| snap.aggregate_by_region_spec(&QuerySpec::exact(), 1));
+    let tight_deadline = (exact_cost / 2).max(Duration::from_micros(200));
+    println!(
+        "calibration: solo exact aggregate {} -> faulty-scenario deadline {}",
+        fmt_ms(exact_cost),
+        fmt_ms(tight_deadline)
+    );
+
+    println!(
+        "{:<8} | {:>10} | {:>8} | {:>10} | {:>10} | {:>8} | {:>8} | {:>8} | {:>8}",
+        "scenario", "wall time", "qps", "p50", "p99", "degr.fr", "internal", "ddl.miss", "restarts"
+    );
+    println!(
+        "{:-<8}-+-{:-<10}-+-{:-<8}-+-{:-<10}-+-{:-<10}-+-{:-<8}-+-{:-<8}-+-{:-<8}-+-{:-<8}",
+        "", "", "", "", "", "", "", "", ""
+    );
+
+    // Scenario 1 — clean: inert faults, generous deadlines.
+    let service = Arc::new(engine.serve(ServingConfig::default()));
+    let clean_menu = request_menu(bound, Some(Duration::from_secs(30)));
+    let clean = run_scenario(&service, &clean_menu);
+    service.shutdown().expect("clean shutdown");
+    let restarts_after_clean = engine.stats().serving.scheduler_restarts;
+    report_scenario(&mut report, "clean", &clean, restarts_after_clean);
+
+    // Scenario 2 — faulty: 10 % slow shards (2 ms), 1-in-50 query panics,
+    // exact aggregates on a deadline of half their clean cost.
+    let service = Arc::new(engine.serve(ServingConfig {
+        faults: FaultPlan {
+            seed: 17,
+            slow_shard_one_in: 10,
+            slow_shard_delay: Duration::from_millis(2),
+            panic_query_one_in: 50,
+            ..FaultPlan::default()
+        },
+        ..ServingConfig::default()
+    }));
+    let faulty_menu = request_menu(bound, Some(tight_deadline));
+    let faulty = run_scenario(&service, &faulty_menu);
+    service.shutdown().expect("clean shutdown");
+    let stats = engine.stats().serving;
+    let degraded_fraction = report_scenario(
+        &mut report,
+        "faulty",
+        &faulty,
+        stats.scheduler_restarts - restarts_after_clean,
+    );
+
+    // Acceptance: degradation happened, every degraded answer carried its
+    // guaranteed bound, and query faults never killed the scheduler.
+    let pass = degraded_fraction > 0.0
+        && faulty.degraded_with_bound == faulty.degraded
+        && stats.scheduler_restarts == 0;
+    println!();
+    println!(
+        "acceptance: degraded fraction = {degraded_fraction:.3} (> 0 required), \
+         {}/{} degraded answers carry their bound, {} scheduler restarts -> {}",
+        faulty.degraded_with_bound,
+        faulty.degraded,
+        stats.scheduler_restarts,
+        if pass { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "lifetime fault ledger: {} admitted, {} completed, {} cancelled, \
+         {} deadline-missed, {} degraded, {} isolated panics, {} restarts",
+        stats.admitted,
+        stats.completed,
+        stats.cancelled,
+        stats.deadline_missed,
+        stats.degraded,
+        stats.isolated_panics,
+        stats.scheduler_restarts
+    );
+    report.push_row(&[
+        ("mode", JsonValue::Str("summary".into())),
+        (
+            "degraded_fraction_faulty",
+            JsonValue::Num(degraded_fraction),
+        ),
+        ("degraded", JsonValue::Int(faulty.degraded)),
+        (
+            "degraded_with_bound",
+            JsonValue::Int(faulty.degraded_with_bound),
+        ),
+        ("internal_errors_faulty", JsonValue::Int(faulty.internal)),
+        (
+            "deadline_missed_faulty",
+            JsonValue::Int(faulty.deadline_missed),
+        ),
+        (
+            "scheduler_restarts",
+            JsonValue::Int(stats.scheduler_restarts),
+        ),
+        ("isolated_panics", JsonValue::Int(stats.isolated_panics)),
+        (
+            "pass",
+            JsonValue::Str(if pass { "true" } else { "false" }.into()),
+        ),
+    ]);
+
+    report.write_if_requested(json_path.as_deref());
+}

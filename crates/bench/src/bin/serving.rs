@@ -40,23 +40,20 @@ fn request_menu(bound: DistanceBound) -> Vec<(&'static str, QueryRequest)> {
     vec![
         (
             "agg_finest",
-            QueryRequest::Aggregate(QuerySpec::within(bound)),
+            QueryRequest::aggregate(QuerySpec::within(bound)),
         ),
         (
             "agg_64m",
-            QueryRequest::Aggregate(QuerySpec::within_meters(64.0)),
+            QueryRequest::aggregate(QuerySpec::within_meters(64.0)),
         ),
-        ("agg_exact", QueryRequest::Aggregate(QuerySpec::exact())),
+        ("agg_exact", QueryRequest::aggregate(QuerySpec::exact())),
         (
             "within_50m",
-            QueryRequest::WithinDistance(DistanceSpec::within(50.0).expect("valid distance")),
+            QueryRequest::within_distance(DistanceSpec::within(50.0).expect("valid distance")),
         ),
         (
             "knn_3",
-            QueryRequest::Knn {
-                probe: Point::new(12_000.0, 14_000.0),
-                k: 3,
-            },
+            QueryRequest::knn(Point::new(12_000.0, 14_000.0), 3),
         ),
     ]
 }
@@ -211,7 +208,7 @@ fn main() {
     // Scenario 1 — uniform: the scaling bin's query class through the
     // batching scheduler. Identical queries per batch execute once.
     let service = Arc::new(engine.serve(ServingConfig::default()));
-    let uniform = move |_c: usize, _round: usize| QueryRequest::Aggregate(QuerySpec::within(bound));
+    let uniform = move |_c: usize, _round: usize| QueryRequest::aggregate(QuerySpec::within(bound));
     let mut uniform_8_client_qps = 0.0f64;
     let mut one_client_qps = 0.0f64;
     for &clients in &CLIENT_COUNTS {
@@ -234,7 +231,7 @@ fn main() {
             uniform_8_client_qps = qps;
         }
     }
-    service.shutdown();
+    service.shutdown().expect("clean shutdown");
 
     // Scenario 2 — mixed: rotating realistic menu; batches share
     // multi-level walks across different bounds and query classes.
@@ -262,7 +259,7 @@ fn main() {
             one_client_qps = qps;
         }
     }
-    service.shutdown();
+    service.shutdown().expect("clean shutdown");
 
     // Scenario 3 — overload: 32 clients burst slow exact queries into a
     // capacity-4 queue; the surplus is rejected with a typed error.
@@ -271,13 +268,14 @@ fn main() {
         queue_capacity: 4,
         max_batch: 4,
         threads: 1,
+        ..ServingConfig::default()
     }));
-    let slow = |_c: usize, _round: usize| QueryRequest::Aggregate(QuerySpec::exact());
+    let slow = |_c: usize, _round: usize| QueryRequest::aggregate(QuerySpec::exact());
     let before = engine.stats().serving;
     let outcome = run_clients(&service, 32, slow);
     let after = engine.stats().serving;
     report_step(&mut report, "overload", 32, &outcome, &before, &after, 0.0);
-    service.shutdown();
+    service.shutdown().expect("clean shutdown");
     let stats = engine.stats().serving;
     assert_eq!(
         stats.admitted, stats.completed,

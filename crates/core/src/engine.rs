@@ -152,8 +152,10 @@ pub struct EngineStats {
     /// for the sharded engine).
     pub per_shard: Vec<ShardStats>,
     /// Serving-tier counters (admissions, rejections, batch occupancy,
-    /// last generation served). All-zero for the monolithic engine and
-    /// for snapshots read outside a serving tier.
+    /// last generation served, plus the fault-tolerance ledger: deadline
+    /// misses, cancellations, degraded answers, isolated panics and
+    /// scheduler restarts). All-zero for the monolithic engine and for
+    /// snapshots read outside a serving tier.
     pub serving: ServingStats,
 }
 

@@ -62,7 +62,8 @@ pub mod sharded;
 pub use config::ExperimentConfig;
 pub use engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats, ShardStats};
 pub use serving::{
-    CompletedQuery, QueryRequest, QueryResponse, QueryService, ServingConfig, ServingStats, Ticket,
+    CompletedQuery, DegradePolicy, FaultPlan, QueryKind, QueryRequest, QueryResponse, QueryService,
+    ServingConfig, ServingStats, Ticket,
 };
 pub use sharded::{EngineShard, EngineSnapshot, ShardedEngine, ShardedEngineBuilder};
 
@@ -70,8 +71,8 @@ pub use sharded::{EngineShard, EngineSnapshot, ShardedEngine, ShardedEngineBuild
 pub mod prelude {
     pub use crate::engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats, ShardStats};
     pub use crate::serving::{
-        CompletedQuery, QueryRequest, QueryResponse, QueryService, ServingConfig, ServingStats,
-        Ticket,
+        CompletedQuery, DegradePolicy, FaultPlan, QueryKind, QueryRequest, QueryResponse,
+        QueryService, ServingConfig, ServingStats, Ticket,
     };
     pub use crate::sharded::{EngineShard, EngineSnapshot, ShardedEngine, ShardedEngineBuilder};
     pub use dbsa_canvas::{BoundedRasterJoin, Canvas, GpuBaseline, SimulatedDevice};
@@ -83,9 +84,10 @@ pub mod prelude {
     pub use dbsa_index::{AdaptiveCellTrie, FrozenCellTrie, MemoryFootprint, RTree, RadixSpline};
     pub use dbsa_query::{
         AggregateKind, ApproximateCellJoin, BruteForceDistanceJoin, DistanceJoin, DistanceSpec,
-        ErrorSummary, JoinResult, KnnNeighbor, LinearizedPointTable, PointIndexVariant, QueryError,
-        QueryMode, QueryPlan, QueryPlanner, QuerySpec, RTreeExactJoin, RegionAggregate,
-        ResultRange, ShapeIndexExactJoin, ShardProbe, SpatialBaseline, SpatialBaselineKind,
+        ErrorSummary, GuaranteedBound, JoinResult, KnnNeighbor, LinearizedPointTable,
+        PointIndexVariant, QueryError, QueryMode, QueryPlan, QueryPlanner, QuerySpec,
+        RTreeExactJoin, RegionAggregate, ResultRange, ShapeIndexExactJoin, ShardProbe,
+        SpatialBaseline, SpatialBaselineKind,
     };
     pub use dbsa_raster::{
         BoundaryPolicy, DistanceBins, DistanceBound, HierarchicalRaster, UniformRaster,

@@ -1,13 +1,13 @@
 //! The concurrent serving tier: cross-query batched scheduling over
-//! lock-free engine snapshots, with admission control and latency
-//! accounting.
+//! lock-free engine snapshots, with admission control, latency accounting
+//! and end-to-end fault tolerance.
 //!
 //! A [`QueryService`] is a front end over a shared [`ShardedEngine`]:
 //! clients [`submit`](QueryService::submit) queries from any thread and
 //! receive a [`Ticket`]; a dedicated scheduler thread drains the admission
-//! queue in batches, executes each batch over **one** engine snapshot via
-//! [`EngineSnapshot::execute_batch`], and fulfills every ticket with a
-//! [`CompletedQuery`] carrying the outcome plus its latency breakdown.
+//! queue in batches, executes each batch over **one** engine snapshot, and
+//! fulfills every ticket with a [`CompletedQuery`] carrying the outcome
+//! plus its latency breakdown.
 //!
 //! **Batch window.** No timer and no artificial delay: while the scheduler
 //! executes one batch, newly submitted queries accumulate in the queue;
@@ -27,24 +27,73 @@
 //! admitting ([`QueryError::ServiceStopped`]) but drains every
 //! already-admitted query before the scheduler exits — graceful drain.
 //!
-//! **Determinism guarantee.** Every response is bit-for-bit identical to
-//! executing that query alone against the same snapshot: batching is pure
-//! scheduling (see the determinism policy of
+//! **Determinism guarantee.** Every non-degraded response is bit-for-bit
+//! identical to executing that query alone against the same snapshot:
+//! batching is pure scheduling (see the determinism policy of
 //! [`dbsa_query::multi`]). Ingest and compaction never block readers —
 //! the scheduler picks up whatever snapshot is published when its batch
 //! starts, and the served generation is reported per response.
+//!
+//! # Failure model
+//!
+//! * **Deadlines.** A request may carry a deadline (relative to
+//!   submission). It is checked at admission (a zero deadline is rejected
+//!   immediately), at batch formation, and again between batch groups;
+//!   a query whose budget ran out fails with
+//!   [`QueryError::DeadlineExceeded`] carrying its queue/elapsed split. A
+//!   query that *starts* executing in time but finishes late delivers its
+//!   (late) result — work already spent is not thrown away.
+//! * **Bounded degradation.** When the scheduler estimates (from an EWMA
+//!   of recent per-group execution times) that exact refinement cannot fit
+//!   a query's remaining budget, it re-plans the query via the
+//!   [`QueryPlanner`](dbsa_query::QueryPlanner) to the approximate answer
+//!   at the finest level that still fits — the paper's core lever: one
+//!   distance-bounded approximation answers any query with a guaranteed
+//!   bound. Degradation is **never silent**: the response carries
+//!   `degraded: Some(`[`GuaranteedBound`]`)` stating the bound the served
+//!   level guarantees. Bounded requests never degrade (their bound is a
+//!   contract); only exact requests trade accuracy for latency, governed
+//!   by [`DegradePolicy`].
+//! * **Panic isolation.** Per-query preparation and each batch group
+//!   execute under `catch_unwind`: a panicking query fails only itself
+//!   (and, for a shared group, its group) with [`QueryError::Internal`].
+//!   Every lock acquisition recovers from poisoning instead of spreading
+//!   it, a handle dropped without fulfillment completes its ticket with
+//!   `Internal` (no client ever blocks forever), and a supervisor restarts
+//!   the scheduler thread if it dies — counted in
+//!   [`ServingStats::scheduler_restarts`].
+//! * **Cancellation.** Dropping a [`Ticket`] without waiting cancels the
+//!   query: the scheduler skips it at batch formation and between batch
+//!   groups, so abandoned clients never leak queue slots or spend engine
+//!   time.
+//! * **Deterministic fault injection.** A seeded [`FaultPlan`] in the
+//!   [`ServingConfig`] can panic the Nth query, delay every Nth per-shard
+//!   execution, stall batch formation, and kill the scheduler thread —
+//!   all driven by counters, not clocks, so chaos tests replay exactly.
 
 use crate::sharded::{EngineSnapshot, ShardedEngine};
 use dbsa_geom::Point;
-use dbsa_query::{DistanceSpec, JoinResult, KnnNeighbor, QueryError, QueryPlan, QuerySpec};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use dbsa_query::{
+    BatchQuery, DistanceSpec, GuaranteedBound, JoinResult, KnnNeighbor, QueryError, QueryPlan,
+    QuerySpec,
+};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-/// One client query, as admitted by the serving tier.
+/// Poison-recovering lock acquisition: a thread that panicked while
+/// holding the lock leaves the data behind, not a wedged service. All
+/// serving-tier state is written atomically enough that the recovered
+/// value is always usable (queue contents, completion slots).
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a client asks of the engine (without delivery metadata).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum QueryRequest {
+pub enum QueryKind {
     /// `SELECT AGG(a) … GROUP BY region` under a per-query accuracy spec.
     Aggregate(QuerySpec),
     /// `WITHIN_DISTANCE(d)` semi-join under a per-query accuracy spec.
@@ -65,24 +114,73 @@ pub enum QueryRequest {
     },
 }
 
+/// One client query, as admitted by the serving tier: the request body
+/// plus an optional deadline (relative to submission).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRequest {
+    /// What is being asked.
+    pub kind: QueryKind,
+    /// Latency budget measured from submission. `None` means unbounded.
+    /// See the module docs for the exact check points and the degradation
+    /// policy a tight budget can trigger.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// An aggregation request.
+    pub fn aggregate(spec: QuerySpec) -> Self {
+        QueryKind::Aggregate(spec).into()
+    }
+
+    /// A within-distance request.
+    pub fn within_distance(spec: DistanceSpec) -> Self {
+        QueryKind::WithinDistance(spec).into()
+    }
+
+    /// An approximate k-nearest-regions request.
+    pub fn knn(probe: Point, k: usize) -> Self {
+        QueryKind::Knn { probe, k }.into()
+    }
+
+    /// An exact k-nearest-regions request.
+    pub fn knn_exact(probe: Point, k: usize) -> Self {
+        QueryKind::KnnExact { probe, k }.into()
+    }
+
+    /// Attaches a deadline (measured from submission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl From<QueryKind> for QueryRequest {
+    fn from(kind: QueryKind) -> Self {
+        QueryRequest {
+            kind,
+            deadline: None,
+        }
+    }
+}
+
 /// The answer to one [`QueryRequest`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryResponse {
-    /// Answer to [`QueryRequest::Aggregate`].
+    /// Answer to [`QueryKind::Aggregate`].
     Aggregate {
         /// The plan the request resolved to.
         plan: QueryPlan,
         /// Per-region aggregates.
         result: JoinResult,
     },
-    /// Answer to [`QueryRequest::WithinDistance`].
+    /// Answer to [`QueryKind::WithinDistance`].
     WithinDistance {
         /// The plan the request resolved to.
         plan: QueryPlan,
         /// Per-region within-distance aggregates.
         result: JoinResult,
     },
-    /// Answer to [`QueryRequest::Knn`] / [`QueryRequest::KnnExact`].
+    /// Answer to [`QueryKind::Knn`] / [`QueryKind::KnnExact`].
     Knn {
         /// Up to `k` neighbors with guaranteed distance intervals.
         neighbors: Vec<KnnNeighbor>,
@@ -102,6 +200,71 @@ pub struct CompletedQuery {
     pub queued: Duration,
     /// Total time from submission to fulfillment.
     pub total: Duration,
+    /// `Some` when deadline pressure degraded an exact request to the
+    /// approximate answer: the bound the served level still guarantees.
+    /// `None` for every answer served exactly as requested.
+    pub degraded: Option<GuaranteedBound>,
+}
+
+/// When the scheduler may degrade an **exact** request to the approximate
+/// answer (with its [`GuaranteedBound`]). Bounded requests never degrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Never degrade: exact requests run exact, even past their deadline.
+    Never,
+    /// Degrade when the EWMA cost estimate of the exact path exceeds the
+    /// query's remaining deadline budget (no-op for queries without a
+    /// deadline). The cost model starts empty, so the first query of each
+    /// execution shape always runs exactly as requested and seeds the
+    /// estimate.
+    #[default]
+    Deadline,
+    /// Degrade every degradable request unconditionally — deterministic,
+    /// timing-free; meant for tests and benchmarks of the degraded path.
+    Always,
+}
+
+/// Deterministic fault injection for the serving tier. All triggers are
+/// counter-driven (`sequence + seed ≡ one_in − 1 (mod one_in)`), never
+/// clock-driven, so a seeded plan replays the same faults on the same
+/// query sequence — the chaos suite's reproducibility contract. The
+/// default plan is inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Phase offset mixed into every 1-in-N trigger.
+    pub seed: u64,
+    /// Panic the per-query preparation of one in this many prepared
+    /// queries (0 disables). The panic is isolated: only that query fails,
+    /// with [`QueryError::Internal`].
+    pub panic_query_one_in: u64,
+    /// Delay one in this many per-shard executions (0 disables) by
+    /// [`slow_shard_delay`](Self::slow_shard_delay) — the "slow shard"
+    /// fault.
+    pub slow_shard_one_in: u64,
+    /// How long a faulted shard execution sleeps.
+    pub slow_shard_delay: Duration,
+    /// Stall inserted before each batch is formed (zero disables) —
+    /// widens the batch window and eats deadline budget deterministically.
+    pub batch_stall: Duration,
+    /// Panic the scheduler thread itself after draining one in this many
+    /// batches (0 disables). Deliberately *outside* the per-query unwind
+    /// boundary: the drained batch's handles drop (each ticket completes
+    /// with [`QueryError::Internal`]) and the supervisor restarts the
+    /// scheduler — the failure mode
+    /// [`ServingStats::scheduler_restarts`] counts.
+    pub panic_scheduler_one_in: u64,
+}
+
+impl FaultPlan {
+    /// Whether the 1-in-`one_in` trigger fires for `sequence`.
+    fn fires(&self, one_in: u64, sequence: u64) -> bool {
+        one_in != 0 && sequence.wrapping_add(self.seed) % one_in == one_in - 1
+    }
+
+    /// Whether this plan injects no faults at all (the default).
+    pub fn is_inert(&self) -> bool {
+        *self == FaultPlan::default()
+    }
 }
 
 /// Configuration of a [`QueryService`].
@@ -114,6 +277,10 @@ pub struct ServingConfig {
     pub max_batch: usize,
     /// Shard-level worker threads per batch execution.
     pub threads: usize,
+    /// When deadline pressure may degrade exact requests.
+    pub degrade: DegradePolicy,
+    /// Deterministic fault injection (inert by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServingConfig {
@@ -122,6 +289,8 @@ impl Default for ServingConfig {
             queue_capacity: 1024,
             max_batch: 64,
             threads: 1,
+            degrade: DegradePolicy::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -139,6 +308,11 @@ pub(crate) struct ServingCounters {
     batched_queries: AtomicU64,
     max_batch: AtomicU64,
     last_generation: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_missed: AtomicU64,
+    degraded: AtomicU64,
+    isolated_panics: AtomicU64,
+    scheduler_restarts: AtomicU64,
 }
 
 impl ServingCounters {
@@ -152,6 +326,11 @@ impl ServingCounters {
             batched_queries: self.batched_queries.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             last_generation: self.last_generation.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            isolated_panics: self.isolated_panics.load(Ordering::Relaxed),
+            scheduler_restarts: self.scheduler_restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -161,9 +340,10 @@ impl ServingCounters {
 pub struct ServingStats {
     /// Queries admitted into the queue since engine construction.
     pub admitted: u64,
-    /// Queries rejected at submission (overload or stopped service).
+    /// Queries rejected at submission (overload, stopped service, or an
+    /// already-expired deadline).
     pub rejected: u64,
-    /// Queries completed (fulfilled tickets).
+    /// Queries completed (fulfilled tickets), including typed failures.
     pub completed: u64,
     /// Queries currently waiting in the admission queue.
     pub queued: u64,
@@ -175,6 +355,22 @@ pub struct ServingStats {
     pub max_batch: u64,
     /// Snapshot generation of the most recently executed batch.
     pub last_generation: u64,
+    /// Admitted queries skipped because their [`Ticket`] was dropped
+    /// before execution (cancel-on-drop).
+    pub cancelled: u64,
+    /// Queries that failed with [`QueryError::DeadlineExceeded`]
+    /// (admission-time rejections included).
+    pub deadline_missed: u64,
+    /// Answers delivered degraded (approximate with a
+    /// [`GuaranteedBound`]) under deadline pressure.
+    pub degraded: u64,
+    /// Queries that failed with [`QueryError::Internal`]: execution
+    /// panics contained to the query (or its batch group).
+    pub isolated_panics: u64,
+    /// Times the supervisor restarted a dead scheduler thread. Stays 0
+    /// unless a panic escapes the per-query/per-group isolation (e.g. the
+    /// injected scheduler fault).
+    pub scheduler_restarts: u64,
 }
 
 impl ServingStats {
@@ -194,43 +390,152 @@ impl ServingStats {
 struct Slot {
     state: Mutex<Option<CompletedQuery>>,
     ready: Condvar,
+    /// Set by [`Ticket::drop`]: the owner walked away, the scheduler may
+    /// skip the query.
+    cancelled: AtomicBool,
 }
 
 /// The client's claim on an admitted query: wait (or poll) for the
 /// [`CompletedQuery`].
+///
+/// **Cancel-on-drop.** Dropping a ticket without consuming its completion
+/// cancels the query: the scheduler skips it at batch formation and
+/// between batch groups (counted in [`ServingStats::cancelled`]), so an
+/// abandoned client never leaks a queue slot or engine time. A query
+/// already executing when its ticket drops still runs to completion; its
+/// result is discarded.
+#[must_use = "dropping a Ticket cancels the query; call wait() (or wait_timeout/try_wait) to receive it"]
 pub struct Ticket {
     slot: Arc<Slot>,
+    taken: bool,
 }
 
 impl Ticket {
     /// Blocks until the query completes. Admitted queries always complete
-    /// — shutdown drains the queue before the scheduler exits.
-    pub fn wait(self) -> CompletedQuery {
-        let mut state = self.slot.state.lock().expect("slot lock poisoned");
+    /// — shutdown drains the queue before the scheduler exits, and even a
+    /// scheduler panic fulfills the abandoned handles with
+    /// [`QueryError::Internal`].
+    pub fn wait(mut self) -> CompletedQuery {
+        let mut state = lock_recover(&self.slot.state);
         loop {
             if let Some(done) = state.take() {
+                drop(state);
+                self.taken = true;
                 return done;
             }
-            state = self.slot.ready.wait(state).expect("slot lock poisoned");
+            state = self
+                .slot
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Bounded wait: the completion if it arrives within `timeout`,
+    /// otherwise the ticket itself back (still live — wait again, poll, or
+    /// drop it to cancel).
+    pub fn wait_timeout(mut self, timeout: Duration) -> Result<CompletedQuery, Ticket> {
+        let give_up = Instant::now() + timeout;
+        let mut state = lock_recover(&self.slot.state);
+        loop {
+            if let Some(done) = state.take() {
+                drop(state);
+                self.taken = true;
+                return Ok(done);
+            }
+            let now = Instant::now();
+            if now >= give_up {
+                drop(state);
+                return Err(self);
+            }
+            let (guard, _) = self
+                .slot
+                .ready
+                .wait_timeout(state, give_up - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
         }
     }
 
     /// Non-blocking poll: the completion if it already happened.
-    pub fn try_take(&self) -> Option<CompletedQuery> {
-        self.slot.state.lock().expect("slot lock poisoned").take()
+    pub fn try_wait(&self) -> Option<CompletedQuery> {
+        lock_recover(&self.slot.state).take()
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if !self.taken {
+            self.slot.cancelled.store(true, Ordering::Release);
+        }
     }
 }
 
 /// The scheduler's side of an admitted query: fulfilling it wakes the
-/// owner's [`Ticket`].
+/// owner's [`Ticket`]. Dropping it unfulfilled (the scheduler unwound
+/// mid-batch) completes the ticket with [`QueryError::Internal`] — the
+/// containment of last resort that keeps clients from blocking forever.
 pub struct QueryHandle {
     slot: Arc<Slot>,
     submitted: Instant,
+    counters: Arc<ServingCounters>,
+    fulfilled: bool,
 }
 
 impl QueryHandle {
-    fn fulfill(self, done: CompletedQuery) {
-        *self.slot.state.lock().expect("slot lock poisoned") = Some(done);
+    fn cancelled(&self) -> bool {
+        self.slot.cancelled.load(Ordering::Acquire)
+    }
+
+    fn fulfill(mut self, done: CompletedQuery) {
+        self.fulfilled = true;
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        match &done.outcome {
+            Ok(_) if done.degraded.is_some() => {
+                self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(QueryError::Internal) => {
+                self.counters
+                    .isolated_panics
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(QueryError::DeadlineExceeded { .. }) => {
+                self.counters
+                    .deadline_missed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        *lock_recover(&self.slot.state) = Some(done);
+        self.slot.ready.notify_one();
+    }
+
+    /// Marks a cancelled query as handled without producing a completion
+    /// (its owner dropped the ticket — nobody is waiting).
+    fn abandon(mut self) {
+        self.fulfilled = true;
+        self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for QueryHandle {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .isolated_panics
+            .fetch_add(1, Ordering::Relaxed);
+        let total = self.submitted.elapsed();
+        *lock_recover(&self.slot.state) = Some(CompletedQuery {
+            outcome: Err(QueryError::Internal),
+            generation: 0,
+            batch_size: 0,
+            queued: total,
+            total,
+            degraded: None,
+        });
         self.slot.ready.notify_one();
     }
 }
@@ -245,14 +550,26 @@ struct ServiceQueue {
     closed: bool,
 }
 
+/// Counters driving the deterministic [`FaultPlan`] triggers. Owned by the
+/// service (not the scheduler thread) so sequences survive supervisor
+/// restarts.
+#[derive(Default)]
+struct FaultSequences {
+    queries: AtomicU64,
+    shard_execs: AtomicU64,
+    batches: AtomicU64,
+}
+
 struct ServiceShared {
     queue: Mutex<ServiceQueue>,
     work: Condvar,
     config: ServingConfig,
+    fault_sequences: FaultSequences,
 }
 
 /// The concurrent serving front end over a [`ShardedEngine`]. See the
-/// module docs for the batching, admission and determinism contracts.
+/// module docs for the batching, admission, determinism and failure-model
+/// contracts.
 pub struct QueryService {
     engine: Arc<ShardedEngine>,
     shared: Arc<ServiceShared>,
@@ -260,8 +577,8 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Starts the serving tier over `engine`: spawns the scheduler thread
-    /// and begins admitting queries immediately.
+    /// Starts the serving tier over `engine`: spawns the (supervised)
+    /// scheduler thread and begins admitting queries immediately.
     ///
     /// # Panics
     /// Panics when the engine holds no regions (every request type needs
@@ -281,13 +598,14 @@ impl QueryService {
             }),
             work: Condvar::new(),
             config,
+            fault_sequences: FaultSequences::default(),
         });
         let scheduler = {
             let engine = Arc::clone(&engine);
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("dbsa-serving".into())
-                .spawn(move || scheduler_loop(&engine, &shared))
+                .spawn(move || supervise(&engine, &shared))
                 .expect("failed to spawn the serving scheduler")
         };
         QueryService {
@@ -304,10 +622,20 @@ impl QueryService {
 
     /// Submits a query for batched execution. Returns the [`Ticket`] to
     /// wait on, [`QueryError::Overloaded`] when the admission queue is
-    /// full, or [`QueryError::ServiceStopped`] after shutdown began.
+    /// full, [`QueryError::ServiceStopped`] after shutdown began, or
+    /// [`QueryError::DeadlineExceeded`] for a deadline that is already
+    /// unmeetable at admission (zero budget).
     pub fn submit(&self, request: QueryRequest) -> Result<Ticket, QueryError> {
         let counters = self.engine.serving_counters();
-        let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+        if matches!(request.deadline, Some(d) if d.is_zero()) {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            return Err(QueryError::DeadlineExceeded {
+                queued: Duration::ZERO,
+                elapsed: Duration::ZERO,
+            });
+        }
+        let mut queue = lock_recover(&self.shared.queue);
         if queue.closed {
             counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(QueryError::ServiceStopped);
@@ -325,13 +653,15 @@ impl QueryService {
             handle: QueryHandle {
                 slot: Arc::clone(&slot),
                 submitted: Instant::now(),
+                counters: Arc::clone(counters),
+                fulfilled: false,
             },
         });
         counters.admitted.fetch_add(1, Ordering::Relaxed);
         counters.queued.fetch_add(1, Ordering::Relaxed);
         drop(queue);
         self.shared.work.notify_one();
-        Ok(Ticket { slot })
+        Ok(Ticket { slot, taken: false })
     }
 
     /// Convenience: submit and wait.
@@ -340,38 +670,159 @@ impl QueryService {
     }
 
     /// Stops admitting queries, drains everything already admitted and
-    /// joins the scheduler. Idempotent; also runs on drop.
-    pub fn shutdown(&self) {
+    /// joins the scheduler. Idempotent; also runs on drop. Returns
+    /// [`QueryError::Internal`] if the scheduler thread itself died of a
+    /// panic that even the supervisor could not contain — reported as a
+    /// value, never re-thrown into the caller.
+    pub fn shutdown(&self) -> Result<(), QueryError> {
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+            let mut queue = lock_recover(&self.shared.queue);
             queue.closed = true;
         }
         self.shared.work.notify_all();
-        let handle = self
-            .scheduler
-            .lock()
-            .expect("scheduler slot poisoned")
-            .take();
-        if let Some(handle) = handle {
-            handle.join().expect("serving scheduler panicked");
+        let handle = lock_recover(&self.scheduler).take();
+        match handle {
+            Some(handle) => handle.join().map_err(|_| QueryError::Internal),
+            None => Ok(()),
         }
     }
 }
 
 impl Drop for QueryService {
     fn drop(&mut self) {
-        self.shutdown();
+        let _ = self.shutdown();
+    }
+}
+
+/// Execution-shape key of the EWMA cost model. Distance thresholds are
+/// deliberately ignored: the scan cost is dominated by the level, not the
+/// threshold, and collapsing them lets estimates warm up fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CostKey {
+    AggregateAt(u8),
+    AggregateRefined,
+    WithinAt(u8),
+    WithinRefined,
+    Knn,
+    KnnExact,
+}
+
+impl CostKey {
+    fn of(query: &BatchQuery) -> CostKey {
+        match query {
+            BatchQuery::AggregateAt { level } => CostKey::AggregateAt(*level),
+            BatchQuery::AggregateRefined => CostKey::AggregateRefined,
+            BatchQuery::WithinAt { level, .. } => CostKey::WithinAt(*level),
+            BatchQuery::WithinRefined { .. } => CostKey::WithinRefined,
+        }
+    }
+}
+
+/// EWMA of per-group execution times (milliseconds), keyed by execution
+/// shape. Scheduler-thread local; resets when the supervisor restarts the
+/// scheduler (a fresh thread re-learns quickly).
+#[derive(Default)]
+struct CostModel {
+    ms: HashMap<CostKey, f64>,
+}
+
+const EWMA_ALPHA: f64 = 0.3;
+
+impl CostModel {
+    fn observe(&mut self, key: CostKey, sample_ms: f64) {
+        match self.ms.get_mut(&key) {
+            Some(estimate) => *estimate = EWMA_ALPHA * sample_ms + (1.0 - EWMA_ALPHA) * *estimate,
+            None => {
+                self.ms.insert(key, sample_ms);
+            }
+        }
+    }
+
+    fn estimate(&self, key: CostKey) -> Option<f64> {
+        self.ms.get(&key).copied()
+    }
+}
+
+/// The finest level whose estimated cost fits the remaining budget,
+/// walking finest → coarsest. Unknown estimates count as affordable (run
+/// it, learn from it); if nothing fits, level 0 — the cheapest the index
+/// has.
+fn affordable_level(
+    cost: &CostModel,
+    finest: u8,
+    remaining_ms: f64,
+    key_of: impl Fn(u8) -> CostKey,
+) -> u8 {
+    for level in (0..=finest).rev() {
+        match cost.estimate(key_of(level)) {
+            None => return level,
+            Some(estimate) if estimate <= remaining_ms => return level,
+            Some(_) => {}
+        }
+    }
+    0
+}
+
+fn ms(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+/// The planned execution shape of one prepared query.
+enum Shape {
+    Join {
+        query: BatchQuery,
+        plan: QueryPlan,
+        distance: bool,
+    },
+    Knn {
+        probe: Point,
+        k: usize,
+        exact: bool,
+    },
+}
+
+struct ReadyQuery {
+    pending: PendingQuery,
+    shape: Shape,
+    degraded: Option<GuaranteedBound>,
+}
+
+/// The supervisor: keeps a scheduler alive until the service closes. A
+/// panic that escapes the scheduler's own isolation (batch bookkeeping, or
+/// the injected scheduler fault) lands here; the batch's handles have
+/// already fulfilled their tickets with [`QueryError::Internal`] on drop,
+/// the poisoned queue lock is recovered on next acquisition, and a fresh
+/// scheduler iteration starts — invisible to clients beyond the failed
+/// batch.
+fn supervise(engine: &Arc<ShardedEngine>, shared: &Arc<ServiceShared>) {
+    let counters = Arc::clone(engine.serving_counters());
+    loop {
+        let mut cost = CostModel::default();
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            scheduler_loop(engine, shared, &mut cost)
+        }));
+        match run {
+            Ok(()) => break,
+            Err(_) => {
+                counters.scheduler_restarts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
 /// The scheduler: drain a batch, execute it over one snapshot, scatter the
 /// completions, repeat — exiting only once the service is closed *and* the
 /// queue is empty (graceful drain).
-fn scheduler_loop(engine: &Arc<ShardedEngine>, shared: &Arc<ServiceShared>) {
-    let counters = engine.serving_counters();
+fn scheduler_loop(engine: &Arc<ShardedEngine>, shared: &Arc<ServiceShared>, cost: &mut CostModel) {
+    let counters = Arc::clone(engine.serving_counters());
+    let faults = shared.config.faults;
     loop {
+        // Injected batch-formation stall (inert by default).
+        if !faults.batch_stall.is_zero() {
+            std::thread::sleep(faults.batch_stall);
+        }
         let batch: Vec<PendingQuery> = {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if !queue.pending.is_empty() {
                     break;
@@ -379,12 +830,14 @@ fn scheduler_loop(engine: &Arc<ShardedEngine>, shared: &Arc<ServiceShared>) {
                 if queue.closed {
                     return;
                 }
-                queue = shared.work.wait(queue).expect("queue lock poisoned");
+                queue = shared
+                    .work
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             let n = queue.pending.len().min(shared.config.max_batch);
             queue.pending.drain(..n).collect()
         };
-        let started = Instant::now();
         let batch_size = batch.len();
         counters
             .queued
@@ -397,25 +850,358 @@ fn scheduler_loop(engine: &Arc<ShardedEngine>, shared: &Arc<ServiceShared>) {
             .max_batch
             .fetch_max(batch_size as u64, Ordering::Relaxed);
 
+        let batch_sequence = shared
+            .fault_sequences
+            .batches
+            .fetch_add(1, Ordering::Relaxed);
+        // Deliberately outside the per-query isolation: the drained batch's
+        // handles drop (tickets complete with `Internal`) and the
+        // supervisor restarts the scheduler.
+        assert!(
+            !faults.fires(faults.panic_scheduler_one_in, batch_sequence),
+            "injected scheduler fault (batch {batch_sequence})"
+        );
+
         // One snapshot per batch: ingest/compact publishes never block this
         // read, and every query of the batch sees the same generation.
-        let snapshot: Arc<EngineSnapshot> = engine.snapshot();
-        let requests: Vec<QueryRequest> = batch.iter().map(|p| p.request).collect();
-        let outcomes = snapshot.execute_batch(&requests, shared.config.threads);
+        let snapshot = engine.snapshot();
         counters
             .last_generation
             .store(snapshot.generation(), Ordering::Relaxed);
-        for (pending, outcome) in batch.into_iter().zip(outcomes) {
-            let queued = started.saturating_duration_since(pending.handle.submitted);
-            let total = pending.handle.submitted.elapsed();
-            pending.handle.fulfill(CompletedQuery {
-                outcome,
-                generation: snapshot.generation(),
-                batch_size,
-                queued,
-                total,
-            });
-            counters.completed.fetch_add(1, Ordering::Relaxed);
+        run_batch(&snapshot, batch, shared, cost);
+    }
+}
+
+/// Executes one drained batch: prepare every query (deadline check,
+/// planning, degradation decision) under per-query unwind isolation, then
+/// run the prepared queries group by group — each group under its own
+/// unwind boundary, with cancellation and deadline re-checks between
+/// groups.
+fn run_batch(
+    snapshot: &EngineSnapshot,
+    batch: Vec<PendingQuery>,
+    shared: &ServiceShared,
+    cost: &mut CostModel,
+) {
+    let faults = shared.config.faults;
+    let formed = Instant::now();
+    let batch_size = batch.len();
+    let generation = snapshot.generation();
+    let complete = |handle: QueryHandle,
+                    outcome: Result<QueryResponse, QueryError>,
+                    degraded: Option<GuaranteedBound>| {
+        let queued = formed.saturating_duration_since(handle.submitted);
+        let total = handle.submitted.elapsed();
+        handle.fulfill(CompletedQuery {
+            outcome,
+            generation,
+            batch_size,
+            queued,
+            total,
+            degraded,
+        });
+    };
+
+    // Phase 1 — per-query preparation, each under its own unwind boundary:
+    // a panicking query fails alone with `Internal`.
+    let mut ready: Vec<Option<ReadyQuery>> = Vec::with_capacity(batch.len());
+    for pending in batch {
+        if pending.handle.cancelled() {
+            pending.handle.abandon();
+            continue;
+        }
+        let sequence = shared
+            .fault_sequences
+            .queries
+            .fetch_add(1, Ordering::Relaxed);
+        let prep = catch_unwind(AssertUnwindSafe(|| {
+            assert!(
+                !faults.fires(faults.panic_query_one_in, sequence),
+                "injected query fault (query {sequence})"
+            );
+            prepare(snapshot, &pending, formed, shared.config.degrade, cost)
+        }));
+        match prep {
+            Ok(Ok((shape, degraded))) => ready.push(Some(ReadyQuery {
+                pending,
+                shape,
+                degraded,
+            })),
+            Ok(Err(err)) => complete(pending.handle, Err(err), None),
+            Err(_) => complete(pending.handle, Err(QueryError::Internal), None),
+        }
+    }
+
+    // Phase 2 — batch groups: every AggregateAt query joins one shared
+    // unit (they share a single multi-level cursor walk); every other
+    // distinct join shape is its own unit; each kNN probe is a unit.
+    // Units keep first-appearance order.
+    let mut units: Vec<Vec<usize>> = Vec::new();
+    let mut agg_unit: Option<usize> = None;
+    let mut shape_units: Vec<(BatchQuery, usize)> = Vec::new();
+    for (i, slot) in ready.iter().enumerate() {
+        let Some(rq) = slot else { continue };
+        match &rq.shape {
+            Shape::Knn { .. } => units.push(vec![i]),
+            Shape::Join { query, .. } => {
+                if matches!(query, BatchQuery::AggregateAt { .. }) {
+                    let u = *agg_unit.get_or_insert_with(|| {
+                        units.push(Vec::new());
+                        units.len() - 1
+                    });
+                    units[u].push(i);
+                } else {
+                    match shape_units.iter().find(|(shape, _)| shape == query) {
+                        Some(&(_, u)) => units[u].push(i),
+                        None => {
+                            units.push(vec![i]);
+                            shape_units.push((*query, units.len() - 1));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3 — execute unit by unit, re-checking cancellation and
+    // deadlines between batch groups.
+    for unit in units {
+        let mut live: Vec<ReadyQuery> = Vec::new();
+        for i in unit {
+            let Some(rq) = ready[i].take() else { continue };
+            if rq.pending.handle.cancelled() {
+                rq.pending.handle.abandon();
+                continue;
+            }
+            if let Some(deadline) = rq.pending.request.deadline {
+                let elapsed = rq.pending.handle.submitted.elapsed();
+                if elapsed >= deadline {
+                    let queued = formed.saturating_duration_since(rq.pending.handle.submitted);
+                    complete(
+                        rq.pending.handle,
+                        Err(QueryError::DeadlineExceeded { queued, elapsed }),
+                        None,
+                    );
+                    continue;
+                }
+            }
+            live.push(rq);
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let unit_started = Instant::now();
+        match &live[0].shape {
+            Shape::Knn { probe, k, exact } => {
+                let (probe, k, exact) = (*probe, *k, *exact);
+                debug_assert_eq!(live.len(), 1, "knn units are singletons");
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    if exact {
+                        snapshot.knn_exact(&probe, k)
+                    } else {
+                        snapshot.knn(&probe, k)
+                    }
+                }));
+                let rq = live.pop().expect("knn unit has its member");
+                match run {
+                    Ok(outcome) => {
+                        cost.observe(
+                            if exact {
+                                CostKey::KnnExact
+                            } else {
+                                CostKey::Knn
+                            },
+                            ms(unit_started.elapsed()),
+                        );
+                        complete(
+                            rq.pending.handle,
+                            outcome.map(|neighbors| QueryResponse::Knn { neighbors }),
+                            rq.degraded,
+                        );
+                    }
+                    Err(_) => complete(rq.pending.handle, Err(QueryError::Internal), rq.degraded),
+                }
+            }
+            Shape::Join { .. } => {
+                let shapes: Vec<BatchQuery> = live
+                    .iter()
+                    .map(|rq| match &rq.shape {
+                        Shape::Join { query, .. } => *query,
+                        Shape::Knn { .. } => unreachable!("knn never joins a join unit"),
+                    })
+                    .collect();
+                // The slow-shard fault: a counter-driven delay observed
+                // through the execution hook, never changing what is
+                // computed.
+                let sequences = &shared.fault_sequences;
+                let observe = |_shard: usize| {
+                    let n = sequences.shard_execs.fetch_add(1, Ordering::Relaxed);
+                    if faults.fires(faults.slow_shard_one_in, n) {
+                        std::thread::sleep(faults.slow_shard_delay);
+                    }
+                };
+                let hook: Option<&(dyn Fn(usize) + Sync)> = if faults.slow_shard_one_in != 0 {
+                    Some(&observe)
+                } else {
+                    None
+                };
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    snapshot.execute_query_groups(&shapes, shared.config.threads, hook)
+                }));
+                match run {
+                    Ok(results) => {
+                        let elapsed_ms = ms(unit_started.elapsed());
+                        let mut seen: Vec<CostKey> = Vec::new();
+                        for shape in &shapes {
+                            let key = CostKey::of(shape);
+                            if !seen.contains(&key) {
+                                seen.push(key);
+                            }
+                        }
+                        for key in seen {
+                            cost.observe(key, elapsed_ms);
+                        }
+                        for (rq, result) in live.into_iter().zip(results) {
+                            let Shape::Join { plan, distance, .. } = rq.shape else {
+                                unreachable!("join unit members are join shapes")
+                            };
+                            let response = if distance {
+                                QueryResponse::WithinDistance { plan, result }
+                            } else {
+                                QueryResponse::Aggregate { plan, result }
+                            };
+                            complete(rq.pending.handle, Ok(response), rq.degraded);
+                        }
+                    }
+                    Err(_) => {
+                        for rq in live {
+                            complete(rq.pending.handle, Err(QueryError::Internal), rq.degraded);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Plans one query: deadline check at batch formation, planner routing,
+/// and — for exact requests under pressure — the degradation decision.
+fn prepare(
+    snapshot: &EngineSnapshot,
+    pending: &PendingQuery,
+    formed: Instant,
+    policy: DegradePolicy,
+    cost: &CostModel,
+) -> Result<(Shape, Option<GuaranteedBound>), QueryError> {
+    if let Some(deadline) = pending.request.deadline {
+        let elapsed = pending.handle.submitted.elapsed();
+        if elapsed >= deadline {
+            let queued = formed.saturating_duration_since(pending.handle.submitted);
+            return Err(QueryError::DeadlineExceeded { queued, elapsed });
+        }
+    }
+    let join = snapshot.join_shared();
+    let remaining_ms = match (policy, pending.request.deadline) {
+        (DegradePolicy::Always, _) | (_, None) => f64::INFINITY,
+        (_, Some(deadline)) => ms(deadline.saturating_sub(pending.handle.submitted.elapsed())),
+    };
+    let degrade_now = |exact_key: CostKey| match policy {
+        DegradePolicy::Never => false,
+        DegradePolicy::Always => true,
+        DegradePolicy::Deadline => {
+            pending.request.deadline.is_some()
+                && cost
+                    .estimate(exact_key)
+                    .is_some_and(|estimate| estimate > remaining_ms)
+        }
+    };
+    let marker = |plan: &QueryPlan| GuaranteedBound {
+        epsilon: plan.guaranteed_bound,
+        level: plan.level,
+    };
+    match pending.request.kind {
+        QueryKind::Aggregate(spec) => {
+            let plan = join.plan(&spec);
+            if plan.exact_refinement && degrade_now(CostKey::AggregateRefined) {
+                let level = affordable_level(
+                    cost,
+                    join.finest_level(),
+                    remaining_ms,
+                    CostKey::AggregateAt,
+                );
+                let plan = join.planner().plan_at_level(level);
+                return Ok((
+                    Shape::Join {
+                        query: BatchQuery::aggregate(&plan),
+                        plan,
+                        distance: false,
+                    },
+                    Some(marker(&plan)),
+                ));
+            }
+            Ok((
+                Shape::Join {
+                    query: BatchQuery::aggregate(&plan),
+                    plan,
+                    distance: false,
+                },
+                None,
+            ))
+        }
+        QueryKind::WithinDistance(spec) => {
+            let plan = join.distance().plan(&spec);
+            if plan.exact_refinement && degrade_now(CostKey::WithinRefined) {
+                let level =
+                    affordable_level(cost, join.finest_level(), remaining_ms, CostKey::WithinAt);
+                let plan = join.planner().plan_distance_at_level(level);
+                return Ok((
+                    Shape::Join {
+                        query: BatchQuery::within_distance(&plan, spec.distance()),
+                        plan,
+                        distance: true,
+                    },
+                    Some(marker(&plan)),
+                ));
+            }
+            Ok((
+                Shape::Join {
+                    query: BatchQuery::within_distance(&plan, spec.distance()),
+                    plan,
+                    distance: true,
+                },
+                None,
+            ))
+        }
+        QueryKind::Knn { probe, k } => Ok((
+            Shape::Knn {
+                probe,
+                k,
+                exact: false,
+            },
+            None,
+        )),
+        QueryKind::KnnExact { probe, k } => {
+            if degrade_now(CostKey::KnnExact) {
+                // The approximate kNN's neighbor intervals are governed by
+                // the distance annotations' slack at the finest level.
+                let plan = join.planner().plan_distance_at_level(join.finest_level());
+                return Ok((
+                    Shape::Knn {
+                        probe,
+                        k,
+                        exact: false,
+                    },
+                    Some(marker(&plan)),
+                ));
+            }
+            Ok((
+                Shape::Knn {
+                    probe,
+                    k,
+                    exact: true,
+                },
+                None,
+            ))
         }
     }
 }

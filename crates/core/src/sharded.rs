@@ -37,7 +37,9 @@
 //!   anything.
 
 use crate::engine::{EngineStats, ShardStats};
-use crate::serving::{QueryRequest, QueryResponse, QueryService, ServingConfig, ServingCounters};
+use crate::serving::{
+    QueryKind, QueryRequest, QueryResponse, QueryService, ServingConfig, ServingCounters,
+};
 use dbsa_geom::{BoundingBox, MultiPolygon, Point, Polygon};
 use dbsa_grid::{partition_sorted_keys, split_at_ranges, GridExtent, KeyRange};
 use dbsa_query::{
@@ -261,6 +263,33 @@ impl EngineSnapshot {
         self.join.as_ref().expect("no regions loaded")
     }
 
+    /// The shared region join, for the serving tier's planner access.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub(crate) fn join_shared(&self) -> &Arc<ApproximateCellJoin> {
+        self.join()
+    }
+
+    /// Executes a pre-planned batch of join shapes over all shards — the
+    /// serving tier's batch-group entry point. `hook` (when present)
+    /// observes every per-shard execution; it is the fault-injection
+    /// seam for the deterministic slow-shard delay and never changes what
+    /// is computed.
+    ///
+    /// # Panics
+    /// Panics if no regions were loaded.
+    pub(crate) fn execute_query_groups(
+        &self,
+        shapes: &[BatchQuery],
+        threads: usize,
+        hook: Option<&(dyn Fn(usize) + Sync)>,
+    ) -> Vec<JoinResult> {
+        let join = self.join();
+        let probes: Vec<ShardProbe<'_>> = self.all_shards().map(|s| s.probe()).collect();
+        join.execute_shards_multi_hooked(shapes, &probes, &self.regions, threads, hook)
+    }
+
     /// `SELECT AGG(a) … GROUP BY region` over all shards, sequentially.
     ///
     /// # Panics
@@ -402,27 +431,27 @@ impl EngineSnapshot {
         let mut responses: Vec<Option<Result<QueryResponse, QueryError>>> =
             Vec::with_capacity(requests.len());
         for (idx, request) in requests.iter().enumerate() {
-            match request {
-                QueryRequest::Aggregate(spec) => {
+            match &request.kind {
+                QueryKind::Aggregate(spec) => {
                     let plan = join.plan(spec);
                     batched.push(BatchQuery::aggregate(&plan));
                     owners.push((idx, plan, false));
                     responses.push(None);
                 }
-                QueryRequest::WithinDistance(spec) => {
+                QueryKind::WithinDistance(spec) => {
                     let plan = join.distance().plan(spec);
                     batched.push(BatchQuery::within_distance(&plan, spec.distance()));
                     owners.push((idx, plan, true));
                     responses.push(None);
                 }
-                QueryRequest::Knn { probe, k } => {
+                QueryKind::Knn { probe, k } => {
                     let outcome = join
                         .distance()
                         .knn(probe, *k, join.finest_level())
                         .map(|neighbors| QueryResponse::Knn { neighbors });
                     responses.push(Some(outcome));
                 }
-                QueryRequest::KnnExact { probe, k } => {
+                QueryKind::KnnExact { probe, k } => {
                     let outcome = join
                         .distance()
                         .knn_refined(probe, *k, &self.regions)
@@ -708,7 +737,7 @@ impl ShardedEngineBuilder {
             snapshot: RwLock::new(Arc::new(snapshot)),
             delta: RwLock::new(DeltaBuffer::default()),
             compaction: Mutex::new(()),
-            serving: ServingCounters::default(),
+            serving: Arc::new(ServingCounters::default()),
         }
     }
 }
@@ -734,7 +763,9 @@ pub struct ShardedEngine {
     compaction: Mutex<()>,
     /// Monotonic serving-tier counters, updated by every [`QueryService`]
     /// fronting this engine and reported through [`stats`](Self::stats).
-    serving: ServingCounters,
+    /// Shared (`Arc`) so in-flight query handles can record their outcome
+    /// even while a scheduler thread is unwinding from a panic.
+    serving: Arc<ServingCounters>,
 }
 
 impl ShardedEngine {
@@ -875,7 +906,7 @@ impl ShardedEngine {
 
     /// The engine-lifetime serving counters (shared by every
     /// [`QueryService`] fronting this engine).
-    pub(crate) fn serving_counters(&self) -> &ServingCounters {
+    pub(crate) fn serving_counters(&self) -> &Arc<ServingCounters> {
         &self.serving
     }
 

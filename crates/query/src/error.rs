@@ -120,6 +120,20 @@ pub enum QueryError {
     /// The serving tier has been shut down: no further queries are
     /// admitted (already-admitted queries still drain to completion).
     ServiceStopped,
+    /// The query's deadline expired before the serving tier could execute
+    /// it (checked at admission, at batch formation, and between batch
+    /// groups). A query that *starts* executing in time but finishes late
+    /// still delivers its (late) result instead of this error.
+    DeadlineExceeded {
+        /// Time the query spent waiting in the admission queue.
+        queued: std::time::Duration,
+        /// Total time since submission when the miss was declared.
+        elapsed: std::time::Duration,
+    },
+    /// The query failed inside the engine: its execution panicked and the
+    /// panic was isolated to this query. The scheduler thread survives and
+    /// other queries in the same batch are unaffected.
+    Internal,
 }
 
 impl std::fmt::Display for QueryError {
@@ -139,6 +153,15 @@ impl std::fmt::Display for QueryError {
                 )
             }
             QueryError::ServiceStopped => write!(f, "query service stopped"),
+            QueryError::DeadlineExceeded { queued, elapsed } => {
+                write!(
+                    f,
+                    "deadline exceeded after {elapsed:?} ({queued:?} of it queued)"
+                )
+            }
+            QueryError::Internal => {
+                write!(f, "internal error: query execution panicked (isolated)")
+            }
         }
     }
 }
@@ -149,9 +172,11 @@ impl std::error::Error for QueryError {
             QueryError::InvalidBound { source } | QueryError::InvalidDistance { source } => {
                 Some(source)
             }
-            QueryError::InvalidK | QueryError::Overloaded { .. } | QueryError::ServiceStopped => {
-                None
-            }
+            QueryError::InvalidK
+            | QueryError::Overloaded { .. }
+            | QueryError::ServiceStopped
+            | QueryError::DeadlineExceeded { .. }
+            | QueryError::Internal => None,
         }
     }
 }
@@ -344,6 +369,22 @@ mod tests {
         let stopped = QueryError::ServiceStopped;
         assert!(stopped.to_string().contains("stopped"));
         assert!(stopped.source().is_none());
+    }
+
+    #[test]
+    fn fault_errors_display_and_have_no_source() {
+        use std::error::Error;
+        use std::time::Duration;
+        let missed = QueryError::DeadlineExceeded {
+            queued: Duration::from_millis(3),
+            elapsed: Duration::from_millis(7),
+        };
+        assert!(missed.to_string().contains("deadline exceeded"));
+        assert!(missed.to_string().contains("queued"));
+        assert!(missed.source().is_none());
+        let internal = QueryError::Internal;
+        assert!(internal.to_string().contains("panicked"));
+        assert!(internal.source().is_none());
     }
 
     proptest! {

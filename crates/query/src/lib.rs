@@ -49,5 +49,5 @@ pub use distance::{BruteForceDistanceJoin, DistanceJoin, KnnNeighbor};
 pub use error::{median, relative_error, ErrorSummary, QueryError, SpecError, SpecErrorKind};
 pub use join::{ApproximateCellJoin, JoinResult, RTreeExactJoin, ShapeIndexExactJoin, ShardProbe};
 pub use multi::BatchQuery;
-pub use plan::{DistanceSpec, QueryMode, QueryPlan, QueryPlanner, QuerySpec};
+pub use plan::{DistanceSpec, GuaranteedBound, QueryMode, QueryPlan, QueryPlanner, QuerySpec};
 pub use result_range::ResultRange;

@@ -197,6 +197,24 @@ impl ApproximateCellJoin {
         regions: &[MultiPolygon],
         threads: usize,
     ) -> Vec<JoinResult> {
+        self.execute_shards_multi_hooked(queries, shards, regions, threads, None)
+    }
+
+    /// [`execute_shards_multi`](Self::execute_shards_multi) with an
+    /// observation hook: when present, the hook is called with the shard
+    /// index immediately before that shard's probe schedule executes. This
+    /// is the serving tier's deterministic fault-injection point (slow-shard
+    /// delays) and is also usable for per-shard tracing; `None` is the
+    /// plain path. The hook must not influence what is computed — results
+    /// stay bit-for-bit identical to the unhooked call.
+    pub fn execute_shards_multi_hooked(
+        &self,
+        queries: &[BatchQuery],
+        shards: &[ShardProbe<'_>],
+        regions: &[MultiPolygon],
+        threads: usize,
+        hook: Option<&(dyn Fn(usize) + Sync)>,
+    ) -> Vec<JoinResult> {
         let (groups, of) = group_queries(queries);
         // The covered key range each group prunes against, computed once:
         // bounded aggregates intersect the chosen level's range, everything
@@ -208,7 +226,7 @@ impl ApproximateCellJoin {
                 _ => self.covered_key_range(),
             })
             .collect();
-        let merged = self.run_shards_multi(&groups, &covered, shards, regions, threads);
+        let merged = self.run_shards_multi(&groups, &covered, shards, regions, threads, hook);
         of.into_iter().map(|g| merged[g].clone()).collect()
     }
 
@@ -276,8 +294,12 @@ impl ApproximateCellJoin {
         shards: &[ShardProbe<'_>],
         regions: &[MultiPolygon],
         threads: usize,
+        hook: Option<&(dyn Fn(usize) + Sync)>,
     ) -> Vec<JoinResult> {
-        let run_shard = |shard: &ShardProbe<'_>| -> Vec<JoinResult> {
+        let run_shard = |index: usize, shard: &ShardProbe<'_>| -> Vec<JoinResult> {
+            if let Some(observe) = hook {
+                observe(index);
+            }
             let span = shard.key_span();
             let active: Vec<bool> = groups
                 .iter()
@@ -297,7 +319,11 @@ impl ApproximateCellJoin {
         let workers = threads.max(1).min(shards.len().max(1));
         let mut partials: Vec<Vec<JoinResult>>;
         if workers <= 1 {
-            partials = shards.iter().map(run_shard).collect();
+            partials = shards
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| run_shard(i, shard))
+                .collect();
         } else {
             partials = vec![Vec::new(); shards.len()];
             crossbeam::scope(|scope| {
@@ -307,7 +333,7 @@ impl ApproximateCellJoin {
                     handles.push(scope.spawn(move |_| {
                         (w..shards.len())
                             .step_by(workers)
-                            .map(|i| (i, run_shard(&shards[i])))
+                            .map(|i| (i, run_shard(i, &shards[i])))
                             .collect::<Vec<_>>()
                     }));
                 }
@@ -574,6 +600,43 @@ mod tests {
                 let reference = solo(&join, q, &probes, &regions, 1);
                 prop_assert_eq!(result, &reference, "{:?}", q);
             }
+        }
+    }
+
+    #[test]
+    fn hooked_execution_observes_every_shard_and_changes_nothing() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let (points, values, regions, extent) = workload(4_000, 6);
+        let join = ApproximateCellJoin::build(&regions, &extent, DistanceBound::meters(8.0));
+        let queries = vec![
+            BatchQuery::AggregateAt { level: 4 },
+            BatchQuery::AggregateRefined,
+        ];
+        let (keys, pts, vals, bounds) = shard_rows(&points, &values, &extent, 4);
+        let probes: Vec<ShardProbe<'_>> = bounds
+            .iter()
+            .map(|&(a, b)| ShardProbe::with_points(&keys[a..b], &pts[a..b], &vals[a..b]))
+            .collect();
+        let seen = AtomicU64::new(0);
+        let observe = |shard: usize| {
+            seen.fetch_or(1 << shard, Ordering::Relaxed);
+        };
+        for threads in [1usize, 3] {
+            seen.store(0, Ordering::Relaxed);
+            let hooked = join.execute_shards_multi_hooked(
+                &queries,
+                &probes,
+                &regions,
+                threads,
+                Some(&observe),
+            );
+            let plain = join.execute_shards_multi(&queries, &probes, &regions, threads);
+            assert_eq!(hooked, plain, "the hook must not change results");
+            assert_eq!(
+                seen.load(Ordering::Relaxed),
+                (1 << probes.len()) - 1,
+                "the hook sees every shard index exactly once per batch"
+            );
         }
     }
 

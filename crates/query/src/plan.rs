@@ -162,6 +162,27 @@ impl std::fmt::Display for DistanceSpec {
     }
 }
 
+/// The accuracy contract a **degraded** answer still carries.
+///
+/// Under deadline pressure the serving tier may replace an exact request
+/// with the approximate answer served from a (possibly coarser) truncation
+/// level — the paper's core lever: one distance-bounded approximation can
+/// answer any query with a guaranteed error bound. Degradation is never
+/// silent: the response reports the bound the served level guarantees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuaranteedBound {
+    /// The Hausdorff bound (world units) the served level guarantees.
+    pub epsilon: f64,
+    /// The truncation level the degraded answer was served from.
+    pub level: u8,
+}
+
+impl std::fmt::Display for GuaranteedBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε ≤ {:.3} (level {})", self.epsilon, self.level)
+    }
+}
+
 /// The planner's decision for one query: which truncation level of the
 /// level-stacked frozen trie to probe, what that level guarantees, and what
 /// it is expected to cost.
@@ -278,6 +299,37 @@ impl<'a> QueryPlanner<'a> {
                     estimated_nodes: self.trie.nodes_at_or_above(level),
                 }
             }
+        }
+    }
+
+    /// Plans a bounded aggregate **pinned** at `level` (clamped to the
+    /// finest built level) — the degradation path: the serving tier uses
+    /// this to re-plan an exact request to whatever level its remaining
+    /// deadline budget affords. The plan reports `satisfies_request =
+    /// false` because the original request asked for more accuracy than it
+    /// gets; `guaranteed_bound` states what the answer still guarantees.
+    pub fn plan_at_level(&self, level: u8) -> QueryPlan {
+        let level = level.min(self.finest_level);
+        QueryPlan {
+            level,
+            guaranteed_bound: self.extent.cell_diagonal(level),
+            exact_refinement: false,
+            satisfies_request: false,
+            estimated_nodes: self.trie.nodes_at_or_above(level),
+        }
+    }
+
+    /// Distance twin of [`plan_at_level`](Self::plan_at_level): a bounded
+    /// within-distance plan pinned at `level`, guaranteeing one cell
+    /// diagonal plus one distance bin of slack at that level.
+    pub fn plan_distance_at_level(&self, level: u8) -> QueryPlan {
+        let level = level.min(self.finest_level);
+        QueryPlan {
+            level,
+            guaranteed_bound: self.extent.cell_diagonal(level) + self.extent.cell_size(level),
+            exact_refinement: false,
+            satisfies_request: false,
+            estimated_nodes: self.trie.nodes_at_or_above(level),
         }
     }
 
@@ -456,6 +508,35 @@ mod tests {
             .unwrap()
             .to_string()
             .contains("exact"));
+    }
+
+    #[test]
+    fn pinned_level_plans_report_best_effort_with_their_bound() {
+        let (extent, trie) = planner_fixture();
+        let planner = QueryPlanner::new(&extent, 8, &trie);
+
+        let pinned = planner.plan_at_level(5);
+        assert_eq!(pinned.level, 5);
+        assert!(!pinned.exact_refinement);
+        assert!(!pinned.satisfies_request);
+        assert_eq!(pinned.guaranteed_bound, extent.cell_diagonal(5));
+
+        // Deeper than built clamps to the finest level.
+        let clamped = planner.plan_at_level(30);
+        assert_eq!(clamped.level, 8);
+
+        let dist = planner.plan_distance_at_level(5);
+        assert_eq!(
+            dist.guaranteed_bound,
+            extent.cell_diagonal(5) + extent.cell_size(5)
+        );
+        assert!(!dist.satisfies_request);
+
+        let marker = GuaranteedBound {
+            epsilon: pinned.guaranteed_bound,
+            level: pinned.level,
+        };
+        assert!(marker.to_string().contains("level 5"));
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! its latency accounting — bit-for-bit what each query would return
 //! alone.
 //!
+//! The client loop also shows the fault-tolerance surface: per-query
+//! deadlines (`with_deadline`), the `degraded` marker on answers served
+//! approximate under deadline pressure, and the production retry idiom —
+//! retry `Overloaded` rejections with jittered exponential backoff.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release -p dbsa --example serving_tier
@@ -11,6 +16,16 @@
 
 use dbsa::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic per-client jitter in `[0, cap_ms)` milliseconds — a tiny
+/// xorshift so the example stays dependency-free.
+fn jitter_ms(state: &mut u64, cap_ms: u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state % cap_ms.max(1)
+}
 
 fn main() {
     // 1. A sharded engine over the synthetic city workload.
@@ -32,34 +47,60 @@ fn main() {
     //    scheduler that drains batches and executes each over exactly one
     //    published snapshot. While one batch runs, new submissions queue
     //    up — the batch window — so under load batches grow naturally and
-    //    identical or same-level queries share one index walk.
+    //    identical or same-level queries share one index walk. The default
+    //    DegradePolicy::Deadline lets exact queries trade accuracy for
+    //    latency when their deadline budget runs short — never silently:
+    //    the answer carries its guaranteed bound.
     let service = Arc::new(engine.serve(ServingConfig {
         queue_capacity: 256,
         max_batch: 32,
         threads: 1,
+        ..ServingConfig::default()
     }));
 
     // 3. Concurrent clients with a mixed workload: bounded and exact
-    //    aggregates, a within-distance semi-join, and a kNN probe.
+    //    aggregates (the exact one under a deadline), a within-distance
+    //    semi-join, and a kNN probe. Overloaded rejections retry with
+    //    jittered exponential backoff — the production client idiom.
     let clients: Vec<_> = (0..4u64)
         .map(|c| {
             let service = Arc::clone(&service);
             std::thread::spawn(move || {
                 let probe = Point::new(11_000.0 + 800.0 * c as f64, 13_500.0);
                 let menu = [
-                    QueryRequest::Aggregate(QuerySpec::within_meters(16.0)),
-                    QueryRequest::Aggregate(QuerySpec::within_meters(64.0)),
-                    QueryRequest::Aggregate(QuerySpec::exact()),
-                    QueryRequest::WithinDistance(DistanceSpec::within(50.0).expect("valid")),
-                    QueryRequest::Knn { probe, k: 3 },
+                    QueryRequest::aggregate(QuerySpec::within_meters(16.0)),
+                    QueryRequest::aggregate(QuerySpec::within_meters(64.0)),
+                    QueryRequest::aggregate(QuerySpec::exact())
+                        .with_deadline(Duration::from_millis(250)),
+                    QueryRequest::within_distance(DistanceSpec::within(50.0).expect("valid")),
+                    QueryRequest::knn(probe, 3),
                 ];
+                let mut rng = 0x9e37_79b9 ^ (c + 1);
                 let mut lines = Vec::new();
                 for round in 0..menu.len() {
                     let request = menu[(round + c as usize) % menu.len()];
-                    match service.submit(request) {
-                        Ok(ticket) => {
-                            let done = ticket.wait();
-                            let what = match done.outcome.expect("query succeeded") {
+                    let mut backoff_ms = 1u64;
+                    let ticket = loop {
+                        match service.submit(request) {
+                            Ok(ticket) => break Some(ticket),
+                            Err(QueryError::Overloaded { .. }) if backoff_ms <= 64 => {
+                                // Jittered exponential backoff: desynchronizes
+                                // retrying clients instead of re-bursting.
+                                let wait = backoff_ms + jitter_ms(&mut rng, backoff_ms);
+                                std::thread::sleep(Duration::from_millis(wait));
+                                backoff_ms *= 2;
+                            }
+                            Err(e) => {
+                                lines.push(format!("client {c}: rejected — {e}"));
+                                break None;
+                            }
+                        }
+                    };
+                    let Some(ticket) = ticket else { continue };
+                    let done = ticket.wait();
+                    match done.outcome {
+                        Ok(response) => {
+                            let what = match response {
                                 QueryResponse::Aggregate { plan, result } => format!(
                                     "aggregate at level {} → {} matched",
                                     plan.level,
@@ -74,16 +115,17 @@ fn main() {
                                     format!("knn → {} neighbors", neighbors.len())
                                 }
                             };
+                            let degraded = match done.degraded {
+                                Some(bound) => format!(", DEGRADED to {bound}"),
+                                None => String::new(),
+                            };
                             lines.push(format!(
-                                "client {c}: {what} \
+                                "client {c}: {what}{degraded} \
                                  (batch of {}, queued {:?}, total {:?}, generation {})",
                                 done.batch_size, done.queued, done.total, done.generation
                             ));
                         }
-                        Err(QueryError::Overloaded { queued, capacity }) => lines.push(format!(
-                            "client {c}: rejected — queue full ({queued}/{capacity})"
-                        )),
-                        Err(e) => lines.push(format!("client {c}: rejected — {e}")),
+                        Err(e) => lines.push(format!("client {c}: failed — {e}")),
                     }
                 }
                 lines
@@ -96,8 +138,9 @@ fn main() {
         }
     }
 
-    // 4. Graceful shutdown, then the engine-lifetime serving counters.
-    service.shutdown();
+    // 4. Graceful shutdown, then the engine-lifetime serving counters —
+    //    including the fault-tolerance ledger.
+    service.shutdown().expect("clean shutdown");
     let serving = engine.stats().serving;
     println!(
         "serving stats: {} admitted, {} completed, {} rejected, \
@@ -110,5 +153,16 @@ fn main() {
         serving.max_batch,
         serving.last_generation
     );
-    assert_eq!(serving.completed, serving.admitted);
+    println!(
+        "fault ledger: {} deadline-missed, {} degraded, {} cancelled, \
+         {} isolated panics, {} scheduler restarts",
+        serving.deadline_missed,
+        serving.degraded,
+        serving.cancelled,
+        serving.isolated_panics,
+        serving.scheduler_restarts
+    );
+    assert_eq!(serving.completed + serving.cancelled, serving.admitted);
+    assert_eq!(serving.isolated_panics, 0);
+    assert_eq!(serving.scheduler_restarts, 0);
 }

@@ -1,0 +1,506 @@
+//! Fault-tolerance tests of the serving tier, driven by the deterministic
+//! `FaultPlan` harness: panic isolation (per query and whole-scheduler
+//! with supervisor restart), deadline enforcement at every check point,
+//! ticket cancellation and bounded waits, bounded degradation with
+//! guaranteed bounds, and a chaos test racing ingest/compaction against
+//! injected scheduler panics.
+
+use dbsa::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn workload(
+    n_points: usize,
+    n_regions: usize,
+    seed: u64,
+) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>) {
+    let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), n_regions, 20, seed + 3).generate();
+    (points, values, regions)
+}
+
+fn sharded(
+    points: Vec<Point>,
+    values: Vec<f64>,
+    regions: Vec<MultiPolygon>,
+    eps: f64,
+    shards: usize,
+) -> ShardedEngine {
+    ShardedEngine::builder()
+        .distance_bound(DistanceBound::meters(eps))
+        .extent(city_extent())
+        .points(points, values)
+        .regions(regions)
+        .shards(shards)
+        .build()
+}
+
+/// The solo (single-query) answer a served response must reproduce
+/// bit-for-bit, computed directly on a snapshot.
+fn solo(snap: &EngineSnapshot, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
+    match &request.kind {
+        QueryKind::Aggregate(spec) => {
+            let (plan, result) = snap.aggregate_by_region_spec(spec, 1);
+            Ok(QueryResponse::Aggregate { plan, result })
+        }
+        QueryKind::WithinDistance(spec) => {
+            let (plan, result) = snap.within_distance(spec, 1);
+            Ok(QueryResponse::WithinDistance { plan, result })
+        }
+        QueryKind::Knn { probe, k } => snap
+            .knn(probe, *k)
+            .map(|neighbors| QueryResponse::Knn { neighbors }),
+        QueryKind::KnnExact { probe, k } => snap
+            .knn_exact(probe, *k)
+            .map(|neighbors| QueryResponse::Knn { neighbors }),
+    }
+}
+
+/// The headline chaos contract: with a `FaultPlan` panicking 1-in-50
+/// prepared queries and delaying 1-in-10 per-shard executions, the
+/// service completes **all** 120 submitted queries — the (exactly 2)
+/// faulted ones with `QueryError::Internal`, every other one bit-for-bit
+/// identical to solo execution — with no deadlock and no scheduler death
+/// visible to clients.
+#[test]
+fn injected_query_panics_fail_only_the_faulted_queries() {
+    let (points, values, regions) = workload(2_000, 6, 23);
+    let engine = Arc::new(sharded(points, values, regions, 4.0, 8));
+    let snap = engine.snapshot();
+    let service = Arc::new(engine.serve(ServingConfig {
+        faults: FaultPlan {
+            seed: 7,
+            panic_query_one_in: 50,
+            slow_shard_one_in: 10,
+            slow_shard_delay: Duration::from_micros(500),
+            ..FaultPlan::default()
+        },
+        ..ServingConfig::default()
+    }));
+
+    let probe = Point::new(12_000.0, 14_000.0);
+    let menu = [
+        QueryRequest::aggregate(QuerySpec::within_meters(16.0)),
+        QueryRequest::aggregate(QuerySpec::exact()),
+        QueryRequest::within_distance(DistanceSpec::within(60.0).expect("valid")),
+        QueryRequest::knn(probe, 2),
+    ];
+    let clients: Vec<_> = (0..3usize)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut completed = Vec::new();
+                for round in 0..40 {
+                    let request = menu[(round + c) % menu.len()];
+                    let done = service.submit(request).expect("default queue").wait();
+                    completed.push((request, done));
+                }
+                completed
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for client in clients {
+        all.extend(client.join().expect("client thread survived"));
+    }
+    service.shutdown().expect("clean shutdown");
+
+    // Every prepared query draws one fault sequence number 0..119; the
+    // 1-in-50 trigger with seed 7 fires on exactly two of them.
+    let mut internal = 0u64;
+    for (request, done) in &all {
+        match &done.outcome {
+            Err(QueryError::Internal) => internal += 1,
+            outcome => assert_eq!(
+                outcome,
+                &solo(&snap, request),
+                "non-faulted query must be bit-for-bit the solo answer"
+            ),
+        }
+        assert_eq!(done.generation, snap.generation());
+        assert!(done.degraded.is_none(), "no deadlines, no degradation");
+    }
+    assert_eq!(internal, 2, "deterministic plan faults exactly 2 of 120");
+
+    let stats = engine.stats().serving;
+    assert_eq!(stats.admitted, 120);
+    assert_eq!(stats.completed, 120);
+    assert_eq!(stats.isolated_panics, 2);
+    assert_eq!(
+        stats.scheduler_restarts, 0,
+        "per-query panics never kill the scheduler"
+    );
+}
+
+/// A panic that escapes per-query isolation (the injected scheduler
+/// fault) fails the drained batch with `Internal`, and the supervisor
+/// restarts the scheduler — later queries succeed, shutdown is clean.
+#[test]
+fn supervisor_restarts_scheduler_after_injected_scheduler_panic() {
+    let (points, values, regions) = workload(800, 4, 31);
+    let engine = Arc::new(sharded(points, values, regions, 4.0, 2));
+    let snap = engine.snapshot();
+    let service = engine.serve(ServingConfig {
+        faults: FaultPlan {
+            panic_scheduler_one_in: 3,
+            ..FaultPlan::default()
+        },
+        ..ServingConfig::default()
+    });
+
+    // Sequential submit→wait: one query per batch, so batch sequences
+    // 0..10 fire the 1-in-3 trigger on batches 2, 5 and 8 exactly.
+    let request = QueryRequest::aggregate(QuerySpec::within_meters(24.0));
+    let reference = solo(&snap, &request);
+    let mut outcomes = Vec::new();
+    for _ in 0..10 {
+        outcomes.push(service.query(request).expect("admitted").outcome);
+    }
+    for (batch, outcome) in outcomes.iter().enumerate() {
+        if batch % 3 == 2 {
+            assert_eq!(
+                outcome,
+                &Err(QueryError::Internal),
+                "batch {batch} was scheduler-faulted"
+            );
+        } else {
+            assert_eq!(outcome, &reference, "batch {batch} served normally");
+        }
+    }
+    service
+        .shutdown()
+        .expect("supervised scheduler joins cleanly");
+
+    let stats = engine.stats().serving;
+    assert_eq!(stats.admitted, 10);
+    assert_eq!(stats.completed, 10);
+    assert_eq!(stats.scheduler_restarts, 3);
+    assert_eq!(
+        stats.isolated_panics, 3,
+        "each faulted batch's query completed with Internal"
+    );
+}
+
+/// Deadline semantics at every check point: zero budgets are rejected at
+/// admission, generous budgets pass untouched, and a stalled batch window
+/// declares the miss with its queue/elapsed split.
+#[test]
+fn deadlines_are_enforced_at_admission_and_batch_formation() {
+    let (points, values, regions) = workload(800, 4, 47);
+    let engine = Arc::new(sharded(points, values, regions, 4.0, 2));
+    let snap = engine.snapshot();
+
+    // Admission: a zero deadline can never be met — typed rejection, no
+    // ticket, counted as both a rejection and a deadline miss.
+    let service = engine.serve(ServingConfig::default());
+    let request = QueryRequest::aggregate(QuerySpec::within_meters(24.0));
+    let zero = service.submit(request.with_deadline(Duration::ZERO));
+    assert!(matches!(
+        zero,
+        Err(QueryError::DeadlineExceeded { queued, elapsed })
+            if queued.is_zero() && elapsed.is_zero()
+    ));
+    // A generous budget changes nothing about the answer.
+    let done = service
+        .query(request.with_deadline(Duration::from_secs(30)))
+        .expect("admitted");
+    assert_eq!(done.outcome, solo(&snap, &request));
+    assert!(done.degraded.is_none());
+    service.shutdown().expect("clean shutdown");
+    let stats = engine.stats().serving;
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.deadline_missed, 1);
+
+    // Batch formation: a 50 ms injected stall starves a 5 ms budget; the
+    // miss reports how much of the elapsed time was spent queued.
+    let service = engine.serve(ServingConfig {
+        faults: FaultPlan {
+            batch_stall: Duration::from_millis(50),
+            ..FaultPlan::default()
+        },
+        ..ServingConfig::default()
+    });
+    let done = service
+        .query(request.with_deadline(Duration::from_millis(5)))
+        .expect("admitted — the budget is nonzero");
+    match done.outcome {
+        Err(QueryError::DeadlineExceeded { queued, elapsed }) => {
+            assert!(elapsed >= Duration::from_millis(5));
+            assert!(queued <= elapsed);
+        }
+        other => panic!("expected a deadline miss, got {other:?}"),
+    }
+    service.shutdown().expect("clean shutdown");
+    let stats = engine.stats().serving;
+    assert!(stats.deadline_missed >= 2);
+}
+
+/// The ticket API under a stalled scheduler: `wait_timeout` hands the
+/// live ticket back on timeout, `try_wait` polls without blocking, and
+/// dropping tickets cancels the queries (counted, never executed).
+#[test]
+fn tickets_support_bounded_waits_and_cancel_on_drop() {
+    let (points, values, regions) = workload(600, 4, 59);
+    let engine = Arc::new(sharded(points, values, regions, 4.0, 2));
+    let service = engine.serve(ServingConfig {
+        faults: FaultPlan {
+            batch_stall: Duration::from_millis(120),
+            ..FaultPlan::default()
+        },
+        ..ServingConfig::default()
+    });
+    let request = QueryRequest::aggregate(QuerySpec::within_meters(24.0));
+
+    // Bounded wait times out while the scheduler stalls, then the same
+    // ticket waits the query out.
+    let ticket = service.submit(request).expect("admitted");
+    assert!(ticket.try_wait().is_none(), "nothing completed yet");
+    let ticket = match ticket.wait_timeout(Duration::from_millis(5)) {
+        Err(ticket) => ticket,
+        Ok(done) => panic!("stalled scheduler cannot have completed: {done:?}"),
+    };
+    assert!(ticket.wait().outcome.is_ok());
+
+    // Cancel-on-drop: two of three admitted queries are abandoned before
+    // the stalled scheduler drains them.
+    let kept = service.submit(request).expect("admitted");
+    drop(service.submit(request).expect("admitted"));
+    drop(service.submit(request).expect("admitted"));
+    assert!(kept.wait().outcome.is_ok());
+    service.shutdown().expect("clean shutdown");
+
+    let stats = engine.stats().serving;
+    assert_eq!(stats.admitted, 4);
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(
+        stats.completed + stats.cancelled,
+        stats.admitted,
+        "every admitted query is accounted for"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Bounded degradation never loses precision silently: under
+    /// `DegradePolicy::Always`, every exact request comes back marked
+    /// `degraded: Some(bound)`, the answer equals the solo *bounded* query
+    /// at the level the marker names (bit-for-bit), and the marker's bound
+    /// genuinely contains the exact answer — per region, the degraded
+    /// count is sandwiched between the exact count and the count within
+    /// the marker's epsilon-dilation. Across shard counts 1/2/8.
+    #[test]
+    fn prop_degraded_answers_carry_bounds_containing_the_exact_answer(
+        seed in 0u64..30,
+        d in 30.0f64..120.0,
+    ) {
+        let (points, values, regions) = workload(1_000, 5, seed);
+        for shard_count in [1usize, 2, 8] {
+            let engine = Arc::new(sharded(
+                points.clone(),
+                values.clone(),
+                regions.clone(),
+                4.0,
+                shard_count,
+            ));
+            let snap = engine.snapshot();
+            let service = engine.serve(ServingConfig {
+                degrade: DegradePolicy::Always,
+                ..ServingConfig::default()
+            });
+
+            // Exact aggregate → degraded to the finest bounded level.
+            let done = service
+                .query(QueryRequest::aggregate(QuerySpec::exact()))
+                .expect("admitted");
+            let bound = done.degraded.expect("exact aggregate must degrade");
+            prop_assert!(bound.epsilon > 0.0);
+            let (exact_plan, exact) = snap.aggregate_by_region_spec(&QuerySpec::exact(), 1);
+            prop_assert!(exact_plan.exact_refinement);
+            let (_, dilated) = snap.within_distance(
+                &DistanceSpec::within(bound.epsilon).expect("epsilon is positive"),
+                1,
+            );
+            match &done.outcome {
+                Ok(QueryResponse::Aggregate { plan, result }) => {
+                    prop_assert!(!plan.exact_refinement, "degraded answers skip refinement");
+                    prop_assert_eq!(plan.level, bound.level);
+                    prop_assert_eq!(plan.guaranteed_bound, bound.epsilon);
+                    // Bit-for-bit the solo bounded query at the marker's
+                    // epsilon (which plans exactly the marker's level).
+                    let (solo_plan, solo_result) = snap.aggregate_by_region_spec(
+                        &QuerySpec::within_meters(bound.epsilon),
+                        1,
+                    );
+                    prop_assert_eq!(solo_plan.level, bound.level);
+                    prop_assert_eq!(result, &solo_result);
+                    // Containment: exact ≤ degraded ≤ within-epsilon.
+                    for (region, degraded) in result.regions.iter().enumerate() {
+                        prop_assert!(degraded.count >= exact.regions[region].count);
+                        prop_assert!(degraded.count <= dilated.regions[region].count);
+                    }
+                }
+                other => prop_assert!(false, "unexpected outcome {:?}", other),
+            }
+
+            // Exact within-distance → degraded to the finest bounded
+            // tolerance; sandwiched between d and d + epsilon.
+            let done = service
+                .query(QueryRequest::within_distance(
+                    DistanceSpec::within(d).expect("valid d"),
+                ))
+                .expect("admitted");
+            let bound = done.degraded.expect("exact within-distance must degrade");
+            prop_assert!(bound.epsilon > 0.0);
+            let (_, exact_within) =
+                snap.within_distance(&DistanceSpec::within(d).expect("valid"), 1);
+            let (_, dilated_within) = snap.within_distance(
+                &DistanceSpec::within(d + bound.epsilon).expect("valid"),
+                1,
+            );
+            match &done.outcome {
+                Ok(QueryResponse::WithinDistance { plan, result }) => {
+                    prop_assert!(!plan.exact_refinement);
+                    prop_assert_eq!(plan.level, bound.level);
+                    let (solo_plan, solo_result) = snap.within_distance(
+                        &DistanceSpec::within_bounded(d, bound.epsilon).expect("valid"),
+                        1,
+                    );
+                    prop_assert_eq!(solo_plan.level, bound.level);
+                    prop_assert_eq!(result, &solo_result);
+                    for (region, degraded) in result.regions.iter().enumerate() {
+                        prop_assert!(degraded.count >= exact_within.regions[region].count);
+                        prop_assert!(degraded.count <= dilated_within.regions[region].count);
+                    }
+                }
+                other => prop_assert!(false, "unexpected outcome {:?}", other),
+            }
+
+            // Exact kNN → degraded to the approximate kNN (guaranteed
+            // distance intervals), bit-for-bit the solo approximate path.
+            let probe = Point::new(12_000.0, 14_000.0);
+            let done = service
+                .query(QueryRequest::knn_exact(probe, 3))
+                .expect("admitted");
+            let bound = done.degraded.expect("exact knn must degrade");
+            prop_assert!(bound.epsilon > 0.0);
+            prop_assert_eq!(
+                &done.outcome,
+                &solo(&snap, &QueryRequest::knn(probe, 3))
+            );
+
+            // Bounded requests never degrade — their bound is a contract.
+            let done = service
+                .query(QueryRequest::aggregate(QuerySpec::within_meters(32.0)))
+                .expect("admitted");
+            prop_assert!(done.outcome.is_ok());
+            prop_assert!(done.degraded.is_none());
+
+            service.shutdown().expect("clean shutdown");
+            let stats = engine.stats().serving;
+            prop_assert_eq!(stats.degraded, 3);
+        }
+    }
+}
+
+/// Chaos: concurrent clients keep querying while a writer ingests and
+/// compacts **and** an aggressive fault plan kills the scheduler every
+/// other batch. Every admitted query completes; survivors are bit-for-bit
+/// the solo answer on the exact generation that served them; the
+/// supervisor restarts the scheduler and shutdown stays clean.
+#[test]
+fn service_survives_scheduler_panics_during_ingest_and_compaction() {
+    let (points, values, regions) = workload(2_000, 5, 67);
+    let engine = Arc::new(sharded(points, values, regions, 4.0, 4));
+    let service = Arc::new(engine.serve(ServingConfig {
+        faults: FaultPlan {
+            // Batches 1, 3, 5, … panic; batch 0 is safe, so the very
+            // first drained query always survives.
+            panic_scheduler_one_in: 2,
+            ..FaultPlan::default()
+        },
+        ..ServingConfig::default()
+    }));
+
+    let snapshots: Arc<Mutex<HashMap<u64, Arc<EngineSnapshot>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let capture = |map: &Mutex<HashMap<u64, Arc<EngineSnapshot>>>, snap: Arc<EngineSnapshot>| {
+        map.lock().unwrap().insert(snap.generation(), snap);
+    };
+    capture(&snapshots, engine.snapshot());
+
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let snapshots = Arc::clone(&snapshots);
+        std::thread::spawn(move || {
+            for batch in 0..4u64 {
+                let taxi = TaxiPointGenerator::new(city_extent(), 900 + batch).generate(150);
+                let pts: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+                let vals: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+                engine.append_points(pts, vals);
+                capture(&snapshots, engine.snapshot());
+                if batch % 2 == 1 && engine.compact() {
+                    capture(&snapshots, engine.snapshot());
+                }
+            }
+        })
+    };
+
+    let clients: Vec<_> = (0..2u64)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let menu = [
+                    QueryRequest::aggregate(QuerySpec::within_meters(14.0 + c as f64)),
+                    QueryRequest::aggregate(QuerySpec::exact()),
+                    QueryRequest::within_distance(DistanceSpec::within(60.0).expect("valid")),
+                ];
+                let mut completed = Vec::new();
+                for round in 0..6 {
+                    let request = menu[(round + c as usize) % menu.len()];
+                    let done = service.submit(request).expect("default queue").wait();
+                    completed.push((request, done));
+                }
+                completed
+            })
+        })
+        .collect();
+
+    let mut all: Vec<(QueryRequest, CompletedQuery)> = Vec::new();
+    for client in clients {
+        all.extend(client.join().expect("client thread survived"));
+    }
+    writer.join().expect("writer thread survived");
+    service
+        .shutdown()
+        .expect("supervised scheduler joins cleanly");
+
+    let snapshots = snapshots.lock().unwrap();
+    let mut successes = 0u64;
+    let mut internals = 0u64;
+    for (request, done) in &all {
+        match &done.outcome {
+            Err(QueryError::Internal) => internals += 1,
+            outcome => {
+                successes += 1;
+                let snap = snapshots
+                    .get(&done.generation)
+                    .expect("served generation was captured by the writer");
+                assert_eq!(outcome, &solo(snap, request));
+            }
+        }
+    }
+    assert_eq!(successes + internals, 12, "every admitted query completed");
+    assert!(successes >= 1, "the safe batch 0 serves at least one query");
+    assert!(internals >= 1, "the 1-in-2 plan must fault some batch");
+
+    let stats = engine.stats().serving;
+    assert_eq!(stats.admitted, 12);
+    assert_eq!(stats.completed, 12);
+    assert!(stats.scheduler_restarts >= 1, "the supervisor did restart");
+    assert_eq!(stats.isolated_panics, internals);
+}

@@ -40,19 +40,19 @@ fn sharded(
 /// The solo (single-query) answer a batched response must reproduce
 /// bit-for-bit, computed directly on a snapshot.
 fn solo(snap: &EngineSnapshot, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
-    match request {
-        QueryRequest::Aggregate(spec) => {
+    match &request.kind {
+        QueryKind::Aggregate(spec) => {
             let (plan, result) = snap.aggregate_by_region_spec(spec, 1);
             Ok(QueryResponse::Aggregate { plan, result })
         }
-        QueryRequest::WithinDistance(spec) => {
+        QueryKind::WithinDistance(spec) => {
             let (plan, result) = snap.within_distance(spec, 1);
             Ok(QueryResponse::WithinDistance { plan, result })
         }
-        QueryRequest::Knn { probe, k } => snap
+        QueryKind::Knn { probe, k } => snap
             .knn(probe, *k)
             .map(|neighbors| QueryResponse::Knn { neighbors }),
-        QueryRequest::KnnExact { probe, k } => snap
+        QueryKind::KnnExact { probe, k } => snap
             .knn_exact(probe, *k)
             .map(|neighbors| QueryResponse::Knn { neighbors }),
     }
@@ -64,16 +64,16 @@ fn solo(snap: &EngineSnapshot, request: &QueryRequest) -> Result<QueryResponse, 
 fn mixed_requests(eps_a: f64, eps_b: f64, d: f64) -> Vec<QueryRequest> {
     let probe = Point::new(12_000.0, 14_000.0);
     vec![
-        QueryRequest::Aggregate(QuerySpec::within_meters(eps_a)),
-        QueryRequest::Aggregate(QuerySpec::within_meters(eps_b)),
-        QueryRequest::Aggregate(QuerySpec::within_meters(eps_a)), // duplicate
-        QueryRequest::Aggregate(QuerySpec::exact()),
-        QueryRequest::WithinDistance(DistanceSpec::within(d).expect("valid d")),
-        QueryRequest::WithinDistance(
+        QueryRequest::aggregate(QuerySpec::within_meters(eps_a)),
+        QueryRequest::aggregate(QuerySpec::within_meters(eps_b)),
+        QueryRequest::aggregate(QuerySpec::within_meters(eps_a)), // duplicate
+        QueryRequest::aggregate(QuerySpec::exact()),
+        QueryRequest::within_distance(DistanceSpec::within(d).expect("valid d")),
+        QueryRequest::within_distance(
             DistanceSpec::within_bounded(d, eps_b).expect("valid bounded d"),
         ),
-        QueryRequest::Knn { probe, k: 3 },
-        QueryRequest::KnnExact { probe, k: 3 },
+        QueryRequest::knn(probe, 3),
+        QueryRequest::knn_exact(probe, 3),
     ]
 }
 
@@ -119,7 +119,7 @@ proptest! {
                 prop_assert!(done.batch_size >= 1);
                 prop_assert!(done.total >= done.queued);
             }
-            service.shutdown();
+            service.shutdown().expect("clean shutdown");
             let stats = engine.stats();
             prop_assert_eq!(stats.serving.admitted, requests.len() as u64);
             prop_assert_eq!(stats.serving.completed, requests.len() as u64);
@@ -141,13 +141,14 @@ fn overload_rejects_with_typed_error_and_counts_it() {
         queue_capacity: 1,
         max_batch: 1,
         threads: 1,
+        ..ServingConfig::default()
     });
     // Exact queries are the slow path: the queue (capacity 1) fills while
     // the scheduler is busy, and a burst must hit a rejection.
     let mut tickets = Vec::new();
     let mut overloads = 0u64;
     for _ in 0..200 {
-        match service.submit(QueryRequest::Aggregate(QuerySpec::exact())) {
+        match service.submit(QueryRequest::aggregate(QuerySpec::exact())) {
             Ok(t) => tickets.push(t),
             Err(QueryError::Overloaded { queued, capacity }) => {
                 assert_eq!(capacity, 1);
@@ -166,11 +167,11 @@ fn overload_rejects_with_typed_error_and_counts_it() {
     );
     let admitted = tickets.len() as u64;
     let snap = engine.snapshot();
-    let reference = solo(&snap, &QueryRequest::Aggregate(QuerySpec::exact()));
+    let reference = solo(&snap, &QueryRequest::aggregate(QuerySpec::exact()));
     for ticket in tickets {
         assert_eq!(ticket.wait().outcome, reference);
     }
-    service.shutdown();
+    service.shutdown().expect("clean shutdown");
     let stats = engine.stats();
     assert_eq!(stats.serving.admitted, admitted);
     assert_eq!(stats.serving.completed, admitted);
@@ -189,7 +190,7 @@ fn shutdown_drains_admitted_queries_then_rejects() {
     let service = engine.serve(ServingConfig::default());
     let requests: Vec<QueryRequest> = (0..6)
         .map(|i| {
-            QueryRequest::Aggregate(if i % 2 == 0 {
+            QueryRequest::aggregate(if i % 2 == 0 {
                 QuerySpec::exact()
             } else {
                 QuerySpec::within_meters(16.0)
@@ -200,18 +201,15 @@ fn shutdown_drains_admitted_queries_then_rejects() {
         .iter()
         .map(|r| service.submit(*r).expect("queue has headroom"))
         .collect();
-    service.shutdown();
+    service.shutdown().expect("clean shutdown");
     // Post-shutdown: rejected as stopped, and the rejection is counted.
-    let late = service.submit(QueryRequest::Knn {
-        probe: Point::new(0.0, 0.0),
-        k: 1,
-    });
+    let late = service.submit(QueryRequest::knn(Point::new(0.0, 0.0), 1));
     assert_eq!(late.err(), Some(QueryError::ServiceStopped));
     // Every admitted query drained with the correct answer.
     for (ticket, request) in tickets.into_iter().zip(&requests) {
         assert_eq!(ticket.wait().outcome, solo(&snap, request));
     }
-    service.shutdown(); // idempotent
+    service.shutdown().expect("clean shutdown"); // idempotent
     let stats = engine.stats();
     assert_eq!(stats.serving.admitted, 6);
     assert_eq!(stats.serving.completed, 6);
@@ -227,16 +225,13 @@ fn invalid_requests_fail_per_query_not_per_batch() {
     let engine = Arc::new(sharded(points, values, regions, 4.0, 2));
     let snap = engine.snapshot();
     let service = engine.serve(ServingConfig::default());
-    let bad = QueryRequest::Knn {
-        probe: Point::new(1_000.0, 1_000.0),
-        k: 0,
-    };
-    let good = QueryRequest::Aggregate(QuerySpec::within_meters(20.0));
+    let bad = QueryRequest::knn(Point::new(1_000.0, 1_000.0), 0);
+    let good = QueryRequest::aggregate(QuerySpec::within_meters(20.0));
     let t_bad = service.submit(bad).expect("admitted");
     let t_good = service.submit(good).expect("admitted");
     assert_eq!(t_bad.wait().outcome, Err(QueryError::InvalidK));
     assert_eq!(t_good.wait().outcome, solo(&snap, &good));
-    service.shutdown();
+    service.shutdown().expect("clean shutdown");
 }
 
 /// Stress: concurrent clients query through the serving tier while a
@@ -281,10 +276,10 @@ fn serving_stays_exact_during_ingest_and_compaction() {
             std::thread::spawn(move || {
                 let probe = Point::new(10_000.0 + 500.0 * c as f64, 13_000.0);
                 let menu = [
-                    QueryRequest::Aggregate(QuerySpec::within_meters(12.0 + c as f64)),
-                    QueryRequest::Aggregate(QuerySpec::exact()),
-                    QueryRequest::WithinDistance(DistanceSpec::within(60.0).expect("valid")),
-                    QueryRequest::Knn { probe, k: 2 },
+                    QueryRequest::aggregate(QuerySpec::within_meters(12.0 + c as f64)),
+                    QueryRequest::aggregate(QuerySpec::exact()),
+                    QueryRequest::within_distance(DistanceSpec::within(60.0).expect("valid")),
+                    QueryRequest::knn(probe, 2),
                 ];
                 let mut completed = Vec::new();
                 for round in 0..4 {
@@ -302,7 +297,7 @@ fn serving_stays_exact_during_ingest_and_compaction() {
         all.extend(client.join().expect("client thread panicked"));
     }
     writer.join().expect("writer thread panicked");
-    service.shutdown();
+    service.shutdown().expect("clean shutdown");
 
     // Validate every response against from-scratch solo execution on the
     // snapshot generation that served it.
