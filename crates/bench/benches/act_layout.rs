@@ -16,7 +16,7 @@
 //! faster than `pointer_scalar` at 100 k points.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dbsa::index::AdaptiveCellTrie;
+use dbsa::index::{AdaptiveCellTrie, FlatCellTrie, FrozenCellTrie};
 use dbsa::prelude::*;
 use dbsa::raster::{BoundaryPolicy, CellClass, HierarchicalRaster};
 use dbsa_bench::Workload;
@@ -108,6 +108,89 @@ fn bench_act_layout(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched sorted-probe sweep over the succinct frozen layout, folded into
+/// a checksum so the optimizer cannot discard the lookups.
+fn frozen_batched_probe(trie: &FrozenCellTrie, keys: &[CellId]) -> (u64, u64) {
+    let mut cursor = trie.cursor();
+    let (mut checksum, mut unmatched) = (0u64, 0u64);
+    for &leaf in keys {
+        match cursor.first_posting(leaf) {
+            Some(p) => checksum = checksum.wrapping_add(p.polygon as u64 + 1),
+            None => unmatched += 1,
+        }
+    }
+    (checksum, unmatched)
+}
+
+/// The same sweep over the full-width flat reference layout.
+fn flat_batched_probe(trie: &FlatCellTrie, keys: &[CellId]) -> (u64, u64) {
+    let mut cursor = trie.cursor_at(dbsa::grid::MAX_LEVEL);
+    let (mut checksum, mut unmatched) = (0u64, 0u64);
+    for &leaf in keys {
+        match cursor.first_posting(leaf) {
+            Some(p) => checksum = checksum.wrapping_add(p.polygon as u64 + 1),
+            None => unmatched += 1,
+        }
+    }
+    (checksum, unmatched)
+}
+
+/// Succinct (compressed) vs. full-width flat layout of the same trie:
+/// batched sorted probes over each, results asserted identical before
+/// timing. The acceptance bar for the succinct layout: within 1.1× of the
+/// flat probe time at every point count, at a fraction of the memory.
+fn bench_act_compression(c: &mut Criterion) {
+    let bound = DistanceBound::meters(4.0);
+    let workload = Workload::from_profile(
+        *POINT_COUNTS.last().expect("non-empty"),
+        DatasetProfile::Neighborhoods,
+        2021,
+    );
+    let rasters: Vec<HierarchicalRaster> = workload
+        .regions
+        .iter()
+        .map(|r| {
+            HierarchicalRaster::with_bound(r, &workload.extent, bound, BoundaryPolicy::Conservative)
+        })
+        .collect();
+    let pointer = AdaptiveCellTrie::build(&rasters);
+    let succinct = pointer.freeze();
+    let flat = FlatCellTrie::freeze(&pointer);
+    assert!(
+        succinct.memory_bytes() < flat.memory_bytes(),
+        "succinct layout ({}) must undercut the flat layout ({})",
+        succinct.memory_bytes(),
+        flat.memory_bytes()
+    );
+
+    let mut keys: Vec<CellId> = workload
+        .points
+        .iter()
+        .map(|p| workload.extent.leaf_cell_id(p))
+        .collect();
+    keys.sort_unstable();
+    // Both layouts must answer every probe identically before timing.
+    assert_eq!(
+        frozen_batched_probe(&succinct, &keys),
+        flat_batched_probe(&flat, &keys)
+    );
+
+    let mut group = c.benchmark_group("act_compression");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in POINT_COUNTS {
+        let slice = &keys[..n];
+        group.bench_function(BenchmarkId::new("succinct_batched", n), |b| {
+            b.iter(|| frozen_batched_probe(&succinct, slice))
+        });
+        group.bench_function(BenchmarkId::new("flat_batched", n), |b| {
+            b.iter(|| flat_batched_probe(&flat, slice))
+        });
+    }
+    group.finish();
+}
+
 fn bench_freeze_cost(c: &mut Criterion) {
     // The one-off price of freezing, amortized over every later probe.
     let bound = DistanceBound::meters(4.0);
@@ -131,5 +214,10 @@ fn bench_freeze_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_act_layout, bench_freeze_cost);
+criterion_group!(
+    benches,
+    bench_act_layout,
+    bench_act_compression,
+    bench_freeze_cost
+);
 criterion_main!(benches);

@@ -77,6 +77,19 @@ fn main() {
             speedup_shape,
         );
 
+        // Per-column memory of the succinct frozen trie, so layout work
+        // can see where the bytes go.
+        let breakdown = act_join.trie().memory_breakdown();
+        println!(
+            "{:<14} |   ACT memory {}: nodes {} | postings {} | distance {} | summaries {}",
+            "",
+            fmt_bytes(act_join.memory_bytes()),
+            fmt_bytes(breakdown.nodes_bytes),
+            fmt_bytes(breakdown.postings_bytes),
+            fmt_bytes(breakdown.distance_bytes),
+            fmt_bytes(breakdown.summaries_bytes),
+        );
+
         let err = ErrorSummary::from_pairs(
             act_res
                 .regions
@@ -101,6 +114,22 @@ fn main() {
             (
                 "act_memory_bytes",
                 JsonValue::Int(act_join.memory_bytes() as u64),
+            ),
+            (
+                "act_memory_nodes_bytes",
+                JsonValue::Int(breakdown.nodes_bytes as u64),
+            ),
+            (
+                "act_memory_postings_bytes",
+                JsonValue::Int(breakdown.postings_bytes as u64),
+            ),
+            (
+                "act_memory_distance_bytes",
+                JsonValue::Int(breakdown.distance_bytes as u64),
+            ),
+            (
+                "act_memory_summaries_bytes",
+                JsonValue::Int(breakdown.summaries_bytes as u64),
             ),
             (
                 "act_trie_nodes",

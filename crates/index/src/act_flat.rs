@@ -1,0 +1,451 @@
+//! Reference **flat** layout of the frozen Adaptive Cell Trie.
+//!
+//! This is the pre-succinct query layout [`crate::FrozenCellTrie`] used
+//! before its bit-packed re-layout: one pre-order node array with four
+//! explicit `u32` child slots per node, SoA posting columns at full width,
+//! and per-node subtree summaries as plain vectors. It is kept as the
+//! executable specification of the frozen-trie semantics:
+//!
+//! * the succinct layout's property tests compare the two structures
+//!   bit-for-bit (`children_of` / `postings_of` / truncated probes /
+//!   `subtree_*` summaries) on randomized region sets, and
+//! * the `act_layout` Criterion bench runs a compressed-vs-flat group so
+//!   the speed-parity claim of the succinct layout is measured, not
+//!   asserted.
+//!
+//! It is **not** used on any production path — [`crate::FrozenCellTrie`]
+//! is the query form — so it favors obviousness over size: 24 bytes per
+//! node of child pointers alone, where the succinct layout spends ~1.5.
+
+use crate::act::{AdaptiveCellTrie, CellPosting, PolygonId, TrieNode};
+use crate::act_frozen::SubtreeDistance;
+use crate::footprint::MemoryFootprint;
+use dbsa_grid::{CellId, MAX_LEVEL};
+use dbsa_raster::{CellClass, DistanceBins};
+
+/// Sentinel child index: this child does not exist.
+const NO_CHILD: u32 = u32::MAX;
+
+/// Sentinel polygon id: the strict subtree holds no posting.
+const NO_POLYGON: u32 = u32::MAX;
+
+/// Path-stack capacity: one entry per level, root included.
+const STACK: usize = MAX_LEVEL as usize + 1;
+
+/// One flat trie node: four child indices plus the `(offset, len)` slice of
+/// the postings arena. 24 bytes, `Copy`, no indirection.
+#[derive(Debug, Clone, Copy)]
+struct FlatNode {
+    children: [u32; 4],
+    postings_offset: u32,
+    postings_len: u32,
+}
+
+/// The flat (uncompressed) frozen trie. Build via [`FlatCellTrie::freeze`].
+#[derive(Debug)]
+pub struct FlatCellTrie {
+    /// All nodes in pre-order; index 0 is the root.
+    nodes: Vec<FlatNode>,
+    /// Postings arena, polygon column.
+    posting_polygons: Vec<PolygonId>,
+    /// Postings arena, class column.
+    posting_classes: Vec<CellClass>,
+    /// Postings arena, distance-annotation column.
+    posting_dists: Vec<DistanceBins>,
+    /// Strict-subtree distance summary per node, in leaf units.
+    deep_dist: Vec<SubtreeDistance>,
+    /// Whether every strict-subtree posting shares one polygon.
+    deep_single: Vec<bool>,
+    /// First strict-subtree posting's polygon (pre-order), or `NO_POLYGON`.
+    deep_first: Vec<u32>,
+    polygons: usize,
+    max_depth: u8,
+    /// Covered leaf-key span of the level-`ℓ` truncation.
+    covered_at: [Option<(u64, u64)>; STACK],
+    /// Number of trie nodes at level ≤ ℓ.
+    nodes_at_or_above: [u32; STACK],
+}
+
+/// Child position of `leaf`'s ancestor at `level`.
+#[inline(always)]
+fn child_pos(raw_leaf: u64, level: u8) -> usize {
+    ((raw_leaf >> (2 * (MAX_LEVEL - level) as u32 + 1)) & 3) as usize
+}
+
+impl FlatCellTrie {
+    /// Flattens a pointer trie into the flat pre-order layout.
+    pub fn freeze(trie: &AdaptiveCellTrie) -> Self {
+        let node_count = trie.node_count();
+        let posting_count = trie.posting_count();
+        assert!(
+            node_count < NO_CHILD as usize && posting_count <= u32::MAX as usize,
+            "trie too large for u32 indices ({node_count} nodes, {posting_count} postings)"
+        );
+        let mut state = FreezeState {
+            nodes: Vec::with_capacity(node_count),
+            posting_polygons: Vec::with_capacity(posting_count),
+            posting_classes: Vec::with_capacity(posting_count),
+            posting_dists: Vec::with_capacity(posting_count),
+            deep_first: Vec::with_capacity(node_count),
+            deep_dist: Vec::with_capacity(node_count),
+            deep_single: Vec::with_capacity(node_count),
+            covered_at: [None; STACK],
+            level_nodes: [0; STACK],
+        };
+        state.freeze_node(&trie.root, CellId::ROOT);
+        debug_assert_eq!(state.nodes.len(), node_count);
+        let mut nodes_at_or_above = [0u32; STACK];
+        let mut running = 0u32;
+        for (cum, count) in nodes_at_or_above.iter_mut().zip(state.level_nodes) {
+            running += count;
+            *cum = running;
+        }
+        FlatCellTrie {
+            nodes: state.nodes,
+            posting_polygons: state.posting_polygons,
+            posting_classes: state.posting_classes,
+            posting_dists: state.posting_dists,
+            deep_first: state.deep_first,
+            deep_dist: state.deep_dist,
+            deep_single: state.deep_single,
+            polygons: trie.polygon_count(),
+            max_depth: trie.max_depth(),
+            covered_at: state.covered_at,
+            nodes_at_or_above,
+        }
+    }
+
+    /// The covered leaf-key span of the level-`level` truncation.
+    pub fn covered_key_range_at(&self, level: u8) -> Option<(u64, u64)> {
+        self.covered_at[level.min(MAX_LEVEL) as usize]
+    }
+
+    /// Number of trie nodes at level ≤ `level`.
+    pub fn nodes_at_or_above(&self, level: u8) -> usize {
+        self.nodes_at_or_above[level.min(MAX_LEVEL) as usize] as usize
+    }
+
+    /// Number of indexed polygons.
+    pub fn polygon_count(&self) -> usize {
+        self.polygons
+    }
+
+    /// Number of cell postings.
+    pub fn posting_count(&self) -> usize {
+        self.posting_polygons.len()
+    }
+
+    /// Number of trie nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Deepest level at which a posting terminates.
+    pub fn max_depth(&self) -> u8 {
+        self.max_depth
+    }
+
+    #[inline(always)]
+    fn node_first_posting(&self, idx: usize) -> Option<CellPosting> {
+        let node = &self.nodes[idx];
+        (node.postings_len > 0).then(|| self.posting_at(node.postings_offset as usize))
+    }
+
+    #[inline(always)]
+    fn posting_at(&self, arena_idx: usize) -> CellPosting {
+        CellPosting {
+            polygon: self.posting_polygons[arena_idx],
+            class: self.posting_classes[arena_idx],
+            dist: self.posting_dists[arena_idx],
+        }
+    }
+
+    /// Fills `out` with the postings along the root-to-leaf path, in
+    /// coarsest-first order.
+    pub fn lookup_leaf_into(&self, leaf: CellId, out: &mut Vec<CellPosting>) {
+        debug_assert!(leaf.is_leaf(), "lookup requires a leaf cell id: {leaf}");
+        out.clear();
+        let raw = leaf.raw();
+        let mut node = 0usize;
+        self.append_postings(node, out);
+        for l in 1..=self.max_depth {
+            let child = self.nodes[node].children[child_pos(raw, l)];
+            if child == NO_CHILD {
+                break;
+            }
+            node = child as usize;
+            self.append_postings(node, out);
+        }
+    }
+
+    #[inline(always)]
+    fn append_postings(&self, idx: usize, out: &mut Vec<CellPosting>) {
+        let node = &self.nodes[idx];
+        let from = node.postings_offset as usize;
+        let to = from + node.postings_len as usize;
+        for i in from..to {
+            out.push(self.posting_at(i));
+        }
+    }
+
+    /// The first (coarsest) posting covering the leaf cell, if any.
+    pub fn first_posting(&self, leaf: CellId) -> Option<CellPosting> {
+        self.first_posting_at(leaf, MAX_LEVEL)
+    }
+
+    /// The truncated-covering summary at node `idx`.
+    #[inline(always)]
+    fn deep_summary(&self, idx: usize) -> Option<CellPosting> {
+        let polygon = self.deep_first[idx];
+        (polygon != NO_POLYGON).then_some(CellPosting {
+            polygon,
+            class: CellClass::Boundary,
+            dist: DistanceBins::UNKNOWN,
+        })
+    }
+
+    /// The first polygon posted anywhere in node `idx`'s strict subtree.
+    pub fn subtree_first_polygon(&self, idx: u32) -> Option<PolygonId> {
+        let polygon = self.deep_first[idx as usize];
+        (polygon != NO_POLYGON).then_some(polygon)
+    }
+
+    /// The strict-subtree distance summary of node `idx`, in leaf units.
+    pub fn subtree_distance(&self, idx: u32) -> SubtreeDistance {
+        self.deep_dist[idx as usize]
+    }
+
+    /// Whether every strict-subtree posting shares one polygon.
+    pub fn subtree_single_region(&self, idx: u32) -> bool {
+        self.deep_single[idx as usize]
+    }
+
+    /// The four child node indices of node `idx` in quadtree child order.
+    pub fn children_of(&self, idx: u32) -> [Option<u32>; 4] {
+        self.nodes[idx as usize]
+            .children
+            .map(|c| (c != NO_CHILD).then_some(c))
+    }
+
+    /// The postings stored at node `idx`, in insertion order.
+    pub fn postings_of(&self, idx: u32) -> impl Iterator<Item = CellPosting> + '_ {
+        let node = &self.nodes[idx as usize];
+        let from = node.postings_offset as usize;
+        (from..from + node.postings_len as usize).map(move |i| self.posting_at(i))
+    }
+
+    /// Whether node `idx` stores any posting.
+    pub fn has_postings(&self, idx: u32) -> bool {
+        self.nodes[idx as usize].postings_len > 0
+    }
+
+    /// The first posting covering the leaf cell at truncation level `level`.
+    pub fn first_posting_at(&self, leaf: CellId, level: u8) -> Option<CellPosting> {
+        debug_assert!(leaf.is_leaf(), "lookup requires a leaf cell id: {leaf}");
+        let raw = leaf.raw();
+        let mut node = 0usize;
+        if let Some(p) = self.node_first_posting(node) {
+            return Some(p);
+        }
+        for l in 1..=self.max_depth.min(level) {
+            let child = self.nodes[node].children[child_pos(raw, l)];
+            if child == NO_CHILD {
+                return None;
+            }
+            node = child as usize;
+            if let Some(p) = self.node_first_posting(node) {
+                return Some(p);
+            }
+        }
+        self.deep_summary(node)
+    }
+
+    /// Starts a batched probe cursor truncated at `level`; answers match
+    /// [`first_posting_at`](Self::first_posting_at) with the same level.
+    pub fn cursor_at(&self, level: u8) -> FlatProbeCursor<'_> {
+        FlatProbeCursor::new(self, level)
+    }
+}
+
+/// Working state of the pre-order flattening.
+struct FreezeState {
+    nodes: Vec<FlatNode>,
+    posting_polygons: Vec<PolygonId>,
+    posting_classes: Vec<CellClass>,
+    posting_dists: Vec<DistanceBins>,
+    deep_first: Vec<u32>,
+    deep_dist: Vec<SubtreeDistance>,
+    deep_single: Vec<bool>,
+    covered_at: [Option<(u64, u64)>; STACK],
+    level_nodes: [u32; STACK],
+}
+
+/// Summary of a subtree *including* the root's own postings.
+#[derive(Clone, Copy)]
+struct SubtreeInfo {
+    first: u32,
+    single: bool,
+    dist: SubtreeDistance,
+}
+
+impl SubtreeInfo {
+    const EMPTY: SubtreeInfo = SubtreeInfo {
+        first: NO_POLYGON,
+        single: true,
+        dist: SubtreeDistance::EMPTY,
+    };
+
+    fn fold(&mut self, other: SubtreeInfo) {
+        if other.first != NO_POLYGON {
+            if self.first == NO_POLYGON {
+                self.first = other.first;
+                self.single = other.single;
+            } else {
+                self.single = self.single && other.single && self.first == other.first;
+            }
+        }
+        self.dist.fold(other.dist);
+    }
+}
+
+impl FreezeState {
+    fn freeze_node(&mut self, node: &TrieNode, cell: CellId) -> (u32, SubtreeInfo) {
+        let idx = self.nodes.len() as u32;
+        let level = cell.level();
+        self.level_nodes[level as usize] += 1;
+        self.nodes.push(FlatNode {
+            children: [NO_CHILD; 4],
+            postings_offset: self.posting_polygons.len() as u32,
+            postings_len: node.postings.len() as u32,
+        });
+        self.deep_first.push(NO_POLYGON);
+        self.deep_dist.push(SubtreeDistance::EMPTY);
+        self.deep_single.push(true);
+        if !node.postings.is_empty() {
+            for l in 0..STACK as u8 {
+                let effective = if level <= l { cell } else { cell.parent_at(l) };
+                let (lo, hi) = (effective.range_min().raw(), effective.range_max().raw());
+                let slot = &mut self.covered_at[l as usize];
+                *slot = Some(match slot {
+                    Some((clo, chi)) => ((*clo).min(lo), (*chi).max(hi)),
+                    None => (lo, hi),
+                });
+            }
+        }
+        let mut own = SubtreeInfo::EMPTY;
+        for p in &node.postings {
+            self.posting_polygons.push(p.polygon);
+            self.posting_classes.push(p.class);
+            self.posting_dists.push(p.dist);
+            own.fold(SubtreeInfo {
+                first: p.polygon,
+                single: true,
+                dist: SubtreeDistance::of_posting(p.dist, p.class, level),
+            });
+        }
+        let mut deep = SubtreeInfo::EMPTY;
+        for (pos, child) in node.children.iter().enumerate() {
+            if let Some(child) = child {
+                let (child_idx, child_info) = self.freeze_node(child, cell.children()[pos]);
+                self.nodes[idx as usize].children[pos] = child_idx;
+                deep.fold(child_info);
+            }
+        }
+        self.deep_first[idx as usize] = deep.first;
+        self.deep_dist[idx as usize] = deep.dist;
+        self.deep_single[idx as usize] = deep.single;
+        let mut subtree = own;
+        subtree.fold(deep);
+        (idx, subtree)
+    }
+}
+
+impl MemoryFootprint for FlatCellTrie {
+    fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<FlatNode>()
+            + self.posting_polygons.capacity() * std::mem::size_of::<PolygonId>()
+            + self.posting_classes.capacity() * std::mem::size_of::<CellClass>()
+            + self.posting_dists.capacity() * std::mem::size_of::<DistanceBins>()
+            + self.deep_first.capacity() * std::mem::size_of::<u32>()
+            + self.deep_dist.capacity() * std::mem::size_of::<SubtreeDistance>()
+            + self.deep_single.capacity() * std::mem::size_of::<bool>()
+    }
+}
+
+/// Batched probe cursor over a [`FlatCellTrie`] — the reference
+/// implementation of the prefix-sharing re-descent the succinct cursor
+/// must reproduce bit-for-bit.
+pub struct FlatProbeCursor<'a> {
+    trie: &'a FlatCellTrie,
+    cutoff: usize,
+    stack: [u32; STACK],
+    first: [Option<CellPosting>; STACK],
+    depth: usize,
+    prev: u64,
+    has_prev: bool,
+    cached: Option<CellPosting>,
+}
+
+impl<'a> FlatProbeCursor<'a> {
+    fn new(trie: &'a FlatCellTrie, level: u8) -> Self {
+        let mut first = [None; STACK];
+        first[0] = trie.node_first_posting(0);
+        FlatProbeCursor {
+            trie,
+            cutoff: trie.max_depth.min(level) as usize,
+            stack: [0; STACK],
+            first,
+            depth: 0,
+            prev: 0,
+            has_prev: false,
+            cached: None,
+        }
+    }
+
+    /// The first posting covering `leaf` at the cursor's truncation level.
+    pub fn first_posting(&mut self, leaf: CellId) -> Option<CellPosting> {
+        debug_assert!(
+            leaf.is_leaf(),
+            "cursor probes require a leaf cell id: {leaf}"
+        );
+        let raw = leaf.raw();
+        let start = if self.has_prev {
+            let xor = self.prev ^ raw;
+            if xor == 0 {
+                return self.cached;
+            }
+            let high_bit = 63 - xor.leading_zeros() as usize;
+            let diverge_level = MAX_LEVEL as usize - (high_bit - 1) / 2;
+            if self.depth + 1 < diverge_level {
+                self.prev = raw;
+                return self.cached;
+            }
+            diverge_level
+        } else {
+            1
+        };
+        self.has_prev = true;
+        self.prev = raw;
+        self.depth = start - 1;
+        let mut node = self.stack[self.depth] as usize;
+        let mut best = self.first[self.depth];
+        for l in start..=self.cutoff {
+            let child = self.trie.nodes[node].children[child_pos(raw, l as u8)];
+            if child == NO_CHILD {
+                break;
+            }
+            node = child as usize;
+            self.depth = l;
+            self.stack[l] = child;
+            if best.is_none() {
+                best = self.trie.node_first_posting(node);
+            }
+            self.first[l] = best;
+        }
+        if best.is_none() && self.depth == self.cutoff {
+            best = self.trie.deep_summary(node);
+        }
+        self.cached = best;
+        best
+    }
+}

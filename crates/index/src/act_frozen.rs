@@ -1,4 +1,4 @@
-//! Frozen, cache-conscious layout of the Adaptive Cell Trie.
+//! Frozen, succinct layout of the Adaptive Cell Trie.
 //!
 //! [`crate::AdaptiveCellTrie`] is the *builder*: a pointer trie of
 //! heap-allocated boxes that supports incremental insertion. Probing it
@@ -7,14 +7,33 @@
 //! query point becomes a trie lookup.
 //!
 //! [`FrozenCellTrie`] is the *query* form produced by
-//! [`FrozenCellTrie::freeze`]:
+//! [`FrozenCellTrie::freeze`]. Where the earlier flat layout (preserved as
+//! [`crate::FlatCellTrie`] for tests and benches) spent 24 bytes of child
+//! pointers per node plus full-width summary and posting columns, the
+//! frozen trie is **succinct**:
 //!
-//! * all nodes live in one contiguous array, in **pre-order**, so a
-//!   root-to-leaf descent walks mostly forward through memory;
-//! * children are `u32` indices (`NO_CHILD` for absent), not pointers;
-//! * all postings live in a single structure-of-arrays arena (`polygon`
-//!   column + `class` column) addressed by `(offset, len)` — no per-node
-//!   heap allocation anywhere, and `memory_bytes` is exact and O(1).
+//! * nodes are numbered in **BFS (level) order**, so the children of any
+//!   node are consecutive and a node stores no child pointers at all —
+//!   only a 4-bit child-presence mask. Navigation is popcount/rank
+//!   arithmetic: the first child of node `i` is `1 +` (number of children
+//!   of all nodes `< i`), maintained exactly by per-block rank counters;
+//! * 16 nodes share one 24-byte `NodeBlock` (~1.5 bytes/node): a `u64`
+//!   of child masks, a `u32` of 2-bit posting counts (3 = escape to a
+//!   sorted side table — almost every node holds 0 or 1 postings), and
+//!   three `u32` rank counters (children / postings / internal nodes
+//!   before the block), so one cache line answers every navigation
+//!   question about 16 nodes;
+//! * subtree summaries are stored **only for internal nodes** (leaves have
+//!   vacuously empty strict subtrees), addressed by internal rank:
+//!   [`SubtreeDistance`] packs losslessly into one `u64` (three 21-bit
+//!   mantissa·2^shift fields — every folded value is a `u16` bin shifted
+//!   by the posting's level, so min/max folds stay exactly representable),
+//!   the first-polygon column is bit-packed at ⌈log₂(polygons+1)⌉ bits,
+//!   and the single-region flags collapse into a bitset;
+//! * posting columns are bit-packed too: polygon ids at ⌈log₂ polygons⌉
+//!   bits, classes as a bitset, and the u16 distance bins as two nibbles
+//!   (values 0‥13 literal, 14 = unbounded, 15 = escape to a sorted
+//!   exception table — real raster profiles never escape).
 //!
 //! For batched probing, [`SortedProbeCursor`] keeps the current
 //! root-to-leaf path on a stack. When probes arrive in leaf-key order
@@ -40,9 +59,7 @@ use crate::act::{ActStats, AdaptiveCellTrie, CellPosting, PolygonId, TrieNode};
 use crate::footprint::MemoryFootprint;
 use dbsa_grid::{CellId, MAX_LEVEL};
 use dbsa_raster::{CellClass, DistanceBins};
-
-/// Sentinel child index: this child does not exist.
-const NO_CHILD: u32 = u32::MAX;
+use std::collections::VecDeque;
 
 /// Sentinel polygon id: the strict subtree holds no posting.
 const NO_POLYGON: u32 = u32::MAX;
@@ -51,13 +68,151 @@ const NO_POLYGON: u32 = u32::MAX;
 /// of the per-level metadata arrays (`covered_at`, `nodes_at_or_above`).
 const STACK: usize = MAX_LEVEL as usize + 1;
 
-/// One frozen trie node: four child indices plus the `(offset, len)` slice
-/// of the postings arena. 24 bytes, `Copy`, no indirection.
-#[derive(Debug, Clone, Copy)]
-struct FrozenNode {
-    children: [u32; 4],
-    postings_offset: u32,
-    postings_len: u32,
+/// Nodes sharing one [`NodeBlock`].
+const BLOCK_NODES: usize = 16;
+
+/// Posting-count code meaning "look the true count up in the escape table".
+const COUNT_ESCAPE: u32 = 3;
+
+/// Largest distance bin stored literally in a nibble.
+const DIST_NIBBLE_MAX: u16 = 13;
+
+/// Nibble code for [`DistanceBins::UNBOUNDED`].
+const DIST_NIBBLE_UNBOUNDED: u8 = 14;
+
+/// Byte marking a posting whose bins live in the escape table (both
+/// nibbles 15 — unreachable for literal codes, whose nibbles are ≤ 14).
+const DIST_BYTE_ESCAPE: u8 = 0xFF;
+
+/// Succinct header of 16 consecutive BFS-ordered nodes: per-node child
+/// masks and posting-count codes, plus the exclusive rank prefixes that
+/// anchor popcount navigation. 24 bytes — ~1.5 bytes of navigation per
+/// node, all of it on one cache line.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeBlock {
+    /// Nibble `s` = 4-bit child-presence mask of node `block·16 + s`.
+    child_masks: u64,
+    /// 2-bit field `s` = posting count of node `block·16 + s`
+    /// (`COUNT_ESCAPE` = true count ≥ 3, stored in the escape table).
+    posting_codes: u32,
+    /// Total children of all nodes in earlier blocks.
+    child_rank: u32,
+    /// Total postings of all nodes in earlier blocks.
+    posting_rank: u32,
+    /// Internal (mask ≠ 0) nodes in earlier blocks.
+    internal_rank: u32,
+}
+
+/// `bits`-wide all-ones mask (`bits ≤ 63`).
+#[inline(always)]
+fn low_mask(bits: usize) -> u64 {
+    (1u64 << bits) - 1
+}
+
+/// Number of non-zero nibbles in `x` — internal-node count of a mask word.
+#[inline(always)]
+fn nonzero_nibbles(x: u64) -> u32 {
+    let any = x | (x >> 1) | (x >> 2) | (x >> 3);
+    (any & 0x1111_1111_1111_1111).count_ones()
+}
+
+/// Sum of the 2-bit fields of `w` (each 0..=3, so ≤ 48 total).
+#[inline(always)]
+fn sum_2bit_fields(w: u32) -> u32 {
+    (w & 0x5555_5555).count_ones() + 2 * ((w >> 1) & 0x5555_5555).count_ones()
+}
+
+/// 2-bit fields of `w` equal to `COUNT_ESCAPE` (both bits set), as a mask
+/// over the low bits of each field.
+#[inline(always)]
+fn escape_fields(w: u32) -> u32 {
+    w & (w >> 1) & 0x5555_5555
+}
+
+/// A `u32` column bit-packed at a fixed width (1..=32 bits per entry).
+#[derive(Debug, Default)]
+struct PackedU32s {
+    words: Vec<u64>,
+    width: u32,
+}
+
+impl PackedU32s {
+    /// An all-zero column of `len` entries at `width` bits each.
+    fn zeros(width: u32, len: usize) -> Self {
+        debug_assert!((1..=32).contains(&width));
+        PackedU32s {
+            words: vec![0u64; (len * width as usize).div_ceil(64)],
+            width,
+        }
+    }
+
+    /// ORs `v` into entry `i` (entries start zero; set each at most once).
+    #[inline(always)]
+    fn set(&mut self, i: usize, v: u32) {
+        debug_assert!(self.width == 32 || u64::from(v) < (1u64 << self.width));
+        let bit = i * self.width as usize;
+        let (word, off) = (bit >> 6, bit & 63);
+        self.words[word] |= (v as u64) << off;
+        if off + self.width as usize > 64 {
+            self.words[word + 1] |= (v as u64) >> (64 - off);
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> u32 {
+        let bit = i * self.width as usize;
+        let (word, off) = (bit >> 6, bit & 63);
+        let lo = self.words[word] >> off;
+        let v = if off + self.width as usize > 64 {
+            lo | (self.words[word + 1] << (64 - off))
+        } else {
+            lo
+        };
+        (v & low_mask(self.width as usize)) as u32
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// A plain bitset.
+#[derive(Debug, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn zeros(len: usize) -> Self {
+        BitSet {
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    fn ones(len: usize) -> Self {
+        BitSet {
+            words: vec![u64::MAX; len.div_ceil(64)],
+        }
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, v: bool) {
+        let mask = 1u64 << (i & 63);
+        if v {
+            self.words[i >> 6] |= mask;
+        } else {
+            self.words[i >> 6] &= !mask;
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> bool {
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
 }
 
 /// Strict-subtree distance summary of one frozen node, in **leaf units**
@@ -89,13 +244,13 @@ impl SubtreeDistance {
     /// Summary of an empty subtree: no posting constrains anything, so
     /// min-folded fields start at `u64::MAX` (min identity) and the upper
     /// bound at 0 (max identity).
-    const EMPTY: SubtreeDistance = SubtreeDistance {
+    pub(crate) const EMPTY: SubtreeDistance = SubtreeDistance {
         lo_leaf: u64::MAX,
         hi_leaf: 0,
         slack_leaf: u64::MAX,
     };
 
-    fn fold(&mut self, other: SubtreeDistance) {
+    pub(crate) fn fold(&mut self, other: SubtreeDistance) {
         self.lo_leaf = self.lo_leaf.min(other.lo_leaf);
         self.hi_leaf = self.hi_leaf.max(other.hi_leaf);
         self.slack_leaf = self.slack_leaf.min(other.slack_leaf);
@@ -103,7 +258,7 @@ impl SubtreeDistance {
 
     /// Converts a posting's per-level bins into leaf units: a bin at level
     /// `level` spans `2^(MAX_LEVEL - level)` leaf sides.
-    fn of_posting(dist: DistanceBins, class: CellClass, level: u8) -> SubtreeDistance {
+    pub(crate) fn of_posting(dist: DistanceBins, class: CellClass, level: u8) -> SubtreeDistance {
         let shift = (MAX_LEVEL - level) as u32;
         let hi_leaf = if dist.is_bounded() {
             (dist.hi as u64) << shift
@@ -121,39 +276,133 @@ impl SubtreeDistance {
     }
 }
 
+/// Packs one summary field into 21 bits: a 5-bit shift and 16-bit
+/// mantissa, `shift = 31` reserved for the `u64::MAX` sentinel. Every
+/// value a summary fold can produce is a `u16` bin times `2^(MAX_LEVEL -
+/// level)` (or an identity 0 / `u64::MAX`), and min/max folds select
+/// *elements* of that set, so the encoding is exact — `debug_assert`ed,
+/// not rounded.
+#[inline]
+fn pack_dist_field(v: u64) -> u64 {
+    if v == u64::MAX {
+        return 31 << 16;
+    }
+    let bits = 64 - v.leading_zeros();
+    let shift = bits.saturating_sub(16);
+    debug_assert!(
+        shift <= 30 && (v >> shift) << shift == v,
+        "inexact summary field {v}"
+    );
+    ((shift as u64) << 16) | (v >> shift)
+}
+
+#[inline(always)]
+fn unpack_dist_field(f: u64) -> u64 {
+    let shift = (f >> 16) & 31;
+    if shift == 31 {
+        u64::MAX
+    } else {
+        (f & 0xFFFF) << shift
+    }
+}
+
+/// Three packed fields in one `u64` (bits 0‥20 lo, 21‥41 hi, 42‥62 slack).
+#[inline]
+fn pack_subtree(d: SubtreeDistance) -> u64 {
+    pack_dist_field(d.lo_leaf)
+        | (pack_dist_field(d.hi_leaf) << 21)
+        | (pack_dist_field(d.slack_leaf) << 42)
+}
+
+#[inline(always)]
+fn unpack_subtree(p: u64) -> SubtreeDistance {
+    SubtreeDistance {
+        lo_leaf: unpack_dist_field(p & low_mask(21)),
+        hi_leaf: unpack_dist_field((p >> 21) & low_mask(21)),
+        slack_leaf: unpack_dist_field(p >> 42),
+    }
+}
+
+/// Nibble code of one distance bin: literal `0..=13`, 14 = unbounded,
+/// `None` = must escape.
+#[inline]
+fn dist_nibble(v: u16) -> Option<u8> {
+    if v <= DIST_NIBBLE_MAX {
+        Some(v as u8)
+    } else if v == DistanceBins::UNBOUNDED {
+        Some(DIST_NIBBLE_UNBOUNDED)
+    } else {
+        None
+    }
+}
+
+#[inline(always)]
+fn dist_unnibble(code: u8) -> u16 {
+    if code == DIST_NIBBLE_UNBOUNDED {
+        DistanceBins::UNBOUNDED
+    } else {
+        code as u16
+    }
+}
+
+/// Smallest width (≥ 1) that can store values `0..=max_value`.
+fn bits_for(max_value: u32) -> u32 {
+    (32 - max_value.leading_zeros()).max(1)
+}
+
+/// Memory of one [`FrozenCellTrie`], split by column family — the fig6
+/// report emits this so layout work can see where the bytes go. All
+/// figures are true heap bytes (`Vec` capacities, not lengths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrieMemoryBreakdown {
+    /// Navigation: node blocks plus the posting-count escape table.
+    pub nodes_bytes: usize,
+    /// Posting identity: bit-packed polygon column + class bitset.
+    pub postings_bytes: usize,
+    /// Posting distance annotations: nibble codes + escape table.
+    pub distance_bytes: usize,
+    /// Subtree summaries: packed distance folds, first-polygon column,
+    /// single-region bitset.
+    pub summaries_bytes: usize,
+}
+
+impl TrieMemoryBreakdown {
+    /// Total heap bytes across every column family.
+    pub fn total(&self) -> usize {
+        self.nodes_bytes + self.postings_bytes + self.distance_bytes + self.summaries_bytes
+    }
+}
+
 /// The frozen Adaptive Cell Trie. Immutable; build via
 /// [`FrozenCellTrie::freeze`] (or [`AdaptiveCellTrie::freeze`]).
 #[derive(Debug)]
 pub struct FrozenCellTrie {
-    /// All nodes in pre-order; index 0 is the root.
-    nodes: Vec<FrozenNode>,
-    /// Postings arena, polygon column.
-    posting_polygons: Vec<PolygonId>,
-    /// Postings arena, class column (aligned with `posting_polygons`).
-    posting_classes: Vec<CellClass>,
-    /// Postings arena, distance-annotation column (aligned with
-    /// `posting_polygons`): the quantized distance-to-boundary bins frozen
-    /// straight out of the raster cells.
-    posting_dists: Vec<DistanceBins>,
-    /// `deep_dist[i]` = min/max distance summary of node `i`'s *strict*
-    /// subtree postings, in leaf units — the pruning data of the distance
-    /// query family (a probe truncated at node `i` bounds every deeper
-    /// posting's annotation through this).
-    deep_dist: Vec<SubtreeDistance>,
-    /// `deep_single[i]` = whether every posting in node `i`'s strict
-    /// subtree belongs to the same polygon (`deep_first[i]`); vacuously
-    /// true for empty subtrees. Truncated distance searches may summarize
-    /// a single-region subtree soundly (all folded cells belong to the
-    /// summary's region); multi-region subtrees must be descended for
-    /// per-region bounds to stay valid.
-    deep_single: Vec<bool>,
-    /// `deep_first[i]` = the polygon of the first posting in node `i`'s
-    /// *strict* subtree, in pre-order (a node's own postings before its
-    /// descendants, siblings in Z-order); `NO_POLYGON` when the subtree
-    /// below `i` holds no posting. A probe truncated at node `i`'s level
-    /// resolves to this polygon with class `Boundary` — the Morton-prefix
-    /// truncation of the indexed rasters.
-    deep_first: Vec<u32>,
+    /// Succinct node headers, 16 BFS-ordered nodes per block.
+    blocks: Vec<NodeBlock>,
+    /// `(node, true posting count)` for nodes whose count ≥ 3, sorted by
+    /// node index (BFS emission order).
+    count_escapes: Vec<(u32, u32)>,
+    /// Postings arena, polygon column, bit-packed at `poly_width` bits.
+    posting_polygons: PackedU32s,
+    /// Postings arena, class column: bit set ⇔ `CellClass::Boundary`.
+    posting_classes: BitSet,
+    /// Postings arena, distance column: `lo` nibble | `hi` nibble << 4,
+    /// [`DIST_BYTE_ESCAPE`] when either bin escapes.
+    posting_dists: Vec<u8>,
+    /// `(arena index, bins)` for escaped postings, sorted by arena index.
+    dist_escapes: Vec<(u32, DistanceBins)>,
+    /// Strict-subtree distance summary per **internal** node (internal
+    /// rank order), packed by [`pack_subtree`].
+    deep_dist: Vec<u64>,
+    /// First strict-subtree polygon per **internal** node, bit-packed;
+    /// `first_sentinel` encodes "no posting below".
+    deep_first: PackedU32s,
+    /// Single-region flag per node (vacuously true for leaves).
+    deep_single: BitSet,
+    /// The value in `deep_first` meaning "none" (max polygon id + 1).
+    first_sentinel: u32,
+    nodes: u32,
+    postings: u32,
     polygons: usize,
     max_depth: u8,
     /// `covered_at[ℓ]` = inclusive span `[lo, hi]` of raw leaf keys covered
@@ -177,46 +426,266 @@ fn child_pos(raw_leaf: u64, level: u8) -> usize {
 }
 
 impl FrozenCellTrie {
-    /// Flattens a pointer trie into the frozen layout.
+    /// Flattens a pointer trie into the succinct BFS layout.
     pub fn freeze(trie: &AdaptiveCellTrie) -> Self {
         let node_count = trie.node_count();
         let posting_count = trie.posting_count();
         assert!(
-            node_count < NO_CHILD as usize && posting_count <= u32::MAX as usize,
+            node_count < u32::MAX as usize && posting_count <= u32::MAX as usize,
             "trie too large for u32 indices ({node_count} nodes, {posting_count} postings)"
         );
-        let mut state = FreezeState {
-            nodes: Vec::with_capacity(node_count),
-            posting_polygons: Vec::with_capacity(posting_count),
-            posting_classes: Vec::with_capacity(posting_count),
-            posting_dists: Vec::with_capacity(posting_count),
-            deep_first: Vec::with_capacity(node_count),
-            deep_dist: Vec::with_capacity(node_count),
-            deep_single: Vec::with_capacity(node_count),
-            covered_at: [None; STACK],
-            level_nodes: [0; STACK],
-        };
-        state.freeze_node(&trie.root, CellId::ROOT);
-        debug_assert_eq!(state.nodes.len(), node_count);
-        debug_assert_eq!(state.posting_polygons.len(), posting_count);
+
+        // Pass 1 — BFS emission: blocks, posting columns, covered spans.
+        // Polygon ids are staged unpacked until the max id fixes the width.
+        let mut blocks: Vec<NodeBlock> = Vec::with_capacity(node_count.div_ceil(BLOCK_NODES));
+        let mut count_escapes: Vec<(u32, u32)> = Vec::new();
+        let mut poly_staging: Vec<u32> = Vec::with_capacity(posting_count);
+        let mut posting_classes = BitSet::zeros(posting_count);
+        let mut posting_dists: Vec<u8> = Vec::with_capacity(posting_count);
+        let mut dist_escapes: Vec<(u32, DistanceBins)> = Vec::new();
+        let mut levels: Vec<u8> = Vec::with_capacity(node_count);
+        let mut covered_at: [Option<(u64, u64)>; STACK] = [None; STACK];
+        let mut level_nodes = [0u32; STACK];
+        let mut max_polygon: Option<u32> = None;
+
+        let mut children_total = 0u32;
+        let mut postings_total = 0u32;
+        let mut internal_total = 0u32;
+        let mut block = NodeBlock::default();
+        let mut queue: VecDeque<(&TrieNode, CellId)> = VecDeque::new();
+        queue.push_back((&trie.root, CellId::ROOT));
+        let mut idx = 0usize;
+        while let Some((node, cell)) = queue.pop_front() {
+            let slot = idx % BLOCK_NODES;
+            if slot == 0 {
+                block = NodeBlock {
+                    child_masks: 0,
+                    posting_codes: 0,
+                    child_rank: children_total,
+                    posting_rank: postings_total,
+                    internal_rank: internal_total,
+                };
+            }
+            let level = cell.level();
+            levels.push(level);
+            level_nodes[level as usize] += 1;
+
+            let mut nib = 0u64;
+            for (pos, child) in node.children.iter().enumerate() {
+                if child.is_some() {
+                    nib |= 1 << pos;
+                }
+            }
+            block.child_masks |= nib << (slot * 4);
+            if nib != 0 {
+                internal_total += 1;
+            }
+            children_total += nib.count_ones();
+
+            let count = node.postings.len();
+            block.posting_codes |= (count.min(COUNT_ESCAPE as usize) as u32) << (slot * 2);
+            if count >= COUNT_ESCAPE as usize {
+                count_escapes.push((idx as u32, count as u32));
+            }
+            if count > 0 {
+                // A cell at level L widens the truncated covering of every
+                // level ℓ < L to its level-ℓ ancestor; at ℓ ≥ L it
+                // contributes its own range.
+                for l in 0..STACK as u8 {
+                    let effective = if level <= l { cell } else { cell.parent_at(l) };
+                    let (lo, hi) = (effective.range_min().raw(), effective.range_max().raw());
+                    let span = &mut covered_at[l as usize];
+                    *span = Some(match span {
+                        Some((clo, chi)) => ((*clo).min(lo), (*chi).max(hi)),
+                        None => (lo, hi),
+                    });
+                }
+            }
+            for p in &node.postings {
+                let arena = poly_staging.len();
+                poly_staging.push(p.polygon);
+                max_polygon = Some(max_polygon.map_or(p.polygon, |m| m.max(p.polygon)));
+                posting_classes.set(arena, p.class == CellClass::Boundary);
+                match (dist_nibble(p.dist.lo), dist_nibble(p.dist.hi)) {
+                    (Some(lo), Some(hi)) => posting_dists.push(lo | (hi << 4)),
+                    _ => {
+                        posting_dists.push(DIST_BYTE_ESCAPE);
+                        dist_escapes.push((arena as u32, p.dist));
+                    }
+                }
+            }
+            postings_total += count as u32;
+
+            if nib != 0 {
+                let kid_cells = cell.children();
+                for (pos, child) in node.children.iter().enumerate() {
+                    if let Some(child) = child {
+                        queue.push_back((child, kid_cells[pos]));
+                    }
+                }
+            }
+            if slot == BLOCK_NODES - 1 {
+                blocks.push(block);
+            }
+            idx += 1;
+        }
+        if !idx.is_multiple_of(BLOCK_NODES) {
+            blocks.push(block);
+        }
+        debug_assert_eq!(idx, node_count);
+        debug_assert_eq!(poly_staging.len(), posting_count);
+        count_escapes.shrink_to_fit();
+        dist_escapes.shrink_to_fit();
+
+        let poly_width = bits_for(max_polygon.unwrap_or(0));
+        let mut posting_polygons = PackedU32s::zeros(poly_width, posting_count);
+        for (arena, &polygon) in poly_staging.iter().enumerate() {
+            posting_polygons.set(arena, polygon);
+        }
+        drop(poly_staging);
+
         let mut nodes_at_or_above = [0u32; STACK];
         let mut running = 0u32;
-        for (cum, count) in nodes_at_or_above.iter_mut().zip(state.level_nodes) {
+        for (cum, count) in nodes_at_or_above.iter_mut().zip(level_nodes) {
             running += count;
             *cum = running;
         }
-        FrozenCellTrie {
-            nodes: state.nodes,
-            posting_polygons: state.posting_polygons,
-            posting_classes: state.posting_classes,
-            posting_dists: state.posting_dists,
-            deep_first: state.deep_first,
-            deep_dist: state.deep_dist,
-            deep_single: state.deep_single,
+
+        let first_sentinel = max_polygon.map_or(0, |m| m + 1);
+        let mut frozen = FrozenCellTrie {
+            blocks,
+            count_escapes,
+            posting_polygons,
+            posting_classes,
+            posting_dists,
+            dist_escapes,
+            deep_dist: vec![0u64; internal_total as usize],
+            deep_first: PackedU32s::zeros(bits_for(first_sentinel), internal_total as usize),
+            deep_single: BitSet::ones(node_count),
+            first_sentinel,
+            nodes: node_count as u32,
+            postings: posting_count as u32,
             polygons: trie.polygon_count(),
             max_depth: trie.max_depth(),
-            covered_at: state.covered_at,
+            covered_at,
             nodes_at_or_above,
+        };
+        frozen.fill_deep_summaries(&levels);
+        frozen
+    }
+
+    /// Pass 2 — reverse-BFS fold of the strict-subtree summaries. In BFS
+    /// order every child index exceeds its parent's, so a reverse sweep
+    /// sees all children's inclusive summaries before their parent folds
+    /// them; `levels[i]` is node `i`'s grid level from pass 1.
+    fn fill_deep_summaries(&mut self, levels: &[u8]) {
+        let n = self.nodes as usize;
+        let mut info: Vec<SubtreeInfo> = vec![SubtreeInfo::EMPTY; n];
+        for idx in (0..n).rev() {
+            let mut deep = SubtreeInfo::EMPTY;
+            if self.child_mask(idx) != 0 {
+                for child in self.children_of(idx as u32).into_iter().flatten() {
+                    deep.fold(info[child as usize]);
+                }
+                let slot = self.internal_slot(idx);
+                self.deep_dist[slot] = pack_subtree(deep.dist);
+                let first = if deep.first == NO_POLYGON {
+                    self.first_sentinel
+                } else {
+                    deep.first
+                };
+                self.deep_first.set(slot, first);
+                self.deep_single.set(idx, deep.single);
+            }
+            let mut subtree = SubtreeInfo::EMPTY;
+            let from = self.posting_offset(idx);
+            for arena in from..from + self.posting_len(idx) {
+                let p = self.posting_at(arena);
+                subtree.fold(SubtreeInfo {
+                    first: p.polygon,
+                    single: true,
+                    dist: SubtreeDistance::of_posting(p.dist, p.class, levels[idx]),
+                });
+            }
+            subtree.fold(deep);
+            info[idx] = subtree;
+        }
+    }
+
+    /// The 4-bit child-presence mask of node `idx`.
+    #[inline(always)]
+    fn child_mask(&self, idx: usize) -> u32 {
+        let block = &self.blocks[idx / BLOCK_NODES];
+        ((block.child_masks >> ((idx % BLOCK_NODES) * 4)) & 0xF) as u32
+    }
+
+    /// The node index of node `idx`'s child at quadrant `pos`, if present:
+    /// `1 +` (children of all nodes before `idx`) `+` (present siblings
+    /// before `pos`) — per-block rank plus two popcounts.
+    #[inline(always)]
+    fn child_of(&self, idx: usize, pos: usize) -> Option<u32> {
+        let block = &self.blocks[idx / BLOCK_NODES];
+        let slot = idx % BLOCK_NODES;
+        let nib = (block.child_masks >> (slot * 4)) & 0xF;
+        if nib & (1 << pos) == 0 {
+            return None;
+        }
+        let before = (block.child_masks & low_mask(slot * 4)).count_ones();
+        let within = (nib & low_mask(pos)).count_ones();
+        Some(1 + block.child_rank + before + within)
+    }
+
+    /// Rank of internal node `idx` among internal nodes (its slot in the
+    /// `deep_dist` / `deep_first` columns). Caller guarantees `idx` is
+    /// internal.
+    #[inline(always)]
+    fn internal_slot(&self, idx: usize) -> usize {
+        let block = &self.blocks[idx / BLOCK_NODES];
+        let slot = idx % BLOCK_NODES;
+        (block.internal_rank + nonzero_nibbles(block.child_masks & low_mask(slot * 4))) as usize
+    }
+
+    /// Arena offset of node `idx`'s postings: per-block rank plus the 2-bit
+    /// prefix sum, corrected through the escape table when an earlier node
+    /// in the block holds ≥ 3 postings (never on real raster profiles).
+    #[inline(always)]
+    fn posting_offset(&self, idx: usize) -> usize {
+        let block = &self.blocks[idx / BLOCK_NODES];
+        let slot = idx % BLOCK_NODES;
+        let prefix = block.posting_codes & low_mask(slot * 2) as u32;
+        let mut sum = block.posting_rank + sum_2bit_fields(prefix);
+        if escape_fields(prefix) != 0 {
+            sum += self.escape_extra(idx - slot, idx);
+        }
+        sum as usize
+    }
+
+    /// Sum of `(true count − 3)` over escaped nodes in `[from, to)`.
+    #[cold]
+    fn escape_extra(&self, from: usize, to: usize) -> u32 {
+        let start = self
+            .count_escapes
+            .partition_point(|&(n, _)| (n as usize) < from);
+        self.count_escapes[start..]
+            .iter()
+            .take_while(|&&(n, _)| (n as usize) < to)
+            .map(|&(_, count)| count - COUNT_ESCAPE)
+            .sum()
+    }
+
+    /// Number of postings stored at node `idx`.
+    #[inline(always)]
+    fn posting_len(&self, idx: usize) -> usize {
+        let block = &self.blocks[idx / BLOCK_NODES];
+        let code = (block.posting_codes >> ((idx % BLOCK_NODES) * 2)) & 3;
+        if code < COUNT_ESCAPE {
+            code as usize
+        } else {
+            let at = self
+                .count_escapes
+                .binary_search_by_key(&(idx as u32), |&(n, _)| n)
+                .expect("escape-coded node has an escape entry");
+            self.count_escapes[at].1 as usize
         }
     }
 
@@ -252,12 +721,12 @@ impl FrozenCellTrie {
 
     /// Number of cell postings.
     pub fn posting_count(&self) -> usize {
-        self.posting_polygons.len()
+        self.postings as usize
     }
 
     /// Number of trie nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes as usize
     }
 
     /// Deepest level at which a posting terminates.
@@ -268,35 +737,54 @@ impl FrozenCellTrie {
     /// Structural statistics — O(1), everything is a stored count.
     pub fn stats(&self) -> ActStats {
         ActStats {
-            nodes: self.nodes.len(),
-            postings: self.posting_polygons.len(),
+            nodes: self.node_count(),
+            postings: self.posting_count(),
             polygons: self.polygons,
             max_depth: self.max_depth,
         }
     }
 
-    /// The first (coarsest) posting of node `idx`, if it has any.
+    /// The first (coarsest) posting of node `idx`, if it has any. The
+    /// common case (code 0) is answered from the node block alone.
     #[inline(always)]
     fn node_first_posting(&self, idx: usize) -> Option<CellPosting> {
-        let node = &self.nodes[idx];
-        (node.postings_len > 0).then(|| self.posting_at(node.postings_offset as usize))
+        let block = &self.blocks[idx / BLOCK_NODES];
+        if (block.posting_codes >> ((idx % BLOCK_NODES) * 2)) & 3 == 0 {
+            return None;
+        }
+        Some(self.posting_at(self.posting_offset(idx)))
     }
 
     #[inline(always)]
     fn posting_at(&self, arena_idx: usize) -> CellPosting {
+        let byte = self.posting_dists[arena_idx];
+        let dist = if byte == DIST_BYTE_ESCAPE {
+            let at = self
+                .dist_escapes
+                .binary_search_by_key(&(arena_idx as u32), |&(a, _)| a)
+                .expect("escape-coded posting has an escape entry");
+            self.dist_escapes[at].1
+        } else {
+            DistanceBins {
+                lo: dist_unnibble(byte & 0xF),
+                hi: dist_unnibble(byte >> 4),
+            }
+        };
         CellPosting {
-            polygon: self.posting_polygons[arena_idx],
-            class: self.posting_classes[arena_idx],
-            dist: self.posting_dists[arena_idx],
+            polygon: self.posting_polygons.get(arena_idx),
+            class: if self.posting_classes.get(arena_idx) {
+                CellClass::Boundary
+            } else {
+                CellClass::Interior
+            },
+            dist,
         }
     }
 
     #[inline(always)]
     fn append_postings(&self, idx: usize, out: &mut Vec<CellPosting>) {
-        let node = &self.nodes[idx];
-        let from = node.postings_offset as usize;
-        let to = from + node.postings_len as usize;
-        for i in from..to {
+        let from = self.posting_offset(idx);
+        for i in from..from + self.posting_len(idx) {
             out.push(self.posting_at(i));
         }
     }
@@ -319,11 +807,10 @@ impl FrozenCellTrie {
         let mut node = 0usize;
         self.append_postings(node, out);
         for l in 1..=self.max_depth {
-            let child = self.nodes[node].children[child_pos(raw, l)];
-            if child == NO_CHILD {
-                break;
+            match self.child_of(node, child_pos(raw, l)) {
+                Some(child) => node = child as usize,
+                None => break,
             }
-            node = child as usize;
             self.append_postings(node, out);
         }
     }
@@ -338,11 +825,10 @@ impl FrozenCellTrie {
             return Some(p);
         }
         for l in 1..=self.max_depth {
-            let child = self.nodes[node].children[child_pos(raw, l)];
-            if child == NO_CHILD {
-                return None;
+            match self.child_of(node, child_pos(raw, l)) {
+                Some(child) => node = child as usize,
+                None => return None,
             }
-            node = child as usize;
             if let Some(p) = self.node_first_posting(node) {
                 return Some(p);
             }
@@ -361,16 +847,16 @@ impl FrozenCellTrie {
     /// truncation level necessarily touches a region boundary).
     #[inline(always)]
     fn deep_summary(&self, idx: usize) -> Option<CellPosting> {
-        let polygon = self.deep_first[idx];
-        (polygon != NO_POLYGON).then_some(CellPosting {
-            polygon,
-            class: CellClass::Boundary,
-            // The folded cell represents many deeper cells; the vacuous
-            // annotation is the conservative summary at posting
-            // granularity. Callers needing tighter bounds consult
-            // [`FrozenCellTrie::subtree_distance`].
-            dist: DistanceBins::UNKNOWN,
-        })
+        self.subtree_first_polygon(idx as u32)
+            .map(|polygon| CellPosting {
+                polygon,
+                class: CellClass::Boundary,
+                // The folded cell represents many deeper cells; the vacuous
+                // annotation is the conservative summary at posting
+                // granularity. Callers needing tighter bounds consult
+                // [`FrozenCellTrie::subtree_distance`].
+                dist: DistanceBins::UNKNOWN,
+            })
     }
 
     /// The first polygon posted anywhere in node `idx`'s *strict* subtree
@@ -378,22 +864,30 @@ impl FrozenCellTrie {
     /// siblings in Z-order), or `None` when the subtree holds no posting —
     /// the region a truncated probe attributes the folded subtree to.
     pub fn subtree_first_polygon(&self, idx: u32) -> Option<PolygonId> {
-        let polygon = self.deep_first[idx as usize];
-        (polygon != NO_POLYGON).then_some(polygon)
+        let idx = idx as usize;
+        if self.child_mask(idx) == 0 {
+            return None;
+        }
+        let first = self.deep_first.get(self.internal_slot(idx));
+        (first != self.first_sentinel).then_some(first)
     }
 
     /// The strict-subtree distance summary of node `idx`, in leaf units.
     /// [`SubtreeDistance::lo_leaf`] is `u64::MAX` and `hi_leaf` is 0 for a
     /// childless-and-postingless subtree (the min/max identities).
     pub fn subtree_distance(&self, idx: u32) -> SubtreeDistance {
-        self.deep_dist[idx as usize]
+        let idx = idx as usize;
+        if self.child_mask(idx) == 0 {
+            return SubtreeDistance::EMPTY;
+        }
+        unpack_subtree(self.deep_dist[self.internal_slot(idx)])
     }
 
     /// Whether every posting in node `idx`'s strict subtree belongs to
     /// [`subtree_first_polygon`](Self::subtree_first_polygon) (vacuously
     /// true when the subtree is empty).
     pub fn subtree_single_region(&self, idx: u32) -> bool {
-        self.deep_single[idx as usize]
+        self.deep_single.get(idx as usize)
     }
 
     /// The four child node indices of node `idx` in quadtree child order
@@ -401,21 +895,32 @@ impl FrozenCellTrie {
     /// [`postings_of`](Self::postings_of) this exposes the read-only
     /// traversal the distance query family's best-first search needs.
     pub fn children_of(&self, idx: u32) -> [Option<u32>; 4] {
-        self.nodes[idx as usize]
-            .children
-            .map(|c| (c != NO_CHILD).then_some(c))
+        let idx = idx as usize;
+        let block = &self.blocks[idx / BLOCK_NODES];
+        let slot = idx % BLOCK_NODES;
+        let nib = ((block.child_masks >> (slot * 4)) & 0xF) as u32;
+        let mut next = 1 + block.child_rank + (block.child_masks & low_mask(slot * 4)).count_ones();
+        let mut out = [None; 4];
+        for (pos, child) in out.iter_mut().enumerate() {
+            if nib & (1 << pos) != 0 {
+                *child = Some(next);
+                next += 1;
+            }
+        }
+        out
     }
 
     /// The postings stored at node `idx`, in insertion order.
     pub fn postings_of(&self, idx: u32) -> impl Iterator<Item = CellPosting> + '_ {
-        let node = &self.nodes[idx as usize];
-        let from = node.postings_offset as usize;
-        (from..from + node.postings_len as usize).map(move |i| self.posting_at(i))
+        let from = self.posting_offset(idx as usize);
+        (from..from + self.posting_len(idx as usize)).map(move |i| self.posting_at(i))
     }
 
     /// Whether node `idx` stores any posting.
     pub fn has_postings(&self, idx: u32) -> bool {
-        self.nodes[idx as usize].postings_len > 0
+        let idx = idx as usize;
+        let block = &self.blocks[idx / BLOCK_NODES];
+        (block.posting_codes >> ((idx % BLOCK_NODES) * 2)) & 3 != 0
     }
 
     /// The first posting covering the leaf cell **at truncation level
@@ -431,14 +936,13 @@ impl FrozenCellTrie {
             return Some(p);
         }
         for l in 1..=self.max_depth.min(level) {
-            let child = self.nodes[node].children[child_pos(raw, l)];
-            if child == NO_CHILD {
+            match self.child_of(node, child_pos(raw, l)) {
+                Some(child) => node = child as usize,
                 // No original cell lies under this branch at or below the
                 // truncation level, so the truncated covering has no cell
                 // here either.
-                return None;
+                None => return None,
             }
-            node = child as usize;
             if let Some(p) = self.node_first_posting(node) {
                 return Some(p);
             }
@@ -473,23 +977,24 @@ impl FrozenCellTrie {
     pub fn multi_cursor(&self, levels: &[u8]) -> MultiLevelProbeCursor<'_> {
         MultiLevelProbeCursor::new(self, levels)
     }
-}
 
-/// Working state of the pre-order flattening.
-struct FreezeState {
-    nodes: Vec<FrozenNode>,
-    posting_polygons: Vec<PolygonId>,
-    posting_classes: Vec<CellClass>,
-    posting_dists: Vec<DistanceBins>,
-    deep_first: Vec<u32>,
-    deep_dist: Vec<SubtreeDistance>,
-    deep_single: Vec<bool>,
-    covered_at: [Option<(u64, u64)>; STACK],
-    level_nodes: [u32; STACK],
+    /// True heap bytes per column family (capacities, not lengths).
+    pub fn memory_breakdown(&self) -> TrieMemoryBreakdown {
+        TrieMemoryBreakdown {
+            nodes_bytes: self.blocks.capacity() * std::mem::size_of::<NodeBlock>()
+                + self.count_escapes.capacity() * std::mem::size_of::<(u32, u32)>(),
+            postings_bytes: self.posting_polygons.heap_bytes() + self.posting_classes.heap_bytes(),
+            distance_bytes: self.posting_dists.capacity()
+                + self.dist_escapes.capacity() * std::mem::size_of::<(u32, DistanceBins)>(),
+            summaries_bytes: self.deep_dist.capacity() * std::mem::size_of::<u64>()
+                + self.deep_first.heap_bytes()
+                + self.deep_single.heap_bytes(),
+        }
+    }
 }
 
 /// Summary of a subtree *including* the subtree root's own postings,
-/// returned up the freeze recursion: the first polygon in pre-order,
+/// carried by the reverse-BFS fold: the first polygon in pre-order,
 /// whether every posting belongs to it, and the folded distance summary.
 #[derive(Clone, Copy)]
 struct SubtreeInfo {
@@ -518,81 +1023,11 @@ impl SubtreeInfo {
     }
 }
 
-impl FreezeState {
-    /// Pre-order flattening: the parent is emitted before its children, so a
-    /// descent path runs forward through the node array. `cell` is the grid
-    /// cell this node represents; nodes with postings extend every level's
-    /// covered leaf-key span by their (possibly truncated) descendant range.
-    ///
-    /// Returns `(node index, summary of the subtree including own
-    /// postings)` — the parent folds the summary into its own `deep_*`
-    /// arrays, which therefore describe the *strict* subtree (own postings
-    /// before descendants, siblings in Z-order).
-    fn freeze_node(&mut self, node: &TrieNode, cell: CellId) -> (u32, SubtreeInfo) {
-        let idx = self.nodes.len() as u32;
-        let level = cell.level();
-        self.level_nodes[level as usize] += 1;
-        self.nodes.push(FrozenNode {
-            children: [NO_CHILD; 4],
-            postings_offset: self.posting_polygons.len() as u32,
-            postings_len: node.postings.len() as u32,
-        });
-        self.deep_first.push(NO_POLYGON);
-        self.deep_dist.push(SubtreeDistance::EMPTY);
-        self.deep_single.push(true);
-        if !node.postings.is_empty() {
-            // A cell at level L widens the truncated covering of every
-            // level ℓ < L to its level-ℓ ancestor; at ℓ ≥ L it contributes
-            // its own range.
-            for l in 0..STACK as u8 {
-                let effective = if level <= l { cell } else { cell.parent_at(l) };
-                let (lo, hi) = (effective.range_min().raw(), effective.range_max().raw());
-                let slot = &mut self.covered_at[l as usize];
-                *slot = Some(match slot {
-                    Some((clo, chi)) => ((*clo).min(lo), (*chi).max(hi)),
-                    None => (lo, hi),
-                });
-            }
-        }
-        let mut own = SubtreeInfo::EMPTY;
-        for p in &node.postings {
-            self.posting_polygons.push(p.polygon);
-            self.posting_classes.push(p.class);
-            self.posting_dists.push(p.dist);
-            own.fold(SubtreeInfo {
-                first: p.polygon,
-                single: true,
-                dist: SubtreeDistance::of_posting(p.dist, p.class, level),
-            });
-        }
-        let mut deep = SubtreeInfo::EMPTY;
-        for (pos, child) in node.children.iter().enumerate() {
-            if let Some(child) = child {
-                let (child_idx, child_info) = self.freeze_node(child, cell.children()[pos]);
-                self.nodes[idx as usize].children[pos] = child_idx;
-                deep.fold(child_info);
-            }
-        }
-        self.deep_first[idx as usize] = deep.first;
-        self.deep_dist[idx as usize] = deep.dist;
-        self.deep_single[idx as usize] = deep.single;
-        let mut subtree = own;
-        subtree.fold(deep);
-        (idx, subtree)
-    }
-}
-
 impl MemoryFootprint for FrozenCellTrie {
     fn memory_bytes(&self) -> usize {
-        // Exact: seven flat arrays, no hidden per-node allocations (the
-        // per-level metadata lives inline in the struct).
-        self.nodes.capacity() * std::mem::size_of::<FrozenNode>()
-            + self.posting_polygons.capacity() * std::mem::size_of::<PolygonId>()
-            + self.posting_classes.capacity() * std::mem::size_of::<CellClass>()
-            + self.posting_dists.capacity() * std::mem::size_of::<DistanceBins>()
-            + self.deep_first.capacity() * std::mem::size_of::<u32>()
-            + self.deep_dist.capacity() * std::mem::size_of::<SubtreeDistance>()
-            + self.deep_single.capacity() * std::mem::size_of::<bool>()
+        // Exact: every column is a flat Vec whose capacity the breakdown
+        // reports; the per-level metadata lives inline in the struct.
+        self.memory_breakdown().total()
     }
 }
 
@@ -680,10 +1115,10 @@ impl<'a> SortedProbeCursor<'a> {
         let mut node = self.stack[self.depth] as usize;
         let mut best = self.first[self.depth];
         for l in start..=self.cutoff {
-            let child = self.trie.nodes[node].children[child_pos(raw, l as u8)];
-            if child == NO_CHILD {
-                break;
-            }
+            let child = match self.trie.child_of(node, child_pos(raw, l as u8)) {
+                Some(child) => child,
+                None => break,
+            };
             node = child as usize;
             self.depth = l;
             self.stack[l] = child;
@@ -806,10 +1241,10 @@ impl<'a> MultiLevelProbeCursor<'a> {
         let mut node = self.stack[self.depth] as usize;
         let mut best = self.first[self.depth];
         for l in start..=self.max_cutoff {
-            let child = self.trie.nodes[node].children[child_pos(raw, l as u8)];
-            if child == NO_CHILD {
-                break;
-            }
+            let child = match self.trie.child_of(node, child_pos(raw, l as u8)) {
+                Some(child) => child,
+                None => break,
+            };
             node = child as usize;
             self.depth = l;
             self.stack[l] = child;
@@ -836,6 +1271,7 @@ impl<'a> MultiLevelProbeCursor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::act_flat::FlatCellTrie;
     use dbsa_geom::{Point, Polygon};
     use dbsa_grid::GridExtent;
     use dbsa_raster::{BoundaryPolicy, DistanceBound, HierarchicalRaster};
@@ -884,6 +1320,63 @@ mod tests {
         let pointer = AdaptiveCellTrie::build(&rasters);
         let frozen = pointer.freeze();
         (pointer, frozen)
+    }
+
+    /// Lockstep DFS over the flat (pre-order) and succinct (BFS) layouts:
+    /// node indices differ, but the trees must be isomorphic with
+    /// bit-identical postings and subtree summaries at every node.
+    fn assert_layouts_agree(flat: &FlatCellTrie, frozen: &FrozenCellTrie) {
+        assert_eq!(flat.node_count(), frozen.node_count());
+        assert_eq!(flat.posting_count(), frozen.posting_count());
+        assert_eq!(flat.max_depth(), frozen.max_depth());
+        for level in 0..=MAX_LEVEL {
+            assert_eq!(
+                flat.covered_key_range_at(level),
+                frozen.covered_key_range_at(level),
+                "covered span at level {level}"
+            );
+            assert_eq!(
+                flat.nodes_at_or_above(level),
+                frozen.nodes_at_or_above(level),
+                "node count at level {level}"
+            );
+        }
+        let mut stack = vec![(0u32, 0u32)];
+        let mut visited = 0usize;
+        while let Some((f, s)) = stack.pop() {
+            visited += 1;
+            let flat_postings: Vec<CellPosting> = flat.postings_of(f).collect();
+            let succ_postings: Vec<CellPosting> = frozen.postings_of(s).collect();
+            assert_eq!(
+                flat_postings, succ_postings,
+                "postings at flat {f} / succinct {s}"
+            );
+            assert_eq!(flat.has_postings(f), frozen.has_postings(s));
+            assert_eq!(
+                flat.subtree_first_polygon(f),
+                frozen.subtree_first_polygon(s),
+                "subtree first at flat {f} / succinct {s}"
+            );
+            assert_eq!(
+                flat.subtree_distance(f),
+                frozen.subtree_distance(s),
+                "subtree distance at flat {f} / succinct {s}"
+            );
+            assert_eq!(
+                flat.subtree_single_region(f),
+                frozen.subtree_single_region(s),
+                "subtree single at flat {f} / succinct {s}"
+            );
+            let fk = flat.children_of(f);
+            let sk = frozen.children_of(s);
+            for pos in 0..4 {
+                assert_eq!(fk[pos].is_some(), sk[pos].is_some(), "child {pos} presence");
+                if let (Some(fc), Some(sc)) = (fk[pos], sk[pos]) {
+                    stack.push((fc, sc));
+                }
+            }
+        }
+        assert_eq!(visited, flat.node_count());
     }
 
     #[test]
@@ -952,26 +1445,40 @@ mod tests {
         let mut cursor = frozen.cursor();
         assert_eq!(cursor.first_posting(CellId::leaf(5, 5)), None);
         assert_eq!(cursor.first_posting(CellId::leaf(6, 5)), None);
-        assert!(frozen.memory_bytes() >= std::mem::size_of::<FrozenNode>());
+        assert!(frozen.memory_bytes() >= std::mem::size_of::<NodeBlock>());
+        assert!(frozen.subtree_single_region(0));
+        assert_eq!(frozen.subtree_first_polygon(0), None);
+        assert_eq!(frozen.subtree_distance(0), SubtreeDistance::EMPTY);
     }
 
     #[test]
-    fn frozen_memory_is_exact_and_below_the_pointer_builder() {
+    fn frozen_memory_is_exact_and_far_below_flat_and_pointer() {
         let (pointer, frozen) = build_both(4.0);
-        let expected = frozen.node_count()
-            * (std::mem::size_of::<FrozenNode>()
-                + std::mem::size_of::<u32>()
-                + std::mem::size_of::<SubtreeDistance>()
-                + std::mem::size_of::<bool>())
-            + frozen.posting_count()
-                * (std::mem::size_of::<PolygonId>()
-                    + std::mem::size_of::<CellClass>()
-                    + std::mem::size_of::<DistanceBins>());
-        assert_eq!(frozen.memory_bytes(), expected);
-        assert!(
-            frozen.memory_bytes() < pointer.memory_bytes(),
-            "frozen {} should undercut the pointer builder {}",
+        let flat = FlatCellTrie::freeze(&pointer);
+        let breakdown = frozen.memory_breakdown();
+        assert_eq!(
             frozen.memory_bytes(),
+            breakdown.nodes_bytes
+                + breakdown.postings_bytes
+                + breakdown.distance_bytes
+                + breakdown.summaries_bytes
+        );
+        // Navigation is exactly one 24-byte block per 16 nodes here (no
+        // count escapes on raster-built tries: regions post each cell once).
+        assert_eq!(
+            breakdown.nodes_bytes,
+            frozen.node_count().div_ceil(16) * std::mem::size_of::<NodeBlock>()
+        );
+        assert!(
+            frozen.memory_bytes() * 4 <= flat.memory_bytes(),
+            "succinct {} should be ≥4× below the flat layout {}",
+            frozen.memory_bytes(),
+            flat.memory_bytes()
+        );
+        assert!(
+            flat.memory_bytes() < pointer.memory_bytes(),
+            "flat {} should undercut the pointer builder {}",
+            flat.memory_bytes(),
             pointer.memory_bytes()
         );
     }
@@ -1233,15 +1740,6 @@ mod tests {
         let root_summary = frozen.subtree_distance(0);
         assert!(root_summary.lo_leaf < u64::MAX);
         assert!(root_summary.hi_leaf > 0 && root_summary.hi_leaf < u64::MAX);
-        // Every posting's annotation (in leaf units) respects the summary
-        // of the node that stores it, via its parents.
-        let mut stack = vec![(0u32, frozen.subtree_distance(0))];
-        while let Some((idx, summary)) = stack.pop() {
-            for child in frozen.children_of(idx).into_iter().flatten() {
-                stack.push((child, frozen.subtree_distance(child)));
-            }
-            let _ = summary;
-        }
     }
 
     #[test]
@@ -1289,6 +1787,147 @@ mod tests {
             frozen.lookup_first(CellId::from_cell_xy(0, 0, 4).range_min()),
             None
         );
+    }
+
+    #[test]
+    fn posting_count_escapes_round_trip() {
+        // Five polygons posting the same cell → one node with count 5,
+        // exercising the 2-bit code escape; a sibling cell with one posting
+        // after it exercises the escape-corrected prefix sum.
+        let mut act = AdaptiveCellTrie::new();
+        let crowded = CellId::from_cell_xy(1, 2, 3);
+        for polygon in 0..5u32 {
+            act.insert_cell_annotated(
+                polygon,
+                crowded,
+                CellClass::Boundary,
+                DistanceBins {
+                    lo: polygon as u16,
+                    hi: polygon as u16 + 1,
+                },
+            );
+        }
+        let lone = CellId::from_cell_xy(5, 6, 3);
+        act.insert_cell(9, lone, CellClass::Interior);
+        let frozen = act.freeze();
+        assert_eq!(frozen.posting_count(), 6);
+        let probe = crowded.range_min();
+        let all = frozen.lookup_leaf(probe);
+        assert_eq!(all.len(), 5);
+        for (i, p) in all.iter().enumerate() {
+            assert_eq!(p.polygon, i as u32);
+            assert_eq!(
+                p.dist,
+                DistanceBins {
+                    lo: i as u16,
+                    hi: i as u16 + 1
+                }
+            );
+        }
+        assert_eq!(frozen.lookup_first(lone.range_min()), Some(9));
+        let flat = FlatCellTrie::freeze(&act);
+        assert_layouts_agree(&flat, &frozen);
+    }
+
+    #[test]
+    fn distance_bin_escapes_round_trip() {
+        // Bins above the nibble range (and a half-escaped pair) must come
+        // back exactly through the escape table; UNKNOWN/UNBOUNDED must
+        // stay on the nibble fast path.
+        let mut act = AdaptiveCellTrie::new();
+        let cases = [
+            (0u32, (1u32, 1u32), DistanceBins { lo: 500, hi: 900 }),
+            (1, (2, 1), DistanceBins { lo: 3, hi: 77 }),
+            (2, (3, 1), DistanceBins::UNKNOWN),
+            (
+                3,
+                (0, 1),
+                DistanceBins {
+                    lo: 13,
+                    hi: DistanceBins::UNBOUNDED,
+                },
+            ),
+        ];
+        for (polygon, (x, y), dist) in cases {
+            act.insert_cell_annotated(
+                polygon,
+                CellId::from_cell_xy(x, y, 4),
+                CellClass::Boundary,
+                dist,
+            );
+        }
+        let frozen = act.freeze();
+        for (polygon, (x, y), dist) in cases {
+            let probe = CellId::from_cell_xy(x, y, 4).range_min();
+            let p = frozen.first_posting(probe).expect("posting present");
+            assert_eq!(p.polygon, polygon);
+            assert_eq!(p.dist, dist, "bins must round-trip exactly");
+        }
+        let flat = FlatCellTrie::freeze(&act);
+        assert_layouts_agree(&flat, &frozen);
+    }
+
+    #[test]
+    fn packed_subtree_distance_is_lossless_for_all_fold_values() {
+        // Every value a fold can see: u16 bins shifted by any level's
+        // leaf-unit factor, plus the identities.
+        for v in [0u64, 1, 13, 65535, u64::MAX] {
+            if v == u64::MAX {
+                assert_eq!(unpack_dist_field(pack_dist_field(v)), v);
+                continue;
+            }
+            for shift in 0..=(MAX_LEVEL as u32) {
+                let val = v << shift;
+                assert_eq!(
+                    unpack_dist_field(pack_dist_field(val)),
+                    val,
+                    "{v} << {shift}"
+                );
+            }
+        }
+        let d = SubtreeDistance {
+            lo_leaf: 7u64 << 26,
+            hi_leaf: 65535u64 << 30,
+            slack_leaf: u64::MAX,
+        };
+        assert_eq!(unpack_subtree(pack_subtree(d)), d);
+        assert_eq!(
+            unpack_subtree(pack_subtree(SubtreeDistance::EMPTY)),
+            SubtreeDistance::EMPTY
+        );
+    }
+
+    #[test]
+    fn succinct_layout_agrees_with_flat_on_raster_built_tries() {
+        for bound in [4.0, 8.0, 16.0] {
+            let (pointer, frozen) = build_both(bound);
+            let flat = FlatCellTrie::freeze(&pointer);
+            assert_layouts_agree(&flat, &frozen);
+            // Probe equality at every level through both cursor stacks.
+            let ext = extent();
+            let mut leaves: Vec<CellId> = (0..32)
+                .flat_map(|i| {
+                    (0..32).map(move |j| {
+                        ext.leaf_cell_id(&Point::new(i as f64 * 31.0 + 1.0, j as f64 * 31.0 + 1.0))
+                    })
+                })
+                .collect();
+            leaves.sort_unstable();
+            for level in 0..=frozen.max_depth() {
+                let mut flat_cursor = flat.cursor_at(level);
+                let mut succ_cursor = frozen.cursor_at(level);
+                for &leaf in &leaves {
+                    assert_eq!(
+                        flat.first_posting_at(leaf, level),
+                        frozen.first_posting_at(leaf, level)
+                    );
+                    assert_eq!(
+                        flat_cursor.first_posting(leaf),
+                        succ_cursor.first_posting(leaf)
+                    );
+                }
+            }
+        }
     }
 
     proptest! {
@@ -1373,6 +2012,49 @@ mod tests {
                         answer,
                         frozen.first_posting_at(leaf, level),
                         "level {} at {}", level, leaf
+                    );
+                }
+            }
+        }
+
+        /// The succinct trie is node-for-node, posting-for-posting
+        /// identical to the flat reference layout on random tries — the
+        /// escape tables (many postings per node, annotated bins past the
+        /// nibble range) included.
+        #[test]
+        fn prop_succinct_equals_flat_layout(
+            cells in proptest::collection::vec(
+                ((0u32..64, 0u32..64, 2u8..9), (0u32..6, proptest::bool::ANY), (0u16..2000, 0u16..2000)),
+                1..140),
+            probes in proptest::collection::vec((0u32..1024, 0u32..1024), 1..60),
+        ) {
+            let mut act = AdaptiveCellTrie::new();
+            for ((x, y, level), (polygon, boundary), (lo, hi)) in cells {
+                let cx = x % (1 << level);
+                let cy = y % (1 << level);
+                let class = if boundary { CellClass::Boundary } else { CellClass::Interior };
+                let dist = DistanceBins { lo: lo.min(hi), hi: lo.max(hi) };
+                act.insert_cell_annotated(polygon, CellId::from_cell_xy(cx, cy, level), class, dist);
+            }
+            let frozen = act.freeze();
+            let flat = FlatCellTrie::freeze(&act);
+            assert_layouts_agree(&flat, &frozen);
+            let mut leaves: Vec<CellId> = probes
+                .into_iter()
+                .map(|(x, y)| CellId::leaf(x << 20, y << 20))
+                .collect();
+            leaves.sort_unstable();
+            for level in [0u8, 2, 5, 8, MAX_LEVEL] {
+                let mut flat_cursor = flat.cursor_at(level);
+                let mut succ_cursor = frozen.cursor_at(level);
+                for &leaf in &leaves {
+                    prop_assert_eq!(
+                        flat.first_posting_at(leaf, level),
+                        frozen.first_posting_at(leaf, level)
+                    );
+                    prop_assert_eq!(
+                        flat_cursor.first_posting(leaf),
+                        succ_cursor.first_posting(leaf)
                     );
                 }
             }

@@ -36,6 +36,7 @@ impl BPlusTree {
     pub fn with_fanout(mut keys: Vec<u64>, fanout: usize) -> Self {
         assert!(fanout >= 2, "fanout must be at least 2");
         keys.sort_unstable();
+        keys.shrink_to_fit();
         let mut inner_levels = Vec::new();
         // Build separator levels bottom-up: level i stores the first key of
         // every `fanout`-sized group of the level below.
@@ -146,8 +147,8 @@ impl BPlusTree {
 
 impl MemoryFootprint for BPlusTree {
     fn memory_bytes(&self) -> usize {
-        let inner: usize = self.inner_levels.iter().map(|l| l.len()).sum();
-        (inner + self.leaves.len()) * std::mem::size_of::<u64>()
+        let inner: usize = self.inner_levels.iter().map(|l| l.capacity()).sum();
+        (inner + self.leaves.capacity()) * std::mem::size_of::<u64>()
     }
 }
 

@@ -15,10 +15,13 @@
 //! * [`AdaptiveCellTrie`] (ACT) — a radix tree over the linearized cells of
 //!   hierarchical raster approximations; point lookups walk the trie and
 //!   never touch exact geometry (approximate, distance-bounded),
-//! * [`FrozenCellTrie`] — the cache-conscious query form of the ACT: one
-//!   contiguous pre-order node array with `u32` child indices and a single
-//!   SoA postings arena, plus a [`SortedProbeCursor`] that answers sorted
-//!   probe batches by re-descending only below shared key prefixes,
+//! * [`FrozenCellTrie`] — the succinct query form of the ACT: BFS-ordered
+//!   nodes navigated by popcount/rank over bit-packed child masks, packed
+//!   posting and summary columns, plus a [`SortedProbeCursor`] that answers
+//!   sorted probe batches by re-descending only below shared key prefixes,
+//! * [`FlatCellTrie`] — the pre-succinct flat layout, kept as the reference
+//!   implementation the succinct trie is property-tested and benched
+//!   against,
 //! * [`ShapeIndex`] — an S2ShapeIndex-like baseline: coarse hierarchical
 //!   cells with **exact** point-in-polygon refinement for boundary cells.
 //!
@@ -32,6 +35,7 @@
 //! which feeds the paper's in-text storage comparison (ACT ≫ SI ≫ R\*-tree).
 
 pub mod act;
+pub mod act_flat;
 pub mod act_frozen;
 pub mod btree;
 pub mod footprint;
@@ -43,7 +47,10 @@ pub mod shape_index;
 pub mod sorted_array;
 
 pub use act::{ActStats, AdaptiveCellTrie, CellPosting, PolygonId};
-pub use act_frozen::{FrozenCellTrie, MultiLevelProbeCursor, SortedProbeCursor, SubtreeDistance};
+pub use act_flat::{FlatCellTrie, FlatProbeCursor};
+pub use act_frozen::{
+    FrozenCellTrie, MultiLevelProbeCursor, SortedProbeCursor, SubtreeDistance, TrieMemoryBreakdown,
+};
 pub use btree::BPlusTree;
 pub use footprint::MemoryFootprint;
 pub use kdtree::KdTree;

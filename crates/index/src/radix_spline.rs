@@ -91,7 +91,8 @@ impl RadixSpline {
         let len = keys.len();
         let min_key = keys.first().copied().unwrap_or(0);
         let max_key = keys.last().copied().unwrap_or(0);
-        let spline = build_spline(keys, spline_error);
+        let mut spline = build_spline(keys, spline_error);
+        spline.shrink_to_fit();
 
         // The radix table covers the prefix range of the keys: shift is
         // chosen so that max_key's prefix fits into radix_bits bits. The
@@ -253,8 +254,8 @@ impl RadixSpline {
 
 impl MemoryFootprint for RadixSpline {
     fn memory_bytes(&self) -> usize {
-        self.spline.len() * std::mem::size_of::<SplinePoint>()
-            + self.radix_table.len() * std::mem::size_of::<u32>()
+        self.spline.capacity() * std::mem::size_of::<SplinePoint>()
+            + self.radix_table.capacity() * std::mem::size_of::<u32>()
     }
 }
 

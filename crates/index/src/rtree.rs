@@ -206,9 +206,9 @@ impl MemoryFootprint for RTree {
         // pointer per child.
         fn bytes(node: &Node) -> usize {
             match node {
-                Node::Leaf(entries) => entries.len() * std::mem::size_of::<RTreeEntry>(),
+                Node::Leaf(entries) => entries.capacity() * std::mem::size_of::<RTreeEntry>(),
                 Node::Inner(children) => {
-                    children.len()
+                    children.capacity()
                         * (std::mem::size_of::<BoundingBox>() + std::mem::size_of::<usize>())
                         + children.iter().map(|(_, c)| bytes(c)).sum::<usize>()
                 }

@@ -75,6 +75,7 @@ impl ShapeIndex {
             }
         }
         cells.sort_by_key(|c| c.range_min);
+        cells.shrink_to_fit();
         let mut prefix_max = Vec::with_capacity(cells.len());
         let mut running = CellId::ROOT.range_min();
         for c in &cells {
@@ -172,7 +173,7 @@ impl MemoryFootprint for ShapeIndex {
         // Covering cells; the exact geometry is shared with the base table
         // in a real system, so it is not charged to the index (same
         // convention as the paper's 1.2 MB figure for SI).
-        self.cells.len() * std::mem::size_of::<ShapeCell>()
+        self.cells.capacity() * std::mem::size_of::<ShapeCell>()
     }
 }
 

@@ -19,6 +19,7 @@ impl SortedKeyArray {
     /// Builds the array from an unsorted key collection.
     pub fn from_unsorted(mut keys: Vec<u64>) -> Self {
         keys.sort_unstable();
+        keys.shrink_to_fit();
         SortedKeyArray { keys }
     }
 
@@ -26,8 +27,9 @@ impl SortedKeyArray {
     ///
     /// # Panics
     /// Panics (in debug builds) if the keys are not sorted.
-    pub fn from_sorted(keys: Vec<u64>) -> Self {
+    pub fn from_sorted(mut keys: Vec<u64>) -> Self {
         debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        keys.shrink_to_fit();
         SortedKeyArray { keys }
     }
 
@@ -108,7 +110,9 @@ impl SortedKeyArray {
 
 impl MemoryFootprint for SortedKeyArray {
     fn memory_bytes(&self) -> usize {
-        self.keys.len() * std::mem::size_of::<u64>()
+        // True heap usage: capacity, not length. The constructors shrink,
+        // so the two coincide for arrays built through the public API.
+        self.keys.capacity() * std::mem::size_of::<u64>()
     }
 }
 
@@ -165,7 +169,7 @@ impl PrefixSumArray {
 
 impl MemoryFootprint for PrefixSumArray {
     fn memory_bytes(&self) -> usize {
-        self.prefix.len() * std::mem::size_of::<f64>()
+        self.prefix.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -332,9 +336,9 @@ impl RangeMinMax {
 
 impl MemoryFootprint for RangeMinMax {
     fn memory_bytes(&self) -> usize {
-        (self.values.len()
-            + self.block_mins.iter().map(Vec::len).sum::<usize>()
-            + self.block_maxs.iter().map(Vec::len).sum::<usize>())
+        (self.values.capacity()
+            + self.block_mins.iter().map(Vec::capacity).sum::<usize>()
+            + self.block_maxs.iter().map(Vec::capacity).sum::<usize>())
             * std::mem::size_of::<f64>()
     }
 }

@@ -234,6 +234,21 @@ impl LinearizedPointTable {
     }
 }
 
+impl MemoryFootprint for LinearizedPointTable {
+    /// True heap bytes of the whole table: the sorted key column plus every
+    /// aligned search/aggregation structure (prefix sums, range-min/max,
+    /// spline, B+-tree). [`index_memory_bytes`](Self::index_memory_bytes)
+    /// reports the per-variant *index* cost instead; this is the resident
+    /// total the serving tier pays per shard.
+    fn memory_bytes(&self) -> usize {
+        self.keys.memory_bytes()
+            + self.prefix.memory_bytes()
+            + self.minmax.memory_bytes()
+            + self.spline.memory_bytes()
+            + self.btree.memory_bytes()
+    }
+}
+
 /// Which classic spatial index serves as the MBR-filtering baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpatialBaselineKind {

@@ -201,9 +201,13 @@ impl ApproximateCellJoin {
         self.raster_cells
     }
 
-    /// Memory footprint of the (frozen) trie — exact, O(1).
+    /// Memory footprint of the join structure — the succinct frozen trie
+    /// plus the border-exit boxes, as true heap bytes (capacities, not
+    /// lengths). Exact, O(1).
     pub fn memory_bytes(&self) -> usize {
         self.trie.memory_bytes()
+            + self.border_exits.capacity()
+                * std::mem::size_of::<(PolygonId, dbsa_geom::BoundingBox)>()
     }
 
     /// Inclusive span of leaf keys covered by any indexed region cell

@@ -1,0 +1,88 @@
+//! Round-trip integration test of the succinct frozen-trie layout through
+//! the serving tier.
+//!
+//! The full-width [`FlatCellTrie`] is the executable specification of the
+//! ACT layout; the engines below serve queries from the bit-packed succinct
+//! [`FrozenCellTrie`]. A sharded engine at 1/2/8 shards must serve exactly
+//! the aggregates a scalar first-posting join over the flat reference
+//! produces — integer fields bit-for-bit, sums up to summation-order
+//! rounding — and the succinct layout must actually be the smaller one.
+
+use dbsa::index::{AdaptiveCellTrie, FlatCellTrie};
+use dbsa::prelude::*;
+use dbsa::raster::{BoundaryPolicy, CellClass, HierarchicalRaster};
+
+fn workload(
+    n_points: usize,
+    n_regions: usize,
+    seed: u64,
+) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>) {
+    let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), n_regions, 20, seed + 3).generate();
+    (points, values, regions)
+}
+
+#[test]
+fn succinct_trie_round_trips_through_the_serving_tier() {
+    let (points, values, regions) = workload(3_000, 8, 7);
+    let bound = DistanceBound::meters(10.0);
+    let extent = city_extent();
+
+    // Flat full-width reference: freeze the same pointer trie into the
+    // uncompressed layout and run the scalar first-posting join by hand.
+    let rasters: Vec<HierarchicalRaster> = regions
+        .iter()
+        .map(|r| HierarchicalRaster::with_bound(r, &extent, bound, BoundaryPolicy::Conservative))
+        .collect();
+    let pointer = AdaptiveCellTrie::build(&rasters);
+    let flat = FlatCellTrie::freeze(&pointer);
+    let succinct = pointer.freeze();
+    assert!(
+        succinct.memory_bytes() < flat.memory_bytes(),
+        "succinct layout ({}) must undercut the flat reference ({})",
+        succinct.memory_bytes(),
+        flat.memory_bytes()
+    );
+
+    let mut reference = vec![RegionAggregate::default(); regions.len()];
+    let mut unmatched = 0u64;
+    for (p, v) in points.iter().zip(&values) {
+        match flat.first_posting(extent.leaf_cell_id(p)) {
+            Some(posting) => reference[posting.polygon as usize]
+                .add(*v, posting.class == CellClass::Boundary),
+            None => unmatched += 1,
+        }
+    }
+
+    // The serving tier answers from the succinct layout at every shard
+    // count; each must reproduce the flat reference exactly.
+    for shards in [1usize, 2, 8] {
+        let engine = ShardedEngine::builder()
+            .distance_bound(bound)
+            .extent(extent)
+            .points(points.clone(), values.clone())
+            .regions(regions.clone())
+            .shards(shards)
+            .build();
+        let served = engine.aggregate_by_region_parallel(shards);
+        assert_eq!(served.unmatched, unmatched, "shards = {shards}");
+        assert_eq!(served.regions.len(), reference.len());
+        for (region, (s, r)) in served.regions.iter().zip(&reference).enumerate() {
+            assert_eq!(s.count, r.count, "count, region {region}, shards {shards}");
+            assert_eq!(
+                s.boundary_count, r.boundary_count,
+                "boundary count, region {region}, shards {shards}"
+            );
+            assert_eq!(s.min, r.min, "min, region {region}, shards {shards}");
+            assert_eq!(s.max, r.max, "max, region {region}, shards {shards}");
+            assert!(
+                (s.sum - r.sum).abs() < 1e-6,
+                "sum, region {region}, shards {shards}: {} vs {}",
+                s.sum,
+                r.sum
+            );
+        }
+    }
+}
