@@ -32,7 +32,7 @@ use std::time::Duration;
 
 const N_POINTS: usize = 300_000;
 const CLIENT_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
-const QUERIES_PER_CLIENT: usize = 3;
+const QUERIES_PER_CLIENT: usize = 32;
 const BASELINE_8_CLIENT_QPS: f64 = 154.8;
 const ACCEPTANCE_FACTOR: f64 = 2.0;
 

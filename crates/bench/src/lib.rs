@@ -180,6 +180,8 @@ pub enum JsonValue {
     Num(f64),
     /// Integer field.
     Int(u64),
+    /// Boolean field.
+    Bool(bool),
 }
 
 fn json_escape(s: &str) -> String {
@@ -203,6 +205,7 @@ impl JsonValue {
             JsonValue::Num(n) if n.is_finite() => format!("{n}"),
             JsonValue::Num(_) => "null".to_string(),
             JsonValue::Int(i) => format!("{i}"),
+            JsonValue::Bool(b) => format!("{b}"),
         }
     }
 }

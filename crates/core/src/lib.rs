@@ -56,10 +56,12 @@ pub use dbsa_raster as raster;
 
 pub mod config;
 pub mod engine;
+pub mod persist;
 pub mod serving;
 pub mod sharded;
 
 pub use config::ExperimentConfig;
+pub use dbsa_index::snapshot::{SnapshotError, SnapshotFile, SnapshotWriter};
 pub use engine::{ApproximateEngine, ApproximateEngineBuilder, EngineStats, ShardStats};
 pub use serving::{
     CompletedQuery, DegradePolicy, FaultPlan, QueryKind, QueryRequest, QueryResponse, QueryService,
@@ -75,6 +77,7 @@ pub mod prelude {
         QueryService, ServingConfig, ServingStats, Ticket,
     };
     pub use crate::sharded::{EngineShard, EngineSnapshot, ShardedEngine, ShardedEngineBuilder};
+    pub use crate::SnapshotError;
     pub use dbsa_canvas::{BoundedRasterJoin, Canvas, GpuBaseline, SimulatedDevice};
     pub use dbsa_datagen::{
         city_extent, DatasetProfile, Figure2Example, PolygonSetGenerator, TaxiPointGenerator,

@@ -1,0 +1,411 @@
+//! Snapshot persistence for the sharded engine.
+//!
+//! Cold start without persistence re-rasterizes every region and re-freezes
+//! the trie from scratch, even though the serving state is already flat,
+//! immutable columns. This module dumps those columns into the framed
+//! snapshot format of [`dbsa_index::snapshot`] and reconstitutes them with
+//! one contiguous pass per column — no re-rasterize, no re-freeze, no
+//! re-sort, no index rebuild. The loaded snapshot is bit-for-bit
+//! query-identical to the one that was saved.
+//!
+//! Two file kinds share the format:
+//!
+//! * **Engine snapshots** ([`EngineSnapshot::save`] /
+//!   [`EngineSnapshot::load`], threaded through
+//!   [`ShardedEngine::save_snapshot`] / [`ShardedEngine::load_snapshot`]) —
+//!   the full serving state: regions, the frozen region join, every base
+//!   shard, and the delta shard if one is pending. The engine's compaction
+//!   generation is recorded in the file header.
+//! * **Single-shard files** ([`EngineShard::save`] / [`EngineShard::load`])
+//!   — one shard's key range, point column, and linearized table. This is
+//!   the distributed-handoff primitive: one process writes a shard file,
+//!   another loads it, and the loader can demand a specific generation so
+//!   a stale file is rejected ([`SnapshotError::StaleGeneration`]) instead
+//!   of silently serving outdated data.
+
+use crate::serving::{QueryService, ServingConfig, ServingCounters};
+use crate::sharded::{DeltaBuffer, EngineShard, EngineSnapshot, ShardedEngine};
+use bytes::BufMut;
+use dbsa_index::snapshot::{self, SectionCursor, SnapshotError, SnapshotFile, SnapshotWriter};
+use dbsa_query::{ApproximateCellJoin, LinearizedPointTable};
+use dbsa_raster::DistanceBound;
+use parking_lot::{Mutex, RwLock};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Section id: file kind, distance bound, extent, shard count.
+pub const SECTION_META: u32 = 0;
+/// Section id: engine rebuild parameters (spline config, target shards).
+pub const SECTION_PARAMS: u32 = 1;
+/// Section id: the exact region geometries.
+pub const SECTION_REGIONS: u32 = 2;
+/// Section id: the frozen region join (absent when there are no regions).
+pub const SECTION_JOIN: u32 = 3;
+/// Section id of base shard `i` is `SECTION_SHARD_BASE + i`.
+pub const SECTION_SHARD_BASE: u32 = 1000;
+/// Section id: the pending delta shard (absent when none is pending).
+pub const SECTION_DELTA: u32 = 2000;
+
+/// META file-kind tag: a full engine snapshot.
+const KIND_ENGINE: u8 = 0;
+/// META file-kind tag: a single shard (the handoff primitive).
+const KIND_SHARD: u8 = 1;
+
+fn write_shard_columns(out: &mut Vec<u8>, shard: &EngineShard) {
+    out.put_slice(&shard.key_range.to_le_bytes());
+    snapshot::put_points(out, &shard.points);
+    shard.table.write_snapshot(out);
+}
+
+fn read_shard_columns(cur: &mut SectionCursor<'_>) -> Result<EngineShard, SnapshotError> {
+    let mut range_bytes = [0u8; 16];
+    range_bytes.copy_from_slice(cur.read_bytes(16)?);
+    let key_range = dbsa_grid::KeyRange::from_le_bytes(range_bytes)
+        .ok_or_else(|| cur.malformed("shard key range has lo > hi"))?;
+    let points = snapshot::read_points(cur)?;
+    let table = LinearizedPointTable::read_snapshot(cur)?;
+    if table.len() != points.len() {
+        return Err(cur.malformed("shard point column disagrees with its table"));
+    }
+    if let Some((lo, hi)) = table.key_range() {
+        if !key_range.contains(lo) || !key_range.contains(hi) {
+            return Err(cur.malformed("shard keys fall outside the shard's key range"));
+        }
+    }
+    Ok(EngineShard {
+        key_range,
+        points,
+        table,
+    })
+}
+
+fn read_kind(file: &SnapshotFile) -> Result<(u8, SectionCursor<'_>), SnapshotError> {
+    let mut meta = file.section(SECTION_META)?;
+    let kind = meta.read_u8()?;
+    Ok((kind, meta))
+}
+
+impl EngineShard {
+    /// Writes this shard as a standalone handoff file carrying
+    /// `generation` in its header, so the receiver can insist on a
+    /// matching compaction generation.
+    pub fn save(&self, path: &Path, generation: u64) -> Result<(), SnapshotError> {
+        let mut w = SnapshotWriter::new(generation);
+        w.section(SECTION_META).put_u8(KIND_SHARD);
+        write_shard_columns(w.section(SECTION_SHARD_BASE), self);
+        w.write_to(path)
+    }
+
+    /// Loads a shard file written by [`save`](Self::save), possibly by
+    /// another process. When `expected_generation` is given, a file whose
+    /// header generation differs is rejected as
+    /// [`SnapshotError::StaleGeneration`].
+    pub fn load(
+        path: &Path,
+        expected_generation: Option<u64>,
+    ) -> Result<EngineShard, SnapshotError> {
+        let file = SnapshotFile::open(path)?;
+        if let Some(expected) = expected_generation {
+            file.expect_generation(expected)?;
+        }
+        let (kind, meta) = read_kind(&file)?;
+        if kind != KIND_SHARD {
+            return Err(meta.malformed("not a shard file"));
+        }
+        let mut cur = file.section(SECTION_SHARD_BASE)?;
+        let shard = read_shard_columns(&mut cur)?;
+        cur.finish()?;
+        Ok(shard)
+    }
+}
+
+impl EngineSnapshot {
+    /// Writes the full serving state to `path`. The snapshot's compaction
+    /// generation goes into the file header; [`load`](Self::load) restores
+    /// it, and [`ShardedEngine::load_snapshot`] continues counting from it.
+    ///
+    /// Engine rebuild parameters are stored with the paper's defaults;
+    /// [`ShardedEngine::save_snapshot`] overrides them with the engine's
+    /// actual configuration.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        self.save_with_params(path, 25, 32, self.shards().len().max(1))
+    }
+
+    pub(crate) fn save_with_params(
+        &self,
+        path: &Path,
+        spline_radix_bits: u32,
+        spline_error: usize,
+        target_shards: usize,
+    ) -> Result<(), SnapshotError> {
+        let mut w = SnapshotWriter::new(self.generation);
+
+        let meta = w.section(SECTION_META);
+        meta.put_u8(KIND_ENGINE);
+        meta.put_f64_le(self.bound.epsilon());
+        snapshot::put_extent(meta, &self.extent);
+        meta.put_u32_le(self.shards.len() as u32);
+
+        let params = w.section(SECTION_PARAMS);
+        params.put_u32_le(spline_radix_bits);
+        params.put_u64_le(spline_error as u64);
+        params.put_u64_le(target_shards as u64);
+
+        snapshot::put_multipolygons(w.section(SECTION_REGIONS), &self.regions);
+        if let Some(join) = &self.join {
+            join.write_snapshot(w.section(SECTION_JOIN));
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            write_shard_columns(w.section(SECTION_SHARD_BASE + i as u32), shard);
+        }
+        if let Some(delta) = &self.delta {
+            write_shard_columns(w.section(SECTION_DELTA), delta);
+        }
+        w.write_to(path)
+    }
+
+    /// Loads a snapshot written by [`save`](Self::save): validates the
+    /// header, the endianness tag, and every section CRC, then
+    /// reconstitutes each column. The result answers every query
+    /// bit-for-bit identically to the snapshot that was saved.
+    pub fn load(path: &Path) -> Result<EngineSnapshot, SnapshotError> {
+        Ok(Self::load_with_params(path)?.0)
+    }
+
+    /// [`load`](Self::load), also returning the stored engine parameters
+    /// `(spline_radix_bits, spline_error, target_shards)`.
+    pub(crate) fn load_with_params(
+        path: &Path,
+    ) -> Result<(EngineSnapshot, (u32, usize, usize)), SnapshotError> {
+        let file = SnapshotFile::open(path)?;
+        let (kind, mut meta) = read_kind(&file)?;
+        if kind != KIND_ENGINE {
+            return Err(meta.malformed("not an engine snapshot file"));
+        }
+        let epsilon = meta.read_f64()?;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(meta.malformed("distance bound must be positive and finite"));
+        }
+        let bound = DistanceBound::new(epsilon);
+        let extent = snapshot::read_extent(&mut meta)?;
+        let shard_count = meta.read_u32()? as usize;
+        meta.finish()?;
+
+        let mut params = file.section(SECTION_PARAMS)?;
+        let spline_radix_bits = params.read_u32()?;
+        if !(1..=30).contains(&spline_radix_bits) {
+            return Err(params.malformed("spline radix bits out of range"));
+        }
+        let spline_error = params.read_u64()? as usize;
+        if spline_error == 0 {
+            return Err(params.malformed("spline error must be at least 1"));
+        }
+        let target_shards = params.read_u64()? as usize;
+        if target_shards == 0 {
+            return Err(params.malformed("target shard count must be at least 1"));
+        }
+        params.finish()?;
+
+        let mut regions_cur = file.section(SECTION_REGIONS)?;
+        let regions = snapshot::read_multipolygons(&mut regions_cur)?;
+        regions_cur.finish()?;
+
+        let join = if file.has_section(SECTION_JOIN) {
+            let mut cur = file.section(SECTION_JOIN)?;
+            let join = ApproximateCellJoin::read_snapshot(&mut cur)?;
+            cur.finish()?;
+            if join.region_count() != regions.len() {
+                return Err(cur_region_mismatch());
+            }
+            Some(Arc::new(join))
+        } else if regions.is_empty() {
+            None
+        } else {
+            return Err(SnapshotError::MissingSection {
+                section: SECTION_JOIN,
+            });
+        };
+
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let mut cur = file.section(SECTION_SHARD_BASE + i as u32)?;
+            shards.push(Arc::new(read_shard_columns(&mut cur)?));
+            cur.finish()?;
+        }
+
+        let delta = if file.has_section(SECTION_DELTA) {
+            let mut cur = file.section(SECTION_DELTA)?;
+            let shard = read_shard_columns(&mut cur)?;
+            cur.finish()?;
+            Some(Arc::new(shard))
+        } else {
+            None
+        };
+
+        let snapshot = EngineSnapshot {
+            bound,
+            extent,
+            regions: Arc::new(regions),
+            join,
+            shards,
+            delta,
+            generation: file.generation(),
+        };
+        Ok((snapshot, (spline_radix_bits, spline_error, target_shards)))
+    }
+}
+
+fn cur_region_mismatch() -> SnapshotError {
+    SnapshotError::Malformed {
+        section: SECTION_JOIN,
+        what: "region join disagrees with the region geometry count",
+    }
+}
+
+impl ShardedEngine {
+    /// Persists the currently published snapshot together with this
+    /// engine's rebuild parameters. The file header carries the snapshot's
+    /// compaction generation.
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        self.snapshot().save_with_params(
+            path,
+            self.spline_radix_bits,
+            self.spline_error,
+            self.target_shards,
+        )
+    }
+
+    /// Reconstitutes a serving engine from a snapshot file: the loaded
+    /// snapshot is published as-is (same generation, same shards, same
+    /// delta), and ingest/compaction continue from there. No rebuild work
+    /// happens — cold start is bounded by file I/O.
+    pub fn load_snapshot(path: &Path) -> Result<ShardedEngine, SnapshotError> {
+        let (snapshot, (spline_radix_bits, spline_error, target_shards)) =
+            EngineSnapshot::load_with_params(path)?;
+        // The delta buffer is the authoritative pending-row store; the
+        // snapshot's delta shard already holds those rows in key order, so
+        // restore the buffer from it (order within the buffer is
+        // irrelevant — every append re-sorts).
+        let delta_buffer = match snapshot.delta_shard() {
+            Some(shard) => DeltaBuffer {
+                points: shard.points().to_vec(),
+                values: shard.values().to_vec(),
+            },
+            None => DeltaBuffer::default(),
+        };
+        Ok(ShardedEngine {
+            bound: snapshot.bound(),
+            extent: *snapshot.extent(),
+            regions: Arc::clone(&snapshot.regions),
+            spline_radix_bits,
+            spline_error,
+            target_shards,
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            delta: RwLock::new(delta_buffer),
+            compaction: Mutex::new(()),
+            serving: Arc::new(ServingCounters::default()),
+        })
+    }
+}
+
+impl QueryService {
+    /// Starts a serving tier directly from a snapshot file — the cold-start
+    /// path for a serving process: load, publish, serve, no rebuild.
+    ///
+    /// # Panics
+    /// Panics when the snapshot holds no regions (same contract as
+    /// [`ShardedEngine::serve`]).
+    pub fn start_from_snapshot(
+        path: &Path,
+        config: ServingConfig,
+    ) -> Result<QueryService, SnapshotError> {
+        let engine = Arc::new(ShardedEngine::load_snapshot(path)?);
+        Ok(QueryService::start(engine, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsa_geom::{MultiPolygon, Point, Polygon};
+    use dbsa_raster::DistanceBound;
+
+    fn tiny_engine(shards: usize) -> ShardedEngine {
+        let region = MultiPolygon::from(Polygon::from_coords(&[
+            (10.0, 10.0),
+            (200.0, 10.0),
+            (200.0, 150.0),
+            (10.0, 150.0),
+        ]));
+        let points: Vec<Point> = (0..500)
+            .map(|i| Point::new((i % 50) as f64 * 5.0 + 1.0, (i / 50) as f64 * 20.0 + 1.0))
+            .collect();
+        let values: Vec<f64> = (0..500).map(|i| i as f64 * 0.25).collect();
+        ShardedEngine::builder()
+            .distance_bound(DistanceBound::meters(2.0))
+            .extent(dbsa_geom::BoundingBox::from_bounds(0.0, 0.0, 256.0, 256.0))
+            .points(points, values)
+            .regions(vec![region])
+            .shards(shards)
+            .build()
+    }
+
+    #[test]
+    fn engine_snapshot_round_trips_queries() {
+        let dir = std::env::temp_dir().join("dbsa-persist-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("engine.snapshot");
+        let engine = tiny_engine(4);
+        engine.append_points(vec![Point::new(42.0, 42.0)], vec![7.0]);
+        engine.save_snapshot(&path).expect("save");
+
+        let loaded = ShardedEngine::load_snapshot(&path).expect("load");
+        assert_eq!(
+            loaded.snapshot().generation(),
+            engine.snapshot().generation()
+        );
+        assert_eq!(loaded.pending_points(), engine.pending_points());
+        assert_eq!(
+            loaded.aggregate_by_region(),
+            engine.aggregate_by_region(),
+            "loaded snapshot must answer bit-for-bit identically"
+        );
+        // Ingest continues after a load.
+        loaded.append_points(vec![Point::new(50.0, 50.0)], vec![1.0]);
+        assert!(loaded.compact());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_handoff_respects_generation() {
+        let dir = std::env::temp_dir().join("dbsa-persist-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("shard.snapshot");
+        let engine = tiny_engine(2);
+        let snapshot = engine.snapshot();
+        let shard = &snapshot.shards()[0];
+        shard.save(&path, snapshot.generation()).expect("save");
+
+        let loaded = EngineShard::load(&path, Some(snapshot.generation())).expect("load");
+        assert_eq!(loaded.key_range(), shard.key_range());
+        assert_eq!(loaded.points(), shard.points());
+        assert_eq!(loaded.values(), shard.values());
+
+        let stale = EngineShard::load(&path, Some(snapshot.generation() + 1));
+        assert!(matches!(stale, Err(SnapshotError::StaleGeneration { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_file_is_not_a_shard_file() {
+        let dir = std::env::temp_dir().join("dbsa-persist-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("kind.snapshot");
+        tiny_engine(1).save_snapshot(&path).expect("save");
+        assert!(matches!(
+            EngineShard::load(&path, None),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

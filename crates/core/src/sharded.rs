@@ -57,11 +57,11 @@ use std::sync::Arc;
 /// Immutable after construction — shards are shared across snapshots via
 /// `Arc` and never mutated in place.
 pub struct EngineShard {
-    key_range: KeyRange,
+    pub(crate) key_range: KeyRange,
     /// The shard's points, sorted by leaf key (aligned with the table's
     /// key and value columns through one shared sort).
-    points: Vec<Point>,
-    table: LinearizedPointTable,
+    pub(crate) points: Vec<Point>,
+    pub(crate) table: LinearizedPointTable,
 }
 
 impl EngineShard {
@@ -202,13 +202,13 @@ fn partition_rows(
 /// clone (`Arc`s all the way down); queries need no lock once they hold
 /// one, so any number of clients can serve reads concurrently with ingest.
 pub struct EngineSnapshot {
-    bound: DistanceBound,
-    extent: GridExtent,
-    regions: Arc<Vec<MultiPolygon>>,
-    join: Option<Arc<ApproximateCellJoin>>,
-    shards: Vec<Arc<EngineShard>>,
-    delta: Option<Arc<EngineShard>>,
-    generation: u64,
+    pub(crate) bound: DistanceBound,
+    pub(crate) extent: GridExtent,
+    pub(crate) regions: Arc<Vec<MultiPolygon>>,
+    pub(crate) join: Option<Arc<ApproximateCellJoin>>,
+    pub(crate) shards: Vec<Arc<EngineShard>>,
+    pub(crate) delta: Option<Arc<EngineShard>>,
+    pub(crate) generation: u64,
 }
 
 impl EngineSnapshot {
@@ -603,9 +603,9 @@ impl EngineSnapshot {
 /// Rows appended since the last compaction (the authoritative delta; the
 /// snapshot's delta *shard* is rebuilt from it on every append).
 #[derive(Default)]
-struct DeltaBuffer {
-    points: Vec<Point>,
-    values: Vec<f64>,
+pub(crate) struct DeltaBuffer {
+    pub(crate) points: Vec<Point>,
+    pub(crate) values: Vec<f64>,
 }
 
 /// Builder for [`ShardedEngine`].
@@ -746,26 +746,26 @@ impl ShardedEngineBuilder {
 /// [`EngineShard`]s with snapshot-based concurrent reads and incremental
 /// ingest. See the module docs for the architecture.
 pub struct ShardedEngine {
-    bound: DistanceBound,
-    extent: GridExtent,
-    regions: Arc<Vec<MultiPolygon>>,
-    spline_radix_bits: u32,
-    spline_error: usize,
-    target_shards: usize,
+    pub(crate) bound: DistanceBound,
+    pub(crate) extent: GridExtent,
+    pub(crate) regions: Arc<Vec<MultiPolygon>>,
+    pub(crate) spline_radix_bits: u32,
+    pub(crate) spline_error: usize,
+    pub(crate) target_shards: usize,
     /// The currently published snapshot. Readers hold the read lock only
     /// long enough to clone the `Arc`; publishes swap the `Arc` under the
     /// write lock. Lock order: `delta` before `snapshot`.
-    snapshot: RwLock<Arc<EngineSnapshot>>,
+    pub(crate) snapshot: RwLock<Arc<EngineSnapshot>>,
     /// Rows appended since the last compaction.
-    delta: RwLock<DeltaBuffer>,
+    pub(crate) delta: RwLock<DeltaBuffer>,
     /// Held for the duration of a compaction so concurrent `compact`
     /// calls skip instead of queueing.
-    compaction: Mutex<()>,
+    pub(crate) compaction: Mutex<()>,
     /// Monotonic serving-tier counters, updated by every [`QueryService`]
     /// fronting this engine and reported through [`stats`](Self::stats).
     /// Shared (`Arc`) so in-flight query handles can record their outcome
     /// even while a scheduler thread is unwinding from a panic.
-    serving: Arc<ServingCounters>,
+    pub(crate) serving: Arc<ServingCounters>,
 }
 
 impl ShardedEngine {

@@ -59,6 +59,23 @@ impl KeyRange {
     pub fn intersects_cell(&self, cell: CellId) -> bool {
         self.intersects(cell.range_min().raw(), cell.range_max().raw())
     }
+
+    /// The range as 16 little-endian bytes (`lo` then `hi`) — the shard
+    /// metadata record the snapshot format stores.
+    pub fn to_le_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.lo.to_le_bytes());
+        out[8..].copy_from_slice(&self.hi.to_le_bytes());
+        out
+    }
+
+    /// Decodes a range written by [`to_le_bytes`](Self::to_le_bytes), or
+    /// `None` when the bytes violate `lo <= hi`.
+    pub fn from_le_bytes(bytes: [u8; 16]) -> Option<Self> {
+        let lo = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let hi = u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
+        (lo <= hi).then_some(KeyRange { lo, hi })
+    }
 }
 
 impl std::fmt::Display for KeyRange {

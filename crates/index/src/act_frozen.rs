@@ -1031,6 +1031,262 @@ impl MemoryFootprint for FrozenCellTrie {
     }
 }
 
+impl FrozenCellTrie {
+    /// Serializes every frozen column into a snapshot section, SoA:
+    /// the node blocks split into their five per-block columns, then the
+    /// posting / distance / summary columns exactly as held in memory.
+    /// Reconstitution is one contiguous pass per column — no re-freeze.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_u16s, put_u32s, put_u64s, put_u8s};
+        use bytes::BufMut;
+
+        put_u64s(
+            out,
+            &self
+                .blocks
+                .iter()
+                .map(|b| b.child_masks)
+                .collect::<Vec<_>>(),
+        );
+        put_u32s(
+            out,
+            &self
+                .blocks
+                .iter()
+                .map(|b| b.posting_codes)
+                .collect::<Vec<_>>(),
+        );
+        put_u32s(
+            out,
+            &self.blocks.iter().map(|b| b.child_rank).collect::<Vec<_>>(),
+        );
+        put_u32s(
+            out,
+            &self
+                .blocks
+                .iter()
+                .map(|b| b.posting_rank)
+                .collect::<Vec<_>>(),
+        );
+        put_u32s(
+            out,
+            &self
+                .blocks
+                .iter()
+                .map(|b| b.internal_rank)
+                .collect::<Vec<_>>(),
+        );
+
+        put_u32s(
+            out,
+            &self
+                .count_escapes
+                .iter()
+                .map(|&(n, _)| n)
+                .collect::<Vec<_>>(),
+        );
+        put_u32s(
+            out,
+            &self
+                .count_escapes
+                .iter()
+                .map(|&(_, c)| c)
+                .collect::<Vec<_>>(),
+        );
+
+        out.put_u32_le(self.posting_polygons.width);
+        put_u64s(out, &self.posting_polygons.words);
+        put_u64s(out, &self.posting_classes.words);
+        put_u8s(out, &self.posting_dists);
+
+        put_u32s(
+            out,
+            &self
+                .dist_escapes
+                .iter()
+                .map(|&(a, _)| a)
+                .collect::<Vec<_>>(),
+        );
+        put_u16s(
+            out,
+            &self
+                .dist_escapes
+                .iter()
+                .map(|&(_, d)| d.lo)
+                .collect::<Vec<_>>(),
+        );
+        put_u16s(
+            out,
+            &self
+                .dist_escapes
+                .iter()
+                .map(|&(_, d)| d.hi)
+                .collect::<Vec<_>>(),
+        );
+
+        put_u64s(out, &self.deep_dist);
+        out.put_u32_le(self.deep_first.width);
+        put_u64s(out, &self.deep_first.words);
+        put_u64s(out, &self.deep_single.words);
+
+        out.put_u32_le(self.first_sentinel);
+        out.put_u32_le(self.nodes);
+        out.put_u32_le(self.postings);
+        out.put_u64_le(self.polygons as u64);
+        out.put_u8(self.max_depth);
+
+        for span in &self.covered_at {
+            match span {
+                Some((lo, hi)) => {
+                    out.put_u8(1);
+                    out.put_u64_le(*lo);
+                    out.put_u64_le(*hi);
+                }
+                None => {
+                    out.put_u8(0);
+                    out.put_u64_le(0);
+                    out.put_u64_le(0);
+                }
+            }
+        }
+        put_u32s(out, &self.nodes_at_or_above);
+    }
+
+    /// Reconstitutes a frozen trie from [`write_snapshot`](Self::write_snapshot)'s columns.
+    /// Validates structural invariants (column lengths against the stored
+    /// counts, packed widths in range) and returns a typed error on any
+    /// mismatch — never panics on CRC-valid but malformed input.
+    pub fn read_snapshot(
+        cur: &mut crate::snapshot::SectionCursor<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let child_masks = cur.read_u64s()?;
+        let posting_codes = cur.read_u32s()?;
+        let child_rank = cur.read_u32s()?;
+        let posting_rank = cur.read_u32s()?;
+        let internal_rank = cur.read_u32s()?;
+        let n_blocks = child_masks.len();
+        if [
+            posting_codes.len(),
+            child_rank.len(),
+            posting_rank.len(),
+            internal_rank.len(),
+        ] != [n_blocks; 4]
+        {
+            return Err(cur.malformed("node-block columns disagree on length"));
+        }
+        let blocks: Vec<NodeBlock> = (0..n_blocks)
+            .map(|i| NodeBlock {
+                child_masks: child_masks[i],
+                posting_codes: posting_codes[i],
+                child_rank: child_rank[i],
+                posting_rank: posting_rank[i],
+                internal_rank: internal_rank[i],
+            })
+            .collect();
+
+        let escape_nodes = cur.read_u32s()?;
+        let escape_counts = cur.read_u32s()?;
+        if escape_nodes.len() != escape_counts.len() {
+            return Err(cur.malformed("count-escape columns disagree on length"));
+        }
+        let count_escapes: Vec<(u32, u32)> = escape_nodes.into_iter().zip(escape_counts).collect();
+
+        let read_packed = |cur: &mut crate::snapshot::SectionCursor<'_>| {
+            let width = cur.read_u32()?;
+            if !(1..=32).contains(&width) {
+                return Err(cur.malformed("packed-column width out of range"));
+            }
+            let words = cur.read_u64s()?;
+            Ok(PackedU32s { words, width })
+        };
+        let posting_polygons = read_packed(cur)?;
+        let posting_classes = BitSet {
+            words: cur.read_u64s()?,
+        };
+        let posting_dists = cur.read_u8s()?;
+
+        let escape_arenas = cur.read_u32s()?;
+        let escape_lo = cur.read_u16s()?;
+        let escape_hi = cur.read_u16s()?;
+        if escape_arenas.len() != escape_lo.len() || escape_arenas.len() != escape_hi.len() {
+            return Err(cur.malformed("distance-escape columns disagree on length"));
+        }
+        let dist_escapes: Vec<(u32, DistanceBins)> = escape_arenas
+            .into_iter()
+            .zip(escape_lo.into_iter().zip(escape_hi))
+            .map(|(a, (lo, hi))| (a, DistanceBins { lo, hi }))
+            .collect();
+
+        let deep_dist = cur.read_u64s()?;
+        let deep_first = read_packed(cur)?;
+        let deep_single = BitSet {
+            words: cur.read_u64s()?,
+        };
+
+        let first_sentinel = cur.read_u32()?;
+        let nodes = cur.read_u32()?;
+        let postings = cur.read_u32()?;
+        let polygons = cur.read_u64()? as usize;
+        let max_depth = cur.read_u8()?;
+
+        let mut covered_at: [Option<(u64, u64)>; STACK] = [None; STACK];
+        for span in covered_at.iter_mut() {
+            let flag = cur.read_u8()?;
+            let lo = cur.read_u64()?;
+            let hi = cur.read_u64()?;
+            *span = match flag {
+                0 => None,
+                1 => Some((lo, hi)),
+                _ => return Err(cur.malformed("covered-span flag is neither 0 nor 1")),
+            };
+        }
+        let levels = cur.read_u32s()?;
+        let nodes_at_or_above: [u32; STACK] = levels
+            .try_into()
+            .map_err(|_| cur.malformed("per-level node counts have the wrong length"))?;
+
+        let node_count = nodes as usize;
+        if blocks.len() != node_count.div_ceil(BLOCK_NODES) {
+            return Err(cur.malformed("block count disagrees with node count"));
+        }
+        let posting_count = postings as usize;
+        if posting_dists.len() != posting_count
+            || posting_classes.words.len() != posting_count.div_ceil(64)
+            || posting_polygons.words.len()
+                != (posting_count * posting_polygons.width as usize).div_ceil(64)
+        {
+            return Err(cur.malformed("posting columns disagree with posting count"));
+        }
+        if deep_single.words.len() != node_count.div_ceil(64)
+            || deep_first.words.len() != (deep_dist.len() * deep_first.width as usize).div_ceil(64)
+        {
+            return Err(cur.malformed("summary columns disagree on length"));
+        }
+        if max_depth > MAX_LEVEL {
+            return Err(cur.malformed("max depth exceeds the grid's finest level"));
+        }
+
+        Ok(FrozenCellTrie {
+            blocks,
+            count_escapes,
+            posting_polygons,
+            posting_classes,
+            posting_dists,
+            dist_escapes,
+            deep_dist,
+            deep_first,
+            deep_single,
+            first_sentinel,
+            nodes,
+            postings,
+            polygons,
+            max_depth,
+            covered_at,
+            nodes_at_or_above,
+        })
+    }
+}
+
 /// Batched probe cursor over a [`FrozenCellTrie`].
 ///
 /// Keeps the root-to-leaf path of the previous probe on a stack, together

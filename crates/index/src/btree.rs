@@ -96,6 +96,47 @@ impl BPlusTree {
         pos < self.leaves.len() && self.leaves[pos] == key
     }
 
+    /// Appends the flattened levels to a snapshot section — the bulk-load
+    /// output is persisted as-is, so loading skips the build entirely.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        use bytes::BufMut;
+        out.put_u64_le(self.fanout as u64);
+        out.put_u64_le(self.inner_levels.len() as u64);
+        for level in &self.inner_levels {
+            crate::snapshot::put_u64s(out, level);
+        }
+        crate::snapshot::put_u64s(out, &self.leaves);
+    }
+
+    /// Reads a tree written by [`write_snapshot`](Self::write_snapshot).
+    pub fn read_snapshot(
+        cur: &mut crate::snapshot::SectionCursor<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let fanout = cur.read_u64()? as usize;
+        if fanout < 2 {
+            return Err(cur.malformed("B+-tree fanout below 2"));
+        }
+        let levels = cur.read_u64()? as usize;
+        let mut inner_levels = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            inner_levels.push(cur.read_u64s()?);
+        }
+        let leaves = cur.read_u64s()?;
+        let expected_base = leaves.chunks(fanout).count();
+        let base_ok = match inner_levels.first() {
+            Some(level) => level.len() == expected_base,
+            None => expected_base <= 1,
+        };
+        if !base_ok {
+            return Err(cur.malformed("B+-tree levels disagree with leaf count"));
+        }
+        Ok(BPlusTree {
+            inner_levels,
+            leaves,
+            fanout,
+        })
+    }
+
     /// Walks the separator levels top-down to narrow the leaf search range,
     /// then finishes with a binary search within one leaf group.
     fn search(&self, key: u64, upper: bool) -> usize {

@@ -44,6 +44,7 @@ pub mod quadtree;
 pub mod radix_spline;
 pub mod rtree;
 pub mod shape_index;
+pub mod snapshot;
 pub mod sorted_array;
 
 pub use act::{ActStats, AdaptiveCellTrie, CellPosting, PolygonId};
@@ -58,4 +59,5 @@ pub use quadtree::PointQuadtree;
 pub use radix_spline::{RadixSpline, RadixSplineBuilder};
 pub use rtree::{RTree, RTreeEntry};
 pub use shape_index::ShapeIndex;
+pub use snapshot::{SectionCursor, SnapshotError, SnapshotFile, SnapshotWriter};
 pub use sorted_array::{PrefixSumArray, RangeMinMax, SortedKeyArray};

@@ -252,6 +252,72 @@ impl RadixSpline {
     }
 }
 
+impl RadixSpline {
+    /// Appends the spline knots, radix table, and scalar parameters to a
+    /// snapshot section — the single-pass build is persisted, not redone.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        use bytes::BufMut;
+        crate::snapshot::put_u64s(out, &self.spline.iter().map(|s| s.key).collect::<Vec<_>>());
+        crate::snapshot::put_u64s(
+            out,
+            &self
+                .spline
+                .iter()
+                .map(|s| s.position as u64)
+                .collect::<Vec<_>>(),
+        );
+        crate::snapshot::put_u32s(out, &self.radix_table);
+        out.put_u32_le(self.radix_bits);
+        out.put_u32_le(self.shift);
+        out.put_u64_le(self.spline_error as u64);
+        out.put_u64_le(self.min_key);
+        out.put_u64_le(self.max_key);
+        out.put_u64_le(self.len as u64);
+    }
+
+    /// Reads an index written by [`write_snapshot`](Self::write_snapshot).
+    pub fn read_snapshot(
+        cur: &mut crate::snapshot::SectionCursor<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let keys = cur.read_u64s()?;
+        let positions = cur.read_u64s()?;
+        if keys.len() != positions.len() {
+            return Err(cur.malformed("spline knot columns disagree on length"));
+        }
+        let spline: Vec<SplinePoint> = keys
+            .into_iter()
+            .zip(positions)
+            .map(|(key, position)| SplinePoint {
+                key,
+                position: position as usize,
+            })
+            .collect();
+        let radix_table = cur.read_u32s()?;
+        if radix_table.is_empty() {
+            return Err(cur.malformed("radix table must have at least one entry"));
+        }
+        let radix_bits = cur.read_u32()?;
+        let shift = cur.read_u32()?;
+        let spline_error = cur.read_u64()? as usize;
+        if spline_error == 0 {
+            return Err(cur.malformed("spline error must be at least 1"));
+        }
+        let min_key = cur.read_u64()?;
+        let max_key = cur.read_u64()?;
+        let len = cur.read_u64()? as usize;
+        Ok(RadixSpline {
+            spline,
+            radix_table,
+            radix_bits,
+            shift,
+            spline_error,
+            min_key,
+            max_key,
+            len,
+        })
+    }
+}
+
 impl MemoryFootprint for RadixSpline {
     fn memory_bytes(&self) -> usize {
         self.spline.capacity() * std::mem::size_of::<SplinePoint>()

@@ -10,6 +10,7 @@
 
 use crate::act::PolygonId;
 use crate::footprint::MemoryFootprint;
+use crate::snapshot;
 use dbsa_geom::{MultiPolygon, Point};
 use dbsa_grid::{CellId, GridExtent};
 use dbsa_raster::{refine_contains, BoundaryPolicy, CellClass, HierarchicalRaster};
@@ -165,6 +166,89 @@ impl ShapeIndex {
     /// Convenience: the first containing polygon.
     pub fn lookup_first(&self, p: &Point) -> Option<PolygonId> {
         self.lookup(p).into_iter().next()
+    }
+}
+
+impl ShapeIndex {
+    /// Appends the covering cells (SoA), the prefix-max column, and the
+    /// exact geometry to a snapshot section — no re-rasterization on load.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        use bytes::BufMut;
+        use snapshot::{put_multipolygons, put_u32s, put_u64s, put_u8s};
+        snapshot::put_extent(out, &self.extent);
+        put_u64s(
+            out,
+            &self
+                .cells
+                .iter()
+                .map(|c| c.range_min.raw())
+                .collect::<Vec<_>>(),
+        );
+        put_u64s(
+            out,
+            &self
+                .cells
+                .iter()
+                .map(|c| c.range_max.raw())
+                .collect::<Vec<_>>(),
+        );
+        put_u32s(
+            out,
+            &self.cells.iter().map(|c| c.polygon).collect::<Vec<_>>(),
+        );
+        put_u8s(
+            out,
+            &self
+                .cells
+                .iter()
+                .map(|c| c.needs_refinement as u8)
+                .collect::<Vec<_>>(),
+        );
+        put_u64s(
+            out,
+            &self.prefix_max.iter().map(|c| c.raw()).collect::<Vec<_>>(),
+        );
+        put_multipolygons(out, &self.polygons);
+        out.put_u64_le(self.cells_per_polygon as u64);
+    }
+
+    /// Reads an index written by [`write_snapshot`](Self::write_snapshot).
+    pub fn read_snapshot(
+        cur: &mut snapshot::SectionCursor<'_>,
+    ) -> Result<Self, snapshot::SnapshotError> {
+        let extent = snapshot::read_extent(cur)?;
+        let range_min = cur.read_u64s()?;
+        let range_max = cur.read_u64s()?;
+        let polygon_ids = cur.read_u32s()?;
+        let refinement = cur.read_u8s()?;
+        let n = range_min.len();
+        if [range_max.len(), polygon_ids.len(), refinement.len()] != [n; 3] {
+            return Err(cur.malformed("covering-cell columns disagree on length"));
+        }
+        let cells: Vec<ShapeCell> = (0..n)
+            .map(|i| ShapeCell {
+                range_min: CellId::from_raw(range_min[i]),
+                range_max: CellId::from_raw(range_max[i]),
+                polygon: polygon_ids[i],
+                needs_refinement: refinement[i] != 0,
+            })
+            .collect();
+        let prefix_max: Vec<CellId> = cur.read_u64s()?.into_iter().map(CellId::from_raw).collect();
+        if prefix_max.len() != n {
+            return Err(cur.malformed("prefix-max column disagrees with cell count"));
+        }
+        let polygons = snapshot::read_multipolygons(cur)?;
+        if cells.iter().any(|c| c.polygon as usize >= polygons.len()) {
+            return Err(cur.malformed("covering cell references a missing polygon"));
+        }
+        let cells_per_polygon = cur.read_u64()? as usize;
+        Ok(ShapeIndex {
+            extent,
+            cells,
+            prefix_max,
+            polygons,
+            cells_per_polygon,
+        })
     }
 }
 

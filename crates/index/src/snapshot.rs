@@ -1,0 +1,885 @@
+//! Versioned, checksummed on-disk snapshot framing.
+//!
+//! The serving state of the engine (frozen trie columns, linearized point
+//! tables, shard metadata) is already flat, SoA, and immutable — exactly
+//! the shape a file wants to be. This module defines the container those
+//! columns are dumped into, so cold start is a bounded I/O cost instead of
+//! a rebuild:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "DBSASNAP"
+//! 8       4     format version (u32 LE, currently 1)
+//! 12      4     endianness tag (u32 LE, 0x01020304)
+//! 16      8     compaction generation (u64 LE)
+//! 24      4     section count (u32 LE)
+//! 28      4     reserved (zero)
+//! 32      32·n  section table, one entry per section:
+//!               id (u32) · reserved (u32) · offset (u64) · len (u64)
+//!               · crc32 (u32) · reserved (u32)
+//! ...           section payloads, each starting on a 64-byte boundary,
+//!               zero-padded between sections
+//! ```
+//!
+//! Every payload is covered by an IEEE CRC-32 recorded in the section
+//! table; [`SnapshotFile::section`] verifies it before handing out a
+//! cursor, so a flipped bit is a typed [`SnapshotError::CorruptSection`],
+//! never a silent misread. Columns inside a section are length-prefixed
+//! little-endian arrays ([`put_u64s`] / [`SectionCursor::read_u64s`] and
+//! friends): decoding is one bounds check plus one contiguous pass per
+//! column — no per-element branching, no re-derivation.
+//!
+//! **Compatibility policy.** The format version is bumped on any layout
+//! change; readers reject versions they don't know
+//! ([`SnapshotError::UnsupportedVersion`]) rather than guessing. Files are
+//! always written little-endian; the endianness tag lets a foreign-order
+//! file be rejected explicitly ([`SnapshotError::WrongEndianness`]). The
+//! generation field carries the writer's compaction generation so a stale
+//! shard file can be rejected at handoff
+//! ([`SnapshotError::StaleGeneration`]).
+
+use bytes::BufMut;
+use dbsa_geom::{MultiPolygon, Point, Polygon, Ring};
+use std::fmt;
+use std::path::Path;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"DBSASNAP";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Endianness probe value: written little-endian, so a file produced by a
+/// (hypothetical) native-order big-endian writer reads back byte-swapped
+/// and is rejected instead of misinterpreted.
+pub const ENDIAN_TAG: u32 = 0x0102_0304;
+
+/// Section payloads start on this alignment within the file, matching the
+/// in-memory alignment of every column type we store (max 8) with room to
+/// spare for cache-line-aligned mapping later.
+pub const SECTION_ALIGN: usize = 64;
+
+const HEADER_LEN: usize = 32;
+const TABLE_ENTRY_LEN: usize = 32;
+
+/// A typed failure while writing or loading a snapshot. Loads never panic
+/// on malformed input — every corruption path maps to a variant here.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with the `DBSASNAP` magic.
+    BadMagic,
+    /// The file's format version is not one this reader understands.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The endianness tag does not match: the file was written by a
+    /// native-order writer on a different-endian machine.
+    WrongEndianness {
+        /// The tag as decoded little-endian.
+        found: u32,
+    },
+    /// A section's stored CRC-32 does not match its payload.
+    CorruptSection {
+        /// Section id.
+        section: u32,
+        /// CRC recorded in the section table.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// The file ends before the advertised data does.
+    Truncated {
+        /// Section id (`u32::MAX` for the header / section table).
+        section: u32,
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The file's generation does not match what the receiver expected
+    /// (a stale shard file offered for handoff).
+    StaleGeneration {
+        /// Generation the receiver required.
+        expected: u64,
+        /// Generation recorded in the file.
+        found: u64,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// Section id.
+        section: u32,
+    },
+    /// A structurally invalid value inside a CRC-valid section.
+    Malformed {
+        /// Section id.
+        section: u32,
+        /// What the decoder found wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a DBSA snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads {supported})"
+            ),
+            SnapshotError::WrongEndianness { found } => write!(
+                f,
+                "snapshot written with foreign byte order (endianness tag {found:#010x})"
+            ),
+            SnapshotError::CorruptSection {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section {section} is corrupt: stored crc {stored:#010x}, computed {computed:#010x}"
+            ),
+            SnapshotError::Truncated {
+                section,
+                needed,
+                available,
+            } => write!(
+                f,
+                "snapshot truncated in section {section}: needed {needed} bytes, {available} available"
+            ),
+            SnapshotError::StaleGeneration { expected, found } => write!(
+                f,
+                "stale snapshot: expected generation {expected}, file has {found}"
+            ),
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot is missing required section {section}")
+            }
+            SnapshotError::Malformed { section, what } => {
+                write!(f, "malformed section {section}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Section id used for header/table-level truncation errors.
+const HEADER_SECTION: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected) — hand-rolled table; the workspace has no
+// checksum crate and crates.io is unreachable (see vendor/README.md).
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `data` (the polynomial used by zip/gzip/ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Accumulates named sections and renders them into the framed, aligned,
+/// checksummed snapshot layout.
+pub struct SnapshotWriter {
+    generation: u64,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot carrying `generation` in its header.
+    pub fn new(generation: u64) -> Self {
+        SnapshotWriter {
+            generation,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Opens a new section and returns its payload buffer. Sections are
+    /// written in the order they are opened; ids must be unique.
+    pub fn section(&mut self, id: u32) -> &mut Vec<u8> {
+        debug_assert!(
+            self.sections.iter().all(|(existing, _)| *existing != id),
+            "duplicate snapshot section id {id}"
+        );
+        self.sections.push((id, Vec::new()));
+        &mut self.sections.last_mut().expect("just pushed").1
+    }
+
+    /// Renders the full snapshot file image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let table_end = HEADER_LEN + self.sections.len() * TABLE_ENTRY_LEN;
+        let mut offsets = Vec::with_capacity(self.sections.len());
+        let mut cursor = table_end;
+        for (_, payload) in &self.sections {
+            cursor = cursor.next_multiple_of(SECTION_ALIGN);
+            offsets.push(cursor);
+            cursor += payload.len();
+        }
+
+        let mut out = Vec::with_capacity(cursor);
+        out.put_slice(&MAGIC);
+        out.put_u32_le(FORMAT_VERSION);
+        out.put_u32_le(ENDIAN_TAG);
+        out.put_u64_le(self.generation);
+        out.put_u32_le(self.sections.len() as u32);
+        out.put_u32_le(0);
+        for ((id, payload), offset) in self.sections.iter().zip(&offsets) {
+            out.put_u32_le(*id);
+            out.put_u32_le(0);
+            out.put_u64_le(*offset as u64);
+            out.put_u64_le(payload.len() as u64);
+            out.put_u32_le(crc32(payload));
+            out.put_u32_le(0);
+        }
+        for ((_, payload), offset) in self.sections.iter().zip(&offsets) {
+            out.resize(*offset, 0); // zero padding up to the aligned start
+            out.put_slice(payload);
+        }
+        out
+    }
+
+    /// Writes the snapshot to `path` (atomically enough for our purposes:
+    /// a temp file in the same directory renamed over the target, so a
+    /// crashed writer never leaves a half-written file under the final
+    /// name).
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        let image = self.to_bytes();
+        let tmp = path.with_extension("tmp-snapshot");
+        std::fs::write(&tmp, &image)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct SectionEntry {
+    id: u32,
+    offset: usize,
+    len: usize,
+    crc: u32,
+}
+
+/// A loaded snapshot file: header validated, section table parsed; section
+/// payloads are CRC-verified on access.
+pub struct SnapshotFile {
+    data: Vec<u8>,
+    generation: u64,
+    entries: Vec<SectionEntry>,
+}
+
+impl SnapshotFile {
+    /// Reads and validates the file at `path`.
+    pub fn open(path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Validates an in-memory file image.
+    pub fn from_bytes(data: Vec<u8>) -> Result<Self, SnapshotError> {
+        let need = |needed: usize, available: usize| -> Result<(), SnapshotError> {
+            if needed > available {
+                Err(SnapshotError::Truncated {
+                    section: HEADER_SECTION,
+                    needed,
+                    available,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        need(HEADER_LEN, data.len())?;
+        if data[0..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"));
+        let u64_at = |i: usize| u64::from_le_bytes(data[i..i + 8].try_into().expect("8 bytes"));
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let endian = u32_at(12);
+        if endian != ENDIAN_TAG {
+            return Err(SnapshotError::WrongEndianness { found: endian });
+        }
+        let generation = u64_at(16);
+        let section_count = u32_at(24) as usize;
+        let table_end = HEADER_LEN + section_count * TABLE_ENTRY_LEN;
+        need(table_end, data.len())?;
+        let mut entries = Vec::with_capacity(section_count);
+        for s in 0..section_count {
+            let base = HEADER_LEN + s * TABLE_ENTRY_LEN;
+            let id = u32_at(base);
+            let offset = u64_at(base + 8);
+            let len = u64_at(base + 16);
+            let crc = u32_at(base + 24);
+            let end = offset.checked_add(len).ok_or(SnapshotError::Malformed {
+                section: id,
+                what: "section extent overflows",
+            })?;
+            if end > data.len() as u64 {
+                return Err(SnapshotError::Truncated {
+                    section: id,
+                    needed: end as usize,
+                    available: data.len(),
+                });
+            }
+            entries.push(SectionEntry {
+                id,
+                offset: offset as usize,
+                len: len as usize,
+                crc,
+            });
+        }
+        Ok(SnapshotFile {
+            data,
+            generation,
+            entries,
+        })
+    }
+
+    /// The compaction generation recorded in the header.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Rejects the file unless its generation equals `expected` — the
+    /// staleness check a shard-handoff receiver applies.
+    pub fn expect_generation(&self, expected: u64) -> Result<(), SnapshotError> {
+        if self.generation != expected {
+            return Err(SnapshotError::StaleGeneration {
+                expected,
+                found: self.generation,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether a section with this id is present.
+    pub fn has_section(&self, id: u32) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// CRC-verifies and returns a cursor over the section's payload.
+    pub fn section(&self, id: u32) -> Result<SectionCursor<'_>, SnapshotError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or(SnapshotError::MissingSection { section: id })?;
+        let payload = &self.data[entry.offset..entry.offset + entry.len];
+        let computed = crc32(payload);
+        if computed != entry.crc {
+            return Err(SnapshotError::CorruptSection {
+                section: id,
+                stored: entry.crc,
+                computed,
+            });
+        }
+        Ok(SectionCursor {
+            section: id,
+            buf: payload,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section cursor — typed, non-panicking reads over a CRC-verified payload
+// ---------------------------------------------------------------------------
+
+/// Cursor over one section's payload. All reads are bounds-checked and
+/// return typed errors; a CRC-valid but structurally impossible value is
+/// [`SnapshotError::Malformed`], never a panic.
+pub struct SectionCursor<'a> {
+    section: u32,
+    buf: &'a [u8],
+}
+
+macro_rules! cursor_scalar {
+    ($name:ident, $ty:ty, $size:expr) => {
+        #[doc = concat!("Reads one little-endian `", stringify!($ty), "`.")]
+        pub fn $name(&mut self) -> Result<$ty, SnapshotError> {
+            let bytes = self.read_bytes($size)?;
+            Ok(<$ty>::from_le_bytes(bytes.try_into().expect("sized read")))
+        }
+    };
+}
+
+macro_rules! cursor_vec {
+    ($name:ident, $scalar:ident, $ty:ty, $size:expr) => {
+        #[doc = concat!("Reads a length-prefixed `", stringify!($ty), "` column.")]
+        pub fn $name(&mut self) -> Result<Vec<$ty>, SnapshotError> {
+            let n = self.read_len()?;
+            let total = n.checked_mul($size).ok_or(SnapshotError::Malformed {
+                section: self.section,
+                what: "column length overflows",
+            })?;
+            let bytes = self.read_bytes(total)?;
+            let mut out: Vec<$ty> = Vec::with_capacity(n);
+            out.extend(
+                bytes
+                    .chunks_exact($size)
+                    .map(|c| <$ty>::from_le_bytes(c.try_into().expect("sized chunk"))),
+            );
+            Ok(out)
+        }
+    };
+}
+
+impl<'a> SectionCursor<'a> {
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// A [`SnapshotError::Malformed`] anchored to this section.
+    pub fn malformed(&self, what: &'static str) -> SnapshotError {
+        SnapshotError::Malformed {
+            section: self.section,
+            what,
+        }
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if n > self.buf.len() {
+            return Err(SnapshotError::Truncated {
+                section: self.section,
+                needed: n,
+                available: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a `u64` length prefix, checked against the platform's `usize`.
+    fn read_len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.read_u64()?;
+        usize::try_from(n).map_err(|_| self.malformed("length exceeds address space"))
+    }
+
+    cursor_scalar!(read_u8, u8, 1);
+    cursor_scalar!(read_u16, u16, 2);
+    cursor_scalar!(read_u32, u32, 4);
+    cursor_scalar!(read_u64, u64, 8);
+    cursor_scalar!(read_f64, f64, 8);
+
+    /// Reads a length-prefixed raw byte column.
+    pub fn read_u8s(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let n = self.read_len()?;
+        Ok(self.read_bytes(n)?.to_vec())
+    }
+
+    cursor_vec!(read_u16s, read_u16, u16, 2);
+    cursor_vec!(read_u32s, read_u32, u32, 4);
+    cursor_vec!(read_u64s, read_u64, u64, 8);
+    cursor_vec!(read_f64s, read_f64, f64, 8);
+
+    /// Asserts the section was consumed exactly.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(self.malformed("trailing bytes after the last column"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column writers (the put-side counterparts of the cursor's read_* family)
+// ---------------------------------------------------------------------------
+
+/// Appends a length-prefixed raw byte column.
+pub fn put_u8s(out: &mut Vec<u8>, vals: &[u8]) {
+    out.put_u64_le(vals.len() as u64);
+    out.put_slice(vals);
+}
+
+/// Appends a length-prefixed little-endian `u16` column.
+pub fn put_u16s(out: &mut Vec<u8>, vals: &[u16]) {
+    out.put_u64_le(vals.len() as u64);
+    for v in vals {
+        out.put_u16_le(*v);
+    }
+}
+
+/// Appends a length-prefixed little-endian `u32` column.
+pub fn put_u32s(out: &mut Vec<u8>, vals: &[u32]) {
+    out.put_u64_le(vals.len() as u64);
+    for v in vals {
+        out.put_u32_le(*v);
+    }
+}
+
+/// Appends a length-prefixed little-endian `u64` column.
+pub fn put_u64s(out: &mut Vec<u8>, vals: &[u64]) {
+    out.put_u64_le(vals.len() as u64);
+    for v in vals {
+        out.put_u64_le(*v);
+    }
+}
+
+/// Appends a length-prefixed little-endian `f64` column.
+pub fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
+    out.put_u64_le(vals.len() as u64);
+    for v in vals {
+        out.put_f64_le(*v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry codecs — shared by the region store and the shape-index baseline
+// ---------------------------------------------------------------------------
+
+/// Appends one point as two `f64`s.
+pub fn put_point(out: &mut Vec<u8>, p: &Point) {
+    out.put_f64_le(p.x);
+    out.put_f64_le(p.y);
+}
+
+/// Reads one point.
+pub fn read_point(cur: &mut SectionCursor<'_>) -> Result<Point, SnapshotError> {
+    let x = cur.read_f64()?;
+    let y = cur.read_f64()?;
+    Ok(Point::new(x, y))
+}
+
+/// Appends a point column as interleaved x/y `f64` pairs.
+pub fn put_points(out: &mut Vec<u8>, points: &[Point]) {
+    out.put_u64_le(points.len() as u64);
+    for p in points {
+        put_point(out, p);
+    }
+}
+
+/// Reads a point column.
+pub fn read_points(cur: &mut SectionCursor<'_>) -> Result<Vec<Point>, SnapshotError> {
+    let n = cur.read_u64()?;
+    let n = usize::try_from(n).map_err(|_| cur.malformed("point count exceeds address space"))?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_point(cur)?);
+    }
+    Ok(out)
+}
+
+/// Appends a grid extent (origin + side).
+pub fn put_extent(out: &mut Vec<u8>, extent: &dbsa_grid::GridExtent) {
+    put_point(out, &extent.origin());
+    out.put_f64_le(extent.side());
+}
+
+/// Reads a grid extent.
+pub fn read_extent(cur: &mut SectionCursor<'_>) -> Result<dbsa_grid::GridExtent, SnapshotError> {
+    let origin = read_point(cur)?;
+    let side = cur.read_f64()?;
+    if !(side.is_finite() && side > 0.0) {
+        return Err(cur.malformed("grid extent side must be finite and positive"));
+    }
+    Ok(dbsa_grid::GridExtent::new(origin, side))
+}
+
+fn put_ring(out: &mut Vec<u8>, ring: &Ring) {
+    put_points(out, ring.vertices());
+}
+
+fn read_ring(cur: &mut SectionCursor<'_>) -> Result<Ring, SnapshotError> {
+    Ok(Ring::new(read_points(cur)?))
+}
+
+/// Appends one multi-polygon: per polygon, the exterior ring followed by
+/// its holes, all as vertex lists. `Ring::new`'s normalization (dropping a
+/// trailing duplicate of the first vertex) is idempotent, so geometry
+/// round-trips losslessly through the public constructors.
+pub fn put_multipolygon(out: &mut Vec<u8>, mp: &MultiPolygon) {
+    out.put_u64_le(mp.polygons().len() as u64);
+    for poly in mp.polygons() {
+        put_ring(out, poly.exterior());
+        out.put_u64_le(poly.holes().len() as u64);
+        for hole in poly.holes() {
+            put_ring(out, hole);
+        }
+    }
+}
+
+/// Reads one multi-polygon.
+pub fn read_multipolygon(cur: &mut SectionCursor<'_>) -> Result<MultiPolygon, SnapshotError> {
+    let n_polys = cur.read_u64()? as usize;
+    let mut polys = Vec::with_capacity(n_polys);
+    for _ in 0..n_polys {
+        let exterior = read_ring(cur)?;
+        let n_holes = cur.read_u64()? as usize;
+        let mut holes = Vec::with_capacity(n_holes);
+        for _ in 0..n_holes {
+            holes.push(read_ring(cur)?);
+        }
+        polys.push(Polygon::with_holes(exterior, holes));
+    }
+    Ok(MultiPolygon::new(polys))
+}
+
+/// Appends a multi-polygon column.
+pub fn put_multipolygons(out: &mut Vec<u8>, mps: &[MultiPolygon]) {
+    out.put_u64_le(mps.len() as u64);
+    for mp in mps {
+        put_multipolygon(out, mp);
+    }
+}
+
+/// Reads a multi-polygon column.
+pub fn read_multipolygons(cur: &mut SectionCursor<'_>) -> Result<Vec<MultiPolygon>, SnapshotError> {
+    let n = cur.read_u64()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_multipolygon(cur)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    fn build_sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new(42);
+        let s0 = w.section(7);
+        put_u64s(s0, &[1, 2, 3]);
+        put_f64s(s0, &[0.5, -0.5]);
+        let s1 = w.section(9);
+        put_u8s(s1, b"payload");
+        w.to_bytes()
+    }
+
+    #[test]
+    fn round_trip_and_alignment() {
+        let image = build_sample();
+        let file = SnapshotFile::from_bytes(image).expect("valid image");
+        assert_eq!(file.generation(), 42);
+        assert!(file.has_section(7));
+        assert!(file.has_section(9));
+        assert!(!file.has_section(8));
+
+        let mut cur = file.section(7).expect("section 7 present and clean");
+        assert_eq!(cur.read_u64s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(cur.read_f64s().unwrap(), vec![0.5, -0.5]);
+        cur.finish().expect("fully consumed");
+
+        let mut cur = file.section(9).expect("section 9 present and clean");
+        assert_eq!(cur.read_u8s().unwrap(), b"payload");
+
+        assert!(matches!(
+            file.section(8),
+            Err(SnapshotError::MissingSection { section: 8 })
+        ));
+    }
+
+    #[test]
+    fn sections_start_aligned() {
+        let image = build_sample();
+        let file = SnapshotFile::from_bytes(image).expect("valid image");
+        for entry in &file.entries {
+            assert_eq!(
+                entry.offset % SECTION_ALIGN,
+                0,
+                "section {} starts misaligned at {}",
+                entry.id,
+                entry.offset
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_a_crc_error() {
+        let mut image = build_sample();
+        let last = image.len() - 1;
+        image[last] ^= 0x40; // inside section 9's payload
+        let file = SnapshotFile::from_bytes(image).expect("header still valid");
+        assert!(file.section(7).is_ok(), "untouched section stays clean");
+        assert!(matches!(
+            file.section(9),
+            Err(SnapshotError::CorruptSection { section: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let image = build_sample();
+        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN + 5, image.len() - 1] {
+            let err = match SnapshotFile::from_bytes(image[..cut].to_vec()) {
+                Err(e) => e,
+                Ok(_) => panic!("truncation to {cut} bytes must fail"),
+            };
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::BadMagic
+                ),
+                "unexpected error for cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_and_endianness_are_typed() {
+        let mut image = build_sample();
+        image[8] = 99; // version
+        assert!(matches!(
+            SnapshotFile::from_bytes(image.clone()),
+            Err(SnapshotError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
+        ));
+        image[8] = FORMAT_VERSION as u8;
+        image[12..16].copy_from_slice(&ENDIAN_TAG.to_be_bytes()); // byte-swapped tag
+        assert!(matches!(
+            SnapshotFile::from_bytes(image),
+            Err(SnapshotError::WrongEndianness { .. })
+        ));
+    }
+
+    #[test]
+    fn generation_check() {
+        let image = build_sample();
+        let file = SnapshotFile::from_bytes(image).expect("valid image");
+        file.expect_generation(42).expect("matching generation");
+        assert!(matches!(
+            file.expect_generation(41),
+            Err(SnapshotError::StaleGeneration {
+                expected: 41,
+                found: 42
+            })
+        ));
+    }
+
+    #[test]
+    fn cursor_underflow_is_typed_not_a_panic() {
+        let mut w = SnapshotWriter::new(0);
+        w.section(1).put_u64_le(u64::MAX); // a length prefix promising 2^64 bytes
+        let file = SnapshotFile::from_bytes(w.to_bytes()).expect("valid image");
+        let mut cur = file.section(1).expect("clean section");
+        assert!(cur.read_u64s().is_err());
+        let file2 = {
+            let mut w = SnapshotWriter::new(0);
+            w.section(1).put_u32_le(5);
+            SnapshotFile::from_bytes(w.to_bytes()).expect("valid image")
+        };
+        let mut cur = file2.section(1).expect("clean section");
+        assert!(matches!(
+            cur.read_u64(),
+            Err(SnapshotError::Truncated {
+                section: 1,
+                needed: 8,
+                available: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn geometry_round_trip() {
+        let mp = MultiPolygon::new(vec![
+            Polygon::with_holes(
+                Ring::new(vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(10.0, 0.0),
+                    Point::new(10.0, 10.0),
+                    Point::new(0.0, 10.0),
+                ]),
+                vec![Ring::new(vec![
+                    Point::new(2.0, 2.0),
+                    Point::new(4.0, 2.0),
+                    Point::new(3.0, 4.0),
+                ])],
+            ),
+            Polygon::from_coords(&[(20.0, 20.0), (30.0, 20.0), (25.0, 28.0)]),
+        ]);
+        let mut w = SnapshotWriter::new(0);
+        put_multipolygons(w.section(3), std::slice::from_ref(&mp));
+        let file = SnapshotFile::from_bytes(w.to_bytes()).expect("valid image");
+        let mut cur = file.section(3).expect("clean section");
+        let back = read_multipolygons(&mut cur).expect("decodes");
+        cur.finish().expect("fully consumed");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].polygons().len(), 2);
+        for (a, b) in back[0].polygons().iter().zip(mp.polygons()) {
+            assert_eq!(a.exterior().vertices(), b.exterior().vertices());
+            assert_eq!(a.holes().len(), b.holes().len());
+            for (ha, hb) in a.holes().iter().zip(b.holes()) {
+                assert_eq!(ha.vertices(), hb.vertices());
+            }
+        }
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let err = SnapshotError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(err.to_string().contains("I/O"));
+        assert!(std::error::Error::source(&err).is_some());
+        let err = SnapshotError::StaleGeneration {
+            expected: 3,
+            found: 1,
+        };
+        assert!(err.to_string().contains("generation 3"));
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

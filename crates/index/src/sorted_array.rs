@@ -108,6 +108,24 @@ impl SortedKeyArray {
     }
 }
 
+impl SortedKeyArray {
+    /// Appends the key column to a snapshot section.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        crate::snapshot::put_u64s(out, &self.keys);
+    }
+
+    /// Reads a key column written by [`write_snapshot`](Self::write_snapshot).
+    pub fn read_snapshot(
+        cur: &mut crate::snapshot::SectionCursor<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let keys = cur.read_u64s()?;
+        if !keys.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(cur.malformed("key column is not sorted"));
+        }
+        Ok(SortedKeyArray { keys })
+    }
+}
+
 impl MemoryFootprint for SortedKeyArray {
     fn memory_bytes(&self) -> usize {
         // True heap usage: capacity, not length. The constructors shrink,
@@ -164,6 +182,24 @@ impl PrefixSumArray {
             .prefix
             .last()
             .expect("prefix always has at least one entry")
+    }
+}
+
+impl PrefixSumArray {
+    /// Appends the prefix-sum column to a snapshot section.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        crate::snapshot::put_f64s(out, &self.prefix);
+    }
+
+    /// Reads a column written by [`write_snapshot`](Self::write_snapshot).
+    pub fn read_snapshot(
+        cur: &mut crate::snapshot::SectionCursor<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let prefix = cur.read_f64s()?;
+        if prefix.is_empty() {
+            return Err(cur.malformed("prefix-sum column needs its leading zero"));
+        }
+        Ok(PrefixSumArray { prefix })
     }
 }
 
@@ -331,6 +367,57 @@ impl RangeMinMax {
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
         edges.max(self.blocks_max(first_block + 1, last_block - 1))
+    }
+}
+
+impl RangeMinMax {
+    /// Appends the value column and both sparse tables to a snapshot
+    /// section — the tables are persisted, not rebuilt, so load cost is
+    /// pure I/O.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        use bytes::BufMut;
+        crate::snapshot::put_f64s(out, &self.values);
+        out.put_u64_le(self.block_mins.len() as u64);
+        for row in &self.block_mins {
+            crate::snapshot::put_f64s(out, row);
+        }
+        for row in &self.block_maxs {
+            crate::snapshot::put_f64s(out, row);
+        }
+    }
+
+    /// Reads a structure written by [`write_snapshot`](Self::write_snapshot).
+    pub fn read_snapshot(
+        cur: &mut crate::snapshot::SectionCursor<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let values = cur.read_f64s()?;
+        let levels = cur.read_u64()? as usize;
+        let mut block_mins = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            block_mins.push(cur.read_f64s()?);
+        }
+        let mut block_maxs = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            block_maxs.push(cur.read_f64s()?);
+        }
+        let blocks = values.len().div_ceil(Self::BLOCK);
+        let level0_ok = match block_mins.first() {
+            Some(row) => row.len() == blocks && block_maxs[0].len() == blocks,
+            None => blocks == 0,
+        };
+        if !level0_ok
+            || block_mins
+                .iter()
+                .zip(&block_maxs)
+                .any(|(mins, maxs)| mins.len() != maxs.len())
+        {
+            return Err(cur.malformed("range-min/max tables disagree with value count"));
+        }
+        Ok(RangeMinMax {
+            values,
+            block_mins,
+            block_maxs,
+        })
     }
 }
 

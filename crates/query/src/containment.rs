@@ -121,6 +121,43 @@ impl LinearizedPointTable {
         }
     }
 
+    /// Appends every column — keys, prefix sums, min/max tables, spline,
+    /// B+-tree — to a snapshot section in its built form, so loading is
+    /// pure column reconstitution with none of the derivation
+    /// [`from_sorted_rows`](Self::from_sorted_rows) performs.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        dbsa_index::snapshot::put_extent(out, &self.extent);
+        self.keys.write_snapshot(out);
+        self.prefix.write_snapshot(out);
+        self.minmax.write_snapshot(out);
+        self.spline.write_snapshot(out);
+        self.btree.write_snapshot(out);
+    }
+
+    /// Reads a table written by [`write_snapshot`](Self::write_snapshot).
+    pub fn read_snapshot(
+        cur: &mut dbsa_index::SectionCursor<'_>,
+    ) -> Result<Self, dbsa_index::SnapshotError> {
+        let extent = dbsa_index::snapshot::read_extent(cur)?;
+        let keys = SortedKeyArray::read_snapshot(cur)?;
+        let prefix = PrefixSumArray::read_snapshot(cur)?;
+        let minmax = RangeMinMax::read_snapshot(cur)?;
+        let spline = RadixSpline::read_snapshot(cur)?;
+        let btree = BPlusTree::read_snapshot(cur)?;
+        let n = keys.len();
+        if prefix.len() != n || minmax.len() != n || btree.len() != n {
+            return Err(cur.malformed("point-table columns disagree on row count"));
+        }
+        Ok(LinearizedPointTable {
+            extent,
+            keys,
+            prefix,
+            minmax,
+            spline,
+            btree,
+        })
+    }
+
     /// Number of points in the table.
     pub fn len(&self) -> usize {
         self.keys.len()

@@ -166,6 +166,78 @@ impl ApproximateCellJoin {
         }
     }
 
+    /// Appends the frozen trie and the join's scalar state to a snapshot
+    /// section — loading skips rasterization and the freeze entirely.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        use bytes::BufMut;
+        use dbsa_index::snapshot::{put_f64s, put_u32s};
+        dbsa_index::snapshot::put_extent(out, &self.extent);
+        out.put_u64_le(self.region_count as u64);
+        out.put_f64_le(self.bound.epsilon());
+        out.put_u8(self.finest_level);
+        out.put_u64_le(self.raster_cells as u64);
+        put_u32s(
+            out,
+            &self
+                .border_exits
+                .iter()
+                .map(|&(p, _)| p)
+                .collect::<Vec<_>>(),
+        );
+        let mut corners = Vec::with_capacity(self.border_exits.len() * 4);
+        for (_, bbox) in &self.border_exits {
+            corners.extend([bbox.min.x, bbox.min.y, bbox.max.x, bbox.max.y]);
+        }
+        put_f64s(out, &corners);
+        self.trie.write_snapshot(out);
+    }
+
+    /// Reads a join written by [`write_snapshot`](Self::write_snapshot).
+    pub fn read_snapshot(
+        cur: &mut dbsa_index::SectionCursor<'_>,
+    ) -> Result<Self, dbsa_index::SnapshotError> {
+        let extent = dbsa_index::snapshot::read_extent(cur)?;
+        let region_count = cur.read_u64()? as usize;
+        let epsilon = cur.read_f64()?;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(cur.malformed("distance bound must be positive and finite"));
+        }
+        let bound = DistanceBound::new(epsilon);
+        let finest_level = cur.read_u8()?;
+        if finest_level > MAX_LEVEL {
+            return Err(cur.malformed("finest level exceeds the grid's finest level"));
+        }
+        let raster_cells = cur.read_u64()? as usize;
+        let exit_polygons = cur.read_u32s()?;
+        let corners = cur.read_f64s()?;
+        if corners.len() != exit_polygons.len() * 4 {
+            return Err(cur.malformed("border-exit columns disagree on length"));
+        }
+        let border_exits: Vec<(PolygonId, dbsa_geom::BoundingBox)> = exit_polygons
+            .into_iter()
+            .zip(corners.chunks_exact(4))
+            .map(|(p, c)| {
+                (
+                    p,
+                    dbsa_geom::BoundingBox::new(Point::new(c[0], c[1]), Point::new(c[2], c[3])),
+                )
+            })
+            .collect();
+        let trie = FrozenCellTrie::read_snapshot(cur)?;
+        if trie.polygon_count() > region_count {
+            return Err(cur.malformed("trie indexes more polygons than the join has regions"));
+        }
+        Ok(ApproximateCellJoin {
+            trie,
+            extent,
+            region_count,
+            bound,
+            finest_level,
+            raster_cells,
+            border_exits,
+        })
+    }
+
     /// The distance bound the join guarantees at its finest level (the
     /// build-time bound; per-query specs can only loosen it, or request
     /// exactness through refinement).
@@ -176,6 +248,11 @@ impl ApproximateCellJoin {
     /// The grid extent the index linearizes against.
     pub fn extent(&self) -> &GridExtent {
         &self.extent
+    }
+
+    /// Number of regions the join groups by (indexed or not).
+    pub fn region_count(&self) -> usize {
+        self.region_count
     }
 
     /// The finest truncation level of the level-stacked trie (the boundary

@@ -1,0 +1,86 @@
+//! Snapshot persistence: save a serving engine to one file, cold-start a
+//! fresh process-equivalent engine from it without rebuilding anything,
+//! and hand a single shard to another engine via a shard file.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dbsa --example snapshot_persistence
+//! ```
+
+use dbsa::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir().join("dbsa-snapshot-example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // 1. Build a sharded engine the expensive way: rasterize the regions,
+    //    freeze the trie, sort and index every shard.
+    let taxi = TaxiPointGenerator::new(city_extent(), 2021).generate(100_000);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let fares: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), 64, 30, 7).generate();
+
+    let build_start = Instant::now();
+    let engine = ShardedEngine::builder()
+        .distance_bound(DistanceBound::meters(5.0))
+        .extent(city_extent())
+        .points(points, fares)
+        .regions(regions)
+        .shards(8)
+        .build();
+    let build_time = build_start.elapsed();
+    let baseline = engine.aggregate_by_region();
+    println!(
+        "built from scratch in {build_time:?}: {} points, {} regions",
+        engine.snapshot().point_count(),
+        engine.regions().len()
+    );
+
+    // 2. Persist the whole serving state to one checksummed file.
+    let path = dir.join("engine.snapshot");
+    engine.save_snapshot(&path).expect("save snapshot");
+    let file_bytes = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "saved to {} ({:.1} MiB)",
+        path.display(),
+        file_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // 3. Cold start: reconstitute the engine from the file. No
+    //    re-rasterize, no re-freeze, no re-sort — one contiguous pass per
+    //    column, then serve.
+    let load_start = Instant::now();
+    let loaded = ShardedEngine::load_snapshot(&path).expect("load snapshot");
+    let load_time = load_start.elapsed();
+    let reloaded = loaded.aggregate_by_region();
+    assert_eq!(baseline, reloaded, "loaded engine must answer identically");
+    println!(
+        "cold-started from snapshot in {load_time:?} ({:.0}x faster), answers bit-for-bit equal",
+        build_time.as_secs_f64() / load_time.as_secs_f64()
+    );
+
+    // 4. Shard handoff: write one shard as a standalone file stamped with
+    //    the compaction generation; a receiver demands that generation and
+    //    rejects anything stale.
+    let snapshot = engine.snapshot();
+    let shard_path = dir.join("shard-3.snapshot");
+    snapshot.shards()[3]
+        .save(&shard_path, snapshot.generation())
+        .expect("save shard");
+    let handed_off = EngineShard::load(&shard_path, Some(snapshot.generation()))
+        .expect("load shard at the right generation");
+    println!(
+        "handed off shard 3: {} points, keys {}",
+        handed_off.len(),
+        handed_off.key_range()
+    );
+    let stale = EngineShard::load(&shard_path, Some(snapshot.generation() + 1));
+    println!(
+        "demanding a newer generation: {}",
+        stale.err().expect("stale")
+    );
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&shard_path).ok();
+}

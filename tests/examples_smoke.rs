@@ -70,6 +70,7 @@ example_tests!(
     result_range_estimation,
     serving_tier,
     sharded_serving,
+    snapshot_persistence,
     taxi_aggregation,
     visual_exploration,
 );

@@ -1,0 +1,248 @@
+//! Snapshot persistence: save→load is bit-for-bit query-identical (as a
+//! property over random workloads and shard counts), every corruption is a
+//! typed error rather than a panic, and a shard file written by one process
+//! loads in another — the distributed-handoff primitive.
+
+use dbsa::prelude::*;
+use dbsa::SnapshotError;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Env var carrying the shard file path to the child process of the
+/// cross-process handoff test.
+const HANDOFF_PATH_VAR: &str = "DBSA_TEST_HANDOFF_PATH";
+/// Env var carrying the expected generation to the child process.
+const HANDOFF_GEN_VAR: &str = "DBSA_TEST_HANDOFF_GENERATION";
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dbsa-snapshot-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn workload(
+    n_points: usize,
+    n_regions: usize,
+    seed: u64,
+) -> (Vec<Point>, Vec<f64>, Vec<MultiPolygon>) {
+    let taxi = TaxiPointGenerator::new(city_extent(), seed).generate(n_points);
+    let points: Vec<Point> = taxi.iter().map(|t| t.location).collect();
+    let values: Vec<f64> = taxi.iter().map(|t| t.fare).collect();
+    let regions = PolygonSetGenerator::new(city_extent(), n_regions, 20, seed + 3).generate();
+    (points, values, regions)
+}
+
+fn build_engine(seed: u64, n_regions: usize, eps: f64, shards: usize) -> ShardedEngine {
+    let (points, values, regions) = workload(1_500, n_regions, seed);
+    ShardedEngine::builder()
+        .distance_bound(DistanceBound::meters(eps))
+        .extent(city_extent())
+        .points(points, values)
+        .regions(regions)
+        .shards(shards)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For every workload and shard count in {1, 2, 8}, a loaded snapshot
+    /// answers bounded and exact aggregates, within-distance semi-joins,
+    /// and (exact) kNN **bit-for-bit** identically to the engine that
+    /// saved it — plans included. No tolerance, `==` on everything.
+    #[test]
+    fn prop_save_load_is_query_identical(
+        seed in 0u64..30,
+        n_regions in 4usize..10,
+        eps in 4.0f64..20.0,
+    ) {
+        for shard_count in [1usize, 2, 8] {
+            let engine = build_engine(seed, n_regions, eps, shard_count);
+            // Leave a pending delta so the snapshot carries one.
+            engine.append_points(vec![Point::new(100.0, 100.0)], vec![5.5]);
+            let path = temp_path(&format!("prop-{seed}-{shard_count}.snapshot"));
+            engine.save_snapshot(&path).expect("save");
+            let loaded = ShardedEngine::load_snapshot(&path).expect("load");
+            std::fs::remove_file(&path).ok();
+
+            prop_assert_eq!(
+                loaded.snapshot().generation(),
+                engine.snapshot().generation()
+            );
+            prop_assert_eq!(loaded.pending_points(), engine.pending_points());
+
+            let bounded = QuerySpec::within_meters(eps);
+            prop_assert_eq!(
+                loaded.aggregate_by_region_spec(&bounded, 2),
+                engine.aggregate_by_region_spec(&bounded, 2),
+                "bounded aggregate diverged (shards = {})", shard_count
+            );
+            let exact = QuerySpec::exact();
+            prop_assert_eq!(
+                loaded.aggregate_by_region_spec(&exact, 2),
+                engine.aggregate_by_region_spec(&exact, 2),
+                "exact aggregate diverged (shards = {})", shard_count
+            );
+
+            let dist = DistanceSpec::within(600.0).expect("spec");
+            prop_assert_eq!(
+                loaded.within_distance(&dist, 2),
+                engine.within_distance(&dist, 2),
+                "within-distance diverged (shards = {})", shard_count
+            );
+
+            let probe = Point::new(12_000.0, 14_000.0);
+            prop_assert_eq!(
+                loaded.knn(&probe, 3).expect("knn"),
+                engine.knn(&probe, 3).expect("knn"),
+                "knn diverged (shards = {})", shard_count
+            );
+            prop_assert_eq!(
+                loaded.knn_exact(&probe, 3).expect("knn_exact"),
+                engine.knn_exact(&probe, 3).expect("knn_exact"),
+                "exact knn diverged (shards = {})", shard_count
+            );
+        }
+    }
+}
+
+/// Every way a snapshot file can rot yields the matching typed
+/// [`SnapshotError`] — never a panic, never a silently wrong engine.
+#[test]
+fn corrupted_snapshots_fail_with_typed_errors() {
+    let engine = build_engine(7, 5, 8.0, 2);
+    let path = temp_path("corruption-base.snapshot");
+    engine.save_snapshot(&path).expect("save");
+    let pristine = std::fs::read(&path).expect("read snapshot back");
+    std::fs::remove_file(&path).ok();
+    let reload = |bytes: &[u8], name: &str| {
+        let p = temp_path(name);
+        std::fs::write(&p, bytes).expect("write mutated snapshot");
+        let r = ShardedEngine::load_snapshot(&p).map(|_| ());
+        std::fs::remove_file(&p).ok();
+        r
+    };
+
+    // Sanity: the pristine bytes load.
+    assert!(reload(&pristine, "pristine.snapshot").is_ok());
+
+    // Truncation: cut mid-payload and mid-header.
+    for keep in [pristine.len() / 2, 16] {
+        let r = reload(&pristine[..keep], "truncated.snapshot");
+        assert!(
+            matches!(r, Err(SnapshotError::Truncated { .. })),
+            "truncating to {keep} bytes: {r:?}"
+        );
+    }
+
+    // A single flipped payload byte fails that section's CRC.
+    let mut flipped = pristine.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x40;
+    let r = reload(&flipped, "flipped.snapshot");
+    assert!(
+        matches!(r, Err(SnapshotError::CorruptSection { .. })),
+        "flipped payload byte: {r:?}"
+    );
+
+    // A future format version is refused, not guessed at.
+    let mut versioned = pristine.clone();
+    versioned[8] = 0xFF;
+    let r = reload(&versioned, "version.snapshot");
+    assert!(
+        matches!(
+            r,
+            Err(SnapshotError::UnsupportedVersion { found, .. }) if found == 0xFF
+        ),
+        "future version: {r:?}"
+    );
+
+    // A byte-swapped endianness tag is detected explicitly.
+    let mut swapped = pristine.clone();
+    swapped[12..16].reverse();
+    let r = reload(&swapped, "endian.snapshot");
+    assert!(
+        matches!(r, Err(SnapshotError::WrongEndianness { .. })),
+        "swapped endian tag: {r:?}"
+    );
+
+    // Garbage is just garbage (long enough to get past the header-size
+    // check and hit the magic check).
+    let r = reload(&[0xAB; 128], "garbage.snapshot");
+    assert!(
+        matches!(r, Err(SnapshotError::BadMagic)),
+        "garbage bytes: {r:?}"
+    );
+}
+
+/// A handoff file from a mismatched compaction generation is refused when
+/// the loader demands a specific one.
+#[test]
+fn stale_generation_shard_is_rejected() {
+    let engine = build_engine(11, 4, 6.0, 2);
+    let snapshot = engine.snapshot();
+    let path = temp_path("stale.snapshot");
+    snapshot.shards()[0]
+        .save(&path, snapshot.generation())
+        .expect("save");
+
+    let stale = EngineShard::load(&path, Some(snapshot.generation() + 7)).map(|_| ());
+    assert!(
+        matches!(
+            stale,
+            Err(SnapshotError::StaleGeneration { expected, found })
+                if expected == snapshot.generation() + 7 && found == snapshot.generation()
+        ),
+        "stale generation: {stale:?}"
+    );
+    // Without a demanded generation the same file is fine.
+    assert!(EngineShard::load(&path, None).is_ok());
+    std::fs::remove_file(&path).ok();
+}
+
+/// Child half of the cross-process handoff: only active when the parent
+/// sets the env vars; a plain `cargo test` run sees it pass as a no-op.
+#[test]
+fn cross_process_handoff_child() {
+    let Ok(path) = std::env::var(HANDOFF_PATH_VAR) else {
+        return;
+    };
+    let generation: u64 = std::env::var(HANDOFF_GEN_VAR)
+        .expect("generation env var")
+        .parse()
+        .expect("generation parses");
+    let shard =
+        EngineShard::load(path.as_ref(), Some(generation)).expect("child loads handoff file");
+    assert!(!shard.is_empty(), "handoff shard arrived empty");
+    assert_eq!(shard.points().len(), shard.values().len());
+    // The stale path must misbehave identically across the process
+    // boundary.
+    assert!(matches!(
+        EngineShard::load(path.as_ref(), Some(generation + 1)),
+        Err(SnapshotError::StaleGeneration { .. })
+    ));
+}
+
+/// A shard file written here is loaded by a **separate OS process** (a
+/// re-exec of this test binary), proving the handoff primitive works
+/// across address spaces, not just across values in one test.
+#[test]
+fn shard_handoff_crosses_process_boundary() {
+    let engine = build_engine(13, 4, 6.0, 2);
+    let snapshot = engine.snapshot();
+    let path = temp_path("cross-process.snapshot");
+    snapshot.shards()[1]
+        .save(&path, snapshot.generation())
+        .expect("save");
+
+    let status = Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--exact")
+        .arg("cross_process_handoff_child")
+        .env(HANDOFF_PATH_VAR, &path)
+        .env(HANDOFF_GEN_VAR, snapshot.generation().to_string())
+        .status()
+        .expect("spawn child test process");
+    assert!(status.success(), "child process failed to load the shard");
+    std::fs::remove_file(&path).ok();
+}

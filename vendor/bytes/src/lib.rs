@@ -1,9 +1,11 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! Implements the subset DBSA uses for key-column serialization: a growable
-//! [`BytesMut`] with [`BufMut`] little-endian put methods, frozen into an
-//! immutable [`Bytes`] that derefs to `&[u8]`. Backed by a plain `Vec<u8>`
-//! — no ref-counted zero-copy slicing like the real crate.
+//! Implements the subset DBSA uses for key-column and snapshot
+//! serialization: a growable [`BytesMut`] with [`BufMut`] little-endian put
+//! methods, frozen into an immutable [`Bytes`] that derefs to `&[u8]`, plus
+//! the reader-side [`Buf`] cursor trait (implemented for `&[u8]`) that the
+//! snapshot codec walks sections with. Backed by a plain `Vec<u8>` — no
+//! ref-counted zero-copy slicing like the real crate.
 
 use std::ops::Deref;
 
@@ -79,6 +81,11 @@ pub trait BufMut {
         self.put_slice(&[v]);
     }
 
+    /// Appends a `u16` in little-endian order.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends a `u32` in little-endian order.
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
@@ -107,6 +114,85 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// Read-side cursor trait with the little-endian get methods DBSA uses.
+///
+/// Mirrors the real crate's contract: the `get_*` methods **panic** when
+/// fewer than the requested bytes remain, so callers that must never panic
+/// (the snapshot loader) check [`remaining`](Self::remaining) first and
+/// surface a typed error instead.
+pub trait Buf {
+    /// Number of bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Moves the cursor forward by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `cnt` bytes remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies `dst.len()` bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a `u16` in little-endian order.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a `u32` in little-endian order.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a `u64` in little-endian order.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads an `f64` in little-endian order.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past the end of the buffer");
+        *self = &self[cnt..];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +209,44 @@ mod tests {
             0xDEAD_BEEF
         );
         assert_eq!(u64::from_le_bytes(frozen[8..16].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn buf_reads_back_what_bufmut_wrote() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(1234);
+        out.put_u32_le(0xCAFE_F00D);
+        out.put_u64_le(u64::MAX - 3);
+        out.put_f64_le(-1.5);
+        out.put_slice(b"tail");
+
+        let mut cur: &[u8] = &out;
+        assert_eq!(cur.remaining(), out.len());
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 1234);
+        assert_eq!(cur.get_u32_le(), 0xCAFE_F00D);
+        assert_eq!(cur.get_u64_le(), u64::MAX - 3);
+        assert_eq!(cur.get_f64_le(), -1.5);
+        let mut tail = [0u8; 4];
+        cur.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn buf_advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut cur: &[u8] = &data;
+        cur.advance(2);
+        assert_eq!(cur.chunk(), &[3, 4]);
+        assert_eq!(cur.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past the end")]
+    fn buf_advance_past_end_panics() {
+        let mut cur: &[u8] = &[1u8, 2];
+        cur.advance(3);
     }
 }
